@@ -1,0 +1,59 @@
+// Ablation (§6) — secondary charging from *diverse damping parameters*.
+//
+// The paper points out that path exploration is not the only way to set up
+// reuse-timer interaction: "assume router Y has set more aggressive damping
+// parameters than router X ... X will reuse its route to originAS earlier
+// than Y. When X reuses its route and sends it to Y, this announcement will
+// re-charge Y's reuse timer." Here a fraction of routers runs an aggressive
+// configuration (lower cut-off, longer half-life); mixing the two makes
+// conservatively-configured routers reuse first and re-charge the rest.
+
+#include <iostream>
+
+#include "core/experiment.hpp"
+#include "core/report.hpp"
+
+namespace {
+
+rfdnet::rfd::DampingParams aggressive() {
+  rfdnet::rfd::DampingParams p = rfdnet::rfd::DampingParams::cisco();
+  p.cutoff = 1500.0;        // suppress sooner
+  p.half_life_s = 1800.0;   // decay slower -> suppress longer
+  return p;
+}
+
+}  // namespace
+
+int main() {
+  using namespace rfdnet;
+
+  std::cout << "Ablation: diverse damping parameters (100-node mesh, 5 "
+               "pulses)\nalt config: cut-off 1500, half-life 30 min\n\n";
+
+  core::TextTable t({"aggressive fraction", "convergence (s)", "messages",
+                     "suppressions", "noisy reuses"});
+  for (const double frac : {0.0, 0.25, 0.5, 0.75, 1.0}) {
+    core::ExperimentConfig cfg;
+    cfg.topology.kind = core::TopologySpec::Kind::kMeshTorus;
+    cfg.topology.width = 10;
+    cfg.topology.height = 10;
+    cfg.pulses = 5;
+    cfg.seed = 1;
+    cfg.damping = rfd::DampingParams::cisco();
+    cfg.damping_alt = aggressive();
+    cfg.alt_fraction = frac;
+    const auto r = core::run_experiment(cfg);
+    t.add_row({core::TextTable::num(100.0 * frac, 0) + "%",
+               core::TextTable::num(r.convergence_time_s, 0),
+               core::TextTable::num(r.message_count),
+               core::TextTable::num(r.suppress_events),
+               core::TextTable::num(r.noisy_reuses)});
+  }
+  t.print(std::cout);
+
+  std::cout << "\npaper check (S6): mixed parameter deployments interact — "
+               "a mixed network\nconverges more slowly than either uniform "
+               "one, because early reuses at\nconservative routers re-charge "
+               "the aggressive routers' timers.\n";
+  return 0;
+}

@@ -1,0 +1,40 @@
+// Ablation — reuse-timer granularity.
+//
+// The library schedules reuse at the exact penalty/threshold crossing; real
+// routers sweep reuse lists periodically (Cisco: every 10 s), quantizing
+// reuse times upward. This shows the effect is small but measurable: the
+// ordering of reuse expirations across routers is what drives the timer
+// interactions, and coarse quantization perturbs that ordering.
+
+#include <iostream>
+
+#include "core/experiment.hpp"
+#include "core/report.hpp"
+
+int main() {
+  using namespace rfdnet;
+
+  std::cout << "Ablation: reuse-timer granularity (100-node mesh, single "
+               "flap)\n\n";
+
+  core::TextTable t({"granularity (s)", "convergence (s)", "messages",
+                     "noisy reuses", "silent reuses"});
+  for (const double g : {0.0, 1.0, 10.0, 30.0, 60.0}) {
+    core::ExperimentConfig cfg;
+    cfg.topology.kind = core::TopologySpec::Kind::kMeshTorus;
+    cfg.topology.width = 10;
+    cfg.topology.height = 10;
+    cfg.pulses = 1;
+    cfg.damping = rfd::DampingParams::cisco();
+    cfg.damping->reuse_granularity_s = g;
+    cfg.seed = 1;
+    const core::ExperimentResult r = core::run_experiment(cfg);
+    t.add_row({core::TextTable::num(g, 0),
+               core::TextTable::num(r.convergence_time_s, 0),
+               core::TextTable::num(r.message_count),
+               core::TextTable::num(r.noisy_reuses),
+               core::TextTable::num(r.silent_reuses)});
+  }
+  t.print(std::cout);
+  return 0;
+}

@@ -1,0 +1,81 @@
+// Extension — full link/session semantics and internal-link instability.
+//
+// The paper models flapping as alternating withdraw/announce updates from
+// the origin over a healthy session (Fig. 1). Two generalizations:
+//
+//  1. The same stub link flapped with *session* semantics: the link's BGP
+//     sessions go down and up, in-flight updates are lost, and re-
+//     establishment re-advertises the table. The dynamics should match the
+//     paper's model closely — the stub link is the only path, so the
+//     implicit withdrawals are equivalent.
+//
+//  2. An *internal* (core) link flapped the same way. Traffic routes around
+//     it, so the destination never becomes unreachable — which means the
+//     muffling effect never engages: there is no single router whose reuse
+//     timer can silence the rest of the network. Damping's intended
+//     "isolate the instability at the adjacent router" story breaks down.
+
+#include <iostream>
+
+#include "core/experiment.hpp"
+#include "core/report.hpp"
+
+int main() {
+  using namespace rfdnet;
+
+  std::cout << "Extension: link/session flapping (100-node mesh)\n\n";
+
+  for (const int pulses : {1, 5, 10}) {
+    std::cout << "-- " << pulses << " pulse(s) --\n";
+    core::TextTable t({"workload", "convergence (s)", "messages", "dropped",
+                       "suppressions", "noisy reuses"});
+
+    const auto run = [&](const char* name, core::ExperimentConfig cfg) {
+      cfg.topology.kind = core::TopologySpec::Kind::kMeshTorus;
+      cfg.topology.width = 10;
+      cfg.topology.height = 10;
+      cfg.pulses = pulses;
+      cfg.seed = 1;
+      cfg.isp = 0;
+      const auto r = core::run_experiment(cfg);
+      t.add_row({name, core::TextTable::num(r.convergence_time_s, 0),
+                 core::TextTable::num(r.message_count),
+                 core::TextTable::num(r.dropped_count),
+                 core::TextTable::num(r.suppress_events),
+                 core::TextTable::num(r.noisy_reuses)});
+    };
+
+    core::ExperimentConfig paper;
+    run("stub link, W/A updates (paper)", paper);
+
+    core::ExperimentConfig stub;
+    stub.flap_mode = core::ExperimentConfig::FlapMode::kLinkSession;
+    run("stub link, session flaps", stub);
+
+    core::ExperimentConfig internal;
+    internal.flap_mode = core::ExperimentConfig::FlapMode::kLinkSession;
+    // An internal link on the routing tree toward the origin: with the isp
+    // at node 0 of the row-major torus, node 3 reaches 0 through node 2.
+    internal.flap_link = std::make_pair(net::NodeId{2}, net::NodeId{3});
+    run("internal on-tree link 2-3, session flaps", internal);
+
+    core::ExperimentConfig lateral;
+    lateral.flap_mode = core::ExperimentConfig::FlapMode::kLinkSession;
+    // A lateral link deep in the torus that carries no best route to the
+    // origin: flapping it barely matters — instability only disrupts the
+    // paths that actually cross the link.
+    lateral.flap_link = std::make_pair(net::NodeId{55}, net::NodeId{56});
+    run("internal off-tree link 55-56, session flaps", lateral);
+
+    t.print(std::cout);
+    std::cout << "\n";
+  }
+
+  std::cout
+      << "observations: stub-link session flapping tracks the paper's W/A "
+         "model; internal\nlinks keep the destination reachable throughout, "
+         "so persistent flapping cannot\nbe muffled by any single router — "
+         "suppression scatters along the detour paths\nand updates keep "
+         "flowing with every pulse.\n";
+  return 0;
+}

@@ -1,0 +1,61 @@
+// Extension — irregular flapping patterns.
+//
+// §7: "In reality unstable destinations exhibit different flapping
+// patterns." Jittering the inter-flap gaps changes the penalty each flap
+// finds at ispAS, hence the suppression onset and RT_h — but the damping
+// pathology itself (deviation for few flaps, intended behavior under
+// persistent flapping) is pattern-independent. The intended column is
+// computed from the *actual* jittered schedule via
+// IntendedBehaviorModel::predict_events.
+
+#include <iostream>
+
+#include "core/experiment.hpp"
+#include "core/intended.hpp"
+#include "core/report.hpp"
+
+int main() {
+  using namespace rfdnet;
+
+  std::cout << "Extension: irregular flapping (100-node mesh, Cisco "
+               "defaults, nominal 60 s interval)\n\n";
+
+  for (const int pulses : {1, 3, 8}) {
+    std::cout << "-- " << pulses << " pulse(s) --\n";
+    core::TextTable t({"jitter", "convergence (s)", "intended (s)",
+                       "messages", "isp suppressed"});
+    for (const double jitter : {0.0, 0.25, 0.5, 0.75}) {
+      core::ExperimentConfig cfg;
+      cfg.topology.kind = core::TopologySpec::Kind::kMeshTorus;
+      cfg.topology.width = 10;
+      cfg.topology.height = 10;
+      cfg.pulses = pulses;
+      cfg.flap_jitter = jitter;
+      cfg.seed = 1;
+      const auto res = core::run_experiment(cfg);
+
+      // Intended from the actual schedule.
+      std::vector<std::pair<double, bgp::UpdateKind>> events;
+      for (const auto& [time, is_w] : res.flap_schedule) {
+        events.emplace_back(time, is_w ? bgp::UpdateKind::kWithdrawal
+                                       : bgp::UpdateKind::kAnnouncement);
+      }
+      const core::IntendedBehaviorModel model(*cfg.damping);
+      const auto pred = model.predict_events(events);
+      const double intended = pred.reuse_delay_s + res.warmup_tup_s;
+
+      t.add_row({core::TextTable::num(100.0 * jitter, 0) + "%",
+                 core::TextTable::num(res.convergence_time_s, 0),
+                 core::TextTable::num(intended, 0),
+                 core::TextTable::num(res.message_count),
+                 res.isp_suppressed ? "yes" : "no"});
+    }
+    t.print(std::cout);
+    std::cout << "\n";
+  }
+
+  std::cout << "trend check: jitter shifts onset/RT_h but not the regime "
+               "structure — few flaps\nalways deviate from intended, "
+               "persistent flapping always matches it.\n";
+  return 0;
+}

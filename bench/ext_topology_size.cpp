@@ -1,0 +1,51 @@
+// Extension sweep (tech report [15]) — topology size.
+//
+// Mesh tori from 25 to 400 nodes, single flap and persistent flapping.
+// Bigger networks have more alternate paths (more exploration, more false
+// suppression) but the qualitative damping behavior — deviation for small
+// pulse counts, intended behavior past the critical point — is scale-free.
+
+#include <iostream>
+
+#include "core/experiment.hpp"
+#include "core/intended.hpp"
+#include "core/report.hpp"
+
+int main() {
+  using namespace rfdnet;
+
+  std::cout << "Extension: topology size sweep (mesh torus, Cisco "
+               "defaults)\n\n";
+
+  for (const int pulses : {1, 8}) {
+    std::cout << "-- " << pulses << " pulse(s) --\n";
+    core::TextTable t({"mesh", "nodes", "convergence (s)", "intended (s)",
+                       "messages", "suppressions"});
+    for (const int side : {5, 8, 10, 14, 20}) {
+      core::ExperimentConfig cfg;
+      cfg.topology.kind = core::TopologySpec::Kind::kMeshTorus;
+      cfg.topology.width = side;
+      cfg.topology.height = side;
+      cfg.pulses = pulses;
+      cfg.seed = 1;
+      const auto res = core::run_experiment(cfg);
+      const core::IntendedBehaviorModel model(*cfg.damping);
+      const double intended = model.intended_convergence_s(
+          core::FlapPattern{pulses, cfg.flap_interval_s}, res.warmup_tup_s);
+      t.add_row({std::to_string(side) + "x" + std::to_string(side),
+                 core::TextTable::num(side * side),
+                 core::TextTable::num(res.convergence_time_s, 0),
+                 core::TextTable::num(intended, 0),
+                 core::TextTable::num(res.message_count),
+                 core::TextTable::num(res.suppress_events)});
+    }
+    t.print(std::cout);
+    std::cout << "\n";
+  }
+
+  std::cout << "trend check: single-flap deviation grows with network size "
+               "(more paths to\nexplore); past the critical point the "
+               "convergence time is size-independent —\nit is set by RT_h "
+               "at ispAS alone.\n";
+  return 0;
+}

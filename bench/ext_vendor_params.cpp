@@ -1,0 +1,60 @@
+// Extension sweep (tech report [15]) — vendor parameterizations.
+//
+// The same workload under the two Table 1 columns. Juniper penalizes
+// re-announcements (PA = 1000) but cuts off at 3000: suppression onset and
+// reuse delays differ, the interaction pathology does not.
+
+#include <iostream>
+
+#include "core/experiment.hpp"
+#include "core/intended.hpp"
+#include "core/report.hpp"
+
+int main() {
+  using namespace rfdnet;
+
+  std::cout << "Extension: Cisco vs Juniper parameters (100-node mesh)\n\n";
+
+  struct Vendor {
+    const char* name;
+    rfd::DampingParams params;
+  };
+  const Vendor vendors[] = {
+      {"cisco", rfd::DampingParams::cisco()},
+      {"juniper", rfd::DampingParams::juniper()},
+  };
+
+  for (const auto& vendor : vendors) {
+    const core::IntendedBehaviorModel model(vendor.params);
+    std::cout << "-- " << vendor.name << " " << vendor.params.to_string()
+              << " --\n";
+    core::TextTable t({"pulses", "convergence (s)", "intended (s)",
+                       "messages", "suppressions", "isp suppressed"});
+    for (const int pulses : {1, 2, 3, 5, 8}) {
+      core::ExperimentConfig cfg;
+      cfg.topology.kind = core::TopologySpec::Kind::kMeshTorus;
+      cfg.topology.width = 10;
+      cfg.topology.height = 10;
+      cfg.pulses = pulses;
+      cfg.damping = vendor.params;
+      cfg.seed = 1;
+      const auto res = core::run_experiment(cfg);
+      const double intended = model.intended_convergence_s(
+          core::FlapPattern{pulses, cfg.flap_interval_s}, res.warmup_tup_s);
+      t.add_row({core::TextTable::num(pulses),
+                 core::TextTable::num(res.convergence_time_s, 0),
+                 core::TextTable::num(intended, 0),
+                 core::TextTable::num(res.message_count),
+                 core::TextTable::num(res.suppress_events),
+                 res.isp_suppressed ? "yes" : "no"});
+    }
+    t.print(std::cout);
+    std::cout << "\n";
+  }
+
+  std::cout << "trend check: Juniper's re-announcement penalty makes ispAS "
+               "suppress at the\n2nd pulse (vs Cisco's 3rd); both vendors "
+               "show the same small-n deviation and\nlarge-n intended "
+               "behavior.\n";
+  return 0;
+}

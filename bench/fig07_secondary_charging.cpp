@@ -1,0 +1,87 @@
+// Figure 7 — "Damping Penalty" at a router 7 hops from the flapping origin
+// after a SINGLE route flap, showing the paper's core discovery: path
+// exploration charges the penalty over the cut-off during the first ~100 s,
+// and *secondary charging* (updates triggered by route reuse elsewhere)
+// pushes it back up repeatedly, so the entry is not finally reused until
+// thousands of seconds later.
+//
+// Also reproduces the §5.2 decomposition: with penalties frozen at the end
+// of the charging period (no secondary charging possible), the convergence
+// delay collapses to what path exploration alone explains — roughly a third
+// of the full delay.
+
+#include <iostream>
+
+#include "core/experiment.hpp"
+#include "core/report.hpp"
+#include "stats/penalty_curve.hpp"
+#include "stats/phase.hpp"
+
+int main() {
+  using namespace rfdnet;
+
+  core::ExperimentConfig cfg;
+  cfg.topology.kind = core::TopologySpec::Kind::kMeshTorus;
+  cfg.topology.width = 10;
+  cfg.topology.height = 10;
+  cfg.damping = rfd::DampingParams::cisco();
+  cfg.pulses = 1;
+  cfg.probe_distance = 7;
+  cfg.seed = 1;
+
+  std::cout << "Figure 7: penalty at a router " << cfg.probe_distance
+            << " hops from the origin, single flap, 100-node mesh\n\n";
+
+  const core::ExperimentResult res = core::run_experiment(cfg);
+
+  std::cout << "probe router: node " << res.probe << " (" << res.probe_hops
+            << " hops from origin " << res.origin << ")\n";
+  std::cout << "convergence time: "
+            << core::TextTable::num(res.convergence_time_s, 0) << " s; "
+            << res.message_count << " updates; max penalty seen anywhere: "
+            << core::TextTable::num(res.max_penalty, 0) << "\n\n";
+
+  std::cout << "phases:\n";
+  for (const auto& ph : res.phases) {
+    if (ph.kind == stats::PhaseKind::kReleasing && ph.duration() < 5) continue;
+    std::cout << "  " << stats::to_string(ph.kind) << " ["
+              << core::TextTable::num(ph.t0_s, 0) << ", "
+              << core::TextTable::num(ph.t1_s, 0) << ")\n";
+  }
+
+  if (!res.penalty_trace.empty()) {
+    const auto curve = core::thin_series(
+        stats::sample_penalty_curve(res.penalty_trace, cfg.damping->lambda(),
+                                    30.0, res.last_activity_s + 600.0, 50.0),
+        120);
+    std::cout << "\n";
+    core::print_series(std::cout,
+                       "penalty(t) at the probe router (Fig. 7 curve); "
+                       "cut-off=2000 reuse=750",
+                       curve);
+  }
+
+  // §5.2 ablation: freeze penalties at the end of charging -> the remaining
+  // delay is what path exploration alone would cause.
+  const double charging_end =
+      res.phases.empty() ? 0.0 : res.phases.front().t1_s;
+  core::ExperimentConfig frozen = cfg;
+  frozen.freeze_penalties_after_s = charging_end;
+  const core::ExperimentResult fres = core::run_experiment(frozen);
+
+  std::cout << "S5.2 decomposition (single flap):\n";
+  core::TextTable t({"variant", "convergence (s)", "share of full delay"});
+  t.add_row({"full damping (exploration + secondary charging)",
+             core::TextTable::num(res.convergence_time_s, 0), "100%"});
+  const double share =
+      res.convergence_time_s > 0
+          ? 100.0 * fres.convergence_time_s / res.convergence_time_s
+          : 0.0;
+  t.add_row({"penalties frozen after charging (exploration only)",
+             core::TextTable::num(fres.convergence_time_s, 0),
+             core::TextTable::num(share, 0) + "%"});
+  t.print(std::cout);
+  std::cout << "\npaper: false suppression alone accounts for ~30% of the "
+               "delay;\nsecondary charging accounts for the rest (>60%).\n";
+  return 0;
+}

@@ -1,0 +1,64 @@
+// Figure 9 — Number of Updates vs number of pulses, three series:
+//   * No Damping   (simulation, 100-node mesh)
+//   * Full Damping (simulation, 100-node mesh)
+//   * Full Damping (simulation, Internet-derived topology)
+//
+// Paper shape: without damping the message count grows linearly with the
+// pulse count; with damping it grows for the first few pulses and then goes
+// nearly flat — once ispAS suppresses the route, additional flaps inject no
+// further updates into the network.
+
+#include <iostream>
+
+#include "core/report.hpp"
+#include "core/sweep.hpp"
+
+int main() {
+  using namespace rfdnet;
+  constexpr int kMaxPulses = 10;
+  constexpr int kSeeds = 5;
+
+  core::ExperimentConfig mesh;
+  mesh.topology.kind = core::TopologySpec::Kind::kMeshTorus;
+  mesh.topology.width = 10;
+  mesh.topology.height = 10;
+  mesh.seed = 1;
+
+  core::ExperimentConfig mesh_nodamp = mesh;
+  mesh_nodamp.damping.reset();
+
+  core::ExperimentConfig inet = mesh;
+  inet.topology.kind = core::TopologySpec::Kind::kInternetLike;
+  inet.topology.nodes = 100;
+
+  std::cout << "Figure 9: number of updates vs number of pulses\n"
+            << "(median of " << kSeeds << " seeds)\n\n";
+
+  const auto no_damp = core::run_pulse_sweep_median(mesh_nodamp, kMaxPulses, kSeeds);
+  const auto full_mesh = core::run_pulse_sweep_median(mesh, kMaxPulses, kSeeds);
+  const auto full_inet = core::run_pulse_sweep_median(inet, kMaxPulses, kSeeds);
+
+  core::TextTable t({"pulses", "no damping (mesh)", "full damping (mesh)",
+                     "full damping (internet)"});
+  for (int n = 1; n <= kMaxPulses; ++n) {
+    const std::size_t i = static_cast<std::size_t>(n - 1);
+    t.add_row({core::TextTable::num(n),
+               core::TextTable::num(no_damp.points[i].messages),
+               core::TextTable::num(full_mesh.points[i].messages),
+               core::TextTable::num(full_inet.points[i].messages)});
+  }
+  t.print(std::cout);
+
+  const auto& nd = no_damp.points;
+  const auto& fd = full_mesh.points;
+  const double nd_growth = static_cast<double>(nd[9].messages) /
+                           static_cast<double>(nd[2].messages);
+  const double fd_growth = static_cast<double>(fd[9].messages) /
+                           static_cast<double>(fd[2].messages);
+  std::cout << "\nmessage growth n=3 -> n=10: no damping x"
+            << core::TextTable::num(nd_growth, 2) << ", full damping x"
+            << core::TextTable::num(fd_growth, 2)
+            << "\npaper: no damping grows ~linearly; full damping is nearly "
+               "flat after suppression kicks in.\n";
+  return 0;
+}

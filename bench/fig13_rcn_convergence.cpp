@@ -1,0 +1,62 @@
+// Figure 13 — Convergence time vs number of pulses with RCN-enhanced
+// damping added to the Figure 8 series.
+//
+// Paper shape: with the RCN filter in front of the penalty, small pulse
+// counts no longer suffer the path-exploration/secondary-charging blowup —
+// the "Damping and RCN" curve hugs the no-damping curve until suppression
+// genuinely triggers (3rd pulse) and then follows the calculation.
+
+#include <iostream>
+
+#include "core/report.hpp"
+#include "core/sweep.hpp"
+
+int main() {
+  using namespace rfdnet;
+  constexpr int kMaxPulses = 10;
+  constexpr int kSeeds = 5;
+
+  core::ExperimentConfig mesh;
+  mesh.topology.kind = core::TopologySpec::Kind::kMeshTorus;
+  mesh.topology.width = 10;
+  mesh.topology.height = 10;
+  mesh.seed = 1;
+
+  core::ExperimentConfig mesh_nodamp = mesh;
+  mesh_nodamp.damping.reset();
+
+  core::ExperimentConfig inet = mesh;
+  inet.topology.kind = core::TopologySpec::Kind::kInternetLike;
+  inet.topology.nodes = 100;
+
+  core::ExperimentConfig rcn = mesh;
+  rcn.rcn = true;
+
+  std::cout << "Figure 13: convergence time (s) vs number of pulses, with "
+               "RCN-enhanced damping\n(median of "
+            << kSeeds << " seeds)\n\n";
+
+  const auto no_damp = core::run_pulse_sweep_median(mesh_nodamp, kMaxPulses, kSeeds);
+  const auto full_mesh = core::run_pulse_sweep_median(mesh, kMaxPulses, kSeeds);
+  const auto full_inet = core::run_pulse_sweep_median(inet, kMaxPulses, kSeeds);
+  const auto with_rcn = core::run_pulse_sweep_median(rcn, kMaxPulses, kSeeds);
+
+  core::TextTable t({"pulses", "no damping (mesh)", "full damping (mesh)",
+                     "full damping (internet)", "damping + RCN",
+                     "calculation"});
+  for (int n = 1; n <= kMaxPulses; ++n) {
+    const std::size_t i = static_cast<std::size_t>(n - 1);
+    t.add_row({core::TextTable::num(n),
+               core::TextTable::num(no_damp.points[i].convergence_s, 0),
+               core::TextTable::num(full_mesh.points[i].convergence_s, 0),
+               core::TextTable::num(full_inet.points[i].convergence_s, 0),
+               core::TextTable::num(with_rcn.points[i].convergence_s, 0),
+               core::TextTable::num(with_rcn.points[i].intended_convergence_s, 0)});
+  }
+  t.print(std::cout);
+
+  std::cout << "\npaper checks: RCN keeps n=1,2 at no-damping levels (no "
+               "false suppression)\nand matches the calculated curve once "
+               "suppression triggers at n=3.\n";
+  return 0;
+}

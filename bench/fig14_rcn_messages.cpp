@@ -1,0 +1,59 @@
+// Figure 14 — Message count vs number of pulses with RCN-enhanced damping.
+//
+// Paper shape: RCN-damping still flattens the curve for large pulse counts
+// (suppression does its job) while producing *slightly more* messages than
+// plain damping — without RCN, false suppression kicks in early and
+// swallows updates that RCN correctly lets through.
+
+#include <iostream>
+
+#include "core/report.hpp"
+#include "core/sweep.hpp"
+
+int main() {
+  using namespace rfdnet;
+  constexpr int kMaxPulses = 10;
+  constexpr int kSeeds = 5;
+
+  core::ExperimentConfig mesh;
+  mesh.topology.kind = core::TopologySpec::Kind::kMeshTorus;
+  mesh.topology.width = 10;
+  mesh.topology.height = 10;
+  mesh.seed = 1;
+
+  core::ExperimentConfig mesh_nodamp = mesh;
+  mesh_nodamp.damping.reset();
+
+  core::ExperimentConfig inet = mesh;
+  inet.topology.kind = core::TopologySpec::Kind::kInternetLike;
+  inet.topology.nodes = 100;
+
+  core::ExperimentConfig rcn = mesh;
+  rcn.rcn = true;
+
+  std::cout << "Figure 14: number of updates vs number of pulses, with "
+               "RCN-enhanced damping\n(median of "
+            << kSeeds << " seeds)\n\n";
+
+  const auto no_damp = core::run_pulse_sweep_median(mesh_nodamp, kMaxPulses, kSeeds);
+  const auto full_mesh = core::run_pulse_sweep_median(mesh, kMaxPulses, kSeeds);
+  const auto full_inet = core::run_pulse_sweep_median(inet, kMaxPulses, kSeeds);
+  const auto with_rcn = core::run_pulse_sweep_median(rcn, kMaxPulses, kSeeds);
+
+  core::TextTable t({"pulses", "no damping (mesh)", "full damping (mesh)",
+                     "full damping (internet)", "damping + RCN"});
+  for (int n = 1; n <= kMaxPulses; ++n) {
+    const std::size_t i = static_cast<std::size_t>(n - 1);
+    t.add_row({core::TextTable::num(n),
+               core::TextTable::num(no_damp.points[i].messages),
+               core::TextTable::num(full_mesh.points[i].messages),
+               core::TextTable::num(full_inet.points[i].messages),
+               core::TextTable::num(with_rcn.points[i].messages)});
+  }
+  t.print(std::cout);
+
+  std::cout << "\npaper checks: the RCN curve flattens for large n (damping "
+               "still limits updates)\nand sits slightly above plain damping "
+               "for small n (no false suppression).\n";
+  return 0;
+}

@@ -1,0 +1,64 @@
+// Figure 15 — Impact of routing policy on damping dynamics: convergence
+// time vs number of pulses on a 208-node Internet-derived topology, with
+// the no-valley policy vs shortest-path (no policy) vs the intended
+// calculation.
+//
+// Paper shape: no-valley policy prunes alternate paths, which reduces path
+// exploration, hence fewer false suppressions and less secondary charging —
+// the curve moves toward the intended behavior but does not reach it for
+// small pulse counts.
+
+#include <iostream>
+
+#include "core/report.hpp"
+#include "core/sweep.hpp"
+
+int main() {
+  using namespace rfdnet;
+  constexpr int kMaxPulses = 10;
+  constexpr int kSeeds = 5;
+
+  core::ExperimentConfig base;
+  base.topology.kind = core::TopologySpec::Kind::kInternetLike;
+  base.topology.nodes = 208;
+  base.seed = 1;
+
+  core::ExperimentConfig no_policy = base;
+  no_policy.policy = core::PolicyKind::kShortestPath;
+
+  core::ExperimentConfig with_policy = base;
+  with_policy.policy = core::PolicyKind::kNoValley;
+
+  std::cout << "Figure 15: impact of routing policy on convergence time (s)\n"
+            << "208-node Internet-derived topology, median of " << kSeeds
+            << " seeds\n\n";
+
+  const auto plain = core::run_pulse_sweep_median(no_policy, kMaxPulses, kSeeds);
+  const auto novalley = core::run_pulse_sweep_median(with_policy, kMaxPulses, kSeeds);
+
+  core::TextTable t({"pulses", "with policy (no-valley)", "no policy",
+                     "intended (calculation)"});
+  for (int n = 1; n <= kMaxPulses; ++n) {
+    const std::size_t i = static_cast<std::size_t>(n - 1);
+    t.add_row({core::TextTable::num(n),
+               core::TextTable::num(novalley.points[i].convergence_s, 0),
+               core::TextTable::num(plain.points[i].convergence_s, 0),
+               core::TextTable::num(novalley.points[i].intended_convergence_s, 0)});
+  }
+  t.print(std::cout);
+
+  // Aggregate deviation from intended over the small-n regime the paper
+  // highlights.
+  double dev_plain = 0, dev_policy = 0;
+  for (int n = 1; n <= 4; ++n) {
+    const std::size_t i = static_cast<std::size_t>(n - 1);
+    dev_plain += plain.points[i].convergence_s - plain.points[i].intended_convergence_s;
+    dev_policy += novalley.points[i].convergence_s - novalley.points[i].intended_convergence_s;
+  }
+  std::cout << "\nmean excess over intended for n=1..4: no policy "
+            << core::TextTable::num(dev_plain / 4, 0) << " s, no-valley "
+            << core::TextTable::num(dev_policy / 4, 0) << " s\n";
+  std::cout << "paper: policy reduces (but does not eliminate) the excess "
+               "convergence delay.\n";
+  return 0;
+}

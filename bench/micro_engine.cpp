@@ -1,0 +1,75 @@
+// Microbenchmarks (google-benchmark) for the hot paths of the simulator:
+// event queue throughput, penalty decay math, route selection, and a full
+// end-to-end mesh convergence.
+
+#include <benchmark/benchmark.h>
+
+#include "bgp/network.hpp"
+#include "bgp/policy.hpp"
+#include "core/experiment.hpp"
+#include "net/topology.hpp"
+#include "rfd/params.hpp"
+#include "rfd/penalty.hpp"
+#include "sim/engine.hpp"
+#include "sim/random.hpp"
+
+namespace {
+
+using namespace rfdnet;
+
+void BM_EngineScheduleRun(benchmark::State& state) {
+  const int n = static_cast<int>(state.range(0));
+  for (auto _ : state) {
+    sim::Engine e;
+    for (int i = 0; i < n; ++i) {
+      e.schedule_at(sim::SimTime::from_micros(i % 997), [] {});
+    }
+    e.run();
+    benchmark::DoNotOptimize(e.executed());
+  }
+  state.SetItemsProcessed(state.iterations() * n);
+}
+BENCHMARK(BM_EngineScheduleRun)->Arg(1000)->Arg(10000);
+
+void BM_PenaltyDecay(benchmark::State& state) {
+  rfd::PenaltyState p;
+  const rfd::DampingParams params = rfd::DampingParams::cisco();
+  const double lambda = params.lambda();
+  std::int64_t t = 0;
+  for (auto _ : state) {
+    t += 1'000'000;
+    p.add(1000.0, sim::SimTime::from_micros(t), lambda, params.ceiling());
+    benchmark::DoNotOptimize(p.at(sim::SimTime::from_micros(t), lambda));
+  }
+}
+BENCHMARK(BM_PenaltyDecay);
+
+void BM_MeshWarmupConvergence(benchmark::State& state) {
+  const int side = static_cast<int>(state.range(0));
+  for (auto _ : state) {
+    const net::Graph g = net::make_mesh_torus(side, side);
+    bgp::TimingConfig cfg;
+    bgp::ShortestPathPolicy policy;
+    sim::Engine engine;
+    sim::Rng rng(1);
+    bgp::BgpNetwork network(g, cfg, policy, engine, rng);
+    network.router(0).originate(0);
+    engine.run();
+    benchmark::DoNotOptimize(network.all_reachable(0));
+  }
+}
+BENCHMARK(BM_MeshWarmupConvergence)->Arg(5)->Arg(10)->Unit(benchmark::kMillisecond);
+
+void BM_SingleFlapExperiment(benchmark::State& state) {
+  for (auto _ : state) {
+    core::ExperimentConfig cfg;
+    cfg.topology.width = 5;
+    cfg.topology.height = 5;
+    cfg.pulses = 1;
+    const auto res = core::run_experiment(cfg);
+    benchmark::DoNotOptimize(res.message_count);
+  }
+}
+BENCHMARK(BM_SingleFlapExperiment)->Unit(benchmark::kMillisecond);
+
+}  // namespace

@@ -1,0 +1,137 @@
+// make_figures — regenerates the paper's headline figures as gnuplot
+// artifacts: .dat/.gp files per figure, ready for `gnuplot <name>.gp`.
+//
+//   $ mkdir -p figures && ./make_figures --dir figures [--seeds 3]
+//   $ (cd figures && for f in *.gp; do gnuplot $f; done)
+
+#include <iostream>
+
+#include "core/cli.hpp"
+#include "core/experiment.hpp"
+#include "core/gnuplot.hpp"
+#include "core/report.hpp"
+#include "core/sweep.hpp"
+#include "stats/penalty_curve.hpp"
+
+int main(int argc, char** argv) {
+  using namespace rfdnet;
+
+  core::ArgParser flags({"help"}, {"dir", "seeds"});
+  if (!flags.parse(argc, argv)) {
+    std::cerr << flags.error() << "\n";
+    return 2;
+  }
+  if (flags.has("help")) {
+    std::cout << "usage: make_figures [--dir DIR] [--seeds N]\n";
+    return 0;
+  }
+  const std::string dir = flags.get("dir", ".");
+  const int seeds = flags.get_int("seeds", 3);
+  constexpr int kMaxPulses = 10;
+
+  core::ExperimentConfig mesh;
+  mesh.topology.kind = core::TopologySpec::Kind::kMeshTorus;
+  mesh.topology.width = 10;
+  mesh.topology.height = 10;
+  mesh.seed = 1;
+  core::ExperimentConfig nodamp = mesh;
+  nodamp.damping.reset();
+  core::ExperimentConfig inet = mesh;
+  inet.topology.kind = core::TopologySpec::Kind::kInternetLike;
+  core::ExperimentConfig rcn = mesh;
+  rcn.rcn = true;
+
+  std::cout << "running sweeps (" << seeds << " seed(s) each)...\n";
+  const auto s_nodamp = core::run_pulse_sweep_median(nodamp, kMaxPulses, seeds);
+  const auto s_mesh = core::run_pulse_sweep_median(mesh, kMaxPulses, seeds);
+  const auto s_inet = core::run_pulse_sweep_median(inet, kMaxPulses, seeds);
+  const auto s_rcn = core::run_pulse_sweep_median(rcn, kMaxPulses, seeds);
+
+  const auto conv_points = [](const core::SweepResult& s) {
+    std::vector<std::pair<double, double>> out;
+    for (const auto& p : s.points) out.emplace_back(p.pulses, p.convergence_s);
+    return out;
+  };
+  const auto msg_points = [](const core::SweepResult& s) {
+    std::vector<std::pair<double, double>> out;
+    for (const auto& p : s.points) {
+      out.emplace_back(p.pulses, static_cast<double>(p.messages));
+    }
+    return out;
+  };
+  const auto calc_points = [](const core::SweepResult& s) {
+    std::vector<std::pair<double, double>> out;
+    for (const auto& p : s.points) {
+      out.emplace_back(p.pulses, p.intended_convergence_s);
+    }
+    return out;
+  };
+
+  {
+    core::GnuplotFigure fig("fig08_convergence", "Convergence Time (Fig. 8)",
+                            "number of pulses", "convergence time (s)");
+    fig.add_series("no damping (mesh)", conv_points(s_nodamp));
+    fig.add_series("full damping (mesh)", conv_points(s_mesh));
+    fig.add_series("full damping (internet)", conv_points(s_inet));
+    fig.add_series("calculation", calc_points(s_mesh));
+    fig.write(dir);
+  }
+  {
+    core::GnuplotFigure fig("fig09_messages", "Message Count (Fig. 9)",
+                            "number of pulses", "number of updates");
+    fig.add_series("no damping (mesh)", msg_points(s_nodamp));
+    fig.add_series("full damping (mesh)", msg_points(s_mesh));
+    fig.add_series("full damping (internet)", msg_points(s_inet));
+    fig.write(dir);
+  }
+  {
+    core::GnuplotFigure fig("fig13_rcn", "Convergence with RCN (Fig. 13)",
+                            "number of pulses", "convergence time (s)");
+    fig.add_series("no damping", conv_points(s_nodamp));
+    fig.add_series("full damping", conv_points(s_mesh));
+    fig.add_series("damping + RCN", conv_points(s_rcn));
+    fig.add_series("calculation", calc_points(s_rcn));
+    fig.write(dir);
+  }
+  {
+    core::GnuplotFigure fig("fig14_rcn_messages", "Messages with RCN (Fig. 14)",
+                            "number of pulses", "number of updates");
+    fig.add_series("no damping", msg_points(s_nodamp));
+    fig.add_series("full damping", msg_points(s_mesh));
+    fig.add_series("damping + RCN", msg_points(s_rcn));
+    fig.write(dir);
+  }
+
+  // Fig. 7: penalty trace at the 7-hop probe after a single flap, and
+  // Fig. 10-style series for n = 1.
+  {
+    core::ExperimentConfig one = mesh;
+    one.pulses = 1;
+    const auto res = core::run_experiment(one);
+    const auto curve = stats::sample_penalty_curve(
+        res.penalty_trace, one.damping->lambda(), 30.0,
+        res.last_activity_s + 300.0, 50.0);
+    core::GnuplotFigure fig("fig07_penalty", "Penalty at 7-hop router (Fig. 7)",
+                            "time (s)", "penalty");
+    fig.add_series("penalty", core::thin_series(curve, 400));
+    fig.add_series("cut-off", {{0.0, 2000.0}, {curve.back().first, 2000.0}});
+    fig.add_series("reuse", {{0.0, 750.0}, {curve.back().first, 750.0}});
+    fig.write(dir);
+
+    std::vector<std::pair<double, double>> damped;
+    for (const auto& [t, v] : res.damped_links.steps()) {
+      damped.emplace_back(t, static_cast<double>(v));
+    }
+    core::GnuplotFigure dl("fig10d_damped_links",
+                           "Links being suppressed, n=1 (Fig. 10d)", "time (s)",
+                           "damped links");
+    dl.set_steps(true);
+    dl.add_series("damped links", damped);
+    dl.write(dir);
+  }
+
+  std::cout << "wrote fig07/fig08/fig09/fig10d/fig13/fig14 .dat/.gp into '"
+            << dir << "'\nrender with: (cd " << dir
+            << " && for f in *.gp; do gnuplot $f; done)\n";
+  return 0;
+}

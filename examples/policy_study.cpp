@@ -1,0 +1,75 @@
+// Policy study (§7): how the no-valley (Gao–Rexford) routing policy changes
+// damping dynamics on an Internet-derived topology — fewer alternate paths
+// mean less path exploration, fewer false suppressions, and weaker
+// secondary charging.
+//
+//   $ ./policy_study [nodes] [seed]
+
+#include <cstdlib>
+#include <iostream>
+
+#include "core/experiment.hpp"
+#include "core/intended.hpp"
+#include "core/report.hpp"
+#include "net/topology.hpp"
+
+int main(int argc, char** argv) {
+  using namespace rfdnet;
+
+  const int nodes = argc > 1 ? std::atoi(argv[1]) : 208;
+  const std::uint64_t seed = argc > 2 ? std::strtoull(argv[2], nullptr, 10) : 1;
+
+  std::cout << "rfdnet policy study: " << nodes
+            << "-node Internet-derived topology, seed " << seed << "\n\n";
+
+  // Show what the topology looks like first.
+  {
+    sim::Rng rng(seed);
+    const net::Graph g = net::make_internet_like(nodes, rng);
+    std::size_t max_deg = 0, deg1 = 0, peer_links = 0;
+    for (net::NodeId u = 0; u < g.node_count(); ++u) {
+      max_deg = std::max(max_deg, g.degree(u));
+      deg1 += g.degree(u) == 1;
+      for (const auto& e : g.neighbors(u)) {
+        peer_links += e.rel == net::Relationship::kPeer;
+      }
+    }
+    std::cout << "topology: " << g.link_count() << " links, max degree "
+              << max_deg << ", " << deg1 << " stub ASes, " << peer_links / 2
+              << " peer-peer links\n\n";
+  }
+
+  core::TextTable t({"pulses", "no policy (s)", "no-valley (s)",
+                     "intended (s)", "suppressions no-policy",
+                     "suppressions no-valley"});
+  for (int pulses = 1; pulses <= 8; ++pulses) {
+    core::ExperimentConfig cfg;
+    cfg.topology.kind = core::TopologySpec::Kind::kInternetLike;
+    cfg.topology.nodes = nodes;
+    cfg.pulses = pulses;
+    cfg.seed = seed;
+
+    cfg.policy = core::PolicyKind::kShortestPath;
+    const auto plain = core::run_experiment(cfg);
+    cfg.policy = core::PolicyKind::kNoValley;
+    const auto novalley = core::run_experiment(cfg);
+
+    const core::IntendedBehaviorModel model(*cfg.damping);
+    const double intended = model.intended_convergence_s(
+        core::FlapPattern{pulses, cfg.flap_interval_s}, plain.warmup_tup_s);
+
+    t.add_row({core::TextTable::num(pulses),
+               core::TextTable::num(plain.convergence_time_s, 0),
+               core::TextTable::num(novalley.convergence_time_s, 0),
+               core::TextTable::num(intended, 0),
+               core::TextTable::num(plain.suppress_events),
+               core::TextTable::num(novalley.suppress_events)});
+  }
+  t.print(std::cout);
+
+  std::cout << "\nThe policy prunes the alternate paths exploration feeds "
+               "on, so fewer entries\nare falsely suppressed and convergence "
+               "moves toward the intended curve —\nbut it does not eliminate "
+               "the effect (the paper's §7 observation).\n";
+  return 0;
+}

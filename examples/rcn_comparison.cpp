@@ -1,0 +1,68 @@
+// RCN comparison: the paper's headline fix, side by side with plain damping
+// and no damping on the same workload — the scenario a network operator
+// cares about: "my customer's link flapped twice; when do my users get
+// their routes back?"
+//
+//   $ ./rcn_comparison [width height]
+
+#include <cstdlib>
+#include <iostream>
+
+#include "core/experiment.hpp"
+#include "core/intended.hpp"
+#include "core/report.hpp"
+
+int main(int argc, char** argv) {
+  using namespace rfdnet;
+
+  const int width = argc > 2 ? std::atoi(argv[1]) : 10;
+  const int height = argc > 2 ? std::atoi(argv[2]) : 10;
+
+  std::cout << "rfdnet RCN comparison on a " << width << "x" << height
+            << " mesh (Cisco defaults, 60 s flap interval)\n\n";
+
+  for (const int pulses : {1, 2, 3, 5, 8}) {
+    core::ExperimentConfig base;
+    base.topology.kind = core::TopologySpec::Kind::kMeshTorus;
+    base.topology.width = width;
+    base.topology.height = height;
+    base.pulses = pulses;
+    base.seed = 1;
+
+    core::ExperimentConfig none = base;
+    none.damping.reset();
+    core::ExperimentConfig rcn = base;
+    rcn.rcn = true;
+
+    const auto r_none = core::run_experiment(none);
+    const auto r_damp = core::run_experiment(base);
+    const auto r_rcn = core::run_experiment(rcn);
+
+    const core::IntendedBehaviorModel model(*base.damping);
+    const double intended = model.intended_convergence_s(
+        core::FlapPattern{pulses, base.flap_interval_s}, r_damp.warmup_tup_s);
+
+    std::cout << "-- " << pulses << " pulse(s); intended convergence "
+              << core::TextTable::num(intended, 0) << " s --\n";
+    core::TextTable t({"variant", "convergence (s)", "messages",
+                       "suppressions", "noisy/silent reuses"});
+    const auto row = [&t](const char* name, const core::ExperimentResult& r) {
+      t.add_row({name, core::TextTable::num(r.convergence_time_s, 0),
+                 core::TextTable::num(r.message_count),
+                 core::TextTable::num(r.suppress_events),
+                 core::TextTable::num(r.noisy_reuses) + "/" +
+                     core::TextTable::num(r.silent_reuses)});
+    };
+    row("no damping", r_none);
+    row("plain damping", r_damp);
+    row("damping + RCN", r_rcn);
+    t.print(std::cout);
+    std::cout << "\n";
+  }
+
+  std::cout << "Reading guide: plain damping overshoots the intended "
+               "convergence badly for small\npulse counts (false suppression "
+               "+ reuse-timer interaction); RCN tracks it across\nthe board "
+               "while still suppressing persistent flapping.\n";
+  return 0;
+}

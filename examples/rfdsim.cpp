@@ -1,0 +1,224 @@
+// rfdsim — command-line front end for the whole library: run any damping
+// experiment from flags, optionally on a topology loaded from a file, and
+// emit human-readable or CSV output.
+//
+//   $ ./rfdsim --topology mesh --width 10 --height 10 --pulses 3
+//   $ ./rfdsim --topology internet --nodes 208 --policy no-valley --rcn
+//   $ ./rfdsim --topology-file my.topo --pulses 5 --params juniper --csv
+//   $ ./rfdsim --help
+
+#include <cstdint>
+#include <cstdlib>
+#include <fstream>
+#include <iostream>
+#include <string>
+
+#include "core/cli.hpp"
+#include "core/experiment.hpp"
+#include "core/export.hpp"
+#include "core/intended.hpp"
+#include "core/report.hpp"
+#include "net/topology_io.hpp"
+#include "stats/phase.hpp"
+
+namespace {
+
+using namespace rfdnet;
+
+void usage() {
+  std::cout <<
+      R"(rfdsim — BGP route flap damping simulator (rfdnet)
+
+topology:
+  --topology KIND     mesh | internet | line | ring | clique | random (default mesh)
+  --width N --height N   mesh dimensions (default 10x10)
+  --nodes N           node count for non-mesh kinds (default 100)
+  --topology-file F   load a topology file instead (see net/topology_io.hpp)
+
+workload:
+  --pulses N          number of withdraw+announce pulses (default 1)
+  --interval S        flap interval in seconds (default 60)
+
+damping:
+  --params P          cisco | juniper | none (default cisco)
+  --rcn               enable Root Cause Notification enhanced damping
+  --deployment F      fraction of routers running damping (default 1.0)
+  --granularity S     reuse-timer granularity in seconds (default 0 = exact)
+
+protocol:
+  --policy P          shortest-path | no-valley (default shortest-path)
+  --mrai S            MRAI in seconds (default 30)
+
+misc:
+  --seed N            RNG seed (default 1)
+  --isp N             attach the flapping origin to node N (default random)
+  --csv               one CSV line instead of the report
+  --json              full result as JSON instead of the report
+  --series            also print the update series and damped-link series
+  --help
+)";
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  core::ArgParser flags(
+      {"rcn", "csv", "json", "series", "help"},
+      {"topology", "width", "height", "nodes", "topology-file", "pulses",
+       "interval", "params", "deployment", "granularity", "policy", "mrai",
+       "seed", "isp"});
+  if (!flags.parse(argc, argv)) {
+    std::cerr << flags.error() << "\n";
+    return 2;
+  }
+  if (flags.has("help")) {
+    usage();
+    return 0;
+  }
+  const auto get = [&flags](const std::string& key, const std::string& dflt) {
+    return flags.get(key, dflt);
+  };
+
+  core::ExperimentConfig cfg;
+
+  const std::string topo = get("topology", "mesh");
+  if (topo == "mesh") {
+    cfg.topology.kind = core::TopologySpec::Kind::kMeshTorus;
+  } else if (topo == "internet") {
+    cfg.topology.kind = core::TopologySpec::Kind::kInternetLike;
+  } else if (topo == "line") {
+    cfg.topology.kind = core::TopologySpec::Kind::kLine;
+  } else if (topo == "ring") {
+    cfg.topology.kind = core::TopologySpec::Kind::kRing;
+  } else if (topo == "clique") {
+    cfg.topology.kind = core::TopologySpec::Kind::kClique;
+  } else if (topo == "random") {
+    cfg.topology.kind = core::TopologySpec::Kind::kRandom;
+  } else {
+    std::cerr << "unknown topology kind: " << topo << "\n";
+    return 2;
+  }
+  cfg.topology.width = std::atoi(get("width", "10").c_str());
+  cfg.topology.height = std::atoi(get("height", "10").c_str());
+  cfg.topology.nodes = std::atoi(get("nodes", "100").c_str());
+
+  cfg.pulses = std::atoi(get("pulses", "1").c_str());
+  cfg.flap_interval_s = std::atof(get("interval", "60").c_str());
+
+  const std::string params = get("params", "cisco");
+  if (params == "cisco") {
+    cfg.damping = rfd::DampingParams::cisco();
+  } else if (params == "juniper") {
+    cfg.damping = rfd::DampingParams::juniper();
+  } else if (params == "none") {
+    cfg.damping.reset();
+  } else {
+    std::cerr << "unknown damping params: " << params << "\n";
+    return 2;
+  }
+  if (cfg.damping) {
+    cfg.damping->reuse_granularity_s =
+        std::atof(get("granularity", "0").c_str());
+  }
+  cfg.rcn = flags.has("rcn");
+  cfg.deployment = std::atof(get("deployment", "1.0").c_str());
+
+  const std::string policy = get("policy", "shortest-path");
+  if (policy == "no-valley") {
+    cfg.policy = core::PolicyKind::kNoValley;
+  } else if (policy != "shortest-path") {
+    std::cerr << "unknown policy: " << policy << "\n";
+    return 2;
+  }
+  cfg.timing.mrai_s = std::atof(get("mrai", "30").c_str());
+  cfg.seed = std::strtoull(get("seed", "1").c_str(), nullptr, 10);
+  if (flags.has("isp")) {
+    cfg.isp = static_cast<net::NodeId>(flags.get_int("isp", 0));
+  }
+
+  if (flags.has("topology-file")) {
+    std::ifstream in(flags.get("topology-file"));
+    if (!in) {
+      std::cerr << "cannot open " << flags.get("topology-file") << "\n";
+      return 2;
+    }
+    try {
+      cfg.topology_graph = net::read_topology(in);
+    } catch (const std::exception& e) {
+      std::cerr << "topology file error: " << e.what() << "\n";
+      return 2;
+    }
+  }
+
+  core::ExperimentResult res;
+  try {
+    res = core::run_experiment(cfg);
+  } catch (const std::exception& e) {
+    std::cerr << "error: " << e.what() << "\n";
+    return 1;
+  }
+
+  double intended = res.warmup_tup_s;
+  if (cfg.damping) {
+    const core::IntendedBehaviorModel model(*cfg.damping);
+    intended = model.intended_convergence_s(
+        core::FlapPattern{cfg.pulses, cfg.flap_interval_s}, res.warmup_tup_s);
+  }
+
+  if (flags.has("json")) {
+    core::write_result_json(std::cout, res);
+    return 0;
+  }
+  const std::string topo_label = cfg.topology_graph
+                                     ? "file:" + flags.get("topology-file")
+                                     : cfg.topology.to_string();
+  if (flags.has("csv")) {
+    std::cout << "topology,pulses,policy,rcn,convergence_s,intended_s,"
+                 "messages,suppressions,noisy_reuses,silent_reuses,"
+                 "max_penalty\n";
+    std::cout << topo_label << ',' << cfg.pulses << ','
+              << core::to_string(cfg.policy) << ',' << (cfg.rcn ? 1 : 0) << ','
+              << res.convergence_time_s << ',' << intended << ','
+              << res.message_count << ',' << res.suppress_events << ','
+              << res.noisy_reuses << ',' << res.silent_reuses << ','
+              << res.max_penalty << "\n";
+    return 0;
+  }
+
+  std::cout << "rfdsim: " << topo_label << ", " << cfg.pulses
+            << " pulse(s), " << core::to_string(cfg.policy) << " policy"
+            << (cfg.rcn ? ", RCN" : "") << ", seed " << cfg.seed << "\n\n";
+  core::TextTable t({"metric", "value"});
+  t.add_row({"convergence time (s)",
+             core::TextTable::num(res.convergence_time_s, 1)});
+  t.add_row({"intended convergence (s)", core::TextTable::num(intended, 1)});
+  t.add_row({"messages", core::TextTable::num(res.message_count)});
+  t.add_row({"suppress events", core::TextTable::num(res.suppress_events)});
+  t.add_row({"noisy / silent reuses",
+             core::TextTable::num(res.noisy_reuses) + " / " +
+                 core::TextTable::num(res.silent_reuses)});
+  t.add_row({"max penalty", core::TextTable::num(res.max_penalty, 0)});
+  t.add_row({"t_up (warm-up)", core::TextTable::num(res.warmup_tup_s, 1)});
+  t.print(std::cout);
+
+  std::cout << "\nphases:\n";
+  for (const auto& ph : res.phases) {
+    std::cout << "  " << stats::to_string(ph.kind) << " ["
+              << core::TextTable::num(ph.t0_s, 0) << ", "
+              << core::TextTable::num(ph.t1_s, 0) << ")\n";
+  }
+
+  if (flags.has("series")) {
+    std::vector<std::pair<double, double>> ups;
+    for (const auto& [t0, c] : res.update_series.nonzero()) {
+      ups.emplace_back(t0, static_cast<double>(c));
+    }
+    core::print_series(std::cout, "updates per bin", core::thin_series(ups, 60));
+    std::vector<std::pair<double, double>> damped;
+    for (const auto& [t0, v] : res.damped_links.steps()) {
+      damped.emplace_back(t0, static_cast<double>(v));
+    }
+    core::print_series(std::cout, "damped links", core::thin_series(damped, 60));
+  }
+  return 0;
+}

@@ -1,0 +1,18 @@
+#!/usr/bin/env bash
+# Full verification pass: configure, build, run every test, every benchmark
+# and the reproduction scorecard. Exits non-zero on any failure.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+cmake -B build -G Ninja
+cmake --build build
+
+ctest --test-dir build --output-on-failure
+
+for b in build/bench/*; do
+  echo "===== $(basename "$b") ====="
+  "$b"
+  echo
+done
+
+echo "all checks passed"

@@ -1,0 +1,29 @@
+#include "bgp/as_path.hpp"
+
+#include <algorithm>
+
+namespace rfdnet::bgp {
+
+AsPath AsPath::prepended(net::NodeId as) const {
+  std::vector<net::NodeId> hops;
+  hops.reserve(hops_.size() + 1);
+  hops.push_back(as);
+  hops.insert(hops.end(), hops_.begin(), hops_.end());
+  return AsPath(std::move(hops));
+}
+
+bool AsPath::contains(net::NodeId as) const {
+  return std::find(hops_.begin(), hops_.end(), as) != hops_.end();
+}
+
+std::string AsPath::to_string() const {
+  std::string s = "[";
+  for (std::size_t i = 0; i < hops_.size(); ++i) {
+    if (i) s += ' ';
+    s += std::to_string(hops_[i]);
+  }
+  s += ']';
+  return s;
+}
+
+}  // namespace rfdnet::bgp

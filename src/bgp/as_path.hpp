@@ -1,0 +1,42 @@
+#pragma once
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+#include "net/types.hpp"
+
+namespace rfdnet::bgp {
+
+/// BGP AS_PATH: the sequence of ASes an announcement has traversed.
+/// `front()` is the most recent sender (the neighbor the route was learned
+/// from after prepending); `back()` is the origin AS. Used for loop
+/// detection and as the length tie-breaker in route selection.
+class AsPath {
+ public:
+  AsPath() = default;
+
+  /// Path containing only the origin AS.
+  static AsPath origin(net::NodeId as) { return AsPath({as}); }
+
+  /// This path with `as` prepended (as done when a route is announced to an
+  /// external peer).
+  AsPath prepended(net::NodeId as) const;
+
+  bool contains(net::NodeId as) const;
+  std::size_t length() const { return hops_.size(); }
+  bool empty() const { return hops_.empty(); }
+  net::NodeId front() const { return hops_.front(); }
+  net::NodeId origin_as() const { return hops_.back(); }
+  const std::vector<net::NodeId>& hops() const { return hops_; }
+
+  friend bool operator==(const AsPath&, const AsPath&) = default;
+
+  std::string to_string() const;
+
+ private:
+  explicit AsPath(std::vector<net::NodeId> hops) : hops_(std::move(hops)) {}
+  std::vector<net::NodeId> hops_;
+};
+
+}  // namespace rfdnet::bgp

@@ -1,0 +1,42 @@
+#pragma once
+
+#include <optional>
+
+#include "bgp/message.hpp"
+#include "bgp/prefix.hpp"
+#include "bgp/route.hpp"
+#include "net/types.hpp"
+
+namespace rfdnet::bgp {
+
+/// Interface the router uses to consult route flap damping. Implemented by
+/// `rfd::DampingModule`; routers without damping simply have no hook.
+///
+/// The contract mirrors RFC 2439 / Fig. 2 of the paper: damping state lives
+/// per RIB-IN entry (peer, prefix); every received update updates the
+/// penalty; a suppressed entry keeps receiving updates but is excluded from
+/// the decision process.
+class DampingHook {
+ public:
+  virtual ~DampingHook() = default;
+
+  /// Called for every received update *before* the RIB-IN entry is
+  /// overwritten. `previous_route` is the entry's route prior to this update
+  /// (nullopt when withdrawn/never announced), which the implementation
+  /// needs to classify the update (withdrawal / re-announcement / attribute
+  /// change / duplicate). `loop_denied` marks an announcement that AS-path
+  /// loop detection rejected (delivered here as an implicit withdrawal):
+  /// inbound filtering denies such routes before damping, so they are
+  /// penalty-free by default.
+  virtual void on_update(int peer_slot, const UpdateMessage& msg,
+                         const std::optional<Route>& previous_route,
+                         bool loop_denied) = 0;
+
+  /// Whether the entry (peer_slot, p) is currently suppressed.
+  virtual bool suppressed(int peer_slot, Prefix p) const = 0;
+
+  /// Drops all damping state (used between warm-up and measurement).
+  virtual void reset() = 0;
+};
+
+}  // namespace rfdnet::bgp

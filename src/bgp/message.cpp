@@ -1,0 +1,28 @@
+#include "bgp/message.hpp"
+
+namespace rfdnet::bgp {
+
+std::string to_string(UpdateKind k) {
+  return k == UpdateKind::kAnnouncement ? "A" : "W";
+}
+
+std::string to_string(RelPref p) {
+  switch (p) {
+    case RelPref::kBetter:
+      return "better";
+    case RelPref::kEqual:
+      return "equal";
+    case RelPref::kWorse:
+      return "worse";
+  }
+  return "?";
+}
+
+std::string UpdateMessage::to_string() const {
+  std::string s = bgp::to_string(kind) + " p" + std::to_string(prefix);
+  if (route) s += " " + route->to_string();
+  if (rc) s += " rc=" + rc->to_string();
+  return s;
+}
+
+}  // namespace rfdnet::bgp

@@ -1,0 +1,61 @@
+#pragma once
+
+#include <optional>
+#include <string>
+
+#include "bgp/prefix.hpp"
+#include "bgp/route.hpp"
+#include "rcn/root_cause.hpp"
+
+namespace rfdnet::bgp {
+
+enum class UpdateKind : std::uint8_t {
+  kAnnouncement,
+  kWithdrawal,
+};
+
+std::string to_string(UpdateKind k);
+
+/// Relative preference of an announcement versus the sender's previous
+/// announcement to the same peer — the extra attribute of *selective route
+/// flap damping* (Mao et al., SIGCOMM 2002; discussed in §6 of the paper).
+/// A degrading (kWorse) sequence is the signature of path exploration.
+enum class RelPref : std::uint8_t {
+  kBetter,
+  kEqual,
+  kWorse,
+};
+
+std::string to_string(RelPref p);
+
+/// One BGP UPDATE for one prefix. Announcements carry a route; withdrawals
+/// do not. The optional root cause is the RCN attribute of paper §6; plain
+/// BGP updates simply leave it empty.
+struct UpdateMessage {
+  Prefix prefix = 0;
+  UpdateKind kind = UpdateKind::kAnnouncement;
+  std::optional<Route> route;         ///< set iff kind == kAnnouncement
+  std::optional<rcn::RootCause> rc;   ///< RCN attribute, if deployed
+  /// Selective-damping attribute: how this announcement ranks against the
+  /// sender's previous announcement on this session (routers always attach
+  /// it; only selective damping consults it).
+  std::optional<RelPref> rel_pref;
+
+  static UpdateMessage announce(Prefix p, Route r,
+                                std::optional<rcn::RootCause> rc = {}) {
+    return UpdateMessage{p, UpdateKind::kAnnouncement, std::move(r),
+                         std::move(rc), std::nullopt};
+  }
+  static UpdateMessage withdraw(Prefix p,
+                                std::optional<rcn::RootCause> rc = {}) {
+    return UpdateMessage{p, UpdateKind::kWithdrawal, std::nullopt,
+                         std::move(rc), std::nullopt};
+  }
+
+  bool is_announcement() const { return kind == UpdateKind::kAnnouncement; }
+  bool is_withdrawal() const { return kind == UpdateKind::kWithdrawal; }
+
+  std::string to_string() const;
+};
+
+}  // namespace rfdnet::bgp

@@ -1,0 +1,119 @@
+#include "bgp/network.hpp"
+
+#include <stdexcept>
+
+namespace rfdnet::bgp {
+
+BgpNetwork::BgpNetwork(const net::Graph& graph, const TimingConfig& cfg,
+                       const Policy& policy, sim::Engine& engine,
+                       sim::Rng& rng, Observer* observer)
+    : graph_(graph), engine_(engine), rng_(rng), cfg_(cfg), observer_(observer) {
+  cfg.validate();
+  routers_.reserve(graph.node_count());
+  for (net::NodeId u = 0; u < graph.node_count(); ++u) {
+    std::vector<BgpRouter::PeerInfo> peers;
+    peers.reserve(graph.degree(u));
+    for (const auto& e : graph.neighbors(u)) {
+      peers.push_back(BgpRouter::PeerInfo{e.neighbor, e.rel});
+    }
+    routers_.push_back(std::make_unique<BgpRouter>(
+        u, std::move(peers), cfg, policy, engine, rng,
+        [this](net::NodeId from, net::NodeId to, const UpdateMessage& msg) {
+          transmit(from, to, msg);
+        },
+        observer));
+  }
+}
+
+void BgpNetwork::transmit(net::NodeId from, net::NodeId to,
+                          const UpdateMessage& msg) {
+  const auto state_it = link_state_.find(undirected_key(from, to));
+  const std::uint64_t epoch =
+      state_it == link_state_.end() ? 0 : state_it->second.epoch;
+  if (state_it != link_state_.end() && !state_it->second.up) {
+    ++dropped_;
+    if (observer_) observer_->on_drop(from, to, msg, engine_.now());
+    return;
+  }
+
+  const double link_delay = graph_.endpoint(from, to).delay_s;
+  const double proc = rng_.uniform(cfg_.proc_delay_min_s, cfg_.proc_delay_max_s);
+  sim::SimTime when = engine_.now() + sim::Duration::seconds(link_delay + proc);
+  // BGP runs over TCP: a later update must never overtake an earlier one on
+  // the same session, or a reordered withdrawal would leave a permanently
+  // stale route behind.
+  const std::uint64_t key = (static_cast<std::uint64_t>(from) << 32) | to;
+  sim::SimTime& clear = link_clear_[key];
+  if (when < clear) when = clear;
+  clear = when + sim::Duration::micros(1);
+  // Copy the message into the event: the sender's buffer may be reused. A
+  // message from an earlier session incarnation is lost if the link flapped
+  // while it was in flight.
+  engine_.schedule_at(when, [this, from, to, msg, epoch] {
+    const auto it = link_state_.find(undirected_key(from, to));
+    const bool alive =
+        it == link_state_.end() || (it->second.up && it->second.epoch == epoch);
+    if (!alive) {
+      ++dropped_;
+      if (observer_) observer_->on_drop(from, to, msg, engine_.now());
+      return;
+    }
+    ++delivered_;
+    routers_[to]->deliver(from, msg);
+  });
+}
+
+void BgpNetwork::set_link(net::NodeId u, net::NodeId v, bool up) {
+  if (!graph_.has_link(u, v)) {
+    throw std::invalid_argument("BgpNetwork: no such link");
+  }
+  LinkState& state = link_state_[undirected_key(u, v)];
+  if (state.up == up) return;
+  state.up = up;
+  ++state.epoch;
+
+  // Each endpoint detects the change on its own side and tags the updates
+  // it emits with a root cause for its direction of the link (§6.1).
+  const auto rc_for = [this, up](net::NodeId self, net::NodeId other) {
+    const std::uint64_t key =
+        (static_cast<std::uint64_t>(self) << 32) | other;
+    auto [it, inserted] =
+        rc_sources_.try_emplace(key, rcn::RootCauseSource{self, other});
+    return it->second.next(up);
+  };
+  BgpRouter& ru = *routers_[u];
+  BgpRouter& rv = *routers_[v];
+  const int slot_uv = ru.peer_slot(v);
+  const int slot_vu = rv.peer_slot(u);
+  if (up) {
+    ru.session_up(slot_uv, rc_for(u, v));
+    rv.session_up(slot_vu, rc_for(v, u));
+  } else {
+    ru.session_down(slot_uv, rc_for(u, v));
+    rv.session_down(slot_vu, rc_for(v, u));
+  }
+}
+
+bool BgpNetwork::link_is_up(net::NodeId u, net::NodeId v) const {
+  if (!graph_.has_link(u, v)) {
+    throw std::invalid_argument("BgpNetwork: no such link");
+  }
+  const auto it = link_state_.find(undirected_key(u, v));
+  return it == link_state_.end() || it->second.up;
+}
+
+bool BgpNetwork::all_reachable(Prefix p) const {
+  for (const auto& r : routers_) {
+    if (!r->best(p)) return false;
+  }
+  return true;
+}
+
+bool BgpNetwork::none_reachable(Prefix p) const {
+  for (const auto& r : routers_) {
+    if (r->best(p)) return false;
+  }
+  return true;
+}
+
+}  // namespace rfdnet::bgp

@@ -1,0 +1,84 @@
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <unordered_map>
+#include <utility>
+#include <vector>
+
+#include "bgp/config.hpp"
+#include "bgp/observer.hpp"
+#include "bgp/policy.hpp"
+#include "bgp/router.hpp"
+#include "net/graph.hpp"
+#include "rcn/root_cause.hpp"
+#include "sim/engine.hpp"
+#include "sim/random.hpp"
+
+namespace rfdnet::bgp {
+
+/// A network of BGP routers wired per a `net::Graph`: one router per node,
+/// one session per link. Transport delivers each update after the link's
+/// propagation delay plus a uniform processing delay at the receiver — the
+/// SSFNet-style timing model whose asynchrony drives path exploration.
+class BgpNetwork {
+ public:
+  /// `graph`, `cfg`, `policy`, `engine` and `rng` must outlive the network.
+  BgpNetwork(const net::Graph& graph, const TimingConfig& cfg,
+             const Policy& policy, sim::Engine& engine, sim::Rng& rng,
+             Observer* observer = nullptr);
+
+  BgpRouter& router(net::NodeId id) { return *routers_.at(id); }
+  const BgpRouter& router(net::NodeId id) const { return *routers_.at(id); }
+  std::size_t size() const { return routers_.size(); }
+  const net::Graph& graph() const { return graph_; }
+
+  /// Total updates delivered so far (each hop counts once).
+  std::uint64_t delivered_count() const { return delivered_; }
+  /// Updates lost to link failures.
+  std::uint64_t dropped_count() const { return dropped_; }
+
+  /// Sets the state of link {u, v}. Downing a link tears down the BGP
+  /// session at both ends (routes learned over it become unfeasible;
+  /// updates in flight are lost); upping re-establishes the session and the
+  /// endpoints re-advertise their best routes. Each endpoint tags the
+  /// updates it triggers with a fresh root cause for its direction of the
+  /// link. No-op if the link is already in the requested state.
+  void set_link(net::NodeId u, net::NodeId v, bool up);
+  bool link_is_up(net::NodeId u, net::NodeId v) const;
+
+  /// True when every router's Loc-RIB holds a route for `p`.
+  bool all_reachable(Prefix p) const;
+  /// True when no router has a route for `p`.
+  bool none_reachable(Prefix p) const;
+
+ private:
+  void transmit(net::NodeId from, net::NodeId to, const UpdateMessage& msg);
+  static std::uint64_t undirected_key(net::NodeId u, net::NodeId v) {
+    if (u > v) std::swap(u, v);
+    return (static_cast<std::uint64_t>(u) << 32) | v;
+  }
+
+  const net::Graph& graph_;
+  sim::Engine& engine_;
+  sim::Rng& rng_;
+  const TimingConfig& cfg_;
+  Observer* observer_ = nullptr;
+  std::vector<std::unique_ptr<BgpRouter>> routers_;
+  // BGP sessions run over TCP: deliveries on a directed link must be FIFO.
+  // Tracks the earliest time the next message on each link may arrive.
+  std::unordered_map<std::uint64_t, sim::SimTime> link_clear_;
+  // Link failure state, keyed by the normalized (undirected) link key:
+  // epoch counts up/down transitions so in-flight messages from an earlier
+  // session incarnation are discarded on delivery.
+  struct LinkState {
+    bool up = true;
+    std::uint64_t epoch = 0;
+  };
+  std::unordered_map<std::uint64_t, LinkState> link_state_;
+  std::unordered_map<std::uint64_t, rcn::RootCauseSource> rc_sources_;
+  std::uint64_t delivered_ = 0;
+  std::uint64_t dropped_ = 0;
+};
+
+}  // namespace rfdnet::bgp

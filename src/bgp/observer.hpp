@@ -1,0 +1,74 @@
+#pragma once
+
+#include <optional>
+
+#include "bgp/message.hpp"
+#include "bgp/prefix.hpp"
+#include "bgp/route.hpp"
+#include "net/types.hpp"
+#include "sim/time.hpp"
+
+namespace rfdnet::bgp {
+
+/// Observation hooks for everything the paper measures. All methods have
+/// empty defaults so observers implement only what they need. `stats`
+/// provides a recording implementation; the hooks are defined here (in the
+/// bgp layer) because routers and damping modules are the emitters.
+class Observer {
+ public:
+  virtual ~Observer() = default;
+
+  /// An update was put on the wire from `from` to `to`.
+  virtual void on_send(net::NodeId from, net::NodeId to,
+                       const UpdateMessage& msg, sim::SimTime t) {
+    (void)from, (void)to, (void)msg, (void)t;
+  }
+
+  /// An update arrived at `to` and is being processed.
+  virtual void on_deliver(net::NodeId from, net::NodeId to,
+                          const UpdateMessage& msg, sim::SimTime t) {
+    (void)from, (void)to, (void)msg, (void)t;
+  }
+
+  /// An update was lost because its link/session went down in flight.
+  virtual void on_drop(net::NodeId from, net::NodeId to,
+                       const UpdateMessage& msg, sim::SimTime t) {
+    (void)from, (void)to, (void)msg, (void)t;
+  }
+
+  /// A router's pending-output set changed: `delta` is +1 when an update is
+  /// held back (MRAI) and -1 when it is sent or superseded into a no-op.
+  /// Together with send/deliver this gives the exact "updates in transit or
+  /// waiting to be sent" condition in the paper's phase definitions (§4.1).
+  virtual void on_pending_change(net::NodeId node, int delta, sim::SimTime t) {
+    (void)node, (void)delta, (void)t;
+  }
+
+  /// A router's best route (Loc-RIB entry) for `p` changed.
+  virtual void on_best_change(net::NodeId node, Prefix p,
+                              const std::optional<Route>& best,
+                              sim::SimTime t) {
+    (void)node, (void)p, (void)best, (void)t;
+  }
+
+  /// Damping penalty at `node` for the RIB-IN entry (peer, p) changed.
+  virtual void on_penalty(net::NodeId node, net::NodeId peer, Prefix p,
+                          double penalty, sim::SimTime t) {
+    (void)node, (void)peer, (void)p, (void)penalty, (void)t;
+  }
+
+  /// `node` started suppressing the entry (peer, p).
+  virtual void on_suppress(net::NodeId node, net::NodeId peer, Prefix p,
+                           double penalty, sim::SimTime t) {
+    (void)node, (void)peer, (void)p, (void)penalty, (void)t;
+  }
+
+  /// The reuse timer for (peer, p) fired at `node`. `noisy` is true when the
+  /// reuse changed the router's best route (paper §4.2's noisy/silent).
+  virtual void on_reuse(net::NodeId node, net::NodeId peer, Prefix p,
+                        bool noisy, sim::SimTime t) {
+    (void)node, (void)peer, (void)p, (void)noisy, (void)t;
+  }
+};
+
+}  // namespace rfdnet::bgp

@@ -1,0 +1,16 @@
+#include "bgp/policy.hpp"
+
+namespace rfdnet::bgp {
+
+bool Policy::better(const Candidate& a, const Candidate& b) const {
+  if (a.self_originated != b.self_originated) return a.self_originated;
+  if (a.route->local_pref != b.route->local_pref) {
+    return a.route->local_pref > b.route->local_pref;
+  }
+  if (a.route->path.length() != b.route->path.length()) {
+    return a.route->path.length() < b.route->path.length();
+  }
+  return a.from < b.from;
+}
+
+}  // namespace rfdnet::bgp

@@ -1,0 +1,78 @@
+#pragma once
+
+#include <optional>
+
+#include "bgp/route.hpp"
+#include "net/types.hpp"
+
+namespace rfdnet::bgp {
+
+/// A route considered by the decision process, with where it came from.
+struct Candidate {
+  const Route* route = nullptr;
+  net::NodeId from = net::kInvalidNode;  ///< neighbor, or self if originated
+  bool self_originated = false;
+};
+
+/// Routing policy: import preference, export rules, and route ranking.
+///
+/// The paper evaluates two policies (§5.1 uses shortest-path; §7 uses
+/// no-valley). Policies are stateless and shared across routers.
+class Policy {
+ public:
+  virtual ~Policy() = default;
+
+  /// Local preference assigned when importing a route from a neighbor with
+  /// relationship `from_rel` (what the neighbor is to me).
+  virtual int import_pref(net::Relationship from_rel) const = 0;
+
+  /// Whether a route learned from `from_rel` (nullopt = self-originated) may
+  /// be announced to a neighbor that is `to_rel` to me.
+  virtual bool can_export(std::optional<net::Relationship> from_rel,
+                          net::Relationship to_rel) const = 0;
+
+  /// True if `a` ranks strictly above `b`. The default order is the BGP
+  /// decision process restricted to what the simulator models:
+  /// self-originated first, then higher local_pref, then shorter AS path,
+  /// then lowest neighbor id (deterministic tie-break).
+  virtual bool better(const Candidate& a, const Candidate& b) const;
+};
+
+/// Shortest AS path everywhere; everything is exported to everyone.
+/// This is the paper's default ("shortest path routing policy", §7).
+class ShortestPathPolicy final : public Policy {
+ public:
+  int import_pref(net::Relationship) const override { return 100; }
+  bool can_export(std::optional<net::Relationship>,
+                  net::Relationship) const override {
+    return true;
+  }
+};
+
+/// No-valley / Gao–Rexford policy (§7): prefer customer routes over peer
+/// routes over provider routes; routes learned from a peer or provider are
+/// exported only to customers, so nobody transits traffic for third parties.
+class NoValleyPolicy final : public Policy {
+ public:
+  int import_pref(net::Relationship from_rel) const override {
+    switch (from_rel) {
+      case net::Relationship::kCustomer:
+        return 200;
+      case net::Relationship::kPeer:
+        return 150;
+      case net::Relationship::kProvider:
+        return 100;
+    }
+    return 100;  // unreachable
+  }
+
+  bool can_export(std::optional<net::Relationship> from_rel,
+                  net::Relationship to_rel) const override {
+    // Own routes and customer routes go to everyone; peer/provider routes go
+    // only to customers.
+    if (!from_rel || *from_rel == net::Relationship::kCustomer) return true;
+    return to_rel == net::Relationship::kCustomer;
+  }
+};
+
+}  // namespace rfdnet::bgp

@@ -1,0 +1,11 @@
+#pragma once
+
+#include <cstdint>
+
+namespace rfdnet::bgp {
+
+/// A destination prefix. The simulator does not model address bits; prefixes
+/// are opaque identifiers, which is all BGP route selection and damping need.
+using Prefix = std::uint32_t;
+
+}  // namespace rfdnet::bgp

@@ -1,0 +1,23 @@
+#pragma once
+
+#include <string>
+
+#include "bgp/as_path.hpp"
+
+namespace rfdnet::bgp {
+
+/// The route attributes the simulator models: AS path plus the local
+/// preference assigned by the import policy. Two announcements whose `Route`
+/// differs are an "attributes change" for damping purposes (RFC 2439).
+struct Route {
+  AsPath path;
+  int local_pref = 100;
+
+  friend bool operator==(const Route&, const Route&) = default;
+
+  std::string to_string() const {
+    return path.to_string() + " lp=" + std::to_string(local_pref);
+  }
+};
+
+}  // namespace rfdnet::bgp

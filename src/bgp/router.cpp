@@ -1,0 +1,321 @@
+#include "bgp/router.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+#include <utility>
+#include <vector>
+
+namespace rfdnet::bgp {
+
+namespace {
+/// Local preference carried on the wire. Not transitive across eBGP: the
+/// receiver overwrites it with its own import preference, so announcements
+/// are emitted with this fixed placeholder to keep duplicate detection
+/// meaningful.
+constexpr int kWirePref = 100;
+}  // namespace
+
+BgpRouter::BgpRouter(net::NodeId id, std::vector<PeerInfo> peers,
+                     const TimingConfig& cfg, const Policy& policy,
+                     sim::Engine& engine, sim::Rng& rng, SendFn send,
+                     Observer* observer)
+    : id_(id),
+      peers_(std::move(peers)),
+      cfg_(cfg),
+      policy_(policy),
+      engine_(engine),
+      rng_(rng),
+      send_(std::move(send)),
+      observer_(observer) {
+  if (!send_) throw std::invalid_argument("BgpRouter: empty send function");
+  for (int s = 0; s < static_cast<int>(peers_.size()); ++s) {
+    if (peers_[s].id == id_) {
+      throw std::invalid_argument("BgpRouter: cannot peer with self");
+    }
+    if (!slot_of_.emplace(peers_[s].id, s).second) {
+      throw std::invalid_argument("BgpRouter: duplicate peer");
+    }
+  }
+}
+
+int BgpRouter::peer_slot(net::NodeId neighbor) const {
+  const auto it = slot_of_.find(neighbor);
+  return it == slot_of_.end() ? -1 : it->second;
+}
+
+BgpRouter::RibInEntry& BgpRouter::rib_in(int slot, Prefix p) {
+  auto& v = rib_in_[p];
+  if (v.empty()) v.resize(peers_.size());
+  return v.at(slot);
+}
+
+const BgpRouter::RibInEntry* BgpRouter::find_rib_in(int slot, Prefix p) const {
+  const auto it = rib_in_.find(p);
+  if (it == rib_in_.end() || it->second.empty()) return nullptr;
+  return &it->second.at(slot);
+}
+
+BgpRouter::OutEntry& BgpRouter::out_entry(int slot, Prefix p) {
+  auto& v = out_[p];
+  if (v.empty()) v.resize(peers_.size());
+  return v.at(slot);
+}
+
+void BgpRouter::originate(Prefix p, std::optional<rcn::RootCause> rc) {
+  originated_.insert(p);
+  process(p, rc);
+}
+
+void BgpRouter::withdraw_origin(Prefix p, std::optional<rcn::RootCause> rc) {
+  originated_.erase(p);
+  process(p, rc);
+}
+
+void BgpRouter::deliver(net::NodeId from, const UpdateMessage& msg) {
+  const int slot = peer_slot(from);
+  if (slot < 0) throw std::logic_error("BgpRouter: update from non-peer");
+  if (observer_) observer_->on_deliver(from, id_, msg, engine_.now());
+
+  // Import processing: AS-path loop detection turns the announcement into an
+  // implicit withdrawal; surviving announcements get this router's import
+  // preference.
+  UpdateMessage eff = msg;
+  bool loop_denied = false;
+  if (eff.is_announcement() && eff.route->path.contains(id_)) {
+    eff = UpdateMessage::withdraw(msg.prefix, msg.rc);
+    loop_denied = true;
+  }
+  if (eff.is_announcement()) {
+    eff.route->local_pref = policy_.import_pref(peers_[slot].rel);
+  }
+
+  RibInEntry& entry = rib_in(slot, eff.prefix);
+  // Damping sees every received update, classified against the entry's
+  // previous contents (RFC 2439; paper Fig. 2).
+  if (damper_) damper_->on_update(slot, eff, entry.route, loop_denied);
+  entry.route = eff.route;
+  entry.rc = eff.rc;
+
+  process(eff.prefix, eff.rc);
+}
+
+void BgpRouter::session_down(int slot, std::optional<rcn::RootCause> rc) {
+  if (slot < 0 || slot >= static_cast<int>(peers_.size())) {
+    throw std::invalid_argument("BgpRouter: bad peer slot");
+  }
+  // All routes learned on the session become unfeasible. Damping sees them
+  // as withdrawals (RFC 2439 keeps damping state across session resets).
+  std::vector<Prefix> affected;
+  for (auto& [p, entries] : rib_in_) {
+    if (entries.empty()) continue;
+    RibInEntry& e = entries.at(slot);
+    if (!e.route) continue;
+    const UpdateMessage implicit = UpdateMessage::withdraw(p, rc);
+    if (damper_) damper_->on_update(slot, implicit, e.route, false);
+    e.route.reset();
+    e.rc = rc;
+    affected.push_back(p);
+  }
+  std::sort(affected.begin(), affected.end());
+
+  // The peer has lost everything we ever advertised: reset RIB-OUT state
+  // and any pending/rate-limit machinery for the session.
+  for (auto& [p, entries] : out_) {
+    if (entries.empty()) continue;
+    OutEntry& oe = entries.at(slot);
+    if (oe.mrai_event != sim::kInvalidEvent) {
+      engine_.cancel(oe.mrai_event);
+      oe.mrai_event = sim::kInvalidEvent;
+    }
+    clear_pending(oe);
+    oe.last_sent.reset();
+    oe.mrai_ready = sim::SimTime::zero();
+  }
+
+  for (const Prefix p : affected) process(p, rc);
+}
+
+void BgpRouter::session_up(int slot, std::optional<rcn::RootCause> rc) {
+  if (slot < 0 || slot >= static_cast<int>(peers_.size())) {
+    throw std::invalid_argument("BgpRouter: bad peer slot");
+  }
+  // Session (re-)establishment: advertise the current best routes afresh.
+  std::vector<Prefix> prefixes;
+  for (const auto& [p, loc] : loc_rib_) {
+    if (loc.best) prefixes.push_back(p);
+  }
+  std::sort(prefixes.begin(), prefixes.end());
+  for (const Prefix p : prefixes) {
+    enqueue(slot, p, desired_for(slot, p), rc);
+  }
+}
+
+bool BgpRouter::on_reuse(int slot, Prefix p) {
+  // The reused entry's stored RC rides on whatever updates the reuse
+  // triggers (§6.2: reuse announcements carry an already-seen root cause).
+  const RibInEntry* entry = find_rib_in(slot, p);
+  const std::optional<rcn::RootCause> rc =
+      entry ? entry->rc : std::optional<rcn::RootCause>{};
+  return process(p, rc);
+}
+
+bool BgpRouter::process(Prefix p, const std::optional<rcn::RootCause>& rc) {
+  // Phase 1 of the decision process: pick the best usable candidate.
+  Route self_route;
+  Candidate best{};
+  bool have = false;
+  int best_slot = kNoneSlot;
+  if (originated_.contains(p)) {
+    self_route = Route{AsPath::origin(id_), kWirePref};
+    best = Candidate{&self_route, id_, true};
+    best_slot = kSelfSlot;
+    have = true;
+  }
+  if (const auto it = rib_in_.find(p);
+      it != rib_in_.end() && !it->second.empty()) {
+    for (int s = 0; s < static_cast<int>(peers_.size()); ++s) {
+      const RibInEntry& e = it->second[s];
+      if (!e.route) continue;
+      if (damper_ && damper_->suppressed(s, p)) continue;
+      const Candidate c{&*e.route, peers_[s].id, false};
+      if (!have || policy_.better(c, best)) {
+        best = c;
+        best_slot = s;
+        have = true;
+      }
+    }
+  }
+
+  LocRibEntry& loc = loc_rib_[p];
+  const std::optional<Route> new_best =
+      have ? std::optional<Route>(*best.route) : std::nullopt;
+  const bool changed = (new_best != loc.best);
+  const bool origin_changed = (best_slot != loc.from_slot);
+  loc.best = new_best;
+  loc.from_slot = best_slot;
+  if (changed && observer_) {
+    observer_->on_best_change(id_, p, loc.best, engine_.now());
+  }
+  if (!changed && !origin_changed) return false;
+
+  // Phase 3: recompute the desired RIB-OUT state for every peer; the
+  // enqueue/flush machinery suppresses no-ops and applies MRAI pacing.
+  for (int s = 0; s < static_cast<int>(peers_.size()); ++s) {
+    enqueue(s, p, desired_for(s, p), rc);
+  }
+  return changed;
+}
+
+std::optional<Route> BgpRouter::desired_for(int slot, Prefix p) const {
+  const auto it = loc_rib_.find(p);
+  if (it == loc_rib_.end() || !it->second.best) return std::nullopt;
+  const LocRibEntry& loc = it->second;
+  if (!cfg_.advertise_to_sender && slot == loc.from_slot) return std::nullopt;
+  const std::optional<net::Relationship> from_rel =
+      (loc.from_slot >= 0) ? std::optional(peers_[loc.from_slot].rel)
+                           : std::nullopt;
+  if (!policy_.can_export(from_rel, peers_[slot].rel)) return std::nullopt;
+  // Learned routes get this AS prepended; a self-originated path already
+  // starts (and ends) with it.
+  AsPath exported = (loc.from_slot == kSelfSlot)
+                        ? loc.best->path
+                        : loc.best->path.prepended(id_);
+  if (cfg_.sender_side_loop_check && exported.contains(peers_[slot].id)) {
+    return std::nullopt;  // the peer would deny it anyway
+  }
+  return Route{std::move(exported), kWirePref};
+}
+
+void BgpRouter::clear_pending(OutEntry& oe) {
+  if (oe.has_pending) {
+    oe.has_pending = false;
+    oe.pending.reset();
+    oe.pending_rc.reset();
+    if (observer_) observer_->on_pending_change(id_, -1, engine_.now());
+  }
+}
+
+void BgpRouter::enqueue(int slot, Prefix p, std::optional<Route> desired,
+                        const std::optional<rcn::RootCause>& rc) {
+  OutEntry& oe = out_entry(slot, p);
+  if (desired == oe.last_sent) {
+    // Converged back to what the peer already has: drop any pending update.
+    clear_pending(oe);
+    return;
+  }
+  if (!oe.has_pending) {
+    oe.has_pending = true;
+    if (observer_) observer_->on_pending_change(id_, +1, engine_.now());
+  }
+  oe.pending = std::move(desired);
+  oe.pending_rc = rc;
+  try_flush(slot, p);
+}
+
+void BgpRouter::try_flush(int slot, Prefix p) {
+  OutEntry& oe = out_entry(slot, p);
+  if (!oe.has_pending) return;
+  const bool is_withdrawal = !oe.pending.has_value();
+  const bool rate_limited =
+      cfg_.mrai_s > 0 && (!is_withdrawal || cfg_.mrai_on_withdrawals);
+  const sim::SimTime now = engine_.now();
+  if (rate_limited && now < oe.mrai_ready) {
+    if (oe.mrai_event == sim::kInvalidEvent) {
+      oe.mrai_event = engine_.schedule_at(oe.mrai_ready, [this, slot, p] {
+        out_entry(slot, p).mrai_event = sim::kInvalidEvent;
+        try_flush(slot, p);
+      });
+    }
+    return;
+  }
+
+  UpdateMessage msg =
+      is_withdrawal ? UpdateMessage::withdraw(p, oe.pending_rc)
+                    : UpdateMessage::announce(p, *oe.pending, oe.pending_rc);
+  if (!is_withdrawal) {
+    // Selective-damping attribute: rank against what this peer last heard
+    // from us. With identical wire preferences the AS-path length is the
+    // deciding attribute, so it is the comparison basis here too.
+    if (!oe.last_sent) {
+      msg.rel_pref = RelPref::kBetter;  // route appeared
+    } else if (oe.pending->path.length() < oe.last_sent->path.length()) {
+      msg.rel_pref = RelPref::kBetter;
+    } else if (oe.pending->path.length() > oe.last_sent->path.length()) {
+      msg.rel_pref = RelPref::kWorse;
+    } else {
+      msg.rel_pref = RelPref::kEqual;
+    }
+  }
+  oe.last_sent = std::move(oe.pending);
+  oe.pending.reset();
+  oe.pending_rc.reset();
+  oe.has_pending = false;
+  if (observer_) observer_->on_pending_change(id_, -1, now);
+
+  if (rate_limited) {
+    const double jitter =
+        rng_.uniform(cfg_.mrai_jitter_min, cfg_.mrai_jitter_max);
+    oe.mrai_ready = now + sim::Duration::seconds(cfg_.mrai_s * jitter);
+  }
+
+  ++sent_;
+  if (observer_) observer_->on_send(id_, peers_[slot].id, msg, now);
+  send_(id_, peers_[slot].id, msg);
+}
+
+std::optional<Route> BgpRouter::best(Prefix p) const {
+  const auto it = loc_rib_.find(p);
+  return it == loc_rib_.end() ? std::nullopt : it->second.best;
+}
+
+int BgpRouter::best_slot(Prefix p) const {
+  const auto it = loc_rib_.find(p);
+  return it == loc_rib_.end() ? kNoneSlot : it->second.from_slot;
+}
+
+std::optional<Route> BgpRouter::rib_in_route(int slot, Prefix p) const {
+  const RibInEntry* e = find_rib_in(slot, p);
+  return e ? e->route : std::nullopt;
+}
+
+}  // namespace rfdnet::bgp

@@ -1,0 +1,151 @@
+#pragma once
+
+#include <functional>
+#include <optional>
+#include <unordered_map>
+#include <unordered_set>
+#include <vector>
+
+#include "bgp/config.hpp"
+#include "bgp/damping_hook.hpp"
+#include "bgp/message.hpp"
+#include "bgp/observer.hpp"
+#include "bgp/policy.hpp"
+#include "bgp/prefix.hpp"
+#include "net/types.hpp"
+#include "rcn/root_cause.hpp"
+#include "sim/engine.hpp"
+#include "sim/random.hpp"
+
+namespace rfdnet::bgp {
+
+/// One BGP speaker (one AS, per Fig. 1/2 of the paper).
+///
+/// Implements the RIB-IN / Loc-RIB / RIB-OUT pipeline: receives updates,
+/// consults the damping hook, runs the decision process under a `Policy`,
+/// and emits updates to peers subject to export rules and per-(peer, prefix)
+/// MRAI pacing. Message transport (delay, delivery) is delegated to the
+/// owner via `SendFn` so the router is unit-testable in isolation.
+class BgpRouter {
+ public:
+  struct PeerInfo {
+    net::NodeId id = net::kInvalidNode;
+    net::Relationship rel = net::Relationship::kPeer;
+  };
+
+  /// Puts `msg` on the wire toward peer `to`. Provided by the network layer.
+  using SendFn =
+      std::function<void(net::NodeId from, net::NodeId to, const UpdateMessage&)>;
+
+  BgpRouter(net::NodeId id, std::vector<PeerInfo> peers,
+            const TimingConfig& cfg, const Policy& policy, sim::Engine& engine,
+            sim::Rng& rng, SendFn send, Observer* observer = nullptr);
+
+  net::NodeId id() const { return id_; }
+  int peer_count() const { return static_cast<int>(peers_.size()); }
+  const PeerInfo& peer(int slot) const { return peers_.at(slot); }
+  /// Slot index for a neighbor id, or -1.
+  int peer_slot(net::NodeId neighbor) const;
+
+  /// Attaches (or detaches, with nullptr) the damping hook. Not owned.
+  void set_damping(DampingHook* hook) { damper_ = hook; }
+  DampingHook* damping() const { return damper_; }
+
+  /// Originates `p` locally and announces it (subject to policy/MRAI).
+  void originate(Prefix p, std::optional<rcn::RootCause> rc = {});
+  /// Stops originating `p` and withdraws it.
+  void withdraw_origin(Prefix p, std::optional<rcn::RootCause> rc = {});
+  bool originates(Prefix p) const { return originated_.contains(p); }
+
+  /// Processes an update that has arrived from neighbor `from` (called by
+  /// the network layer at delivery time, after propagation + processing
+  /// delay).
+  void deliver(net::NodeId from, const UpdateMessage& msg);
+
+  /// The BGP session to peer `slot` went down (link failure): all routes
+  /// learned on it become unfeasible (implicit withdrawals, visible to the
+  /// damping hook), and the RIB-OUT state for the peer is discarded — the
+  /// peer no longer has anything from us. `rc` tags the updates this change
+  /// triggers (RCN).
+  void session_down(int slot, std::optional<rcn::RootCause> rc = {});
+
+  /// The session to peer `slot` came (back) up: the current best routes are
+  /// advertised to it afresh, as in a BGP session establishment.
+  void session_up(int slot, std::optional<rcn::RootCause> rc = {});
+
+  /// Called by the damping module when the reuse timer for (slot, p) fires
+  /// and the entry becomes eligible again. Returns true if the reuse changed
+  /// this router's best route — a "noisy" reuse in the paper's terms.
+  bool on_reuse(int slot, Prefix p);
+
+  /// Current best route for `p` (Loc-RIB), if any.
+  std::optional<Route> best(Prefix p) const;
+  /// Slot the best route was learned from (-1 = self-originated or none).
+  int best_slot(Prefix p) const;
+  /// Route currently stored in RIB-IN for (slot, p), if any.
+  std::optional<Route> rib_in_route(int slot, Prefix p) const;
+  /// Number of updates this router has put on the wire.
+  std::uint64_t sent_count() const { return sent_; }
+
+ private:
+  static constexpr int kSelfSlot = -1;
+  static constexpr int kNoneSlot = -2;
+
+  struct RibInEntry {
+    std::optional<Route> route;
+    std::optional<rcn::RootCause> rc;  ///< RC of the last update received
+  };
+
+  struct LocRibEntry {
+    std::optional<Route> best;
+    int from_slot = kNoneSlot;
+  };
+
+  struct OutEntry {
+    std::optional<Route> last_sent;  ///< nullopt: withdrawn / never announced
+    std::optional<Route> pending;    ///< desired state while has_pending
+    std::optional<rcn::RootCause> pending_rc;
+    bool has_pending = false;
+    sim::SimTime mrai_ready;         ///< earliest next rate-limited send
+    sim::EventId mrai_event = sim::kInvalidEvent;
+  };
+
+  RibInEntry& rib_in(int slot, Prefix p);
+  const RibInEntry* find_rib_in(int slot, Prefix p) const;
+  OutEntry& out_entry(int slot, Prefix p);
+
+  /// What peer `slot` should currently be hearing from us for `p` (export
+  /// policy, sender-side filtering), or nullopt for "withdrawn/nothing".
+  std::optional<Route> desired_for(int slot, Prefix p) const;
+
+  /// Recomputes the best route for `p`, updates Loc-RIB, and enqueues the
+  /// resulting updates toward every peer. `trigger_rc` is copied into those
+  /// updates (RCN propagation rule, §6.1). Returns true if Loc-RIB changed.
+  bool process(Prefix p, const std::optional<rcn::RootCause>& trigger_rc);
+
+  void enqueue(int slot, Prefix p, std::optional<Route> desired,
+               const std::optional<rcn::RootCause>& rc);
+  void try_flush(int slot, Prefix p);
+  void clear_pending(OutEntry& oe);
+
+  net::NodeId id_;
+  std::vector<PeerInfo> peers_;
+  std::unordered_map<net::NodeId, int> slot_of_;
+  const TimingConfig& cfg_;
+  const Policy& policy_;
+  sim::Engine& engine_;
+  sim::Rng& rng_;
+  SendFn send_;
+  Observer* observer_;
+  DampingHook* damper_ = nullptr;
+
+  std::unordered_set<Prefix> originated_;
+  // rib_in_[p] is indexed by peer slot.
+  std::unordered_map<Prefix, std::vector<RibInEntry>> rib_in_;
+  std::unordered_map<Prefix, LocRibEntry> loc_rib_;
+  // out_[p] is indexed by peer slot.
+  std::unordered_map<Prefix, std::vector<OutEntry>> out_;
+  std::uint64_t sent_ = 0;
+};
+
+}  // namespace rfdnet::bgp

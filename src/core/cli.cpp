@@ -1,0 +1,74 @@
+#include "core/cli.hpp"
+
+#include <cstdlib>
+#include <stdexcept>
+
+namespace rfdnet::core {
+
+ArgParser::ArgParser(std::set<std::string> boolean_flags,
+                     std::set<std::string> value_flags)
+    : boolean_(std::move(boolean_flags)), valued_(std::move(value_flags)) {
+  for (const auto& f : boolean_) {
+    if (valued_.contains(f)) {
+      throw std::invalid_argument("ArgParser: flag registered twice: " + f);
+    }
+  }
+}
+
+bool ArgParser::parse(const std::vector<std::string>& args) {
+  values_.clear();
+  error_.clear();
+  for (std::size_t i = 0; i < args.size(); ++i) {
+    const std::string& arg = args[i];
+    if (arg.rfind("--", 0) != 0 || arg.size() <= 2) {
+      error_ = "unexpected argument: " + arg;
+      return false;
+    }
+    const std::string name = arg.substr(2);
+    if (boolean_.contains(name)) {
+      values_[name] = "1";
+    } else if (valued_.contains(name)) {
+      if (i + 1 >= args.size()) {
+        error_ = "missing value for --" + name;
+        return false;
+      }
+      values_[name] = args[++i];
+    } else {
+      error_ = "unknown flag: --" + name;
+      return false;
+    }
+  }
+  return true;
+}
+
+bool ArgParser::parse(int argc, const char* const* argv) {
+  std::vector<std::string> args;
+  args.reserve(static_cast<std::size_t>(argc > 0 ? argc - 1 : 0));
+  for (int i = 1; i < argc; ++i) args.emplace_back(argv[i]);
+  return parse(args);
+}
+
+std::string ArgParser::get(const std::string& flag,
+                           const std::string& dflt) const {
+  const auto it = values_.find(flag);
+  return it == values_.end() ? dflt : it->second;
+}
+
+double ArgParser::get_double(const std::string& flag, double dflt) const {
+  const auto it = values_.find(flag);
+  return it == values_.end() ? dflt : std::atof(it->second.c_str());
+}
+
+int ArgParser::get_int(const std::string& flag, int dflt) const {
+  const auto it = values_.find(flag);
+  return it == values_.end() ? dflt : std::atoi(it->second.c_str());
+}
+
+std::uint64_t ArgParser::get_u64(const std::string& flag,
+                                 std::uint64_t dflt) const {
+  const auto it = values_.find(flag);
+  return it == values_.end() ? dflt
+                             : std::strtoull(it->second.c_str(), nullptr, 10);
+}
+
+}  // namespace rfdnet::core

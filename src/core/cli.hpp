@@ -1,0 +1,43 @@
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <set>
+#include <string>
+#include <vector>
+
+namespace rfdnet::core {
+
+/// Minimal `--flag [value]` command-line parser used by the example tools.
+/// Flags registered as boolean take no value; everything else consumes the
+/// next argument. Unknown flags are errors — a typo should not silently run
+/// a 208-node simulation with defaults.
+class ArgParser {
+ public:
+  /// `boolean_flags` and `value_flags` enumerate what is accepted (without
+  /// the leading dashes).
+  ArgParser(std::set<std::string> boolean_flags,
+            std::set<std::string> value_flags);
+
+  /// Parses argv (skipping argv[0]). Returns false and sets `error()` on
+  /// malformed input.
+  bool parse(int argc, const char* const* argv);
+  bool parse(const std::vector<std::string>& args);
+
+  const std::string& error() const { return error_; }
+
+  bool has(const std::string& flag) const { return values_.contains(flag); }
+  /// Value of a flag, or `dflt` when absent.
+  std::string get(const std::string& flag, const std::string& dflt = "") const;
+  double get_double(const std::string& flag, double dflt) const;
+  int get_int(const std::string& flag, int dflt) const;
+  std::uint64_t get_u64(const std::string& flag, std::uint64_t dflt) const;
+
+ private:
+  std::set<std::string> boolean_;
+  std::set<std::string> valued_;
+  std::map<std::string, std::string> values_;
+  std::string error_;
+};
+
+}  // namespace rfdnet::core

@@ -1,0 +1,333 @@
+#include "core/experiment.hpp"
+
+#include <algorithm>
+#include <memory>
+#include <stdexcept>
+
+#include "bgp/network.hpp"
+#include "bgp/policy.hpp"
+#include "rcn/root_cause.hpp"
+#include "rfd/damping.hpp"
+#include "sim/engine.hpp"
+#include "stats/recorder.hpp"
+
+namespace rfdnet::core {
+
+std::string to_string(PolicyKind k) {
+  return k == PolicyKind::kShortestPath ? "shortest-path" : "no-valley";
+}
+
+net::Graph TopologySpec::build(sim::Rng& rng) const {
+  switch (kind) {
+    case Kind::kMeshTorus:
+      return net::make_mesh_torus(width, height, link_delay_s);
+    case Kind::kInternetLike: {
+      net::InternetOptions opt = internet;
+      opt.delay_s = link_delay_s;
+      return net::make_internet_like(nodes, rng, opt);
+    }
+    case Kind::kLine:
+      return net::make_line(nodes, link_delay_s);
+    case Kind::kRing:
+      return net::make_ring(nodes, link_delay_s);
+    case Kind::kClique:
+      return net::make_clique(nodes, link_delay_s);
+    case Kind::kRandom:
+      return net::make_random(nodes, edge_prob, rng, link_delay_s);
+  }
+  throw std::logic_error("TopologySpec: unknown kind");
+}
+
+std::string TopologySpec::to_string() const {
+  switch (kind) {
+    case Kind::kMeshTorus:
+      return "mesh-torus " + std::to_string(width) + "x" +
+             std::to_string(height);
+    case Kind::kInternetLike:
+      return "internet-like n=" + std::to_string(nodes);
+    case Kind::kLine:
+      return "line n=" + std::to_string(nodes);
+    case Kind::kRing:
+      return "ring n=" + std::to_string(nodes);
+    case Kind::kClique:
+      return "clique n=" + std::to_string(nodes);
+    case Kind::kRandom:
+      return "random n=" + std::to_string(nodes);
+  }
+  return "?";
+}
+
+namespace {
+
+constexpr bgp::Prefix kPrefix = 0;
+
+std::unique_ptr<bgp::Policy> make_policy(PolicyKind kind) {
+  if (kind == PolicyKind::kNoValley) {
+    return std::make_unique<bgp::NoValleyPolicy>();
+  }
+  return std::make_unique<bgp::ShortestPathPolicy>();
+}
+
+}  // namespace
+
+ExperimentResult run_experiment(const ExperimentConfig& cfg) {
+  if (cfg.pulses < 0) throw std::invalid_argument("experiment: pulses < 0");
+  if (cfg.flap_interval_s <= 0) {
+    throw std::invalid_argument("experiment: flap interval <= 0");
+  }
+  if (cfg.deployment < 0 || cfg.deployment > 1) {
+    throw std::invalid_argument("experiment: deployment out of [0,1]");
+  }
+  if (cfg.rcn && cfg.selective) {
+    throw std::invalid_argument("experiment: rcn and selective are exclusive");
+  }
+  if (cfg.alt_fraction < 0 || cfg.alt_fraction > 1) {
+    throw std::invalid_argument("experiment: alt_fraction out of [0,1]");
+  }
+  if (cfg.alt_fraction > 0 && !cfg.damping_alt) {
+    throw std::invalid_argument("experiment: alt_fraction needs damping_alt");
+  }
+  if (cfg.damping) cfg.damping->validate();
+  if (cfg.damping_alt) cfg.damping_alt->validate();
+  cfg.timing.validate();
+
+  sim::Rng rng(cfg.seed);
+  sim::Rng topo_rng = rng.split();
+  sim::Rng deploy_rng = rng.split();
+
+  // Topology: the base graph plus the origin AS attached to ispAS (Fig. 1).
+  net::Graph graph =
+      cfg.topology_graph ? *cfg.topology_graph : cfg.topology.build(topo_rng);
+  if (graph.node_count() < 2 || !graph.connected()) {
+    throw std::invalid_argument("experiment: topology must be connected");
+  }
+  const auto base_nodes = static_cast<net::NodeId>(graph.node_count());
+  const net::NodeId isp =
+      cfg.isp ? *cfg.isp
+              : static_cast<net::NodeId>(rng.uniform_index(base_nodes));
+  if (isp >= base_nodes) throw std::invalid_argument("experiment: bad isp id");
+  const net::NodeId origin = graph.add_node();
+  graph.add_link(origin, isp, cfg.topology.link_delay_s,
+                 net::Relationship::kProvider);  // isp provides for origin
+
+  const auto policy = make_policy(cfg.policy);
+  sim::Engine engine;
+  stats::Recorder recorder(cfg.bin_width_s);
+
+  // Probe: a router `probe_distance` hops from the origin (Fig. 7 uses 7),
+  // capped at the graph's reach; deterministic pick (smallest id).
+  const auto dist = net::bfs_distances(graph, origin);
+  std::size_t max_d = 0;
+  for (net::NodeId u = 0; u < graph.node_count(); ++u) {
+    if (dist[u] != SIZE_MAX) max_d = std::max(max_d, dist[u]);
+  }
+  const std::size_t want_d = std::min(cfg.probe_distance, max_d);
+  net::NodeId probe = isp;
+  for (net::NodeId u = 0; u < graph.node_count(); ++u) {
+    if (dist[u] == want_d) {
+      probe = u;
+      break;
+    }
+  }
+  recorder.probe_penalty(probe);
+  recorder.record_all_penalties(cfg.record_all_penalties);
+  recorder.record_update_log(cfg.record_update_log);
+
+  bgp::BgpNetwork network(graph, cfg.timing, *policy, engine, rng, &recorder);
+
+  // Damping deployment. Modules are owned here; routers hold raw hooks.
+  std::vector<std::unique_ptr<rfd::DampingModule>> dampers;
+  if (cfg.damping) {
+    for (net::NodeId u = 0; u < graph.node_count(); ++u) {
+      if (cfg.deployment < 1.0 && !deploy_rng.bernoulli(cfg.deployment)) {
+        continue;
+      }
+      bgp::BgpRouter& r = network.router(u);
+      std::vector<net::NodeId> peer_ids;
+      peer_ids.reserve(static_cast<std::size_t>(r.peer_count()));
+      for (int s = 0; s < r.peer_count(); ++s) peer_ids.push_back(r.peer(s).id);
+      const rfd::DampingParams& params =
+          (cfg.damping_alt && deploy_rng.bernoulli(cfg.alt_fraction))
+              ? *cfg.damping_alt
+              : *cfg.damping;
+      auto mod = std::make_unique<rfd::DampingModule>(
+          u, std::move(peer_ids), params, engine,
+          [&r](int slot, bgp::Prefix p) { return r.on_reuse(slot, p); },
+          &recorder);
+      if (cfg.rcn) mod->enable_rcn();
+      if (cfg.selective) mod->enable_selective();
+      r.set_damping(mod.get());
+      dampers.push_back(std::move(mod));
+    }
+  }
+
+  ExperimentResult res;
+  res.origin = origin;
+  res.isp = isp;
+  res.probe = probe;
+  res.probe_hops = want_d;
+
+  // --- Warm-up: every node learns a stable route to the origin (§5.1). ---
+  network.router(origin).originate(kPrefix);
+  engine.run(sim::SimTime::from_seconds(cfg.max_sim_s));
+  if (!network.all_reachable(kPrefix)) {
+    throw std::runtime_error("experiment: warm-up did not converge");
+  }
+  res.warmup_tup_s = recorder.last_delivery_s().value_or(0.0);
+
+  // Clean slate for the measured phase: warm-up path exploration must not
+  // leave penalties behind.
+  for (auto& d : dampers) d->reset();
+  recorder.reset();
+
+  // --- Flap workload (Fig. 1): n pulses of withdraw + re-announce. ---
+  const sim::SimTime t0 = engine.now();
+  if (cfg.freeze_penalties_after_s) {
+    const sim::SimTime deadline =
+        t0 + sim::Duration::seconds(*cfg.freeze_penalties_after_s);
+    for (auto& d : dampers) d->set_charge_deadline(deadline);
+  }
+  const double base_s = t0.as_seconds();
+  rcn::RootCauseSource rc_source(origin, isp);
+  bgp::BgpRouter& origin_router = network.router(origin);
+  net::NodeId flap_u = origin, flap_v = isp;
+  if (cfg.flap_link) {
+    flap_u = cfg.flap_link->first;
+    flap_v = cfg.flap_link->second;
+    if (!graph.has_link(flap_u, flap_v)) {
+      throw std::invalid_argument("experiment: flap_link does not exist");
+    }
+  }
+  // Build the (possibly jittered) flap schedule: alternating W/A instants.
+  if (cfg.flap_jitter < 0 || cfg.flap_jitter >= 1) {
+    throw std::invalid_argument("experiment: flap_jitter out of [0, 1)");
+  }
+  double event_t = 0.0;
+  for (int k = 0; k < 2 * cfg.pulses; ++k) {
+    if (k > 0) {
+      double gap = cfg.flap_interval_s;
+      if (cfg.flap_jitter > 0) {
+        gap *= deploy_rng.uniform(1.0 - cfg.flap_jitter, 1.0 + cfg.flap_jitter);
+      }
+      event_t += gap;
+    }
+    res.flap_schedule.emplace_back(event_t, k % 2 == 0);
+  }
+  for (const auto& [when_s, is_withdrawal] : res.flap_schedule) {
+    const sim::SimTime when = t0 + sim::Duration::seconds(when_s);
+    if (cfg.flap_mode == ExperimentConfig::FlapMode::kOriginUpdates) {
+      if (is_withdrawal) {
+        engine.schedule_at(when, [&origin_router, &rc_source] {
+          origin_router.withdraw_origin(kPrefix, rc_source.next(false));
+        });
+      } else {
+        engine.schedule_at(when, [&origin_router, &rc_source] {
+          origin_router.originate(kPrefix, rc_source.next(true));
+        });
+      }
+    } else {
+      if (is_withdrawal) {
+        engine.schedule_at(when, [&network, flap_u, flap_v] {
+          network.set_link(flap_u, flap_v, false);
+        });
+      } else {
+        engine.schedule_at(when, [&network, flap_u, flap_v] {
+          network.set_link(flap_u, flap_v, true);
+        });
+      }
+    }
+  }
+  res.stop_time_s =
+      res.flap_schedule.empty() ? 0.0 : res.flap_schedule.back().first;
+
+  engine.run(t0 + sim::Duration::seconds(cfg.max_sim_s));
+  res.hit_horizon = engine.pending() > 0;
+
+  // --- Collect, re-basing every time on t0. ---
+  res.message_count = recorder.delivered_count();
+  res.dropped_count = recorder.dropped_count();
+  res.last_activity_s =
+      std::max(0.0, recorder.last_delivery_s().value_or(base_s) - base_s);
+  res.convergence_time_s =
+      cfg.pulses > 0 ? std::max(0.0, res.last_activity_s - res.stop_time_s)
+                     : 0.0;
+
+  res.update_series = stats::TimeSeries(cfg.bin_width_s);
+  for (const double t : recorder.delivery_times()) {
+    res.update_series.add(std::max(0.0, t - base_s));
+  }
+  for (const auto& s : recorder.suppress_events()) {
+    if (s.node == isp && s.peer == origin) res.isp_suppressed = true;
+  }
+  // Suppress (+1) and reuse (-1) events interleave in time; rebuild the
+  // merged step series in order.
+  {
+    stats::StepSeries merged;
+    std::size_t i = 0, j = 0;
+    const auto& sup = recorder.suppress_events();
+    const auto& reu = recorder.reuse_events();
+    while (i < sup.size() || j < reu.size()) {
+      const bool take_sup =
+          j >= reu.size() || (i < sup.size() && sup[i].t_s <= reu[j].t_s);
+      if (take_sup) {
+        merged.add(std::max(0.0, sup[i].t_s - base_s), +1);
+        ++i;
+      } else {
+        merged.add(std::max(0.0, reu[j].t_s - base_s), -1);
+        ++j;
+      }
+    }
+    res.damped_links = std::move(merged);
+  }
+
+  for (const auto& e : recorder.reuse_events()) {
+    const double t = e.t_s - base_s;
+    if (e.node == isp && e.peer == origin) {
+      res.isp_reuse_s = t;
+    } else if (e.noisy) {
+      res.net_last_noisy_reuse_s =
+          std::max(res.net_last_noisy_reuse_s.value_or(0.0), t);
+    }
+  }
+
+  res.suppress_events = recorder.suppress_count();
+  res.noisy_reuses = recorder.noisy_reuse_count();
+  res.silent_reuses = recorder.silent_reuse_count();
+  res.max_penalty = recorder.max_penalty_seen();
+
+  for (const auto& s : recorder.penalty_trace()) {
+    res.penalty_trace.emplace_back(std::max(0.0, s.t_s - base_s), s.value);
+  }
+  for (const auto& e : recorder.penalty_events()) {
+    res.penalty_events.push_back(ExperimentResult::PenaltyEvent{
+        std::max(0.0, e.t_s - base_s), e.node, e.peer, e.value});
+  }
+  for (const auto& e : recorder.suppress_events()) {
+    res.suppressions.push_back(ExperimentResult::EntryEvent{
+        std::max(0.0, e.t_s - base_s), e.node, e.peer, false});
+  }
+  for (const auto& e : recorder.reuse_events()) {
+    res.reuses.push_back(ExperimentResult::EntryEvent{
+        std::max(0.0, e.t_s - base_s), e.node, e.peer, e.noisy});
+  }
+  for (const auto& u : recorder.update_log()) {
+    res.update_log.push_back(ExperimentResult::UpdateRecord{
+        std::max(0.0, u.t_s - base_s), u.from, u.to,
+        u.kind == bgp::UpdateKind::kWithdrawal, u.rc});
+  }
+
+  stats::PhaseInput pin;
+  pin.first_flap_s = 0.0;
+  pin.busy_deltas.reserve(recorder.busy_deltas().size());
+  for (const auto& [t, d] : recorder.busy_deltas()) {
+    pin.busy_deltas.emplace_back(std::max(0.0, t - base_s), d);
+  }
+  for (const auto& e : recorder.reuse_events()) {
+    pin.reuse_fires.emplace_back(std::max(0.0, e.t_s - base_s), e.noisy);
+  }
+  res.phases = stats::classify_phases(pin);
+
+  return res;
+}
+
+}  // namespace rfdnet::core

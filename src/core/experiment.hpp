@@ -1,0 +1,196 @@
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "bgp/config.hpp"
+#include "net/graph.hpp"
+#include "net/topology.hpp"
+#include "rcn/root_cause.hpp"
+#include "rfd/params.hpp"
+#include "sim/random.hpp"
+#include "stats/phase.hpp"
+#include "stats/time_series.hpp"
+
+namespace rfdnet::core {
+
+enum class PolicyKind : std::uint8_t {
+  kShortestPath,  ///< §5 default
+  kNoValley,      ///< §7 policy study
+};
+
+std::string to_string(PolicyKind k);
+
+/// Declarative topology description used by experiment configs.
+struct TopologySpec {
+  enum class Kind : std::uint8_t {
+    kMeshTorus,
+    kInternetLike,
+    kLine,
+    kRing,
+    kClique,
+    kRandom,
+  };
+  Kind kind = Kind::kMeshTorus;
+  int width = 10;    ///< mesh
+  int height = 10;   ///< mesh
+  int nodes = 100;   ///< non-mesh kinds
+  double edge_prob = 0.05;        ///< random graphs
+  net::InternetOptions internet;  ///< Internet-like graphs
+  double link_delay_s = 0.01;
+
+  net::Graph build(sim::Rng& rng) const;
+  std::string to_string() const;
+};
+
+/// Full description of one simulation run (§5.1 methodology): topology,
+/// protocol timing, damping deployment, policy, flap workload and seed.
+struct ExperimentConfig {
+  TopologySpec topology;
+  /// When set, this exact graph is used instead of generating one from
+  /// `topology` (e.g. a topology loaded from a file).
+  std::optional<net::Graph> topology_graph;
+  bgp::TimingConfig timing;
+
+  /// Damping parameters, or nullopt for the "No Damping" baseline.
+  std::optional<rfd::DampingParams> damping = rfd::DampingParams::cisco();
+  /// Fraction of routers that deploy damping (1.0 = full deployment).
+  double deployment = 1.0;
+  /// Attach Root Cause Notification and its damping filter (§6).
+  bool rcn = false;
+  /// Use selective route flap damping (Mao et al.) instead — the prior fix
+  /// the paper compares against. Mutually exclusive with `rcn`.
+  bool selective = false;
+  /// Diverse parameter study (§6): this fraction of damping routers uses
+  /// `damping_alt` instead of `damping`. Routers with more aggressive
+  /// parameters suppress longer; when a conservatively-configured neighbor
+  /// reuses first, its announcement re-charges them — secondary charging
+  /// without any path exploration.
+  double alt_fraction = 0.0;
+  std::optional<rfd::DampingParams> damping_alt;
+  PolicyKind policy = PolicyKind::kShortestPath;
+
+  int pulses = 1;
+  double flap_interval_s = 60.0;
+  /// Irregular flapping: each inter-update gap is scaled by a uniform
+  /// factor in [1 - flap_jitter, 1 + flap_jitter]. Zero (default) gives the
+  /// paper's fixed 60 s cadence. Must be in [0, 1).
+  double flap_jitter = 0.0;
+
+  /// How the instability is injected.
+  enum class FlapMode : std::uint8_t {
+    /// The paper's model: the origin AS sends alternating withdrawals and
+    /// announcements over a healthy session.
+    kOriginUpdates,
+    /// Full link semantics: the flapping link's BGP sessions go down and up
+    /// (implicit withdrawals, session re-establishment, in-flight loss).
+    kLinkSession,
+  };
+  FlapMode flap_mode = FlapMode::kOriginUpdates;
+  /// Link to flap in kLinkSession mode. Defaults to the origin–ispAS stub
+  /// link; any other existing link makes the instability *internal* — a
+  /// regime the paper leaves open, with no single router able to muffle it.
+  std::optional<std::pair<net::NodeId, net::NodeId>> flap_link;
+
+  /// Ablation (§5.2): stop charging penalties this many seconds after the
+  /// first flap. Freezing right after the charging period leaves the false
+  /// suppression of path exploration in place but removes secondary
+  /// charging.
+  std::optional<double> freeze_penalties_after_s;
+
+  std::uint64_t seed = 1;
+  /// Node the origin AS attaches to (random if unset).
+  std::optional<net::NodeId> isp;
+  /// Penalty probe: a router this many hops from the origin (Fig. 7 uses 7;
+  /// capped at the farthest reachable node).
+  std::size_t probe_distance = 7;
+  double bin_width_s = 5.0;
+  /// Safety horizon after the first flap; runs reaching it set
+  /// `ExperimentResult::hit_horizon`.
+  double max_sim_s = 50000.0;
+  /// Keep every (node, peer, t, penalty) event in the result — entry-level
+  /// audit used by diagnostics and tests; off by default (memory).
+  bool record_all_penalties = false;
+  /// Keep every delivered update (t, from, to, kind); off by default.
+  bool record_update_log = false;
+};
+
+/// Everything the figures/tables consume, with all times re-based so that
+/// t = 0 is the first flap (as in the paper's plots).
+struct ExperimentResult {
+  // The paper's two headline metrics (§3): time from the origin's final
+  // announcement to the last update observed, and updates observed from the
+  // first flap on.
+  double convergence_time_s = 0.0;
+  std::uint64_t message_count = 0;
+  /// Updates lost to link failures (kLinkSession workloads).
+  std::uint64_t dropped_count = 0;
+
+  double stop_time_s = 0.0;  ///< final announcement (re-based)
+  double last_activity_s = 0.0;
+  /// The actual flap schedule used (re-based): (time, is_withdrawal).
+  std::vector<std::pair<double, bool>> flap_schedule;
+
+  stats::TimeSeries update_series{5.0};
+  stats::StepSeries damped_links;
+  std::vector<stats::Phase> phases;
+  /// (time, penalty-after-update) at the probe router (Figs. 3/7 material).
+  std::vector<std::pair<double, double>> penalty_trace;
+  /// All penalty events (re-based), when `record_all_penalties` was set.
+  struct PenaltyEvent {
+    double t_s;
+    net::NodeId node;
+    net::NodeId peer;
+    double value;
+  };
+  std::vector<PenaltyEvent> penalty_events;
+  /// All suppress/reuse events (re-based), always recorded.
+  struct EntryEvent {
+    double t_s;
+    net::NodeId node;
+    net::NodeId peer;
+    bool noisy = false;  ///< meaningful for reuse events only
+  };
+  std::vector<EntryEvent> suppressions;
+  std::vector<EntryEvent> reuses;
+  /// Delivered updates (re-based), when `record_update_log` was set.
+  struct UpdateRecord {
+    double t_s;
+    net::NodeId from;
+    net::NodeId to;
+    bool withdrawal;
+    std::optional<rcn::RootCause> rc;
+  };
+  std::vector<UpdateRecord> update_log;
+
+  net::NodeId origin = net::kInvalidNode;
+  net::NodeId isp = net::kInvalidNode;
+  net::NodeId probe = net::kInvalidNode;
+  std::size_t probe_hops = 0;
+
+  std::uint64_t suppress_events = 0;
+  std::uint64_t noisy_reuses = 0;
+  std::uint64_t silent_reuses = 0;
+  double max_penalty = 0.0;
+
+  /// Did ispAS itself ever suppress the origin's route, and when did its
+  /// reuse timer (RT_h) fire (re-based; nullopt if it never suppressed).
+  bool isp_suppressed = false;
+  std::optional<double> isp_reuse_s;
+  /// Last noisy reuse in the rest of the network (RT_net), re-based.
+  std::optional<double> net_last_noisy_reuse_s;
+
+  /// t_up estimate: convergence time of the initial route announcement
+  /// during warm-up.
+  double warmup_tup_s = 0.0;
+
+  bool hit_horizon = false;
+};
+
+/// Builds the network, warms it up, applies the flap workload and collects
+/// the result. Deterministic for a given config.
+ExperimentResult run_experiment(const ExperimentConfig& cfg);
+
+}  // namespace rfdnet::core

@@ -1,0 +1,130 @@
+#include "core/export.hpp"
+
+#include <cstdio>
+#include <ostream>
+#include <sstream>
+
+#include "stats/phase.hpp"
+
+namespace rfdnet::core {
+
+namespace {
+
+std::string fmt(double v) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.6g", v);
+  return buf;
+}
+
+}  // namespace
+
+std::string result_summary_csv(const ExperimentResult& res) {
+  std::ostringstream os;
+  os << "convergence_s,stop_s,messages,dropped,suppressions,noisy_reuses,"
+        "silent_reuses,max_penalty,isp_suppressed,warmup_tup_s\n";
+  os << fmt(res.convergence_time_s) << ',' << fmt(res.stop_time_s) << ','
+     << res.message_count << ',' << res.dropped_count << ','
+     << res.suppress_events << ',' << res.noisy_reuses << ','
+     << res.silent_reuses << ',' << fmt(res.max_penalty) << ','
+     << (res.isp_suppressed ? 1 : 0) << ',' << fmt(res.warmup_tup_s) << "\n";
+  return os.str();
+}
+
+std::string update_series_csv(const ExperimentResult& res) {
+  std::ostringstream os;
+  os << "t_s,count\n";
+  for (const auto& [t, c] : res.update_series.nonzero()) {
+    os << fmt(t) << ',' << c << "\n";
+  }
+  return os.str();
+}
+
+std::string damped_links_csv(const ExperimentResult& res) {
+  std::ostringstream os;
+  os << "t_s,value\n";
+  for (const auto& [t, v] : res.damped_links.steps()) {
+    os << fmt(t) << ',' << v << "\n";
+  }
+  return os.str();
+}
+
+std::string penalty_trace_csv(const ExperimentResult& res) {
+  std::ostringstream os;
+  os << "t_s,penalty\n";
+  for (const auto& [t, v] : res.penalty_trace) {
+    os << fmt(t) << ',' << fmt(v) << "\n";
+  }
+  return os.str();
+}
+
+std::string sweep_csv(const SweepResult& sweep) {
+  std::ostringstream os;
+  os << "pulses,convergence_s,intended_s,messages,isp_suppressed\n";
+  for (const auto& pt : sweep.points) {
+    os << pt.pulses << ',' << fmt(pt.convergence_s) << ','
+       << fmt(pt.intended_convergence_s) << ',' << pt.messages << ','
+       << (pt.isp_suppressed ? 1 : 0) << "\n";
+  }
+  return os.str();
+}
+
+void write_result_json(std::ostream& os, const ExperimentResult& res) {
+  os << "{\n";
+  os << "  \"convergence_s\": " << fmt(res.convergence_time_s) << ",\n";
+  os << "  \"stop_s\": " << fmt(res.stop_time_s) << ",\n";
+  os << "  \"last_activity_s\": " << fmt(res.last_activity_s) << ",\n";
+  os << "  \"messages\": " << res.message_count << ",\n";
+  os << "  \"dropped\": " << res.dropped_count << ",\n";
+  os << "  \"suppressions\": " << res.suppress_events << ",\n";
+  os << "  \"noisy_reuses\": " << res.noisy_reuses << ",\n";
+  os << "  \"silent_reuses\": " << res.silent_reuses << ",\n";
+  os << "  \"max_penalty\": " << fmt(res.max_penalty) << ",\n";
+  os << "  \"isp_suppressed\": " << (res.isp_suppressed ? "true" : "false")
+     << ",\n";
+  os << "  \"warmup_tup_s\": " << fmt(res.warmup_tup_s) << ",\n";
+  os << "  \"origin\": " << res.origin << ",\n";
+  os << "  \"isp\": " << res.isp << ",\n";
+  os << "  \"probe\": " << res.probe << ",\n";
+
+  os << "  \"phases\": [";
+  for (std::size_t i = 0; i < res.phases.size(); ++i) {
+    const auto& ph = res.phases[i];
+    os << (i ? ", " : "") << "{\"kind\": \"" << stats::to_string(ph.kind)
+       << "\", \"t0\": " << fmt(ph.t0_s) << ", \"t1\": " << fmt(ph.t1_s)
+       << "}";
+  }
+  os << "],\n";
+
+  os << "  \"update_series\": [";
+  bool first = true;
+  for (const auto& [t, c] : res.update_series.nonzero()) {
+    os << (first ? "" : ", ") << "[" << fmt(t) << ", " << c << "]";
+    first = false;
+  }
+  os << "],\n";
+
+  os << "  \"damped_links\": [";
+  first = true;
+  for (const auto& [t, v] : res.damped_links.steps()) {
+    os << (first ? "" : ", ") << "[" << fmt(t) << ", " << v << "]";
+    first = false;
+  }
+  os << "],\n";
+
+  os << "  \"penalty_trace\": [";
+  first = true;
+  for (const auto& [t, v] : res.penalty_trace) {
+    os << (first ? "" : ", ") << "[" << fmt(t) << ", " << fmt(v) << "]";
+    first = false;
+  }
+  os << "]\n";
+  os << "}\n";
+}
+
+std::string result_json(const ExperimentResult& res) {
+  std::ostringstream os;
+  write_result_json(os, res);
+  return os.str();
+}
+
+}  // namespace rfdnet::core

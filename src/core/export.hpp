@@ -1,0 +1,38 @@
+#pragma once
+
+#include <iosfwd>
+#include <string>
+
+#include "core/experiment.hpp"
+#include "core/sweep.hpp"
+
+namespace rfdnet::core {
+
+/// Plain-text export of experiment results for external plotting/analysis.
+/// CSV columns are stable and documented here; JSON is a single object with
+/// scalar metrics plus the time series as arrays of [t, value] pairs.
+
+/// One-line summary CSV:
+///   convergence_s,stop_s,messages,dropped,suppressions,noisy_reuses,
+///   silent_reuses,max_penalty,isp_suppressed,warmup_tup_s
+/// (header included).
+std::string result_summary_csv(const ExperimentResult& res);
+
+/// Update series as `t_s,count` rows for every non-empty bin.
+std::string update_series_csv(const ExperimentResult& res);
+
+/// Damped-link step series as `t_s,value` rows.
+std::string damped_links_csv(const ExperimentResult& res);
+
+/// Penalty probe trace as `t_s,penalty` rows.
+std::string penalty_trace_csv(const ExperimentResult& res);
+
+/// Sweep points as `pulses,convergence_s,intended_s,messages,isp_suppressed`
+/// rows (header included).
+std::string sweep_csv(const SweepResult& sweep);
+
+/// The whole result as a JSON object (scalars, phases, series).
+std::string result_json(const ExperimentResult& res);
+void write_result_json(std::ostream& os, const ExperimentResult& res);
+
+}  // namespace rfdnet::core

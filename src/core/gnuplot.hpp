@@ -1,0 +1,53 @@
+#pragma once
+
+#include <string>
+#include <utility>
+#include <vector>
+
+namespace rfdnet::core {
+
+/// Emits gnuplot-ready artifacts for a figure: a `.dat` file with one block
+/// per series and a `.gp` script that plots them — so every paper figure
+/// can be regenerated as an actual plot:
+///
+///   GnuplotFigure fig("fig08", "Convergence Time", "pulses", "seconds");
+///   fig.add_series("no damping", points);
+///   fig.write("figures/");       // figures/fig08.dat + figures/fig08.gp
+///   // then: gnuplot figures/fig08.gp  ->  figures/fig08.png
+class GnuplotFigure {
+ public:
+  GnuplotFigure(std::string name, std::string title, std::string xlabel,
+                std::string ylabel);
+
+  void add_series(std::string label,
+                  std::vector<std::pair<double, double>> points);
+  void set_log_y(bool on) { log_y_ = on; }
+  /// Draw with steps (for damped-link style step functions).
+  void set_steps(bool on) { steps_ = on; }
+
+  std::size_t series_count() const { return series_.size(); }
+
+  /// The `.dat` payload: series as double-blank-line-separated blocks.
+  std::string dat_contents() const;
+  /// The `.gp` script; refers to `<name>.dat` and writes `<name>.png`.
+  std::string script_contents() const;
+
+  /// Writes `<dir>/<name>.dat` and `<dir>/<name>.gp`. The directory must
+  /// exist. Throws `std::runtime_error` on I/O failure.
+  void write(const std::string& dir) const;
+
+ private:
+  std::string name_;
+  std::string title_;
+  std::string xlabel_;
+  std::string ylabel_;
+  bool log_y_ = false;
+  bool steps_ = false;
+  struct Series {
+    std::string label;
+    std::vector<std::pair<double, double>> points;
+  };
+  std::vector<Series> series_;
+};
+
+}  // namespace rfdnet::core

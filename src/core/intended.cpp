@@ -1,0 +1,97 @@
+#include "core/intended.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+namespace rfdnet::core {
+
+std::vector<std::pair<double, bgp::UpdateKind>> FlapPattern::events() const {
+  std::vector<std::pair<double, bgp::UpdateKind>> out;
+  out.reserve(static_cast<std::size_t>(2 * std::max(pulses, 0)));
+  for (int k = 0; k < pulses; ++k) {
+    out.emplace_back(2.0 * k * interval_s, bgp::UpdateKind::kWithdrawal);
+    out.emplace_back((2.0 * k + 1.0) * interval_s,
+                     bgp::UpdateKind::kAnnouncement);
+  }
+  return out;
+}
+
+double FlapPattern::stop_time_s() const {
+  return pulses <= 0 ? 0.0 : (2.0 * pulses - 1.0) * interval_s;
+}
+
+IntendedBehaviorModel::IntendedBehaviorModel(const rfd::DampingParams& params)
+    : params_(params) {
+  params_.validate();
+}
+
+IntendedBehaviorModel::Prediction IntendedBehaviorModel::predict(
+    const FlapPattern& pattern) const {
+  if (pattern.interval_s <= 0) {
+    throw std::invalid_argument("FlapPattern: interval <= 0");
+  }
+  return predict_events(pattern.events());
+}
+
+IntendedBehaviorModel::Prediction IntendedBehaviorModel::predict_events(
+    const std::vector<std::pair<double, bgp::UpdateKind>>& events) const {
+  Prediction pred;
+  const double lambda = params_.lambda();
+  double p = 0.0;
+  double last_t = 0.0;
+  bool suppressed = false;
+  int pulse = 0;
+
+  for (const auto& [t, kind] : events) {
+    if (t < last_t) {
+      throw std::invalid_argument("predict_events: times went backwards");
+    }
+    // Decay since the previous event; a suppressed entry may cross the reuse
+    // threshold between flaps, in which case its timer fires mid-pattern.
+    p *= std::exp(-lambda * (t - last_t));
+    last_t = t;
+    if (suppressed && p < params_.reuse) suppressed = false;
+    if (!suppressed && p < params_.reuse / 2.0) p = 0.0;  // RFC 2439 purge
+
+    if (kind == bgp::UpdateKind::kWithdrawal) {
+      ++pulse;
+      p = std::min(p + params_.withdrawal_penalty, params_.ceiling());
+    } else {
+      p = std::min(p + params_.reannouncement_penalty, params_.ceiling());
+    }
+    if (!suppressed && p > params_.cutoff) {
+      suppressed = true;
+      if (!pred.ever_suppressed) {
+        pred.ever_suppressed = true;
+        pred.suppression_onset_pulse = pulse;
+      }
+    }
+    pred.penalty_events.emplace_back(t, p);
+  }
+
+  pred.penalty_at_stop = p;
+  pred.suppressed_at_stop = suppressed;
+  if (suppressed && p > params_.reuse) {
+    pred.reuse_delay_s = std::log(p / params_.reuse) / lambda;
+  }
+  return pred;
+}
+
+double IntendedBehaviorModel::intended_convergence_s(const FlapPattern& pattern,
+                                                     double tup_s) const {
+  if (pattern.pulses <= 0) return 0.0;
+  const Prediction pred = predict(pattern);
+  return pred.reuse_delay_s + tup_s;
+}
+
+int IntendedBehaviorModel::critical_pulses(double interval_s, double rt_net_s,
+                                           int max_pulses) const {
+  for (int n = 1; n <= max_pulses; ++n) {
+    const Prediction pred = predict(FlapPattern{n, interval_s});
+    if (pred.suppressed_at_stop && pred.reuse_delay_s > rt_net_s) return n;
+  }
+  return max_pulses + 1;
+}
+
+}  // namespace rfdnet::core

@@ -1,0 +1,74 @@
+#pragma once
+
+#include <utility>
+#include <vector>
+
+#include "bgp/message.hpp"
+#include "rfd/params.hpp"
+
+namespace rfdnet::core {
+
+/// The originAS flapping workload of §5.1: `pulses` pairs of a withdrawal
+/// followed by a re-announcement `interval_s` later, pairs also spaced
+/// `interval_s` apart. The final update is always an announcement.
+struct FlapPattern {
+  int pulses = 1;
+  double interval_s = 60.0;
+
+  /// The 2*pulses update instants as (time, kind), starting at t = 0 with a
+  /// withdrawal.
+  std::vector<std::pair<double, bgp::UpdateKind>> events() const;
+
+  /// Time of the final announcement (0 when pulses == 0).
+  double stop_time_s() const;
+};
+
+/// The paper's §3 analytic model of damping's *intended* behavior: how the
+/// penalty at ispAS evolves under the flap pattern alone (no path
+/// exploration, no timer interaction), when suppression triggers, and how
+/// long after the last flap the route stays suppressed:
+///
+///   r = (1/lambda) * ln(p / P_reuse),   t = r + t_up.
+class IntendedBehaviorModel {
+ public:
+  explicit IntendedBehaviorModel(const rfd::DampingParams& params);
+
+  struct Prediction {
+    bool ever_suppressed = false;
+    /// 1-based pulse whose withdrawal first triggered suppression (0=never).
+    int suppression_onset_pulse = 0;
+    /// Penalty right after the final announcement.
+    double penalty_at_stop = 0.0;
+    bool suppressed_at_stop = false;
+    /// r: seconds after the final announcement until ispAS reuses the route
+    /// (0 when not suppressed at stop).
+    double reuse_delay_s = 0.0;
+    /// (time, penalty-right-after-update) for each flap event.
+    std::vector<std::pair<double, double>> penalty_events;
+  };
+
+  Prediction predict(const FlapPattern& pattern) const;
+
+  /// Same model over an arbitrary update schedule (times must be
+  /// non-decreasing) — supports irregular flapping patterns.
+  Prediction predict_events(
+      const std::vector<std::pair<double, bgp::UpdateKind>>& events) const;
+
+  /// Intended convergence time measured from the final announcement:
+  /// r + t_up when suppressed, otherwise just t_up (normal convergence).
+  double intended_convergence_s(const FlapPattern& pattern, double tup_s) const;
+
+  /// The critical point N_h of §4.4: the smallest pulse count whose ispAS
+  /// reuse timer r(n) outlasts `rt_net_s` (the last noisy reuse timer in the
+  /// rest of the network, measured from the final announcement). Returns
+  /// max_pulses + 1 if never reached.
+  int critical_pulses(double interval_s, double rt_net_s,
+                      int max_pulses = 100) const;
+
+  const rfd::DampingParams& params() const { return params_; }
+
+ private:
+  rfd::DampingParams params_;
+};
+
+}  // namespace rfdnet::core

@@ -1,0 +1,86 @@
+#include "core/report.hpp"
+
+#include <algorithm>
+#include <cstdio>
+#include <ostream>
+#include <sstream>
+#include <stdexcept>
+
+namespace rfdnet::core {
+
+TextTable::TextTable(std::vector<std::string> headers)
+    : headers_(std::move(headers)) {
+  if (headers_.empty()) throw std::invalid_argument("TextTable: no headers");
+}
+
+TextTable& TextTable::add_row(std::vector<std::string> cells) {
+  if (cells.size() != headers_.size()) {
+    throw std::invalid_argument("TextTable: row width mismatch");
+  }
+  rows_.push_back(std::move(cells));
+  return *this;
+}
+
+std::string TextTable::num(double v, int precision) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.*f", precision, v);
+  return buf;
+}
+
+std::string TextTable::num(std::uint64_t v) { return std::to_string(v); }
+std::string TextTable::num(int v) { return std::to_string(v); }
+
+std::string TextTable::to_string() const {
+  std::vector<std::size_t> width(headers_.size());
+  for (std::size_t c = 0; c < headers_.size(); ++c) width[c] = headers_[c].size();
+  for (const auto& row : rows_) {
+    for (std::size_t c = 0; c < row.size(); ++c) {
+      width[c] = std::max(width[c], row[c].size());
+    }
+  }
+  std::ostringstream os;
+  const auto emit = [&](const std::vector<std::string>& cells) {
+    for (std::size_t c = 0; c < cells.size(); ++c) {
+      os << (c ? "  " : "");
+      os << cells[c];
+      os << std::string(width[c] - cells[c].size(), ' ');
+    }
+    os << "\n";
+  };
+  emit(headers_);
+  std::size_t total = 0;
+  for (std::size_t c = 0; c < width.size(); ++c) total += width[c] + (c ? 2 : 0);
+  os << std::string(total, '-') << "\n";
+  for (const auto& row : rows_) emit(row);
+  return os.str();
+}
+
+void TextTable::print(std::ostream& os) const { os << to_string(); }
+
+void print_series(std::ostream& os, const std::string& title,
+                  const std::vector<std::pair<double, double>>& series) {
+  os << "# " << title << "\n";
+  for (const auto& [x, y] : series) {
+    char buf[80];
+    std::snprintf(buf, sizeof(buf), "%12.3f  %12.3f\n", x, y);
+    os << buf;
+  }
+  os << "\n";
+}
+
+std::vector<std::pair<double, double>> thin_series(
+    const std::vector<std::pair<double, double>>& series,
+    std::size_t max_points) {
+  if (max_points < 2 || series.size() <= max_points) return series;
+  std::vector<std::pair<double, double>> out;
+  out.reserve(max_points);
+  const double stride = static_cast<double>(series.size() - 1) /
+                        static_cast<double>(max_points - 1);
+  for (std::size_t i = 0; i < max_points; ++i) {
+    out.push_back(series[static_cast<std::size_t>(i * stride)]);
+  }
+  out.back() = series.back();
+  return out;
+}
+
+}  // namespace rfdnet::core

@@ -1,0 +1,43 @@
+#pragma once
+
+#include <cstdint>
+#include <iosfwd>
+#include <string>
+#include <utility>
+#include <vector>
+
+namespace rfdnet::core {
+
+/// Fixed-width text table for bench output: headers, then rows, columns
+/// padded to fit. Values are formatted when added.
+class TextTable {
+ public:
+  explicit TextTable(std::vector<std::string> headers);
+
+  TextTable& add_row(std::vector<std::string> cells);
+
+  /// Convenience cell formatters.
+  static std::string num(double v, int precision = 1);
+  static std::string num(std::uint64_t v);
+  static std::string num(int v);
+
+  std::string to_string() const;
+  void print(std::ostream& os) const;
+
+ private:
+  std::vector<std::string> headers_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+/// Writes an (x, y) series as two aligned columns under a titled header —
+/// the bench binaries emit every figure's curves in this gnuplot-friendly
+/// form.
+void print_series(std::ostream& os, const std::string& title,
+                  const std::vector<std::pair<double, double>>& series);
+
+/// Downsamples a dense series to at most `max_points` (keeps first/last).
+std::vector<std::pair<double, double>> thin_series(
+    const std::vector<std::pair<double, double>>& series,
+    std::size_t max_points);
+
+}  // namespace rfdnet::core

@@ -1,0 +1,81 @@
+#include "core/sweep.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+#include <vector>
+
+namespace rfdnet::core {
+
+namespace {
+
+template <typename T>
+T median(std::vector<T> v) {
+  std::sort(v.begin(), v.end());
+  return v[v.size() / 2];
+}
+
+}  // namespace
+
+SweepResult run_pulse_sweep(const ExperimentConfig& base, int max_pulses) {
+  SweepResult out;
+  out.points.reserve(static_cast<std::size_t>(max_pulses));
+  for (int n = 1; n <= max_pulses; ++n) {
+    ExperimentConfig cfg = base;
+    cfg.pulses = n;
+    const ExperimentResult res = run_experiment(cfg);
+
+    SweepPoint pt;
+    pt.pulses = n;
+    pt.convergence_s = res.convergence_time_s;
+    pt.messages = res.message_count;
+    pt.isp_suppressed = res.isp_suppressed;
+    pt.hit_horizon = res.hit_horizon;
+    if (base.damping) {
+      const IntendedBehaviorModel model(*base.damping);
+      pt.intended_convergence_s = model.intended_convergence_s(
+          FlapPattern{n, base.flap_interval_s}, res.warmup_tup_s);
+    } else {
+      pt.intended_convergence_s = res.warmup_tup_s;
+    }
+    out.points.push_back(pt);
+  }
+  return out;
+}
+
+SweepResult run_pulse_sweep_median(const ExperimentConfig& base,
+                                   int max_pulses, int seeds) {
+  if (seeds < 1) throw std::invalid_argument("sweep: seeds < 1");
+  std::vector<SweepResult> runs;
+  runs.reserve(static_cast<std::size_t>(seeds));
+  for (int s = 0; s < seeds; ++s) {
+    ExperimentConfig cfg = base;
+    cfg.seed = base.seed + static_cast<std::uint64_t>(s);
+    runs.push_back(run_pulse_sweep(cfg, max_pulses));
+  }
+  SweepResult out;
+  for (int n = 1; n <= max_pulses; ++n) {
+    const std::size_t i = static_cast<std::size_t>(n - 1);
+    std::vector<double> conv, intended;
+    std::vector<std::uint64_t> msgs;
+    int suppressed_votes = 0;
+    bool horizon = false;
+    for (const auto& run : runs) {
+      conv.push_back(run.points[i].convergence_s);
+      intended.push_back(run.points[i].intended_convergence_s);
+      msgs.push_back(run.points[i].messages);
+      suppressed_votes += run.points[i].isp_suppressed ? 1 : 0;
+      horizon |= run.points[i].hit_horizon;
+    }
+    SweepPoint pt;
+    pt.pulses = n;
+    pt.convergence_s = median(conv);
+    pt.messages = median(msgs);
+    pt.intended_convergence_s = median(intended);
+    pt.isp_suppressed = suppressed_votes * 2 > seeds;
+    pt.hit_horizon = horizon;
+    out.points.push_back(pt);
+  }
+  return out;
+}
+
+}  // namespace rfdnet::core

@@ -1,0 +1,37 @@
+#pragma once
+
+#include <vector>
+
+#include "core/experiment.hpp"
+#include "core/intended.hpp"
+
+namespace rfdnet::core {
+
+/// One row of the Fig. 8/9/13/14 sweeps.
+struct SweepPoint {
+  int pulses = 0;
+  double convergence_s = 0.0;
+  std::uint64_t messages = 0;
+  /// §3 calculation with t_up taken from this run's warm-up.
+  double intended_convergence_s = 0.0;
+  bool isp_suppressed = false;
+  bool hit_horizon = false;
+};
+
+struct SweepResult {
+  std::vector<SweepPoint> points;
+};
+
+/// Runs `base` for pulses = 1..max_pulses (same seed/topology per point) and
+/// pairs each simulated result with the intended-behavior calculation.
+/// When `base.damping` is unset the intended column falls back to the
+/// measured warm-up t_up (no-damping convergence).
+SweepResult run_pulse_sweep(const ExperimentConfig& base, int max_pulses);
+
+/// Same sweep across `seeds` different seeds (base.seed, base.seed+1, ...),
+/// reporting the per-point median of convergence time, message count and the
+/// intended calculation — smooths the run-to-run jitter of a single seed.
+SweepResult run_pulse_sweep_median(const ExperimentConfig& base,
+                                   int max_pulses, int seeds);
+
+}  // namespace rfdnet::core

@@ -1,0 +1,241 @@
+#include "core/validation.hpp"
+
+#include <algorithm>
+#include <cstdio>
+#include <ostream>
+
+#include "core/intended.hpp"
+#include "core/report.hpp"
+#include "core/sweep.hpp"
+#include "stats/phase.hpp"
+
+namespace rfdnet::core {
+
+namespace {
+
+std::string fmt(const char* format, double a, double b) {
+  char buf[160];
+  std::snprintf(buf, sizeof(buf), format, a, b);
+  return buf;
+}
+
+}  // namespace
+
+std::size_t ValidationReport::passed() const {
+  return static_cast<std::size_t>(
+      std::count_if(checks.begin(), checks.end(),
+                    [](const ClaimCheck& c) { return c.pass; }));
+}
+
+ValidationReport validate_reproduction(const ValidationOptions& opt) {
+  ValidationReport report;
+  const auto add = [&report](std::string id, std::string claim,
+                             std::string measured, bool pass) {
+    report.checks.push_back(
+        ClaimCheck{std::move(id), std::move(claim), std::move(measured), pass});
+  };
+
+  ExperimentConfig base;
+  base.topology = opt.topology;
+  base.seed = opt.seed;
+
+  const IntendedBehaviorModel model(*base.damping);
+
+  // --- Single flap (Fig. 7 / Fig. 10(a,d) / §5.2, §5.3). ---
+  ExperimentConfig one = base;
+  one.pulses = 1;
+  const auto r1 = run_experiment(one);
+  const double intended1 =
+      model.intended_convergence_s(FlapPattern{1, 60.0}, r1.warmup_tup_s);
+
+  add("fig10a.amplification",
+      "a single pulse is amplified to several hundred updates",
+      std::to_string(r1.message_count) + " updates", r1.message_count > 500);
+
+  // Scale-aware bound: a directed link entry can be suppressed from either
+  // end, plus the two origin-link directions.
+  sim::Rng topo_probe_rng(opt.seed);
+  const double max_entries =
+      2.0 * static_cast<double>(opt.topology.build(topo_probe_rng).link_count()) +
+      2.0;
+  add("fig10d.false-suppression",
+      "one flap triggers widespread false suppression (paper: ~275 of 400 "
+      "entries)",
+      std::to_string(r1.suppress_events) + " suppressions of " +
+          std::to_string(static_cast<int>(max_entries)) + " entries",
+      static_cast<double>(r1.suppress_events) > 0.15 * max_entries &&
+          !r1.isp_suppressed);
+
+  add("fig8.small-n-deviation",
+      "single-flap convergence takes many times the intended value",
+      fmt("%.0f s vs intended %.0f s", r1.convergence_time_s, intended1),
+      r1.convergence_time_s > 10.0 * intended1);
+
+  bool has_csr = r1.phases.size() >= 4 &&
+                 r1.phases[0].kind == stats::PhaseKind::kCharging &&
+                 r1.phases[1].kind == stats::PhaseKind::kSuppression &&
+                 r1.phases[2].kind == stats::PhaseKind::kReleasing;
+  add("fig10a.phases",
+      "distinct charging / suppression / releasing periods (§5.3)",
+      std::to_string(r1.phases.size()) + " phases", has_csr);
+
+  double release_start = 0;
+  for (const auto& ph : r1.phases) {
+    if (ph.kind == stats::PhaseKind::kReleasing) {
+      release_start = ph.t0_s;
+      break;
+    }
+  }
+  const double release_share =
+      release_start > 0 ? (r1.last_activity_s - release_start) / r1.last_activity_s
+                        : 0.0;
+  add("s5.3.releasing-share",
+      "releasing period ~70% of convergence time (paper: ~70%)",
+      fmt("%.0f%% (releasing from t=%.0f s)", 100.0 * release_share,
+          release_start),
+      release_share > 0.5 && release_share < 0.9);
+
+  add("s5.2.ceiling",
+      "no penalty comes near the 12000 a one-hour suppression needs",
+      fmt("max penalty %.0f (< %.0f)", r1.max_penalty, 9000.0),
+      r1.max_penalty < 9000.0 && r1.max_penalty > 2000.0);
+
+  // Secondary-charging decomposition: freeze penalties after charging.
+  ExperimentConfig frozen = one;
+  frozen.freeze_penalties_after_s = r1.phases.front().t1_s;
+  const auto rf = run_experiment(frozen);
+  add("s5.2.secondary-charging",
+      "exploration alone explains only a minority of the delay (paper ~30%)",
+      fmt("exploration-only %.0f s of %.0f s total", rf.convergence_time_s,
+          r1.convergence_time_s),
+      rf.convergence_time_s < 0.6 * r1.convergence_time_s);
+
+  // --- Suppression onset (§3 / Table 1). ---
+  ExperimentConfig two = base;
+  two.pulses = 2;
+  ExperimentConfig three = base;
+  three.pulses = 3;
+  const auto r2 = run_experiment(two);
+  const auto r3 = run_experiment(three);
+  add("s3.onset",
+      "with Cisco defaults ispAS suppresses at the 3rd pulse, not before",
+      std::string("n=2: ") + (r2.isp_suppressed ? "yes" : "no") +
+          ", n=3: " + (r3.isp_suppressed ? "yes" : "no"),
+      !r2.isp_suppressed && r3.isp_suppressed);
+
+  // Muffling: the silent share of reuses grows once the route is withdrawn.
+  const double silent1 =
+      static_cast<double>(r1.silent_reuses) /
+      std::max<double>(1.0, static_cast<double>(r1.silent_reuses + r1.noisy_reuses));
+  const double silent3 =
+      static_cast<double>(r3.silent_reuses) /
+      std::max<double>(1.0, static_cast<double>(r3.silent_reuses + r3.noisy_reuses));
+  add("s4.3.muffling",
+      "muffling silences timers that were noisy at n=1 (§5.3)",
+      fmt("silent share %.2f -> %.2f", silent1, silent3), silent3 > silent1);
+
+  // --- Critical point and intended behavior (Fig. 8 right half). ---
+  bool locked_tail = true;
+  std::string tail_desc;
+  for (int n = opt.max_pulses - 2; n <= opt.max_pulses; ++n) {
+    ExperimentConfig cfg = base;
+    cfg.pulses = n;
+    const auto r = run_experiment(cfg);
+    const double intended = model.intended_convergence_s(
+        FlapPattern{n, 60.0}, r.warmup_tup_s);
+    locked_tail &= r.convergence_time_s < 1.25 * intended + 60.0;
+    tail_desc += fmt("n=%.0f: %.0f", static_cast<double>(n),
+                     r.convergence_time_s) +
+                 fmt("/%.0f s", intended, 0.0) +
+                 (n < opt.max_pulses ? ", " : "");
+  }
+  add("fig8.critical-point",
+      "past the critical point convergence matches the calculation",
+      tail_desc, locked_tail);
+
+  // --- Message flattening (Fig. 9). ---
+  {
+    ExperimentConfig n5 = base;
+    n5.pulses = 5;
+    ExperimentConfig n10 = base;
+    n10.pulses = opt.max_pulses;
+    const auto m5 = run_experiment(n5);
+    const auto m10 = run_experiment(n10);
+    ExperimentConfig raw5 = n5;
+    raw5.damping.reset();
+    ExperimentConfig raw10 = n10;
+    raw10.damping.reset();
+    const auto w5 = run_experiment(raw5);
+    const auto w10 = run_experiment(raw10);
+    const double damped_growth = static_cast<double>(m10.message_count) /
+                                 static_cast<double>(m5.message_count);
+    const double raw_growth = static_cast<double>(w10.message_count) /
+                              static_cast<double>(w5.message_count);
+    add("fig9.flattening",
+        "damping flattens the message count; without damping it grows "
+        "linearly",
+        fmt("growth n=5->%0.f: ", static_cast<double>(opt.max_pulses), 0) +
+            fmt("damped x%.2f, undamped x%.2f", damped_growth, raw_growth),
+        damped_growth < 1.4 && raw_growth > 1.5);
+  }
+
+  // --- RCN (Figs. 13/14, §6.2). ---
+  {
+    ExperimentConfig rcn1 = one;
+    rcn1.rcn = true;
+    const auto rr1 = run_experiment(rcn1);
+    add("fig13.rcn-no-false-suppression",
+        "with RCN a single flap triggers no suppression at all",
+        std::to_string(rr1.suppress_events) + " suppressions, " +
+            fmt("convergence %.0f s (no-damping ~%.0f s)",
+                rr1.convergence_time_s, r1.warmup_tup_s),
+        rr1.suppress_events == 0 && rr1.convergence_time_s < 400.0);
+
+    ExperimentConfig rcn3 = three;
+    rcn3.rcn = true;
+    const auto rr3 = run_experiment(rcn3);
+    const double intended3 =
+        model.intended_convergence_s(FlapPattern{3, 60.0}, rr3.warmup_tup_s);
+    add("fig13.rcn-intended",
+        "with RCN suppression starts at the 3rd pulse and convergence "
+        "matches the calculation",
+        fmt("%.0f s vs intended %.0f s", rr3.convergence_time_s, intended3),
+        rr3.isp_suppressed &&
+            std::abs(rr3.convergence_time_s - intended3) <
+                0.2 * intended3 + 60.0);
+
+    const auto plain4 = [&] {
+      ExperimentConfig c = base;
+      c.pulses = 4;
+      return run_experiment(c);
+    }();
+    const auto rcn4 = [&] {
+      ExperimentConfig c = base;
+      c.pulses = 4;
+      c.rcn = true;
+      return run_experiment(c);
+    }();
+    add("fig14.rcn-more-messages",
+        "RCN damping reports more messages than plain damping (false "
+        "suppression swallows updates)",
+        fmt("plain %.0f vs RCN %.0f updates",
+            static_cast<double>(plain4.message_count),
+            static_cast<double>(rcn4.message_count)),
+        rcn4.message_count > plain4.message_count);
+  }
+
+  return report;
+}
+
+void print_report(std::ostream& os, const ValidationReport& report) {
+  TextTable t({"", "claim", "measured"});
+  for (const auto& c : report.checks) {
+    t.add_row({std::string(c.pass ? "PASS" : "FAIL") + " " + c.id, c.claim,
+               c.measured});
+  }
+  t.print(os);
+  os << "\n" << report.passed() << "/" << report.checks.size()
+     << " claims reproduced\n";
+}
+
+}  // namespace rfdnet::core

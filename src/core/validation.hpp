@@ -1,0 +1,50 @@
+#pragma once
+
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+#include "core/experiment.hpp"
+
+namespace rfdnet::core {
+
+/// One checked claim from the paper, with the measured evidence.
+struct ClaimCheck {
+  std::string id;        ///< e.g. "fig8.small-n-deviation"
+  std::string claim;     ///< the paper's statement
+  std::string measured;  ///< what this run measured
+  bool pass = false;
+};
+
+struct ValidationReport {
+  std::vector<ClaimCheck> checks;
+
+  std::size_t passed() const;
+  std::size_t failed() const { return checks.size() - passed(); }
+  bool all_passed() const { return passed() == checks.size(); }
+};
+
+/// Knobs for the validation run (defaults match §5.1; smaller settings make
+/// the suite fast enough for CI).
+struct ValidationOptions {
+  TopologySpec topology;  ///< default: the paper's 10x10 mesh
+  std::uint64_t seed = 1;
+  int max_pulses = 10;
+  ValidationOptions() {
+    topology.kind = TopologySpec::Kind::kMeshTorus;
+    topology.width = 10;
+    topology.height = 10;
+  }
+};
+
+/// Runs the full battery of headline-claim checks (the executable form of
+/// EXPERIMENTS.md): single-flap amplification and false suppression, the
+/// four-phase structure, the §5.2 secondary-charging decomposition and
+/// 12000-ceiling check, message-count flattening, the critical point, RCN
+/// restoring intended behavior, and the muffling silent-share shift.
+ValidationReport validate_reproduction(const ValidationOptions& opt = {});
+
+/// Pretty-prints the report as a pass/fail table.
+void print_report(std::ostream& os, const ValidationReport& report);
+
+}  // namespace rfdnet::core

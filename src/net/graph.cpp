@@ -1,0 +1,82 @@
+#include "net/graph.hpp"
+
+#include <stdexcept>
+#include <vector>
+
+namespace rfdnet::net {
+
+std::string to_string(Relationship r) {
+  switch (r) {
+    case Relationship::kPeer:
+      return "peer";
+    case Relationship::kCustomer:
+      return "customer";
+    case Relationship::kProvider:
+      return "provider";
+  }
+  return "?";
+}
+
+NodeId Graph::add_node() {
+  adj_.emplace_back();
+  return static_cast<NodeId>(adj_.size() - 1);
+}
+
+void Graph::check_node(NodeId u) const {
+  if (u >= adj_.size()) throw std::invalid_argument("Graph: node out of range");
+}
+
+void Graph::add_link(NodeId u, NodeId v, double delay_s, Relationship rel_of_v) {
+  check_node(u);
+  check_node(v);
+  if (u == v) throw std::invalid_argument("Graph: self loop");
+  if (delay_s < 0) throw std::invalid_argument("Graph: negative delay");
+  if (has_link(u, v)) throw std::invalid_argument("Graph: duplicate link");
+  adj_[u].push_back(LinkEndpoint{v, rel_of_v, delay_s});
+  adj_[v].push_back(LinkEndpoint{u, reverse(rel_of_v), delay_s});
+  ++links_;
+}
+
+std::span<const LinkEndpoint> Graph::neighbors(NodeId u) const {
+  check_node(u);
+  return adj_[u];
+}
+
+bool Graph::has_link(NodeId u, NodeId v) const {
+  check_node(u);
+  check_node(v);
+  for (const auto& e : adj_[u]) {
+    if (e.neighbor == v) return true;
+  }
+  return false;
+}
+
+const LinkEndpoint& Graph::endpoint(NodeId u, NodeId v) const {
+  check_node(u);
+  for (const auto& e : adj_[u]) {
+    if (e.neighbor == v) return e;
+  }
+  throw std::invalid_argument("Graph: no such link");
+}
+
+bool Graph::connected() const {
+  if (adj_.empty()) return true;
+  std::vector<char> seen(adj_.size(), 0);
+  std::vector<NodeId> stack{0};
+  seen[0] = 1;
+  std::size_t visited = 1;
+  while (!stack.empty()) {
+    const NodeId u = stack.back();
+    stack.pop_back();
+    for (const auto& e : adj_[u]) {
+      if (!seen[e.neighbor]) {
+        seen[e.neighbor] = 1;
+        ++visited;
+        stack.push_back(e.neighbor);
+      }
+    }
+  }
+  return visited == adj_.size();
+}
+
+}  // namespace rfdnet::net

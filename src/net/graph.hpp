@@ -1,0 +1,60 @@
+#pragma once
+
+#include <cstddef>
+#include <span>
+#include <vector>
+
+#include "net/types.hpp"
+
+namespace rfdnet::net {
+
+/// One end of an undirected link, as seen from the node that owns the
+/// adjacency list entry.
+struct LinkEndpoint {
+  NodeId neighbor = kInvalidNode;
+  Relationship rel = Relationship::kPeer;  ///< what `neighbor` is to me
+  double delay_s = 0.01;                   ///< one-way propagation delay
+};
+
+/// An undirected multigraph-free graph of ASes with per-link propagation
+/// delay and business relationships. Node ids are dense [0, size).
+///
+/// Invariant: adjacency lists of the two endpoints of a link are mirror
+/// images (same delay; reversed relationship), and there is at most one link
+/// per node pair and no self loops.
+class Graph {
+ public:
+  Graph() = default;
+  explicit Graph(std::size_t n) : adj_(n) {}
+
+  /// Appends a new isolated node and returns its id.
+  NodeId add_node();
+
+  /// Adds the undirected link {u, v}. `rel_of_v` is what v is to u (the
+  /// reverse is recorded at v automatically). Throws `std::invalid_argument`
+  /// on self loops, out-of-range ids, duplicate links, or negative delay.
+  void add_link(NodeId u, NodeId v, double delay_s = 0.01,
+                Relationship rel_of_v = Relationship::kPeer);
+
+  std::size_t node_count() const { return adj_.size(); }
+  std::size_t link_count() const { return links_; }
+
+  std::span<const LinkEndpoint> neighbors(NodeId u) const;
+  std::size_t degree(NodeId u) const { return neighbors(u).size(); }
+
+  bool has_link(NodeId u, NodeId v) const;
+
+  /// The endpoint record for v in u's adjacency list. Throws if absent.
+  const LinkEndpoint& endpoint(NodeId u, NodeId v) const;
+
+  /// True if every node can reach every other node.
+  bool connected() const;
+
+ private:
+  void check_node(NodeId u) const;
+
+  std::vector<std::vector<LinkEndpoint>> adj_;
+  std::size_t links_ = 0;
+};
+
+}  // namespace rfdnet::net

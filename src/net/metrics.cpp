@@ -1,0 +1,78 @@
+#include "net/metrics.hpp"
+
+#include <algorithm>
+#include <cstdio>
+
+#include "net/topology.hpp"
+
+namespace rfdnet::net {
+
+std::string GraphMetrics::to_string() const {
+  char buf[256];
+  std::snprintf(buf, sizeof(buf),
+                "%zu nodes, %zu links, degree %zu..%zu (mean %.2f), "
+                "%zu leaves, diameter %zu, mean distance %.2f",
+                nodes, links, min_degree, max_degree, mean_degree, leaves,
+                diameter, mean_distance);
+  return buf;
+}
+
+GraphMetrics compute_metrics(const Graph& g) {
+  GraphMetrics m;
+  m.nodes = g.node_count();
+  m.links = g.link_count();
+  if (m.nodes == 0) return m;
+
+  m.min_degree = SIZE_MAX;
+  std::size_t degree_sum = 0;
+  for (NodeId u = 0; u < g.node_count(); ++u) {
+    const std::size_t d = g.degree(u);
+    m.min_degree = std::min(m.min_degree, d);
+    m.max_degree = std::max(m.max_degree, d);
+    degree_sum += d;
+    m.leaves += d == 1;
+    for (const auto& e : g.neighbors(u)) {
+      switch (e.rel) {
+        case Relationship::kPeer:
+          ++m.peer_endpoints;
+          break;
+        case Relationship::kCustomer:
+          ++m.customer_endpoints;
+          break;
+        case Relationship::kProvider:
+          ++m.provider_endpoints;
+          break;
+      }
+    }
+  }
+  m.mean_degree = static_cast<double>(degree_sum) / static_cast<double>(m.nodes);
+
+  std::size_t pair_count = 0;
+  std::size_t dist_sum = 0;
+  for (NodeId u = 0; u < g.node_count(); ++u) {
+    const auto dist = bfs_distances(g, u);
+    for (NodeId v = 0; v < g.node_count(); ++v) {
+      if (v == u || dist[v] == SIZE_MAX) continue;
+      m.diameter = std::max(m.diameter, dist[v]);
+      dist_sum += dist[v];
+      ++pair_count;
+    }
+  }
+  if (pair_count > 0) {
+    m.mean_distance =
+        static_cast<double>(dist_sum) / static_cast<double>(pair_count);
+  }
+  return m;
+}
+
+std::vector<std::size_t> degree_histogram(const Graph& g) {
+  std::vector<std::size_t> hist;
+  for (NodeId u = 0; u < g.node_count(); ++u) {
+    const std::size_t d = g.degree(u);
+    if (d >= hist.size()) hist.resize(d + 1, 0);
+    ++hist[d];
+  }
+  return hist;
+}
+
+}  // namespace rfdnet::net

@@ -1,0 +1,41 @@
+#pragma once
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+#include "net/graph.hpp"
+
+namespace rfdnet::net {
+
+/// Structural statistics of a topology — used by benches/examples to
+/// characterize generated graphs (e.g. the long-tailed degree distribution
+/// §5.1 requires of Internet-derived topologies).
+struct GraphMetrics {
+  std::size_t nodes = 0;
+  std::size_t links = 0;
+  std::size_t min_degree = 0;
+  std::size_t max_degree = 0;
+  double mean_degree = 0.0;
+  /// Number of degree-1 nodes (stub ASes).
+  std::size_t leaves = 0;
+  /// Longest shortest path (hop metric); 0 for empty/singleton graphs.
+  std::size_t diameter = 0;
+  /// Mean shortest-path length over all ordered reachable pairs.
+  double mean_distance = 0.0;
+  /// Counts of each relationship, over directed endpoint records.
+  std::size_t peer_endpoints = 0;
+  std::size_t customer_endpoints = 0;
+  std::size_t provider_endpoints = 0;
+
+  std::string to_string() const;
+};
+
+/// Computes all metrics. O(V * (V + E)) — BFS from every node — fine for
+/// the simulator's topology sizes.
+GraphMetrics compute_metrics(const Graph& g);
+
+/// Degree histogram: index d holds the number of nodes with degree d.
+std::vector<std::size_t> degree_histogram(const Graph& g);
+
+}  // namespace rfdnet::net

@@ -1,0 +1,208 @@
+#include "net/topology.hpp"
+
+#include <algorithm>
+#include <cstddef>
+#include <limits>
+#include <numeric>
+#include <stdexcept>
+#include <vector>
+
+namespace rfdnet::net {
+
+namespace {
+
+void require(bool ok, const char* what) {
+  if (!ok) throw std::invalid_argument(what);
+}
+
+}  // namespace
+
+Graph make_mesh_torus(int w, int h, double delay_s) {
+  require(w >= 3 && h >= 3, "make_mesh_torus: need w, h >= 3");
+  Graph g(static_cast<std::size_t>(w) * h);
+  const auto id = [w](int x, int y) {
+    return static_cast<NodeId>(y * w + x);
+  };
+  for (int y = 0; y < h; ++y) {
+    for (int x = 0; x < w; ++x) {
+      g.add_link(id(x, y), id((x + 1) % w, y), delay_s);
+      g.add_link(id(x, y), id(x, (y + 1) % h), delay_s);
+    }
+  }
+  return g;
+}
+
+Graph make_line(int n, double delay_s) {
+  require(n >= 2, "make_line: need n >= 2");
+  Graph g(static_cast<std::size_t>(n));
+  for (int i = 0; i + 1 < n; ++i) {
+    g.add_link(static_cast<NodeId>(i), static_cast<NodeId>(i + 1), delay_s);
+  }
+  return g;
+}
+
+Graph make_ring(int n, double delay_s) {
+  require(n >= 3, "make_ring: need n >= 3");
+  Graph g(static_cast<std::size_t>(n));
+  for (int i = 0; i < n; ++i) {
+    g.add_link(static_cast<NodeId>(i), static_cast<NodeId>((i + 1) % n),
+               delay_s);
+  }
+  return g;
+}
+
+Graph make_star(int n, double delay_s) {
+  require(n >= 2, "make_star: need n >= 2");
+  Graph g(static_cast<std::size_t>(n));
+  for (int i = 1; i < n; ++i) {
+    g.add_link(0, static_cast<NodeId>(i), delay_s, Relationship::kCustomer);
+  }
+  return g;
+}
+
+Graph make_clique(int n, double delay_s) {
+  require(n >= 2, "make_clique: need n >= 2");
+  Graph g(static_cast<std::size_t>(n));
+  for (int i = 0; i < n; ++i) {
+    for (int j = i + 1; j < n; ++j) {
+      g.add_link(static_cast<NodeId>(i), static_cast<NodeId>(j), delay_s);
+    }
+  }
+  return g;
+}
+
+Graph make_random(int n, double p, sim::Rng& rng, double delay_s) {
+  require(n >= 2, "make_random: need n >= 2");
+  require(p >= 0.0 && p <= 1.0, "make_random: p out of [0,1]");
+  Graph g(static_cast<std::size_t>(n));
+  // Random spanning tree (random attachment) guarantees connectivity.
+  for (int i = 1; i < n; ++i) {
+    const auto parent =
+        static_cast<NodeId>(rng.uniform_index(static_cast<std::uint64_t>(i)));
+    g.add_link(static_cast<NodeId>(i), parent, delay_s);
+  }
+  for (int i = 0; i < n; ++i) {
+    for (int j = i + 1; j < n; ++j) {
+      const auto u = static_cast<NodeId>(i);
+      const auto v = static_cast<NodeId>(j);
+      if (!g.has_link(u, v) && rng.bernoulli(p)) g.add_link(u, v, delay_s);
+    }
+  }
+  return g;
+}
+
+Graph make_internet_like(int n, sim::Rng& rng, const InternetOptions& opt) {
+  require(n >= 3, "make_internet_like: need n >= 3");
+  require(opt.attach_links >= 1, "make_internet_like: attach_links >= 1");
+  Graph g(static_cast<std::size_t>(n));
+
+  // Preferential attachment via the repeated-endpoint trick: every endpoint
+  // of every existing link goes into `endpoints`, so sampling it uniformly
+  // picks nodes proportionally to degree.
+  std::vector<NodeId> endpoints;
+  g.add_link(0, 1, opt.delay_s, Relationship::kProvider);  // 1 provides for 0
+  endpoints.push_back(0);
+  endpoints.push_back(1);
+
+  for (int i = 2; i < n; ++i) {
+    const auto u = static_cast<NodeId>(i);
+    const bool stub = rng.bernoulli(opt.stub_fraction);
+    const int m = stub ? 1 : std::min(opt.attach_links, i);
+    int added = 0;
+    int guard = 0;
+    while (added < m && guard < 64 * m) {
+      ++guard;
+      const NodeId target = endpoints[rng.uniform_index(endpoints.size())];
+      if (target == u || g.has_link(u, target)) continue;
+      // The newcomer attaches *below* the incumbent: target is u's provider.
+      g.add_link(u, target, opt.delay_s, Relationship::kProvider);
+      endpoints.push_back(u);
+      endpoints.push_back(target);
+      ++added;
+    }
+    if (added == 0) {
+      // Degenerate fallback (cannot normally happen): attach to node 0.
+      g.add_link(u, 0, opt.delay_s, Relationship::kProvider);
+      endpoints.push_back(u);
+      endpoints.push_back(0);
+    }
+  }
+
+  // Peer links between similar-rank nodes: sort by degree, link some
+  // neighbors in that ranking that are not already connected.
+  const auto extra =
+      static_cast<int>(opt.extra_peer_frac * static_cast<double>(n));
+  if (extra > 0) {
+    std::vector<NodeId> by_degree(static_cast<std::size_t>(n));
+    std::iota(by_degree.begin(), by_degree.end(), 0);
+    std::sort(by_degree.begin(), by_degree.end(), [&g](NodeId a, NodeId b) {
+      if (g.degree(a) != g.degree(b)) return g.degree(a) > g.degree(b);
+      return a < b;
+    });
+    int added = 0;
+    int guard = 0;
+    while (added < extra && guard < 64 * extra) {
+      ++guard;
+      // Pick a node biased toward the top of the ranking and pair it with a
+      // near neighbor in rank (similar degree -> plausibly a peer).
+      const auto i = static_cast<std::size_t>(
+          rng.uniform_index(static_cast<std::uint64_t>(n) / 2 + 1));
+      const auto j = i + 1 + rng.uniform_index(3);
+      if (j >= by_degree.size()) continue;
+      const NodeId a = by_degree[i];
+      const NodeId b = by_degree[j];
+      if (a == b || g.has_link(a, b)) continue;
+      g.add_link(a, b, opt.delay_s, Relationship::kPeer);
+      ++added;
+    }
+  }
+  return g;
+}
+
+std::vector<std::size_t> bfs_distances(const Graph& g, NodeId src) {
+  constexpr auto kInf = std::numeric_limits<std::size_t>::max();
+  std::vector<std::size_t> dist(g.node_count(), kInf);
+  if (src >= g.node_count()) throw std::invalid_argument("bfs: bad source");
+  std::vector<NodeId> frontier{src};
+  dist[src] = 0;
+  std::size_t d = 0;
+  while (!frontier.empty()) {
+    ++d;
+    std::vector<NodeId> next;
+    for (const NodeId u : frontier) {
+      for (const auto& e : g.neighbors(u)) {
+        if (dist[e.neighbor] == kInf) {
+          dist[e.neighbor] = d;
+          next.push_back(e.neighbor);
+        }
+      }
+    }
+    frontier = std::move(next);
+  }
+  return dist;
+}
+
+bool valley_free(const Graph& g, const std::vector<NodeId>& path) {
+  if (path.size() < 2) return true;
+  // Phases: 0 = climbing (customer->provider), 1 = after the single peer
+  // crossing or at the top, 2 = descending (provider->customer).
+  int phase = 0;
+  for (std::size_t i = 0; i + 1 < path.size(); ++i) {
+    const Relationship rel = g.endpoint(path[i], path[i + 1]).rel;
+    switch (rel) {
+      case Relationship::kProvider:  // uphill step
+        if (phase != 0) return false;
+        break;
+      case Relationship::kPeer:  // the single allowed lateral step
+        if (phase >= 1) return false;
+        phase = 1;
+        break;
+      case Relationship::kCustomer:  // downhill step
+        phase = 2;
+        break;
+    }
+  }
+  return true;
+}
+
+}  // namespace rfdnet::net

@@ -1,0 +1,61 @@
+#pragma once
+
+#include "net/graph.hpp"
+#include "sim/random.hpp"
+
+namespace rfdnet::net {
+
+/// Topology generators used by the paper's experiments (§5.1, §7) and by the
+/// test suite. All links get propagation delay `delay_s`; relationships are
+/// peer-peer unless stated otherwise.
+
+/// 2-D grid of `w` x `h` nodes whose opposite edges wrap around (a torus), so
+/// every node is topologically equal — the paper's "mesh" topology. Node
+/// (x, y) has id y*w + x. Requires w >= 3 and h >= 3 so wraparound links do
+/// not duplicate grid links.
+Graph make_mesh_torus(int w, int h, double delay_s = 0.01);
+
+/// Path 0 - 1 - ... - n-1. Requires n >= 2.
+Graph make_line(int n, double delay_s = 0.01);
+
+/// Cycle of n nodes. Requires n >= 3.
+Graph make_ring(int n, double delay_s = 0.01);
+
+/// Node 0 is the hub; all others are leaves. Requires n >= 2. Leaves are
+/// customers of the hub.
+Graph make_star(int n, double delay_s = 0.01);
+
+/// Complete graph on n nodes. Requires n >= 2.
+Graph make_clique(int n, double delay_s = 0.01);
+
+/// Connected Erdős–Rényi-style graph: a random spanning tree plus each other
+/// pair linked with probability p. Requires n >= 2, p in [0, 1].
+Graph make_random(int n, double p, sim::Rng& rng, double delay_s = 0.01);
+
+/// Options for the Internet-like generator.
+struct InternetOptions {
+  int attach_links = 2;         ///< links from a multihomed new node (BA m)
+  /// Fraction of new nodes that are single-homed stubs (degree 1) — real AS
+  /// graphs are majority-stub.
+  double stub_fraction = 0.4;
+  double extra_peer_frac = 0.05;///< extra peer-peer links, as fraction of n
+  double delay_s = 0.01;
+};
+
+/// Internet-derived-style topology: preferential attachment yields the
+/// long-tailed degree distribution of the AS graph; each new node becomes a
+/// *customer* of the nodes it attaches to, and extra peer-peer links are
+/// added between nodes of similar (high) degree. This substitutes for the
+/// paper's BGP-table-derived AS graphs (see DESIGN.md). Requires n >= 3.
+Graph make_internet_like(int n, sim::Rng& rng, const InternetOptions& opt = {});
+
+/// BFS hop distances from `src` (unreachable nodes get SIZE_MAX).
+std::vector<std::size_t> bfs_distances(const Graph& g, NodeId src);
+
+/// True if `path` (a sequence of adjacent nodes, destination last) is
+/// valley-free under the graph's relationships: traversed in the direction
+/// data flows, it climbs customer->provider links, crosses at most one peer
+/// link, then descends provider->customer links.
+bool valley_free(const Graph& g, const std::vector<NodeId>& path);
+
+}  // namespace rfdnet::net

@@ -1,0 +1,81 @@
+#include "net/topology_io.hpp"
+
+#include <algorithm>
+#include <istream>
+#include <ostream>
+#include <sstream>
+#include <stdexcept>
+
+namespace rfdnet::net {
+
+namespace {
+
+Relationship parse_rel(const std::string& s) {
+  if (s == "peer") return Relationship::kPeer;
+  if (s == "customer") return Relationship::kCustomer;
+  if (s == "provider") return Relationship::kProvider;
+  throw std::invalid_argument("topology: unknown relationship '" + s + "'");
+}
+
+}  // namespace
+
+void write_topology(std::ostream& os, const Graph& g) {
+  os << "# rfdnet topology: nodes=" << g.node_count()
+     << " links=" << g.link_count() << "\n";
+  os << "nodes " << g.node_count() << "\n";
+  for (NodeId u = 0; u < g.node_count(); ++u) {
+    for (const auto& e : g.neighbors(u)) {
+      if (e.neighbor < u) continue;  // emit each undirected link once
+      os << u << ' ' << e.neighbor << ' ' << e.delay_s << ' '
+         << to_string(e.rel) << "\n";
+    }
+  }
+}
+
+std::string serialize_topology(const Graph& g) {
+  std::ostringstream os;
+  write_topology(os, g);
+  return os.str();
+}
+
+Graph read_topology(std::istream& is) {
+  Graph g;
+  std::string line;
+  std::size_t lineno = 0;
+  while (std::getline(is, line)) {
+    ++lineno;
+    const auto first = line.find_first_not_of(" \t\r");
+    if (first == std::string::npos || line[first] == '#') continue;
+    std::istringstream ls(line);
+    std::string tok;
+    ls >> tok;
+    if (tok == "nodes") {
+      std::size_t n = 0;
+      if (!(ls >> n)) {
+        throw std::invalid_argument("topology: bad 'nodes' line " +
+                                    std::to_string(lineno));
+      }
+      while (g.node_count() < n) g.add_node();
+      continue;
+    }
+    NodeId u = 0, v = 0;
+    double delay = 0;
+    std::string rel;
+    std::istringstream es(line);
+    if (!(es >> u >> v >> delay >> rel)) {
+      throw std::invalid_argument("topology: malformed line " +
+                                  std::to_string(lineno));
+    }
+    const NodeId hi = std::max(u, v);
+    while (g.node_count() <= hi) g.add_node();
+    g.add_link(u, v, delay, parse_rel(rel));
+  }
+  return g;
+}
+
+Graph parse_topology(const std::string& text) {
+  std::istringstream is(text);
+  return read_topology(is);
+}
+
+}  // namespace rfdnet::net

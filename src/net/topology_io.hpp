@@ -1,0 +1,27 @@
+#pragma once
+
+#include <iosfwd>
+#include <string>
+
+#include "net/graph.hpp"
+
+namespace rfdnet::net {
+
+/// Plain-text edge-list format, one link per line:
+///
+///   <u> <v> <delay_seconds> <relationship-of-v-to-u>
+///
+/// where the relationship is one of `peer`, `customer`, `provider`. Lines
+/// starting with '#' and blank lines are ignored. A header line
+/// `nodes <n>` may pre-declare the node count (needed for isolated nodes).
+
+/// Serializes `g` in the format above.
+std::string serialize_topology(const Graph& g);
+void write_topology(std::ostream& os, const Graph& g);
+
+/// Parses the format above. Throws `std::invalid_argument` on malformed
+/// input (unknown relationship, bad ids, duplicate links, ...).
+Graph parse_topology(const std::string& text);
+Graph read_topology(std::istream& is);
+
+}  // namespace rfdnet::net

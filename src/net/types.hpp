@@ -1,0 +1,35 @@
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+namespace rfdnet::net {
+
+/// Identifies a node (an AS/router) in a topology. Dense, starting at 0.
+using NodeId = std::uint32_t;
+inline constexpr NodeId kInvalidNode = 0xffffffffu;
+
+/// Business relationship of a *neighbor* as seen from a given node, used by
+/// the no-valley (Gao–Rexford) routing policy.
+enum class Relationship : std::uint8_t {
+  kPeer,      ///< settlement-free peer
+  kCustomer,  ///< the neighbor is my customer (I am its provider)
+  kProvider,  ///< the neighbor is my provider (I am its customer)
+};
+
+/// The same relationship seen from the other end of the link.
+constexpr Relationship reverse(Relationship r) {
+  switch (r) {
+    case Relationship::kCustomer:
+      return Relationship::kProvider;
+    case Relationship::kProvider:
+      return Relationship::kCustomer;
+    case Relationship::kPeer:
+      return Relationship::kPeer;
+  }
+  return Relationship::kPeer;  // unreachable
+}
+
+std::string to_string(Relationship r);
+
+}  // namespace rfdnet::net

@@ -1,0 +1,34 @@
+#include "rcn/history.hpp"
+
+#include <stdexcept>
+
+namespace rfdnet::rcn {
+
+std::string RootCause::to_string() const {
+  return "{[" + std::to_string(u) + " " + std::to_string(v) + "], " +
+         (up ? "up" : "down") + ", " + std::to_string(seq) + "}";
+}
+
+RootCauseHistory::RootCauseHistory(std::size_t capacity) : capacity_(capacity) {
+  if (capacity == 0) {
+    throw std::invalid_argument("RootCauseHistory: zero capacity");
+  }
+}
+
+bool RootCauseHistory::record(const RootCause& rc) {
+  if (set_.contains(rc)) return false;
+  if (order_.size() == capacity_) {
+    set_.erase(order_.front());
+    order_.pop_front();
+  }
+  set_.insert(rc);
+  order_.push_back(rc);
+  return true;
+}
+
+void RootCauseHistory::clear() {
+  set_.clear();
+  order_.clear();
+}
+
+}  // namespace rfdnet::rcn

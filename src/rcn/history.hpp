@@ -1,0 +1,37 @@
+#pragma once
+
+#include <cstddef>
+#include <deque>
+#include <unordered_set>
+
+#include "rcn/root_cause.hpp"
+
+namespace rfdnet::rcn {
+
+/// Bounded history of root causes seen from one peer (paper §6.2).
+///
+/// The RCN-enhanced damping filter consults this before applying a penalty:
+/// only the *first* update carrying a given root cause increments the
+/// penalty; every later update with the same RC passes through penalty-free.
+/// The history is bounded FIFO so long-running routers cannot grow without
+/// limit; the bound only needs to cover root causes still circulating.
+class RootCauseHistory {
+ public:
+  explicit RootCauseHistory(std::size_t capacity = 1024);
+
+  /// Records `rc` if unseen. Returns true if this is the first sighting
+  /// (i.e. the damping penalty should be applied).
+  bool record(const RootCause& rc);
+
+  bool contains(const RootCause& rc) const { return set_.contains(rc); }
+  std::size_t size() const { return order_.size(); }
+  std::size_t capacity() const { return capacity_; }
+  void clear();
+
+ private:
+  std::size_t capacity_;
+  std::unordered_set<RootCause, RootCauseHash> set_;
+  std::deque<RootCause> order_;
+};
+
+}  // namespace rfdnet::rcn

@@ -1,0 +1,60 @@
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <string>
+
+#include "net/types.hpp"
+
+namespace rfdnet::rcn {
+
+/// Root Cause Notification attribute (paper §6.1):
+///   RC = {[u v], status, seq_num}
+/// [u v] is the link whose status change triggered the update, `up` its new
+/// status, and `seq` the per-link sequence number that orders root causes.
+/// Every update triggered (directly or through path exploration / route
+/// reuse) by the same link event carries the same RC.
+struct RootCause {
+  net::NodeId u = net::kInvalidNode;
+  net::NodeId v = net::kInvalidNode;
+  bool up = false;
+  std::uint64_t seq = 0;
+
+  friend bool operator==(const RootCause&, const RootCause&) = default;
+
+  std::string to_string() const;
+};
+
+struct RootCauseHash {
+  std::size_t operator()(const RootCause& rc) const {
+    // Mix the fields with distinct odd multipliers; quality only matters for
+    // hash-table dispersion.
+    std::uint64_t h = rc.seq * 0x9e3779b97f4a7c15ULL;
+    h ^= (static_cast<std::uint64_t>(rc.u) << 32 | rc.v) * 0xc2b2ae3d27d4eb4fULL;
+    h ^= rc.up ? 0x165667b19e3779f9ULL : 0;
+    h ^= h >> 29;
+    return static_cast<std::size_t>(h);
+  }
+};
+
+/// Issues per-link sequence numbers for root causes originated by one node.
+/// The node that detects a local link status change calls `next()` and
+/// attaches the result to the update it emits.
+class RootCauseSource {
+ public:
+  RootCauseSource(net::NodeId self, net::NodeId neighbor)
+      : self_(self), neighbor_(neighbor) {}
+
+  RootCause next(bool up) {
+    return RootCause{self_, neighbor_, up, ++seq_};
+  }
+
+  std::uint64_t last_seq() const { return seq_; }
+
+ private:
+  net::NodeId self_;
+  net::NodeId neighbor_;
+  std::uint64_t seq_ = 0;
+};
+
+}  // namespace rfdnet::rcn

@@ -1,0 +1,234 @@
+#include "rfd/damping.hpp"
+
+#include <cmath>
+#include <stdexcept>
+#include <utility>
+
+namespace rfdnet::rfd {
+
+std::string to_string(UpdateClass c) {
+  switch (c) {
+    case UpdateClass::kInitial:
+      return "initial";
+    case UpdateClass::kWithdrawal:
+      return "withdrawal";
+    case UpdateClass::kReannouncement:
+      return "reannouncement";
+    case UpdateClass::kAttrChange:
+      return "attr-change";
+    case UpdateClass::kDuplicate:
+      return "duplicate";
+  }
+  return "?";
+}
+
+DampingModule::DampingModule(net::NodeId self, std::vector<net::NodeId> peer_ids,
+                             const DampingParams& params, sim::Engine& engine,
+                             ReuseFn on_reuse, bgp::Observer* observer)
+    : self_(self),
+      peer_ids_(std::move(peer_ids)),
+      params_(params),
+      engine_(engine),
+      reuse_fn_(std::move(on_reuse)),
+      observer_(observer) {
+  params_.validate();
+  if (!reuse_fn_) throw std::invalid_argument("DampingModule: empty reuse fn");
+}
+
+DampingModule::~DampingModule() {
+  // Cancel outstanding reuse events: their callbacks capture `this`.
+  for (auto& [p, entries] : entries_) {
+    for (auto& e : entries) {
+      if (e.reuse_event != sim::kInvalidEvent) engine_.cancel(e.reuse_event);
+    }
+  }
+}
+
+void DampingModule::enable_selective() {
+  if (rcn_enabled_) {
+    throw std::logic_error("DampingModule: selective and RCN are exclusive");
+  }
+  selective_enabled_ = true;
+}
+
+void DampingModule::enable_rcn(std::size_t history_capacity) {
+  if (selective_enabled_) {
+    throw std::logic_error("DampingModule: selective and RCN are exclusive");
+  }
+  rcn_enabled_ = true;
+  rcn_history_.clear();
+  rcn_history_.reserve(peer_ids_.size());
+  for (std::size_t i = 0; i < peer_ids_.size(); ++i) {
+    rcn_history_.emplace_back(history_capacity);
+  }
+}
+
+DampingModule::Entry& DampingModule::entry(int slot, bgp::Prefix p) {
+  auto& v = entries_[p];
+  if (v.empty()) v.resize(peer_ids_.size());
+  return v.at(slot);
+}
+
+const DampingModule::Entry* DampingModule::find_entry(int slot,
+                                                      bgp::Prefix p) const {
+  const auto it = entries_.find(p);
+  if (it == entries_.end() || it->second.empty()) return nullptr;
+  return &it->second.at(slot);
+}
+
+UpdateClass DampingModule::classify(
+    const Entry& e, const bgp::UpdateMessage& msg,
+    const std::optional<bgp::Route>& prev) const {
+  if (msg.is_withdrawal()) {
+    return prev ? UpdateClass::kWithdrawal : UpdateClass::kDuplicate;
+  }
+  if (!prev) {
+    return e.ever_announced ? UpdateClass::kReannouncement
+                            : UpdateClass::kInitial;
+  }
+  return (*prev == *msg.route) ? UpdateClass::kDuplicate
+                               : UpdateClass::kAttrChange;
+}
+
+double DampingModule::increment_for(UpdateClass c) const {
+  switch (c) {
+    case UpdateClass::kWithdrawal:
+      return params_.withdrawal_penalty;
+    case UpdateClass::kReannouncement:
+      return params_.reannouncement_penalty;
+    case UpdateClass::kAttrChange:
+      return params_.attr_change_penalty;
+    case UpdateClass::kInitial:
+    case UpdateClass::kDuplicate:
+      return 0.0;
+  }
+  return 0.0;
+}
+
+void DampingModule::on_update(int slot, const bgp::UpdateMessage& msg,
+                              const std::optional<bgp::Route>& prev,
+                              bool loop_denied) {
+  Entry& e = entry(slot, msg.prefix);
+  const sim::SimTime now = engine_.now();
+  const double lambda = params_.lambda();
+
+  // A present previous route proves this entry has been announced before,
+  // even if the announcement predates this module's state (e.g. a reset).
+  if (prev) e.ever_announced = true;
+  const UpdateClass cls = classify(e, msg, prev);
+  if (msg.is_announcement()) e.ever_announced = true;
+
+  double inc = increment_for(cls);
+  if (loop_denied && !params_.charge_loop_denied) inc = 0.0;
+  if (charge_deadline_ && now > *charge_deadline_) inc = 0.0;
+
+  // Selective damping: a degrading announcement is presumed to be path
+  // exploration and passes penalty-free.
+  if (selective_enabled_ && msg.is_announcement() &&
+      msg.rel_pref == bgp::RelPref::kWorse) {
+    inc = 0.0;
+  }
+
+  // RCN filter (§6.2): only the first update carrying a fresh root cause is
+  // charged, and the penalty follows the *flap itself* rather than the
+  // perceived update (§7): a link-down root cause costs the withdrawal
+  // penalty, a link-up one the re-announcement penalty — exactly what the
+  // router adjacent to the flapping link would apply. Updates lacking the
+  // attribute fall through to normal damping.
+  if (rcn_enabled_ && msg.rc) {
+    const bool first_sighting = rcn_history_.at(slot).record(*msg.rc);
+    if (!first_sighting) {
+      inc = 0.0;
+    } else if (inc > 0.0) {
+      inc = msg.rc->up ? params_.reannouncement_penalty
+                       : params_.withdrawal_penalty;
+    }
+  }
+
+  if (inc <= 0.0) return;
+
+  // RFC 2439 memory limit: an unsuppressed penalty that has decayed below
+  // half the reuse threshold is no longer tracked.
+  if (!e.suppressed && e.penalty.at(now, lambda) < params_.reuse / 2.0) {
+    e.penalty.reset();
+  }
+
+  e.penalty.add(inc, now, lambda, params_.ceiling());
+  const double value = e.penalty.at(now, lambda);
+  if (observer_) {
+    observer_->on_penalty(self_, peer_ids_.at(slot), msg.prefix, value, now);
+  }
+
+  if (!e.suppressed && value > params_.cutoff) {
+    e.suppressed = true;
+    ++suppressed_count_;
+    if (observer_) {
+      observer_->on_suppress(self_, peer_ids_.at(slot), msg.prefix, value, now);
+    }
+    schedule_reuse(e, slot, msg.prefix);
+  } else if (e.suppressed) {
+    // The penalty grew, so the reuse crossing moved out: reschedule.
+    schedule_reuse(e, slot, msg.prefix);
+  }
+}
+
+void DampingModule::schedule_reuse(Entry& e, int slot, bgp::Prefix p) {
+  const sim::SimTime now = engine_.now();
+  sim::Duration wait =
+      e.penalty.time_to_reach(params_.reuse, now, params_.lambda());
+  if (params_.reuse_granularity_s > 0) {
+    const auto g = sim::Duration::seconds(params_.reuse_granularity_s);
+    const auto periods = (wait.as_micros() + g.as_micros() - 1) / g.as_micros();
+    wait = g * periods;
+  }
+  const sim::SimTime when = now + wait;
+  if (e.reuse_event != sim::kInvalidEvent) {
+    if (when == e.reuse_at) return;  // unchanged; keep the existing event
+    engine_.cancel(e.reuse_event);
+  }
+  e.reuse_at = when;
+  e.reuse_event =
+      engine_.schedule_at(when, [this, slot, p] { fire_reuse(slot, p); });
+}
+
+void DampingModule::fire_reuse(int slot, bgp::Prefix p) {
+  Entry& e = entry(slot, p);
+  e.reuse_event = sim::kInvalidEvent;
+  if (!e.suppressed) return;
+  e.suppressed = false;
+  --suppressed_count_;
+  const bool noisy = reuse_fn_(slot, p);
+  if (observer_) {
+    observer_->on_reuse(self_, peer_ids_.at(slot), p, noisy, engine_.now());
+  }
+}
+
+bool DampingModule::suppressed(int slot, bgp::Prefix p) const {
+  const Entry* e = find_entry(slot, p);
+  return e != nullptr && e->suppressed;
+}
+
+void DampingModule::reset() {
+  for (auto& [p, entries] : entries_) {
+    for (auto& e : entries) {
+      if (e.reuse_event != sim::kInvalidEvent) engine_.cancel(e.reuse_event);
+    }
+  }
+  entries_.clear();
+  suppressed_count_ = 0;
+  for (auto& h : rcn_history_) h.clear();
+}
+
+double DampingModule::penalty(int slot, bgp::Prefix p) const {
+  const Entry* e = find_entry(slot, p);
+  return e ? e->penalty.at(engine_.now(), params_.lambda()) : 0.0;
+}
+
+std::optional<sim::SimTime> DampingModule::reuse_time(int slot,
+                                                      bgp::Prefix p) const {
+  const Entry* e = find_entry(slot, p);
+  if (!e || !e->suppressed) return std::nullopt;
+  return e->reuse_at;
+}
+
+}  // namespace rfdnet::rfd

@@ -1,0 +1,129 @@
+#pragma once
+
+#include <functional>
+#include <optional>
+#include <unordered_map>
+#include <vector>
+
+#include "bgp/damping_hook.hpp"
+#include "bgp/observer.hpp"
+#include "rcn/history.hpp"
+#include "rfd/params.hpp"
+#include "rfd/penalty.hpp"
+#include "sim/engine.hpp"
+
+namespace rfdnet::rfd {
+
+/// How an incoming update was classified for penalty purposes.
+enum class UpdateClass : std::uint8_t {
+  kInitial,         ///< first announcement ever seen on this entry (free)
+  kWithdrawal,      ///< route removed: P_W
+  kReannouncement,  ///< route restored after withdrawal: P_A
+  kAttrChange,      ///< announcement with different attributes
+  kDuplicate,       ///< no state change (free)
+};
+
+std::string to_string(UpdateClass c);
+
+/// Per-router route flap damping (RFC 2439), one instance per router that
+/// deploys damping. State lives per RIB-IN entry (peer slot, prefix).
+///
+/// Suppression and reuse follow the paper exactly: an update pushing the
+/// penalty over the cut-off suppresses the entry and schedules a reuse event
+/// at the (exact or quantized) time the penalty will have decayed to the
+/// reuse threshold; further updates while suppressed keep charging the
+/// penalty and push the reuse event out — the raw material of the paper's
+/// timer interactions.
+///
+/// With `enable_rcn()`, the §6.2 filter is installed in front of the penalty:
+/// only the first update carrying a given root cause is charged; updates
+/// with an already-seen RC (path exploration aftershocks, route reuse
+/// announcements) pass penalty-free. Updates without an RC attribute are
+/// charged normally.
+class DampingModule final : public bgp::DampingHook {
+ public:
+  /// Invoked when a reuse timer fires; returns true if the reuse changed the
+  /// router's best route (a "noisy" reuse). Typically bound to
+  /// `BgpRouter::on_reuse`.
+  using ReuseFn = std::function<bool(int slot, bgp::Prefix)>;
+
+  /// `peer_ids[slot]` maps slots to neighbor ids (observer reporting only).
+  DampingModule(net::NodeId self, std::vector<net::NodeId> peer_ids,
+                const DampingParams& params, sim::Engine& engine,
+                ReuseFn on_reuse, bgp::Observer* observer = nullptr);
+  ~DampingModule() override;
+
+  DampingModule(const DampingModule&) = delete;
+  DampingModule& operator=(const DampingModule&) = delete;
+
+  /// Installs the RCN filter (paper §6.2).
+  void enable_rcn(std::size_t history_capacity = 1024);
+  bool rcn_enabled() const { return rcn_enabled_; }
+
+  /// Installs *selective route flap damping* (Mao et al., SIGCOMM 2002; the
+  /// prior fix §6 of the paper argues is insufficient): announcements whose
+  /// relative-preference attribute marks a *degrading* route — the
+  /// signature of path exploration — are not charged. Withdrawals and
+  /// improving/equal announcements are charged normally, so (exactly as the
+  /// paper notes) it neither catches all exploration updates nor prevents
+  /// secondary charging: a reuse announcement ranks as an improvement and
+  /// is charged at full price. Mutually exclusive with RCN.
+  void enable_selective();
+  bool selective_enabled() const { return selective_enabled_; }
+
+  /// Ablation hook (§5.2 decomposition): ignore all penalty increments after
+  /// `t`. Freezing at the end of the charging period isolates the effect of
+  /// path exploration alone — no secondary charging can occur.
+  void set_charge_deadline(sim::SimTime t) { charge_deadline_ = t; }
+
+  // bgp::DampingHook:
+  void on_update(int slot, const bgp::UpdateMessage& msg,
+                 const std::optional<bgp::Route>& previous_route,
+                 bool loop_denied) override;
+  bool suppressed(int slot, bgp::Prefix p) const override;
+  void reset() override;
+
+  /// Decayed penalty value of the entry (slot, p) right now.
+  double penalty(int slot, bgp::Prefix p) const;
+  /// Scheduled reuse time for a suppressed entry; nullopt otherwise.
+  std::optional<sim::SimTime> reuse_time(int slot, bgp::Prefix p) const;
+  /// Number of currently suppressed entries on this router.
+  int suppressed_count() const { return suppressed_count_; }
+
+  const DampingParams& params() const { return params_; }
+
+ private:
+  struct Entry {
+    PenaltyState penalty;
+    bool suppressed = false;
+    bool ever_announced = false;
+    sim::EventId reuse_event = sim::kInvalidEvent;
+    sim::SimTime reuse_at;
+  };
+
+  Entry& entry(int slot, bgp::Prefix p);
+  const Entry* find_entry(int slot, bgp::Prefix p) const;
+  UpdateClass classify(const Entry& e, const bgp::UpdateMessage& msg,
+                       const std::optional<bgp::Route>& prev) const;
+  double increment_for(UpdateClass c) const;
+  void schedule_reuse(Entry& e, int slot, bgp::Prefix p);
+  void fire_reuse(int slot, bgp::Prefix p);
+
+  net::NodeId self_;
+  std::vector<net::NodeId> peer_ids_;
+  DampingParams params_;
+  sim::Engine& engine_;
+  ReuseFn reuse_fn_;
+  bgp::Observer* observer_;
+
+  bool rcn_enabled_ = false;
+  bool selective_enabled_ = false;
+  std::optional<sim::SimTime> charge_deadline_;
+  std::vector<rcn::RootCauseHistory> rcn_history_;  // per slot
+
+  // entries_[p] is indexed by peer slot.
+  std::unordered_map<bgp::Prefix, std::vector<Entry>> entries_;
+  int suppressed_count_ = 0;
+};
+
+}  // namespace rfdnet::rfd

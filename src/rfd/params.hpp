@@ -1,0 +1,58 @@
+#pragma once
+
+#include <string>
+
+namespace rfdnet::rfd {
+
+/// Route flap damping configuration (RFC 2439; Table 1 of the paper).
+///
+/// Penalty increments are applied per received update by type; the penalty
+/// decays exponentially with half-life `half_life_s`; an entry whose penalty
+/// exceeds `cutoff` is suppressed until it decays below `reuse`. The
+/// `max_suppress_s` hold-down bounds suppression by capping the penalty at
+/// `ceiling()` (= 12000 with Cisco defaults — the figure §5.2 of the paper
+/// quotes).
+struct DampingParams {
+  double withdrawal_penalty = 1000.0;      ///< P_W
+  double reannouncement_penalty = 0.0;     ///< P_A
+  double attr_change_penalty = 500.0;      ///< attributes-change increment
+  double cutoff = 2000.0;                  ///< P_cut
+  double reuse = 750.0;                    ///< P_reuse
+  double half_life_s = 900.0;              ///< H (15 min)
+  double max_suppress_s = 3600.0;          ///< max hold-down (60 min)
+
+  /// Reuse-timer granularity: 0 = exact threshold-crossing events; > 0
+  /// rounds each reuse up to the next multiple (real routers sweep reuse
+  /// lists periodically; Cisco uses 10 s).
+  double reuse_granularity_s = 0.0;
+
+  /// Whether announcements denied by AS-path loop detection are charged the
+  /// withdrawal penalty for the route they invalidate. Off (default) models
+  /// inbound filtering running before damping; on is an ablation that shows
+  /// how heavily exploration-induced upstream switches would distort
+  /// penalties.
+  bool charge_loop_denied = false;
+
+  /// Cisco defaults (Table 1, left column).
+  static DampingParams cisco();
+  /// Juniper defaults (Table 1, right column): re-announcements are
+  /// penalized like withdrawals and the cut-off is higher.
+  static DampingParams juniper();
+
+  /// Exponential decay rate: lambda = ln 2 / H.
+  double lambda() const;
+
+  /// Penalty ceiling implied by the max hold-down time:
+  /// reuse * 2^(max_suppress / half_life).
+  double ceiling() const;
+
+  /// Throws `std::invalid_argument` when the configuration is inconsistent
+  /// (non-positive thresholds, reuse >= cutoff, negative penalties, ...).
+  void validate() const;
+
+  std::string to_string() const;
+
+  friend bool operator==(const DampingParams&, const DampingParams&) = default;
+};
+
+}  // namespace rfdnet::rfd

@@ -1,0 +1,35 @@
+#include "rfd/penalty.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+namespace rfdnet::rfd {
+
+double PenaltyState::at(sim::SimTime now, double lambda) const {
+  if (value_ == 0.0) return 0.0;
+  const double dt = (now - stamp_).as_seconds();
+  return value_ * std::exp(-lambda * dt);
+}
+
+void PenaltyState::add(double increment, sim::SimTime now, double lambda,
+                       double ceiling) {
+  if (increment < 0) throw std::invalid_argument("PenaltyState: negative add");
+  value_ = std::min(at(now, lambda) + increment, ceiling);
+  stamp_ = now;
+}
+
+sim::Duration PenaltyState::time_to_reach(double target, sim::SimTime now,
+                                          double lambda) const {
+  if (target <= 0) throw std::invalid_argument("PenaltyState: target <= 0");
+  const double v = at(now, lambda);
+  if (v <= target) return sim::Duration::zero();
+  return sim::Duration::seconds(std::log(v / target) / lambda);
+}
+
+void PenaltyState::reset() {
+  value_ = 0.0;
+  stamp_ = sim::SimTime::zero();
+}
+
+}  // namespace rfdnet::rfd

@@ -1,0 +1,35 @@
+#pragma once
+
+#include "sim/time.hpp"
+
+namespace rfdnet::rfd {
+
+/// A lazily-decayed damping penalty: stores (value, stamp) and computes
+/// p(t) = p(t0) * e^(-lambda (t - t0)) on access (Eq. 1 of the paper), so no
+/// periodic decay events are needed and reuse times are exact.
+class PenaltyState {
+ public:
+  /// Current value at `now`.
+  double at(sim::SimTime now, double lambda) const;
+
+  /// Adds `increment` at `now`, clamping the result to `ceiling`.
+  void add(double increment, sim::SimTime now, double lambda, double ceiling);
+
+  /// Time from `now` until the value decays to `target`; zero if already at
+  /// or below it. `target` must be positive.
+  sim::Duration time_to_reach(double target, sim::SimTime now,
+                              double lambda) const;
+
+  /// Forgets all penalty (RFC 2439 "no longer tracked" state).
+  void reset();
+
+  bool is_zero() const { return value_ == 0.0; }
+  /// Raw stored value (at the last update stamp), for tests.
+  double raw() const { return value_; }
+
+ private:
+  double value_ = 0.0;
+  sim::SimTime stamp_;
+};
+
+}  // namespace rfdnet::rfd

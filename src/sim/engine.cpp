@@ -1,0 +1,66 @@
+#include "sim/engine.hpp"
+
+#include <stdexcept>
+#include <utility>
+
+namespace rfdnet::sim {
+
+EventId Engine::schedule_at(SimTime t, std::function<void()> fn) {
+  if (t < now_) throw std::logic_error("Engine: scheduling into the past");
+  if (!fn) throw std::logic_error("Engine: empty event handler");
+  const EventId id = next_id_++;
+  heap_.push(Entry{t, next_seq_++, id});
+  handlers_.emplace(id, std::move(fn));
+  ++live_;
+  return id;
+}
+
+EventId Engine::schedule_after(Duration d, std::function<void()> fn) {
+  if (d.is_negative()) throw std::logic_error("Engine: negative delay");
+  return schedule_at(now_ + d, std::move(fn));
+}
+
+bool Engine::cancel(EventId id) {
+  const auto it = handlers_.find(id);
+  if (it == handlers_.end()) return false;
+  handlers_.erase(it);
+  --live_;
+  return true;
+}
+
+bool Engine::step() {
+  while (!heap_.empty()) {
+    const Entry top = heap_.top();
+    heap_.pop();
+    const auto it = handlers_.find(top.id);
+    if (it == handlers_.end()) continue;  // cancelled; discard lazily
+    // Move the handler out before running it: the handler may schedule or
+    // cancel other events (rehashing handlers_) or even re-enter the engine.
+    std::function<void()> fn = std::move(it->second);
+    handlers_.erase(it);
+    --live_;
+    now_ = top.time;
+    ++executed_;
+    fn();
+    return true;
+  }
+  return false;
+}
+
+std::uint64_t Engine::run(SimTime horizon) {
+  std::uint64_t n = 0;
+  while (!heap_.empty()) {
+    // Skip over cancelled entries to find the true next event time.
+    const Entry top = heap_.top();
+    if (!handlers_.contains(top.id)) {
+      heap_.pop();
+      continue;
+    }
+    if (top.time > horizon) break;
+    step();
+    ++n;
+  }
+  return n;
+}
+
+}  // namespace rfdnet::sim

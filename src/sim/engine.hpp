@@ -1,0 +1,78 @@
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <queue>
+#include <unordered_map>
+#include <vector>
+
+#include "sim/time.hpp"
+
+namespace rfdnet::sim {
+
+/// Identifies a scheduled event; 0 is never a valid id.
+using EventId = std::uint64_t;
+inline constexpr EventId kInvalidEvent = 0;
+
+/// Discrete-event simulation engine: a simulated clock plus an event queue.
+///
+/// Events scheduled for the same instant run in scheduling order (FIFO), so a
+/// simulation driven purely by one `Engine` and one `Rng` is deterministic.
+/// Cancellation is lazy: cancelled events stay in the heap and are discarded
+/// when popped.
+class Engine {
+ public:
+  Engine() = default;
+  Engine(const Engine&) = delete;
+  Engine& operator=(const Engine&) = delete;
+
+  /// Current simulated time. Advances only while events run.
+  SimTime now() const { return now_; }
+
+  /// Schedules `fn` to run at absolute time `t`. Scheduling in the past
+  /// (before `now()`) is a programming error and throws `std::logic_error`.
+  EventId schedule_at(SimTime t, std::function<void()> fn);
+
+  /// Schedules `fn` to run `d` after `now()`. Negative delays throw.
+  EventId schedule_after(Duration d, std::function<void()> fn);
+
+  /// Cancels a pending event. Returns false if the event already ran, was
+  /// already cancelled, or never existed.
+  bool cancel(EventId id);
+
+  /// Number of live (not-yet-run, not-cancelled) events.
+  std::size_t pending() const { return live_; }
+
+  /// Runs the next event, if any. Returns false when the queue is empty.
+  bool step();
+
+  /// Runs events until the queue is empty or the next event would be after
+  /// `horizon`. Returns the number of events executed.
+  std::uint64_t run(SimTime horizon = SimTime::max());
+
+  /// Total number of events executed so far.
+  std::uint64_t executed() const { return executed_; }
+
+ private:
+  struct Entry {
+    SimTime time;
+    std::uint64_t seq;  // tie-break: FIFO for equal times
+    EventId id;
+  };
+  struct Later {
+    bool operator()(const Entry& a, const Entry& b) const {
+      if (a.time != b.time) return a.time > b.time;
+      return a.seq > b.seq;
+    }
+  };
+
+  SimTime now_;
+  std::uint64_t next_seq_ = 0;
+  EventId next_id_ = 1;
+  std::size_t live_ = 0;
+  std::uint64_t executed_ = 0;
+  std::priority_queue<Entry, std::vector<Entry>, Later> heap_;
+  std::unordered_map<EventId, std::function<void()>> handlers_;
+};
+
+}  // namespace rfdnet::sim

@@ -1,0 +1,21 @@
+#include "sim/time.hpp"
+
+#include <cstdio>
+
+namespace rfdnet::sim {
+
+namespace {
+
+std::string format_seconds(double s) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.6fs", s);
+  return buf;
+}
+
+}  // namespace
+
+std::string Duration::to_string() const { return format_seconds(as_seconds()); }
+
+std::string SimTime::to_string() const { return format_seconds(as_seconds()); }
+
+}  // namespace rfdnet::sim

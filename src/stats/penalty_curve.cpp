@@ -1,0 +1,34 @@
+#include "stats/penalty_curve.hpp"
+
+#include <cmath>
+#include <stdexcept>
+
+namespace rfdnet::stats {
+
+std::vector<std::pair<double, double>> sample_penalty_curve(
+    const std::vector<std::pair<double, double>>& events, double lambda,
+    double step_s, double until_s, double floor) {
+  if (step_s <= 0) throw std::invalid_argument("penalty curve: step <= 0");
+  std::vector<std::pair<double, double>> out;
+  if (events.empty()) return out;
+
+  std::size_t next = 0;
+  double t = events.front().first;
+  double value = 0.0;
+  double last_event_t = t;
+  while (t <= until_s) {
+    // Apply decay since the last anchor, then any events at or before t.
+    while (next < events.size() && events[next].first <= t) {
+      value = events[next].second;
+      last_event_t = events[next].first;
+      ++next;
+    }
+    const double decayed = value * std::exp(-lambda * (t - last_event_t));
+    out.emplace_back(t, decayed);
+    if (next >= events.size() && decayed < floor) break;
+    t += step_s;
+  }
+  return out;
+}
+
+}  // namespace rfdnet::stats

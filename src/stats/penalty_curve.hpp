@@ -1,0 +1,16 @@
+#pragma once
+
+#include <utility>
+#include <vector>
+
+namespace rfdnet::stats {
+
+/// Reconstructs the continuous penalty-vs-time curve (Figs. 3 and 7) from
+/// discrete post-update samples: between samples the penalty decays
+/// exponentially with rate `lambda`; after the last sample it decays until
+/// it drops below `floor` (or `until_s` is reached).
+std::vector<std::pair<double, double>> sample_penalty_curve(
+    const std::vector<std::pair<double, double>>& events, double lambda,
+    double step_s, double until_s, double floor = 1.0);
+
+}  // namespace rfdnet::stats

@@ -1,0 +1,128 @@
+#include "stats/phase.hpp"
+
+#include <algorithm>
+
+namespace rfdnet::stats {
+
+std::string to_string(PhaseKind k) {
+  switch (k) {
+    case PhaseKind::kCharging:
+      return "charging";
+    case PhaseKind::kSuppression:
+      return "suppression";
+    case PhaseKind::kReleasing:
+      return "releasing";
+    case PhaseKind::kConverged:
+      return "converged";
+  }
+  return "?";
+}
+
+namespace {
+
+struct Interval {
+  double t0, t1;
+};
+
+/// Busy intervals (counter > 0), merged across gaps shorter than `merge_gap`.
+std::vector<Interval> busy_intervals(
+    const std::vector<std::pair<double, int>>& deltas, double merge_gap) {
+  std::vector<Interval> raw;
+  int counter = 0;
+  double open_at = 0.0;
+  for (const auto& [t, d] : deltas) {
+    const int before = counter;
+    counter += d;
+    if (before <= 0 && counter > 0) {
+      open_at = t;
+    } else if (before > 0 && counter <= 0) {
+      raw.push_back(Interval{open_at, t});
+    }
+  }
+  if (counter > 0 && !deltas.empty()) {
+    raw.push_back(Interval{open_at, deltas.back().first});
+  }
+
+  std::vector<Interval> merged;
+  for (const auto& iv : raw) {
+    if (!merged.empty() && iv.t0 - merged.back().t1 < merge_gap) {
+      merged.back().t1 = std::max(merged.back().t1, iv.t1);
+    } else {
+      merged.push_back(iv);
+    }
+  }
+  return merged;
+}
+
+}  // namespace
+
+std::vector<Phase> classify_phases(const PhaseInput& in) {
+  std::vector<Phase> out;
+  const auto busy = busy_intervals(in.busy_deltas, in.min_quiet_s);
+
+  if (busy.empty()) {
+    out.push_back(Phase{PhaseKind::kConverged, in.first_flap_s, in.first_flap_s});
+    return out;
+  }
+
+  // Charging runs from the first flap until the network first goes quiet.
+  const double charging_end = busy.front().t1;
+  out.push_back(Phase{PhaseKind::kCharging, in.first_flap_s, charging_end});
+
+  double cursor = charging_end;
+  for (std::size_t i = 1; i < busy.size(); ++i) {
+    // Quiet with more activity to come: a suppression period — some noisy
+    // reuse timer is still pending and will start the next wave.
+    out.push_back(Phase{PhaseKind::kSuppression, cursor, busy[i].t0});
+    out.push_back(Phase{PhaseKind::kReleasing, busy[i].t0, busy[i].t1});
+    cursor = busy[i].t1;
+  }
+
+  // Policy can make a noisy reuse produce no updates (§7); if noisy fires
+  // remain after the last wave, the network is still "suppressed" until the
+  // last of them resolves.
+  double last_noisy = cursor;
+  for (const auto& [t, noisy] : in.reuse_fires) {
+    if (noisy && t > cursor) last_noisy = std::max(last_noisy, t);
+  }
+  if (last_noisy > cursor) {
+    out.push_back(Phase{PhaseKind::kSuppression, cursor, last_noisy});
+    cursor = last_noisy;
+  }
+
+  out.push_back(Phase{PhaseKind::kConverged, cursor, cursor});
+  return out;
+}
+
+std::vector<Phase> coalesce_phases(const std::vector<Phase>& phases) {
+  std::vector<Phase> out;
+  bool seen_release = false;
+  for (const Phase& ph : phases) {
+    switch (ph.kind) {
+      case PhaseKind::kCharging:
+        out.push_back(ph);
+        break;
+      case PhaseKind::kSuppression:
+      case PhaseKind::kReleasing:
+        if (ph.kind == PhaseKind::kReleasing) seen_release = true;
+        // Before the first release: suppression. From the first release on,
+        // everything merges into one releasing span.
+        if (!out.empty() &&
+            out.back().kind ==
+                (seen_release ? PhaseKind::kReleasing : PhaseKind::kSuppression)) {
+          out.back().t1_s = ph.t1_s;
+        } else {
+          out.push_back(Phase{seen_release ? PhaseKind::kReleasing
+                                           : PhaseKind::kSuppression,
+                              ph.t0_s, ph.t1_s});
+        }
+        break;
+      case PhaseKind::kConverged:
+        out.push_back(ph);
+        break;
+    }
+  }
+  return out;
+}
+
+}  // namespace rfdnet::stats

@@ -1,0 +1,54 @@
+#pragma once
+
+#include <string>
+#include <utility>
+#include <vector>
+
+namespace rfdnet::stats {
+
+/// The four network-wide damping states of paper §4.1 (Fig. 4).
+enum class PhaseKind : std::uint8_t {
+  kCharging,     ///< updates in flight, penalties charging, since first flap
+  kSuppression,  ///< quiet, but noisy reuse timers still pending
+  kReleasing,    ///< reuse expirations are triggering update waves
+  kConverged,    ///< quiet and no noisy reuse timer left
+};
+
+std::string to_string(PhaseKind k);
+
+struct Phase {
+  PhaseKind kind;
+  double t0_s;
+  double t1_s;  ///< end; for the final converged phase equals t0_s
+  double duration() const { return t1_s - t0_s; }
+};
+
+struct PhaseInput {
+  /// Time of the first flap (start of charging).
+  double first_flap_s = 0.0;
+  /// Time-ordered (+1/-1) deltas of "updates in transit or waiting to be
+  /// sent" (from `Recorder::busy_deltas`).
+  std::vector<std::pair<double, int>> busy_deltas;
+  /// Reuse timer firings: (time, noisy).
+  std::vector<std::pair<double, bool>> reuse_fires;
+  /// A quiet gap shorter than this does not end a releasing period — the
+  /// strict definitions would label every lull between two reuse
+  /// expirations a new suppression state, which is technically true but not
+  /// how the paper reads Fig. 10; the merge keeps phases legible.
+  double min_quiet_s = 30.0;
+};
+
+/// Decomposes a simulation run into the four phases. The result always
+/// starts with a charging phase at `first_flap_s` and ends with a converged
+/// phase; suppression/releasing pairs alternate in between as reuse timers
+/// fire and trigger secondary charging.
+std::vector<Phase> classify_phases(const PhaseInput& in);
+
+/// Collapses a fine-grained decomposition into the paper's Fig. 10(a) view:
+/// one charging phase, one suppression phase (the first long quiet period),
+/// one releasing phase spanning everything from the first reuse wave to the
+/// last activity, then converged. Phases of other shapes (e.g. no
+/// suppression at all) collapse naturally to fewer entries.
+std::vector<Phase> coalesce_phases(const std::vector<Phase>& phases);
+
+}  // namespace rfdnet::stats

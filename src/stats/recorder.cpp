@@ -1,0 +1,103 @@
+#include "stats/recorder.hpp"
+
+#include <algorithm>
+
+namespace rfdnet::stats {
+
+Recorder::Recorder(double bin_width_s)
+    : bin_width_s_(bin_width_s), updates_(bin_width_s) {}
+
+void Recorder::probe_penalty(net::NodeId node, std::optional<net::NodeId> peer) {
+  probe_node_ = node;
+  probe_peer_ = peer;
+}
+
+void Recorder::reset() {
+  sent_ = 0;
+  delivered_ = 0;
+  dropped_ = 0;
+  first_send_s_.reset();
+  last_delivery_s_.reset();
+  updates_.clear();
+  delivery_times_.clear();
+  damped_.clear();
+  busy_.clear();
+  reuses_.clear();
+  suppressions_.clear();
+  trace_.clear();
+  penalty_events_.clear();
+  update_log_.clear();
+  max_penalty_ = 0.0;
+}
+
+void Recorder::on_send(net::NodeId, net::NodeId, const bgp::UpdateMessage&,
+                       sim::SimTime t) {
+  ++sent_;
+  if (!first_send_s_) first_send_s_ = t.as_seconds();
+  busy_.emplace_back(t.as_seconds(), +1);
+}
+
+void Recorder::on_deliver(net::NodeId from, net::NodeId to,
+                          const bgp::UpdateMessage& m, sim::SimTime t) {
+  ++delivered_;
+  last_delivery_s_ = t.as_seconds();
+  updates_.add(t.as_seconds());
+  delivery_times_.push_back(t.as_seconds());
+  busy_.emplace_back(t.as_seconds(), -1);
+  if (record_updates_) {
+    update_log_.push_back(UpdateRecord{t.as_seconds(), from, to, m.kind, m.rc});
+  }
+}
+
+void Recorder::on_drop(net::NodeId, net::NodeId, const bgp::UpdateMessage&,
+                       sim::SimTime t) {
+  // A dropped update leaves the "in flight" set without being delivered.
+  ++dropped_;
+  busy_.emplace_back(t.as_seconds(), -1);
+}
+
+void Recorder::on_pending_change(net::NodeId, int delta, sim::SimTime t) {
+  busy_.emplace_back(t.as_seconds(), delta);
+}
+
+void Recorder::on_penalty(net::NodeId node, net::NodeId peer, bgp::Prefix,
+                          double penalty, sim::SimTime t) {
+  max_penalty_ = std::max(max_penalty_, penalty);
+  if (record_all_) {
+    penalty_events_.push_back(PenaltyEvent{t.as_seconds(), node, peer, penalty});
+  }
+  if (probe_node_ && node == *probe_node_ &&
+      (!probe_peer_ || peer == *probe_peer_)) {
+    trace_.push_back(PenaltySample{t.as_seconds(), penalty});
+  }
+}
+
+void Recorder::on_suppress(net::NodeId node, net::NodeId peer, bgp::Prefix,
+                           double penalty, sim::SimTime t) {
+  suppressions_.push_back(SuppressEvent{t.as_seconds(), node, peer, penalty});
+  damped_.add(t.as_seconds(), +1);
+}
+
+void Recorder::on_reuse(net::NodeId node, net::NodeId peer, bgp::Prefix,
+                        bool noisy, sim::SimTime t) {
+  reuses_.push_back(ReuseEvent{t.as_seconds(), node, peer, noisy});
+  damped_.add(t.as_seconds(), -1);
+}
+
+std::optional<double> Recorder::last_delivery_s() const {
+  return last_delivery_s_;
+}
+
+std::optional<double> Recorder::first_send_s() const { return first_send_s_; }
+
+std::uint64_t Recorder::noisy_reuse_count() const {
+  return static_cast<std::uint64_t>(
+      std::count_if(reuses_.begin(), reuses_.end(),
+                    [](const ReuseEvent& e) { return e.noisy; }));
+}
+
+std::uint64_t Recorder::silent_reuse_count() const {
+  return reuses_.size() - noisy_reuse_count();
+}
+
+}  // namespace rfdnet::stats

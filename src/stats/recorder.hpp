@@ -1,0 +1,144 @@
+#pragma once
+
+#include <cstdint>
+#include <limits>
+#include <optional>
+#include <utility>
+#include <vector>
+
+#include "bgp/observer.hpp"
+#include "stats/time_series.hpp"
+
+namespace rfdnet::stats {
+
+/// Records everything the paper's figures are built from. Attach one
+/// `Recorder` as the network observer; call `reset()` between the warm-up
+/// and the measured flapping phase.
+class Recorder final : public bgp::Observer {
+ public:
+  struct ReuseEvent {
+    double t_s;
+    net::NodeId node;
+    net::NodeId peer;
+    bool noisy;
+  };
+  struct SuppressEvent {
+    double t_s;
+    net::NodeId node;
+    net::NodeId peer;
+    double penalty;
+  };
+  struct PenaltySample {
+    double t_s;
+    double value;
+  };
+  struct PenaltyEvent {
+    double t_s;
+    net::NodeId node;
+    net::NodeId peer;
+    double value;
+  };
+
+  explicit Recorder(double bin_width_s = 5.0);
+
+  /// Record penalty samples only for entries at `node` (from any peer); by
+  /// default no penalty trace is kept. Used for Figs. 3 and 7.
+  void probe_penalty(net::NodeId node, std::optional<net::NodeId> peer = {});
+
+  /// Additionally keep every penalty event network-wide (entry-level audit).
+  void record_all_penalties(bool on) { record_all_ = on; }
+  const std::vector<PenaltyEvent>& penalty_events() const {
+    return penalty_events_;
+  }
+
+  struct UpdateRecord {
+    double t_s;
+    net::NodeId from;
+    net::NodeId to;
+    bgp::UpdateKind kind;
+    std::optional<rcn::RootCause> rc;
+  };
+  /// Additionally keep every delivered update (full wire audit).
+  void record_update_log(bool on) { record_updates_ = on; }
+  const std::vector<UpdateRecord>& update_log() const { return update_log_; }
+
+  /// Clears all recorded data (damping/suppression deltas restart at the
+  /// *current* suppressed count, which the caller should have reset too).
+  void reset();
+
+  // Observer:
+  void on_send(net::NodeId from, net::NodeId to, const bgp::UpdateMessage& m,
+               sim::SimTime t) override;
+  void on_deliver(net::NodeId from, net::NodeId to,
+                  const bgp::UpdateMessage& m, sim::SimTime t) override;
+  void on_drop(net::NodeId from, net::NodeId to, const bgp::UpdateMessage& m,
+               sim::SimTime t) override;
+  void on_pending_change(net::NodeId node, int delta, sim::SimTime t) override;
+  void on_penalty(net::NodeId node, net::NodeId peer, bgp::Prefix p,
+                  double penalty, sim::SimTime t) override;
+  void on_suppress(net::NodeId node, net::NodeId peer, bgp::Prefix p,
+                   double penalty, sim::SimTime t) override;
+  void on_reuse(net::NodeId node, net::NodeId peer, bgp::Prefix p, bool noisy,
+                sim::SimTime t) override;
+
+  // --- Metrics ---
+  std::uint64_t sent_count() const { return sent_; }
+  std::uint64_t delivered_count() const { return delivered_; }
+  std::uint64_t dropped_count() const { return dropped_; }
+  /// Time of the last update delivery, or nullopt if none recorded.
+  std::optional<double> last_delivery_s() const;
+  /// Time of the first send after the last reset.
+  std::optional<double> first_send_s() const;
+
+  /// Updates delivered, binned (Fig. 10 top row).
+  const TimeSeries& update_series() const { return updates_; }
+  /// Raw delivery instants, in order (for re-binning on a shifted origin).
+  const std::vector<double>& delivery_times() const { return delivery_times_; }
+  /// Suppressed-entry ("damped link") count over time (Fig. 10 bottom row).
+  const StepSeries& damped_links() const { return damped_; }
+  /// +1 on send/pending, -1 on deliver/flush: >0 means updates are in
+  /// transit or waiting — the busy condition of the phase definitions.
+  const std::vector<std::pair<double, int>>& busy_deltas() const {
+    return busy_;
+  }
+
+  const std::vector<ReuseEvent>& reuse_events() const { return reuses_; }
+  const std::vector<SuppressEvent>& suppress_events() const {
+    return suppressions_;
+  }
+  const std::vector<PenaltySample>& penalty_trace() const { return trace_; }
+
+  std::uint64_t noisy_reuse_count() const;
+  std::uint64_t silent_reuse_count() const;
+  std::uint64_t suppress_count() const { return suppressions_.size(); }
+
+  /// Highest penalty value ever recorded anywhere in the network (used to
+  /// check the paper's §5.2 claim that path exploration alone cannot come
+  /// near the 12000 ceiling).
+  double max_penalty_seen() const { return max_penalty_; }
+
+ private:
+  double bin_width_s_;
+  std::optional<net::NodeId> probe_node_;
+  std::optional<net::NodeId> probe_peer_;
+
+  std::uint64_t sent_ = 0;
+  std::uint64_t delivered_ = 0;
+  std::uint64_t dropped_ = 0;
+  std::optional<double> first_send_s_;
+  std::optional<double> last_delivery_s_;
+  TimeSeries updates_;
+  std::vector<double> delivery_times_;
+  StepSeries damped_;
+  std::vector<std::pair<double, int>> busy_;
+  std::vector<ReuseEvent> reuses_;
+  std::vector<SuppressEvent> suppressions_;
+  std::vector<PenaltySample> trace_;
+  bool record_all_ = false;
+  std::vector<PenaltyEvent> penalty_events_;
+  bool record_updates_ = false;
+  std::vector<UpdateRecord> update_log_;
+  double max_penalty_ = 0.0;
+};
+
+}  // namespace rfdnet::stats

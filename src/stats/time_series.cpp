@@ -1,0 +1,92 @@
+#include "stats/time_series.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+namespace rfdnet::stats {
+
+TimeSeries::TimeSeries(double bin_width_s) : bin_width_s_(bin_width_s) {
+  if (bin_width_s <= 0) throw std::invalid_argument("TimeSeries: bin <= 0");
+}
+
+void TimeSeries::add(double t_s) {
+  if (t_s < 0) throw std::invalid_argument("TimeSeries: negative time");
+  const auto bin = static_cast<std::size_t>(t_s / bin_width_s_);
+  if (bin >= counts_.size()) counts_.resize(bin + 1, 0);
+  ++counts_[bin];
+  ++total_;
+}
+
+void TimeSeries::clear() {
+  counts_.clear();
+  total_ = 0;
+}
+
+std::uint64_t TimeSeries::at_time(double t_s) const {
+  if (t_s < 0) return 0;
+  return at(static_cast<std::size_t>(t_s / bin_width_s_));
+}
+
+std::vector<std::pair<double, std::uint64_t>> TimeSeries::nonzero() const {
+  std::vector<std::pair<double, std::uint64_t>> out;
+  for (std::size_t i = 0; i < counts_.size(); ++i) {
+    if (counts_[i]) out.emplace_back(static_cast<double>(i) * bin_width_s_,
+                                     counts_[i]);
+  }
+  return out;
+}
+
+void StepSeries::add(double t_s, int delta) {
+  if (!deltas_.empty() && t_s < deltas_.back().first) {
+    throw std::invalid_argument("StepSeries: time went backwards");
+  }
+  deltas_.emplace_back(t_s, delta);
+}
+
+void StepSeries::clear() { deltas_.clear(); }
+
+int StepSeries::value_at(double t_s) const {
+  int v = 0;
+  for (const auto& [t, d] : deltas_) {
+    if (t > t_s) break;
+    v += d;
+  }
+  return v;
+}
+
+int StepSeries::final_value() const {
+  int v = 0;
+  for (const auto& [t, d] : deltas_) v += d;
+  return v;
+}
+
+int StepSeries::max_value() const {
+  int v = 0, best = 0;
+  for (const auto& [t, d] : deltas_) {
+    v += d;
+    best = std::max(best, v);
+  }
+  return best;
+}
+
+double StepSeries::last_time() const {
+  return deltas_.empty() ? 0.0 : deltas_.back().first;
+}
+
+std::vector<std::pair<double, int>> StepSeries::steps() const {
+  std::vector<std::pair<double, int>> out;
+  out.reserve(deltas_.size());
+  int v = 0;
+  for (const auto& [t, d] : deltas_) {
+    v += d;
+    if (!out.empty() && out.back().first == t) {
+      out.back().second = v;
+    } else {
+      out.emplace_back(t, v);
+    }
+  }
+  return out;
+}
+
+}  // namespace rfdnet::stats

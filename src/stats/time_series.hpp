@@ -1,0 +1,63 @@
+#pragma once
+
+#include <cstdint>
+#include <utility>
+#include <vector>
+
+namespace rfdnet::stats {
+
+/// Counts events into fixed-width time bins (the paper plots update series
+/// in 5-second bins, Fig. 10 top row).
+class TimeSeries {
+ public:
+  explicit TimeSeries(double bin_width_s = 5.0);
+
+  void add(double t_s);
+  void clear();
+
+  double bin_width_s() const { return bin_width_s_; }
+  std::size_t bin_count() const { return counts_.size(); }
+  std::uint64_t total() const { return total_; }
+
+  /// Count in bin `i` (zero for bins past the end).
+  std::uint64_t at(std::size_t i) const {
+    return i < counts_.size() ? counts_[i] : 0;
+  }
+  /// Count in the bin containing time `t_s`.
+  std::uint64_t at_time(double t_s) const;
+
+  /// (bin start time, count) for every non-empty bin.
+  std::vector<std::pair<double, std::uint64_t>> nonzero() const;
+
+ private:
+  double bin_width_s_;
+  std::vector<std::uint64_t> counts_;
+  std::uint64_t total_ = 0;
+};
+
+/// An integer step function built from time-ordered +1/-1 deltas — used for
+/// the "number of links being suppressed" curves (Fig. 10 bottom row).
+class StepSeries {
+ public:
+  /// Appends a delta at time `t_s`. Times must be non-decreasing.
+  void add(double t_s, int delta);
+  void clear();
+
+  bool empty() const { return deltas_.empty(); }
+  std::size_t event_count() const { return deltas_.size(); }
+
+  /// Value right after the last delta at or before `t_s`.
+  int value_at(double t_s) const;
+  int final_value() const;
+  int max_value() const;
+  /// Time of the last event, or 0 when empty.
+  double last_time() const;
+
+  /// The step function as (time, value-after) points.
+  std::vector<std::pair<double, int>> steps() const;
+
+ private:
+  std::vector<std::pair<double, int>> deltas_;
+};
+
+}  // namespace rfdnet::stats

@@ -1,0 +1,69 @@
+#include "bgp/as_path.hpp"
+
+#include <gtest/gtest.h>
+
+#include "bgp/route.hpp"
+
+namespace rfdnet::bgp {
+namespace {
+
+TEST(AsPath, DefaultIsEmpty) {
+  AsPath p;
+  EXPECT_TRUE(p.empty());
+  EXPECT_EQ(p.length(), 0u);
+}
+
+TEST(AsPath, OriginSingleHop) {
+  const AsPath p = AsPath::origin(7);
+  EXPECT_EQ(p.length(), 1u);
+  EXPECT_EQ(p.front(), 7u);
+  EXPECT_EQ(p.origin_as(), 7u);
+}
+
+TEST(AsPath, PrependBuildsPath) {
+  const AsPath p = AsPath::origin(1).prepended(2).prepended(3);
+  EXPECT_EQ(p.length(), 3u);
+  EXPECT_EQ(p.front(), 3u);
+  EXPECT_EQ(p.origin_as(), 1u);
+  EXPECT_EQ(p.hops(), (std::vector<net::NodeId>{3, 2, 1}));
+}
+
+TEST(AsPath, PrependDoesNotMutate) {
+  const AsPath p = AsPath::origin(1);
+  const AsPath q = p.prepended(2);
+  EXPECT_EQ(p.length(), 1u);
+  EXPECT_EQ(q.length(), 2u);
+}
+
+TEST(AsPath, Contains) {
+  const AsPath p = AsPath::origin(1).prepended(2).prepended(3);
+  EXPECT_TRUE(p.contains(1));
+  EXPECT_TRUE(p.contains(2));
+  EXPECT_TRUE(p.contains(3));
+  EXPECT_FALSE(p.contains(4));
+}
+
+TEST(AsPath, Equality) {
+  const AsPath a = AsPath::origin(1).prepended(2);
+  const AsPath b = AsPath::origin(1).prepended(2);
+  const AsPath c = AsPath::origin(1).prepended(3);
+  EXPECT_EQ(a, b);
+  EXPECT_NE(a, c);
+  EXPECT_NE(a, AsPath::origin(1));
+}
+
+TEST(AsPath, ToString) {
+  EXPECT_EQ(AsPath::origin(1).prepended(2).to_string(), "[2 1]");
+  EXPECT_EQ(AsPath().to_string(), "[]");
+}
+
+TEST(Route, EqualityIncludesPref) {
+  const Route a{AsPath::origin(1), 100};
+  const Route b{AsPath::origin(1), 100};
+  const Route c{AsPath::origin(1), 200};
+  EXPECT_EQ(a, b);
+  EXPECT_NE(a, c);
+}
+
+}  // namespace
+}  // namespace rfdnet::bgp

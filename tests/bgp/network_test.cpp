@@ -1,0 +1,216 @@
+#include "bgp/network.hpp"
+
+#include <gtest/gtest.h>
+
+#include <map>
+#include <set>
+
+#include "bgp/policy.hpp"
+#include "net/topology.hpp"
+#include "stats/recorder.hpp"
+
+namespace rfdnet::bgp {
+namespace {
+
+constexpr Prefix kP = 0;
+
+struct Net {
+  explicit Net(const net::Graph& g, Policy& policy, Observer* obs = nullptr,
+               TimingConfig cfg = {})
+      : graph(g), timing(cfg), network(graph, timing, policy, engine, rng, obs) {}
+
+  net::Graph graph;
+  TimingConfig timing;
+  sim::Engine engine;
+  sim::Rng rng{1};
+  BgpNetwork network;
+};
+
+TEST(BgpNetwork, LineConverges) {
+  ShortestPathPolicy policy;
+  Net n(net::make_line(5), policy);
+  n.network.router(0).originate(kP);
+  n.engine.run();
+  EXPECT_TRUE(n.network.all_reachable(kP));
+  // Hop counts match the line distance.
+  for (net::NodeId u = 1; u < 5; ++u) {
+    EXPECT_EQ(n.network.router(u).best(kP)->path.length(), u);
+  }
+}
+
+TEST(BgpNetwork, RingUsesShortestSide) {
+  ShortestPathPolicy policy;
+  Net n(net::make_ring(8), policy);
+  n.network.router(0).originate(kP);
+  n.engine.run();
+  ASSERT_TRUE(n.network.all_reachable(kP));
+  EXPECT_EQ(n.network.router(1).best(kP)->path.length(), 1u);
+  EXPECT_EQ(n.network.router(7).best(kP)->path.length(), 1u);
+  EXPECT_EQ(n.network.router(4).best(kP)->path.length(), 4u);
+}
+
+TEST(BgpNetwork, MeshConvergesToBfsDistances) {
+  ShortestPathPolicy policy;
+  Net n(net::make_mesh_torus(5, 5), policy);
+  n.network.router(7).originate(kP);
+  n.engine.run();
+  ASSERT_TRUE(n.network.all_reachable(kP));
+  const auto dist = net::bfs_distances(n.graph, 7);
+  for (net::NodeId u = 0; u < n.graph.node_count(); ++u) {
+    if (u == 7) continue;  // the origin holds its own one-hop path
+    // The AS path includes the origin but not the holder: length = distance.
+    EXPECT_EQ(n.network.router(u).best(kP)->path.length(), dist[u])
+        << "node " << u;
+  }
+}
+
+TEST(BgpNetwork, WithdrawalEmptiesNetwork) {
+  ShortestPathPolicy policy;
+  Net n(net::make_mesh_torus(4, 4), policy);
+  n.network.router(0).originate(kP);
+  n.engine.run();
+  ASSERT_TRUE(n.network.all_reachable(kP));
+  n.network.router(0).withdraw_origin(kP);
+  n.engine.run();
+  EXPECT_TRUE(n.network.none_reachable(kP));
+}
+
+TEST(BgpNetwork, FlapRestoresRoutes) {
+  ShortestPathPolicy policy;
+  Net n(net::make_ring(6), policy);
+  n.network.router(0).originate(kP);
+  n.engine.run();
+  n.network.router(0).withdraw_origin(kP);
+  n.engine.run();
+  n.network.router(0).originate(kP);
+  n.engine.run();
+  EXPECT_TRUE(n.network.all_reachable(kP));
+}
+
+TEST(BgpNetwork, ConvergedPathsAreLoopFree) {
+  ShortestPathPolicy policy;
+  Net n(net::make_mesh_torus(4, 4), policy);
+  n.network.router(3).originate(kP);
+  n.engine.run();
+  for (net::NodeId u = 0; u < n.graph.node_count(); ++u) {
+    if (u == 3) continue;  // origin
+    const auto best = n.network.router(u).best(kP);
+    ASSERT_TRUE(best.has_value());
+    std::set<net::NodeId> seen;
+    for (const auto hop : best->path.hops()) {
+      EXPECT_TRUE(seen.insert(hop).second) << "loop at node " << u;
+    }
+    EXPECT_FALSE(best->path.contains(u));
+  }
+}
+
+TEST(BgpNetwork, ConvergedPathsFollowGraphLinks) {
+  ShortestPathPolicy policy;
+  Net n(net::make_mesh_torus(4, 4), policy);
+  n.network.router(9).originate(kP);
+  n.engine.run();
+  for (net::NodeId u = 0; u < n.graph.node_count(); ++u) {
+    if (u == 9) continue;  // origin
+    const auto best = n.network.router(u).best(kP);
+    ASSERT_TRUE(best.has_value());
+    // u links to the first hop; successive hops are linked.
+    const auto& hops = best->path.hops();
+    EXPECT_TRUE(n.graph.has_link(u, hops.front()));
+    for (std::size_t i = 0; i + 1 < hops.size(); ++i) {
+      EXPECT_TRUE(n.graph.has_link(hops[i], hops[i + 1]));
+    }
+  }
+}
+
+TEST(BgpNetwork, DeterministicForSeed) {
+  ShortestPathPolicy policy;
+  std::uint64_t counts[2];
+  std::uint64_t events[2];
+  for (int i = 0; i < 2; ++i) {
+    Net n(net::make_mesh_torus(5, 5), policy);
+    n.network.router(0).originate(kP);
+    n.engine.run();
+    n.network.router(0).withdraw_origin(kP);
+    n.engine.run();
+    counts[i] = n.network.delivered_count();
+    events[i] = n.engine.executed();
+  }
+  EXPECT_EQ(counts[0], counts[1]);
+  EXPECT_EQ(events[0], events[1]);
+}
+
+TEST(BgpNetwork, LinkDeliveriesAreFifo) {
+  // BGP sessions ride on TCP: updates on a directed link must arrive in
+  // send order. (A reordered withdrawal once left phantom routes behind —
+  // this guards the fix.)
+  ShortestPathPolicy policy;
+  stats::Recorder recorder;
+  recorder.record_update_log(true);
+  TimingConfig cfg;
+  cfg.proc_delay_min_s = 0.0;
+  cfg.proc_delay_max_s = 1.0;  // huge jitter to provoke reordering attempts
+  cfg.mrai_s = 1.0;
+  Net n(net::make_mesh_torus(4, 4), policy, &recorder, cfg);
+  n.network.router(0).originate(kP);
+  n.engine.run();
+  n.network.router(0).withdraw_origin(kP);
+  n.engine.run();
+  n.network.router(0).originate(kP);
+  n.engine.run();
+
+  std::map<std::pair<net::NodeId, net::NodeId>, double> last;
+  for (const auto& u : recorder.update_log()) {
+    auto& t = last[{u.from, u.to}];
+    EXPECT_GE(u.t_s, t);
+    t = u.t_s;
+  }
+  EXPECT_GT(recorder.update_log().size(), 100u);
+}
+
+TEST(BgpNetwork, NoValleyConvergesValleyFree) {
+  NoValleyPolicy policy;
+  sim::Rng topo_rng(5);
+  const net::Graph g = net::make_internet_like(40, topo_rng);
+  Net n(g, policy);
+  n.network.router(17).originate(kP);
+  n.engine.run();
+  for (net::NodeId u = 0; u < n.graph.node_count(); ++u) {
+    if (u == 17) continue;  // origin
+    const auto best = n.network.router(u).best(kP);
+    if (!best) continue;  // policy may legitimately hide the route
+    std::vector<net::NodeId> walk{u};
+    for (const auto hop : best->path.hops()) walk.push_back(hop);
+    EXPECT_TRUE(net::valley_free(n.graph, walk)) << "node " << u;
+  }
+}
+
+TEST(BgpNetwork, NoValleyReachesEveryoneFromCustomer) {
+  // A route originated at a leaf customer is exported upward by providers
+  // and downward everywhere: every node should learn it.
+  NoValleyPolicy policy;
+  sim::Rng topo_rng(6);
+  const net::Graph g = net::make_internet_like(40, topo_rng);
+  // Pick a leaf (degree 1): its single neighbor is its provider.
+  net::NodeId leaf = 0;
+  for (net::NodeId u = 0; u < g.node_count(); ++u) {
+    if (g.degree(u) == 1) {
+      leaf = u;
+      break;
+    }
+  }
+  Net n(g, policy);
+  n.network.router(leaf).originate(kP);
+  n.engine.run();
+  EXPECT_TRUE(n.network.all_reachable(kP));
+}
+
+TEST(BgpNetwork, RouterAccessorsAndSize) {
+  ShortestPathPolicy policy;
+  Net n(net::make_line(3), policy);
+  EXPECT_EQ(n.network.size(), 3u);
+  EXPECT_EQ(n.network.router(1).id(), 1u);
+  EXPECT_EQ(&n.network.graph(), &n.graph);
+}
+
+}  // namespace
+}  // namespace rfdnet::bgp

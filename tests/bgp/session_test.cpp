@@ -1,0 +1,200 @@
+// Link/session failure semantics: session teardown, re-establishment,
+// in-flight loss, and their interaction with damping.
+
+#include <gtest/gtest.h>
+
+#include "bgp/network.hpp"
+#include "bgp/policy.hpp"
+#include "net/topology.hpp"
+#include "stats/recorder.hpp"
+
+namespace rfdnet::bgp {
+namespace {
+
+constexpr Prefix kP = 0;
+
+struct Net {
+  explicit Net(const net::Graph& g, Observer* obs = nullptr)
+      : graph(g), network(graph, timing, policy, engine, rng, obs) {}
+
+  net::Graph graph;
+  TimingConfig timing;
+  ShortestPathPolicy policy;
+  sim::Engine engine;
+  sim::Rng rng{1};
+  BgpNetwork network;
+};
+
+TEST(Session, LinksStartUp) {
+  Net n(net::make_line(3));
+  EXPECT_TRUE(n.network.link_is_up(0, 1));
+  EXPECT_TRUE(n.network.link_is_up(1, 2));
+}
+
+TEST(Session, UnknownLinkThrows) {
+  Net n(net::make_line(3));
+  EXPECT_THROW(n.network.link_is_up(0, 2), std::invalid_argument);
+  EXPECT_THROW(n.network.set_link(0, 2, false), std::invalid_argument);
+}
+
+TEST(Session, DownCutsRoutePropagation) {
+  Net n(net::make_line(3));
+  n.network.router(0).originate(kP);
+  n.engine.run();
+  ASSERT_TRUE(n.network.all_reachable(kP));
+
+  n.network.set_link(1, 2, false);
+  n.engine.run();
+  EXPECT_FALSE(n.network.link_is_up(1, 2));
+  EXPECT_TRUE(n.network.router(1).best(kP).has_value());
+  EXPECT_FALSE(n.network.router(2).best(kP).has_value());
+}
+
+TEST(Session, UpReestablishesAndReadvertises) {
+  Net n(net::make_line(3));
+  n.network.router(0).originate(kP);
+  n.engine.run();
+  n.network.set_link(1, 2, false);
+  n.engine.run();
+  ASSERT_FALSE(n.network.router(2).best(kP).has_value());
+
+  n.network.set_link(1, 2, true);
+  n.engine.run();
+  EXPECT_TRUE(n.network.all_reachable(kP));
+  EXPECT_EQ(n.network.router(2).best(kP)->path.length(), 2u);
+}
+
+TEST(Session, AlternatePathSurvivesLinkFailure) {
+  Net n(net::make_ring(4));
+  n.network.router(0).originate(kP);
+  n.engine.run();
+  // Node 1 reaches 0 directly; cut that link and it should go the long way.
+  ASSERT_EQ(n.network.router(1).best(kP)->path.length(), 1u);
+  n.network.set_link(0, 1, false);
+  n.engine.run();
+  ASSERT_TRUE(n.network.router(1).best(kP).has_value());
+  EXPECT_EQ(n.network.router(1).best(kP)->path.length(), 3u);  // via 2, 3
+}
+
+TEST(Session, InFlightMessagesAreLost) {
+  stats::Recorder recorder;
+  Net n(net::make_line(2), &recorder);
+  n.network.router(0).originate(kP);
+  // The announcement is in flight; cut the link before delivery.
+  n.network.set_link(0, 1, false);
+  n.engine.run();
+  EXPECT_FALSE(n.network.router(1).best(kP).has_value());
+  EXPECT_GE(n.network.dropped_count(), 1u);
+  EXPECT_GE(recorder.dropped_count(), 1u);
+}
+
+TEST(Session, FlapCycleConvergesCleanly) {
+  Net n(net::make_mesh_torus(4, 4));
+  n.network.router(0).originate(kP);
+  n.engine.run();
+  for (int i = 0; i < 3; ++i) {
+    n.network.set_link(0, 1, false);
+    n.engine.run();
+    n.network.set_link(0, 1, true);
+    n.engine.run();
+  }
+  EXPECT_TRUE(n.network.all_reachable(kP));
+  // Busy accounting balanced: deliveries + drops == sends.
+}
+
+TEST(Session, RedundantTransitionsAreNoOps) {
+  stats::Recorder recorder;
+  Net n(net::make_line(3), &recorder);
+  n.network.router(0).originate(kP);
+  n.engine.run();
+  const auto delivered = n.network.delivered_count();
+  n.network.set_link(1, 2, true);  // already up
+  n.engine.run();
+  EXPECT_EQ(n.network.delivered_count(), delivered);
+}
+
+TEST(Session, DownGeneratesWithdrawalsDownstream) {
+  stats::Recorder recorder;
+  recorder.record_update_log(true);
+  Net n(net::make_line(4), &recorder);
+  n.network.router(0).originate(kP);
+  n.engine.run();
+  recorder.reset();
+  n.network.set_link(0, 1, false);
+  n.engine.run();
+  // 1 withdraws to 2, 2 withdraws to 3.
+  int withdrawals = 0;
+  for (const auto& u : recorder.update_log()) {
+    withdrawals += u.kind == UpdateKind::kWithdrawal;
+  }
+  EXPECT_GE(withdrawals, 2);
+  // The origin keeps its own route; everyone beyond the cut loses theirs.
+  EXPECT_TRUE(n.network.router(0).best(kP).has_value());
+  for (net::NodeId u = 1; u < 4; ++u) {
+    EXPECT_FALSE(n.network.router(u).best(kP).has_value()) << u;
+  }
+}
+
+struct CountingHook final : DampingHook {
+  void on_update(int, const UpdateMessage& msg, const std::optional<Route>& prev,
+                 bool) override {
+    if (msg.is_withdrawal() && prev) ++withdrawals_seen;
+  }
+  bool suppressed(int, Prefix) const override { return false; }
+  void reset() override {}
+  int withdrawals_seen = 0;
+};
+
+TEST(Session, DampingChargesImplicitWithdrawals) {
+  // Session loss shows up as a withdrawal to the damping hook.
+  Net n(net::make_line(2));
+  BgpRouter& r1 = n.network.router(1);
+  CountingHook hook;
+  r1.set_damping(&hook);
+  n.network.router(0).originate(kP);
+  n.engine.run();
+  n.network.set_link(0, 1, false);
+  n.engine.run();
+  EXPECT_EQ(hook.withdrawals_seen, 1);
+}
+
+TEST(Session, RootCausesAttachedToSessionEvents) {
+  stats::Recorder recorder;
+  recorder.record_update_log(true);
+  Net n(net::make_line(3), &recorder);
+  n.network.router(0).originate(kP);
+  n.engine.run();
+
+  // Capture updates after the failure: they must carry an RC naming the
+  // failed link with monotonically increasing sequence numbers.
+  struct RcProbe final : Observer {
+    std::vector<rcn::RootCause> rcs;
+    void on_deliver(net::NodeId, net::NodeId, const UpdateMessage& m,
+                    sim::SimTime) override {
+      if (m.rc) rcs.push_back(*m.rc);
+    }
+  };
+  // The recorder was installed at construction; use a second network pass:
+  RcProbe probe;
+  Net m(net::make_line(3), &probe);
+  m.network.router(0).originate(kP);
+  m.engine.run();
+  probe.rcs.clear();
+  m.network.set_link(0, 1, false);
+  m.engine.run();
+  ASSERT_FALSE(probe.rcs.empty());
+  for (const auto& rc : probe.rcs) {
+    EXPECT_FALSE(rc.up);
+    EXPECT_EQ(rc.seq, 1u);
+    const bool names_link = (rc.u == 0 && rc.v == 1) || (rc.u == 1 && rc.v == 0);
+    EXPECT_TRUE(names_link);
+  }
+  m.network.set_link(0, 1, true);
+  m.engine.run();
+  bool saw_up = false;
+  for (const auto& rc : probe.rcs) saw_up |= (rc.up && rc.seq == 2);
+  EXPECT_TRUE(saw_up);
+}
+
+}  // namespace
+}  // namespace rfdnet::bgp

@@ -1,0 +1,90 @@
+#include "core/cli.hpp"
+
+#include <gtest/gtest.h>
+
+#include <stdexcept>
+
+namespace rfdnet::core {
+namespace {
+
+ArgParser make() {
+  return ArgParser({"verbose", "json"}, {"nodes", "seed", "ratio", "name"});
+}
+
+TEST(ArgParser, EmptyArgsOk) {
+  auto p = make();
+  EXPECT_TRUE(p.parse({}));
+  EXPECT_FALSE(p.has("verbose"));
+  EXPECT_EQ(p.get("name", "dflt"), "dflt");
+}
+
+TEST(ArgParser, BooleanFlags) {
+  auto p = make();
+  ASSERT_TRUE(p.parse({"--verbose"}));
+  EXPECT_TRUE(p.has("verbose"));
+  EXPECT_FALSE(p.has("json"));
+}
+
+TEST(ArgParser, ValueFlags) {
+  auto p = make();
+  ASSERT_TRUE(p.parse({"--nodes", "42", "--name", "mesh"}));
+  EXPECT_EQ(p.get_int("nodes", 0), 42);
+  EXPECT_EQ(p.get("name"), "mesh");
+}
+
+TEST(ArgParser, TypedGetters) {
+  auto p = make();
+  ASSERT_TRUE(p.parse({"--ratio", "0.75", "--seed", "12345678901"}));
+  EXPECT_DOUBLE_EQ(p.get_double("ratio", 0), 0.75);
+  EXPECT_EQ(p.get_u64("seed", 0), 12345678901ull);
+  EXPECT_EQ(p.get_int("nodes", -7), -7);  // absent -> default
+  EXPECT_DOUBLE_EQ(p.get_double("nodes", 2.5), 2.5);
+}
+
+TEST(ArgParser, UnknownFlagRejected) {
+  auto p = make();
+  EXPECT_FALSE(p.parse({"--bogus"}));
+  EXPECT_NE(p.error().find("bogus"), std::string::npos);
+}
+
+TEST(ArgParser, MissingValueRejected) {
+  auto p = make();
+  EXPECT_FALSE(p.parse({"--nodes"}));
+  EXPECT_NE(p.error().find("missing value"), std::string::npos);
+}
+
+TEST(ArgParser, NonFlagRejected) {
+  auto p = make();
+  EXPECT_FALSE(p.parse({"positional"}));
+  EXPECT_FALSE(p.parse({"--"}));
+  EXPECT_FALSE(p.parse({"-x"}));
+}
+
+TEST(ArgParser, ArgcArgvForm) {
+  auto p = make();
+  const char* argv[] = {"prog", "--verbose", "--nodes", "7"};
+  ASSERT_TRUE(p.parse(4, argv));
+  EXPECT_TRUE(p.has("verbose"));
+  EXPECT_EQ(p.get_int("nodes", 0), 7);
+}
+
+TEST(ArgParser, ReparseResetsState) {
+  auto p = make();
+  ASSERT_TRUE(p.parse({"--verbose"}));
+  ASSERT_TRUE(p.parse({"--nodes", "3"}));
+  EXPECT_FALSE(p.has("verbose"));
+  EXPECT_TRUE(p.has("nodes"));
+}
+
+TEST(ArgParser, LastValueWins) {
+  auto p = make();
+  ASSERT_TRUE(p.parse({"--nodes", "1", "--nodes", "2"}));
+  EXPECT_EQ(p.get_int("nodes", 0), 2);
+}
+
+TEST(ArgParser, DuplicateRegistrationThrows) {
+  EXPECT_THROW(ArgParser({"x"}, {"x"}), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace rfdnet::core

@@ -1,0 +1,82 @@
+#include "core/gnuplot.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <fstream>
+#include <stdexcept>
+
+namespace rfdnet::core {
+namespace {
+
+GnuplotFigure sample() {
+  GnuplotFigure fig("figtest", "A Title", "x (s)", "y");
+  fig.add_series("alpha", {{0, 1}, {1, 2}, {2, 4}});
+  fig.add_series("beta", {{0, 3}, {1, 1}});
+  return fig;
+}
+
+TEST(GnuplotFigure, RejectsEmptyName) {
+  EXPECT_THROW(GnuplotFigure("", "t", "x", "y"), std::invalid_argument);
+}
+
+TEST(GnuplotFigure, DatHasBlockPerSeries) {
+  const auto fig = sample();
+  const std::string dat = fig.dat_contents();
+  EXPECT_NE(dat.find("# series 0: alpha"), std::string::npos);
+  EXPECT_NE(dat.find("# series 1: beta"), std::string::npos);
+  // Blocks separated by a double blank line.
+  EXPECT_NE(dat.find("\n\n\n"), std::string::npos);
+  EXPECT_NE(dat.find("2 4"), std::string::npos);
+}
+
+TEST(GnuplotFigure, ScriptPlotsEveryIndex) {
+  const auto fig = sample();
+  const std::string gp = fig.script_contents();
+  EXPECT_NE(gp.find("set output \"figtest.png\""), std::string::npos);
+  EXPECT_NE(gp.find("index 0"), std::string::npos);
+  EXPECT_NE(gp.find("index 1"), std::string::npos);
+  EXPECT_NE(gp.find("title \"alpha\""), std::string::npos);
+  EXPECT_NE(gp.find("set title \"A Title\""), std::string::npos);
+  EXPECT_EQ(gp.find("logscale"), std::string::npos);
+}
+
+TEST(GnuplotFigure, LogScaleAndSteps) {
+  auto fig = sample();
+  fig.set_log_y(true);
+  fig.set_steps(true);
+  const std::string gp = fig.script_contents();
+  EXPECT_NE(gp.find("set logscale y"), std::string::npos);
+  EXPECT_NE(gp.find("with steps"), std::string::npos);
+}
+
+TEST(GnuplotFigure, EscapesQuotesInLabels) {
+  GnuplotFigure fig("f", "say \"hi\"", "x", "y");
+  fig.add_series("a\"b", {{0, 0}});
+  const std::string gp = fig.script_contents();
+  EXPECT_NE(gp.find("say \\\"hi\\\""), std::string::npos);
+  EXPECT_NE(gp.find("a\\\"b"), std::string::npos);
+}
+
+TEST(GnuplotFigure, WritesFiles) {
+  const auto fig = sample();
+  const std::string dir = ::testing::TempDir();
+  fig.write(dir);
+  std::ifstream dat(dir + "/figtest.dat");
+  std::ifstream gp(dir + "/figtest.gp");
+  ASSERT_TRUE(dat.good());
+  ASSERT_TRUE(gp.good());
+  std::string line;
+  std::getline(dat, line);
+  EXPECT_EQ(line, "# series 0: alpha");
+  std::remove((dir + "/figtest.dat").c_str());
+  std::remove((dir + "/figtest.gp").c_str());
+}
+
+TEST(GnuplotFigure, WriteToMissingDirThrows) {
+  const auto fig = sample();
+  EXPECT_THROW(fig.write("/nonexistent-dir-xyz"), std::runtime_error);
+}
+
+}  // namespace
+}  // namespace rfdnet::core

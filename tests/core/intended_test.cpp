@@ -1,0 +1,190 @@
+#include "core/intended.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+namespace rfdnet::core {
+namespace {
+
+TEST(FlapPattern, EventsAlternateWandA) {
+  const FlapPattern p{2, 60.0};
+  const auto ev = p.events();
+  ASSERT_EQ(ev.size(), 4u);
+  EXPECT_DOUBLE_EQ(ev[0].first, 0.0);
+  EXPECT_EQ(ev[0].second, bgp::UpdateKind::kWithdrawal);
+  EXPECT_DOUBLE_EQ(ev[1].first, 60.0);
+  EXPECT_EQ(ev[1].second, bgp::UpdateKind::kAnnouncement);
+  EXPECT_DOUBLE_EQ(ev[2].first, 120.0);
+  EXPECT_DOUBLE_EQ(ev[3].first, 180.0);
+}
+
+TEST(FlapPattern, StopTime) {
+  EXPECT_DOUBLE_EQ((FlapPattern{1, 60.0}).stop_time_s(), 60.0);
+  EXPECT_DOUBLE_EQ((FlapPattern{3, 60.0}).stop_time_s(), 300.0);
+  EXPECT_DOUBLE_EQ((FlapPattern{0, 60.0}).stop_time_s(), 0.0);
+}
+
+TEST(IntendedModel, SinglePulseNoSuppression) {
+  const IntendedBehaviorModel m(rfd::DampingParams::cisco());
+  const auto pred = m.predict(FlapPattern{1, 60.0});
+  EXPECT_FALSE(pred.ever_suppressed);
+  EXPECT_EQ(pred.suppression_onset_pulse, 0);
+  EXPECT_DOUBLE_EQ(pred.reuse_delay_s, 0.0);
+  EXPECT_NEAR(pred.penalty_at_stop, 1000.0 * std::exp(-m.params().lambda() * 60),
+              0.5);
+}
+
+TEST(IntendedModel, TwoPulsesStillBelowCutoff) {
+  const IntendedBehaviorModel m(rfd::DampingParams::cisco());
+  const auto pred = m.predict(FlapPattern{2, 60.0});
+  EXPECT_FALSE(pred.ever_suppressed);
+}
+
+TEST(IntendedModel, SuppressionOnsetAtThirdPulseCisco) {
+  // §3 with Table 1 Cisco values and 60 s interval: the 3rd withdrawal
+  // pushes the penalty over 2000.
+  const IntendedBehaviorModel m(rfd::DampingParams::cisco());
+  const auto pred = m.predict(FlapPattern{3, 60.0});
+  EXPECT_TRUE(pred.ever_suppressed);
+  EXPECT_EQ(pred.suppression_onset_pulse, 3);
+  EXPECT_TRUE(pred.suppressed_at_stop);
+  EXPECT_GT(pred.reuse_delay_s, 20.0 * 60.0);  // "r is at least 20 minutes"
+}
+
+TEST(IntendedModel, PenaltyRecurrenceMatchesClosedForm) {
+  // p(k) = sum_i f(i) * exp(-lambda * (t_k - t_i)) — Eq. in §3.
+  const rfd::DampingParams params = rfd::DampingParams::cisco();
+  const IntendedBehaviorModel m(params);
+  const FlapPattern pattern{4, 60.0};
+  const auto pred = m.predict(pattern);
+  // Withdrawals at 0, 120, 240, 360; announcements are free for Cisco.
+  const double lam = params.lambda();
+  double expect = 0.0;
+  for (const double tw : {0.0, 120.0, 240.0}) {
+    expect += 1000.0 * std::exp(-lam * (360.0 - tw));
+  }
+  expect += 1000.0;
+  ASSERT_EQ(pred.penalty_events.size(), 8u);
+  EXPECT_NEAR(pred.penalty_events[6].second, expect, 0.5);  // after 4th W
+}
+
+TEST(IntendedModel, ReuseDelayClosedForm) {
+  const rfd::DampingParams params = rfd::DampingParams::cisco();
+  const IntendedBehaviorModel m(params);
+  const auto pred = m.predict(FlapPattern{5, 60.0});
+  ASSERT_TRUE(pred.suppressed_at_stop);
+  EXPECT_NEAR(pred.reuse_delay_s,
+              std::log(pred.penalty_at_stop / params.reuse) / params.lambda(),
+              1e-6);
+}
+
+TEST(IntendedModel, JuniperSuppressesLaterDespiteReannouncementPenalty) {
+  // Juniper: +1000 per W and per A, but cutoff 3000.
+  const IntendedBehaviorModel m(rfd::DampingParams::juniper());
+  const auto one = m.predict(FlapPattern{1, 60.0});
+  EXPECT_FALSE(one.ever_suppressed);  // 1000 then 1954 < 3000
+  const auto two = m.predict(FlapPattern{2, 60.0});
+  EXPECT_TRUE(two.ever_suppressed);   // 3rd update (2nd W) exceeds 3000
+}
+
+TEST(IntendedModel, PenaltyMonotoneInPulses) {
+  const IntendedBehaviorModel m(rfd::DampingParams::cisco());
+  double prev = 0.0;
+  for (int n = 1; n <= 20; ++n) {
+    const auto pred = m.predict(FlapPattern{n, 60.0});
+    EXPECT_GE(pred.penalty_at_stop, prev - 1e-9);
+    prev = pred.penalty_at_stop;
+  }
+}
+
+TEST(IntendedModel, PenaltyCappedAtCeiling) {
+  const rfd::DampingParams params = rfd::DampingParams::cisco();
+  const IntendedBehaviorModel m(params);
+  const auto pred = m.predict(FlapPattern{500, 10.0});
+  EXPECT_LE(pred.penalty_at_stop, params.ceiling() + 1e-9);
+  EXPECT_LE(pred.reuse_delay_s, params.max_suppress_s + 1.0);
+}
+
+TEST(IntendedModel, IntendedConvergenceAddsTup) {
+  const IntendedBehaviorModel m(rfd::DampingParams::cisco());
+  const double tup = 40.0;
+  // No suppression: just t_up.
+  EXPECT_DOUBLE_EQ(m.intended_convergence_s(FlapPattern{1, 60.0}, tup), tup);
+  // Suppression: r + t_up.
+  const auto pred = m.predict(FlapPattern{5, 60.0});
+  EXPECT_NEAR(m.intended_convergence_s(FlapPattern{5, 60.0}, tup),
+              pred.reuse_delay_s + tup, 1e-9);
+  // Zero pulses converge instantly.
+  EXPECT_DOUBLE_EQ(m.intended_convergence_s(FlapPattern{0, 60.0}, tup), 0.0);
+}
+
+TEST(IntendedModel, SuppressionCanLapseBetweenSparseFlaps) {
+  // Flaps 2 hours apart: penalty decays below reuse before the next flap;
+  // the route is never suppressed at stop time.
+  const IntendedBehaviorModel m(rfd::DampingParams::cisco());
+  const auto pred = m.predict(FlapPattern{10, 7200.0});
+  EXPECT_FALSE(pred.suppressed_at_stop);
+  EXPECT_DOUBLE_EQ(pred.reuse_delay_s, 0.0);
+}
+
+TEST(IntendedModel, CriticalPulsesFindsCrossover) {
+  const IntendedBehaviorModel m(rfd::DampingParams::cisco());
+  // r(3) ~ 1683 s; r grows with n. An RT_net of 2000 s needs more pulses.
+  const int n = m.critical_pulses(60.0, 2000.0);
+  EXPECT_GT(n, 3);
+  EXPECT_LE(n, 20);
+  const auto pred = m.predict(FlapPattern{n, 60.0});
+  EXPECT_GT(pred.reuse_delay_s, 2000.0);
+  const auto before = m.predict(FlapPattern{n - 1, 60.0});
+  EXPECT_LE(before.reuse_delay_s, 2000.0);
+}
+
+TEST(IntendedModel, CriticalPulsesUnreachableReturnsSentinel) {
+  const IntendedBehaviorModel m(rfd::DampingParams::cisco());
+  // r is capped at one hour; an RT_net beyond that is never outlasted.
+  EXPECT_EQ(m.critical_pulses(60.0, 100000.0, 30), 31);
+}
+
+TEST(IntendedModel, PredictEventsMatchesPatternForm) {
+  const IntendedBehaviorModel m(rfd::DampingParams::cisco());
+  const FlapPattern pattern{4, 60.0};
+  const auto a = m.predict(pattern);
+  const auto b = m.predict_events(pattern.events());
+  EXPECT_EQ(a.ever_suppressed, b.ever_suppressed);
+  EXPECT_DOUBLE_EQ(a.penalty_at_stop, b.penalty_at_stop);
+  EXPECT_DOUBLE_EQ(a.reuse_delay_s, b.reuse_delay_s);
+}
+
+TEST(IntendedModel, PredictEventsIrregularSchedule) {
+  const IntendedBehaviorModel m(rfd::DampingParams::cisco());
+  // Three withdrawals in quick succession: suppression at the third.
+  const std::vector<std::pair<double, bgp::UpdateKind>> events{
+      {0.0, bgp::UpdateKind::kWithdrawal},
+      {5.0, bgp::UpdateKind::kAnnouncement},
+      {10.0, bgp::UpdateKind::kWithdrawal},
+      {15.0, bgp::UpdateKind::kAnnouncement},
+      {20.0, bgp::UpdateKind::kWithdrawal},
+  };
+  const auto pred = m.predict_events(events);
+  EXPECT_TRUE(pred.ever_suppressed);
+  EXPECT_EQ(pred.suppression_onset_pulse, 3);
+  EXPECT_NEAR(pred.penalty_at_stop, 2980.0, 10.0);  // barely decayed
+}
+
+TEST(IntendedModel, PredictEventsRejectsBackwardsTime) {
+  const IntendedBehaviorModel m(rfd::DampingParams::cisco());
+  EXPECT_THROW(
+      m.predict_events({{10.0, bgp::UpdateKind::kWithdrawal},
+                        {5.0, bgp::UpdateKind::kAnnouncement}}),
+      std::invalid_argument);
+}
+
+TEST(IntendedModel, RejectsBadPattern) {
+  const IntendedBehaviorModel m(rfd::DampingParams::cisco());
+  EXPECT_THROW(m.predict(FlapPattern{1, 0.0}), std::invalid_argument);
+  EXPECT_THROW(m.predict(FlapPattern{1, -5.0}), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace rfdnet::core

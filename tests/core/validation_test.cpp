@@ -1,0 +1,42 @@
+#include "core/validation.hpp"
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+namespace rfdnet::core {
+namespace {
+
+TEST(Validation, SmallMeshScorecard) {
+  // The claim battery on a 6x6 mesh (fast). The structural claims hold at
+  // this scale too; this guards the checker itself and the reproduction.
+  ValidationOptions opt;
+  opt.topology.width = 6;
+  opt.topology.height = 6;
+  opt.max_pulses = 8;
+  const ValidationReport report = validate_reproduction(opt);
+  ASSERT_GE(report.checks.size(), 12u);
+  for (const auto& c : report.checks) {
+    EXPECT_TRUE(c.pass) << c.id << ": " << c.claim << " — measured "
+                        << c.measured;
+  }
+  EXPECT_TRUE(report.all_passed());
+  EXPECT_EQ(report.failed(), 0u);
+}
+
+TEST(Validation, ReportPrinting) {
+  ValidationReport report;
+  report.checks.push_back(ClaimCheck{"a.b", "claim text", "evidence", true});
+  report.checks.push_back(ClaimCheck{"c.d", "other claim", "numbers", false});
+  std::ostringstream os;
+  print_report(os, report);
+  const std::string s = os.str();
+  EXPECT_NE(s.find("PASS a.b"), std::string::npos);
+  EXPECT_NE(s.find("FAIL c.d"), std::string::npos);
+  EXPECT_NE(s.find("1/2 claims reproduced"), std::string::npos);
+  EXPECT_EQ(report.passed(), 1u);
+  EXPECT_EQ(report.failed(), 1u);
+}
+
+}  // namespace
+}  // namespace rfdnet::core

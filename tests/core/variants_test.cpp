@@ -1,0 +1,191 @@
+// Experiment-level tests of the damping variants and extension features:
+// selective damping, diverse parameters, custom topology graphs.
+
+#include <gtest/gtest.h>
+
+#include "bgp/network.hpp"
+#include "bgp/policy.hpp"
+#include "core/experiment.hpp"
+#include "net/topology.hpp"
+#include "net/topology_io.hpp"
+#include "sim/engine.hpp"
+
+namespace rfdnet::core {
+namespace {
+
+ExperimentConfig small_mesh(int pulses) {
+  ExperimentConfig cfg;
+  cfg.topology.width = 5;
+  cfg.topology.height = 5;
+  cfg.pulses = pulses;
+  cfg.seed = 1;
+  return cfg;
+}
+
+TEST(Variants, SelectiveRunsAndReducesSuppression) {
+  const auto plain = run_experiment(small_mesh(1));
+  ExperimentConfig cfg = small_mesh(1);
+  cfg.selective = true;
+  const auto sel = run_experiment(cfg);
+  // Selective damping skips degrading-announcement penalties, so it cannot
+  // suppress more than plain damping does.
+  EXPECT_LE(sel.suppress_events, plain.suppress_events);
+  EXPECT_GT(sel.suppress_events, 0u);  // but (§6) it still falsely suppresses
+}
+
+TEST(Variants, SelectiveStillDeviatesFromIntendedUnlikeRcn) {
+  ExperimentConfig sel_cfg = small_mesh(1);
+  sel_cfg.selective = true;
+  ExperimentConfig rcn_cfg = small_mesh(1);
+  rcn_cfg.rcn = true;
+  const auto sel = run_experiment(sel_cfg);
+  const auto rcn = run_experiment(rcn_cfg);
+  EXPECT_GT(sel.convergence_time_s, 5.0 * rcn.convergence_time_s);
+}
+
+TEST(Variants, SelectiveAndRcnExclusive) {
+  ExperimentConfig cfg = small_mesh(1);
+  cfg.rcn = true;
+  cfg.selective = true;
+  EXPECT_THROW(run_experiment(cfg), std::invalid_argument);
+}
+
+TEST(Variants, DiverseParamsValidation) {
+  ExperimentConfig cfg = small_mesh(1);
+  cfg.alt_fraction = 0.5;  // no damping_alt provided
+  EXPECT_THROW(run_experiment(cfg), std::invalid_argument);
+  cfg.damping_alt = rfd::DampingParams::juniper();
+  cfg.alt_fraction = 1.5;
+  EXPECT_THROW(run_experiment(cfg), std::invalid_argument);
+}
+
+TEST(Variants, DiverseParamsRun) {
+  ExperimentConfig cfg = small_mesh(3);
+  rfd::DampingParams aggressive = rfd::DampingParams::cisco();
+  aggressive.cutoff = 1500.0;
+  aggressive.half_life_s = 1800.0;
+  cfg.damping_alt = aggressive;
+  cfg.alt_fraction = 0.5;
+  const auto res = run_experiment(cfg);
+  EXPECT_GT(res.suppress_events, 0u);
+  EXPECT_FALSE(res.hit_horizon);
+}
+
+TEST(Variants, DiverseParamsInteractionSlowsConvergence) {
+  // §6: mixed parameter deployments re-charge each other. The mixed network
+  // should converge no faster than the uniform-conservative one.
+  const auto uniform = run_experiment(small_mesh(5));
+  ExperimentConfig cfg = small_mesh(5);
+  rfd::DampingParams aggressive = rfd::DampingParams::cisco();
+  aggressive.cutoff = 1500.0;
+  aggressive.half_life_s = 1800.0;
+  cfg.damping_alt = aggressive;
+  cfg.alt_fraction = 0.5;
+  const auto mixed = run_experiment(cfg);
+  EXPECT_GT(mixed.convergence_time_s, uniform.convergence_time_s);
+}
+
+TEST(Variants, AltFractionOneUsesAltEverywhere) {
+  // With Juniper-alt everywhere and a 3000 cut-off, ispAS still suppresses
+  // by the 3rd pulse (1000+1000 per pulse under Juniper's PA).
+  ExperimentConfig cfg = small_mesh(3);
+  cfg.damping_alt = rfd::DampingParams::juniper();
+  cfg.alt_fraction = 1.0;
+  const auto res = run_experiment(cfg);
+  EXPECT_TRUE(res.isp_suppressed);
+}
+
+TEST(CustomGraph, ExperimentRunsOnProvidedTopology) {
+  ExperimentConfig cfg;
+  cfg.topology_graph = net::make_ring(12);
+  cfg.pulses = 1;
+  cfg.seed = 3;
+  const auto res = run_experiment(cfg);
+  EXPECT_EQ(res.origin, 12u);  // appended after the 12 ring nodes
+  EXPECT_GT(res.message_count, 0u);
+}
+
+TEST(CustomGraph, ParsedTopologyWorksEndToEnd) {
+  const net::Graph g = net::parse_topology(
+      "0 1 0.01 peer\n1 2 0.01 peer\n2 3 0.01 peer\n3 0 0.01 peer\n"
+      "0 2 0.01 peer\n");
+  ExperimentConfig cfg;
+  cfg.topology_graph = g;
+  cfg.pulses = 2;
+  cfg.seed = 1;
+  const auto res = run_experiment(cfg);
+  EXPECT_GT(res.message_count, 0u);
+  EXPECT_FALSE(res.hit_horizon);
+}
+
+TEST(CustomGraph, DisconnectedGraphRejected) {
+  net::Graph g(4);
+  g.add_link(0, 1);
+  g.add_link(2, 3);
+  ExperimentConfig cfg;
+  cfg.topology_graph = g;
+  EXPECT_THROW(run_experiment(cfg), std::invalid_argument);
+}
+
+TEST(CustomGraph, TooSmallGraphRejected) {
+  ExperimentConfig cfg;
+  cfg.topology_graph = net::Graph(1);
+  EXPECT_THROW(run_experiment(cfg), std::invalid_argument);
+}
+
+TEST(Timing, MraiOnWithdrawalsRuns) {
+  ExperimentConfig cfg = small_mesh(2);
+  cfg.timing.mrai_on_withdrawals = true;
+  const auto res = run_experiment(cfg);
+  EXPECT_GT(res.message_count, 0u);
+  EXPECT_FALSE(res.hit_horizon);
+}
+
+TEST(Timing, NoAdvertiseToSenderRuns) {
+  ExperimentConfig cfg = small_mesh(2);
+  cfg.timing.advertise_to_sender = false;
+  const auto res = run_experiment(cfg);
+  EXPECT_GT(res.message_count, 0u);
+  EXPECT_FALSE(res.hit_horizon);
+}
+
+TEST(Timing, ValidationRejectsBadRanges) {
+  bgp::TimingConfig t;
+  t.proc_delay_min_s = -1;
+  EXPECT_THROW(t.validate(), std::invalid_argument);
+  t = {};
+  t.proc_delay_max_s = t.proc_delay_min_s - 0.001;
+  EXPECT_THROW(t.validate(), std::invalid_argument);
+  t = {};
+  t.mrai_s = -1;
+  EXPECT_THROW(t.validate(), std::invalid_argument);
+  t = {};
+  t.mrai_jitter_min = 0;
+  EXPECT_THROW(t.validate(), std::invalid_argument);
+  t = {};
+  t.mrai_jitter_max = t.mrai_jitter_min / 2;
+  EXPECT_THROW(t.validate(), std::invalid_argument);
+  EXPECT_NO_THROW(bgp::TimingConfig{}.validate());
+}
+
+TEST(Multiprefix, IndependentPrefixesConvergeIndependently) {
+  // The engine supports multiple prefixes; damping state is per prefix.
+  const net::Graph g = net::make_ring(6);
+  bgp::ShortestPathPolicy policy;
+  bgp::TimingConfig tc;
+  sim::Engine engine;
+  sim::Rng rng(1);
+  bgp::BgpNetwork network(g, tc, policy, engine, rng);
+  network.router(0).originate(0);
+  network.router(3).originate(1);
+  engine.run();
+  EXPECT_TRUE(network.all_reachable(0));
+  EXPECT_TRUE(network.all_reachable(1));
+  network.router(0).withdraw_origin(0);
+  engine.run();
+  EXPECT_TRUE(network.none_reachable(0));
+  EXPECT_TRUE(network.all_reachable(1));  // untouched
+}
+
+}  // namespace
+}  // namespace rfdnet::core

@@ -1,0 +1,211 @@
+// Integration tests asserting the paper's qualitative claims end-to-end on
+// the 100-node mesh used in §5. These are the "does the reproduction hold"
+// tests; the per-module suites cover mechanics.
+
+#include <gtest/gtest.h>
+
+#include "core/experiment.hpp"
+#include "core/intended.hpp"
+#include "core/sweep.hpp"
+#include "stats/phase.hpp"
+
+namespace rfdnet::core {
+namespace {
+
+ExperimentConfig paper_mesh(int pulses, std::uint64_t seed = 1) {
+  ExperimentConfig cfg;
+  cfg.topology.kind = TopologySpec::Kind::kMeshTorus;
+  cfg.topology.width = 10;
+  cfg.topology.height = 10;
+  cfg.pulses = pulses;
+  cfg.seed = seed;
+  return cfg;
+}
+
+TEST(PaperClaims, SingleFlapAmplifiedToHundredsOfUpdates) {
+  // §5.3: "this single pulse is amplified to several hundred updates".
+  ExperimentConfig cfg = paper_mesh(1);
+  cfg.damping.reset();
+  const auto res = run_experiment(cfg);
+  EXPECT_GT(res.message_count, 500u);
+}
+
+TEST(PaperClaims, SingleFlapTriggersWidespreadFalseSuppression) {
+  // §5.3: one pulse suppresses routes at roughly 275 of the 400 possible
+  // directed link entries. We assert the same order of magnitude.
+  const auto res = run_experiment(paper_mesh(1));
+  EXPECT_GT(res.suppress_events, 100u);
+  EXPECT_LT(res.suppress_events, 400u);
+  EXPECT_FALSE(res.isp_suppressed);
+  EXPECT_LE(res.damped_links.max_value(), 402);
+}
+
+TEST(PaperClaims, SingleFlapHasChargingSuppressionReleasingStructure) {
+  const auto res = run_experiment(paper_mesh(1));
+  ASSERT_GE(res.phases.size(), 4u);
+  EXPECT_EQ(res.phases[0].kind, stats::PhaseKind::kCharging);
+  EXPECT_LT(res.phases[0].duration(), 400.0);
+  EXPECT_EQ(res.phases[1].kind, stats::PhaseKind::kSuppression);
+  // The first suppression period is by far the longest quiet stretch
+  // (paper: ~120 s to ~1574 s).
+  EXPECT_GT(res.phases[1].duration(), 1000.0);
+  EXPECT_EQ(res.phases[2].kind, stats::PhaseKind::kReleasing);
+}
+
+TEST(PaperClaims, ReleasingDominatesConvergenceTime) {
+  // §5.3: the releasing period accounts for ~70% of convergence time and
+  // ~30% of messages after a single pulse.
+  const auto res = run_experiment(paper_mesh(1));
+  double release_start = 0;
+  for (const auto& ph : res.phases) {
+    if (ph.kind == stats::PhaseKind::kReleasing) {
+      release_start = ph.t0_s;
+      break;
+    }
+  }
+  ASSERT_GT(release_start, 0.0);
+  const double share = (res.last_activity_s - release_start) / res.last_activity_s;
+  EXPECT_GT(share, 0.5);
+  EXPECT_LT(share, 0.9);
+}
+
+TEST(PaperClaims, SecondaryChargingDominatesDelay) {
+  // §5.2: false suppression alone explains only a minority of the delay.
+  const auto full = run_experiment(paper_mesh(1));
+  ExperimentConfig frozen_cfg = paper_mesh(1);
+  frozen_cfg.freeze_penalties_after_s = full.phases.front().t1_s;
+  const auto frozen = run_experiment(frozen_cfg);
+  EXPECT_LT(frozen.convergence_time_s, 0.6 * full.convergence_time_s);
+}
+
+TEST(PaperClaims, PenaltyNeverApproachesTwelveThousand) {
+  // §5.2: "In simulations we never observed any penalty value close to
+  // 12000."
+  for (const int n : {1, 3, 5}) {
+    const auto res = run_experiment(paper_mesh(n));
+    EXPECT_LT(res.max_penalty, 9000.0) << n << " pulses";
+  }
+}
+
+TEST(PaperClaims, MufflingSilencesTimersAtThreePulses) {
+  // §5.3 (n=3): timers that were noisy at n=1 become silent — the silent
+  // share grows sharply once the destination is withdrawn.
+  const auto one = run_experiment(paper_mesh(1));
+  const auto three = run_experiment(paper_mesh(3));
+  const double silent_share_1 =
+      static_cast<double>(one.silent_reuses) /
+      static_cast<double>(one.silent_reuses + one.noisy_reuses);
+  const double silent_share_3 =
+      static_cast<double>(three.silent_reuses) /
+      static_cast<double>(three.silent_reuses + three.noisy_reuses);
+  EXPECT_GT(silent_share_3, silent_share_1);
+  EXPECT_TRUE(three.isp_suppressed);
+}
+
+TEST(PaperClaims, BeyondCriticalPointConvergenceIsIntended) {
+  // §4.4/§5.2: past N_h the convergence time is set by RT_h alone. Our
+  // reproduction's critical point is 6 (paper: 5).
+  const IntendedBehaviorModel model(rfd::DampingParams::cisco());
+  for (const int n : {7, 9}) {
+    const auto res = run_experiment(paper_mesh(n));
+    const double intended = model.intended_convergence_s(
+        FlapPattern{n, 60.0}, res.warmup_tup_s);
+    EXPECT_NEAR(res.convergence_time_s, intended, 0.15 * intended)
+        << n << " pulses";
+    ASSERT_TRUE(res.isp_reuse_s.has_value());
+    // RT_h outlasts every noisy timer in the rest of the network.
+    if (res.net_last_noisy_reuse_s) {
+      EXPECT_LT(*res.net_last_noisy_reuse_s, *res.isp_reuse_s);
+    }
+  }
+}
+
+TEST(PaperClaims, SmallPulseCountsDeviateFromIntended) {
+  // Figure 8's left half: for a small number of flaps the network takes
+  // many times the intended convergence time.
+  const IntendedBehaviorModel model(rfd::DampingParams::cisco());
+  const auto res = run_experiment(paper_mesh(1));
+  const double intended =
+      model.intended_convergence_s(FlapPattern{1, 60.0}, res.warmup_tup_s);
+  EXPECT_GT(res.convergence_time_s, 10.0 * intended);
+}
+
+TEST(PaperClaims, DampingFlattensMessageCountPersistentFlaps) {
+  // Figure 9: past suppression the per-pulse update cost is ~zero.
+  const auto five = run_experiment(paper_mesh(5));
+  const auto ten = run_experiment(paper_mesh(10));
+  EXPECT_LT(static_cast<double>(ten.message_count),
+            1.3 * static_cast<double>(five.message_count));
+  // While without damping it keeps growing linearly.
+  ExperimentConfig nd5 = paper_mesh(5);
+  nd5.damping.reset();
+  ExperimentConfig nd10 = paper_mesh(10);
+  nd10.damping.reset();
+  const auto raw5 = run_experiment(nd5);
+  const auto raw10 = run_experiment(nd10);
+  EXPECT_GT(static_cast<double>(raw10.message_count),
+            1.6 * static_cast<double>(raw5.message_count));
+}
+
+TEST(PaperClaims, RcnRestoresIntendedBehavior) {
+  // Figure 13: with RCN the simulated curve matches the calculation for
+  // every pulse count.
+  const IntendedBehaviorModel model(rfd::DampingParams::cisco());
+  for (const int n : {1, 3, 6}) {
+    ExperimentConfig cfg = paper_mesh(n);
+    cfg.rcn = true;
+    const auto res = run_experiment(cfg);
+    const double intended =
+        model.intended_convergence_s(FlapPattern{n, 60.0}, res.warmup_tup_s);
+    EXPECT_NEAR(res.convergence_time_s, intended, 0.2 * intended + 60.0)
+        << n << " pulses";
+  }
+}
+
+TEST(PaperClaims, RcnSuppressionOnsetExactlyThirdPulse) {
+  // §6.2: "route suppression happens after three pulses, exactly as
+  // specified by the damping algorithm and parameters."
+  ExperimentConfig two = paper_mesh(2);
+  two.rcn = true;
+  EXPECT_EQ(run_experiment(two).suppress_events, 0u);
+  ExperimentConfig three = paper_mesh(3);
+  three.rcn = true;
+  const auto res = run_experiment(three);
+  EXPECT_TRUE(res.isp_suppressed);
+  EXPECT_GT(res.suppress_events, 0u);
+}
+
+TEST(PaperClaims, RcnProducesMoreMessagesThanPlainDamping) {
+  // Figure 14: plain damping's false suppression swallows updates; RCN
+  // lets them through, so it reports more messages.
+  const auto plain = run_experiment(paper_mesh(4));
+  ExperimentConfig cfg = paper_mesh(4);
+  cfg.rcn = true;
+  const auto rcn = run_experiment(cfg);
+  EXPECT_GT(rcn.message_count, plain.message_count);
+}
+
+TEST(PaperClaims, PolicyReducesButDoesNotEliminateExcessDelay) {
+  // Figure 15 on an Internet-derived topology.
+  const IntendedBehaviorModel model(rfd::DampingParams::cisco());
+  double excess_plain = 0, excess_policy = 0;
+  for (const std::uint64_t seed : {1, 2, 3}) {
+    ExperimentConfig cfg;
+    cfg.topology.kind = TopologySpec::Kind::kInternetLike;
+    cfg.topology.nodes = 100;
+    cfg.pulses = 2;
+    cfg.seed = seed;
+    const auto plain = run_experiment(cfg);
+    cfg.policy = PolicyKind::kNoValley;
+    const auto policy = run_experiment(cfg);
+    const double intended = model.intended_convergence_s(
+        FlapPattern{2, 60.0}, plain.warmup_tup_s);
+    excess_plain += plain.convergence_time_s - intended;
+    excess_policy += policy.convergence_time_s - intended;
+  }
+  EXPECT_LT(excess_policy, excess_plain);
+  EXPECT_GT(excess_policy, 0.0);
+}
+
+}  // namespace
+}  // namespace rfdnet::core

@@ -1,0 +1,117 @@
+// End-to-end RCN semantics (§6.1) over full experiment runs: every update
+// triggered by a flap carries the flap's root cause, sequence numbers are
+// dense, and the damping filter sees each cause at most once per session.
+
+#include <gtest/gtest.h>
+
+#include <map>
+#include <set>
+
+#include "core/experiment.hpp"
+
+namespace rfdnet::core {
+namespace {
+
+ExperimentConfig rcn_mesh(int pulses) {
+  ExperimentConfig cfg;
+  cfg.topology.width = 5;
+  cfg.topology.height = 5;
+  cfg.pulses = pulses;
+  cfg.seed = 3;
+  cfg.rcn = true;
+  cfg.record_update_log = true;
+  cfg.record_all_penalties = true;
+  return cfg;
+}
+
+TEST(RcnSemantics, EveryMeasuredUpdateCarriesARootCause) {
+  const auto res = run_experiment(rcn_mesh(2));
+  ASSERT_FALSE(res.update_log.empty());
+  for (const auto& u : res.update_log) {
+    ASSERT_TRUE(u.rc.has_value())
+        << "update " << u.from << "->" << u.to << " at " << u.t_s;
+  }
+}
+
+TEST(RcnSemantics, RootCausesNameTheFlappingLink) {
+  const auto res = run_experiment(rcn_mesh(3));
+  for (const auto& u : res.update_log) {
+    ASSERT_TRUE(u.rc.has_value());
+    EXPECT_EQ(u.rc->u, res.origin);
+    EXPECT_EQ(u.rc->v, res.isp);
+  }
+}
+
+TEST(RcnSemantics, SequenceNumbersAreDenseAndOrdered) {
+  const int pulses = 3;
+  const auto res = run_experiment(rcn_mesh(pulses));
+  std::set<std::uint64_t> seqs;
+  std::map<std::uint64_t, bool> up_of_seq;
+  for (const auto& u : res.update_log) {
+    seqs.insert(u.rc->seq);
+    up_of_seq[u.rc->seq] = u.rc->up;
+  }
+  // 2 root causes per pulse, numbered 1..2n; down flaps odd, up flaps even.
+  ASSERT_EQ(seqs.size(), static_cast<std::size_t>(2 * pulses));
+  EXPECT_EQ(*seqs.begin(), 1u);
+  EXPECT_EQ(*seqs.rbegin(), static_cast<std::uint64_t>(2 * pulses));
+  for (const auto& [seq, up] : up_of_seq) {
+    EXPECT_EQ(up, seq % 2 == 0) << "seq " << seq;
+  }
+}
+
+TEST(RcnSemantics, PenaltyEventsBoundedByRootCausesPerEntry) {
+  // With the filter in place, an entry can be charged at most once per root
+  // cause — so at most 2n penalty events per (node, peer) pair.
+  const int pulses = 4;
+  const auto res = run_experiment(rcn_mesh(pulses));
+  std::map<std::pair<net::NodeId, net::NodeId>, int> charges;
+  for (const auto& e : res.penalty_events) {
+    ++charges[{e.node, e.peer}];
+  }
+  ASSERT_FALSE(charges.empty());
+  for (const auto& [entry, count] : charges) {
+    EXPECT_LE(count, 2 * pulses)
+        << "entry " << entry.first << " <- " << entry.second;
+  }
+}
+
+TEST(RcnSemantics, PenaltiesNeverExceedTheFlapBudget) {
+  // Down flaps cost 1000, up flaps 0 (Cisco): even with zero decay the
+  // penalty cannot exceed pulses * 1000.
+  const int pulses = 3;
+  const auto res = run_experiment(rcn_mesh(pulses));
+  EXPECT_LE(res.max_penalty, 1000.0 * pulses + 1e-6);
+}
+
+TEST(RcnSemantics, ReuseTriggeredUpdatesCarrySeenCauses) {
+  // Updates delivered after the last flap (reuse waves) must carry one of
+  // the 2n already-issued root causes — RCN attaches no fresh cause to a
+  // reuse (§6.2).
+  const int pulses = 3;
+  const auto res = run_experiment(rcn_mesh(pulses));
+  bool saw_late_update = false;
+  for (const auto& u : res.update_log) {
+    if (u.t_s <= res.stop_time_s + 60.0) continue;
+    saw_late_update = true;
+    ASSERT_TRUE(u.rc.has_value());
+    EXPECT_LE(u.rc->seq, static_cast<std::uint64_t>(2 * pulses));
+  }
+  EXPECT_TRUE(saw_late_update);  // the RT_h reuse wave exists at n=3
+}
+
+TEST(RcnSemantics, NonRcnRunsAlsoTagUpdates) {
+  // The RC attribute rides along even when damping ignores it (the paper's
+  // incremental-deployment story): identical message flow, different
+  // penalty accounting.
+  ExperimentConfig cfg = rcn_mesh(1);
+  cfg.rcn = false;
+  const auto res = run_experiment(cfg);
+  for (const auto& u : res.update_log) {
+    EXPECT_TRUE(u.rc.has_value());
+  }
+  EXPECT_GT(res.suppress_events, 0u);  // but false suppression is back
+}
+
+}  // namespace
+}  // namespace rfdnet::core

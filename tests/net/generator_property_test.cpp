@@ -1,0 +1,86 @@
+// Parameterized sweeps over the topology generators: structural invariants
+// must hold at every size and seed.
+
+#include <gtest/gtest.h>
+
+#include "net/metrics.hpp"
+#include "net/topology.hpp"
+#include "sim/random.hpp"
+
+namespace rfdnet::net {
+namespace {
+
+class MeshProperty
+    : public ::testing::TestWithParam<std::pair<int, int>> {};
+
+TEST_P(MeshProperty, RegularFourConnectedTorus) {
+  const auto [w, h] = GetParam();
+  const Graph g = make_mesh_torus(w, h);
+  EXPECT_EQ(g.node_count(), static_cast<std::size_t>(w * h));
+  EXPECT_EQ(g.link_count(), static_cast<std::size_t>(2 * w * h));
+  for (NodeId u = 0; u < g.node_count(); ++u) EXPECT_EQ(g.degree(u), 4u);
+  EXPECT_TRUE(g.connected());
+  // Torus diameter is floor(w/2) + floor(h/2).
+  const GraphMetrics m = compute_metrics(g);
+  EXPECT_EQ(m.diameter, static_cast<std::size_t>(w / 2 + h / 2));
+}
+
+INSTANTIATE_TEST_SUITE_P(Sizes, MeshProperty,
+                         ::testing::Values(std::pair{3, 3}, std::pair{3, 7},
+                                           std::pair{5, 5}, std::pair{8, 4},
+                                           std::pair{10, 10}));
+
+class InternetProperty
+    : public ::testing::TestWithParam<std::tuple<int, std::uint64_t>> {};
+
+TEST_P(InternetProperty, ConnectedHierarchicalLongTailed) {
+  const auto [n, seed] = GetParam();
+  sim::Rng rng(seed);
+  const Graph g = make_internet_like(n, rng);
+  EXPECT_EQ(g.node_count(), static_cast<std::size_t>(n));
+  ASSERT_TRUE(g.connected());
+
+  // Relationship sanity: endpoint records mirror each other.
+  for (NodeId u = 0; u < g.node_count(); ++u) {
+    for (const auto& e : g.neighbors(u)) {
+      EXPECT_EQ(g.endpoint(e.neighbor, u).rel, reverse(e.rel));
+    }
+  }
+
+  // The customer->provider orientation is acyclic (newcomers attach below
+  // incumbents): following provider links strictly decreases the node id...
+  // not exactly (peer links are lateral), but every provider of u was
+  // created before u.
+  for (NodeId u = 2; u < g.node_count(); ++u) {  // the seed pair 0-1 is special
+    for (const auto& e : g.neighbors(u)) {
+      if (e.rel == Relationship::kProvider) {
+        EXPECT_LT(e.neighbor, u);
+      }
+    }
+  }
+
+  const GraphMetrics m = compute_metrics(g);
+  EXPECT_GE(m.max_degree, 3u * static_cast<std::size_t>(m.mean_degree));
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Grid, InternetProperty,
+    ::testing::Combine(::testing::Values(50, 100, 208),
+                       ::testing::Values(1u, 2u, 3u)));
+
+class RandomProperty : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(RandomProperty, ConnectedAtEveryDensity) {
+  sim::Rng rng(GetParam());
+  for (const double p : {0.0, 0.05, 0.2, 0.8}) {
+    const Graph g = make_random(30, p, rng);
+    EXPECT_TRUE(g.connected()) << "p=" << p;
+    EXPECT_GE(g.link_count(), 29u);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, RandomProperty,
+                         ::testing::Values(1u, 5u, 9u));
+
+}  // namespace
+}  // namespace rfdnet::net

@@ -1,0 +1,132 @@
+#include "net/graph.hpp"
+
+#include <gtest/gtest.h>
+
+#include <stdexcept>
+
+namespace rfdnet::net {
+namespace {
+
+TEST(Relationship, ReverseIsInvolution) {
+  for (const auto r : {Relationship::kPeer, Relationship::kCustomer,
+                       Relationship::kProvider}) {
+    EXPECT_EQ(reverse(reverse(r)), r);
+  }
+}
+
+TEST(Relationship, ReverseSwapsCustomerProvider) {
+  EXPECT_EQ(reverse(Relationship::kCustomer), Relationship::kProvider);
+  EXPECT_EQ(reverse(Relationship::kProvider), Relationship::kCustomer);
+  EXPECT_EQ(reverse(Relationship::kPeer), Relationship::kPeer);
+}
+
+TEST(Relationship, ToString) {
+  EXPECT_EQ(to_string(Relationship::kPeer), "peer");
+  EXPECT_EQ(to_string(Relationship::kCustomer), "customer");
+  EXPECT_EQ(to_string(Relationship::kProvider), "provider");
+}
+
+TEST(Graph, EmptyGraph) {
+  Graph g;
+  EXPECT_EQ(g.node_count(), 0u);
+  EXPECT_EQ(g.link_count(), 0u);
+  EXPECT_TRUE(g.connected());  // vacuously
+}
+
+TEST(Graph, AddNodesSequentialIds) {
+  Graph g;
+  EXPECT_EQ(g.add_node(), 0u);
+  EXPECT_EQ(g.add_node(), 1u);
+  EXPECT_EQ(g.add_node(), 2u);
+  EXPECT_EQ(g.node_count(), 3u);
+}
+
+TEST(Graph, AddLinkMirrorsEndpoints) {
+  Graph g(2);
+  g.add_link(0, 1, 0.5, Relationship::kCustomer);
+  ASSERT_EQ(g.degree(0), 1u);
+  ASSERT_EQ(g.degree(1), 1u);
+  const LinkEndpoint& from0 = g.neighbors(0)[0];
+  const LinkEndpoint& from1 = g.neighbors(1)[0];
+  EXPECT_EQ(from0.neighbor, 1u);
+  EXPECT_EQ(from0.rel, Relationship::kCustomer);  // 1 is 0's customer
+  EXPECT_DOUBLE_EQ(from0.delay_s, 0.5);
+  EXPECT_EQ(from1.neighbor, 0u);
+  EXPECT_EQ(from1.rel, Relationship::kProvider);  // 0 is 1's provider
+  EXPECT_DOUBLE_EQ(from1.delay_s, 0.5);
+}
+
+TEST(Graph, HasLinkSymmetric) {
+  Graph g(3);
+  g.add_link(0, 2);
+  EXPECT_TRUE(g.has_link(0, 2));
+  EXPECT_TRUE(g.has_link(2, 0));
+  EXPECT_FALSE(g.has_link(0, 1));
+  EXPECT_FALSE(g.has_link(1, 2));
+}
+
+TEST(Graph, EndpointLookup) {
+  Graph g(3);
+  g.add_link(1, 2, 0.25, Relationship::kPeer);
+  EXPECT_EQ(g.endpoint(1, 2).neighbor, 2u);
+  EXPECT_THROW(g.endpoint(0, 1), std::invalid_argument);
+}
+
+TEST(Graph, RejectsSelfLoop) {
+  Graph g(2);
+  EXPECT_THROW(g.add_link(1, 1), std::invalid_argument);
+}
+
+TEST(Graph, RejectsDuplicateLink) {
+  Graph g(2);
+  g.add_link(0, 1);
+  EXPECT_THROW(g.add_link(0, 1), std::invalid_argument);
+  EXPECT_THROW(g.add_link(1, 0), std::invalid_argument);
+}
+
+TEST(Graph, RejectsOutOfRange) {
+  Graph g(2);
+  EXPECT_THROW(g.add_link(0, 2), std::invalid_argument);
+  EXPECT_THROW(g.add_link(5, 0), std::invalid_argument);
+  EXPECT_THROW(g.neighbors(9), std::invalid_argument);
+}
+
+TEST(Graph, RejectsNegativeDelay) {
+  Graph g(2);
+  EXPECT_THROW(g.add_link(0, 1, -0.1), std::invalid_argument);
+}
+
+TEST(Graph, LinkCountCountsUndirectedOnce) {
+  Graph g(4);
+  g.add_link(0, 1);
+  g.add_link(1, 2);
+  g.add_link(2, 3);
+  EXPECT_EQ(g.link_count(), 3u);
+}
+
+TEST(Graph, ConnectedPath) {
+  Graph g(3);
+  g.add_link(0, 1);
+  g.add_link(1, 2);
+  EXPECT_TRUE(g.connected());
+}
+
+TEST(Graph, DisconnectedDetected) {
+  Graph g(4);
+  g.add_link(0, 1);
+  g.add_link(2, 3);
+  EXPECT_FALSE(g.connected());
+}
+
+TEST(Graph, SingleNodeIsConnected) {
+  Graph g(1);
+  EXPECT_TRUE(g.connected());
+}
+
+TEST(Graph, IsolatedNodeDisconnects) {
+  Graph g(2);
+  EXPECT_FALSE(g.connected());
+}
+
+}  // namespace
+}  // namespace rfdnet::net

@@ -1,0 +1,101 @@
+#include "net/metrics.hpp"
+
+#include <gtest/gtest.h>
+
+#include "net/topology.hpp"
+#include "sim/random.hpp"
+
+namespace rfdnet::net {
+namespace {
+
+TEST(GraphMetrics, EmptyGraph) {
+  const GraphMetrics m = compute_metrics(Graph{});
+  EXPECT_EQ(m.nodes, 0u);
+  EXPECT_EQ(m.links, 0u);
+  EXPECT_EQ(m.diameter, 0u);
+}
+
+TEST(GraphMetrics, Line) {
+  const GraphMetrics m = compute_metrics(make_line(5));
+  EXPECT_EQ(m.nodes, 5u);
+  EXPECT_EQ(m.links, 4u);
+  EXPECT_EQ(m.min_degree, 1u);
+  EXPECT_EQ(m.max_degree, 2u);
+  EXPECT_EQ(m.leaves, 2u);
+  EXPECT_EQ(m.diameter, 4u);
+  EXPECT_DOUBLE_EQ(m.mean_degree, 8.0 / 5.0);
+  // Mean distance on a path of 5 nodes: sum over ordered pairs = 2 * (sum of
+  // all pairwise distances) = 2 * 20 = 40; pairs = 20 -> 2.0.
+  EXPECT_DOUBLE_EQ(m.mean_distance, 2.0);
+}
+
+TEST(GraphMetrics, MeshTorus) {
+  const GraphMetrics m = compute_metrics(make_mesh_torus(10, 10));
+  EXPECT_EQ(m.nodes, 100u);
+  EXPECT_EQ(m.links, 200u);
+  EXPECT_EQ(m.min_degree, 4u);
+  EXPECT_EQ(m.max_degree, 4u);
+  EXPECT_EQ(m.leaves, 0u);
+  EXPECT_EQ(m.diameter, 10u);
+}
+
+TEST(GraphMetrics, Clique) {
+  const GraphMetrics m = compute_metrics(make_clique(6));
+  EXPECT_EQ(m.diameter, 1u);
+  EXPECT_DOUBLE_EQ(m.mean_distance, 1.0);
+}
+
+TEST(GraphMetrics, RelationshipCounts) {
+  const GraphMetrics m = compute_metrics(make_star(5));
+  // 4 links; hub sees 4 customers, leaves see 1 provider each.
+  EXPECT_EQ(m.customer_endpoints, 4u);
+  EXPECT_EQ(m.provider_endpoints, 4u);
+  EXPECT_EQ(m.peer_endpoints, 0u);
+}
+
+TEST(GraphMetrics, InternetLikeIsLongTailed) {
+  sim::Rng rng(3);
+  const GraphMetrics m = compute_metrics(make_internet_like(150, rng));
+  EXPECT_GT(m.max_degree, 4 * static_cast<std::size_t>(m.mean_degree));
+  EXPECT_GT(m.leaves, 20u);  // majority-stub AS graph: many degree-1 nodes
+  EXPECT_GT(m.peer_endpoints, 0u);
+  EXPECT_EQ(m.customer_endpoints, m.provider_endpoints);
+}
+
+TEST(GraphMetrics, DisconnectedPairsIgnored) {
+  Graph g(3);
+  g.add_link(0, 1);
+  const GraphMetrics m = compute_metrics(g);
+  EXPECT_EQ(m.diameter, 1u);
+  EXPECT_DOUBLE_EQ(m.mean_distance, 1.0);
+}
+
+TEST(GraphMetrics, ToStringMentionsCounts) {
+  const auto s = compute_metrics(make_line(5)).to_string();
+  EXPECT_NE(s.find("5 nodes"), std::string::npos);
+  EXPECT_NE(s.find("4 links"), std::string::npos);
+}
+
+TEST(DegreeHistogram, Line) {
+  const auto h = degree_histogram(make_line(5));
+  ASSERT_EQ(h.size(), 3u);
+  EXPECT_EQ(h[0], 0u);
+  EXPECT_EQ(h[1], 2u);
+  EXPECT_EQ(h[2], 3u);
+}
+
+TEST(DegreeHistogram, SumsToNodeCount) {
+  sim::Rng rng(5);
+  const Graph g = make_internet_like(80, rng);
+  const auto h = degree_histogram(g);
+  std::size_t total = 0;
+  for (const auto c : h) total += c;
+  EXPECT_EQ(total, 80u);
+}
+
+TEST(DegreeHistogram, EmptyGraph) {
+  EXPECT_TRUE(degree_histogram(Graph{}).empty());
+}
+
+}  // namespace
+}  // namespace rfdnet::net

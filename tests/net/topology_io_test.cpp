@@ -1,0 +1,90 @@
+#include "net/topology_io.hpp"
+
+#include <gtest/gtest.h>
+
+#include <stdexcept>
+
+#include "net/topology.hpp"
+#include "sim/random.hpp"
+
+namespace rfdnet::net {
+namespace {
+
+TEST(TopologyIo, RoundTripLine) {
+  const Graph g = make_line(4, 0.05);
+  const Graph h = parse_topology(serialize_topology(g));
+  ASSERT_EQ(h.node_count(), 4u);
+  ASSERT_EQ(h.link_count(), 3u);
+  EXPECT_TRUE(h.has_link(0, 1));
+  EXPECT_TRUE(h.has_link(2, 3));
+  EXPECT_DOUBLE_EQ(h.endpoint(0, 1).delay_s, 0.05);
+}
+
+TEST(TopologyIo, RoundTripPreservesRelationships) {
+  const Graph g = make_star(4);
+  const Graph h = parse_topology(serialize_topology(g));
+  for (NodeId u = 1; u < 4; ++u) {
+    EXPECT_EQ(h.endpoint(0, u).rel, Relationship::kCustomer);
+    EXPECT_EQ(h.endpoint(u, 0).rel, Relationship::kProvider);
+  }
+}
+
+TEST(TopologyIo, RoundTripInternetLike) {
+  sim::Rng rng(17);
+  const Graph g = make_internet_like(60, rng);
+  const Graph h = parse_topology(serialize_topology(g));
+  ASSERT_EQ(h.node_count(), g.node_count());
+  ASSERT_EQ(h.link_count(), g.link_count());
+  for (NodeId u = 0; u < g.node_count(); ++u) {
+    ASSERT_EQ(h.degree(u), g.degree(u));
+    for (const auto& e : g.neighbors(u)) {
+      EXPECT_TRUE(h.has_link(u, e.neighbor));
+      EXPECT_EQ(h.endpoint(u, e.neighbor).rel, e.rel);
+    }
+  }
+}
+
+TEST(TopologyIo, ParsesCommentsAndBlankLines) {
+  const Graph g = parse_topology(
+      "# a comment\n"
+      "\n"
+      "0 1 0.01 peer\n"
+      "  # indented comment\n"
+      "1 2 0.02 customer\n");
+  EXPECT_EQ(g.node_count(), 3u);
+  EXPECT_EQ(g.link_count(), 2u);
+  EXPECT_EQ(g.endpoint(1, 2).rel, Relationship::kCustomer);
+}
+
+TEST(TopologyIo, NodesHeaderPreallocates) {
+  const Graph g = parse_topology("nodes 5\n0 1 0.01 peer\n");
+  EXPECT_EQ(g.node_count(), 5u);  // nodes 2..4 exist but are isolated
+  EXPECT_FALSE(g.connected());
+}
+
+TEST(TopologyIo, GrowsNodesFromIds) {
+  const Graph g = parse_topology("7 3 0.01 peer\n");
+  EXPECT_EQ(g.node_count(), 8u);
+}
+
+TEST(TopologyIo, RejectsUnknownRelationship) {
+  EXPECT_THROW(parse_topology("0 1 0.01 friend\n"), std::invalid_argument);
+}
+
+TEST(TopologyIo, RejectsMalformedLine) {
+  EXPECT_THROW(parse_topology("0 1\n"), std::invalid_argument);
+  EXPECT_THROW(parse_topology("nodes\n"), std::invalid_argument);
+}
+
+TEST(TopologyIo, RejectsDuplicateLinks) {
+  EXPECT_THROW(parse_topology("0 1 0.01 peer\n1 0 0.01 peer\n"),
+               std::invalid_argument);
+}
+
+TEST(TopologyIo, EmptyInputIsEmptyGraph) {
+  const Graph g = parse_topology("");
+  EXPECT_EQ(g.node_count(), 0u);
+}
+
+}  // namespace
+}  // namespace rfdnet::net

@@ -1,0 +1,231 @@
+#include "net/topology.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <stdexcept>
+
+#include "sim/random.hpp"
+
+namespace rfdnet::net {
+namespace {
+
+TEST(MeshTorus, EveryNodeHasDegreeFour) {
+  const Graph g = make_mesh_torus(10, 10);
+  EXPECT_EQ(g.node_count(), 100u);
+  EXPECT_EQ(g.link_count(), 200u);
+  for (NodeId u = 0; u < g.node_count(); ++u) EXPECT_EQ(g.degree(u), 4u);
+}
+
+TEST(MeshTorus, Connected) {
+  EXPECT_TRUE(make_mesh_torus(3, 3).connected());
+  EXPECT_TRUE(make_mesh_torus(5, 7).connected());
+}
+
+TEST(MeshTorus, WrapAroundLinksExist) {
+  const Graph g = make_mesh_torus(4, 4);
+  EXPECT_TRUE(g.has_link(0, 3));    // row wrap
+  EXPECT_TRUE(g.has_link(0, 12));   // column wrap
+}
+
+TEST(MeshTorus, NonSquare) {
+  const Graph g = make_mesh_torus(3, 5);
+  EXPECT_EQ(g.node_count(), 15u);
+  for (NodeId u = 0; u < g.node_count(); ++u) EXPECT_EQ(g.degree(u), 4u);
+}
+
+TEST(MeshTorus, RejectsTooSmall) {
+  EXPECT_THROW(make_mesh_torus(2, 5), std::invalid_argument);
+  EXPECT_THROW(make_mesh_torus(5, 2), std::invalid_argument);
+}
+
+TEST(MeshTorus, DiameterIsHalfPerimeter) {
+  const Graph g = make_mesh_torus(10, 10);
+  const auto d = bfs_distances(g, 0);
+  const auto max_d = *std::max_element(d.begin(), d.end());
+  EXPECT_EQ(max_d, 10u);  // 5 + 5 in a 10x10 torus
+}
+
+TEST(Line, Structure) {
+  const Graph g = make_line(5);
+  EXPECT_EQ(g.link_count(), 4u);
+  EXPECT_EQ(g.degree(0), 1u);
+  EXPECT_EQ(g.degree(2), 2u);
+  EXPECT_EQ(g.degree(4), 1u);
+  EXPECT_TRUE(g.connected());
+  EXPECT_THROW(make_line(1), std::invalid_argument);
+}
+
+TEST(Ring, Structure) {
+  const Graph g = make_ring(6);
+  EXPECT_EQ(g.link_count(), 6u);
+  for (NodeId u = 0; u < 6; ++u) EXPECT_EQ(g.degree(u), 2u);
+  EXPECT_TRUE(g.has_link(5, 0));
+  EXPECT_THROW(make_ring(2), std::invalid_argument);
+}
+
+TEST(Star, HubAndLeaves) {
+  const Graph g = make_star(5);
+  EXPECT_EQ(g.degree(0), 4u);
+  for (NodeId u = 1; u < 5; ++u) {
+    EXPECT_EQ(g.degree(u), 1u);
+    // Leaves are customers of the hub.
+    EXPECT_EQ(g.endpoint(0, u).rel, Relationship::kCustomer);
+    EXPECT_EQ(g.endpoint(u, 0).rel, Relationship::kProvider);
+  }
+}
+
+TEST(Clique, AllPairs) {
+  const Graph g = make_clique(5);
+  EXPECT_EQ(g.link_count(), 10u);
+  for (NodeId u = 0; u < 5; ++u) EXPECT_EQ(g.degree(u), 4u);
+}
+
+TEST(RandomGraph, AlwaysConnected) {
+  sim::Rng rng(7);
+  for (int i = 0; i < 10; ++i) {
+    const Graph g = make_random(20, 0.02, rng);
+    EXPECT_TRUE(g.connected());
+    EXPECT_GE(g.link_count(), 19u);  // at least the spanning tree
+  }
+}
+
+TEST(RandomGraph, ZeroProbabilityIsTree) {
+  sim::Rng rng(9);
+  const Graph g = make_random(15, 0.0, rng);
+  EXPECT_EQ(g.link_count(), 14u);
+  EXPECT_TRUE(g.connected());
+}
+
+TEST(RandomGraph, FullProbabilityIsClique) {
+  sim::Rng rng(11);
+  const Graph g = make_random(6, 1.0, rng);
+  EXPECT_EQ(g.link_count(), 15u);
+}
+
+TEST(RandomGraph, RejectsBadArgs) {
+  sim::Rng rng(1);
+  EXPECT_THROW(make_random(1, 0.5, rng), std::invalid_argument);
+  EXPECT_THROW(make_random(5, 1.5, rng), std::invalid_argument);
+  EXPECT_THROW(make_random(5, -0.5, rng), std::invalid_argument);
+}
+
+TEST(InternetLike, ConnectedAndSized) {
+  sim::Rng rng(3);
+  const Graph g = make_internet_like(100, rng);
+  EXPECT_EQ(g.node_count(), 100u);
+  EXPECT_TRUE(g.connected());
+}
+
+TEST(InternetLike, LongTailedDegrees) {
+  sim::Rng rng(5);
+  const Graph g = make_internet_like(200, rng);
+  std::size_t max_deg = 0;
+  std::size_t deg_sum = 0;
+  for (NodeId u = 0; u < g.node_count(); ++u) {
+    max_deg = std::max(max_deg, g.degree(u));
+    deg_sum += g.degree(u);
+  }
+  const double mean = static_cast<double>(deg_sum) / 200.0;
+  // Preferential attachment: the hub should be far above the mean.
+  EXPECT_GT(static_cast<double>(max_deg), 4.0 * mean);
+}
+
+TEST(InternetLike, HasCustomerProviderAndPeerLinks) {
+  sim::Rng rng(7);
+  const Graph g = make_internet_like(200, rng);
+  int cp = 0, pp = 0;
+  for (NodeId u = 0; u < g.node_count(); ++u) {
+    for (const auto& e : g.neighbors(u)) {
+      if (e.rel == Relationship::kPeer) ++pp;
+      if (e.rel == Relationship::kProvider) ++cp;
+    }
+  }
+  EXPECT_GT(cp, 0);
+  EXPECT_GT(pp, 0);
+}
+
+TEST(InternetLike, DeterministicForSeed) {
+  sim::Rng a(13), b(13);
+  const Graph g1 = make_internet_like(80, a);
+  const Graph g2 = make_internet_like(80, b);
+  ASSERT_EQ(g1.link_count(), g2.link_count());
+  for (NodeId u = 0; u < g1.node_count(); ++u) {
+    ASSERT_EQ(g1.degree(u), g2.degree(u));
+    for (std::size_t i = 0; i < g1.degree(u); ++i) {
+      EXPECT_EQ(g1.neighbors(u)[i].neighbor, g2.neighbors(u)[i].neighbor);
+    }
+  }
+}
+
+TEST(InternetLike, RejectsBadArgs) {
+  sim::Rng rng(1);
+  EXPECT_THROW(make_internet_like(2, rng), std::invalid_argument);
+  InternetOptions opt;
+  opt.attach_links = 0;
+  EXPECT_THROW(make_internet_like(10, rng, opt), std::invalid_argument);
+}
+
+TEST(BfsDistances, Line) {
+  const Graph g = make_line(5);
+  const auto d = bfs_distances(g, 0);
+  for (std::size_t i = 0; i < 5; ++i) EXPECT_EQ(d[i], i);
+}
+
+TEST(BfsDistances, UnreachableIsMax) {
+  Graph g(3);
+  g.add_link(0, 1);
+  const auto d = bfs_distances(g, 0);
+  EXPECT_EQ(d[2], SIZE_MAX);
+}
+
+TEST(BfsDistances, BadSourceThrows) {
+  const Graph g = make_line(3);
+  EXPECT_THROW(bfs_distances(g, 99), std::invalid_argument);
+}
+
+TEST(ValleyFree, UphillThenDownhill) {
+  // 0 -customer-of-> 1 <-customer- 2 : path 0,1,2 climbs then descends.
+  Graph g(3);
+  g.add_link(0, 1, 0.01, Relationship::kProvider);  // 1 is 0's provider
+  g.add_link(2, 1, 0.01, Relationship::kProvider);  // 1 is 2's provider
+  EXPECT_TRUE(valley_free(g, {0, 1, 2}));
+}
+
+TEST(ValleyFree, ValleyRejected) {
+  // 1 is customer of both 0 and 2; path 0,1,2 goes down then up: a valley.
+  Graph g(3);
+  g.add_link(0, 1, 0.01, Relationship::kCustomer);  // 1 is 0's customer
+  g.add_link(2, 1, 0.01, Relationship::kCustomer);
+  EXPECT_FALSE(valley_free(g, {0, 1, 2}));
+}
+
+TEST(ValleyFree, SinglePeerStepAllowed) {
+  Graph g(3);
+  g.add_link(0, 1, 0.01, Relationship::kPeer);
+  g.add_link(1, 2, 0.01, Relationship::kCustomer);
+  EXPECT_TRUE(valley_free(g, {0, 1, 2}));
+}
+
+TEST(ValleyFree, TwoPeerStepsRejected) {
+  Graph g(3);
+  g.add_link(0, 1, 0.01, Relationship::kPeer);
+  g.add_link(1, 2, 0.01, Relationship::kPeer);
+  EXPECT_FALSE(valley_free(g, {0, 1, 2}));
+}
+
+TEST(ValleyFree, PeerAfterDownhillRejected) {
+  Graph g(3);
+  g.add_link(0, 1, 0.01, Relationship::kCustomer);  // downhill
+  g.add_link(1, 2, 0.01, Relationship::kPeer);
+  EXPECT_FALSE(valley_free(g, {0, 1, 2}));
+}
+
+TEST(ValleyFree, TrivialPaths) {
+  const Graph g = make_line(3);
+  EXPECT_TRUE(valley_free(g, {}));
+  EXPECT_TRUE(valley_free(g, {1}));
+}
+
+}  // namespace
+}  // namespace rfdnet::net

@@ -1,0 +1,93 @@
+#include <gtest/gtest.h>
+
+#include "rcn/history.hpp"
+#include "rcn/root_cause.hpp"
+
+namespace rfdnet::rcn {
+namespace {
+
+TEST(RootCause, Equality) {
+  const RootCause a{1, 2, true, 3};
+  const RootCause b{1, 2, true, 3};
+  EXPECT_EQ(a, b);
+  EXPECT_NE(a, (RootCause{1, 2, true, 4}));
+  EXPECT_NE(a, (RootCause{1, 2, false, 3}));
+  EXPECT_NE(a, (RootCause{2, 1, true, 3}));
+}
+
+TEST(RootCause, HashDistinguishesFields) {
+  RootCauseHash h;
+  const RootCause a{1, 2, true, 3};
+  EXPECT_NE(h(a), h(RootCause{1, 2, false, 3}));
+  EXPECT_NE(h(a), h(RootCause{1, 2, true, 4}));
+}
+
+TEST(RootCause, ToStringFormat) {
+  const RootCause rc{7, 9, false, 12};
+  EXPECT_EQ(rc.to_string(), "{[7 9], down, 12}");
+  EXPECT_EQ((RootCause{7, 9, true, 13}).to_string(), "{[7 9], up, 13}");
+}
+
+TEST(RootCauseSource, SequencesMonotonically) {
+  RootCauseSource src(5, 6);
+  const RootCause a = src.next(false);
+  const RootCause b = src.next(true);
+  const RootCause c = src.next(false);
+  EXPECT_EQ(a.seq, 1u);
+  EXPECT_EQ(b.seq, 2u);
+  EXPECT_EQ(c.seq, 3u);
+  EXPECT_EQ(src.last_seq(), 3u);
+  EXPECT_EQ(a.u, 5u);
+  EXPECT_EQ(a.v, 6u);
+  EXPECT_FALSE(a.up);
+  EXPECT_TRUE(b.up);
+}
+
+TEST(RootCauseHistory, FirstSightingRecordsTrue) {
+  RootCauseHistory h(8);
+  const RootCause rc{1, 2, false, 1};
+  EXPECT_TRUE(h.record(rc));
+  EXPECT_FALSE(h.record(rc));
+  EXPECT_TRUE(h.contains(rc));
+  EXPECT_EQ(h.size(), 1u);
+}
+
+TEST(RootCauseHistory, DistinctCausesAllRecorded) {
+  RootCauseHistory h(8);
+  for (std::uint64_t s = 1; s <= 5; ++s) {
+    EXPECT_TRUE(h.record(RootCause{1, 2, s % 2 == 0, s}));
+  }
+  EXPECT_EQ(h.size(), 5u);
+}
+
+TEST(RootCauseHistory, EvictsOldestAtCapacity) {
+  RootCauseHistory h(3);
+  for (std::uint64_t s = 1; s <= 4; ++s) {
+    h.record(RootCause{1, 2, false, s});
+  }
+  EXPECT_EQ(h.size(), 3u);
+  EXPECT_FALSE(h.contains(RootCause{1, 2, false, 1}));  // evicted
+  EXPECT_TRUE(h.contains(RootCause{1, 2, false, 4}));
+  // The evicted cause would be charged again if it reappeared.
+  EXPECT_TRUE(h.record(RootCause{1, 2, false, 1}));
+}
+
+TEST(RootCauseHistory, ClearEmpties) {
+  RootCauseHistory h(4);
+  h.record(RootCause{1, 2, false, 1});
+  h.clear();
+  EXPECT_EQ(h.size(), 0u);
+  EXPECT_TRUE(h.record(RootCause{1, 2, false, 1}));
+}
+
+TEST(RootCauseHistory, RejectsZeroCapacity) {
+  EXPECT_THROW(RootCauseHistory(0), std::invalid_argument);
+}
+
+TEST(RootCauseHistory, CapacityAccessor) {
+  RootCauseHistory h(17);
+  EXPECT_EQ(h.capacity(), 17u);
+}
+
+}  // namespace
+}  // namespace rfdnet::rcn

@@ -1,0 +1,366 @@
+#include "rfd/damping.hpp"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+namespace rfdnet::rfd {
+namespace {
+
+using bgp::Route;
+using bgp::UpdateMessage;
+using sim::Duration;
+using sim::SimTime;
+
+constexpr bgp::Prefix kP = 0;
+
+Route route(net::NodeId origin) { return Route{bgp::AsPath::origin(origin), 100}; }
+
+class DampingModuleTest : public ::testing::Test {
+ protected:
+  void make(DampingParams params = DampingParams::cisco()) {
+    module_ = std::make_unique<DampingModule>(
+        /*self=*/0, std::vector<net::NodeId>{10, 11}, params, engine_,
+        [this](int slot, bgp::Prefix p) {
+          reuse_calls_.emplace_back(slot, p);
+          return reuse_noisy_;
+        });
+  }
+
+  /// Delivers an announcement to slot 0, tracking previous-route state.
+  void announce(const Route& r, double t_s, int slot = 0) {
+    at(t_s);
+    module_->on_update(slot, UpdateMessage::announce(kP, r), prev_[slot], false);
+    prev_[slot] = r;
+  }
+  void withdraw(double t_s, int slot = 0,
+                std::optional<rcn::RootCause> rc = {}) {
+    at(t_s);
+    module_->on_update(slot, UpdateMessage::withdraw(kP, rc), prev_[slot],
+                       false);
+    prev_[slot].reset();
+  }
+  void at(double t_s) {
+    const auto target = SimTime::from_seconds(t_s);
+    if (engine_.now() < target) {
+      engine_.schedule_at(target, [] {});
+      while (engine_.now() < target && engine_.step()) {
+      }
+    }
+  }
+
+  sim::Engine engine_;
+  std::unique_ptr<DampingModule> module_;
+  std::optional<Route> prev_[2];
+  std::vector<std::pair<int, bgp::Prefix>> reuse_calls_;
+  bool reuse_noisy_ = true;
+};
+
+TEST_F(DampingModuleTest, InitialAnnouncementIsFree) {
+  make();
+  announce(route(1), 0.0);
+  EXPECT_DOUBLE_EQ(module_->penalty(0, kP), 0.0);
+  EXPECT_FALSE(module_->suppressed(0, kP));
+}
+
+TEST_F(DampingModuleTest, WithdrawalCosts1000) {
+  make();
+  announce(route(1), 0.0);
+  withdraw(1.0);
+  EXPECT_NEAR(module_->penalty(0, kP), 1000.0, 1.0);
+}
+
+TEST_F(DampingModuleTest, DuplicateWithdrawalIsFree) {
+  make();
+  announce(route(1), 0.0);
+  withdraw(1.0);
+  withdraw(2.0);  // no route to withdraw: free
+  EXPECT_NEAR(module_->penalty(0, kP), 1000.0, 1.0);
+}
+
+TEST_F(DampingModuleTest, CiscoReannouncementIsFree) {
+  make();
+  announce(route(1), 0.0);
+  withdraw(1.0);
+  announce(route(1), 2.0);
+  EXPECT_NEAR(module_->penalty(0, kP), 1000.0, 1.0);
+}
+
+TEST_F(DampingModuleTest, JuniperReannouncementCosts1000) {
+  make(DampingParams::juniper());
+  announce(route(1), 0.0);
+  withdraw(1.0);
+  announce(route(1), 2.0);
+  EXPECT_NEAR(module_->penalty(0, kP), 2000.0, 1.0);
+}
+
+TEST_F(DampingModuleTest, ReannouncementAfterResetStillCharged) {
+  // Regression: after reset() the module has no memory, but the RIB-IN
+  // still holds a route; a withdrawal of that route followed by an
+  // announcement is a re-announcement, not an initial announcement.
+  make(DampingParams::juniper());
+  announce(route(1), 0.0);
+  module_->reset();
+  withdraw(60.0);           // prev route exists: proves prior announcement
+  announce(route(1), 120.0);
+  EXPECT_NEAR(module_->penalty(0, kP), 1000.0 * std::exp(-DampingParams::juniper().lambda() * 60.0) + 1000.0, 1.0);
+}
+
+TEST_F(DampingModuleTest, AttributeChangeCosts500) {
+  make();
+  announce(route(1), 0.0);
+  announce(route(2), 1.0);
+  EXPECT_NEAR(module_->penalty(0, kP), 500.0, 1.0);
+}
+
+TEST_F(DampingModuleTest, DuplicateAnnouncementIsFree) {
+  make();
+  announce(route(1), 0.0);
+  announce(route(1), 1.0);
+  EXPECT_DOUBLE_EQ(module_->penalty(0, kP), 0.0);
+}
+
+TEST_F(DampingModuleTest, LoopDeniedIsFreeByDefault) {
+  make();
+  announce(route(1), 0.0);
+  at(1.0);
+  module_->on_update(0, UpdateMessage::withdraw(kP), prev_[0],
+                     /*loop_denied=*/true);
+  prev_[0].reset();
+  EXPECT_DOUBLE_EQ(module_->penalty(0, kP), 0.0);
+}
+
+TEST_F(DampingModuleTest, LoopDeniedChargedWhenConfigured) {
+  DampingParams p = DampingParams::cisco();
+  p.charge_loop_denied = true;
+  make(p);
+  announce(route(1), 0.0);
+  at(1.0);
+  module_->on_update(0, UpdateMessage::withdraw(kP), prev_[0],
+                     /*loop_denied=*/true);
+  EXPECT_NEAR(module_->penalty(0, kP), 1000.0, 1.0);
+}
+
+TEST_F(DampingModuleTest, EntriesAreIndependentPerPeer) {
+  make();
+  announce(route(1), 0.0, 0);
+  announce(route(1), 0.0, 1);
+  withdraw(1.0, 0);
+  EXPECT_NEAR(module_->penalty(0, kP), 1000.0, 1.0);
+  EXPECT_DOUBLE_EQ(module_->penalty(1, kP), 0.0);
+}
+
+TEST_F(DampingModuleTest, SuppressionAtThirdPulseWithCiscoDefaults) {
+  // The paper's §5.1 setup: W/A pulses 60 s apart. With Cisco parameters
+  // suppression triggers exactly at the 3rd withdrawal.
+  make();
+  announce(route(1), 0.0);
+  withdraw(60.0);
+  announce(route(1), 120.0);
+  EXPECT_FALSE(module_->suppressed(0, kP));
+  withdraw(180.0);
+  announce(route(1), 240.0);
+  EXPECT_FALSE(module_->suppressed(0, kP));  // ~1912 < 2000
+  withdraw(300.0);
+  EXPECT_TRUE(module_->suppressed(0, kP));  // ~2744 > 2000
+}
+
+TEST_F(DampingModuleTest, ReuseFiresWhenPenaltyDecaysToThreshold) {
+  make();
+  announce(route(1), 0.0);
+  withdraw(10.0);
+  announce(route(2), 11.0);
+  announce(route(3), 12.0);
+  withdraw(13.0);  // ~1000+500+500+1000 = ~3000 > cutoff
+  ASSERT_TRUE(module_->suppressed(0, kP));
+  const auto when = module_->reuse_time(0, kP);
+  ASSERT_TRUE(when.has_value());
+  const DampingParams params = DampingParams::cisco();
+  const double expect_s =
+      13.0 + std::log(module_->penalty(0, kP) / params.reuse) / params.lambda();
+  EXPECT_NEAR(when->as_seconds(), expect_s, 0.1);
+
+  engine_.run();
+  EXPECT_FALSE(module_->suppressed(0, kP));
+  ASSERT_EQ(reuse_calls_.size(), 1u);
+  EXPECT_EQ(reuse_calls_[0], (std::pair<int, bgp::Prefix>{0, kP}));
+  EXPECT_NEAR(engine_.now().as_seconds(), expect_s, 0.1);
+}
+
+TEST_F(DampingModuleTest, FurtherUpdatesPostponeReuse) {
+  make();
+  announce(route(1), 0.0);
+  withdraw(10.0);
+  announce(route(2), 11.0);
+  announce(route(3), 12.0);
+  withdraw(13.0);
+  ASSERT_TRUE(module_->suppressed(0, kP));
+  const auto first = module_->reuse_time(0, kP);
+  // Another withdrawal arrives while suppressed: timer pushed out.
+  announce(route(1), 20.0);
+  withdraw(21.0);
+  const auto second = module_->reuse_time(0, kP);
+  ASSERT_TRUE(first && second);
+  EXPECT_GT(*second, *first);
+}
+
+TEST_F(DampingModuleTest, SuppressedCountTracksEntries) {
+  make();
+  EXPECT_EQ(module_->suppressed_count(), 0);
+  for (int slot = 0; slot < 2; ++slot) {
+    announce(route(1), 0.0, slot);
+    withdraw(10.0, slot);
+    announce(route(2), 11.0, slot);
+    announce(route(3), 12.0, slot);
+    withdraw(13.0, slot);
+  }
+  EXPECT_EQ(module_->suppressed_count(), 2);
+  engine_.run();
+  EXPECT_EQ(module_->suppressed_count(), 0);
+}
+
+TEST_F(DampingModuleTest, PenaltyCeilingBoundsSuppression) {
+  make();
+  announce(route(1), 0.0);
+  // Hammer the entry far past the ceiling.
+  for (int i = 1; i <= 100; ++i) {
+    withdraw(i * 2.0);
+    announce(route(1), i * 2.0 + 1.0);
+  }
+  const DampingParams params = DampingParams::cisco();
+  EXPECT_LE(module_->penalty(0, kP), params.ceiling() + 1e-6);
+  const auto when = module_->reuse_time(0, kP);
+  ASSERT_TRUE(when.has_value());
+  // Max hold-down: reuse at most max_suppress_s after the last charge.
+  EXPECT_LE(when->as_seconds(),
+            engine_.now().as_seconds() + params.max_suppress_s + 1.0);
+}
+
+TEST_F(DampingModuleTest, PurgeBelowHalfReuse) {
+  make();
+  announce(route(1), 0.0);
+  announce(route(2), 1.0);  // +500
+  // Wait until it decays below reuse/2 = 375, then charge again: the old
+  // remnant is forgotten, so the result is exactly the new increment.
+  const double wait =
+      std::log(500.0 / 300.0) / DampingParams::cisco().lambda();
+  announce(route(3), 1.0 + wait + 1.0);
+  EXPECT_NEAR(module_->penalty(0, kP), 500.0, 1.0);
+}
+
+TEST_F(DampingModuleTest, ResetClearsStateAndCancelsTimers) {
+  make();
+  announce(route(1), 0.0);
+  withdraw(10.0);
+  announce(route(2), 11.0);
+  announce(route(3), 12.0);
+  withdraw(13.0);
+  ASSERT_TRUE(module_->suppressed(0, kP));
+  module_->reset();
+  EXPECT_FALSE(module_->suppressed(0, kP));
+  EXPECT_DOUBLE_EQ(module_->penalty(0, kP), 0.0);
+  EXPECT_EQ(module_->suppressed_count(), 0);
+  engine_.run();
+  EXPECT_TRUE(reuse_calls_.empty());  // cancelled timer never fired
+}
+
+TEST_F(DampingModuleTest, ChargeDeadlineFreezesPenalties) {
+  make();
+  module_->set_charge_deadline(SimTime::from_seconds(5.0));
+  announce(route(1), 0.0);
+  withdraw(1.0);
+  EXPECT_NEAR(module_->penalty(0, kP), 1000.0, 1.0);
+  announce(route(1), 10.0);
+  withdraw(11.0);  // after the deadline: ignored
+  EXPECT_NEAR(module_->penalty(0, kP), 1000.0, 10.0);
+}
+
+TEST_F(DampingModuleTest, RcnFiltersRepeatedRootCause) {
+  make();
+  module_->enable_rcn();
+  announce(route(1), 0.0);
+  const rcn::RootCause rc{100, 0, false, 1};
+  withdraw(10.0, 0, rc);
+  EXPECT_NEAR(module_->penalty(0, kP), 1000.0, 1.0);
+  // Same root cause again (another exploration aftershock): free.
+  at(11.0);
+  module_->on_update(0, UpdateMessage::withdraw(kP, rc), route(9), false);
+  EXPECT_NEAR(module_->penalty(0, kP), 1000.0, 1.0);
+}
+
+TEST_F(DampingModuleTest, RcnChargesByRootCauseStatus) {
+  // §7: the penalty applies to the flap itself — a down flap costs the
+  // withdrawal penalty even if perceived as an attribute change.
+  make();
+  module_->enable_rcn();
+  announce(route(1), 0.0);
+  at(1.0);
+  const rcn::RootCause down{100, 0, false, 1};
+  module_->on_update(0, UpdateMessage::announce(kP, route(2), down), prev_[0],
+                     false);
+  prev_[0] = route(2);
+  EXPECT_NEAR(module_->penalty(0, kP), 1000.0, 1.0);  // not 500
+  // The matching up flap costs the (Cisco: zero) re-announcement penalty.
+  at(2.0);
+  const rcn::RootCause up{100, 0, true, 2};
+  module_->on_update(0, UpdateMessage::announce(kP, route(3), up), prev_[0],
+                     false);
+  EXPECT_NEAR(module_->penalty(0, kP), 1000.0, 1.0);
+}
+
+TEST_F(DampingModuleTest, RcnHistoriesArePerPeer) {
+  make();
+  module_->enable_rcn();
+  announce(route(1), 0.0, 0);
+  announce(route(1), 0.0, 1);
+  const rcn::RootCause rc{100, 0, false, 1};
+  withdraw(10.0, 0, rc);
+  withdraw(10.0, 1, rc);  // first sighting on the *other* session: charged
+  EXPECT_NEAR(module_->penalty(0, kP), 1000.0, 1.0);
+  EXPECT_NEAR(module_->penalty(1, kP), 1000.0, 1.0);
+}
+
+TEST_F(DampingModuleTest, UpdatesWithoutRcFallThroughToNormalDamping) {
+  make();
+  module_->enable_rcn();
+  announce(route(1), 0.0);
+  withdraw(10.0);  // no RC attached
+  EXPECT_NEAR(module_->penalty(0, kP), 1000.0, 1.0);
+}
+
+TEST_F(DampingModuleTest, ReuseGranularityQuantizesUpward) {
+  DampingParams p = DampingParams::cisco();
+  p.reuse_granularity_s = 10.0;
+  make(p);
+  announce(route(1), 0.0);
+  withdraw(10.0);
+  announce(route(2), 11.0);
+  announce(route(3), 12.0);
+  withdraw(13.0);
+  ASSERT_TRUE(module_->suppressed(0, kP));
+  const auto when = module_->reuse_time(0, kP);
+  ASSERT_TRUE(when.has_value());
+  const auto offset_us = (*when - SimTime::from_seconds(13.0)).as_micros();
+  EXPECT_EQ(offset_us % 10'000'000, 0);  // multiple of 10 s after the charge
+}
+
+TEST_F(DampingModuleTest, RejectsBadConstruction) {
+  EXPECT_THROW(DampingModule(0, {1}, DampingParams::cisco(), engine_, nullptr),
+               std::invalid_argument);
+  DampingParams bad;
+  bad.reuse = 5000;
+  EXPECT_THROW(DampingModule(
+                   0, {1}, bad, engine_, [](int, bgp::Prefix) { return false; }),
+               std::invalid_argument);
+}
+
+TEST(UpdateClassNames, ToString) {
+  EXPECT_EQ(to_string(UpdateClass::kInitial), "initial");
+  EXPECT_EQ(to_string(UpdateClass::kWithdrawal), "withdrawal");
+  EXPECT_EQ(to_string(UpdateClass::kReannouncement), "reannouncement");
+  EXPECT_EQ(to_string(UpdateClass::kAttrChange), "attr-change");
+  EXPECT_EQ(to_string(UpdateClass::kDuplicate), "duplicate");
+}
+
+}  // namespace
+}  // namespace rfdnet::rfd

@@ -1,0 +1,139 @@
+#include "rfd/penalty.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <stdexcept>
+
+#include "rfd/params.hpp"
+
+namespace rfdnet::rfd {
+namespace {
+
+using sim::Duration;
+using sim::SimTime;
+
+constexpr double kCeiling = 12000.0;
+
+double lambda() { return DampingParams::cisco().lambda(); }
+
+TEST(PenaltyState, StartsAtZero) {
+  PenaltyState p;
+  EXPECT_TRUE(p.is_zero());
+  EXPECT_DOUBLE_EQ(p.at(SimTime::from_seconds(100), lambda()), 0.0);
+}
+
+TEST(PenaltyState, AddSetsValue) {
+  PenaltyState p;
+  p.add(1000, SimTime::from_seconds(10), lambda(), kCeiling);
+  EXPECT_DOUBLE_EQ(p.at(SimTime::from_seconds(10), lambda()), 1000.0);
+  EXPECT_FALSE(p.is_zero());
+}
+
+TEST(PenaltyState, DecaysByHalfEachHalfLife) {
+  PenaltyState p;
+  const DampingParams params = DampingParams::cisco();
+  p.add(1000, SimTime::zero(), params.lambda(), kCeiling);
+  EXPECT_NEAR(p.at(SimTime::from_seconds(params.half_life_s), params.lambda()),
+              500.0, 1e-6);
+  EXPECT_NEAR(
+      p.at(SimTime::from_seconds(2 * params.half_life_s), params.lambda()),
+      250.0, 1e-6);
+}
+
+TEST(PenaltyState, AddAccumulatesOnDecayedValue) {
+  PenaltyState p;
+  const DampingParams params = DampingParams::cisco();
+  p.add(1000, SimTime::zero(), params.lambda(), kCeiling);
+  p.add(1000, SimTime::from_seconds(params.half_life_s), params.lambda(),
+        kCeiling);
+  EXPECT_NEAR(p.at(SimTime::from_seconds(params.half_life_s), params.lambda()),
+              1500.0, 1e-6);
+}
+
+TEST(PenaltyState, ClampsAtCeiling) {
+  PenaltyState p;
+  for (int i = 0; i < 50; ++i) {
+    p.add(1000, SimTime::from_seconds(i), lambda(), kCeiling);
+  }
+  EXPECT_LE(p.at(SimTime::from_seconds(49), lambda()), kCeiling + 1e-9);
+  EXPECT_NEAR(p.at(SimTime::from_seconds(49), lambda()), kCeiling, 1.0);
+}
+
+TEST(PenaltyState, RejectsNegativeIncrement) {
+  PenaltyState p;
+  EXPECT_THROW(p.add(-5, SimTime::zero(), lambda(), kCeiling),
+               std::invalid_argument);
+}
+
+TEST(PenaltyState, TimeToReachMatchesClosedForm) {
+  PenaltyState p;
+  p.add(3000, SimTime::zero(), lambda(), kCeiling);
+  const auto d = p.time_to_reach(750, SimTime::zero(), lambda());
+  EXPECT_NEAR(d.as_seconds(), std::log(3000.0 / 750.0) / lambda(), 1e-3);
+  // And indeed the value at that instant is the target.
+  EXPECT_NEAR(p.at(SimTime::zero() + d, lambda()), 750.0, 0.01);
+}
+
+TEST(PenaltyState, TimeToReachZeroWhenBelow) {
+  PenaltyState p;
+  p.add(500, SimTime::zero(), lambda(), kCeiling);
+  EXPECT_EQ(p.time_to_reach(750, SimTime::zero(), lambda()), Duration::zero());
+}
+
+TEST(PenaltyState, TimeToReachRejectsNonPositiveTarget) {
+  PenaltyState p;
+  EXPECT_THROW(p.time_to_reach(0, SimTime::zero(), lambda()),
+               std::invalid_argument);
+}
+
+TEST(PenaltyState, ResetForgets) {
+  PenaltyState p;
+  p.add(5000, SimTime::zero(), lambda(), kCeiling);
+  p.reset();
+  EXPECT_TRUE(p.is_zero());
+  EXPECT_DOUBLE_EQ(p.at(SimTime::from_seconds(1), lambda()), 0.0);
+}
+
+TEST(PenaltyState, RawReturnsStoredValue) {
+  PenaltyState p;
+  p.add(1234, SimTime::zero(), lambda(), kCeiling);
+  EXPECT_DOUBLE_EQ(p.raw(), 1234.0);
+}
+
+// Property sweep: decay is monotone and consistent across a parameter grid.
+class PenaltyDecayProperty
+    : public ::testing::TestWithParam<std::tuple<double, double>> {};
+
+TEST_P(PenaltyDecayProperty, MonotoneDecreasingAndPositive) {
+  const auto [initial, half_life] = GetParam();
+  const double lam = std::log(2.0) / half_life;
+  PenaltyState p;
+  p.add(initial, SimTime::zero(), lam, 1e9);
+  double prev = initial + 1;
+  for (int t = 0; t <= 4000; t += 100) {
+    const double v = p.at(SimTime::from_seconds(t), lam);
+    EXPECT_GT(v, 0.0);
+    EXPECT_LT(v, prev);
+    prev = v;
+  }
+}
+
+TEST_P(PenaltyDecayProperty, TimeToReachIsExactInverse) {
+  const auto [initial, half_life] = GetParam();
+  const double lam = std::log(2.0) / half_life;
+  PenaltyState p;
+  p.add(initial, SimTime::zero(), lam, 1e9);
+  for (const double target : {initial * 0.9, initial * 0.5, initial * 0.1}) {
+    const auto d = p.time_to_reach(target, SimTime::zero(), lam);
+    EXPECT_NEAR(p.at(SimTime::zero() + d, lam), target, target * 1e-4);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Grid, PenaltyDecayProperty,
+    ::testing::Combine(::testing::Values(500.0, 1000.0, 3000.0, 12000.0),
+                       ::testing::Values(300.0, 900.0, 1800.0)));
+
+}  // namespace
+}  // namespace rfdnet::rfd

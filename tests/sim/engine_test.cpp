@@ -1,0 +1,169 @@
+#include "sim/engine.hpp"
+
+#include <gtest/gtest.h>
+
+#include <stdexcept>
+#include <vector>
+
+namespace rfdnet::sim {
+namespace {
+
+TEST(Engine, StartsAtZeroIdle) {
+  Engine e;
+  EXPECT_EQ(e.now(), SimTime::zero());
+  EXPECT_EQ(e.pending(), 0u);
+  EXPECT_FALSE(e.step());
+}
+
+TEST(Engine, RunsEventAtScheduledTime) {
+  Engine e;
+  SimTime seen;
+  e.schedule_at(SimTime::from_seconds(2.0), [&] { seen = e.now(); });
+  EXPECT_EQ(e.pending(), 1u);
+  EXPECT_TRUE(e.step());
+  EXPECT_EQ(seen, SimTime::from_seconds(2.0));
+  EXPECT_EQ(e.now(), SimTime::from_seconds(2.0));
+  EXPECT_EQ(e.pending(), 0u);
+}
+
+TEST(Engine, ScheduleAfter) {
+  Engine e;
+  e.schedule_at(SimTime::from_seconds(1.0), [&] {
+    e.schedule_after(Duration::seconds(0.5), [] {});
+  });
+  e.run();
+  EXPECT_EQ(e.now(), SimTime::from_seconds(1.5));
+}
+
+TEST(Engine, EventsRunInTimeOrder) {
+  Engine e;
+  std::vector<int> order;
+  e.schedule_at(SimTime::from_seconds(3.0), [&] { order.push_back(3); });
+  e.schedule_at(SimTime::from_seconds(1.0), [&] { order.push_back(1); });
+  e.schedule_at(SimTime::from_seconds(2.0), [&] { order.push_back(2); });
+  e.run();
+  EXPECT_EQ(order, (std::vector<int>{1, 2, 3}));
+}
+
+TEST(Engine, SameTimeIsFifo) {
+  Engine e;
+  std::vector<int> order;
+  const SimTime t = SimTime::from_seconds(1.0);
+  for (int i = 0; i < 10; ++i) {
+    e.schedule_at(t, [&order, i] { order.push_back(i); });
+  }
+  e.run();
+  for (int i = 0; i < 10; ++i) EXPECT_EQ(order[i], i);
+}
+
+TEST(Engine, CancelPreventsExecution) {
+  Engine e;
+  bool ran = false;
+  const EventId id = e.schedule_at(SimTime::from_seconds(1.0), [&] { ran = true; });
+  EXPECT_TRUE(e.cancel(id));
+  e.run();
+  EXPECT_FALSE(ran);
+  EXPECT_EQ(e.pending(), 0u);
+}
+
+TEST(Engine, CancelTwiceFails) {
+  Engine e;
+  const EventId id = e.schedule_at(SimTime::from_seconds(1.0), [] {});
+  EXPECT_TRUE(e.cancel(id));
+  EXPECT_FALSE(e.cancel(id));
+}
+
+TEST(Engine, CancelAfterRunFails) {
+  Engine e;
+  const EventId id = e.schedule_at(SimTime::from_seconds(1.0), [] {});
+  e.run();
+  EXPECT_FALSE(e.cancel(id));
+}
+
+TEST(Engine, CancelUnknownIdFails) {
+  Engine e;
+  EXPECT_FALSE(e.cancel(12345));
+  EXPECT_FALSE(e.cancel(kInvalidEvent));
+}
+
+TEST(Engine, SchedulingInPastThrows) {
+  Engine e;
+  e.schedule_at(SimTime::from_seconds(5.0), [] {});
+  e.run();
+  EXPECT_THROW(e.schedule_at(SimTime::from_seconds(1.0), [] {}),
+               std::logic_error);
+  EXPECT_THROW(e.schedule_after(Duration::seconds(-1.0), [] {}),
+               std::logic_error);
+}
+
+TEST(Engine, EmptyHandlerThrows) {
+  Engine e;
+  EXPECT_THROW(e.schedule_at(SimTime::from_seconds(1.0), nullptr),
+               std::logic_error);
+}
+
+TEST(Engine, HandlerCanScheduleMore) {
+  Engine e;
+  int count = 0;
+  std::function<void()> chain = [&] {
+    if (++count < 5) e.schedule_after(Duration::seconds(1.0), chain);
+  };
+  e.schedule_at(SimTime::from_seconds(1.0), chain);
+  e.run();
+  EXPECT_EQ(count, 5);
+  EXPECT_EQ(e.now(), SimTime::from_seconds(5.0));
+}
+
+TEST(Engine, HandlerCanCancelOther) {
+  Engine e;
+  bool ran = false;
+  const EventId victim =
+      e.schedule_at(SimTime::from_seconds(2.0), [&] { ran = true; });
+  e.schedule_at(SimTime::from_seconds(1.0), [&] { e.cancel(victim); });
+  e.run();
+  EXPECT_FALSE(ran);
+}
+
+TEST(Engine, RunHorizonStopsBeforeLaterEvents) {
+  Engine e;
+  int ran = 0;
+  e.schedule_at(SimTime::from_seconds(1.0), [&] { ++ran; });
+  e.schedule_at(SimTime::from_seconds(10.0), [&] { ++ran; });
+  const auto n = e.run(SimTime::from_seconds(5.0));
+  EXPECT_EQ(n, 1u);
+  EXPECT_EQ(ran, 1);
+  EXPECT_EQ(e.pending(), 1u);
+  e.run();
+  EXPECT_EQ(ran, 2);
+}
+
+TEST(Engine, HorizonSkipsCancelledHeadEvents) {
+  Engine e;
+  const EventId id = e.schedule_at(SimTime::from_seconds(1.0), [] {});
+  e.schedule_at(SimTime::from_seconds(2.0), [] {});
+  e.cancel(id);
+  // The cancelled event at t=1 must not count against the horizon check.
+  EXPECT_EQ(e.run(SimTime::from_seconds(3.0)), 1u);
+  EXPECT_EQ(e.pending(), 0u);
+}
+
+TEST(Engine, ExecutedCounter) {
+  Engine e;
+  for (int i = 0; i < 7; ++i) {
+    e.schedule_at(SimTime::from_seconds(i + 1.0), [] {});
+  }
+  e.run();
+  EXPECT_EQ(e.executed(), 7u);
+}
+
+TEST(Engine, PendingTracksCancellations) {
+  Engine e;
+  const EventId a = e.schedule_at(SimTime::from_seconds(1.0), [] {});
+  e.schedule_at(SimTime::from_seconds(2.0), [] {});
+  EXPECT_EQ(e.pending(), 2u);
+  e.cancel(a);
+  EXPECT_EQ(e.pending(), 1u);
+}
+
+}  // namespace
+}  // namespace rfdnet::sim

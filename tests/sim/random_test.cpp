@@ -1,0 +1,108 @@
+#include "sim/random.hpp"
+
+#include <gtest/gtest.h>
+
+#include <set>
+#include <vector>
+
+namespace rfdnet::sim {
+namespace {
+
+TEST(Rng, DeterministicForSameSeed) {
+  Rng a(42), b(42);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(a.next_u64(), b.next_u64());
+}
+
+TEST(Rng, DifferentSeedsDiffer) {
+  Rng a(1), b(2);
+  int same = 0;
+  for (int i = 0; i < 64; ++i) same += (a.next_u64() == b.next_u64());
+  EXPECT_LT(same, 2);
+}
+
+TEST(Rng, ZeroSeedWorks) {
+  Rng r(0);
+  std::set<std::uint64_t> vals;
+  for (int i = 0; i < 16; ++i) vals.insert(r.next_u64());
+  EXPECT_GT(vals.size(), 10u);
+}
+
+TEST(Rng, Uniform01InRange) {
+  Rng r(7);
+  for (int i = 0; i < 10000; ++i) {
+    const double v = r.uniform01();
+    EXPECT_GE(v, 0.0);
+    EXPECT_LT(v, 1.0);
+  }
+}
+
+TEST(Rng, Uniform01MeanRoughlyHalf) {
+  Rng r(11);
+  double sum = 0;
+  const int n = 100000;
+  for (int i = 0; i < n; ++i) sum += r.uniform01();
+  EXPECT_NEAR(sum / n, 0.5, 0.01);
+}
+
+TEST(Rng, UniformRange) {
+  Rng r(3);
+  for (int i = 0; i < 1000; ++i) {
+    const double v = r.uniform(2.5, 7.5);
+    EXPECT_GE(v, 2.5);
+    EXPECT_LT(v, 7.5);
+  }
+}
+
+TEST(Rng, UniformIndexBounds) {
+  Rng r(5);
+  std::vector<int> hits(10, 0);
+  for (int i = 0; i < 10000; ++i) ++hits[r.uniform_index(10)];
+  for (int h : hits) EXPECT_GT(h, 700);  // roughly uniform
+}
+
+TEST(Rng, UniformIndexOne) {
+  Rng r(5);
+  for (int i = 0; i < 10; ++i) EXPECT_EQ(r.uniform_index(1), 0u);
+}
+
+TEST(Rng, UniformIntInclusive) {
+  Rng r(9);
+  bool saw_lo = false, saw_hi = false;
+  for (int i = 0; i < 5000; ++i) {
+    const auto v = r.uniform_int(-3, 3);
+    EXPECT_GE(v, -3);
+    EXPECT_LE(v, 3);
+    saw_lo |= (v == -3);
+    saw_hi |= (v == 3);
+  }
+  EXPECT_TRUE(saw_lo);
+  EXPECT_TRUE(saw_hi);
+}
+
+TEST(Rng, BernoulliExtremes) {
+  Rng r(13);
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_FALSE(r.bernoulli(0.0));
+    EXPECT_TRUE(r.bernoulli(1.0));
+  }
+}
+
+TEST(Rng, BernoulliRate) {
+  Rng r(17);
+  int hits = 0;
+  const int n = 100000;
+  for (int i = 0; i < n; ++i) hits += r.bernoulli(0.3);
+  EXPECT_NEAR(static_cast<double>(hits) / n, 0.3, 0.01);
+}
+
+TEST(Rng, SplitIndependentButDeterministic) {
+  Rng a(21), b(21);
+  Rng a1 = a.split();
+  Rng b1 = b.split();
+  for (int i = 0; i < 32; ++i) EXPECT_EQ(a1.next_u64(), b1.next_u64());
+  // The parent stream continues identically too.
+  for (int i = 0; i < 32; ++i) EXPECT_EQ(a.next_u64(), b.next_u64());
+}
+
+}  // namespace
+}  // namespace rfdnet::sim

@@ -1,0 +1,80 @@
+#include "sim/time.hpp"
+
+#include <gtest/gtest.h>
+
+namespace rfdnet::sim {
+namespace {
+
+TEST(Duration, DefaultIsZero) {
+  Duration d;
+  EXPECT_EQ(d.as_micros(), 0);
+  EXPECT_TRUE(d.is_zero());
+  EXPECT_FALSE(d.is_negative());
+}
+
+TEST(Duration, SecondsRoundTrip) {
+  const Duration d = Duration::seconds(1.5);
+  EXPECT_EQ(d.as_micros(), 1'500'000);
+  EXPECT_DOUBLE_EQ(d.as_seconds(), 1.5);
+}
+
+TEST(Duration, SecondsRoundsToNearestMicro) {
+  EXPECT_EQ(Duration::seconds(1e-7).as_micros(), 0);
+  EXPECT_EQ(Duration::seconds(6e-7).as_micros(), 1);
+}
+
+TEST(Duration, NegativeSeconds) {
+  const Duration d = Duration::seconds(-2.0);
+  EXPECT_TRUE(d.is_negative());
+  EXPECT_EQ(d.as_micros(), -2'000'000);
+}
+
+TEST(Duration, Arithmetic) {
+  const Duration a = Duration::seconds(2.0);
+  const Duration b = Duration::millis(500);
+  EXPECT_EQ((a + b).as_micros(), 2'500'000);
+  EXPECT_EQ((a - b).as_micros(), 1'500'000);
+  EXPECT_EQ((b * 4).as_micros(), 2'000'000);
+  EXPECT_EQ((4 * b).as_micros(), 2'000'000);
+}
+
+TEST(Duration, Comparisons) {
+  EXPECT_LT(Duration::seconds(1), Duration::seconds(2));
+  EXPECT_EQ(Duration::millis(1000), Duration::seconds(1));
+  EXPECT_GT(Duration::zero(), Duration::seconds(-1));
+}
+
+TEST(Duration, ToString) {
+  EXPECT_EQ(Duration::seconds(1.25).to_string(), "1.250000s");
+}
+
+TEST(SimTime, DefaultIsZero) {
+  EXPECT_EQ(SimTime{}.as_micros(), 0);
+  EXPECT_EQ(SimTime{}, SimTime::zero());
+}
+
+TEST(SimTime, PlusDuration) {
+  const SimTime t = SimTime::from_seconds(10.0) + Duration::seconds(5.0);
+  EXPECT_DOUBLE_EQ(t.as_seconds(), 15.0);
+}
+
+TEST(SimTime, MinusDurationAndDifference) {
+  const SimTime a = SimTime::from_seconds(10.0);
+  const SimTime b = SimTime::from_seconds(4.0);
+  EXPECT_DOUBLE_EQ((a - Duration::seconds(1.0)).as_seconds(), 9.0);
+  EXPECT_DOUBLE_EQ((a - b).as_seconds(), 6.0);
+  EXPECT_TRUE((b - a).is_negative());
+}
+
+TEST(SimTime, Ordering) {
+  EXPECT_LT(SimTime::zero(), SimTime::from_seconds(0.001));
+  EXPECT_LT(SimTime::from_seconds(100), SimTime::max());
+}
+
+TEST(SimTime, MicrosRoundTrip) {
+  const SimTime t = SimTime::from_micros(123456789);
+  EXPECT_EQ(t.as_micros(), 123456789);
+}
+
+}  // namespace
+}  // namespace rfdnet::sim

@@ -1,0 +1,165 @@
+#include "stats/phase.hpp"
+
+#include <gtest/gtest.h>
+
+namespace rfdnet::stats {
+namespace {
+
+TEST(PhaseKindNames, ToString) {
+  EXPECT_EQ(to_string(PhaseKind::kCharging), "charging");
+  EXPECT_EQ(to_string(PhaseKind::kSuppression), "suppression");
+  EXPECT_EQ(to_string(PhaseKind::kReleasing), "releasing");
+  EXPECT_EQ(to_string(PhaseKind::kConverged), "converged");
+}
+
+TEST(PhaseClassifier, NoActivityIsConverged) {
+  PhaseInput in;
+  in.first_flap_s = 0.0;
+  const auto phases = classify_phases(in);
+  ASSERT_EQ(phases.size(), 1u);
+  EXPECT_EQ(phases[0].kind, PhaseKind::kConverged);
+}
+
+TEST(PhaseClassifier, ChargingOnly) {
+  PhaseInput in;
+  in.first_flap_s = 0.0;
+  in.busy_deltas = {{0.0, +1}, {10.0, +1}, {12.0, -1}, {50.0, -1}};
+  const auto phases = classify_phases(in);
+  ASSERT_EQ(phases.size(), 2u);
+  EXPECT_EQ(phases[0].kind, PhaseKind::kCharging);
+  EXPECT_DOUBLE_EQ(phases[0].t0_s, 0.0);
+  EXPECT_DOUBLE_EQ(phases[0].t1_s, 50.0);
+  EXPECT_EQ(phases[1].kind, PhaseKind::kConverged);
+  EXPECT_DOUBLE_EQ(phases[1].t0_s, 50.0);
+}
+
+TEST(PhaseClassifier, FullFourStateCycle) {
+  PhaseInput in;
+  in.first_flap_s = 0.0;
+  // Charging 0-100, quiet until 1500 (suppression), releasing 1500-1600.
+  in.busy_deltas = {{0.0, +1}, {100.0, -1}, {1500.0, +1}, {1600.0, -1}};
+  in.reuse_fires = {{1500.0, true}};
+  const auto phases = classify_phases(in);
+  ASSERT_EQ(phases.size(), 4u);
+  EXPECT_EQ(phases[0].kind, PhaseKind::kCharging);
+  EXPECT_EQ(phases[1].kind, PhaseKind::kSuppression);
+  EXPECT_DOUBLE_EQ(phases[1].t0_s, 100.0);
+  EXPECT_DOUBLE_EQ(phases[1].t1_s, 1500.0);
+  EXPECT_EQ(phases[2].kind, PhaseKind::kReleasing);
+  EXPECT_DOUBLE_EQ(phases[2].t1_s, 1600.0);
+  EXPECT_EQ(phases[3].kind, PhaseKind::kConverged);
+}
+
+TEST(PhaseClassifier, SecondaryChargingAlternation) {
+  PhaseInput in;
+  in.first_flap_s = 0.0;
+  in.busy_deltas = {{0.0, +1},    {100.0, -1},  {1000.0, +1}, {1050.0, -1},
+                    {2000.0, +1}, {2100.0, -1}};
+  const auto phases = classify_phases(in);
+  // charging, S, R, S, R, converged
+  ASSERT_EQ(phases.size(), 6u);
+  EXPECT_EQ(phases[1].kind, PhaseKind::kSuppression);
+  EXPECT_EQ(phases[2].kind, PhaseKind::kReleasing);
+  EXPECT_EQ(phases[3].kind, PhaseKind::kSuppression);
+  EXPECT_EQ(phases[4].kind, PhaseKind::kReleasing);
+}
+
+TEST(PhaseClassifier, ShortGapsMergeIntoCharging) {
+  PhaseInput in;
+  in.first_flap_s = 0.0;
+  in.min_quiet_s = 30.0;
+  // Two bursts 10 s apart: one charging period, not a phantom suppression.
+  in.busy_deltas = {{0.0, +1}, {20.0, -1}, {30.0, +1}, {60.0, -1}};
+  const auto phases = classify_phases(in);
+  ASSERT_EQ(phases.size(), 2u);
+  EXPECT_EQ(phases[0].kind, PhaseKind::kCharging);
+  EXPECT_DOUBLE_EQ(phases[0].t1_s, 60.0);
+}
+
+TEST(PhaseClassifier, ChargingStartsAtFirstFlap) {
+  PhaseInput in;
+  in.first_flap_s = 5.0;
+  in.busy_deltas = {{6.0, +1}, {42.0, -1}};
+  const auto phases = classify_phases(in);
+  EXPECT_DOUBLE_EQ(phases[0].t0_s, 5.0);
+}
+
+TEST(PhaseClassifier, PolicySilencedNoisyTimersExtendSuppression) {
+  // §7: a noisy reuse whose announcement the policy forbids produces no
+  // updates; the network stays in suppression until it fires.
+  PhaseInput in;
+  in.first_flap_s = 0.0;
+  in.busy_deltas = {{0.0, +1}, {100.0, -1}};
+  in.reuse_fires = {{1700.0, true}};
+  const auto phases = classify_phases(in);
+  ASSERT_EQ(phases.size(), 3u);
+  EXPECT_EQ(phases[1].kind, PhaseKind::kSuppression);
+  EXPECT_DOUBLE_EQ(phases[1].t1_s, 1700.0);
+  EXPECT_EQ(phases[2].kind, PhaseKind::kConverged);
+}
+
+TEST(PhaseClassifier, SilentReuseFiresDoNotExtend) {
+  PhaseInput in;
+  in.first_flap_s = 0.0;
+  in.busy_deltas = {{0.0, +1}, {100.0, -1}};
+  in.reuse_fires = {{1700.0, false}, {1800.0, false}};
+  const auto phases = classify_phases(in);
+  ASSERT_EQ(phases.size(), 2u);
+  EXPECT_EQ(phases[1].kind, PhaseKind::kConverged);
+  EXPECT_DOUBLE_EQ(phases[1].t0_s, 100.0);
+}
+
+TEST(CoalescePhases, CollapsesToPaperView) {
+  // c, S, R, S, R, S, R, converged -> c, S, R(merged), converged.
+  std::vector<Phase> fine{
+      {PhaseKind::kCharging, 0, 100},     {PhaseKind::kSuppression, 100, 1500},
+      {PhaseKind::kReleasing, 1500, 1600}, {PhaseKind::kSuppression, 1600, 2000},
+      {PhaseKind::kReleasing, 2000, 2100}, {PhaseKind::kSuppression, 2100, 4000},
+      {PhaseKind::kReleasing, 4000, 5000}, {PhaseKind::kConverged, 5000, 5000}};
+  const auto out = coalesce_phases(fine);
+  ASSERT_EQ(out.size(), 4u);
+  EXPECT_EQ(out[0].kind, PhaseKind::kCharging);
+  EXPECT_EQ(out[1].kind, PhaseKind::kSuppression);
+  EXPECT_DOUBLE_EQ(out[1].t1_s, 1500.0);
+  EXPECT_EQ(out[2].kind, PhaseKind::kReleasing);
+  EXPECT_DOUBLE_EQ(out[2].t0_s, 1500.0);
+  EXPECT_DOUBLE_EQ(out[2].t1_s, 5000.0);
+  EXPECT_EQ(out[3].kind, PhaseKind::kConverged);
+}
+
+TEST(CoalescePhases, NoSuppressionPassesThrough) {
+  std::vector<Phase> fine{{PhaseKind::kCharging, 0, 50},
+                          {PhaseKind::kConverged, 50, 50}};
+  const auto out = coalesce_phases(fine);
+  ASSERT_EQ(out.size(), 2u);
+  EXPECT_EQ(out[0].kind, PhaseKind::kCharging);
+  EXPECT_EQ(out[1].kind, PhaseKind::kConverged);
+}
+
+TEST(CoalescePhases, MergesConsecutiveSuppressions) {
+  std::vector<Phase> fine{{PhaseKind::kCharging, 0, 50},
+                          {PhaseKind::kSuppression, 50, 100},
+                          {PhaseKind::kSuppression, 100, 200},
+                          {PhaseKind::kConverged, 200, 200}};
+  const auto out = coalesce_phases(fine);
+  ASSERT_EQ(out.size(), 3u);
+  EXPECT_EQ(out[1].kind, PhaseKind::kSuppression);
+  EXPECT_DOUBLE_EQ(out[1].t0_s, 50.0);
+  EXPECT_DOUBLE_EQ(out[1].t1_s, 200.0);
+}
+
+TEST(CoalescePhases, EmptyInput) {
+  EXPECT_TRUE(coalesce_phases({}).empty());
+}
+
+TEST(PhaseClassifier, UnbalancedBusyCounterStillTerminates) {
+  PhaseInput in;
+  in.first_flap_s = 0.0;
+  in.busy_deltas = {{0.0, +1}, {10.0, +1}, {20.0, -1}};  // one never drained
+  const auto phases = classify_phases(in);
+  EXPECT_EQ(phases.front().kind, PhaseKind::kCharging);
+  EXPECT_EQ(phases.back().kind, PhaseKind::kConverged);
+}
+
+}  // namespace
+}  // namespace rfdnet::stats

@@ -1,0 +1,114 @@
+#include "stats/time_series.hpp"
+
+#include <gtest/gtest.h>
+
+#include <stdexcept>
+
+namespace rfdnet::stats {
+namespace {
+
+TEST(TimeSeries, BinsByWidth) {
+  TimeSeries ts(5.0);
+  ts.add(0.0);
+  ts.add(4.9);
+  ts.add(5.0);
+  ts.add(12.0);
+  EXPECT_EQ(ts.at(0), 2u);
+  EXPECT_EQ(ts.at(1), 1u);
+  EXPECT_EQ(ts.at(2), 1u);
+  EXPECT_EQ(ts.total(), 4u);
+  EXPECT_EQ(ts.bin_count(), 3u);
+}
+
+TEST(TimeSeries, AtTimeLookup) {
+  TimeSeries ts(5.0);
+  ts.add(7.0);
+  EXPECT_EQ(ts.at_time(6.0), 1u);
+  EXPECT_EQ(ts.at_time(11.0), 0u);
+  EXPECT_EQ(ts.at_time(-1.0), 0u);
+}
+
+TEST(TimeSeries, OutOfRangeBinIsZero) {
+  TimeSeries ts(5.0);
+  ts.add(1.0);
+  EXPECT_EQ(ts.at(99), 0u);
+}
+
+TEST(TimeSeries, NonzeroSkipsEmptyBins) {
+  TimeSeries ts(1.0);
+  ts.add(0.5);
+  ts.add(3.5);
+  ts.add(3.6);
+  const auto nz = ts.nonzero();
+  ASSERT_EQ(nz.size(), 2u);
+  EXPECT_DOUBLE_EQ(nz[0].first, 0.0);
+  EXPECT_EQ(nz[0].second, 1u);
+  EXPECT_DOUBLE_EQ(nz[1].first, 3.0);
+  EXPECT_EQ(nz[1].second, 2u);
+}
+
+TEST(TimeSeries, ClearResets) {
+  TimeSeries ts(1.0);
+  ts.add(1.0);
+  ts.clear();
+  EXPECT_EQ(ts.total(), 0u);
+  EXPECT_EQ(ts.bin_count(), 0u);
+}
+
+TEST(TimeSeries, RejectsBadInputs) {
+  EXPECT_THROW(TimeSeries(0.0), std::invalid_argument);
+  EXPECT_THROW(TimeSeries(-1.0), std::invalid_argument);
+  TimeSeries ts(1.0);
+  EXPECT_THROW(ts.add(-0.1), std::invalid_argument);
+}
+
+TEST(StepSeries, TracksValue) {
+  StepSeries s;
+  EXPECT_TRUE(s.empty());
+  s.add(1.0, +1);
+  s.add(2.0, +1);
+  s.add(3.0, -1);
+  EXPECT_EQ(s.value_at(0.5), 0);
+  EXPECT_EQ(s.value_at(1.0), 1);
+  EXPECT_EQ(s.value_at(2.5), 2);
+  EXPECT_EQ(s.value_at(10.0), 1);
+  EXPECT_EQ(s.final_value(), 1);
+  EXPECT_EQ(s.max_value(), 2);
+  EXPECT_DOUBLE_EQ(s.last_time(), 3.0);
+}
+
+TEST(StepSeries, StepsMergeSimultaneousDeltas) {
+  StepSeries s;
+  s.add(1.0, +1);
+  s.add(1.0, +1);
+  s.add(2.0, -1);
+  const auto steps = s.steps();
+  ASSERT_EQ(steps.size(), 2u);
+  EXPECT_EQ(steps[0], (std::pair<double, int>{1.0, 2}));
+  EXPECT_EQ(steps[1], (std::pair<double, int>{2.0, 1}));
+}
+
+TEST(StepSeries, RejectsTimeGoingBackwards) {
+  StepSeries s;
+  s.add(5.0, +1);
+  EXPECT_THROW(s.add(4.0, +1), std::invalid_argument);
+}
+
+TEST(StepSeries, ClearResets) {
+  StepSeries s;
+  s.add(1.0, +1);
+  s.clear();
+  EXPECT_TRUE(s.empty());
+  EXPECT_EQ(s.final_value(), 0);
+  EXPECT_DOUBLE_EQ(s.last_time(), 0.0);
+}
+
+TEST(StepSeries, EventCount) {
+  StepSeries s;
+  s.add(1.0, +1);
+  s.add(1.5, -1);
+  EXPECT_EQ(s.event_count(), 2u);
+}
+
+}  // namespace
+}  // namespace rfdnet::stats
