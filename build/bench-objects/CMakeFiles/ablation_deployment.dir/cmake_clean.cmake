@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/ablation_deployment"
+  "../bench/ablation_deployment.pdb"
+  "CMakeFiles/ablation_deployment.dir/ablation_deployment.cpp.o"
+  "CMakeFiles/ablation_deployment.dir/ablation_deployment.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_deployment.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

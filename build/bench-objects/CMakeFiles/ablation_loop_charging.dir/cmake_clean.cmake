@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/ablation_loop_charging"
+  "../bench/ablation_loop_charging.pdb"
+  "CMakeFiles/ablation_loop_charging.dir/ablation_loop_charging.cpp.o"
+  "CMakeFiles/ablation_loop_charging.dir/ablation_loop_charging.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_loop_charging.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/ablation_mrai"
+  "../bench/ablation_mrai.pdb"
+  "CMakeFiles/ablation_mrai.dir/ablation_mrai.cpp.o"
+  "CMakeFiles/ablation_mrai.dir/ablation_mrai.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_mrai.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

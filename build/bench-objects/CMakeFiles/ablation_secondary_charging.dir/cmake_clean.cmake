@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/ablation_secondary_charging"
+  "../bench/ablation_secondary_charging.pdb"
+  "CMakeFiles/ablation_secondary_charging.dir/ablation_secondary_charging.cpp.o"
+  "CMakeFiles/ablation_secondary_charging.dir/ablation_secondary_charging.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_secondary_charging.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

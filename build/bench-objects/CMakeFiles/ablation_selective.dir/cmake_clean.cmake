@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/ablation_selective"
+  "../bench/ablation_selective.pdb"
+  "CMakeFiles/ablation_selective.dir/ablation_selective.cpp.o"
+  "CMakeFiles/ablation_selective.dir/ablation_selective.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_selective.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/ext_flap_interval"
+  "../bench/ext_flap_interval.pdb"
+  "CMakeFiles/ext_flap_interval.dir/ext_flap_interval.cpp.o"
+  "CMakeFiles/ext_flap_interval.dir/ext_flap_interval.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ext_flap_interval.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/ext_link_flapping"
+  "../bench/ext_link_flapping.pdb"
+  "CMakeFiles/ext_link_flapping.dir/ext_link_flapping.cpp.o"
+  "CMakeFiles/ext_link_flapping.dir/ext_link_flapping.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ext_link_flapping.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

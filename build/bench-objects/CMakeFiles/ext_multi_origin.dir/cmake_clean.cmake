@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/ext_multi_origin"
+  "../bench/ext_multi_origin.pdb"
+  "CMakeFiles/ext_multi_origin.dir/ext_multi_origin.cpp.o"
+  "CMakeFiles/ext_multi_origin.dir/ext_multi_origin.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ext_multi_origin.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

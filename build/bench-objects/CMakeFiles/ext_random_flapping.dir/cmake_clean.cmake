@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/ext_random_flapping"
+  "../bench/ext_random_flapping.pdb"
+  "CMakeFiles/ext_random_flapping.dir/ext_random_flapping.cpp.o"
+  "CMakeFiles/ext_random_flapping.dir/ext_random_flapping.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ext_random_flapping.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/ext_topology_size"
+  "../bench/ext_topology_size.pdb"
+  "CMakeFiles/ext_topology_size.dir/ext_topology_size.cpp.o"
+  "CMakeFiles/ext_topology_size.dir/ext_topology_size.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ext_topology_size.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/bench/ext_vendor_params.cpp" "bench-objects/CMakeFiles/ext_vendor_params.dir/ext_vendor_params.cpp.o" "gcc" "bench-objects/CMakeFiles/ext_vendor_params.dir/ext_vendor_params.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/core/CMakeFiles/rfdnet_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/rfd/CMakeFiles/rfdnet_rfd.dir/DependInfo.cmake"
+  "/root/repo/build/src/stats/CMakeFiles/rfdnet_stats.dir/DependInfo.cmake"
+  "/root/repo/build/src/bgp/CMakeFiles/rfdnet_bgp.dir/DependInfo.cmake"
+  "/root/repo/build/src/rcn/CMakeFiles/rfdnet_rcn.dir/DependInfo.cmake"
+  "/root/repo/build/src/net/CMakeFiles/rfdnet_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/rfdnet_sim.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

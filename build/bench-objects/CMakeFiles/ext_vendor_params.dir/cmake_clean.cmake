@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/ext_vendor_params"
+  "../bench/ext_vendor_params.pdb"
+  "CMakeFiles/ext_vendor_params.dir/ext_vendor_params.cpp.o"
+  "CMakeFiles/ext_vendor_params.dir/ext_vendor_params.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ext_vendor_params.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for ext_vendor_params.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/fig03_penalty_trace"
+  "../bench/fig03_penalty_trace.pdb"
+  "CMakeFiles/fig03_penalty_trace.dir/fig03_penalty_trace.cpp.o"
+  "CMakeFiles/fig03_penalty_trace.dir/fig03_penalty_trace.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig03_penalty_trace.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

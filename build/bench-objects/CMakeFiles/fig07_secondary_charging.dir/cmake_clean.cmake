@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/fig07_secondary_charging"
+  "../bench/fig07_secondary_charging.pdb"
+  "CMakeFiles/fig07_secondary_charging.dir/fig07_secondary_charging.cpp.o"
+  "CMakeFiles/fig07_secondary_charging.dir/fig07_secondary_charging.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig07_secondary_charging.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

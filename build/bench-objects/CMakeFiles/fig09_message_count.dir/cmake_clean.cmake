@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/fig09_message_count"
+  "../bench/fig09_message_count.pdb"
+  "CMakeFiles/fig09_message_count.dir/fig09_message_count.cpp.o"
+  "CMakeFiles/fig09_message_count.dir/fig09_message_count.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig09_message_count.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

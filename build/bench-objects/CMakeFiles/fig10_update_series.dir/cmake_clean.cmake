@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/fig10_update_series"
+  "../bench/fig10_update_series.pdb"
+  "CMakeFiles/fig10_update_series.dir/fig10_update_series.cpp.o"
+  "CMakeFiles/fig10_update_series.dir/fig10_update_series.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig10_update_series.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/fig13_rcn_convergence"
+  "../bench/fig13_rcn_convergence.pdb"
+  "CMakeFiles/fig13_rcn_convergence.dir/fig13_rcn_convergence.cpp.o"
+  "CMakeFiles/fig13_rcn_convergence.dir/fig13_rcn_convergence.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig13_rcn_convergence.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

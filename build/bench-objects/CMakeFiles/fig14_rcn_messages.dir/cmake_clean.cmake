@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/fig14_rcn_messages"
+  "../bench/fig14_rcn_messages.pdb"
+  "CMakeFiles/fig14_rcn_messages.dir/fig14_rcn_messages.cpp.o"
+  "CMakeFiles/fig14_rcn_messages.dir/fig14_rcn_messages.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig14_rcn_messages.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

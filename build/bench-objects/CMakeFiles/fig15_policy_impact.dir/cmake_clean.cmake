@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/fig15_policy_impact"
+  "../bench/fig15_policy_impact.pdb"
+  "CMakeFiles/fig15_policy_impact.dir/fig15_policy_impact.cpp.o"
+  "CMakeFiles/fig15_policy_impact.dir/fig15_policy_impact.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig15_policy_impact.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

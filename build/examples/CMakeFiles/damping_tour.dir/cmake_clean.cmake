@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/damping_tour.dir/damping_tour.cpp.o"
+  "CMakeFiles/damping_tour.dir/damping_tour.cpp.o.d"
+  "damping_tour"
+  "damping_tour.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/damping_tour.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

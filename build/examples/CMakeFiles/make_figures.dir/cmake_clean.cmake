@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/make_figures.dir/make_figures.cpp.o"
+  "CMakeFiles/make_figures.dir/make_figures.cpp.o.d"
+  "make_figures"
+  "make_figures.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/make_figures.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

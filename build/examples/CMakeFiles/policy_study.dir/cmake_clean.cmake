@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/policy_study.dir/policy_study.cpp.o"
+  "CMakeFiles/policy_study.dir/policy_study.cpp.o.d"
+  "policy_study"
+  "policy_study.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/policy_study.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

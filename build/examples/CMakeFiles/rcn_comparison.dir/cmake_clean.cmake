@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rcn_comparison.dir/rcn_comparison.cpp.o"
+  "CMakeFiles/rcn_comparison.dir/rcn_comparison.cpp.o.d"
+  "rcn_comparison"
+  "rcn_comparison.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rcn_comparison.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rfdsim.dir/rfdsim.cpp.o"
+  "CMakeFiles/rfdsim.dir/rfdsim.cpp.o.d"
+  "rfdsim"
+  "rfdsim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rfdsim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/bgp/as_path.cpp" "src/bgp/CMakeFiles/rfdnet_bgp.dir/as_path.cpp.o" "gcc" "src/bgp/CMakeFiles/rfdnet_bgp.dir/as_path.cpp.o.d"
+  "/root/repo/src/bgp/message.cpp" "src/bgp/CMakeFiles/rfdnet_bgp.dir/message.cpp.o" "gcc" "src/bgp/CMakeFiles/rfdnet_bgp.dir/message.cpp.o.d"
+  "/root/repo/src/bgp/network.cpp" "src/bgp/CMakeFiles/rfdnet_bgp.dir/network.cpp.o" "gcc" "src/bgp/CMakeFiles/rfdnet_bgp.dir/network.cpp.o.d"
+  "/root/repo/src/bgp/policy.cpp" "src/bgp/CMakeFiles/rfdnet_bgp.dir/policy.cpp.o" "gcc" "src/bgp/CMakeFiles/rfdnet_bgp.dir/policy.cpp.o.d"
+  "/root/repo/src/bgp/router.cpp" "src/bgp/CMakeFiles/rfdnet_bgp.dir/router.cpp.o" "gcc" "src/bgp/CMakeFiles/rfdnet_bgp.dir/router.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/sim/CMakeFiles/rfdnet_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/net/CMakeFiles/rfdnet_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/rcn/CMakeFiles/rfdnet_rcn.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rfdnet_bgp.dir/as_path.cpp.o"
+  "CMakeFiles/rfdnet_bgp.dir/as_path.cpp.o.d"
+  "CMakeFiles/rfdnet_bgp.dir/message.cpp.o"
+  "CMakeFiles/rfdnet_bgp.dir/message.cpp.o.d"
+  "CMakeFiles/rfdnet_bgp.dir/network.cpp.o"
+  "CMakeFiles/rfdnet_bgp.dir/network.cpp.o.d"
+  "CMakeFiles/rfdnet_bgp.dir/policy.cpp.o"
+  "CMakeFiles/rfdnet_bgp.dir/policy.cpp.o.d"
+  "CMakeFiles/rfdnet_bgp.dir/router.cpp.o"
+  "CMakeFiles/rfdnet_bgp.dir/router.cpp.o.d"
+  "librfdnet_bgp.a"
+  "librfdnet_bgp.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rfdnet_bgp.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

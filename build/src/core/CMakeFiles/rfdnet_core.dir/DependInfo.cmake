@@ -1,0 +1,33 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/core/cli.cpp" "src/core/CMakeFiles/rfdnet_core.dir/cli.cpp.o" "gcc" "src/core/CMakeFiles/rfdnet_core.dir/cli.cpp.o.d"
+  "/root/repo/src/core/experiment.cpp" "src/core/CMakeFiles/rfdnet_core.dir/experiment.cpp.o" "gcc" "src/core/CMakeFiles/rfdnet_core.dir/experiment.cpp.o.d"
+  "/root/repo/src/core/export.cpp" "src/core/CMakeFiles/rfdnet_core.dir/export.cpp.o" "gcc" "src/core/CMakeFiles/rfdnet_core.dir/export.cpp.o.d"
+  "/root/repo/src/core/gnuplot.cpp" "src/core/CMakeFiles/rfdnet_core.dir/gnuplot.cpp.o" "gcc" "src/core/CMakeFiles/rfdnet_core.dir/gnuplot.cpp.o.d"
+  "/root/repo/src/core/intended.cpp" "src/core/CMakeFiles/rfdnet_core.dir/intended.cpp.o" "gcc" "src/core/CMakeFiles/rfdnet_core.dir/intended.cpp.o.d"
+  "/root/repo/src/core/multi_origin.cpp" "src/core/CMakeFiles/rfdnet_core.dir/multi_origin.cpp.o" "gcc" "src/core/CMakeFiles/rfdnet_core.dir/multi_origin.cpp.o.d"
+  "/root/repo/src/core/report.cpp" "src/core/CMakeFiles/rfdnet_core.dir/report.cpp.o" "gcc" "src/core/CMakeFiles/rfdnet_core.dir/report.cpp.o.d"
+  "/root/repo/src/core/sweep.cpp" "src/core/CMakeFiles/rfdnet_core.dir/sweep.cpp.o" "gcc" "src/core/CMakeFiles/rfdnet_core.dir/sweep.cpp.o.d"
+  "/root/repo/src/core/validation.cpp" "src/core/CMakeFiles/rfdnet_core.dir/validation.cpp.o" "gcc" "src/core/CMakeFiles/rfdnet_core.dir/validation.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/bgp/CMakeFiles/rfdnet_bgp.dir/DependInfo.cmake"
+  "/root/repo/build/src/rfd/CMakeFiles/rfdnet_rfd.dir/DependInfo.cmake"
+  "/root/repo/build/src/stats/CMakeFiles/rfdnet_stats.dir/DependInfo.cmake"
+  "/root/repo/build/src/rcn/CMakeFiles/rfdnet_rcn.dir/DependInfo.cmake"
+  "/root/repo/build/src/net/CMakeFiles/rfdnet_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/rfdnet_sim.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

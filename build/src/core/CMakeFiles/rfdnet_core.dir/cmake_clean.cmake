@@ -1,0 +1,27 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rfdnet_core.dir/cli.cpp.o"
+  "CMakeFiles/rfdnet_core.dir/cli.cpp.o.d"
+  "CMakeFiles/rfdnet_core.dir/experiment.cpp.o"
+  "CMakeFiles/rfdnet_core.dir/experiment.cpp.o.d"
+  "CMakeFiles/rfdnet_core.dir/export.cpp.o"
+  "CMakeFiles/rfdnet_core.dir/export.cpp.o.d"
+  "CMakeFiles/rfdnet_core.dir/gnuplot.cpp.o"
+  "CMakeFiles/rfdnet_core.dir/gnuplot.cpp.o.d"
+  "CMakeFiles/rfdnet_core.dir/intended.cpp.o"
+  "CMakeFiles/rfdnet_core.dir/intended.cpp.o.d"
+  "CMakeFiles/rfdnet_core.dir/multi_origin.cpp.o"
+  "CMakeFiles/rfdnet_core.dir/multi_origin.cpp.o.d"
+  "CMakeFiles/rfdnet_core.dir/report.cpp.o"
+  "CMakeFiles/rfdnet_core.dir/report.cpp.o.d"
+  "CMakeFiles/rfdnet_core.dir/sweep.cpp.o"
+  "CMakeFiles/rfdnet_core.dir/sweep.cpp.o.d"
+  "CMakeFiles/rfdnet_core.dir/validation.cpp.o"
+  "CMakeFiles/rfdnet_core.dir/validation.cpp.o.d"
+  "librfdnet_core.a"
+  "librfdnet_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rfdnet_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

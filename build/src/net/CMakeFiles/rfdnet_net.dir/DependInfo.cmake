@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/net/graph.cpp" "src/net/CMakeFiles/rfdnet_net.dir/graph.cpp.o" "gcc" "src/net/CMakeFiles/rfdnet_net.dir/graph.cpp.o.d"
+  "/root/repo/src/net/metrics.cpp" "src/net/CMakeFiles/rfdnet_net.dir/metrics.cpp.o" "gcc" "src/net/CMakeFiles/rfdnet_net.dir/metrics.cpp.o.d"
+  "/root/repo/src/net/topology.cpp" "src/net/CMakeFiles/rfdnet_net.dir/topology.cpp.o" "gcc" "src/net/CMakeFiles/rfdnet_net.dir/topology.cpp.o.d"
+  "/root/repo/src/net/topology_io.cpp" "src/net/CMakeFiles/rfdnet_net.dir/topology_io.cpp.o" "gcc" "src/net/CMakeFiles/rfdnet_net.dir/topology_io.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/sim/CMakeFiles/rfdnet_sim.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rfdnet_net.dir/graph.cpp.o"
+  "CMakeFiles/rfdnet_net.dir/graph.cpp.o.d"
+  "CMakeFiles/rfdnet_net.dir/metrics.cpp.o"
+  "CMakeFiles/rfdnet_net.dir/metrics.cpp.o.d"
+  "CMakeFiles/rfdnet_net.dir/topology.cpp.o"
+  "CMakeFiles/rfdnet_net.dir/topology.cpp.o.d"
+  "CMakeFiles/rfdnet_net.dir/topology_io.cpp.o"
+  "CMakeFiles/rfdnet_net.dir/topology_io.cpp.o.d"
+  "librfdnet_net.a"
+  "librfdnet_net.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rfdnet_net.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

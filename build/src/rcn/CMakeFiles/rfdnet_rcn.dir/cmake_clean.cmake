@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rfdnet_rcn.dir/history.cpp.o"
+  "CMakeFiles/rfdnet_rcn.dir/history.cpp.o.d"
+  "librfdnet_rcn.a"
+  "librfdnet_rcn.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rfdnet_rcn.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for rfdnet_rcn.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/rfd/damping.cpp" "src/rfd/CMakeFiles/rfdnet_rfd.dir/damping.cpp.o" "gcc" "src/rfd/CMakeFiles/rfdnet_rfd.dir/damping.cpp.o.d"
+  "/root/repo/src/rfd/params.cpp" "src/rfd/CMakeFiles/rfdnet_rfd.dir/params.cpp.o" "gcc" "src/rfd/CMakeFiles/rfdnet_rfd.dir/params.cpp.o.d"
+  "/root/repo/src/rfd/penalty.cpp" "src/rfd/CMakeFiles/rfdnet_rfd.dir/penalty.cpp.o" "gcc" "src/rfd/CMakeFiles/rfdnet_rfd.dir/penalty.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/bgp/CMakeFiles/rfdnet_bgp.dir/DependInfo.cmake"
+  "/root/repo/build/src/rcn/CMakeFiles/rfdnet_rcn.dir/DependInfo.cmake"
+  "/root/repo/build/src/net/CMakeFiles/rfdnet_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/rfdnet_sim.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

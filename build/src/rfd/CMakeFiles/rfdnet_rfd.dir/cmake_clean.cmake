@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rfdnet_rfd.dir/damping.cpp.o"
+  "CMakeFiles/rfdnet_rfd.dir/damping.cpp.o.d"
+  "CMakeFiles/rfdnet_rfd.dir/params.cpp.o"
+  "CMakeFiles/rfdnet_rfd.dir/params.cpp.o.d"
+  "CMakeFiles/rfdnet_rfd.dir/penalty.cpp.o"
+  "CMakeFiles/rfdnet_rfd.dir/penalty.cpp.o.d"
+  "librfdnet_rfd.a"
+  "librfdnet_rfd.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rfdnet_rfd.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

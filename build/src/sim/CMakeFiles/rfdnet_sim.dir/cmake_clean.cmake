@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rfdnet_sim.dir/engine.cpp.o"
+  "CMakeFiles/rfdnet_sim.dir/engine.cpp.o.d"
+  "CMakeFiles/rfdnet_sim.dir/random.cpp.o"
+  "CMakeFiles/rfdnet_sim.dir/random.cpp.o.d"
+  "CMakeFiles/rfdnet_sim.dir/time.cpp.o"
+  "CMakeFiles/rfdnet_sim.dir/time.cpp.o.d"
+  "librfdnet_sim.a"
+  "librfdnet_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rfdnet_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

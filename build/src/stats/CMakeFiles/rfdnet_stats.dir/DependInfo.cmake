@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/stats/penalty_curve.cpp" "src/stats/CMakeFiles/rfdnet_stats.dir/penalty_curve.cpp.o" "gcc" "src/stats/CMakeFiles/rfdnet_stats.dir/penalty_curve.cpp.o.d"
+  "/root/repo/src/stats/phase.cpp" "src/stats/CMakeFiles/rfdnet_stats.dir/phase.cpp.o" "gcc" "src/stats/CMakeFiles/rfdnet_stats.dir/phase.cpp.o.d"
+  "/root/repo/src/stats/recorder.cpp" "src/stats/CMakeFiles/rfdnet_stats.dir/recorder.cpp.o" "gcc" "src/stats/CMakeFiles/rfdnet_stats.dir/recorder.cpp.o.d"
+  "/root/repo/src/stats/time_series.cpp" "src/stats/CMakeFiles/rfdnet_stats.dir/time_series.cpp.o" "gcc" "src/stats/CMakeFiles/rfdnet_stats.dir/time_series.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/bgp/CMakeFiles/rfdnet_bgp.dir/DependInfo.cmake"
+  "/root/repo/build/src/rcn/CMakeFiles/rfdnet_rcn.dir/DependInfo.cmake"
+  "/root/repo/build/src/net/CMakeFiles/rfdnet_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/rfdnet_sim.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

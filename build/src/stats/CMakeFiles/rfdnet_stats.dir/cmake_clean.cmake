@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rfdnet_stats.dir/penalty_curve.cpp.o"
+  "CMakeFiles/rfdnet_stats.dir/penalty_curve.cpp.o.d"
+  "CMakeFiles/rfdnet_stats.dir/phase.cpp.o"
+  "CMakeFiles/rfdnet_stats.dir/phase.cpp.o.d"
+  "CMakeFiles/rfdnet_stats.dir/recorder.cpp.o"
+  "CMakeFiles/rfdnet_stats.dir/recorder.cpp.o.d"
+  "CMakeFiles/rfdnet_stats.dir/time_series.cpp.o"
+  "CMakeFiles/rfdnet_stats.dir/time_series.cpp.o.d"
+  "librfdnet_stats.a"
+  "librfdnet_stats.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rfdnet_stats.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "librfdnet_stats.a"
+)

@@ -1,0 +1,26 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bgp_tests.dir/bgp/as_path_test.cpp.o"
+  "CMakeFiles/bgp_tests.dir/bgp/as_path_test.cpp.o.d"
+  "CMakeFiles/bgp_tests.dir/bgp/mrai_test.cpp.o"
+  "CMakeFiles/bgp_tests.dir/bgp/mrai_test.cpp.o.d"
+  "CMakeFiles/bgp_tests.dir/bgp/network_test.cpp.o"
+  "CMakeFiles/bgp_tests.dir/bgp/network_test.cpp.o.d"
+  "CMakeFiles/bgp_tests.dir/bgp/policy_test.cpp.o"
+  "CMakeFiles/bgp_tests.dir/bgp/policy_test.cpp.o.d"
+  "CMakeFiles/bgp_tests.dir/bgp/rel_pref_test.cpp.o"
+  "CMakeFiles/bgp_tests.dir/bgp/rel_pref_test.cpp.o.d"
+  "CMakeFiles/bgp_tests.dir/bgp/router_edge_test.cpp.o"
+  "CMakeFiles/bgp_tests.dir/bgp/router_edge_test.cpp.o.d"
+  "CMakeFiles/bgp_tests.dir/bgp/router_test.cpp.o"
+  "CMakeFiles/bgp_tests.dir/bgp/router_test.cpp.o.d"
+  "CMakeFiles/bgp_tests.dir/bgp/session_test.cpp.o"
+  "CMakeFiles/bgp_tests.dir/bgp/session_test.cpp.o.d"
+  "bgp_tests"
+  "bgp_tests.pdb"
+  "bgp_tests[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bgp_tests.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

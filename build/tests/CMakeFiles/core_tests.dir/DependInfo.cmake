@@ -1,0 +1,34 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/core/cli_test.cpp" "tests/CMakeFiles/core_tests.dir/core/cli_test.cpp.o" "gcc" "tests/CMakeFiles/core_tests.dir/core/cli_test.cpp.o.d"
+  "/root/repo/tests/core/experiment_test.cpp" "tests/CMakeFiles/core_tests.dir/core/experiment_test.cpp.o" "gcc" "tests/CMakeFiles/core_tests.dir/core/experiment_test.cpp.o.d"
+  "/root/repo/tests/core/export_test.cpp" "tests/CMakeFiles/core_tests.dir/core/export_test.cpp.o" "gcc" "tests/CMakeFiles/core_tests.dir/core/export_test.cpp.o.d"
+  "/root/repo/tests/core/gnuplot_test.cpp" "tests/CMakeFiles/core_tests.dir/core/gnuplot_test.cpp.o" "gcc" "tests/CMakeFiles/core_tests.dir/core/gnuplot_test.cpp.o.d"
+  "/root/repo/tests/core/intended_test.cpp" "tests/CMakeFiles/core_tests.dir/core/intended_test.cpp.o" "gcc" "tests/CMakeFiles/core_tests.dir/core/intended_test.cpp.o.d"
+  "/root/repo/tests/core/multi_origin_test.cpp" "tests/CMakeFiles/core_tests.dir/core/multi_origin_test.cpp.o" "gcc" "tests/CMakeFiles/core_tests.dir/core/multi_origin_test.cpp.o.d"
+  "/root/repo/tests/core/report_test.cpp" "tests/CMakeFiles/core_tests.dir/core/report_test.cpp.o" "gcc" "tests/CMakeFiles/core_tests.dir/core/report_test.cpp.o.d"
+  "/root/repo/tests/core/validation_test.cpp" "tests/CMakeFiles/core_tests.dir/core/validation_test.cpp.o" "gcc" "tests/CMakeFiles/core_tests.dir/core/validation_test.cpp.o.d"
+  "/root/repo/tests/core/variants_test.cpp" "tests/CMakeFiles/core_tests.dir/core/variants_test.cpp.o" "gcc" "tests/CMakeFiles/core_tests.dir/core/variants_test.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/core/CMakeFiles/rfdnet_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/rfd/CMakeFiles/rfdnet_rfd.dir/DependInfo.cmake"
+  "/root/repo/build/src/stats/CMakeFiles/rfdnet_stats.dir/DependInfo.cmake"
+  "/root/repo/build/src/bgp/CMakeFiles/rfdnet_bgp.dir/DependInfo.cmake"
+  "/root/repo/build/src/rcn/CMakeFiles/rfdnet_rcn.dir/DependInfo.cmake"
+  "/root/repo/build/src/net/CMakeFiles/rfdnet_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/rfdnet_sim.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

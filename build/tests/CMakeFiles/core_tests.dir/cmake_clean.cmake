@@ -1,0 +1,28 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/core_tests.dir/core/cli_test.cpp.o"
+  "CMakeFiles/core_tests.dir/core/cli_test.cpp.o.d"
+  "CMakeFiles/core_tests.dir/core/experiment_test.cpp.o"
+  "CMakeFiles/core_tests.dir/core/experiment_test.cpp.o.d"
+  "CMakeFiles/core_tests.dir/core/export_test.cpp.o"
+  "CMakeFiles/core_tests.dir/core/export_test.cpp.o.d"
+  "CMakeFiles/core_tests.dir/core/gnuplot_test.cpp.o"
+  "CMakeFiles/core_tests.dir/core/gnuplot_test.cpp.o.d"
+  "CMakeFiles/core_tests.dir/core/intended_test.cpp.o"
+  "CMakeFiles/core_tests.dir/core/intended_test.cpp.o.d"
+  "CMakeFiles/core_tests.dir/core/multi_origin_test.cpp.o"
+  "CMakeFiles/core_tests.dir/core/multi_origin_test.cpp.o.d"
+  "CMakeFiles/core_tests.dir/core/report_test.cpp.o"
+  "CMakeFiles/core_tests.dir/core/report_test.cpp.o.d"
+  "CMakeFiles/core_tests.dir/core/validation_test.cpp.o"
+  "CMakeFiles/core_tests.dir/core/validation_test.cpp.o.d"
+  "CMakeFiles/core_tests.dir/core/variants_test.cpp.o"
+  "CMakeFiles/core_tests.dir/core/variants_test.cpp.o.d"
+  "core_tests"
+  "core_tests.pdb"
+  "core_tests[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/core_tests.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rcn_tests.dir/rcn/rcn_test.cpp.o"
+  "CMakeFiles/rcn_tests.dir/rcn/rcn_test.cpp.o.d"
+  "rcn_tests"
+  "rcn_tests.pdb"
+  "rcn_tests[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rcn_tests.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

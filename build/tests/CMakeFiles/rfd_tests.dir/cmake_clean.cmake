@@ -1,0 +1,20 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rfd_tests.dir/rfd/damping_test.cpp.o"
+  "CMakeFiles/rfd_tests.dir/rfd/damping_test.cpp.o.d"
+  "CMakeFiles/rfd_tests.dir/rfd/granularity_test.cpp.o"
+  "CMakeFiles/rfd_tests.dir/rfd/granularity_test.cpp.o.d"
+  "CMakeFiles/rfd_tests.dir/rfd/params_test.cpp.o"
+  "CMakeFiles/rfd_tests.dir/rfd/params_test.cpp.o.d"
+  "CMakeFiles/rfd_tests.dir/rfd/penalty_test.cpp.o"
+  "CMakeFiles/rfd_tests.dir/rfd/penalty_test.cpp.o.d"
+  "CMakeFiles/rfd_tests.dir/rfd/selective_test.cpp.o"
+  "CMakeFiles/rfd_tests.dir/rfd/selective_test.cpp.o.d"
+  "rfd_tests"
+  "rfd_tests.pdb"
+  "rfd_tests[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rfd_tests.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

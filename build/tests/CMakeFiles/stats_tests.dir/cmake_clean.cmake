@@ -1,0 +1,18 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/stats_tests.dir/stats/observer_wiring_test.cpp.o"
+  "CMakeFiles/stats_tests.dir/stats/observer_wiring_test.cpp.o.d"
+  "CMakeFiles/stats_tests.dir/stats/phase_test.cpp.o"
+  "CMakeFiles/stats_tests.dir/stats/phase_test.cpp.o.d"
+  "CMakeFiles/stats_tests.dir/stats/recorder_test.cpp.o"
+  "CMakeFiles/stats_tests.dir/stats/recorder_test.cpp.o.d"
+  "CMakeFiles/stats_tests.dir/stats/time_series_test.cpp.o"
+  "CMakeFiles/stats_tests.dir/stats/time_series_test.cpp.o.d"
+  "stats_tests"
+  "stats_tests.pdb"
+  "stats_tests[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/stats_tests.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
