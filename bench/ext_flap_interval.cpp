@@ -10,9 +10,11 @@
 
 #include "core/experiment.hpp"
 #include "core/intended.hpp"
+#include "core/parallel.hpp"
 #include "core/report.hpp"
 
-int main() {
+int main(int argc, char** argv) {
+  rfdnet::core::ParallelRunner::configure_from_args(argc, argv);
   using namespace rfdnet;
 
   std::cout << "Extension: flap interval sweep (100-node mesh, Cisco "

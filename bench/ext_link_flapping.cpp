@@ -18,9 +18,11 @@
 #include <iostream>
 
 #include "core/experiment.hpp"
+#include "core/parallel.hpp"
 #include "core/report.hpp"
 
-int main() {
+int main(int argc, char** argv) {
+  rfdnet::core::ParallelRunner::configure_from_args(argc, argv);
   using namespace rfdnet;
 
   std::cout << "Extension: link/session flapping (100-node mesh)\n\n";

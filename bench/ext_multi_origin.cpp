@@ -9,9 +9,11 @@
 #include <iostream>
 
 #include "core/multi_origin.hpp"
+#include "core/parallel.hpp"
 #include "core/report.hpp"
 
-int main() {
+int main(int argc, char** argv) {
+  rfdnet::core::ParallelRunner::configure_from_args(argc, argv);
   using namespace rfdnet;
 
   std::cout << "Extension: concurrent unstable origins (100-node mesh, 5 "

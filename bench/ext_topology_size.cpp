@@ -5,30 +5,43 @@
 // suppression) but the qualitative damping behavior — deviation for small
 // pulse counts, intended behavior past the critical point — is scale-free.
 
+#include <array>
 #include <iostream>
+#include <vector>
 
 #include "core/experiment.hpp"
 #include "core/intended.hpp"
+#include "core/parallel.hpp"
 #include "core/report.hpp"
 
-int main() {
+int main(int argc, char** argv) {
+  rfdnet::core::ParallelRunner::configure_from_args(argc, argv);
   using namespace rfdnet;
 
   std::cout << "Extension: topology size sweep (mesh torus, Cisco "
                "defaults)\n\n";
 
+  constexpr std::array kSides = {5, 8, 10, 14, 20};
   for (const int pulses : {1, 8}) {
     std::cout << "-- " << pulses << " pulse(s) --\n";
     core::TextTable t({"mesh", "nodes", "convergence (s)", "intended (s)",
                        "messages", "suppressions"});
-    for (const int side : {5, 8, 10, 14, 20}) {
+    // Each mesh size is an independent trial; run them through the shared
+    // pool and print in canonical size order afterwards.
+    std::vector<core::ExperimentResult> results(kSides.size());
+    core::ParallelRunner::shared().for_each(kSides.size(), [&](std::size_t i) {
       core::ExperimentConfig cfg;
       cfg.topology.kind = core::TopologySpec::Kind::kMeshTorus;
-      cfg.topology.width = side;
-      cfg.topology.height = side;
+      cfg.topology.width = kSides[i];
+      cfg.topology.height = kSides[i];
       cfg.pulses = pulses;
       cfg.seed = 1;
-      const auto res = core::run_experiment(cfg);
+      results[i] = core::run_experiment(cfg);
+    });
+    for (std::size_t i = 0; i < kSides.size(); ++i) {
+      const int side = kSides[i];
+      const auto& res = results[i];
+      const core::ExperimentConfig cfg;
       const core::IntendedBehaviorModel model(*cfg.damping);
       const double intended = model.intended_convergence_s(
           core::FlapPattern{pulses, cfg.flap_interval_s}, res.warmup_tup_s);

@@ -10,10 +10,12 @@
 
 #include <iostream>
 
+#include "core/parallel.hpp"
 #include "core/report.hpp"
 #include "core/sweep.hpp"
 
-int main() {
+int main(int argc, char** argv) {
+  rfdnet::core::ParallelRunner::configure_from_args(argc, argv);
   using namespace rfdnet;
   constexpr int kMaxPulses = 10;
   constexpr int kSeeds = 5;

@@ -4,9 +4,15 @@
 
 #include <benchmark/benchmark.h>
 
+#include <cstdint>
+#include <thread>
+#include <vector>
+
 #include "bgp/network.hpp"
 #include "bgp/policy.hpp"
 #include "core/experiment.hpp"
+#include "core/parallel.hpp"
+#include "core/sweep.hpp"
 #include "net/topology.hpp"
 #include "rfd/params.hpp"
 #include "rfd/penalty.hpp"
@@ -30,6 +36,32 @@ void BM_EngineScheduleRun(benchmark::State& state) {
   state.SetItemsProcessed(state.iterations() * n);
 }
 BENCHMARK(BM_EngineScheduleRun)->Arg(1000)->Arg(10000);
+
+// The DampingModule::schedule_reuse pattern: a block of live timers whose
+// deadlines keep moving out, so every reschedule is a cancel + schedule.
+// Without heap compaction the stale entries accumulate for the life of the
+// run; with it the heap stays proportional to the live timer count
+// (reported in the "heap" counter).
+void BM_EngineCancelReschedule(benchmark::State& state) {
+  const int live = static_cast<int>(state.range(0));
+  sim::Engine e;
+  std::vector<sim::EventId> ids;
+  ids.reserve(static_cast<std::size_t>(live));
+  const auto far = sim::SimTime::from_seconds(1e9);
+  for (int i = 0; i < live; ++i) ids.push_back(e.schedule_at(far, [] {}));
+  std::int64_t shift = 0;
+  for (auto _ : state) {
+    for (int i = 0; i < live; ++i) {
+      e.cancel(ids[static_cast<std::size_t>(i)]);
+      ids[static_cast<std::size_t>(i)] =
+          e.schedule_at(far + sim::Duration::micros(++shift % 997), [] {});
+    }
+  }
+  state.SetItemsProcessed(state.iterations() * live);
+  state.counters["heap"] = static_cast<double>(e.heap_size());
+  state.counters["live"] = static_cast<double>(e.pending());
+}
+BENCHMARK(BM_EngineCancelReschedule)->Arg(16)->Arg(256);
 
 void BM_PenaltyDecay(benchmark::State& state) {
   rfd::PenaltyState p;
@@ -71,5 +103,26 @@ void BM_SingleFlapExperiment(benchmark::State& state) {
   }
 }
 BENCHMARK(BM_SingleFlapExperiment)->Unit(benchmark::kMillisecond);
+
+// A scaled-down Fig. 8 sweep (seeds x pulses independent trials) through the
+// ParallelRunner; Arg is the worker count, so Arg(1) vs Arg(N) is the
+// speedup the figure binaries get from --jobs N.
+void BM_PulseSweepMedianJobs(benchmark::State& state) {
+  core::ParallelRunner runner(static_cast<int>(state.range(0)));
+  core::ExperimentConfig cfg;
+  cfg.topology.width = 6;
+  cfg.topology.height = 6;
+  cfg.seed = 1;
+  for (auto _ : state) {
+    const auto sweep = core::run_pulse_sweep_median(cfg, /*max_pulses=*/6,
+                                                    /*seeds=*/3, &runner);
+    benchmark::DoNotOptimize(sweep.points.back().messages);
+  }
+}
+BENCHMARK(BM_PulseSweepMedianJobs)
+    ->Arg(1)
+    ->Arg(static_cast<int>(std::thread::hardware_concurrency()))
+    ->Unit(benchmark::kMillisecond)
+    ->UseRealTime();
 
 }  // namespace

@@ -4,9 +4,11 @@
 
 #include <iostream>
 
+#include "core/parallel.hpp"
 #include "core/validation.hpp"
 
-int main() {
+int main(int argc, char** argv) {
+  rfdnet::core::ParallelRunner::configure_from_args(argc, argv);
   using namespace rfdnet;
 
   std::cout << "rfdnet reproduction scorecard — 'Timer Interaction in Route "

@@ -1,6 +1,7 @@
 #!/usr/bin/env bash
-# Full verification pass: configure, build, run every test, every benchmark
-# and the reproduction scorecard. Exits non-zero on any failure.
+# Full verification pass: configure, build, run every test (plain and under
+# ASan/UBSan), every benchmark and the reproduction scorecard. Exits
+# non-zero on any failure.
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
@@ -8,6 +9,13 @@ cmake -B build -G Ninja
 cmake --build build
 
 ctest --test-dir build --output-on-failure
+
+# Sanitizer pass: the ParallelRunner thread pool and the event engine's slot
+# recycling must come up clean under ASan + UBSan.
+cmake -B build-asan -G Ninja -DCMAKE_BUILD_TYPE=Debug \
+  -DCMAKE_CXX_FLAGS="-fsanitize=address,undefined -fno-sanitize-recover=all"
+cmake --build build-asan
+ctest --test-dir build-asan --output-on-failure
 
 for b in build/bench/*; do
   echo "===== $(basename "$b") ====="

@@ -1,0 +1,173 @@
+#include "core/parallel.hpp"
+
+#include <atomic>
+#include <cstdlib>
+#include <string>
+
+namespace rfdnet::core {
+
+namespace {
+
+// Set while a thread is executing tasks for a runner; reentrant for_each
+// calls from inside a task fall back to inline execution instead of
+// deadlocking on the batch lock.
+thread_local const ParallelRunner* g_current_pool = nullptr;
+
+std::atomic<int> g_default_jobs{0};
+
+}  // namespace
+
+int ParallelRunner::default_jobs() {
+  const int configured = g_default_jobs.load(std::memory_order_relaxed);
+  if (configured > 0) return configured;
+  if (const char* env = std::getenv("RFDNET_JOBS")) {
+    const int n = std::atoi(env);
+    if (n > 0) return n;
+  }
+  const unsigned hw = std::thread::hardware_concurrency();
+  return hw > 0 ? static_cast<int>(hw) : 1;
+}
+
+void ParallelRunner::set_default_jobs(int jobs) {
+  g_default_jobs.store(jobs > 0 ? jobs : 0, std::memory_order_relaxed);
+}
+
+ParallelRunner& ParallelRunner::shared() {
+  static ParallelRunner runner(default_jobs());
+  return runner;
+}
+
+void ParallelRunner::configure_from_args(int argc, const char* const* argv) {
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if ((arg == "--jobs" || arg == "-j") && i + 1 < argc) {
+      set_default_jobs(std::atoi(argv[i + 1]));
+      return;
+    }
+    if (arg.rfind("--jobs=", 0) == 0) {
+      set_default_jobs(std::atoi(arg.c_str() + 7));
+      return;
+    }
+  }
+}
+
+ParallelRunner::ParallelRunner(int threads)
+    : threads_(threads > 0 ? threads : default_jobs()) {
+  if (threads_ == 1) return;  // inline mode: no pool threads
+  queues_.reserve(static_cast<std::size_t>(threads_));
+  for (int i = 0; i < threads_; ++i) {
+    queues_.push_back(std::make_unique<WorkerQueue>());
+  }
+  workers_.reserve(static_cast<std::size_t>(threads_));
+  for (int i = 0; i < threads_; ++i) {
+    workers_.emplace_back(
+        [this, i] { worker_loop(static_cast<std::size_t>(i)); });
+  }
+}
+
+ParallelRunner::~ParallelRunner() {
+  if (workers_.empty()) return;
+  {
+    std::lock_guard<std::mutex> lk(m_);
+    stop_ = true;
+  }
+  work_cv_.notify_all();
+  for (auto& w : workers_) w.join();
+}
+
+bool ParallelRunner::try_take(std::size_t worker_index, std::size_t& task) {
+  // Own queue first (front), then steal from the back of the others so the
+  // owner and thieves touch opposite ends.
+  {
+    WorkerQueue& q = *queues_[worker_index];
+    std::lock_guard<std::mutex> lk(q.m);
+    if (!q.tasks.empty()) {
+      task = q.tasks.front();
+      q.tasks.pop_front();
+      return true;
+    }
+  }
+  for (std::size_t k = 1; k < queues_.size(); ++k) {
+    WorkerQueue& q = *queues_[(worker_index + k) % queues_.size()];
+    std::lock_guard<std::mutex> lk(q.m);
+    if (!q.tasks.empty()) {
+      task = q.tasks.back();
+      q.tasks.pop_back();
+      return true;
+    }
+  }
+  return false;
+}
+
+void ParallelRunner::run_task(std::size_t task) {
+  try {
+    (*fn_)(task);
+  } catch (...) {
+    std::lock_guard<std::mutex> lk(m_);
+    if (!first_error_) first_error_ = std::current_exception();
+  }
+  bool drained = false;
+  {
+    std::lock_guard<std::mutex> lk(m_);
+    drained = --tasks_left_ == 0;
+  }
+  if (drained) done_cv_.notify_all();
+}
+
+void ParallelRunner::worker_loop(std::size_t worker_index) {
+  g_current_pool = this;
+  std::uint64_t seen_epoch = 0;
+  for (;;) {
+    {
+      std::unique_lock<std::mutex> lk(m_);
+      work_cv_.wait(lk, [&] { return stop_ || epoch_ != seen_epoch; });
+      if (stop_) return;
+      seen_epoch = epoch_;
+    }
+    std::size_t task;
+    while (try_take(worker_index, task)) run_task(task);
+  }
+}
+
+void ParallelRunner::for_each(std::size_t n,
+                              const std::function<void(std::size_t)>& fn) {
+  if (n == 0) return;
+  if (threads_ == 1 || n == 1 || g_current_pool == this) {
+    for (std::size_t i = 0; i < n; ++i) fn(i);
+    return;
+  }
+
+  std::lock_guard<std::mutex> batch(batch_lock_);
+  // Publish the batch before queueing any task: a straggler worker from the
+  // previous batch may steal newly queued work before the epoch bump.
+  {
+    std::lock_guard<std::mutex> lk(m_);
+    fn_ = &fn;
+    tasks_left_ = n;
+    first_error_ = nullptr;
+  }
+  // Pre-distribute round-robin; workers rebalance by stealing.
+  for (std::size_t i = 0; i < n; ++i) {
+    WorkerQueue& q = *queues_[i % queues_.size()];
+    std::lock_guard<std::mutex> lk(q.m);
+    q.tasks.push_back(i);
+  }
+  // Bump the epoch only once all tasks are visible, so a worker that wakes
+  // and drains cannot go back to sleep with work still unqueued.
+  {
+    std::lock_guard<std::mutex> lk(m_);
+    ++epoch_;
+  }
+  work_cv_.notify_all();
+
+  std::exception_ptr err;
+  {
+    std::unique_lock<std::mutex> lk(m_);
+    done_cv_.wait(lk, [&] { return tasks_left_ == 0; });
+    err = first_error_;
+    fn_ = nullptr;
+  }
+  if (err) std::rethrow_exception(err);
+}
+
+}  // namespace rfdnet::core

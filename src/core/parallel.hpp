@@ -1,0 +1,88 @@
+#pragma once
+
+#include <condition_variable>
+#include <cstddef>
+#include <deque>
+#include <exception>
+#include <functional>
+#include <memory>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace rfdnet::core {
+
+/// Fixed-size thread pool with per-worker work-stealing deques, built for
+/// batches of fully independent trials (one `run_experiment` per task).
+///
+/// Determinism: the runner never shares simulation state between tasks —
+/// each trial constructs its own `sim::Engine` and `sim::Rng` from its own
+/// seed — and callers index results by task id, so merged output is in
+/// canonical order and identical to a serial run regardless of which worker
+/// finishes first.
+///
+/// Exceptions thrown by tasks are captured; the first one is rethrown from
+/// `for_each` after the whole batch drains.
+class ParallelRunner {
+ public:
+  /// `threads <= 0` means `default_jobs()`. A single-thread runner executes
+  /// everything inline on the caller (no pool threads at all).
+  explicit ParallelRunner(int threads = 0);
+  ~ParallelRunner();
+
+  ParallelRunner(const ParallelRunner&) = delete;
+  ParallelRunner& operator=(const ParallelRunner&) = delete;
+
+  int threads() const { return threads_; }
+
+  /// Runs `fn(0) .. fn(n-1)`, blocking until every task has finished.
+  /// Tasks must be independent; they may write to distinct, pre-sized
+  /// result slots without locking. Reentrant calls from inside a task run
+  /// inline (no deadlock). Concurrent calls from different threads
+  /// serialize on the batch lock.
+  void for_each(std::size_t n, const std::function<void(std::size_t)>& fn);
+
+  /// Thread count used when no explicit count is given, resolved in order:
+  /// `set_default_jobs()` > `RFDNET_JOBS` env var > hardware concurrency.
+  static int default_jobs();
+  /// Overrides `default_jobs()`. Call before the first `shared()` use —
+  /// the shared runner's pool size is fixed at creation.
+  static void set_default_jobs(int jobs);
+
+  /// Process-wide runner, created on first use with `default_jobs()`
+  /// threads. The sweep entry points dispatch through this when no runner
+  /// is passed explicitly.
+  static ParallelRunner& shared();
+
+  /// Scans argv for `--jobs N` / `--jobs=N` / `-j N` and applies it via
+  /// `set_default_jobs`. Unrelated flags are left untouched, so bench
+  /// binaries can call this first thing in `main`.
+  static void configure_from_args(int argc, const char* const* argv);
+
+ private:
+  struct WorkerQueue {
+    std::mutex m;
+    std::deque<std::size_t> tasks;
+  };
+
+  void worker_loop(std::size_t worker_index);
+  bool try_take(std::size_t worker_index, std::size_t& task);
+  void run_task(std::size_t task);
+
+  int threads_ = 1;
+  std::vector<std::unique_ptr<WorkerQueue>> queues_;
+  std::vector<std::thread> workers_;
+
+  std::mutex batch_lock_;  // one batch at a time
+
+  std::mutex m_;
+  std::condition_variable work_cv_;  // workers: new batch or shutdown
+  std::condition_variable done_cv_;  // caller: batch drained
+  std::uint64_t epoch_ = 0;          // bumped per batch
+  std::size_t tasks_left_ = 0;
+  const std::function<void(std::size_t)>* fn_ = nullptr;
+  std::exception_ptr first_error_;
+  bool stop_ = false;
+};
+
+}  // namespace rfdnet::core

@@ -14,44 +14,64 @@ T median(std::vector<T> v) {
   return v[v.size() / 2];
 }
 
+/// One trial = one fully independent `run_experiment` (its own Engine + Rng,
+/// seeded from the config), writing into a pre-sized result slot.
+SweepPoint run_trial(const ExperimentConfig& base, std::uint64_t seed,
+                     int pulses) {
+  ExperimentConfig cfg = base;
+  cfg.seed = seed;
+  cfg.pulses = pulses;
+  const ExperimentResult res = run_experiment(cfg);
+
+  SweepPoint pt;
+  pt.pulses = pulses;
+  pt.convergence_s = res.convergence_time_s;
+  pt.messages = res.message_count;
+  pt.isp_suppressed = res.isp_suppressed;
+  pt.hit_horizon = res.hit_horizon;
+  if (base.damping) {
+    const IntendedBehaviorModel model(*base.damping);
+    pt.intended_convergence_s = model.intended_convergence_s(
+        FlapPattern{pulses, base.flap_interval_s}, res.warmup_tup_s);
+  } else {
+    pt.intended_convergence_s = res.warmup_tup_s;
+  }
+  return pt;
+}
+
 }  // namespace
 
-SweepResult run_pulse_sweep(const ExperimentConfig& base, int max_pulses) {
+SweepResult run_pulse_sweep(const ExperimentConfig& base, int max_pulses,
+                            ParallelRunner* runner) {
   SweepResult out;
-  out.points.reserve(static_cast<std::size_t>(max_pulses));
-  for (int n = 1; n <= max_pulses; ++n) {
-    ExperimentConfig cfg = base;
-    cfg.pulses = n;
-    const ExperimentResult res = run_experiment(cfg);
-
-    SweepPoint pt;
-    pt.pulses = n;
-    pt.convergence_s = res.convergence_time_s;
-    pt.messages = res.message_count;
-    pt.isp_suppressed = res.isp_suppressed;
-    pt.hit_horizon = res.hit_horizon;
-    if (base.damping) {
-      const IntendedBehaviorModel model(*base.damping);
-      pt.intended_convergence_s = model.intended_convergence_s(
-          FlapPattern{n, base.flap_interval_s}, res.warmup_tup_s);
-    } else {
-      pt.intended_convergence_s = res.warmup_tup_s;
-    }
-    out.points.push_back(pt);
-  }
+  out.points.resize(static_cast<std::size_t>(std::max(0, max_pulses)));
+  ParallelRunner& pool = runner ? *runner : ParallelRunner::shared();
+  pool.for_each(out.points.size(), [&](std::size_t i) {
+    out.points[i] = run_trial(base, base.seed, static_cast<int>(i) + 1);
+  });
   return out;
 }
 
 SweepResult run_pulse_sweep_median(const ExperimentConfig& base,
-                                   int max_pulses, int seeds) {
+                                   int max_pulses, int seeds,
+                                   ParallelRunner* runner) {
   if (seeds < 1) throw std::invalid_argument("sweep: seeds < 1");
-  std::vector<SweepResult> runs;
-  runs.reserve(static_cast<std::size_t>(seeds));
-  for (int s = 0; s < seeds; ++s) {
-    ExperimentConfig cfg = base;
-    cfg.seed = base.seed + static_cast<std::uint64_t>(s);
-    runs.push_back(run_pulse_sweep(cfg, max_pulses));
-  }
+  const auto n_pulses = static_cast<std::size_t>(std::max(0, max_pulses));
+  const auto n_seeds = static_cast<std::size_t>(seeds);
+
+  // One flat batch over the (seed, pulse) grid: the longest trials (high
+  // pulse counts) spread across workers instead of serializing per seed.
+  std::vector<SweepResult> runs(n_seeds);
+  for (auto& run : runs) run.points.resize(n_pulses);
+  ParallelRunner& pool = runner ? *runner : ParallelRunner::shared();
+  pool.for_each(n_seeds * n_pulses, [&](std::size_t t) {
+    const std::size_t s = t / n_pulses;
+    const std::size_t i = t % n_pulses;
+    runs[s].points[i] = run_trial(
+        base, base.seed + static_cast<std::uint64_t>(s),
+        static_cast<int>(i) + 1);
+  });
+
   SweepResult out;
   for (int n = 1; n <= max_pulses; ++n) {
     const std::size_t i = static_cast<std::size_t>(n - 1);

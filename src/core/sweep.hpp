@@ -4,6 +4,7 @@
 
 #include "core/experiment.hpp"
 #include "core/intended.hpp"
+#include "core/parallel.hpp"
 
 namespace rfdnet::core {
 
@@ -26,12 +27,21 @@ struct SweepResult {
 /// pairs each simulated result with the intended-behavior calculation.
 /// When `base.damping` is unset the intended column falls back to the
 /// measured warm-up t_up (no-damping convergence).
-SweepResult run_pulse_sweep(const ExperimentConfig& base, int max_pulses);
+///
+/// Trials are fully independent — one `Engine` and one `Rng` per trial — and
+/// dispatch through `runner` (default: `ParallelRunner::shared()`). Points
+/// are merged in canonical pulse order, so the result is identical to a
+/// serial run for the same config.
+SweepResult run_pulse_sweep(const ExperimentConfig& base, int max_pulses,
+                            ParallelRunner* runner = nullptr);
 
 /// Same sweep across `seeds` different seeds (base.seed, base.seed+1, ...),
 /// reporting the per-point median of convergence time, message count and the
 /// intended calculation — smooths the run-to-run jitter of a single seed.
+/// All seeds × pulses trials go through `runner` as one flat batch; merge
+/// order is canonical `(point, seed)` regardless of completion order.
 SweepResult run_pulse_sweep_median(const ExperimentConfig& base,
-                                   int max_pulses, int seeds);
+                                   int max_pulses, int seeds,
+                                   ParallelRunner* runner = nullptr);
 
 }  // namespace rfdnet::core

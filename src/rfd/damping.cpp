@@ -1,5 +1,6 @@
 #include "rfd/damping.hpp"
 
+#include <algorithm>
 #include <cmath>
 #include <stdexcept>
 #include <utility>
@@ -69,6 +70,12 @@ DampingModule::Entry& DampingModule::entry(int slot, bgp::Prefix p) {
   return v.at(slot);
 }
 
+DampingModule::Entry* DampingModule::find_entry(int slot, bgp::Prefix p) {
+  const auto it = entries_.find(p);
+  if (it == entries_.end() || it->second.empty()) return nullptr;
+  return &it->second.at(slot);
+}
+
 const DampingModule::Entry* DampingModule::find_entry(int slot,
                                                       bgp::Prefix p) const {
   const auto it = entries_.find(p);
@@ -77,14 +84,14 @@ const DampingModule::Entry* DampingModule::find_entry(int slot,
 }
 
 UpdateClass DampingModule::classify(
-    const Entry& e, const bgp::UpdateMessage& msg,
+    bool ever_announced, const bgp::UpdateMessage& msg,
     const std::optional<bgp::Route>& prev) const {
   if (msg.is_withdrawal()) {
     return prev ? UpdateClass::kWithdrawal : UpdateClass::kDuplicate;
   }
   if (!prev) {
-    return e.ever_announced ? UpdateClass::kReannouncement
-                            : UpdateClass::kInitial;
+    return ever_announced ? UpdateClass::kReannouncement
+                          : UpdateClass::kInitial;
   }
   return (*prev == *msg.route) ? UpdateClass::kDuplicate
                                : UpdateClass::kAttrChange;
@@ -108,15 +115,14 @@ double DampingModule::increment_for(UpdateClass c) const {
 void DampingModule::on_update(int slot, const bgp::UpdateMessage& msg,
                               const std::optional<bgp::Route>& prev,
                               bool loop_denied) {
-  Entry& e = entry(slot, msg.prefix);
   const sim::SimTime now = engine_.now();
   const double lambda = params_.lambda();
+  Entry* e = find_entry(slot, msg.prefix);
 
   // A present previous route proves this entry has been announced before,
   // even if the announcement predates this module's state (e.g. a reset).
-  if (prev) e.ever_announced = true;
-  const UpdateClass cls = classify(e, msg, prev);
-  if (msg.is_announcement()) e.ever_announced = true;
+  const bool ever_announced = prev.has_value() || (e && e->ever_announced);
+  const UpdateClass cls = classify(ever_announced, msg, prev);
 
   double inc = increment_for(cls);
   if (loop_denied && !params_.charge_loop_denied) inc = 0.0;
@@ -145,30 +151,38 @@ void DampingModule::on_update(int slot, const bgp::UpdateMessage& msg,
     }
   }
 
+  // Allocate state lazily: only an update that charges penalty or flips
+  // `ever_announced` has anything to remember. A withdrawal for a prefix we
+  // never tracked (and with no previous route) is a pure no-op and must not
+  // grow `entries_`.
+  const bool marks_announced = prev.has_value() || msg.is_announcement();
+  if (inc <= 0.0 && e == nullptr && !marks_announced) return;
+  if (e == nullptr) e = &entry(slot, msg.prefix);
+  if (marks_announced) e->ever_announced = true;
   if (inc <= 0.0) return;
 
   // RFC 2439 memory limit: an unsuppressed penalty that has decayed below
   // half the reuse threshold is no longer tracked.
-  if (!e.suppressed && e.penalty.at(now, lambda) < params_.reuse / 2.0) {
-    e.penalty.reset();
+  if (!e->suppressed && e->penalty.at(now, lambda) < params_.reuse / 2.0) {
+    e->penalty.reset();
   }
 
-  e.penalty.add(inc, now, lambda, params_.ceiling());
-  const double value = e.penalty.at(now, lambda);
+  e->penalty.add(inc, now, lambda, params_.ceiling());
+  const double value = e->penalty.at(now, lambda);
   if (observer_) {
     observer_->on_penalty(self_, peer_ids_.at(slot), msg.prefix, value, now);
   }
 
-  if (!e.suppressed && value > params_.cutoff) {
-    e.suppressed = true;
+  if (!e->suppressed && value > params_.cutoff) {
+    e->suppressed = true;
     ++suppressed_count_;
     if (observer_) {
       observer_->on_suppress(self_, peer_ids_.at(slot), msg.prefix, value, now);
     }
-    schedule_reuse(e, slot, msg.prefix);
-  } else if (e.suppressed) {
+    schedule_reuse(*e, slot, msg.prefix);
+  } else if (e->suppressed) {
     // The penalty grew, so the reuse crossing moved out: reschedule.
-    schedule_reuse(e, slot, msg.prefix);
+    schedule_reuse(*e, slot, msg.prefix);
   }
 }
 
@@ -178,7 +192,11 @@ void DampingModule::schedule_reuse(Entry& e, int slot, bgp::Prefix p) {
       e.penalty.time_to_reach(params_.reuse, now, params_.lambda());
   if (params_.reuse_granularity_s > 0) {
     const auto g = sim::Duration::seconds(params_.reuse_granularity_s);
-    const auto periods = (wait.as_micros() + g.as_micros() - 1) / g.as_micros();
+    // At least one full period: a penalty sitting exactly at (or rounding
+    // to) the reuse boundary must not release at `now` — the quantized
+    // timer's contract is "never early, on the grid".
+    const auto periods = std::max<std::int64_t>(
+        1, (wait.as_micros() + g.as_micros() - 1) / g.as_micros());
     wait = g * periods;
   }
   const sim::SimTime when = now + wait;
@@ -192,7 +210,11 @@ void DampingModule::schedule_reuse(Entry& e, int slot, bgp::Prefix p) {
 }
 
 void DampingModule::fire_reuse(int slot, bgp::Prefix p) {
-  Entry& e = entry(slot, p);
+  // The timer was scheduled from a live entry; look it up without creating
+  // (the entry may be gone after a reset raced with an in-flight event).
+  Entry* found = find_entry(slot, p);
+  if (found == nullptr) return;
+  Entry& e = *found;
   e.reuse_event = sim::kInvalidEvent;
   if (!e.suppressed) return;
   e.suppressed = false;

@@ -89,6 +89,9 @@ class DampingModule final : public bgp::DampingHook {
   std::optional<sim::SimTime> reuse_time(int slot, bgp::Prefix p) const;
   /// Number of currently suppressed entries on this router.
   int suppressed_count() const { return suppressed_count_; }
+  /// Number of prefixes with allocated damping state. Read-only queries
+  /// (`penalty`, `suppressed`, `reuse_time`) never grow this (tests).
+  std::size_t tracked_entries() const { return entries_.size(); }
 
   const DampingParams& params() const { return params_; }
 
@@ -102,8 +105,9 @@ class DampingModule final : public bgp::DampingHook {
   };
 
   Entry& entry(int slot, bgp::Prefix p);
+  Entry* find_entry(int slot, bgp::Prefix p);
   const Entry* find_entry(int slot, bgp::Prefix p) const;
-  UpdateClass classify(const Entry& e, const bgp::UpdateMessage& msg,
+  UpdateClass classify(bool ever_announced, const bgp::UpdateMessage& msg,
                        const std::optional<bgp::Route>& prev) const;
   double increment_for(UpdateClass c) const;
   void schedule_reuse(Entry& e, int slot, bgp::Prefix p);

@@ -1,16 +1,55 @@
 #include "sim/engine.hpp"
 
+#include <algorithm>
 #include <stdexcept>
 #include <utility>
 
 namespace rfdnet::sim {
 
+namespace {
+
+// Compaction policy: never bother below this heap size, and only rebuild
+// when stale (cancelled) entries outnumber live ones — so the amortized cost
+// per cancellation is O(1) comparisons plus its share of one linear rebuild.
+constexpr std::size_t kCompactMinHeap = 64;
+
+}  // namespace
+
+Engine::Slot* Engine::live_slot(EventId id) {
+  const std::uint64_t low = id & 0xffffffffULL;
+  if (low == 0) return nullptr;  // kInvalidEvent and malformed ids
+  const auto index = static_cast<std::uint32_t>(low - 1);
+  if (index >= slots_.size()) return nullptr;
+  Slot& s = slots_[index];
+  if (!s.live || s.gen != static_cast<std::uint32_t>(id >> 32)) return nullptr;
+  return &s;
+}
+
+void Engine::release_slot(std::uint32_t index) {
+  Slot& s = slots_[index];
+  s.fn = nullptr;
+  s.live = false;
+  ++s.gen;
+  free_slots_.push_back(index);
+}
+
 EventId Engine::schedule_at(SimTime t, std::function<void()> fn) {
   if (t < now_) throw std::logic_error("Engine: scheduling into the past");
   if (!fn) throw std::logic_error("Engine: empty event handler");
-  const EventId id = next_id_++;
-  heap_.push(Entry{t, next_seq_++, id});
-  handlers_.emplace(id, std::move(fn));
+  std::uint32_t index;
+  if (!free_slots_.empty()) {
+    index = free_slots_.back();
+    free_slots_.pop_back();
+  } else {
+    index = static_cast<std::uint32_t>(slots_.size());
+    slots_.emplace_back();
+  }
+  Slot& s = slots_[index];
+  s.fn = std::move(fn);
+  s.live = true;
+  const EventId id = make_id(s.gen, index);
+  heap_.push_back(Entry{t, next_seq_++, id});
+  std::push_heap(heap_.begin(), heap_.end(), Later{});
   ++live_;
   return id;
 }
@@ -21,23 +60,36 @@ EventId Engine::schedule_after(Duration d, std::function<void()> fn) {
 }
 
 bool Engine::cancel(EventId id) {
-  const auto it = handlers_.find(id);
-  if (it == handlers_.end()) return false;
-  handlers_.erase(it);
+  const Slot* s = live_slot(id);
+  if (s == nullptr) return false;
+  release_slot(static_cast<std::uint32_t>((id & 0xffffffffULL) - 1));
   --live_;
+  maybe_compact();
   return true;
+}
+
+void Engine::maybe_compact() {
+  if (heap_.size() < kCompactMinHeap) return;
+  if (heap_.size() - live_ <= live_) return;
+  compact();
+}
+
+void Engine::compact() {
+  std::erase_if(heap_, [this](const Entry& e) { return !live_slot(e.id); });
+  std::make_heap(heap_.begin(), heap_.end(), Later{});
 }
 
 bool Engine::step() {
   while (!heap_.empty()) {
-    const Entry top = heap_.top();
-    heap_.pop();
-    const auto it = handlers_.find(top.id);
-    if (it == handlers_.end()) continue;  // cancelled; discard lazily
-    // Move the handler out before running it: the handler may schedule or
-    // cancel other events (rehashing handlers_) or even re-enter the engine.
-    std::function<void()> fn = std::move(it->second);
-    handlers_.erase(it);
+    const Entry top = heap_.front();
+    std::pop_heap(heap_.begin(), heap_.end(), Later{});
+    heap_.pop_back();
+    Slot* s = live_slot(top.id);
+    if (s == nullptr) continue;  // cancelled; discard lazily
+    // Move the handler out and free the slot before running it: the handler
+    // may schedule or cancel other events or even re-enter the engine.
+    std::function<void()> fn = std::move(s->fn);
+    release_slot(static_cast<std::uint32_t>((top.id & 0xffffffffULL) - 1));
     --live_;
     now_ = top.time;
     ++executed_;
@@ -51,9 +103,10 @@ std::uint64_t Engine::run(SimTime horizon) {
   std::uint64_t n = 0;
   while (!heap_.empty()) {
     // Skip over cancelled entries to find the true next event time.
-    const Entry top = heap_.top();
-    if (!handlers_.contains(top.id)) {
-      heap_.pop();
+    const Entry top = heap_.front();
+    if (!live_slot(top.id)) {
+      std::pop_heap(heap_.begin(), heap_.end(), Later{});
+      heap_.pop_back();
       continue;
     }
     if (top.time > horizon) break;

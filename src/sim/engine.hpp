@@ -2,8 +2,6 @@
 
 #include <cstdint>
 #include <functional>
-#include <queue>
-#include <unordered_map>
 #include <vector>
 
 #include "sim/time.hpp"
@@ -19,7 +17,14 @@ inline constexpr EventId kInvalidEvent = 0;
 /// Events scheduled for the same instant run in scheduling order (FIFO), so a
 /// simulation driven purely by one `Engine` and one `Rng` is deterministic.
 /// Cancellation is lazy: cancelled events stay in the heap and are discarded
-/// when popped.
+/// when popped — but when stale entries come to dominate the heap (a
+/// cancel/reschedule-heavy workload like `DampingModule::schedule_reuse`),
+/// the heap is compacted so its size stays proportional to the number of
+/// live events rather than the total ever scheduled.
+///
+/// Handlers live in a contiguous slot array indexed by the low half of the
+/// `EventId` (the high half is a per-slot generation that invalidates stale
+/// ids), so the schedule/cancel/pop hot path never hashes.
 class Engine {
  public:
   Engine() = default;
@@ -43,6 +48,10 @@ class Engine {
   /// Number of live (not-yet-run, not-cancelled) events.
   std::size_t pending() const { return live_; }
 
+  /// Heap entries currently held, including lazily-cancelled ones awaiting
+  /// compaction; bounded by a constant multiple of `pending()` (tests).
+  std::size_t heap_size() const { return heap_.size(); }
+
   /// Runs the next event, if any. Returns false when the queue is empty.
   bool step();
 
@@ -65,14 +74,33 @@ class Engine {
       return a.seq > b.seq;
     }
   };
+  /// Handler storage. A slot is reused after its event runs or is cancelled;
+  /// the generation bumps on release so stale `EventId`s never match.
+  struct Slot {
+    std::function<void()> fn;
+    std::uint32_t gen = 1;
+    bool live = false;
+  };
+
+  static constexpr EventId make_id(std::uint32_t gen, std::uint32_t index) {
+    return (static_cast<EventId>(gen) << 32) |
+           (static_cast<EventId>(index) + 1);
+  }
+  /// Slot for a live event id, or nullptr for stale/unknown ids.
+  Slot* live_slot(EventId id);
+  /// Releases a slot back to the free list (bumping its generation).
+  void release_slot(std::uint32_t index);
+  /// Drops all stale entries from the heap and re-heapifies.
+  void compact();
+  void maybe_compact();
 
   SimTime now_;
   std::uint64_t next_seq_ = 0;
-  EventId next_id_ = 1;
   std::size_t live_ = 0;
   std::uint64_t executed_ = 0;
-  std::priority_queue<Entry, std::vector<Entry>, Later> heap_;
-  std::unordered_map<EventId, std::function<void()>> handlers_;
+  std::vector<Entry> heap_;  // binary heap ordered by Later
+  std::vector<Slot> slots_;
+  std::vector<std::uint32_t> free_slots_;
 };
 
 }  // namespace rfdnet::sim

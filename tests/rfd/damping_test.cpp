@@ -354,6 +354,32 @@ TEST_F(DampingModuleTest, RejectsBadConstruction) {
                std::invalid_argument);
 }
 
+TEST_F(DampingModuleTest, QueriesDoNotAllocateEntries) {
+  // Regression: read paths used to route through the mutating entry()
+  // accessor, so probing a never-charged (slot, prefix) allocated a full
+  // per-peer entry vector.
+  make();
+  EXPECT_EQ(module_->tracked_entries(), 0u);
+  EXPECT_FALSE(module_->suppressed(0, 7));
+  EXPECT_DOUBLE_EQ(module_->penalty(1, 9), 0.0);
+  EXPECT_FALSE(module_->reuse_time(0, 7).has_value());
+  EXPECT_EQ(module_->tracked_entries(), 0u);
+}
+
+TEST_F(DampingModuleTest, NoOpWithdrawalDoesNotAllocate) {
+  // A withdrawal with no previous route for an untracked prefix changes no
+  // damping state; it must not grow entries_ either.
+  make();
+  module_->on_update(0, UpdateMessage::withdraw(kP), std::nullopt, false);
+  EXPECT_EQ(module_->tracked_entries(), 0u);
+  // But a real announcement still creates trackable state.
+  announce(route(1), 0.0);
+  EXPECT_EQ(module_->tracked_entries(), 1u);
+  withdraw(1.0);
+  announce(route(1), 2.0);  // re-announcement must still be charged
+  EXPECT_NEAR(module_->penalty(0, kP), 1000.0, 1.0);
+}
+
 TEST(UpdateClassNames, ToString) {
   EXPECT_EQ(to_string(UpdateClass::kInitial), "initial");
   EXPECT_EQ(to_string(UpdateClass::kWithdrawal), "withdrawal");

@@ -79,5 +79,39 @@ INSTANTIATE_TEST_SUITE_P(Grid, GranularityProperty,
                          ::testing::Values(0.0, 0.5, 1.0, 5.0, 10.0, 30.0,
                                            60.0));
 
+TEST(Granularity, BoundaryPenaltyWaitsAtLeastOnePeriod) {
+  // Regression: when the decay wait rounds to zero microseconds (penalty
+  // sitting essentially at the reuse boundary the instant suppression
+  // triggers), the quantizer used to round up to zero periods and schedule
+  // the reuse at `now` — releasing the route while the penalty still sat at
+  // the cutoff. It must wait at least one full granularity period.
+  DampingParams params = DampingParams::cisco();
+  params.reuse_granularity_s = 60.0;
+  params.cutoff = 1000.0;
+  params.reuse = 1000.0 - 1e-7;
+  params.withdrawal_penalty = 1000.0 + 1e-7;  // wait ~0.3us: rounds to 0
+
+  sim::Engine engine;
+  int reuses = 0;
+  DampingModule module(0, {1}, params, engine, [&reuses](int, bgp::Prefix) {
+    ++reuses;
+    return false;
+  });
+
+  const Route r{bgp::AsPath::origin(9).prepended(1), 100};
+  module.on_update(0, UpdateMessage::announce(kP, r), std::nullopt, false);
+  module.on_update(0, UpdateMessage::withdraw(kP), r, false);
+  ASSERT_TRUE(module.suppressed(0, kP));
+
+  const auto when = module.reuse_time(0, kP);
+  ASSERT_TRUE(when.has_value());
+  EXPECT_EQ(*when, engine.now() + sim::Duration::seconds(60.0));
+
+  engine.run();
+  EXPECT_EQ(reuses, 1);
+  EXPECT_FALSE(module.suppressed(0, kP));
+  EXPECT_LT(module.penalty(0, kP), params.reuse);
+}
+
 }  // namespace
 }  // namespace rfdnet::rfd

@@ -2,6 +2,7 @@
 
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <stdexcept>
 #include <vector>
 
@@ -154,6 +155,57 @@ TEST(Engine, ExecutedCounter) {
   }
   e.run();
   EXPECT_EQ(e.executed(), 7u);
+}
+
+TEST(Engine, HeapStaysBoundedUnderCancelReschedule) {
+  // Regression: lazily-cancelled entries used to stay in the heap until
+  // popped, so a suppress/reschedule-heavy sim (DampingModule's
+  // cancel+reschedule on every penalty growth) grew the heap without bound.
+  Engine e;
+  EventId id = e.schedule_at(SimTime::from_seconds(1e6), [] {});
+  std::size_t peak = 0;
+  for (int i = 0; i < 100000; ++i) {
+    ASSERT_TRUE(e.cancel(id));
+    id = e.schedule_at(SimTime::from_seconds(1e6 + i), [] {});
+    peak = std::max(peak, e.heap_size());
+  }
+  EXPECT_EQ(e.pending(), 1u);
+  // One live event: compaction keeps the heap at a small constant, nowhere
+  // near the 10^5 entries the lazy scheme would retain.
+  EXPECT_LE(peak, 128u);
+  EXPECT_LE(e.heap_size(), 128u);
+}
+
+TEST(Engine, CancelManyThenRunExecutesSurvivors) {
+  Engine e;
+  std::vector<EventId> ids;
+  int ran = 0;
+  for (int i = 0; i < 1000; ++i) {
+    ids.push_back(e.schedule_at(SimTime::from_micros(i), [&] { ++ran; }));
+  }
+  // Cancel all but every 100th; compaction must not drop live events or
+  // disturb their order.
+  for (std::size_t i = 0; i < ids.size(); ++i) {
+    if (i % 100 != 0) {
+      EXPECT_TRUE(e.cancel(ids[i]));
+    }
+  }
+  EXPECT_LE(e.heap_size(), 128u);
+  e.run();
+  EXPECT_EQ(ran, 10);
+  EXPECT_EQ(e.pending(), 0u);
+}
+
+TEST(Engine, StaleIdAfterSlotReuseFails) {
+  // Handler slots are recycled; a stale id must not cancel the slot's new
+  // occupant.
+  Engine e;
+  const EventId a = e.schedule_at(SimTime::from_seconds(1.0), [] {});
+  e.run();
+  const EventId b = e.schedule_at(SimTime::from_seconds(2.0), [] {});
+  EXPECT_NE(a, b);
+  EXPECT_FALSE(e.cancel(a));
+  EXPECT_TRUE(e.cancel(b));
 }
 
 TEST(Engine, PendingTracksCancellations) {
