@@ -10,7 +10,9 @@
 
 #include <iostream>
 
+#include "core/cli.hpp"
 #include "core/experiment.hpp"
+#include "core/parallel.hpp"
 #include "core/report.hpp"
 
 namespace {
@@ -24,7 +26,9 @@ rfdnet::rfd::DampingParams aggressive() {
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  rfdnet::core::ParallelRunner::configure_from_args(argc, argv);
+  const rfdnet::core::ObsScope obs(argc, argv);
   using namespace rfdnet;
 
   std::cout << "Ablation: diverse damping parameters (100-node mesh, 5 "

@@ -8,6 +8,7 @@
 
 #include <iostream>
 
+#include "core/cli.hpp"
 #include "core/experiment.hpp"
 #include "core/intended.hpp"
 #include "core/parallel.hpp"
@@ -15,6 +16,7 @@
 
 int main(int argc, char** argv) {
   rfdnet::core::ParallelRunner::configure_from_args(argc, argv);
+  const rfdnet::core::ObsScope obs(argc, argv);
   using namespace rfdnet;
 
   std::cout << "Extension: flap interval sweep (100-node mesh, Cisco "

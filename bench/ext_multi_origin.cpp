@@ -8,12 +8,14 @@
 
 #include <iostream>
 
+#include "core/cli.hpp"
 #include "core/multi_origin.hpp"
 #include "core/parallel.hpp"
 #include "core/report.hpp"
 
 int main(int argc, char** argv) {
   rfdnet::core::ParallelRunner::configure_from_args(argc, argv);
+  const rfdnet::core::ObsScope obs(argc, argv);
   using namespace rfdnet;
 
   std::cout << "Extension: concurrent unstable origins (100-node mesh, 5 "

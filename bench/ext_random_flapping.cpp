@@ -10,6 +10,7 @@
 
 #include <iostream>
 
+#include "core/cli.hpp"
 #include "core/experiment.hpp"
 #include "core/intended.hpp"
 #include "core/parallel.hpp"
@@ -17,6 +18,7 @@
 
 int main(int argc, char** argv) {
   rfdnet::core::ParallelRunner::configure_from_args(argc, argv);
+  const rfdnet::core::ObsScope obs(argc, argv);
   using namespace rfdnet;
 
   std::cout << "Extension: irregular flapping (100-node mesh, Cisco "

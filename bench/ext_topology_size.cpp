@@ -9,6 +9,7 @@
 #include <iostream>
 #include <vector>
 
+#include "core/cli.hpp"
 #include "core/experiment.hpp"
 #include "core/intended.hpp"
 #include "core/parallel.hpp"
@@ -16,6 +17,7 @@
 
 int main(int argc, char** argv) {
   rfdnet::core::ParallelRunner::configure_from_args(argc, argv);
+  const rfdnet::core::ObsScope obs(argc, argv);
   using namespace rfdnet;
 
   std::cout << "Extension: topology size sweep (mesh torus, Cisco "

@@ -6,6 +6,7 @@
 
 #include <iostream>
 
+#include "core/cli.hpp"
 #include "core/experiment.hpp"
 #include "core/intended.hpp"
 #include "core/parallel.hpp"
@@ -13,6 +14,7 @@
 
 int main(int argc, char** argv) {
   rfdnet::core::ParallelRunner::configure_from_args(argc, argv);
+  const rfdnet::core::ObsScope obs(argc, argv);
   using namespace rfdnet;
 
   std::cout << "Extension: Cisco vs Juniper parameters (100-node mesh)\n\n";

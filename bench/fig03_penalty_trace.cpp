@@ -9,11 +9,15 @@
 
 #include <iostream>
 
+#include "core/cli.hpp"
 #include "core/intended.hpp"
+#include "core/parallel.hpp"
 #include "core/report.hpp"
 #include "stats/penalty_curve.hpp"
 
-int main() {
+int main(int argc, char** argv) {
+  rfdnet::core::ParallelRunner::configure_from_args(argc, argv);
+  const rfdnet::core::ObsScope obs(argc, argv);
   using namespace rfdnet;
   const rfd::DampingParams params = rfd::DampingParams::cisco();
   const core::IntendedBehaviorModel model(params);

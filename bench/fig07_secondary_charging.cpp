@@ -12,12 +12,16 @@
 
 #include <iostream>
 
+#include "core/cli.hpp"
 #include "core/experiment.hpp"
+#include "core/parallel.hpp"
 #include "core/report.hpp"
 #include "stats/penalty_curve.hpp"
 #include "stats/phase.hpp"
 
-int main() {
+int main(int argc, char** argv) {
+  rfdnet::core::ParallelRunner::configure_from_args(argc, argv);
+  const rfdnet::core::ObsScope obs(argc, argv);
   using namespace rfdnet;
 
   core::ExperimentConfig cfg;

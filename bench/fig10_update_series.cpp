@@ -16,7 +16,9 @@
 
 #include <iostream>
 
+#include "core/cli.hpp"
 #include "core/experiment.hpp"
+#include "core/parallel.hpp"
 #include "core/report.hpp"
 #include "stats/phase.hpp"
 
@@ -117,7 +119,9 @@ void run_case(int pulses) {
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  rfdnet::core::ParallelRunner::configure_from_args(argc, argv);
+  const rfdnet::core::ObsScope obs(argc, argv);
   std::cout << "Figure 10: update series and damped link count, 100-node "
                "mesh, n = 1, 3, 5\n\n";
   run_case(1);

@@ -10,12 +10,14 @@
 
 #include <iostream>
 
+#include "core/cli.hpp"
 #include "core/parallel.hpp"
 #include "core/report.hpp"
 #include "core/sweep.hpp"
 
 int main(int argc, char** argv) {
   rfdnet::core::ParallelRunner::configure_from_args(argc, argv);
+  const rfdnet::core::ObsScope obs(argc, argv);
   using namespace rfdnet;
   constexpr int kMaxPulses = 10;
   constexpr int kSeeds = 5;

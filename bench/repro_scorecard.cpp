@@ -4,11 +4,13 @@
 
 #include <iostream>
 
+#include "core/cli.hpp"
 #include "core/parallel.hpp"
 #include "core/validation.hpp"
 
 int main(int argc, char** argv) {
   rfdnet::core::ParallelRunner::configure_from_args(argc, argv);
+  const rfdnet::core::ObsScope obs(argc, argv);
   using namespace rfdnet;
 
   std::cout << "rfdnet reproduction scorecard — 'Timer Interaction in Route "

@@ -6,10 +6,14 @@
 #include <cmath>
 #include <iostream>
 
+#include "core/cli.hpp"
+#include "core/parallel.hpp"
 #include "core/report.hpp"
 #include "rfd/params.hpp"
 
-int main() {
+int main(int argc, char** argv) {
+  rfdnet::core::ParallelRunner::configure_from_args(argc, argv);
+  const rfdnet::core::ObsScope obs(argc, argv);
   using namespace rfdnet;
   const rfd::DampingParams cisco = rfd::DampingParams::cisco();
   const rfd::DampingParams juniper = rfd::DampingParams::juniper();

@@ -17,6 +17,16 @@ cmake -B build-asan -G Ninja -DCMAKE_BUILD_TYPE=Debug \
 cmake --build build-asan
 ctest --test-dir build-asan --output-on-failure
 
+# TSan leg: the thread pool plus the obs metrics path (per-trial registries
+# written by workers, merged canonically afterwards) must be race-free.
+# ASan and TSan cannot share a build, hence the third tree; scope it to the
+# threaded suites to keep the pass quick.
+cmake -B build-tsan -G Ninja -DCMAKE_BUILD_TYPE=Debug \
+  -DCMAKE_CXX_FLAGS="-fsanitize=thread -fno-sanitize-recover=all"
+cmake --build build-tsan --target core_tests
+ctest --test-dir build-tsan --output-on-failure \
+  -R 'ParallelRunner|SweepDeterminism|ObsDeterminism'
+
 for b in build/bench/*; do
   echo "===== $(basename "$b") ====="
   "$b"

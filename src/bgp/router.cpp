@@ -5,6 +5,8 @@
 #include <utility>
 #include <vector>
 
+#include "obs/invariant.hpp"
+
 namespace rfdnet::bgp {
 
 namespace {
@@ -119,14 +121,12 @@ void BgpRouter::session_down(int slot, std::optional<rcn::RootCause> rc) {
   std::sort(affected.begin(), affected.end());
 
   // The peer has lost everything we ever advertised: reset RIB-OUT state
-  // and any pending/rate-limit machinery for the session.
+  // and any pending/rate-limit machinery for the session. `clear_pending`
+  // cancels the MRAI wakeup too — resetting `mrai_ready` while the event
+  // stays scheduled would leave a stale flush surviving the session churn.
   for (auto& [p, entries] : out_) {
     if (entries.empty()) continue;
     OutEntry& oe = entries.at(slot);
-    if (oe.mrai_event != sim::kInvalidEvent) {
-      engine_.cancel(oe.mrai_event);
-      oe.mrai_event = sim::kInvalidEvent;
-    }
     clear_pending(oe);
     oe.last_sent.reset();
     oe.mrai_ready = sim::SimTime::zero();
@@ -226,12 +226,26 @@ std::optional<Route> BgpRouter::desired_for(int slot, Prefix p) const {
   return Route{std::move(exported), kWirePref};
 }
 
+void BgpRouter::note_pending(int delta, sim::SimTime t) {
+  pending_depth_ += delta;
+  RFDNET_INVARIANT(pending_depth_ >= 0, "router: pending depth negative");
+  if (metrics_) metrics_->pending->add(delta);
+  if (observer_) observer_->on_pending_change(id_, delta, t);
+}
+
 void BgpRouter::clear_pending(OutEntry& oe) {
+  // With nothing left to flush, a scheduled MRAI wakeup is a stale timer:
+  // cancel it instead of letting it fire into a no-op (and survive session
+  // churn after `mrai_ready` was reset).
+  if (oe.mrai_event != sim::kInvalidEvent) {
+    engine_.cancel(oe.mrai_event);
+    oe.mrai_event = sim::kInvalidEvent;
+  }
   if (oe.has_pending) {
     oe.has_pending = false;
     oe.pending.reset();
     oe.pending_rc.reset();
-    if (observer_) observer_->on_pending_change(id_, -1, engine_.now());
+    note_pending(-1, engine_.now());
   }
 }
 
@@ -245,7 +259,7 @@ void BgpRouter::enqueue(int slot, Prefix p, std::optional<Route> desired,
   }
   if (!oe.has_pending) {
     oe.has_pending = true;
-    if (observer_) observer_->on_pending_change(id_, +1, engine_.now());
+    note_pending(+1, engine_.now());
   }
   oe.pending = std::move(desired);
   oe.pending_rc = rc;
@@ -261,12 +275,19 @@ void BgpRouter::try_flush(int slot, Prefix p) {
   const sim::SimTime now = engine_.now();
   if (rate_limited && now < oe.mrai_ready) {
     if (oe.mrai_event == sim::kInvalidEvent) {
+      if (metrics_) metrics_->mrai_deferrals->inc();
       oe.mrai_event = engine_.schedule_at(oe.mrai_ready, [this, slot, p] {
         out_entry(slot, p).mrai_event = sim::kInvalidEvent;
         try_flush(slot, p);
       });
     }
     return;
+  }
+  // Sending now (e.g. a withdrawal bypassing MRAI while an announcement was
+  // deferred) satisfies whatever a scheduled wakeup would have flushed.
+  if (oe.mrai_event != sim::kInvalidEvent) {
+    engine_.cancel(oe.mrai_event);
+    oe.mrai_event = sim::kInvalidEvent;
   }
 
   UpdateMessage msg =
@@ -290,17 +311,43 @@ void BgpRouter::try_flush(int slot, Prefix p) {
   oe.pending.reset();
   oe.pending_rc.reset();
   oe.has_pending = false;
-  if (observer_) observer_->on_pending_change(id_, -1, now);
+  note_pending(-1, now);
 
   if (rate_limited) {
+    RFDNET_INVARIANT(!(now < oe.mrai_ready),
+                     "router: mrai_ready would regress");
     const double jitter =
         rng_.uniform(cfg_.mrai_jitter_min, cfg_.mrai_jitter_max);
     oe.mrai_ready = now + sim::Duration::seconds(cfg_.mrai_s * jitter);
   }
 
   ++sent_;
+  if (metrics_) {
+    metrics_->sends->inc();
+    if (is_withdrawal) metrics_->withdrawals->inc();
+  }
+  if (trace_) {
+    trace_->bgp_send(now.as_seconds(), id_, peers_[slot].id, p, is_withdrawal);
+  }
   if (observer_) observer_->on_send(id_, peers_[slot].id, msg, now);
   send_(id_, peers_[slot].id, msg);
+}
+
+void BgpRouter::check_invariants() const {
+  int held = 0;
+  for (const auto& [p, entries] : out_) {
+    for (const OutEntry& oe : entries) {
+      held += oe.has_pending ? 1 : 0;
+      if (oe.mrai_event != sim::kInvalidEvent) {
+        obs::check_always(oe.has_pending,
+                          "router: MRAI wakeup scheduled with nothing pending");
+        obs::check_always(engine_.is_pending(oe.mrai_event),
+                          "router: MRAI wakeup id is stale");
+      }
+    }
+  }
+  obs::check_always(held == pending_depth_,
+                    "router: pending depth out of sync with RIB-OUT");
 }
 
 std::optional<Route> BgpRouter::best(Prefix p) const {

@@ -13,6 +13,8 @@
 #include "bgp/policy.hpp"
 #include "bgp/prefix.hpp"
 #include "net/types.hpp"
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
 #include "rcn/root_cause.hpp"
 #include "sim/engine.hpp"
 #include "sim/random.hpp"
@@ -87,6 +89,20 @@ class BgpRouter {
   /// Number of updates this router has put on the wire.
   std::uint64_t sent_count() const { return sent_; }
 
+  /// Updates currently held back (pending RIB-OUT entries).
+  int pending_depth() const { return pending_depth_; }
+
+  /// Attaches (or detaches, with nullptr) a metrics bundle / trace sink.
+  /// Typically one bundle is shared by every router of a network, so the
+  /// counters aggregate. Not owned.
+  void set_metrics(obs::RouterMetrics* m) { metrics_ = m; }
+  void set_trace(obs::TraceSink* t) { trace_ = t; }
+
+  /// Audit: pending-depth bookkeeping matches the RIB-OUT flags, and every
+  /// scheduled MRAI wakeup has something to flush and a live engine event.
+  /// Throws `obs::InvariantViolation` on breakage; always runs.
+  void check_invariants() const;
+
  private:
   static constexpr int kSelfSlot = -1;
   static constexpr int kNoneSlot = -2;
@@ -127,6 +143,9 @@ class BgpRouter {
                const std::optional<rcn::RootCause>& rc);
   void try_flush(int slot, Prefix p);
   void clear_pending(OutEntry& oe);
+  /// Single bookkeeping point for pending-depth changes: keeps the local
+  /// counter, the metrics gauge and the observer in lockstep.
+  void note_pending(int delta, sim::SimTime t);
 
   net::NodeId id_;
   std::vector<PeerInfo> peers_;
@@ -138,6 +157,8 @@ class BgpRouter {
   SendFn send_;
   Observer* observer_;
   DampingHook* damper_ = nullptr;
+  obs::RouterMetrics* metrics_ = nullptr;
+  obs::TraceSink* trace_ = nullptr;
 
   std::unordered_set<Prefix> originated_;
   // rib_in_[p] is indexed by peer slot.
@@ -146,6 +167,7 @@ class BgpRouter {
   // out_[p] is indexed by peer slot.
   std::unordered_map<Prefix, std::vector<OutEntry>> out_;
   std::uint64_t sent_ = 0;
+  int pending_depth_ = 0;
 };
 
 }  // namespace rfdnet::bgp

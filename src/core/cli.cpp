@@ -1,6 +1,9 @@
 #include "core/cli.hpp"
 
+#include <atomic>
 #include <cstdlib>
+#include <iostream>
+#include <mutex>
 #include <stdexcept>
 
 namespace rfdnet::core {
@@ -70,5 +73,98 @@ std::uint64_t ArgParser::get_u64(const std::string& flag,
   return it == values_.end() ? dflt
                              : std::strtoull(it->second.c_str(), nullptr, 10);
 }
+
+namespace {
+
+/// The process-global obs state behind `ObsScope` / `obs_runtime`.
+struct ObsState {
+  std::atomic<bool> metrics{false};
+  std::atomic<std::uint64_t> trace_seq{0};
+  std::atomic<std::uint64_t> runs{0};
+  std::mutex mu;                     // guards trace_base + total
+  std::optional<std::string> trace_base;
+  obs::Registry total;
+};
+
+ObsState& obs_state() {
+  static ObsState s;
+  return s;
+}
+
+}  // namespace
+
+ObsScope::ObsScope(int argc, const char* const* argv) {
+  ObsState& s = obs_state();
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg == "--metrics") {
+      s.metrics.store(true, std::memory_order_relaxed);
+    } else if (arg == "--trace" && i + 1 < argc) {
+      const std::lock_guard<std::mutex> lock(s.mu);
+      s.trace_base = argv[++i];
+    } else if (arg.rfind("--trace=", 0) == 0) {
+      const std::lock_guard<std::mutex> lock(s.mu);
+      s.trace_base = arg.substr(8);
+    }
+  }
+}
+
+ObsScope::~ObsScope() {
+  ObsState& s = obs_state();
+  if (s.metrics.load(std::memory_order_relaxed)) {
+    const std::lock_guard<std::mutex> lock(s.mu);
+    std::cout << "\nobs metrics (merged over "
+              << s.runs.load(std::memory_order_relaxed) << " runs)\n";
+    s.total.write_summary(std::cout);
+  }
+  s.metrics.store(false, std::memory_order_relaxed);
+  const std::lock_guard<std::mutex> lock(s.mu);
+  s.trace_base.reset();
+  s.total = obs::Registry{};
+  s.trace_seq.store(0, std::memory_order_relaxed);
+  s.runs.store(0, std::memory_order_relaxed);
+}
+
+bool ObsScope::metrics_enabled() const {
+  return obs_state().metrics.load(std::memory_order_relaxed);
+}
+
+std::optional<std::string> ObsScope::trace_base() const {
+  const std::lock_guard<std::mutex> lock(obs_state().mu);
+  return obs_state().trace_base;
+}
+
+obs::Registry ObsScope::snapshot() const {
+  const std::lock_guard<std::mutex> lock(obs_state().mu);
+  return obs_state().total;
+}
+
+namespace obs_runtime {
+
+bool metrics_enabled() {
+  return obs_state().metrics.load(std::memory_order_relaxed);
+}
+
+std::optional<std::string> next_trace_path() {
+  ObsState& s = obs_state();
+  std::optional<std::string> base;
+  {
+    const std::lock_guard<std::mutex> lock(s.mu);
+    base = s.trace_base;
+  }
+  if (!base) return std::nullopt;
+  if (*base == "-") return base;  // stream every run to stdout
+  const std::uint64_t n = s.trace_seq.fetch_add(1, std::memory_order_relaxed);
+  return *base + ".r" + std::to_string(n) + ".jsonl";
+}
+
+void accumulate(const obs::Registry& r) {
+  ObsState& s = obs_state();
+  s.runs.fetch_add(1, std::memory_order_relaxed);
+  const std::lock_guard<std::mutex> lock(s.mu);
+  s.total.merge(r);
+}
+
+}  // namespace obs_runtime
 
 }  // namespace rfdnet::core

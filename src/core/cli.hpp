@@ -2,9 +2,12 @@
 
 #include <cstdint>
 #include <map>
+#include <optional>
 #include <set>
 #include <string>
 #include <vector>
+
+#include "obs/metrics.hpp"
 
 namespace rfdnet::core {
 
@@ -39,5 +42,44 @@ class ArgParser {
   std::map<std::string, std::string> values_;
   std::string error_;
 };
+
+/// Process-wide observability switches for the bench/tool binaries.
+///
+/// Construct one at the top of `main`; it scans argv for `--metrics` and
+/// `--trace PATH` (or `--trace=PATH`), leaving unrelated flags untouched —
+/// the same contract as `ParallelRunner::configure_from_args`. While the
+/// scope is alive, every `run_experiment` in the process collects obs
+/// metrics into a shared accumulator (merge is commutative, so the totals do
+/// not depend on worker completion order) and, with `--trace`, writes one
+/// JSONL file per run ("<PATH>.r<N>.jsonl"; PATH "-" streams to stdout).
+/// On destruction the merged metrics block is printed to stdout.
+///
+/// Sweeps and tests that need *deterministic* per-trial artifacts set
+/// `ExperimentConfig::collect_metrics` / `trace_path` explicitly instead;
+/// those take precedence over the scope's run-numbered naming.
+class ObsScope {
+ public:
+  ObsScope(int argc, const char* const* argv);
+  ~ObsScope();
+
+  ObsScope(const ObsScope&) = delete;
+  ObsScope& operator=(const ObsScope&) = delete;
+
+  bool metrics_enabled() const;
+  /// Base path given to `--trace`, if any.
+  std::optional<std::string> trace_base() const;
+  /// Merged metrics accumulated so far.
+  obs::Registry snapshot() const;
+};
+
+/// Hooks `run_experiment` uses to honor a live `ObsScope`. All thread-safe.
+namespace obs_runtime {
+/// Whether a live scope turned on `--metrics`.
+bool metrics_enabled();
+/// Next run-numbered trace path, or nullopt when `--trace` is off.
+std::optional<std::string> next_trace_path();
+/// Folds one run's metrics into the process accumulator.
+void accumulate(const obs::Registry& r);
+}  // namespace obs_runtime
 
 }  // namespace rfdnet::core

@@ -4,8 +4,13 @@
 #include <memory>
 #include <stdexcept>
 
+#include <iostream>
+
 #include "bgp/network.hpp"
 #include "bgp/policy.hpp"
+#include "core/cli.hpp"
+#include "obs/invariant.hpp"
+#include "obs/trace.hpp"
 #include "rcn/root_cause.hpp"
 #include "rfd/damping.hpp"
 #include "sim/engine.hpp"
@@ -114,6 +119,31 @@ ExperimentResult run_experiment(const ExperimentConfig& cfg) {
   sim::Engine engine;
   stats::Recorder recorder(cfg.bin_width_s);
 
+  // Observability: one registry (and, optionally, one trace file) per run,
+  // shared by the engine, every router and every damping module, so the
+  // counters aggregate per trial. With neither option set no pointers are
+  // installed and the hot path is untouched.
+  obs::Registry registry;
+  obs::EngineMetrics engine_metrics;
+  obs::RouterMetrics router_metrics;
+  obs::DampingMetrics damping_metrics;
+  std::unique_ptr<obs::TraceSink> trace;
+  const bool global_metrics = obs_runtime::metrics_enabled();
+  const bool collect_metrics = cfg.collect_metrics || global_metrics;
+  const std::optional<std::string> trace_path =
+      cfg.trace_path ? cfg.trace_path : obs_runtime::next_trace_path();
+  if (collect_metrics) {
+    engine_metrics = obs::EngineMetrics::bind(registry);
+    router_metrics = obs::RouterMetrics::bind(registry);
+    damping_metrics = obs::DampingMetrics::bind(registry);
+    engine.set_metrics(&engine_metrics);
+  }
+  if (trace_path) {
+    trace = (*trace_path == "-") ? std::make_unique<obs::TraceSink>(std::cout)
+                                 : std::make_unique<obs::TraceSink>(*trace_path);
+    engine.set_trace(trace.get());
+  }
+
   // Probe: a router `probe_distance` hops from the origin (Fig. 7 uses 7),
   // capped at the graph's reach; deterministic pick (smallest id).
   const auto dist = net::bfs_distances(graph, origin);
@@ -134,6 +164,10 @@ ExperimentResult run_experiment(const ExperimentConfig& cfg) {
   recorder.record_update_log(cfg.record_update_log);
 
   bgp::BgpNetwork network(graph, cfg.timing, *policy, engine, rng, &recorder);
+  for (net::NodeId u = 0; u < graph.node_count(); ++u) {
+    if (collect_metrics) network.router(u).set_metrics(&router_metrics);
+    if (trace) network.router(u).set_trace(trace.get());
+  }
 
   // Damping deployment. Modules are owned here; routers hold raw hooks.
   std::vector<std::unique_ptr<rfd::DampingModule>> dampers;
@@ -156,6 +190,8 @@ ExperimentResult run_experiment(const ExperimentConfig& cfg) {
           &recorder);
       if (cfg.rcn) mod->enable_rcn();
       if (cfg.selective) mod->enable_selective();
+      if (collect_metrics) mod->set_metrics(&damping_metrics);
+      if (trace) mod->set_trace(trace.get());
       r.set_damping(mod.get());
       dampers.push_back(std::move(mod));
     }
@@ -242,6 +278,19 @@ ExperimentResult run_experiment(const ExperimentConfig& cfg) {
 
   engine.run(t0 + sim::Duration::seconds(cfg.max_sim_s));
   res.hit_horizon = engine.pending() > 0;
+
+  // End-of-run audit (debug builds / tests): the run must leave every layer
+  // internally consistent regardless of whether the horizon was hit.
+  if (obs::invariants_enabled()) {
+    engine.check_invariants();
+    for (net::NodeId u = 0; u < graph.node_count(); ++u) {
+      network.router(u).check_invariants();
+    }
+    for (const auto& d : dampers) d->check_invariants();
+  }
+  if (global_metrics) obs_runtime::accumulate(registry);
+  if (cfg.collect_metrics) res.metrics = std::move(registry);
+  if (trace) trace->flush();
 
   // --- Collect, re-basing every time on t0. ---
   res.message_count = recorder.delivered_count();

@@ -8,6 +8,7 @@
 #include "bgp/config.hpp"
 #include "net/graph.hpp"
 #include "net/topology.hpp"
+#include "obs/metrics.hpp"
 #include "rcn/root_cause.hpp"
 #include "rfd/params.hpp"
 #include "sim/random.hpp"
@@ -115,6 +116,13 @@ struct ExperimentConfig {
   bool record_all_penalties = false;
   /// Keep every delivered update (t, from, to, kind); off by default.
   bool record_update_log = false;
+
+  /// Collect obs metrics (engine, BGP, damping) into
+  /// `ExperimentResult::metrics`; off by default (zero hot-path cost).
+  bool collect_metrics = false;
+  /// Write a JSONL trace (see `obs::TraceSink` for the schema) to this
+  /// path; sweeps derive per-trial names from it (".p<pulses>.s<seed>").
+  std::optional<std::string> trace_path;
 };
 
 /// Everything the figures/tables consume, with all times re-based so that
@@ -187,6 +195,10 @@ struct ExperimentResult {
   double warmup_tup_s = 0.0;
 
   bool hit_horizon = false;
+
+  /// Obs metrics for the whole run (warm-up included); empty unless
+  /// `ExperimentConfig::collect_metrics` was set.
+  obs::Registry metrics;
 };
 
 /// Builds the network, warms it up, applies the flap workload and collects

@@ -15,13 +15,21 @@ T median(std::vector<T> v) {
 }
 
 /// One trial = one fully independent `run_experiment` (its own Engine + Rng,
-/// seeded from the config), writing into a pre-sized result slot.
+/// seeded from the config), writing into a pre-sized result slot. Per-trial
+/// metrics land in `*metrics_out` (when non-null) for the caller to merge in
+/// canonical order; a configured trace path gets a per-trial suffix so
+/// concurrent trials never share a file.
 SweepPoint run_trial(const ExperimentConfig& base, std::uint64_t seed,
-                     int pulses) {
+                     int pulses, obs::Registry* metrics_out = nullptr) {
   ExperimentConfig cfg = base;
   cfg.seed = seed;
   cfg.pulses = pulses;
-  const ExperimentResult res = run_experiment(cfg);
+  if (base.trace_path) {
+    cfg.trace_path = *base.trace_path + ".p" + std::to_string(pulses) + ".s" +
+                     std::to_string(seed);
+  }
+  ExperimentResult res = run_experiment(cfg);
+  if (metrics_out) *metrics_out = std::move(res.metrics);
 
   SweepPoint pt;
   pt.pulses = pulses;
@@ -45,10 +53,15 @@ SweepResult run_pulse_sweep(const ExperimentConfig& base, int max_pulses,
                             ParallelRunner* runner) {
   SweepResult out;
   out.points.resize(static_cast<std::size_t>(std::max(0, max_pulses)));
+  std::vector<obs::Registry> trial_metrics(out.points.size());
   ParallelRunner& pool = runner ? *runner : ParallelRunner::shared();
   pool.for_each(out.points.size(), [&](std::size_t i) {
-    out.points[i] = run_trial(base, base.seed, static_cast<int>(i) + 1);
+    out.points[i] = run_trial(base, base.seed, static_cast<int>(i) + 1,
+                              base.collect_metrics ? &trial_metrics[i] : nullptr);
   });
+  // Canonical merge order (ascending pulse count): identical result for any
+  // worker schedule.
+  for (const auto& m : trial_metrics) out.metrics.merge(m);
   return out;
 }
 
@@ -63,16 +76,24 @@ SweepResult run_pulse_sweep_median(const ExperimentConfig& base,
   // pulse counts) spread across workers instead of serializing per seed.
   std::vector<SweepResult> runs(n_seeds);
   for (auto& run : runs) run.points.resize(n_pulses);
+  std::vector<obs::Registry> trial_metrics(n_seeds * n_pulses);
   ParallelRunner& pool = runner ? *runner : ParallelRunner::shared();
   pool.for_each(n_seeds * n_pulses, [&](std::size_t t) {
     const std::size_t s = t / n_pulses;
     const std::size_t i = t % n_pulses;
     runs[s].points[i] = run_trial(
         base, base.seed + static_cast<std::uint64_t>(s),
-        static_cast<int>(i) + 1);
+        static_cast<int>(i) + 1,
+        base.collect_metrics ? &trial_metrics[t] : nullptr);
   });
 
   SweepResult out;
+  // Canonical (point, seed) merge order regardless of completion order.
+  for (std::size_t i = 0; i < n_pulses; ++i) {
+    for (std::size_t s = 0; s < n_seeds; ++s) {
+      out.metrics.merge(trial_metrics[s * n_pulses + i]);
+    }
+  }
   for (int n = 1; n <= max_pulses; ++n) {
     const std::size_t i = static_cast<std::size_t>(n - 1);
     std::vector<double> conv, intended;

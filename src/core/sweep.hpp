@@ -21,6 +21,10 @@ struct SweepPoint {
 
 struct SweepResult {
   std::vector<SweepPoint> points;
+  /// Union of the per-trial obs metrics, merged in canonical (point, seed)
+  /// order regardless of worker completion order; empty unless the base
+  /// config set `collect_metrics`.
+  obs::Registry metrics;
 };
 
 /// Runs `base` for pulses = 1..max_pulses (same seed/topology per point) and

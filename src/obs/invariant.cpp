@@ -1,0 +1,25 @@
+#include "obs/invariant.hpp"
+
+#include <string>
+
+namespace rfdnet::obs {
+
+namespace detail {
+
+#ifdef NDEBUG
+std::atomic<bool> g_invariants_enabled{false};
+#else
+std::atomic<bool> g_invariants_enabled{true};
+#endif
+
+}  // namespace detail
+
+void set_invariants_enabled(bool on) {
+  detail::g_invariants_enabled.store(on, std::memory_order_relaxed);
+}
+
+void invariant_failed(const char* what) {
+  throw InvariantViolation(std::string("invariant violated: ") + what);
+}
+
+}  // namespace rfdnet::obs

@@ -1,0 +1,47 @@
+#pragma once
+
+#include <atomic>
+#include <stdexcept>
+
+namespace rfdnet::obs {
+
+/// Thrown when a runtime invariant check fails. A `std::logic_error`: an
+/// invariant violation is always a programming error in the simulator, never
+/// a property of the simulated scenario.
+class InvariantViolation : public std::logic_error {
+ public:
+  using std::logic_error::logic_error;
+};
+
+namespace detail {
+extern std::atomic<bool> g_invariants_enabled;
+}
+
+/// Whether the gated hot-path checks (`RFDNET_INVARIANT`) are active.
+/// Defaults: on in debug builds (no NDEBUG), off in release — so the bench
+/// binaries pay one predictable branch per check and the test suite turns
+/// them on explicitly in its main() (tests/support/test_main.cpp).
+inline bool invariants_enabled() {
+  return detail::g_invariants_enabled.load(std::memory_order_relaxed);
+}
+
+void set_invariants_enabled(bool on);
+
+[[noreturn]] void invariant_failed(const char* what);
+
+/// Ungated check for explicit audit entry points (`check_invariants()`
+/// methods): the caller asked for the audit, so it always runs.
+inline void check_always(bool cond, const char* what) {
+  if (!cond) invariant_failed(what);
+}
+
+}  // namespace rfdnet::obs
+
+/// Hot-path invariant: evaluated only while invariants are enabled, throws
+/// `obs::InvariantViolation` on failure. Keep `cond` side-effect free.
+#define RFDNET_INVARIANT(cond, what)                                     \
+  do {                                                                   \
+    if (::rfdnet::obs::invariants_enabled() && !(cond)) {                \
+      ::rfdnet::obs::invariant_failed(what);                             \
+    }                                                                    \
+  } while (0)

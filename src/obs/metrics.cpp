@@ -1,0 +1,185 @@
+#include "obs/metrics.hpp"
+
+#include <algorithm>
+#include <cstdio>
+#include <ostream>
+#include <sstream>
+#include <stdexcept>
+
+namespace rfdnet::obs {
+
+namespace {
+
+/// Shortest round-trip formatting, so equal doubles always print the same
+/// bytes (JSON determinism is checked by the sweep property tests).
+std::string fmt_double(double v) {
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "%.17g", v);
+  return buf;
+}
+
+void write_quoted(std::ostream& os, const std::string& s) {
+  os << '"';
+  for (const char c : s) {
+    if (c == '"' || c == '\\') os << '\\';
+    os << c;
+  }
+  os << '"';
+}
+
+}  // namespace
+
+Histogram::Histogram(std::vector<double> upper_bounds)
+    : bounds_(std::move(upper_bounds)), buckets_(bounds_.size() + 1, 0) {
+  if (!std::is_sorted(bounds_.begin(), bounds_.end())) {
+    throw std::invalid_argument("Histogram: bounds must be sorted");
+  }
+}
+
+void Histogram::observe(double x) {
+  const auto it = std::lower_bound(bounds_.begin(), bounds_.end(), x);
+  ++buckets_[static_cast<std::size_t>(it - bounds_.begin())];
+  ++count_;
+  sum_ += x;
+}
+
+std::vector<double> Histogram::default_bounds() {
+  return {1.0, 10.0, 100.0, 1000.0, 10000.0};
+}
+
+Counter& Registry::counter(const std::string& name) { return counters_[name]; }
+
+Gauge& Registry::gauge(const std::string& name) { return gauges_[name]; }
+
+Histogram& Registry::histogram(const std::string& name,
+                               std::vector<double> bounds) {
+  const auto it = histograms_.find(name);
+  if (it != histograms_.end()) return it->second;
+  return histograms_.emplace(name, Histogram(std::move(bounds))).first->second;
+}
+
+void Registry::merge(const Registry& other) {
+  for (const auto& [name, c] : other.counters_) {
+    counters_[name].value_ += c.value_;
+  }
+  for (const auto& [name, g] : other.gauges_) {
+    Gauge& mine = gauges_[name];
+    mine.value_ += g.value_;
+    mine.max_ = std::max(mine.max_, g.max_);
+  }
+  for (const auto& [name, h] : other.histograms_) {
+    const auto it = histograms_.find(name);
+    if (it == histograms_.end()) {
+      histograms_.emplace(name, h);
+      continue;
+    }
+    Histogram& mine = it->second;
+    if (mine.bounds_ != h.bounds_) {
+      throw std::logic_error("Registry::merge: histogram bounds differ: " +
+                             name);
+    }
+    for (std::size_t i = 0; i < mine.buckets_.size(); ++i) {
+      mine.buckets_[i] += h.buckets_[i];
+    }
+    mine.count_ += h.count_;
+    mine.sum_ += h.sum_;
+  }
+}
+
+bool Registry::empty() const {
+  return counters_.empty() && gauges_.empty() && histograms_.empty();
+}
+
+std::size_t Registry::size() const {
+  return counters_.size() + gauges_.size() + histograms_.size();
+}
+
+void Registry::write_json(std::ostream& os) const {
+  os << "{\"counters\":{";
+  bool first = true;
+  for (const auto& [name, c] : counters_) {
+    if (!first) os << ',';
+    first = false;
+    write_quoted(os, name);
+    os << ':' << c.value_;
+  }
+  os << "},\"gauges\":{";
+  first = true;
+  for (const auto& [name, g] : gauges_) {
+    if (!first) os << ',';
+    first = false;
+    write_quoted(os, name);
+    os << ":{\"value\":" << g.value_ << ",\"max\":" << g.max_ << '}';
+  }
+  os << "},\"histograms\":{";
+  first = true;
+  for (const auto& [name, h] : histograms_) {
+    if (!first) os << ',';
+    first = false;
+    write_quoted(os, name);
+    os << ":{\"count\":" << h.count_ << ",\"sum\":" << fmt_double(h.sum_)
+       << ",\"bounds\":[";
+    for (std::size_t i = 0; i < h.bounds_.size(); ++i) {
+      if (i > 0) os << ',';
+      os << fmt_double(h.bounds_[i]);
+    }
+    os << "],\"buckets\":[";
+    for (std::size_t i = 0; i < h.buckets_.size(); ++i) {
+      if (i > 0) os << ',';
+      os << h.buckets_[i];
+    }
+    os << "]}";
+  }
+  os << "}}";
+}
+
+std::string Registry::json() const {
+  std::ostringstream os;
+  write_json(os);
+  return os.str();
+}
+
+void Registry::write_summary(std::ostream& os, const std::string& indent) const {
+  for (const auto& [name, c] : counters_) {
+    os << indent << name << " = " << c.value_ << '\n';
+  }
+  for (const auto& [name, g] : gauges_) {
+    os << indent << name << " = " << g.value_ << " (max " << g.max_ << ")\n";
+  }
+  for (const auto& [name, h] : histograms_) {
+    os << indent << name << " = count " << h.count_ << ", sum "
+       << fmt_double(h.sum_) << '\n';
+  }
+}
+
+EngineMetrics EngineMetrics::bind(Registry& r) {
+  EngineMetrics m;
+  m.scheduled = &r.counter("engine.scheduled");
+  m.cancelled = &r.counter("engine.cancelled");
+  m.fired = &r.counter("engine.fired");
+  m.compactions = &r.counter("engine.compactions");
+  m.heap = &r.gauge("engine.heap");
+  m.live = &r.gauge("engine.live");
+  return m;
+}
+
+RouterMetrics RouterMetrics::bind(Registry& r) {
+  RouterMetrics m;
+  m.sends = &r.counter("bgp.sends");
+  m.withdrawals = &r.counter("bgp.withdrawals");
+  m.mrai_deferrals = &r.counter("bgp.mrai_deferrals");
+  m.pending = &r.gauge("bgp.pending");
+  return m;
+}
+
+DampingMetrics DampingMetrics::bind(Registry& r) {
+  DampingMetrics m;
+  m.charges = &r.counter("rfd.charges");
+  m.suppressions = &r.counter("rfd.suppressions");
+  m.reuses = &r.counter("rfd.reuses");
+  m.reschedules = &r.counter("rfd.reschedules");
+  m.penalty = &r.histogram("rfd.penalty");
+  return m;
+}
+
+}  // namespace rfdnet::obs

@@ -1,0 +1,142 @@
+#pragma once
+
+#include <cstdint>
+#include <iosfwd>
+#include <map>
+#include <string>
+#include <vector>
+
+namespace rfdnet::obs {
+
+/// Monotone event count. Instrumented components hold a `Counter*` obtained
+/// from a `Registry` once at wiring time, so the hot path is a single
+/// increment — no name lookup, no hashing.
+class Counter {
+ public:
+  void inc(std::uint64_t n = 1) { value_ += n; }
+  std::uint64_t value() const { return value_; }
+
+ private:
+  friend class Registry;
+  std::uint64_t value_ = 0;
+};
+
+/// Instantaneous level with a high-water mark (e.g. heap size, pending
+/// depth). Merging sums the final levels and takes the max of the marks.
+class Gauge {
+ public:
+  void set(std::int64_t v) {
+    value_ = v;
+    if (v > max_) max_ = v;
+  }
+  void add(std::int64_t delta) { set(value_ + delta); }
+  std::int64_t value() const { return value_; }
+  std::int64_t max() const { return max_; }
+
+ private:
+  friend class Registry;
+  std::int64_t value_ = 0;
+  std::int64_t max_ = 0;
+};
+
+/// Fixed-bound histogram: `bounds()[i]` is the inclusive upper edge of
+/// bucket i; one implicit overflow bucket catches everything above the last
+/// bound. Bounds are fixed at creation so merging is bucket-wise addition.
+class Histogram {
+ public:
+  Histogram() : Histogram(default_bounds()) {}
+  explicit Histogram(std::vector<double> upper_bounds);
+
+  void observe(double x);
+
+  std::uint64_t count() const { return count_; }
+  double sum() const { return sum_; }
+  const std::vector<double>& bounds() const { return bounds_; }
+  /// Size `bounds().size() + 1`; the last entry is the overflow bucket.
+  const std::vector<std::uint64_t>& buckets() const { return buckets_; }
+
+  /// Decades from 1 to 10^4 — spans the damping penalty range (paper
+  /// increments are 500..1000, ceiling ~12000).
+  static std::vector<double> default_bounds();
+
+ private:
+  friend class Registry;
+  std::vector<double> bounds_;
+  std::vector<std::uint64_t> buckets_;
+  std::uint64_t count_ = 0;
+  double sum_ = 0.0;
+};
+
+/// Named metrics for one simulation run. Backed by `std::map`, so metric
+/// addresses are stable across inserts (components keep raw pointers) and
+/// every export iterates in sorted name order — two registries holding the
+/// same values always serialize byte-identically.
+class Registry {
+ public:
+  /// Get-or-create. The returned reference stays valid for the registry's
+  /// lifetime.
+  Counter& counter(const std::string& name);
+  Gauge& gauge(const std::string& name);
+  Histogram& histogram(const std::string& name,
+                       std::vector<double> bounds = Histogram::default_bounds());
+
+  /// Folds `other` into this registry: counters and histogram buckets add,
+  /// gauge levels add and high-water marks take the max. Addition is
+  /// commutative, so any merge order yields the same registry; sweep code
+  /// still merges in canonical (point, seed) order. Histograms with the
+  /// same name must share bounds (throws `std::logic_error` otherwise).
+  void merge(const Registry& other);
+
+  bool empty() const;
+  std::size_t size() const;
+
+  /// Single JSON object, keys sorted: {"counters":{...},"gauges":{...},
+  /// "histograms":{...}}. Deterministic for equal contents.
+  void write_json(std::ostream& os) const;
+  std::string json() const;
+
+  /// Human-readable block, one metric per line, for report footers.
+  void write_summary(std::ostream& os, const std::string& indent = "  ") const;
+
+ private:
+  std::map<std::string, Counter> counters_;
+  std::map<std::string, Gauge> gauges_;
+  std::map<std::string, Histogram> histograms_;
+};
+
+/// Typed wiring bundle for `sim::Engine`. `bind` registers the metrics under
+/// canonical names; the engine then increments through the pointers.
+struct EngineMetrics {
+  Counter* scheduled = nullptr;    ///< events accepted by schedule_at/after
+  Counter* cancelled = nullptr;    ///< successful cancels
+  Counter* fired = nullptr;        ///< events executed
+  Counter* compactions = nullptr;  ///< heap rebuilds dropping stale entries
+  Gauge* heap = nullptr;           ///< heap entries held (incl. stale)
+  Gauge* live = nullptr;           ///< live (pending) events
+
+  static EngineMetrics bind(Registry& r);
+};
+
+/// Typed wiring bundle for `bgp::BgpRouter` (shared by all routers of a
+/// network — the counts aggregate).
+struct RouterMetrics {
+  Counter* sends = nullptr;           ///< updates put on the wire
+  Counter* withdrawals = nullptr;     ///< subset of sends that withdraw
+  Counter* mrai_deferrals = nullptr;  ///< flush attempts blocked by MRAI
+  Gauge* pending = nullptr;           ///< updates held back (pending depth)
+
+  static RouterMetrics bind(Registry& r);
+};
+
+/// Typed wiring bundle for `rfd::DampingModule` (shared by all modules).
+struct DampingMetrics {
+  Counter* charges = nullptr;       ///< penalty increments actually applied
+  Counter* suppressions = nullptr;  ///< entries crossing the cut-off
+  Counter* reuses = nullptr;        ///< reuse timers fired on suppressed entries
+  Counter* reschedules = nullptr;   ///< reuse timers cancelled + moved out
+  Histogram* penalty = nullptr;     ///< post-charge penalty values
+
+  static DampingMetrics bind(Registry& r);
+};
+
+}  // namespace rfdnet::obs

@@ -1,0 +1,62 @@
+#include "obs/trace.hpp"
+
+#include <cstdio>
+#include <ostream>
+#include <stdexcept>
+
+namespace rfdnet::obs {
+
+TraceSink::TraceSink(std::ostream& os) : os_(&os) {}
+
+TraceSink::TraceSink(const std::string& path) : owned_(path), os_(&owned_) {
+  if (!owned_) throw std::runtime_error("TraceSink: cannot open " + path);
+}
+
+void TraceSink::line(const char* buf) {
+  *os_ << buf << '\n';
+  ++records_;
+}
+
+void TraceSink::engine_step(double t_s, std::uint64_t seq, std::size_t pending,
+                            std::size_t heap) {
+  char buf[160];
+  std::snprintf(buf, sizeof(buf),
+                "{\"type\":\"engine.step\",\"t\":%.6f,\"seq\":%llu,"
+                "\"pending\":%zu,\"heap\":%zu}",
+                t_s, static_cast<unsigned long long>(seq), pending, heap);
+  line(buf);
+}
+
+void TraceSink::bgp_send(double t_s, std::uint32_t from, std::uint32_t to,
+                         std::uint32_t prefix, bool withdrawal) {
+  char buf[160];
+  std::snprintf(buf, sizeof(buf),
+                "{\"type\":\"bgp.send\",\"t\":%.6f,\"from\":%u,\"to\":%u,"
+                "\"prefix\":%u,\"kind\":\"%s\"}",
+                t_s, from, to, prefix, withdrawal ? "withdraw" : "announce");
+  line(buf);
+}
+
+void TraceSink::rfd_suppress(double t_s, std::uint32_t node, std::uint32_t peer,
+                             std::uint32_t prefix, double penalty) {
+  char buf[160];
+  std::snprintf(buf, sizeof(buf),
+                "{\"type\":\"rfd.suppress\",\"t\":%.6f,\"node\":%u,"
+                "\"peer\":%u,\"prefix\":%u,\"penalty\":%.3f}",
+                t_s, node, peer, prefix, penalty);
+  line(buf);
+}
+
+void TraceSink::rfd_reuse(double t_s, std::uint32_t node, std::uint32_t peer,
+                          std::uint32_t prefix, bool noisy) {
+  char buf[160];
+  std::snprintf(buf, sizeof(buf),
+                "{\"type\":\"rfd.reuse\",\"t\":%.6f,\"node\":%u,\"peer\":%u,"
+                "\"prefix\":%u,\"noisy\":%s}",
+                t_s, node, peer, prefix, noisy ? "true" : "false");
+  line(buf);
+}
+
+void TraceSink::flush() { os_->flush(); }
+
+}  // namespace rfdnet::obs

@@ -1,0 +1,60 @@
+#pragma once
+
+#include <cstdint>
+#include <fstream>
+#include <iosfwd>
+#include <string>
+
+namespace rfdnet::obs {
+
+/// Structured JSONL trace sink: one typed record per line, append-only.
+///
+/// The record vocabulary deliberately lives here (below every simulation
+/// layer) as plain scalars, so the engine, routers and damping modules can
+/// all emit without cross-layer includes. Emitters hold a `TraceSink*` that
+/// is null when tracing is off — the hot-path cost of disabled tracing is
+/// one branch.
+///
+/// Schema (all records carry "type" and simulated time "t" in seconds):
+///   {"type":"engine.step","t":..,"seq":N,"pending":N,"heap":N}
+///   {"type":"bgp.send","t":..,"from":N,"to":N,"prefix":N,"kind":"announce"|"withdraw"}
+///   {"type":"rfd.suppress","t":..,"node":N,"peer":N,"prefix":N,"penalty":X}
+///   {"type":"rfd.reuse","t":..,"node":N,"peer":N,"prefix":N,"noisy":B}
+///
+/// Formatting is fixed ("%.6f" for times, "%.3f" for penalties), so two runs
+/// producing the same events produce byte-identical trace files — the
+/// property the serial-vs-parallel sweep tests compare.
+class TraceSink {
+ public:
+  /// Writes to a caller-owned stream (kept alive by the caller).
+  explicit TraceSink(std::ostream& os);
+  /// Opens `path` for writing (truncates). Throws `std::runtime_error` when
+  /// the file cannot be opened.
+  explicit TraceSink(const std::string& path);
+
+  TraceSink(const TraceSink&) = delete;
+  TraceSink& operator=(const TraceSink&) = delete;
+
+  void engine_step(double t_s, std::uint64_t seq, std::size_t pending,
+                   std::size_t heap);
+  void bgp_send(double t_s, std::uint32_t from, std::uint32_t to,
+                std::uint32_t prefix, bool withdrawal);
+  void rfd_suppress(double t_s, std::uint32_t node, std::uint32_t peer,
+                    std::uint32_t prefix, double penalty);
+  void rfd_reuse(double t_s, std::uint32_t node, std::uint32_t peer,
+                 std::uint32_t prefix, bool noisy);
+
+  /// Number of records emitted so far.
+  std::uint64_t records() const { return records_; }
+
+  void flush();
+
+ private:
+  void line(const char* buf);
+
+  std::ofstream owned_;
+  std::ostream* os_;
+  std::uint64_t records_ = 0;
+};
+
+}  // namespace rfdnet::obs

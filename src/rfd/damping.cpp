@@ -5,6 +5,8 @@
 #include <stdexcept>
 #include <utility>
 
+#include "obs/invariant.hpp"
+
 namespace rfdnet::rfd {
 
 std::string to_string(UpdateClass c) {
@@ -140,15 +142,16 @@ void DampingModule::on_update(int slot, const bgp::UpdateMessage& msg,
   // perceived update (§7): a link-down root cause costs the withdrawal
   // penalty, a link-up one the re-announcement penalty — exactly what the
   // router adjacent to the flapping link would apply. Updates lacking the
-  // attribute fall through to normal damping.
-  if (rcn_enabled_ && msg.rc) {
+  // attribute fall through to normal damping. The history is consulted only
+  // for updates that would otherwise be charged: a free update (duplicate,
+  // loop-denied, past the charge deadline) must not consume the RC's first
+  // sighting, or the one genuinely chargeable update carrying it later would
+  // pass free too.
+  if (rcn_enabled_ && msg.rc && inc > 0.0) {
     const bool first_sighting = rcn_history_.at(slot).record(*msg.rc);
-    if (!first_sighting) {
-      inc = 0.0;
-    } else if (inc > 0.0) {
-      inc = msg.rc->up ? params_.reannouncement_penalty
-                       : params_.withdrawal_penalty;
-    }
+    inc = first_sighting ? (msg.rc->up ? params_.reannouncement_penalty
+                                       : params_.withdrawal_penalty)
+                         : 0.0;
   }
 
   // Allocate state lazily: only an update that charges penalty or flips
@@ -169,6 +172,12 @@ void DampingModule::on_update(int slot, const bgp::UpdateMessage& msg,
 
   e->penalty.add(inc, now, lambda, params_.ceiling());
   const double value = e->penalty.at(now, lambda);
+  RFDNET_INVARIANT(value >= 0.0 && value <= params_.ceiling(),
+                   "rfd: charged penalty outside [0, ceiling]");
+  if (metrics_) {
+    metrics_->charges->inc();
+    metrics_->penalty->observe(value);
+  }
   if (observer_) {
     observer_->on_penalty(self_, peer_ids_.at(slot), msg.prefix, value, now);
   }
@@ -176,6 +185,11 @@ void DampingModule::on_update(int slot, const bgp::UpdateMessage& msg,
   if (!e->suppressed && value > params_.cutoff) {
     e->suppressed = true;
     ++suppressed_count_;
+    if (metrics_) metrics_->suppressions->inc();
+    if (trace_) {
+      trace_->rfd_suppress(now.as_seconds(), self_, peer_ids_.at(slot),
+                           msg.prefix, value);
+    }
     if (observer_) {
       observer_->on_suppress(self_, peer_ids_.at(slot), msg.prefix, value, now);
     }
@@ -203,6 +217,7 @@ void DampingModule::schedule_reuse(Entry& e, int slot, bgp::Prefix p) {
   if (e.reuse_event != sim::kInvalidEvent) {
     if (when == e.reuse_at) return;  // unchanged; keep the existing event
     engine_.cancel(e.reuse_event);
+    if (metrics_) metrics_->reschedules->inc();
   }
   e.reuse_at = when;
   e.reuse_event =
@@ -220,6 +235,11 @@ void DampingModule::fire_reuse(int slot, bgp::Prefix p) {
   e.suppressed = false;
   --suppressed_count_;
   const bool noisy = reuse_fn_(slot, p);
+  if (metrics_) metrics_->reuses->inc();
+  if (trace_) {
+    trace_->rfd_reuse(engine_.now().as_seconds(), self_, peer_ids_.at(slot), p,
+                      noisy);
+  }
   if (observer_) {
     observer_->on_reuse(self_, peer_ids_.at(slot), p, noisy, engine_.now());
   }
@@ -251,6 +271,33 @@ std::optional<sim::SimTime> DampingModule::reuse_time(int slot,
   const Entry* e = find_entry(slot, p);
   if (!e || !e->suppressed) return std::nullopt;
   return e->reuse_at;
+}
+
+void DampingModule::check_invariants() const {
+  const sim::SimTime now = engine_.now();
+  const double lambda = params_.lambda();
+  int suppressed = 0;
+  for (const auto& [p, entries] : entries_) {
+    for (const Entry& e : entries) {
+      const double value = e.penalty.at(now, lambda);
+      obs::check_always(value >= 0.0, "rfd: negative penalty");
+      obs::check_always(value <= params_.ceiling(),
+                        "rfd: penalty above ceiling");
+      if (e.suppressed) {
+        ++suppressed;
+        obs::check_always(e.reuse_event != sim::kInvalidEvent,
+                          "rfd: suppressed entry without a reuse timer");
+        obs::check_always(engine_.is_pending(e.reuse_event),
+                          "rfd: suppressed entry's reuse timer is stale");
+      }
+    }
+  }
+  obs::check_always(suppressed == suppressed_count_,
+                    "rfd: suppressed count out of sync with entries");
+}
+
+void DampingModule::debug_set_penalty(int slot, bgp::Prefix p, double value) {
+  entry(slot, p).penalty.force(value, engine_.now());
 }
 
 }  // namespace rfdnet::rfd

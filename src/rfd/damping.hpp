@@ -7,6 +7,8 @@
 
 #include "bgp/damping_hook.hpp"
 #include "bgp/observer.hpp"
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
 #include "rcn/history.hpp"
 #include "rfd/params.hpp"
 #include "rfd/penalty.hpp"
@@ -95,6 +97,22 @@ class DampingModule final : public bgp::DampingHook {
 
   const DampingParams& params() const { return params_; }
 
+  /// Attaches (or detaches, with nullptr) a metrics bundle / trace sink.
+  /// Typically shared across all damping modules of a network. Not owned.
+  void set_metrics(obs::DampingMetrics* m) { metrics_ = m; }
+  void set_trace(obs::TraceSink* t) { trace_ = t; }
+
+  /// Audit: every penalty lies in [0, ceiling], every suppressed entry has a
+  /// live reuse event scheduled at its recorded reuse time, and the
+  /// suppressed count matches the entry flags. Throws
+  /// `obs::InvariantViolation` on breakage; always runs.
+  void check_invariants() const;
+
+  /// Test-only back door: overwrite the stored penalty of (slot, p) with an
+  /// arbitrary (possibly invalid) value stamped `now`, creating the entry if
+  /// needed. Exists so tests can seed a violation for `check_invariants`.
+  void debug_set_penalty(int slot, bgp::Prefix p, double value);
+
  private:
   struct Entry {
     PenaltyState penalty;
@@ -119,6 +137,8 @@ class DampingModule final : public bgp::DampingHook {
   sim::Engine& engine_;
   ReuseFn reuse_fn_;
   bgp::Observer* observer_;
+  obs::DampingMetrics* metrics_ = nullptr;
+  obs::TraceSink* trace_ = nullptr;
 
   bool rcn_enabled_ = false;
   bool selective_enabled_ = false;

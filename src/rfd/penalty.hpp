@@ -27,6 +27,14 @@ class PenaltyState {
   /// Raw stored value (at the last update stamp), for tests.
   double raw() const { return value_; }
 
+  /// Overwrites the stored (value, stamp) pair without validation. Test-only
+  /// back door so the invariant checker can be shown a corrupted state;
+  /// `add` rejects what this accepts.
+  void force(double value, sim::SimTime stamp) {
+    value_ = value;
+    stamp_ = stamp;
+  }
+
  private:
   double value_ = 0.0;
   sim::SimTime stamp_;

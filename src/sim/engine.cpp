@@ -4,6 +4,8 @@
 #include <stdexcept>
 #include <utility>
 
+#include "obs/invariant.hpp"
+
 namespace rfdnet::sim {
 
 namespace {
@@ -14,6 +16,29 @@ namespace {
 constexpr std::size_t kCompactMinHeap = 64;
 
 }  // namespace
+
+bool Engine::is_pending(EventId id) const {
+  const std::uint64_t low = id & 0xffffffffULL;
+  if (low == 0) return false;
+  const auto index = static_cast<std::uint32_t>(low - 1);
+  if (index >= slots_.size()) return false;
+  const Slot& s = slots_[index];
+  return s.live && s.gen == static_cast<std::uint32_t>(id >> 32);
+}
+
+void Engine::check_invariants() const {
+  std::size_t live_slots = 0;
+  for (const Slot& s : slots_) live_slots += s.live ? 1 : 0;
+  obs::check_always(live_slots == live_,
+                    "engine: live slot count != pending()");
+  obs::check_always(slots_.size() == live_slots + free_slots_.size(),
+                    "engine: slot array leaks (neither live nor free)");
+  obs::check_always(heap_.size() >= live_,
+                    "engine: heap holds fewer entries than live events");
+  obs::check_always(heap_.size() < kCompactMinHeap ||
+                        heap_.size() - live_ <= live_,
+                    "engine: heap bound exceeded (compaction missed)");
+}
 
 Engine::Slot* Engine::live_slot(EventId id) {
   const std::uint64_t low = id & 0xffffffffULL;
@@ -51,6 +76,11 @@ EventId Engine::schedule_at(SimTime t, std::function<void()> fn) {
   heap_.push_back(Entry{t, next_seq_++, id});
   std::push_heap(heap_.begin(), heap_.end(), Later{});
   ++live_;
+  if (metrics_) [[unlikely]] {
+    metrics_->scheduled->inc();
+    metrics_->heap->set(static_cast<std::int64_t>(heap_.size()));
+    metrics_->live->set(static_cast<std::int64_t>(live_));
+  }
   return id;
 }
 
@@ -65,6 +95,14 @@ bool Engine::cancel(EventId id) {
   release_slot(static_cast<std::uint32_t>((id & 0xffffffffULL) - 1));
   --live_;
   maybe_compact();
+  if (metrics_) [[unlikely]] {
+    metrics_->cancelled->inc();
+    metrics_->heap->set(static_cast<std::int64_t>(heap_.size()));
+    metrics_->live->set(static_cast<std::int64_t>(live_));
+  }
+  RFDNET_INVARIANT(heap_.size() < kCompactMinHeap ||
+                       heap_.size() - live_ <= live_,
+                   "engine: heap bound exceeded after cancel");
   return true;
 }
 
@@ -77,6 +115,7 @@ void Engine::maybe_compact() {
 void Engine::compact() {
   std::erase_if(heap_, [this](const Entry& e) { return !live_slot(e.id); });
   std::make_heap(heap_.begin(), heap_.end(), Later{});
+  if (metrics_) metrics_->compactions->inc();
 }
 
 bool Engine::step() {
@@ -93,6 +132,13 @@ bool Engine::step() {
     --live_;
     now_ = top.time;
     ++executed_;
+    if (metrics_) [[unlikely]] {
+      metrics_->fired->inc();
+      metrics_->live->set(static_cast<std::int64_t>(live_));
+    }
+    if (trace_) [[unlikely]] {
+      trace_->engine_step(now_.as_seconds(), executed_, live_, heap_.size());
+    }
     fn();
     return true;
   }

@@ -4,6 +4,8 @@
 #include <functional>
 #include <vector>
 
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
 #include "sim/time.hpp"
 
 namespace rfdnet::sim {
@@ -62,6 +64,20 @@ class Engine {
   /// Total number of events executed so far.
   std::uint64_t executed() const { return executed_; }
 
+  /// Whether `id` refers to a live (scheduled, not yet run or cancelled)
+  /// event. Stale and malformed ids return false.
+  bool is_pending(EventId id) const;
+
+  /// Attaches (or detaches, with nullptr) a metrics bundle / trace sink.
+  /// Not owned; with both null the hot path costs one branch per operation.
+  void set_metrics(obs::EngineMetrics* m) { metrics_ = m; }
+  void set_trace(obs::TraceSink* t) { trace_ = t; }
+
+  /// Audit: slot bookkeeping matches `pending()` and the heap obeys the
+  /// compaction bound. Throws `obs::InvariantViolation` on any breakage.
+  /// Always runs (not gated on `obs::invariants_enabled()`).
+  void check_invariants() const;
+
  private:
   struct Entry {
     SimTime time;
@@ -95,6 +111,8 @@ class Engine {
   void maybe_compact();
 
   SimTime now_;
+  obs::EngineMetrics* metrics_ = nullptr;
+  obs::TraceSink* trace_ = nullptr;
   std::uint64_t next_seq_ = 0;
   std::size_t live_ = 0;
   std::uint64_t executed_ = 0;

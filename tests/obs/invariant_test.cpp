@@ -1,0 +1,87 @@
+#include "obs/invariant.hpp"
+
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <vector>
+
+#include "rfd/damping.hpp"
+#include "sim/engine.hpp"
+
+namespace rfdnet::obs {
+namespace {
+
+/// Restores the global invariant flag (the test main turns it on for the
+/// whole suite) even when a test body throws.
+class FlagGuard {
+ public:
+  ~FlagGuard() { set_invariants_enabled(true); }
+};
+
+TEST(Invariant, GatedCheckThrowsOnlyWhileEnabled) {
+  const FlagGuard guard;
+  set_invariants_enabled(true);
+  EXPECT_THROW(RFDNET_INVARIANT(1 == 2, "forced failure"), InvariantViolation);
+  RFDNET_INVARIANT(2 == 2, "must not fire");
+
+  set_invariants_enabled(false);
+  RFDNET_INVARIANT(1 == 2, "disabled: must not fire");
+}
+
+TEST(Invariant, CheckAlwaysIgnoresTheFlag) {
+  const FlagGuard guard;
+  set_invariants_enabled(false);
+  EXPECT_THROW(check_always(false, "audit failure"), InvariantViolation);
+  check_always(true, "fine");
+}
+
+TEST(Invariant, ViolationCarriesTheMessage) {
+  try {
+    check_always(false, "penalty out of range");
+    FAIL() << "expected InvariantViolation";
+  } catch (const InvariantViolation& e) {
+    EXPECT_NE(std::string(e.what()).find("penalty out of range"),
+              std::string::npos);
+  }
+}
+
+TEST(Invariant, EngineAuditPassesOnHealthyEngine) {
+  sim::Engine engine;
+  std::vector<sim::EventId> ids;
+  for (int i = 0; i < 100; ++i) {
+    ids.push_back(
+        engine.schedule_at(sim::SimTime::from_seconds(i + 1.0), [] {}));
+  }
+  for (int i = 0; i < 50; ++i) engine.cancel(ids[static_cast<std::size_t>(i)]);
+  engine.run(sim::SimTime::from_seconds(60.0));
+  engine.check_invariants();
+}
+
+// Acceptance check for the seeded-violation path: corrupting a penalty via
+// the test back door must be caught by the damping audit.
+class SeededViolationTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    module_ = std::make_unique<rfd::DampingModule>(
+        /*self=*/0, std::vector<net::NodeId>{10}, rfd::DampingParams::cisco(),
+        engine_, [](int, bgp::Prefix) { return false; });
+  }
+
+  sim::Engine engine_;
+  std::unique_ptr<rfd::DampingModule> module_;
+};
+
+TEST_F(SeededViolationTest, NegativePenaltyInjectionIsCaught) {
+  module_->check_invariants();  // clean module passes
+  module_->debug_set_penalty(0, 0, -5.0);
+  EXPECT_THROW(module_->check_invariants(), InvariantViolation);
+}
+
+TEST_F(SeededViolationTest, AboveCeilingInjectionIsCaught) {
+  const double ceiling = rfd::DampingParams::cisco().ceiling();
+  module_->debug_set_penalty(0, 0, ceiling * 2.0);
+  EXPECT_THROW(module_->check_invariants(), InvariantViolation);
+}
+
+}  // namespace
+}  // namespace rfdnet::obs

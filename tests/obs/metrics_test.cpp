@@ -1,0 +1,143 @@
+#include "obs/metrics.hpp"
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+#include <stdexcept>
+
+namespace rfdnet::obs {
+namespace {
+
+TEST(Counter, StartsAtZeroAndAccumulates) {
+  Counter c;
+  EXPECT_EQ(c.value(), 0u);
+  c.inc();
+  c.inc(41);
+  EXPECT_EQ(c.value(), 42u);
+}
+
+TEST(Gauge, TracksLevelAndHighWaterMark) {
+  Gauge g;
+  g.set(5);
+  g.add(3);
+  g.add(-6);
+  EXPECT_EQ(g.value(), 2);
+  EXPECT_EQ(g.max(), 8);
+  g.set(-1);
+  EXPECT_EQ(g.value(), -1);
+  EXPECT_EQ(g.max(), 8);
+}
+
+TEST(Histogram, BucketsByInclusiveUpperBound) {
+  Histogram h({10.0, 100.0});
+  h.observe(10.0);   // bucket 0 (inclusive edge)
+  h.observe(10.5);   // bucket 1
+  h.observe(100.0);  // bucket 1
+  h.observe(1e6);    // overflow
+  ASSERT_EQ(h.buckets().size(), 3u);
+  EXPECT_EQ(h.buckets()[0], 1u);
+  EXPECT_EQ(h.buckets()[1], 2u);
+  EXPECT_EQ(h.buckets()[2], 1u);
+  EXPECT_EQ(h.count(), 4u);
+  EXPECT_DOUBLE_EQ(h.sum(), 10.0 + 10.5 + 100.0 + 1e6);
+}
+
+TEST(Registry, GetOrCreateReturnsStableReferences) {
+  Registry r;
+  Counter& a = r.counter("a");
+  a.inc();
+  // Creating more metrics must not invalidate or re-create "a".
+  for (int i = 0; i < 100; ++i) r.counter("c" + std::to_string(i));
+  Counter& again = r.counter("a");
+  EXPECT_EQ(&a, &again);
+  EXPECT_EQ(again.value(), 1u);
+  EXPECT_EQ(r.size(), 101u);
+  EXPECT_FALSE(r.empty());
+}
+
+TEST(Registry, MergeAddsCountersAndHistogramsSumsGauges) {
+  Registry a, b;
+  a.counter("n").inc(2);
+  b.counter("n").inc(3);
+  a.gauge("g").set(5);  // max 5, value 5
+  b.gauge("g").set(9);
+  b.gauge("g").set(1);  // max 9, value 1
+  a.histogram("h", {10.0}).observe(3.0);
+  b.histogram("h", {10.0}).observe(30.0);
+
+  a.merge(b);
+  EXPECT_EQ(a.counter("n").value(), 5u);
+  EXPECT_EQ(a.gauge("g").value(), 6);  // levels add
+  EXPECT_EQ(a.gauge("g").max(), 9);    // marks take the max
+  EXPECT_EQ(a.histogram("h", {10.0}).count(), 2u);
+  EXPECT_EQ(a.histogram("h", {10.0}).buckets()[0], 1u);
+  EXPECT_EQ(a.histogram("h", {10.0}).buckets()[1], 1u);
+}
+
+TEST(Registry, MergeIsCommutative) {
+  Registry a, b;
+  a.counter("x").inc(7);
+  a.gauge("g").set(3);
+  b.counter("x").inc(5);
+  b.counter("only_b").inc(1);
+  b.gauge("g").set(8);
+  b.histogram("h").observe(42.0);
+
+  Registry ab, ba;
+  ab.merge(a);
+  ab.merge(b);
+  ba.merge(b);
+  ba.merge(a);
+  EXPECT_EQ(ab.json(), ba.json());
+}
+
+TEST(Registry, MergeRejectsMismatchedHistogramBounds) {
+  Registry a, b;
+  a.histogram("h", {1.0, 2.0});
+  b.histogram("h", {1.0, 3.0});
+  EXPECT_THROW(a.merge(b), std::logic_error);
+}
+
+TEST(Registry, JsonIsDeterministicAcrossInsertionOrder) {
+  Registry a, b;
+  a.counter("alpha").inc(1);
+  a.counter("beta").inc(2);
+  b.counter("beta").inc(2);
+  b.counter("alpha").inc(1);
+  EXPECT_EQ(a.json(), b.json());
+  // Sorted keys, fixed shape.
+  EXPECT_NE(a.json().find("\"counters\":{\"alpha\":1,\"beta\":2}"),
+            std::string::npos)
+      << a.json();
+}
+
+TEST(Registry, SummaryListsEveryMetric) {
+  Registry r;
+  r.counter("events").inc(3);
+  r.gauge("depth").set(2);
+  r.histogram("dist").observe(5.0);
+  std::ostringstream os;
+  r.write_summary(os);
+  const std::string s = os.str();
+  EXPECT_NE(s.find("events = 3"), std::string::npos) << s;
+  EXPECT_NE(s.find("depth = 2"), std::string::npos) << s;
+  EXPECT_NE(s.find("dist = count 1"), std::string::npos) << s;
+}
+
+TEST(TypedBundles, BindRegistersCanonicalNames) {
+  Registry r;
+  const EngineMetrics em = EngineMetrics::bind(r);
+  const RouterMetrics rm = RouterMetrics::bind(r);
+  const DampingMetrics dm = DampingMetrics::bind(r);
+  em.scheduled->inc();
+  rm.sends->inc();
+  dm.charges->inc();
+  const std::string j = r.json();
+  EXPECT_NE(j.find("\"engine.scheduled\":1"), std::string::npos) << j;
+  EXPECT_NE(j.find("\"bgp.sends\":1"), std::string::npos) << j;
+  EXPECT_NE(j.find("\"rfd.charges\":1"), std::string::npos) << j;
+  EXPECT_NE(j.find("rfd.penalty"), std::string::npos) << j;
+}
+
+}  // namespace
+}  // namespace rfdnet::obs

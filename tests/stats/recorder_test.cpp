@@ -130,6 +130,50 @@ TEST(Recorder, ResetClearsEverything) {
   EXPECT_DOUBLE_EQ(r.max_penalty_seen(), 0.0);
 }
 
+TEST(Recorder, RecordsCleanlyAcrossReset) {
+  // Warm-up phase, reset, measured phase: the recorder must behave as if it
+  // were freshly constructed — nothing from the warm-up may leak into the
+  // measured phase's series, logs, or extrema.
+  Recorder r(5.0);
+  r.record_all_penalties(true);
+  r.record_update_log(true);
+  r.probe_penalty(0);
+
+  // Warm-up: deliberately larger values than the measured phase so leaks
+  // would show up in totals and maxima, not just counts.
+  r.on_send(0, 1, msg(), SimTime::from_seconds(1));
+  r.on_deliver(0, 1, msg(), SimTime::from_seconds(2));
+  r.on_deliver(0, 1, msg(), SimTime::from_seconds(3));
+  r.on_penalty(0, 1, 0, 9000, SimTime::from_seconds(3));
+  r.on_suppress(0, 1, 0, 9000, SimTime::from_seconds(3));
+  r.on_reuse(0, 1, 0, true, SimTime::from_seconds(4));
+  r.reset();
+
+  // Measured phase.
+  r.on_send(0, 1, msg(), SimTime::from_seconds(100));
+  r.on_deliver(0, 1, msg(), SimTime::from_seconds(101));
+  r.on_penalty(0, 1, 0, 2500, SimTime::from_seconds(102));
+  r.on_suppress(0, 1, 0, 2500, SimTime::from_seconds(102));
+
+  EXPECT_EQ(r.sent_count(), 1u);
+  EXPECT_EQ(r.delivered_count(), 1u);
+  EXPECT_EQ(r.first_send_s(), 100.0);
+  EXPECT_EQ(r.last_delivery_s(), 101.0);
+  EXPECT_EQ(r.update_series().total(), 1u);
+  EXPECT_EQ(r.update_series().at_time(2.0), 0u);  // warm-up bin stays empty
+  ASSERT_EQ(r.delivery_times().size(), 1u);
+  EXPECT_DOUBLE_EQ(r.delivery_times()[0], 101.0);
+  ASSERT_EQ(r.penalty_trace().size(), 1u);
+  EXPECT_DOUBLE_EQ(r.penalty_trace()[0].value, 2500.0);
+  ASSERT_EQ(r.penalty_events().size(), 1u);
+  ASSERT_EQ(r.update_log().size(), 1u);
+  EXPECT_DOUBLE_EQ(r.update_log()[0].t_s, 101.0);
+  EXPECT_EQ(r.suppress_count(), 1u);
+  EXPECT_EQ(r.noisy_reuse_count(), 0u);
+  EXPECT_DOUBLE_EQ(r.max_penalty_seen(), 2500.0);
+  EXPECT_EQ(r.damped_links().final_value(), 1);
+}
+
 TEST(PenaltyCurve, DecaysBetweenEvents) {
   // One event at t=0 with value 1000, lambda = ln2/100: value halves at 100.
   const double lam = std::log(2.0) / 100.0;

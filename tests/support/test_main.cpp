@@ -1,0 +1,14 @@
+// Shared gtest entry point: the whole suite runs with obs invariants
+// enabled, so every `RFDNET_INVARIANT` in the simulation hot paths is live
+// during tests even in release (NDEBUG) builds. Bench binaries keep the
+// build-type default (off under NDEBUG) and pay only a null-pointer branch.
+
+#include <gtest/gtest.h>
+
+#include "obs/invariant.hpp"
+
+int main(int argc, char** argv) {
+  ::testing::InitGoogleTest(&argc, argv);
+  rfdnet::obs::set_invariants_enabled(true);
+  return RUN_ALL_TESTS();
+}
