@@ -2,30 +2,46 @@
 # Full verification pass: configure, build, run every test (plain and under
 # ASan/UBSan), every benchmark and the reproduction scorecard. Exits
 # non-zero on any failure.
+#
+# `check.sh --fast` runs the fast ctest tier only (unit suites labeled
+# `fast`; see tests/CMakeLists.txt) — the sub-second edit loop. The full
+# pass also runs the `slow` (experiment/integration) and `property`
+# (randomized oracle) tiers plus both sanitizer legs.
 set -euo pipefail
 cd "$(dirname "$0")/.."
+
+FAST=0
+if [[ "${1:-}" == "--fast" ]]; then FAST=1; fi
 
 cmake -B build -G Ninja
 cmake --build build
 
+if [[ "$FAST" == 1 ]]; then
+  ctest --test-dir build --output-on-failure -L fast
+  echo "fast checks passed"
+  exit 0
+fi
+
 ctest --test-dir build --output-on-failure
 
-# Sanitizer pass: the ParallelRunner thread pool and the event engine's slot
-# recycling must come up clean under ASan + UBSan.
+# Sanitizer pass: the ParallelRunner thread pool, the event engine's slot
+# recycling and the fault-injection property suites must come up clean under
+# ASan + UBSan.
 cmake -B build-asan -G Ninja -DCMAKE_BUILD_TYPE=Debug \
   -DCMAKE_CXX_FLAGS="-fsanitize=address,undefined -fno-sanitize-recover=all"
 cmake --build build-asan
 ctest --test-dir build-asan --output-on-failure
 
 # TSan leg: the thread pool plus the obs metrics path (per-trial registries
-# written by workers, merged canonically afterwards) must be race-free.
+# written by workers, merged canonically afterwards) must be race-free; the
+# fault-storm sweep adds per-trial injectors and trace files to that path.
 # ASan and TSan cannot share a build, hence the third tree; scope it to the
 # threaded suites to keep the pass quick.
 cmake -B build-tsan -G Ninja -DCMAKE_BUILD_TYPE=Debug \
   -DCMAKE_CXX_FLAGS="-fsanitize=thread -fno-sanitize-recover=all"
-cmake --build build-tsan --target core_tests
+cmake --build build-tsan --target core_tests property_tests
 ctest --test-dir build-tsan --output-on-failure \
-  -R 'ParallelRunner|SweepDeterminism|ObsDeterminism'
+  -R 'ParallelRunner|SweepDeterminism|ObsDeterminism|FaultSweepOracle'
 
 for b in build/bench/*; do
   echo "===== $(basename "$b") ====="

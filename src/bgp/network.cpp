@@ -36,9 +36,21 @@ void BgpNetwork::transmit(net::NodeId from, net::NodeId to,
     return;
   }
 
+  double extra = 0.0;
+  if (perturb_) {
+    const Perturbation p = perturb_(from, to);
+    if (p.drop) {
+      ++dropped_;
+      if (observer_) observer_->on_drop(from, to, msg, engine_.now());
+      return;
+    }
+    extra = p.extra_delay_s;
+  }
+
   const double link_delay = graph_.endpoint(from, to).delay_s;
   const double proc = rng_.uniform(cfg_.proc_delay_min_s, cfg_.proc_delay_max_s);
-  sim::SimTime when = engine_.now() + sim::Duration::seconds(link_delay + proc);
+  sim::SimTime when =
+      engine_.now() + sim::Duration::seconds(link_delay + proc + extra);
   // BGP runs over TCP: a later update must never overtake an earlier one on
   // the same session, or a reordered withdrawal would leave a permanently
   // stale route behind.

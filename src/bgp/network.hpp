@@ -1,6 +1,7 @@
 #pragma once
 
 #include <cstdint>
+#include <functional>
 #include <memory>
 #include <unordered_map>
 #include <utility>
@@ -47,6 +48,20 @@ class BgpNetwork {
   void set_link(net::NodeId u, net::NodeId v, bool up);
   bool link_is_up(net::NodeId u, net::NodeId v) const;
 
+  /// Per-message transmission perturbation (fault injection). Consulted for
+  /// every update put on a healthy link; may drop the message or add extra
+  /// in-flight delay. The extra delay is applied *before* the per-session
+  /// FIFO clamp, so TCP ordering still holds.
+  struct Perturbation {
+    bool drop = false;
+    double extra_delay_s = 0.0;
+  };
+  using PerturbFn =
+      std::function<Perturbation(net::NodeId from, net::NodeId to)>;
+  /// Installs (or removes, with an empty function) the perturbation hook.
+  /// Not consulted for messages already in flight.
+  void set_perturbation(PerturbFn fn) { perturb_ = std::move(fn); }
+
   /// True when every router's Loc-RIB holds a route for `p`.
   bool all_reachable(Prefix p) const;
   /// True when no router has a route for `p`.
@@ -77,6 +92,7 @@ class BgpNetwork {
   };
   std::unordered_map<std::uint64_t, LinkState> link_state_;
   std::unordered_map<std::uint64_t, rcn::RootCauseSource> rc_sources_;
+  PerturbFn perturb_;
   std::uint64_t delivered_ = 0;
   std::uint64_t dropped_ = 0;
 };

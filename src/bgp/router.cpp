@@ -28,7 +28,8 @@ BgpRouter::BgpRouter(net::NodeId id, std::vector<PeerInfo> peers,
       engine_(engine),
       rng_(rng),
       send_(std::move(send)),
-      observer_(observer) {
+      observer_(observer),
+      session_open_(peers_.size(), true) {
   if (!send_) throw std::invalid_argument("BgpRouter: empty send function");
   for (int s = 0; s < static_cast<int>(peers_.size()); ++s) {
     if (peers_[s].id == id_) {
@@ -61,6 +62,12 @@ BgpRouter::OutEntry& BgpRouter::out_entry(int slot, Prefix p) {
   auto& v = out_[p];
   if (v.empty()) v.resize(peers_.size());
   return v.at(slot);
+}
+
+BgpRouter::OutEntry* BgpRouter::find_out(int slot, Prefix p) {
+  const auto it = out_.find(p);
+  if (it == out_.end() || it->second.empty()) return nullptr;
+  return &it->second.at(slot);
 }
 
 void BgpRouter::originate(Prefix p, std::optional<rcn::RootCause> rc) {
@@ -105,6 +112,9 @@ void BgpRouter::session_down(int slot, std::optional<rcn::RootCause> rc) {
   if (slot < 0 || slot >= static_cast<int>(peers_.size())) {
     throw std::invalid_argument("BgpRouter: bad peer slot");
   }
+  // Close the session first: the decision-process runs triggered below must
+  // not advance RIB-OUT state toward the dead peer (see `session_open`).
+  session_open_.at(slot) = false;
   // All routes learned on the session become unfeasible. Damping sees them
   // as withdrawals (RFC 2439 keeps damping state across session resets).
   std::vector<Prefix> affected;
@@ -139,6 +149,7 @@ void BgpRouter::session_up(int slot, std::optional<rcn::RootCause> rc) {
   if (slot < 0 || slot >= static_cast<int>(peers_.size())) {
     throw std::invalid_argument("BgpRouter: bad peer slot");
   }
+  session_open_.at(slot) = true;
   // Session (re-)establishment: advertise the current best routes afresh.
   std::vector<Prefix> prefixes;
   for (const auto& [p, loc] : loc_rib_) {
@@ -251,6 +262,15 @@ void BgpRouter::clear_pending(OutEntry& oe) {
 
 void BgpRouter::enqueue(int slot, Prefix p, std::optional<Route> desired,
                         const std::optional<rcn::RootCause>& rc) {
+  if (!session_open_.at(slot)) {
+    // Nothing can reach the peer, and RIB-OUT must keep recording "the peer
+    // has nothing from us" (set at session_down): otherwise a route "sent"
+    // into the dead session would make the session_up re-advertisement look
+    // like a duplicate and strand the peer without the route. Non-creating:
+    // a closed session needs no RIB-OUT state allocated.
+    if (OutEntry* oe = find_out(slot, p)) clear_pending(*oe);
+    return;
+  }
   OutEntry& oe = out_entry(slot, p);
   if (desired == oe.last_sent) {
     // Converged back to what the peer already has: drop any pending update.
@@ -269,6 +289,8 @@ void BgpRouter::enqueue(int slot, Prefix p, std::optional<Route> desired,
 void BgpRouter::try_flush(int slot, Prefix p) {
   OutEntry& oe = out_entry(slot, p);
   if (!oe.has_pending) return;
+  RFDNET_INVARIANT(session_open_.at(slot),
+                   "router: pending update held for a closed session");
   const bool is_withdrawal = !oe.pending.has_value();
   const bool rate_limited =
       cfg_.mrai_s > 0 && (!is_withdrawal || cfg_.mrai_on_withdrawals);
@@ -336,8 +358,15 @@ void BgpRouter::try_flush(int slot, Prefix p) {
 void BgpRouter::check_invariants() const {
   int held = 0;
   for (const auto& [p, entries] : out_) {
-    for (const OutEntry& oe : entries) {
+    for (std::size_t s = 0; s < entries.size(); ++s) {
+      const OutEntry& oe = entries[s];
       held += oe.has_pending ? 1 : 0;
+      if (!session_open_.at(s)) {
+        obs::check_always(!oe.has_pending,
+                          "router: pending update held for a closed session");
+        obs::check_always(oe.mrai_event == sim::kInvalidEvent,
+                          "router: MRAI wakeup scheduled on a closed session");
+      }
       if (oe.mrai_event != sim::kInvalidEvent) {
         obs::check_always(oe.has_pending,
                           "router: MRAI wakeup scheduled with nothing pending");

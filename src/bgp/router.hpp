@@ -75,6 +75,13 @@ class BgpRouter {
   /// advertised to it afresh, as in a BGP session establishment.
   void session_up(int slot, std::optional<rcn::RootCause> rc = {});
 
+  /// Whether the session to peer `slot` is established. While a session is
+  /// down, the decision process keeps running but nothing is emitted toward
+  /// the peer — and, crucially, RIB-OUT bookkeeping is not advanced, so the
+  /// re-advertisement at `session_up` is never skipped because of an update
+  /// that was "sent" into the dead session and lost.
+  bool session_open(int slot) const { return session_open_.at(slot); }
+
   /// Called by the damping module when the reuse timer for (slot, p) fires
   /// and the entry becomes eligible again. Returns true if the reuse changed
   /// this router's best route — a "noisy" reuse in the paper's terms.
@@ -129,6 +136,7 @@ class BgpRouter {
   RibInEntry& rib_in(int slot, Prefix p);
   const RibInEntry* find_rib_in(int slot, Prefix p) const;
   OutEntry& out_entry(int slot, Prefix p);
+  OutEntry* find_out(int slot, Prefix p);
 
   /// What peer `slot` should currently be hearing from us for `p` (export
   /// policy, sender-side filtering), or nullopt for "withdrawn/nothing".
@@ -161,6 +169,8 @@ class BgpRouter {
   obs::TraceSink* trace_ = nullptr;
 
   std::unordered_set<Prefix> originated_;
+  /// Per-slot session state; all sessions start established.
+  std::vector<bool> session_open_;
   // rib_in_[p] is indexed by peer slot.
   std::unordered_map<Prefix, std::vector<RibInEntry>> rib_in_;
   std::unordered_map<Prefix, LocRibEntry> loc_rib_;

@@ -1,10 +1,12 @@
 #include "core/cli.hpp"
 
+#include <algorithm>
 #include <atomic>
 #include <cstdlib>
 #include <iostream>
 #include <mutex>
 #include <stdexcept>
+#include <vector>
 
 namespace rfdnet::core {
 
@@ -81,14 +83,37 @@ struct ObsState {
   std::atomic<bool> metrics{false};
   std::atomic<std::uint64_t> trace_seq{0};
   std::atomic<std::uint64_t> runs{0};
-  std::mutex mu;                     // guards trace_base + total
+  std::mutex mu;                     // guards trace_base + per_run
   std::optional<std::string> trace_base;
-  obs::Registry total;
+  /// One registry per accumulated run, in completion order. Kept separate
+  /// (instead of folding eagerly) so the merged view can be built in a
+  /// deterministic order: float sums are not associative, and parallel
+  /// trials complete in whatever order the pool schedules them.
+  std::vector<obs::Registry> per_run;
 };
 
 ObsState& obs_state() {
   static ObsState s;
   return s;
+}
+
+/// Merges the accumulated registries in a completion-order-independent
+/// order (sorted by serialized content; equal serializations commute), so
+/// `--metrics` output is byte-identical for any `--jobs` value. Caller
+/// holds `mu`.
+obs::Registry merged_locked(ObsState& s) {
+  std::vector<std::string> keys(s.per_run.size());
+  std::vector<std::size_t> order(s.per_run.size());
+  for (std::size_t i = 0; i < s.per_run.size(); ++i) {
+    keys[i] = s.per_run[i].json();
+    order[i] = i;
+  }
+  std::sort(order.begin(), order.end(), [&](std::size_t a, std::size_t b) {
+    return keys[a] < keys[b];
+  });
+  obs::Registry total;
+  for (const std::size_t i : order) total.merge(s.per_run[i]);
+  return total;
 }
 
 }  // namespace
@@ -115,12 +140,12 @@ ObsScope::~ObsScope() {
     const std::lock_guard<std::mutex> lock(s.mu);
     std::cout << "\nobs metrics (merged over "
               << s.runs.load(std::memory_order_relaxed) << " runs)\n";
-    s.total.write_summary(std::cout);
+    merged_locked(s).write_summary(std::cout);
   }
   s.metrics.store(false, std::memory_order_relaxed);
   const std::lock_guard<std::mutex> lock(s.mu);
   s.trace_base.reset();
-  s.total = obs::Registry{};
+  s.per_run.clear();
   s.trace_seq.store(0, std::memory_order_relaxed);
   s.runs.store(0, std::memory_order_relaxed);
 }
@@ -136,7 +161,7 @@ std::optional<std::string> ObsScope::trace_base() const {
 
 obs::Registry ObsScope::snapshot() const {
   const std::lock_guard<std::mutex> lock(obs_state().mu);
-  return obs_state().total;
+  return merged_locked(obs_state());
 }
 
 namespace obs_runtime {
@@ -162,7 +187,7 @@ void accumulate(const obs::Registry& r) {
   ObsState& s = obs_state();
   s.runs.fetch_add(1, std::memory_order_relaxed);
   const std::lock_guard<std::mutex> lock(s.mu);
-  s.total.merge(r);
+  s.per_run.push_back(r);
 }
 
 }  // namespace obs_runtime

@@ -9,6 +9,7 @@
 #include "bgp/network.hpp"
 #include "bgp/policy.hpp"
 #include "core/cli.hpp"
+#include "fault/injector.hpp"
 #include "obs/invariant.hpp"
 #include "obs/trace.hpp"
 #include "rcn/root_cause.hpp"
@@ -224,6 +225,27 @@ ExperimentResult run_experiment(const ExperimentConfig& cfg) {
     for (auto& d : dampers) d->set_charge_deadline(deadline);
   }
   const double base_s = t0.as_seconds();
+
+  // Fault workload: materialized and armed only when configured, and fed
+  // from PRNG streams split off here so fault-free runs keep the exact draw
+  // sequence (and byte-identical traces) they had before faults existed.
+  std::unique_ptr<fault::FaultInjector> injector;
+  obs::FaultMetrics fault_metrics;
+  if (cfg.faults) {
+    sim::Rng fault_rng = rng.split();
+    const fault::FaultSchedule fault_schedule =
+        cfg.faults->materialize(graph, fault_rng, {origin});
+    injector = std::make_unique<fault::FaultInjector>(network, engine,
+                                                      fault_rng.split());
+    if (collect_metrics) {
+      fault_metrics = obs::FaultMetrics::bind(registry);
+      injector->set_metrics(&fault_metrics);
+    }
+    if (trace) injector->set_trace(trace.get());
+    injector->arm(fault_schedule, t0);
+    res.fault_stop_s = fault_schedule.stop_time_s();
+  }
+
   rcn::RootCauseSource rc_source(origin, isp);
   bgp::BgpRouter& origin_router = network.router(origin);
   net::NodeId flap_u = origin, flap_v = isp;
@@ -287,6 +309,7 @@ ExperimentResult run_experiment(const ExperimentConfig& cfg) {
       network.router(u).check_invariants();
     }
     for (const auto& d : dampers) d->check_invariants();
+    if (injector) injector->check_invariants();
   }
   if (global_metrics) obs_runtime::accumulate(registry);
   if (cfg.collect_metrics) res.metrics = std::move(registry);
@@ -295,11 +318,20 @@ ExperimentResult run_experiment(const ExperimentConfig& cfg) {
   // --- Collect, re-basing every time on t0. ---
   res.message_count = recorder.delivered_count();
   res.dropped_count = recorder.dropped_count();
+  res.link_count = graph.link_count();
+  if (injector) {
+    res.faults_injected = injector->injected();
+    res.perturb_drops = injector->perturb_drops();
+  }
   res.last_activity_s =
       std::max(0.0, recorder.last_delivery_s().value_or(base_s) - base_s);
+  // Convergence counts from the instant the workload goes quiet: the last
+  // scheduled flap or the last fault release, whichever is later.
+  const double workload_stop = std::max(res.stop_time_s, res.fault_stop_s);
   res.convergence_time_s =
-      cfg.pulses > 0 ? std::max(0.0, res.last_activity_s - res.stop_time_s)
-                     : 0.0;
+      (cfg.pulses > 0 || cfg.faults)
+          ? std::max(0.0, res.last_activity_s - workload_stop)
+          : 0.0;
 
   res.update_series = stats::TimeSeries(cfg.bin_width_s);
   for (const double t : recorder.delivery_times()) {

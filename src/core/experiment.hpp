@@ -6,6 +6,7 @@
 #include <vector>
 
 #include "bgp/config.hpp"
+#include "fault/schedule.hpp"
 #include "net/graph.hpp"
 #include "net/topology.hpp"
 #include "obs/metrics.hpp"
@@ -101,6 +102,15 @@ struct ExperimentConfig {
   /// charging.
   std::optional<double> freeze_penalties_after_s;
 
+  /// Fault workload layered on top of (or, with `pulses = 0`, instead of)
+  /// the origin flap schedule: a scripted schedule or a randomized storm,
+  /// injected through the event engine starting at the first-flap instant.
+  /// Storms draw from a PRNG stream split off the trial seed, and the split
+  /// only happens when this is set, so fault-free runs replay byte-for-byte
+  /// against older configs. Storms never touch the origin AS directly — the
+  /// flap workload owns origin-link instability.
+  std::optional<fault::FaultPlan> faults;
+
   std::uint64_t seed = 1;
   /// Node the origin AS attaches to (random if unset).
   std::optional<net::NodeId> isp;
@@ -138,6 +148,17 @@ struct ExperimentResult {
 
   double stop_time_s = 0.0;  ///< final announcement (re-based)
   double last_activity_s = 0.0;
+  /// Fault workload accounting (zero when `ExperimentConfig::faults` unset):
+  /// events applied, messages lost to perturbation windows, and the instant
+  /// (re-based) the last fault fully released. Convergence time is measured
+  /// from the later of `stop_time_s` and `fault_stop_s`.
+  std::uint64_t faults_injected = 0;
+  std::uint64_t perturb_drops = 0;
+  double fault_stop_s = 0.0;
+  /// Links in the simulated graph (stub link included); lets callers turn
+  /// `suppress_events` into a per-session share without rebuilding the
+  /// topology.
+  std::size_t link_count = 0;
   /// The actual flap schedule used (re-based): (time, is_withdrawal).
   std::vector<std::pair<double, bool>> flap_schedule;
 

@@ -119,4 +119,69 @@ SweepResult run_pulse_sweep_median(const ExperimentConfig& base,
   return out;
 }
 
+FaultSweepResult run_fault_storm_sweep(const ExperimentConfig& base,
+                                       const std::vector<double>& rates,
+                                       int seeds, ParallelRunner* runner) {
+  if (seeds < 1) throw std::invalid_argument("fault sweep: seeds < 1");
+  if (rates.empty()) throw std::invalid_argument("fault sweep: no rates");
+  if (!base.faults || !base.faults->storm) {
+    throw std::invalid_argument("fault sweep: base config needs a storm plan");
+  }
+  const std::size_t n_rates = rates.size();
+  const auto n_seeds = static_cast<std::size_t>(seeds);
+
+  struct Trial {
+    ExperimentResult res;
+    obs::Registry metrics;
+  };
+  std::vector<Trial> trials(n_rates * n_seeds);
+  ParallelRunner& pool = runner ? *runner : ParallelRunner::shared();
+  pool.for_each(trials.size(), [&](std::size_t t) {
+    const std::size_t i = t / n_seeds;
+    const std::size_t s = t % n_seeds;
+    ExperimentConfig cfg = base;
+    cfg.faults->storm->rate_per_s = rates[i];
+    cfg.seed = base.seed + static_cast<std::uint64_t>(s);
+    if (base.trace_path) {
+      cfg.trace_path = *base.trace_path + ".f" + std::to_string(i) + ".s" +
+                       std::to_string(cfg.seed);
+    }
+    trials[t].res = run_experiment(cfg);
+    if (base.collect_metrics) {
+      trials[t].metrics = std::move(trials[t].res.metrics);
+    }
+  });
+
+  FaultSweepResult out;
+  // Canonical (rate, seed) merge order regardless of completion order.
+  for (const auto& t : trials) out.metrics.merge(t.metrics);
+  for (std::size_t i = 0; i < n_rates; ++i) {
+    std::vector<double> conv, share;
+    std::vector<std::uint64_t> msgs, faults, dropped;
+    bool horizon = false;
+    for (std::size_t s = 0; s < n_seeds; ++s) {
+      const ExperimentResult& r = trials[i * n_seeds + s].res;
+      conv.push_back(r.convergence_time_s);
+      msgs.push_back(r.message_count);
+      faults.push_back(r.faults_injected);
+      dropped.push_back(r.dropped_count);
+      const double sessions = 2.0 * static_cast<double>(r.link_count);
+      share.push_back(sessions > 0
+                          ? static_cast<double>(r.suppress_events) / sessions
+                          : 0.0);
+      horizon |= r.hit_horizon;
+    }
+    FaultSweepPoint pt;
+    pt.rate_per_s = rates[i];
+    pt.convergence_s = median(conv);
+    pt.messages = median(msgs);
+    pt.faults = median(faults);
+    pt.dropped = median(dropped);
+    pt.suppression_share = median(share);
+    pt.hit_horizon = horizon;
+    out.points.push_back(pt);
+  }
+  return out;
+}
+
 }  // namespace rfdnet::core

@@ -48,4 +48,35 @@ SweepResult run_pulse_sweep_median(const ExperimentConfig& base,
                                    int max_pulses, int seeds,
                                    ParallelRunner* runner = nullptr);
 
+/// One row of the fault-storm sweep (`bench/ext_fault_storm`): per-seed
+/// medians at one fault arrival rate.
+struct FaultSweepPoint {
+  double rate_per_s = 0.0;
+  double convergence_s = 0.0;
+  std::uint64_t messages = 0;
+  std::uint64_t faults = 0;
+  std::uint64_t dropped = 0;  ///< link + perturbation losses
+  /// Suppress events per BGP session (2 directed RIB-IN entries per link):
+  /// how much of the network the storm pushed into damping.
+  double suppression_share = 0.0;
+  bool hit_horizon = false;
+};
+
+struct FaultSweepResult {
+  std::vector<FaultSweepPoint> points;
+  /// Union of per-trial metrics, merged in canonical (rate, seed) order.
+  obs::Registry metrics;
+};
+
+/// Runs `base` (which must carry a storm-based `faults` plan) at each fault
+/// arrival rate in `rates`, `seeds` trials per rate (base.seed, base.seed+1,
+/// ...), reporting per-point medians. Trials dispatch through `runner` as
+/// one flat batch; points and metrics are merged in canonical (rate, seed)
+/// order, and per-trial traces get a ".f<rate-index>.s<seed>" suffix — the
+/// result is byte-identical to a serial run of the same config.
+FaultSweepResult run_fault_storm_sweep(const ExperimentConfig& base,
+                                       const std::vector<double>& rates,
+                                       int seeds,
+                                       ParallelRunner* runner = nullptr);
+
 }  // namespace rfdnet::core

@@ -224,6 +224,38 @@ ValidationReport validate_reproduction(const ValidationOptions& opt) {
         rcn4.message_count > plain4.message_count);
   }
 
+  // --- Fault storms (src/fault extension). ---
+  {
+    ExperimentConfig storm = base;
+    storm.pulses = 0;  // the storm is the only instability source
+    fault::StormOptions sopt;
+    sopt.horizon_s = 600.0;
+    fault::FaultPlan plan;
+    plan.storm = sopt;
+    storm.faults = plan;
+
+    ExperimentConfig calm = storm;
+    calm.faults->storm->rate_per_s = 0.005;
+    ExperimentConfig heavy = storm;
+    heavy.faults->storm->rate_per_s = 0.05;
+    const auto rc = run_experiment(calm);
+    const auto rh = run_experiment(heavy);
+    const auto rh2 = run_experiment(heavy);
+
+    add("ext.fault-storm",
+        "fault storms scale with rate, engage suppression, and replay "
+        "deterministically",
+        fmt("rate x10: %.0f -> %.0f updates, ", static_cast<double>(rc.message_count),
+            static_cast<double>(rh.message_count)) +
+            std::to_string(rh.suppress_events) + " suppressions, replay " +
+            (rh2.message_count == rh.message_count ? "identical" : "DIVERGED"),
+        rc.faults_injected > 0 && rh.faults_injected > rc.faults_injected &&
+            rh.message_count > rc.message_count && rh.suppress_events > 0 &&
+            !rh.hit_horizon && rh2.message_count == rh.message_count &&
+            rh2.faults_injected == rh.faults_injected &&
+            rh2.convergence_time_s == rh.convergence_time_s);
+  }
+
   return report;
 }
 

@@ -1,0 +1,217 @@
+#include "fault/injector.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+#include "obs/invariant.hpp"
+
+namespace rfdnet::fault {
+
+FaultInjector::FaultInjector(bgp::BgpNetwork& network, sim::Engine& engine,
+                             sim::Rng rng)
+    : network_(network), engine_(engine), rng_(rng) {}
+
+FaultInjector::~FaultInjector() {
+  for (const sim::EventId id : pending_) engine_.cancel(id);
+  network_.set_perturbation(nullptr);
+}
+
+void FaultInjector::set_metrics(obs::FaultMetrics* m) {
+  metrics_ = m;
+  if (metrics_ && metrics_->held_links) {
+    metrics_->held_links->set(static_cast<std::int64_t>(holds_.size()));
+  }
+}
+
+void FaultInjector::arm(const FaultSchedule& sched, sim::SimTime origin) {
+  if (armed_) throw std::logic_error("FaultInjector: already armed");
+  sched.validate();
+  const net::Graph& g = network_.graph();
+  bool any_perturb = false;
+  for (const FaultEvent& ev : sched.events) {
+    switch (ev.kind) {
+      case FaultKind::kLinkDown:
+      case FaultKind::kLinkUp:
+      case FaultKind::kLinkFlap:
+      case FaultKind::kSessionReset:
+        if (ev.u >= g.node_count() || ev.v >= g.node_count() ||
+            !g.has_link(ev.u, ev.v)) {
+          throw std::invalid_argument("FaultInjector: no such link " +
+                                      std::to_string(ev.u) + "-" +
+                                      std::to_string(ev.v));
+        }
+        break;
+      case FaultKind::kRouterRestart:
+        if (ev.u >= g.node_count()) {
+          throw std::invalid_argument("FaultInjector: no such node " +
+                                      std::to_string(ev.u));
+        }
+        break;
+      case FaultKind::kPerturb:
+        if (ev.u != net::kInvalidNode &&
+            (ev.u >= g.node_count() || ev.v >= g.node_count() ||
+             !g.has_link(ev.u, ev.v))) {
+          throw std::invalid_argument("FaultInjector: no such link " +
+                                      std::to_string(ev.u) + "-" +
+                                      std::to_string(ev.v));
+        }
+        any_perturb = true;
+        break;
+    }
+  }
+  armed_ = true;
+  if (any_perturb) {
+    network_.set_perturbation([this](net::NodeId from, net::NodeId to) {
+      return perturb_decision(from, to);
+    });
+  }
+  for (const FaultEvent& ev : sched.events) {
+    schedule(origin + sim::Duration::seconds(ev.t_s), [this, ev] { apply(ev); });
+  }
+}
+
+void FaultInjector::schedule(sim::SimTime when, std::function<void()> fn) {
+  pending_.push_back(engine_.schedule_at(when, std::move(fn)));
+}
+
+void FaultInjector::trace_inject(const char* kind, net::NodeId u, net::NodeId v) {
+  if (trace_) trace_->fault_inject(engine_.now().as_seconds(), kind, u, v);
+}
+
+void FaultInjector::apply(const FaultEvent& ev) {
+  ++injected_;
+  if (metrics_ && metrics_->injected) metrics_->injected->inc();
+  trace_inject(to_string(ev.kind).c_str(), ev.u,
+               ev.kind == FaultKind::kRouterRestart ? ev.u : ev.v);
+  switch (ev.kind) {
+    case FaultKind::kLinkDown:
+      hold_link(ev.u, ev.v);
+      break;
+    case FaultKind::kLinkUp:
+      release_link(ev.u, ev.v);
+      break;
+    case FaultKind::kLinkFlap:
+    case FaultKind::kSessionReset: {
+      hold_link(ev.u, ev.v);
+      const net::NodeId u = ev.u, v = ev.v;
+      schedule(engine_.now() + sim::Duration::seconds(ev.duration_s),
+               [this, u, v] {
+                 trace_inject("link-up", u, v);
+                 release_link(u, v);
+               });
+      break;
+    }
+    case FaultKind::kRouterRestart: {
+      const net::NodeId u = ev.u;
+      // Hold every incident session: both sides see the peering die, and
+      // the restarting router sheds all learned routes via the implicit
+      // withdrawals of its own session_down calls.
+      for (const auto& e : network_.graph().neighbors(u)) {
+        hold_link(u, e.neighbor);
+      }
+      // A restarted router comes back with empty damping state.
+      if (bgp::DampingHook* d = network_.router(u).damping()) d->reset();
+      if (metrics_ && metrics_->restarts) metrics_->restarts->inc();
+      schedule(engine_.now() + sim::Duration::seconds(ev.duration_s),
+               [this, u] {
+                 trace_inject("restart-up", u, u);
+                 for (const auto& e : network_.graph().neighbors(u)) {
+                   release_link(u, e.neighbor);
+                 }
+               });
+      break;
+    }
+    case FaultKind::kPerturb: {
+      Window w;
+      w.id = next_window_id_++;
+      w.u = ev.u;
+      w.v = ev.v;
+      w.drop_prob = ev.drop_prob;
+      w.extra_delay_s = ev.extra_delay_s;
+      windows_.push_back(w);
+      const std::uint64_t id = w.id;
+      schedule(engine_.now() + sim::Duration::seconds(ev.duration_s),
+               [this, id] {
+                 windows_.erase(
+                     std::remove_if(windows_.begin(), windows_.end(),
+                                    [id](const Window& x) { return x.id == id; }),
+                     windows_.end());
+               });
+      break;
+    }
+  }
+}
+
+void FaultInjector::hold_link(net::NodeId u, net::NodeId v) {
+  int& count = holds_[link_key(u, v)];
+  if (count == 0) {
+    network_.set_link(u, v, false);
+    if (metrics_ && metrics_->link_downs) metrics_->link_downs->inc();
+  }
+  ++count;
+  if (metrics_ && metrics_->held_links) {
+    metrics_->held_links->set(static_cast<std::int64_t>(holds_.size()));
+  }
+}
+
+void FaultInjector::release_link(net::NodeId u, net::NodeId v) {
+  const auto it = holds_.find(link_key(u, v));
+  if (it == holds_.end()) return;  // scripted link-up with no matching hold
+  if (--it->second == 0) {
+    holds_.erase(it);
+    network_.set_link(u, v, true);
+    if (metrics_ && metrics_->link_ups) metrics_->link_ups->inc();
+  }
+  if (metrics_ && metrics_->held_links) {
+    metrics_->held_links->set(static_cast<std::int64_t>(holds_.size()));
+  }
+}
+
+bgp::BgpNetwork::Perturbation FaultInjector::perturb_decision(net::NodeId from,
+                                                              net::NodeId to) {
+  bgp::BgpNetwork::Perturbation out;
+  for (const Window& w : windows_) {
+    if (w.u != net::kInvalidNode &&
+        link_key(w.u, w.v) != link_key(from, to)) {
+      continue;
+    }
+    // Draw order is fixed (drop first, then delay) so the PRNG stream is a
+    // pure function of the transmission sequence.
+    if (w.drop_prob > 0.0 && rng_.bernoulli(w.drop_prob)) {
+      ++perturb_drops_;
+      if (metrics_ && metrics_->perturb_drops) metrics_->perturb_drops->inc();
+      if (trace_) {
+        trace_->fault_perturb(engine_.now().as_seconds(), from, to, true, 0.0);
+      }
+      out.drop = true;
+      return out;
+    }
+    if (w.extra_delay_s > 0.0) {
+      const double extra = rng_.uniform(0.0, w.extra_delay_s);
+      out.extra_delay_s += extra;
+      ++perturb_delays_;
+      if (metrics_ && metrics_->perturb_delays) metrics_->perturb_delays->inc();
+      if (trace_) {
+        trace_->fault_perturb(engine_.now().as_seconds(), from, to, false, extra);
+      }
+    }
+  }
+  return out;
+}
+
+void FaultInjector::check_invariants() const {
+  std::size_t live = 0;
+  for (const sim::EventId id : pending_) {
+    if (engine_.is_pending(id)) ++live;
+  }
+  for (const auto& [key, count] : holds_) {
+    RFDNET_INVARIANT(count > 0, "fault: non-positive hold count for a held link");
+  }
+  if (!holds_.empty() || !windows_.empty()) {
+    RFDNET_INVARIANT(live > 0,
+                     "fault: link held down or perturb window open with no "
+                     "pending release event");
+  }
+}
+
+}  // namespace rfdnet::fault

@@ -1,0 +1,113 @@
+#pragma once
+
+#include <cstdint>
+#include <unordered_map>
+#include <vector>
+
+#include "bgp/network.hpp"
+#include "fault/schedule.hpp"
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
+#include "sim/engine.hpp"
+#include "sim/random.hpp"
+
+namespace rfdnet::fault {
+
+/// Replays a `FaultSchedule` against a running `BgpNetwork` through the
+/// event engine, so faults interleave deterministically with the BGP
+/// workload and a (config, seed) pair always produces the same run.
+///
+/// Link state is reference-counted: each link-down-style fault takes a
+/// *hold* on the link and its later release drops the hold; the underlying
+/// `BgpNetwork::set_link` only fires on the 0 -> 1 and 1 -> 0 hold
+/// transitions. Overlapping faults (a restart spanning a link flap on an
+/// incident link, two storms hitting the same link) therefore compose
+/// without ever "upping" a link some other fault still needs down.
+///
+/// A router restart holds every incident link (both BGP endpoints see the
+/// session die, the restarting router loses all learned routes via implicit
+/// withdrawals) and flushes the router's damping state — a restarted router
+/// forgets its penalties. The release re-establishes all sessions and both
+/// sides re-advertise, which is exactly the RIB-flush + re-announce cycle.
+///
+/// Perturbation windows install a per-message hook on the network that
+/// drops each newly transmitted update with `drop_prob` or stretches its
+/// flight time by U(0, extra_delay_s), drawn from the injector's own PRNG
+/// stream (deterministic: transmissions occur in event order).
+class FaultInjector {
+ public:
+  /// `network` and `engine` must outlive the injector. `rng` is consumed by
+  /// value: the injector owns an independent stream (`Rng::split` one off
+  /// the trial's stream) so perturbation draws never shift the draws of the
+  /// surrounding experiment.
+  FaultInjector(bgp::BgpNetwork& network, sim::Engine& engine, sim::Rng rng);
+  ~FaultInjector();
+
+  FaultInjector(const FaultInjector&) = delete;
+  FaultInjector& operator=(const FaultInjector&) = delete;
+
+  /// Validates `schedule` against the network's graph (endpoints in range,
+  /// links exist) and schedules every event at `origin + event.t_s`. May be
+  /// called once per injector. Installs the network perturbation hook if
+  /// the schedule contains perturb events.
+  void arm(const FaultSchedule& schedule, sim::SimTime origin);
+
+  /// Fault events applied so far (releases are not counted separately).
+  std::uint64_t injected() const { return injected_; }
+  std::uint64_t perturb_drops() const { return perturb_drops_; }
+  std::uint64_t perturb_delays() const { return perturb_delays_; }
+  /// Links currently held down by at least one fault.
+  int held_links() const { return static_cast<int>(holds_.size()); }
+  /// Whether any perturbation window is currently open.
+  bool perturb_active() const { return !windows_.empty(); }
+
+  /// Attaches (or detaches, with nullptr) a metrics bundle / trace sink.
+  /// Not owned.
+  void set_metrics(obs::FaultMetrics* m);
+  void set_trace(obs::TraceSink* t) { trace_ = t; }
+
+  /// Audit: every hold count is positive, the held-links gauge matches, and
+  /// any outstanding hold or open perturbation window has a live release
+  /// event still pending (nothing the injector took down can be stranded
+  /// down). Throws `obs::InvariantViolation` on breakage; always runs.
+  void check_invariants() const;
+
+ private:
+  static std::uint64_t link_key(net::NodeId u, net::NodeId v) {
+    if (u > v) std::swap(u, v);
+    return (static_cast<std::uint64_t>(u) << 32) | v;
+  }
+
+  void apply(const FaultEvent& ev);
+  void hold_link(net::NodeId u, net::NodeId v);
+  void release_link(net::NodeId u, net::NodeId v);
+  void schedule(sim::SimTime when, std::function<void()> fn);
+  void trace_inject(const char* kind, net::NodeId u, net::NodeId v);
+  bgp::BgpNetwork::Perturbation perturb_decision(net::NodeId from, net::NodeId to);
+
+  struct Window {
+    std::uint64_t id = 0;              ///< ordinal, for deterministic removal
+    net::NodeId u = net::kInvalidNode; ///< kInvalidNode: applies to all links
+    net::NodeId v = net::kInvalidNode;
+    double drop_prob = 0.0;
+    double extra_delay_s = 0.0;
+  };
+
+  bgp::BgpNetwork& network_;
+  sim::Engine& engine_;
+  sim::Rng rng_;
+  obs::FaultMetrics* metrics_ = nullptr;
+  obs::TraceSink* trace_ = nullptr;
+
+  bool armed_ = false;
+  std::vector<sim::EventId> pending_;              ///< all scheduled fault events
+  std::unordered_map<std::uint64_t, int> holds_;   ///< link key -> hold count
+  std::vector<Window> windows_;                    ///< open perturbation windows
+  std::uint64_t next_window_id_ = 0;
+
+  std::uint64_t injected_ = 0;
+  std::uint64_t perturb_drops_ = 0;
+  std::uint64_t perturb_delays_ = 0;
+};
+
+}  // namespace rfdnet::fault

@@ -1,0 +1,129 @@
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "net/graph.hpp"
+#include "sim/random.hpp"
+
+namespace rfdnet::fault {
+
+/// What a single fault event does when it fires. Link faults operate on the
+/// undirected link {u, v}; node faults use `u` only.
+enum class FaultKind : std::uint8_t {
+  kLinkDown,       ///< take {u,v} down (one hold; see FaultInjector)
+  kLinkUp,         ///< release one hold on {u,v}
+  kLinkFlap,       ///< down now, released after `duration_s`
+  kSessionReset,   ///< BGP session bounce: down + up after `duration_s`
+  kRouterRestart,  ///< node u: all sessions down + damping flush, up after
+                   ///< `duration_s`
+  kPerturb,        ///< for `duration_s`, messages are dropped with
+                   ///< `drop_prob` or delayed by U(0, extra_delay_s)
+};
+
+/// Schedule-grammar keyword for `kind` ("link-down", "restart", ...).
+std::string to_string(FaultKind kind);
+
+/// One scheduled fault. Times are relative to the injection origin (the
+/// first-flap instant t0 in `run_experiment`).
+struct FaultEvent {
+  double t_s = 0.0;
+  FaultKind kind = FaultKind::kLinkFlap;
+  net::NodeId u = net::kInvalidNode;
+  net::NodeId v = net::kInvalidNode;  ///< kInvalidNode for node/global faults
+  double duration_s = 0.0;
+  double drop_prob = 0.0;       ///< kPerturb only
+  double extra_delay_s = 0.0;   ///< kPerturb only
+
+  /// One statement of the schedule grammar (no trailing ';').
+  std::string to_string() const;
+};
+
+/// A deterministic fault schedule: a time-ordered list of fault events.
+///
+/// Text form (the `--fault-schedule` grammar; statements separated by ';',
+/// whitespace-insensitive, times in seconds after injection start):
+///
+///   @T link-down U-V
+///   @T link-up U-V
+///   @T link-flap U-V for DUR
+///   @T reset U-V [for DUR]
+///   @T restart U [for DUR]
+///   @T perturb [U-V] for DUR [drop=P] [delay=D]
+///
+/// Example: "@60 link-flap 2-3 for 30; @120 restart 7 for 10;
+///           @200 perturb for 60 drop=0.1 delay=0.05".
+struct FaultSchedule {
+  std::vector<FaultEvent> events;
+
+  bool empty() const { return events.empty(); }
+  std::size_t size() const { return events.size(); }
+
+  /// Last instant at which any event is still acting (t_s + duration_s);
+  /// 0 for an empty schedule.
+  double stop_time_s() const;
+
+  /// Structural validation: finite non-negative times/durations, probability
+  /// in [0, 1], endpoints present where the kind requires them, events
+  /// sorted by time. Throws `std::invalid_argument` on violation. Link
+  /// existence is checked against the actual graph by `FaultInjector::arm`.
+  void validate() const;
+
+  /// Round-trips with `parse`.
+  std::string to_string() const;
+
+  /// Parses the grammar above. Throws `std::invalid_argument` with a
+  /// position-annotated message on malformed input. Statements may appear in
+  /// any time order; the result is stably sorted by time.
+  static FaultSchedule parse(const std::string& text);
+};
+
+/// Knobs for randomized fault storms (`generate_storm`). Fault arrivals are
+/// a Poisson process of `rate_per_s` over [0, horizon_s); each arrival picks
+/// a kind by the mix weights, a uniform target, and an Exp(mean_down_s)
+/// outage duration — all from the caller's PRNG, so a (graph, options,
+/// seed) triple always yields the same schedule.
+struct StormOptions {
+  double rate_per_s = 0.01;
+  double horizon_s = 600.0;
+  double mean_down_s = 30.0;
+
+  // Relative mix weights (need not sum to 1; all-zero is invalid).
+  double w_link_flap = 1.0;
+  double w_session_reset = 1.0;
+  double w_router_restart = 0.25;
+  double w_perturb = 0.25;
+
+  // Perturbation windows drawn by the storm.
+  double drop_prob = 0.05;
+  double extra_delay_s = 0.05;
+
+  void validate() const;
+};
+
+/// Draws a random fault storm against `g`. Every outage is finite (the
+/// storm always releases what it holds), so a connected graph is connected
+/// again once the schedule has fully played out. Nodes listed in `spare`
+/// are never restarted and their incident links are never taken down —
+/// `run_experiment` spares the origin AS so the flap workload stays in
+/// charge of origin-link instability.
+FaultSchedule generate_storm(const net::Graph& g, const StormOptions& opt,
+                             sim::Rng& rng,
+                             const std::vector<net::NodeId>& spare = {});
+
+/// Declarative fault workload carried by `ExperimentConfig`: either a
+/// scripted schedule (grammar above) or a randomized storm. Exactly one of
+/// the two must be set.
+struct FaultPlan {
+  std::optional<std::string> script;
+  std::optional<StormOptions> storm;
+
+  /// Resolves the plan against a concrete graph: parses `script` or draws
+  /// the storm from `rng`.
+  FaultSchedule materialize(const net::Graph& g, sim::Rng& rng,
+                            const std::vector<net::NodeId>& spare = {}) const;
+};
+
+}  // namespace rfdnet::fault

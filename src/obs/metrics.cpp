@@ -182,4 +182,16 @@ DampingMetrics DampingMetrics::bind(Registry& r) {
   return m;
 }
 
+FaultMetrics FaultMetrics::bind(Registry& r) {
+  FaultMetrics m;
+  m.injected = &r.counter("fault.injected");
+  m.link_downs = &r.counter("fault.link_downs");
+  m.link_ups = &r.counter("fault.link_ups");
+  m.restarts = &r.counter("fault.restarts");
+  m.perturb_drops = &r.counter("fault.perturb_drops");
+  m.perturb_delays = &r.counter("fault.perturb_delays");
+  m.held_links = &r.gauge("fault.held_links");
+  return m;
+}
+
 }  // namespace rfdnet::obs

@@ -139,4 +139,17 @@ struct DampingMetrics {
   static DampingMetrics bind(Registry& r);
 };
 
+/// Typed wiring bundle for `fault::FaultInjector` (one per run).
+struct FaultMetrics {
+  Counter* injected = nullptr;       ///< fault events applied
+  Counter* link_downs = nullptr;     ///< links actually taken down
+  Counter* link_ups = nullptr;       ///< links actually restored
+  Counter* restarts = nullptr;       ///< router restarts (RIB + damping flush)
+  Counter* perturb_drops = nullptr;  ///< messages dropped by perturbation
+  Counter* perturb_delays = nullptr; ///< messages given extra delay
+  Gauge* held_links = nullptr;       ///< links currently held down by faults
+
+  static FaultMetrics bind(Registry& r);
+};
+
 }  // namespace rfdnet::obs

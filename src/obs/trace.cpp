@@ -57,6 +57,26 @@ void TraceSink::rfd_reuse(double t_s, std::uint32_t node, std::uint32_t peer,
   line(buf);
 }
 
+void TraceSink::fault_inject(double t_s, const char* kind, std::uint32_t u,
+                             std::uint32_t v) {
+  char buf[160];
+  std::snprintf(buf, sizeof(buf),
+                "{\"type\":\"fault.inject\",\"t\":%.6f,\"kind\":\"%s\","
+                "\"u\":%u,\"v\":%u}",
+                t_s, kind, u, v);
+  line(buf);
+}
+
+void TraceSink::fault_perturb(double t_s, std::uint32_t from, std::uint32_t to,
+                              bool dropped, double extra_delay_s) {
+  char buf[160];
+  std::snprintf(buf, sizeof(buf),
+                "{\"type\":\"fault.perturb\",\"t\":%.6f,\"from\":%u,"
+                "\"to\":%u,\"effect\":\"%s\",\"extra\":%.6f}",
+                t_s, from, to, dropped ? "drop" : "delay", extra_delay_s);
+  line(buf);
+}
+
 void TraceSink::flush() { os_->flush(); }
 
 }  // namespace rfdnet::obs

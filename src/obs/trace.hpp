@@ -20,6 +20,8 @@ namespace rfdnet::obs {
 ///   {"type":"bgp.send","t":..,"from":N,"to":N,"prefix":N,"kind":"announce"|"withdraw"}
 ///   {"type":"rfd.suppress","t":..,"node":N,"peer":N,"prefix":N,"penalty":X}
 ///   {"type":"rfd.reuse","t":..,"node":N,"peer":N,"prefix":N,"noisy":B}
+///   {"type":"fault.inject","t":..,"kind":S,"u":N,"v":N}   (v = u for node faults)
+///   {"type":"fault.perturb","t":..,"from":N,"to":N,"effect":"drop"|"delay","extra":X}
 ///
 /// Formatting is fixed ("%.6f" for times, "%.3f" for penalties), so two runs
 /// producing the same events produce byte-identical trace files — the
@@ -43,6 +45,12 @@ class TraceSink {
                     std::uint32_t prefix, double penalty);
   void rfd_reuse(double t_s, std::uint32_t node, std::uint32_t peer,
                  std::uint32_t prefix, bool noisy);
+  /// `kind` is the schedule-grammar keyword ("link-down", "restart", ...);
+  /// node-scoped faults pass the node id as both `u` and `v`.
+  void fault_inject(double t_s, const char* kind, std::uint32_t u,
+                    std::uint32_t v);
+  void fault_perturb(double t_s, std::uint32_t from, std::uint32_t to,
+                     bool dropped, double extra_delay_s);
 
   /// Number of records emitted so far.
   std::uint64_t records() const { return records_; }

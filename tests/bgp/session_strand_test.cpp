@@ -1,0 +1,124 @@
+// Regression tests for the RIB-OUT strand bug: updates processed while a
+// session is down must not advance RIB-OUT bookkeeping toward the dead peer.
+// Before the fix, a route "sent" into the closed session updated `last_sent`,
+// so the re-advertisement at session_up was skipped as a duplicate and the
+// peer came back without the route.
+
+#include <gtest/gtest.h>
+
+#include "bgp/network.hpp"
+#include "bgp/policy.hpp"
+#include "net/topology.hpp"
+
+namespace rfdnet::bgp {
+namespace {
+
+constexpr Prefix kP = 0;
+constexpr Prefix kQ = 1;
+
+struct Net {
+  explicit Net(const net::Graph& g)
+      : graph(g), network(graph, timing, policy, engine, rng, nullptr) {}
+
+  int slot_of(net::NodeId on, net::NodeId peer_id) const {
+    const BgpRouter& r = network.router(on);
+    for (int s = 0; s < r.peer_count(); ++s) {
+      if (r.peer(s).id == peer_id) return s;
+    }
+    ADD_FAILURE() << "no slot for peer " << peer_id;
+    return -1;
+  }
+
+  net::Graph graph;
+  TimingConfig timing;
+  ShortestPathPolicy policy;
+  sim::Engine engine;
+  sim::Rng rng{1};
+  BgpNetwork network;
+};
+
+TEST(SessionStrand, UpdateDuringDownWindowDoesNotStrandPeer) {
+  Net n(net::make_line(3));  // 0 - 1 - 2
+  n.network.router(0).originate(kP);
+  n.engine.run();
+  ASSERT_TRUE(n.network.all_reachable(kP));
+
+  n.network.set_link(1, 2, false);
+  n.engine.run();
+  EXPECT_FALSE(n.network.router(2).best(kP).has_value());
+  EXPECT_FALSE(n.network.router(1).session_open(n.slot_of(1, 2)));
+
+  // While the session is down, the route disappears and comes back: router 1
+  // processes a withdrawal and then the same announcement again. The
+  // announcement must NOT be recorded as sent to the closed session.
+  n.network.router(0).withdraw_origin(kP);
+  n.engine.run();
+  n.network.router(0).originate(kP);
+  n.engine.run();
+  ASSERT_TRUE(n.network.router(1).best(kP).has_value());
+  n.network.router(1).check_invariants();
+
+  // Session comes back: the re-advertisement must not be suppressed as a
+  // duplicate of the update that was "sent" into the dead session.
+  n.network.set_link(1, 2, true);
+  n.engine.run();
+  EXPECT_TRUE(n.network.router(2).best(kP).has_value());
+  EXPECT_TRUE(n.network.all_reachable(kP));
+  for (net::NodeId u = 0; u < n.graph.node_count(); ++u) {
+    n.network.router(u).check_invariants();
+  }
+  EXPECT_EQ(n.engine.pending(), 0u);
+}
+
+TEST(SessionStrand, RouteLearnedDuringDownWindowReachesPeerAfterUp) {
+  Net n(net::make_line(3));
+  n.network.router(0).originate(kP);
+  n.engine.run();
+
+  n.network.set_link(1, 2, false);
+  n.engine.run();
+
+  // A brand-new prefix appears while 1-2 is down. Router 1 learns it and
+  // tries to propagate; the attempt toward the closed session must leave no
+  // RIB-OUT trace that could mask the session_up re-advertisement.
+  n.network.router(0).originate(kQ);
+  n.engine.run();
+  ASSERT_TRUE(n.network.router(1).best(kQ).has_value());
+  EXPECT_FALSE(n.network.router(2).best(kQ).has_value());
+
+  n.network.set_link(1, 2, true);
+  n.engine.run();
+  EXPECT_TRUE(n.network.router(2).best(kP).has_value());
+  EXPECT_TRUE(n.network.router(2).best(kQ).has_value());
+  for (net::NodeId u = 0; u < n.graph.node_count(); ++u) {
+    n.network.router(u).check_invariants();
+  }
+}
+
+TEST(SessionStrand, RepeatedFlapsConvergeWithMrai) {
+  // Same strand scenario but with MRAI batching live, so pending updates and
+  // MRAI wakeups exist when the session closes — session_down must clear
+  // them (check_invariants enforces both).
+  Net n(net::make_ring(4));
+  n.timing.mrai_s = 5;  // routers hold the TimingConfig by reference
+  n.network.router(0).originate(kP);
+  n.engine.run();
+  ASSERT_TRUE(n.network.all_reachable(kP));
+
+  for (int round = 0; round < 3; ++round) {
+    n.network.set_link(2, 3, false);
+    n.engine.run(n.engine.now() + sim::Duration::seconds(1));
+    n.network.router(0).withdraw_origin(kP);
+    n.network.router(0).originate(kP);
+    n.network.set_link(2, 3, true);
+    n.engine.run();
+    EXPECT_TRUE(n.network.all_reachable(kP)) << "round " << round;
+    for (net::NodeId u = 0; u < n.graph.node_count(); ++u) {
+      n.network.router(u).check_invariants();
+    }
+  }
+  EXPECT_EQ(n.engine.pending(), 0u);
+}
+
+}  // namespace
+}  // namespace rfdnet::bgp

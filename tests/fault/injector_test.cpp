@@ -1,0 +1,227 @@
+// FaultInjector semantics: hold counting, restart = sessions + damping
+// flush, perturbation windows, metrics/trace emission, invariants.
+
+#include "fault/injector.hpp"
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "bgp/policy.hpp"
+#include "net/topology.hpp"
+#include "rfd/damping.hpp"
+
+namespace rfdnet::fault {
+namespace {
+
+constexpr bgp::Prefix kP = 0;
+
+struct Net {
+  explicit Net(const net::Graph& g)
+      : graph(g),
+        network(graph, timing, policy, engine, rng, nullptr),
+        injector(network, engine, rng.split()) {}
+
+  void warm_up(net::NodeId origin = 0) {
+    network.router(origin).originate(kP);
+    engine.run();
+    ASSERT_TRUE(network.all_reachable(kP));
+  }
+
+  void arm(const std::string& script) {
+    injector.arm(FaultSchedule::parse(script), engine.now());
+  }
+
+  net::Graph graph;
+  bgp::TimingConfig timing;
+  bgp::ShortestPathPolicy policy;
+  sim::Engine engine;
+  sim::Rng rng{1};
+  bgp::BgpNetwork network;
+  FaultInjector injector;
+};
+
+TEST(Injector, LinkFlapDownsAndRestores) {
+  Net n(net::make_line(3));
+  n.warm_up();
+  n.arm("@1 link-flap 1-2 for 5");
+
+  n.engine.run(sim::SimTime::from_seconds(3.0));
+  EXPECT_FALSE(n.network.link_is_up(1, 2));
+  EXPECT_EQ(n.injector.held_links(), 1);
+  EXPECT_FALSE(n.network.router(2).best(kP).has_value());
+  n.injector.check_invariants();
+
+  n.engine.run();
+  EXPECT_TRUE(n.network.link_is_up(1, 2));
+  EXPECT_EQ(n.injector.held_links(), 0);
+  EXPECT_TRUE(n.network.all_reachable(kP));
+  EXPECT_EQ(n.injector.injected(), 1u);
+  n.injector.check_invariants();
+}
+
+TEST(Injector, OverlappingHoldsCompose) {
+  // Two faults hold the same link; it must stay down until the *last* hold
+  // releases (t=1+10=11), not when the first one does (t=2+3=5).
+  Net n(net::make_line(3));
+  n.warm_up();
+  n.arm("@1 link-flap 1-2 for 10; @2 link-flap 1-2 for 3");
+
+  n.engine.run(sim::SimTime::from_seconds(7.0));
+  EXPECT_FALSE(n.network.link_is_up(1, 2));
+  EXPECT_EQ(n.injector.held_links(), 1);
+  n.engine.run();
+  EXPECT_TRUE(n.network.link_is_up(1, 2));
+  EXPECT_TRUE(n.network.all_reachable(kP));
+}
+
+TEST(Injector, ScriptedDownUpPairWorks) {
+  Net n(net::make_line(3));
+  n.warm_up();
+  n.arm("@1 link-down 0-1; @20 link-up 0-1");
+  n.engine.run(sim::SimTime::from_seconds(10.0));
+  EXPECT_FALSE(n.network.link_is_up(0, 1));
+  n.engine.run();
+  EXPECT_TRUE(n.network.link_is_up(0, 1));
+  EXPECT_TRUE(n.network.all_reachable(kP));
+}
+
+TEST(Injector, UnmatchedLinkUpIsANoOp) {
+  Net n(net::make_line(3));
+  n.warm_up();
+  n.arm("@1 link-up 0-1");
+  n.engine.run();
+  EXPECT_TRUE(n.network.link_is_up(0, 1));
+  EXPECT_EQ(n.injector.held_links(), 0);
+}
+
+TEST(Injector, RestartDropsAllSessionsAndFlushesDamping) {
+  Net n(net::make_ring(4));
+  // Damping on the restart target, with penalty pre-charged.
+  bgp::BgpRouter& r1 = n.network.router(1);
+  rfd::DampingModule damper(1, {0, 2}, rfd::DampingParams::cisco(), n.engine,
+                            [&r1](int slot, bgp::Prefix p) {
+                              return r1.on_reuse(slot, p);
+                            });
+  r1.set_damping(&damper);
+  n.warm_up();
+  damper.debug_set_penalty(0, kP, 1500.0);
+  ASSERT_GT(damper.penalty(0, kP), 0.0);
+
+  n.arm("@1 restart 1 for 5");
+  n.engine.run(sim::SimTime::from_seconds(4.0));
+  EXPECT_FALSE(n.network.link_is_up(0, 1));
+  EXPECT_FALSE(n.network.link_is_up(1, 2));
+  EXPECT_EQ(n.injector.held_links(), 2);
+  // RIB flushed: the restarting router lost its learned route...
+  EXPECT_FALSE(r1.best(kP).has_value());
+  // ...and forgot its damping penalties.
+  EXPECT_EQ(damper.penalty(0, kP), 0.0);
+  n.injector.check_invariants();
+
+  n.engine.run();
+  EXPECT_EQ(n.injector.held_links(), 0);
+  EXPECT_TRUE(n.network.all_reachable(kP));  // re-announce happened
+  damper.check_invariants();
+}
+
+TEST(Injector, PerturbDropsMessages) {
+  Net n(net::make_line(2));
+  n.arm("@0 perturb for 1000 drop=1");  // everything dropped
+  // Let the window-open event fire before generating traffic: transmit
+  // consults the hook synchronously at send time.
+  n.engine.run(sim::SimTime::from_seconds(1.0));
+  n.network.router(0).originate(kP);
+  n.engine.run();
+  EXPECT_FALSE(n.network.router(1).best(kP).has_value());
+  EXPECT_GT(n.injector.perturb_drops(), 0u);
+  EXPECT_GE(n.network.dropped_count(), n.injector.perturb_drops());
+}
+
+TEST(Injector, PerturbWindowCloses) {
+  Net n(net::make_line(2));
+  n.arm("@0 perturb for 5 drop=1");
+  n.engine.run();  // window opens and closes with no traffic
+  EXPECT_FALSE(n.injector.perturb_active());
+  n.network.router(0).originate(kP);
+  n.engine.run();
+  EXPECT_TRUE(n.network.all_reachable(kP));  // no drops after the window
+}
+
+TEST(Injector, PerturbDelayKeepsFifoAndDelivers) {
+  Net n(net::make_line(3));
+  n.arm("@0 perturb for 1000 delay=0.5");
+  n.network.router(0).originate(kP);
+  n.engine.run();
+  EXPECT_TRUE(n.network.all_reachable(kP));
+  EXPECT_GT(n.injector.perturb_delays(), 0u);
+  EXPECT_EQ(n.injector.perturb_drops(), 0u);
+}
+
+TEST(Injector, LinkScopedPerturbOnlyHitsThatLink) {
+  Net n(net::make_line(3));
+  n.arm("@0 perturb 1-2 for 1000 drop=1");
+  n.network.router(0).originate(kP);
+  n.engine.run();
+  // 0-1 is clean; 1-2 drops everything.
+  EXPECT_TRUE(n.network.router(1).best(kP).has_value());
+  EXPECT_FALSE(n.network.router(2).best(kP).has_value());
+}
+
+TEST(Injector, ValidatesScheduleAgainstGraph) {
+  Net n(net::make_line(3));
+  EXPECT_THROW(n.arm("@1 link-down 0-2"), std::invalid_argument);  // no link
+  EXPECT_THROW(n.arm("@1 restart 9"), std::invalid_argument);      // no node
+}
+
+TEST(Injector, ArmIsOneShot) {
+  Net n(net::make_line(3));
+  n.arm("@1 link-flap 0-1 for 1");
+  EXPECT_THROW(n.arm("@2 link-flap 0-1 for 1"), std::logic_error);
+}
+
+TEST(Injector, EmitsMetricsAndTrace) {
+  Net n(net::make_line(3));
+  obs::Registry registry;
+  obs::FaultMetrics metrics = obs::FaultMetrics::bind(registry);
+  std::ostringstream trace_out;
+  obs::TraceSink trace(trace_out);
+  n.injector.set_metrics(&metrics);
+  n.injector.set_trace(&trace);
+  n.warm_up();
+
+  n.arm("@1 link-flap 1-2 for 5; @10 restart 2 for 2; @20 perturb for 30 drop=1");
+  n.network.router(0).originate(kP);
+  n.engine.run(sim::SimTime::from_seconds(25.0));
+  n.network.router(0).withdraw_origin(kP);  // traffic inside the window
+  n.engine.run();
+  trace.flush();
+
+  EXPECT_EQ(metrics.injected->value(), 3u);
+  EXPECT_GE(metrics.link_downs->value(), 2u);
+  EXPECT_EQ(metrics.restarts->value(), 1u);
+  EXPECT_GT(metrics.perturb_drops->value(), 0u);
+  const std::string out = trace_out.str();
+  EXPECT_NE(out.find("\"type\":\"fault.inject\""), std::string::npos);
+  EXPECT_NE(out.find("\"kind\":\"link-flap\""), std::string::npos);
+  EXPECT_NE(out.find("\"kind\":\"restart\""), std::string::npos);
+  EXPECT_NE(out.find("\"type\":\"fault.perturb\""), std::string::npos);
+}
+
+TEST(Injector, DestructorCancelsOutstandingFaults) {
+  sim::Engine engine;
+  sim::Rng rng{1};
+  net::Graph graph = net::make_line(3);
+  bgp::TimingConfig timing;
+  bgp::ShortestPathPolicy policy;
+  bgp::BgpNetwork network(graph, timing, policy, engine, rng, nullptr);
+  {
+    FaultInjector injector(network, engine, rng.split());
+    injector.arm(FaultSchedule::parse("@1000 link-down 0-1"), engine.now());
+  }
+  engine.run();  // cancelled event must not fire
+  EXPECT_TRUE(network.link_is_up(0, 1));
+}
+
+}  // namespace
+}  // namespace rfdnet::fault

@@ -1,0 +1,26 @@
+// Golden scorecard regression: the full validation battery (the executable
+// form of EXPERIMENTS.md, also shipped as bench/repro_scorecard) must keep
+// every figure at PASS. Any claim regressing fails this ctest with the
+// claim id and the measured evidence.
+
+#include "core/validation.hpp"
+
+#include <gtest/gtest.h>
+
+namespace rfdnet::core {
+namespace {
+
+TEST(Scorecard, EveryPaperClaimStaysGreen) {
+  const ValidationReport report = validate_reproduction();
+  ASSERT_FALSE(report.checks.empty());
+  EXPECT_GE(report.checks.size(), 15u)
+      << "scorecard shrank: a claim check was removed";
+  for (const ClaimCheck& c : report.checks) {
+    EXPECT_TRUE(c.pass) << c.id << ": " << c.claim << "\n  measured: "
+                        << c.measured;
+  }
+  EXPECT_TRUE(report.all_passed());
+}
+
+}  // namespace
+}  // namespace rfdnet::core

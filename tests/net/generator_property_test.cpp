@@ -3,6 +3,9 @@
 
 #include <gtest/gtest.h>
 
+#include <utility>
+#include <vector>
+
 #include "net/metrics.hpp"
 #include "net/topology.hpp"
 #include "sim/random.hpp"
@@ -67,6 +70,65 @@ INSTANTIATE_TEST_SUITE_P(
     Grid, InternetProperty,
     ::testing::Combine(::testing::Values(50, 100, 208),
                        ::testing::Values(1u, 2u, 3u)));
+
+class RelationshipProperty : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(RelationshipProperty, NoCustomerProviderCyclesAndPeersAreSymmetric) {
+  sim::Rng rng(GetParam());
+  for (const int n : {40, 120}) {
+    const Graph g = make_internet_like(n, rng);
+
+    // Peer links are symmetric and customer/provider labels invert: the two
+    // endpoint records of every link must be exact mirrors.
+    for (NodeId u = 0; u < g.node_count(); ++u) {
+      for (const auto& e : g.neighbors(u)) {
+        const Relationship back = g.endpoint(e.neighbor, u).rel;
+        EXPECT_EQ(back, reverse(e.rel))
+            << "link " << u << "-" << e.neighbor << " n=" << n;
+        if (e.rel == Relationship::kPeer) {
+          EXPECT_EQ(back, Relationship::kPeer);
+        }
+      }
+    }
+
+    // The customer -> provider digraph is acyclic (no provider loops: money
+    // and default routes flow strictly up the hierarchy). Iterative
+    // three-color DFS over provider edges.
+    enum class Color : std::uint8_t { kWhite, kGray, kBlack };
+    std::vector<Color> color(g.node_count(), Color::kWhite);
+    for (NodeId start = 0; start < g.node_count(); ++start) {
+      if (color[start] != Color::kWhite) continue;
+      // Stack of (node, next-neighbor-index).
+      std::vector<std::pair<NodeId, std::size_t>> stack{{start, 0}};
+      color[start] = Color::kGray;
+      while (!stack.empty()) {
+        auto& [u, next] = stack.back();
+        const auto& nbrs = g.neighbors(u);
+        bool descended = false;
+        while (next < nbrs.size()) {
+          const auto& e = nbrs[next++];
+          if (e.rel != Relationship::kProvider) continue;
+          ASSERT_NE(color[e.neighbor], Color::kGray)
+              << "customer-provider cycle through " << u << "->" << e.neighbor
+              << " n=" << n << " seed=" << GetParam();
+          if (color[e.neighbor] == Color::kWhite) {
+            color[e.neighbor] = Color::kGray;
+            stack.emplace_back(e.neighbor, 0);
+            descended = true;
+            break;
+          }
+        }
+        if (!descended && stack.back().second >= nbrs.size()) {
+          color[u] = Color::kBlack;
+          stack.pop_back();
+        }
+      }
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, RelationshipProperty,
+                         ::testing::Values(1u, 2u, 3u, 4u, 5u, 6u, 7u));
 
 class RandomProperty : public ::testing::TestWithParam<std::uint64_t> {};
 

@@ -1,0 +1,266 @@
+// Differential oracles for random fault storms (the src/fault subsystem):
+//
+//  (a) Damping off: after an arbitrary bounded storm drains, the simulator
+//      must agree with the analytic model — every router holds the BFS
+//      shortest path, loop-free, fully reachable.
+//  (b) Serial vs parallel: the fault-rate sweep must produce byte-identical
+//      points, merged metrics and per-trial traces through a thread pool.
+//  (c) Damping on: every suppression/reuse the storm provokes must be legal
+//      for the four-state phase model — no suppression without a cut-off
+//      crossing, no reuse before the penalty can have decayed from cut-off
+//      to the reuse threshold, penalties never above the ceiling.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <fstream>
+#include <map>
+#include <set>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "bgp/network.hpp"
+#include "bgp/policy.hpp"
+#include "core/parallel.hpp"
+#include "core/sweep.hpp"
+#include "fault/injector.hpp"
+#include "net/metrics.hpp"
+#include "net/topology.hpp"
+
+namespace rfdnet {
+namespace {
+
+using core::ExperimentConfig;
+using core::TopologySpec;
+
+constexpr bgp::Prefix kP = 0;
+
+// ---------------------------------------------------------------------------
+// (a) Storm vs analytic shortest-path model, damping off.
+
+class StormVsModel : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(StormVsModel, NetworkReturnsToShortestPathsAfterAnyStorm) {
+  const std::uint64_t seed = GetParam();
+  sim::Rng topo_rng(seed);
+  // Alternate topology families so the oracle sees both regular and
+  // power-law graphs.
+  const net::Graph g = (seed % 2 == 0)
+                           ? net::make_mesh_torus(4, 4, 0.01)
+                           : net::make_internet_like(30, topo_rng);
+  bgp::TimingConfig timing;
+  bgp::ShortestPathPolicy policy;
+  sim::Engine engine;
+  sim::Rng rng(seed);
+  bgp::BgpNetwork network(g, timing, policy, engine, rng, nullptr);
+  network.router(0).originate(kP);
+  engine.run();
+  ASSERT_TRUE(network.all_reachable(kP));
+
+  fault::StormOptions opt;
+  opt.rate_per_s = 0.05;
+  opt.horizon_s = 400.0;
+  // Dropped updates are never retransmitted, so a drop window can leave
+  // legitimately stale state behind; the reconvergence oracle only holds for
+  // fault kinds that resynchronize (session churn re-advertises on up).
+  opt.w_perturb = 0.0;
+  sim::Rng storm_rng = rng.split();
+  // Spare the origin: its route must exist for reachability to be the model.
+  const fault::FaultSchedule storm = generate_storm(g, opt, storm_rng, {0});
+  ASSERT_FALSE(storm.empty());
+
+  fault::FaultInjector injector(network, engine, rng.split());
+  injector.arm(storm, engine.now());
+  engine.run();
+
+  // The storm is bounded: every hold released, nothing pending.
+  EXPECT_EQ(injector.held_links(), 0);
+  EXPECT_FALSE(injector.perturb_active());
+  EXPECT_EQ(engine.pending(), 0u);
+  injector.check_invariants();
+
+  // Differential check against the analytic model on the intact graph.
+  ASSERT_TRUE(network.all_reachable(kP));
+  const auto dist = net::bfs_distances(g, 0);
+  for (net::NodeId u = 0; u < g.node_count(); ++u) {
+    const auto best = network.router(u).best(kP);
+    ASSERT_TRUE(best.has_value()) << "node " << u;
+    if (u == 0) continue;
+    EXPECT_EQ(best->path.length(), dist[u]) << "node " << u << " seed " << seed;
+    std::set<net::NodeId> seen;
+    for (const auto hop : best->path.hops()) {
+      EXPECT_TRUE(seen.insert(hop).second) << "loop at node " << u;
+    }
+    network.router(u).check_invariants();
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, StormVsModel,
+                         ::testing::Values(1u, 2u, 3u, 4u, 5u, 6u));
+
+// ---------------------------------------------------------------------------
+// (b) Serial vs parallel fault-rate sweep.
+
+std::string slurp(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  EXPECT_TRUE(in.good()) << "missing trace file: " << path;
+  std::ostringstream os;
+  os << in.rdbuf();
+  return os.str();
+}
+
+ExperimentConfig storm_sweep_config(const std::string& trace_base) {
+  ExperimentConfig cfg;
+  cfg.topology.width = 5;
+  cfg.topology.height = 5;
+  cfg.pulses = 0;  // faults are the only instability source
+  cfg.seed = 7;
+  cfg.collect_metrics = true;
+  cfg.trace_path = trace_base;
+  fault::StormOptions opt;
+  opt.horizon_s = 300.0;
+  fault::FaultPlan plan;
+  plan.storm = opt;
+  cfg.faults = plan;
+  return cfg;
+}
+
+TEST(FaultSweepOracle, PoolMatchesSerialByteForByte) {
+  const std::string base_s = ::testing::TempDir() + "fault_sweep_serial";
+  const std::string base_p = ::testing::TempDir() + "fault_sweep_pool";
+  const std::vector<double> rates = {0.01, 0.05};
+  const int n_seeds = 2;
+  core::ParallelRunner serial(1);
+  core::ParallelRunner pool(4);
+  const core::FaultSweepResult a =
+      core::run_fault_storm_sweep(storm_sweep_config(base_s), rates, n_seeds,
+                                  &serial);
+  const core::FaultSweepResult b =
+      core::run_fault_storm_sweep(storm_sweep_config(base_p), rates, n_seeds,
+                                  &pool);
+
+  ASSERT_EQ(a.points.size(), rates.size());
+  ASSERT_EQ(b.points.size(), rates.size());
+  for (std::size_t i = 0; i < rates.size(); ++i) {
+    EXPECT_DOUBLE_EQ(a.points[i].convergence_s, b.points[i].convergence_s);
+    EXPECT_EQ(a.points[i].messages, b.points[i].messages);
+    EXPECT_EQ(a.points[i].faults, b.points[i].faults);
+    EXPECT_EQ(a.points[i].dropped, b.points[i].dropped);
+    EXPECT_DOUBLE_EQ(a.points[i].suppression_share,
+                     b.points[i].suppression_share);
+    EXPECT_EQ(a.points[i].hit_horizon, b.points[i].hit_horizon);
+  }
+  EXPECT_FALSE(a.metrics.empty());
+  EXPECT_EQ(a.metrics.json(), b.metrics.json());
+  // Per-trial traces: identical bytes, only the file prefix differs.
+  for (std::size_t i = 0; i < rates.size(); ++i) {
+    for (int s = 0; s < n_seeds; ++s) {
+      const std::string suffix =
+          ".f" + std::to_string(i) + ".s" + std::to_string(7 + s);
+      const std::string ta = slurp(base_s + suffix);
+      EXPECT_FALSE(ta.empty());
+      EXPECT_EQ(ta, slurp(base_p + suffix)) << "trace mismatch at " << suffix;
+    }
+  }
+}
+
+// ---------------------------------------------------------------------------
+// (c) Phase legality under damping, random storms.
+
+class StormPhaseLegality : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(StormPhaseLegality, SuppressionsAndReusesObeyTheTimerModel) {
+  ExperimentConfig cfg;
+  cfg.topology.width = 5;
+  cfg.topology.height = 5;
+  cfg.pulses = 0;
+  cfg.seed = GetParam();
+  cfg.record_all_penalties = true;
+  fault::StormOptions opt;
+  opt.rate_per_s = 0.05;
+  opt.horizon_s = 400.0;
+  // No restarts: a restart legitimately flushes suppressed entries without a
+  // reuse event, which would make strict suppress/reuse pairing impossible.
+  opt.w_router_restart = 0.0;
+  fault::FaultPlan plan;
+  plan.storm = opt;
+  cfg.faults = plan;
+  ASSERT_TRUE(cfg.damping.has_value());
+  const rfd::DampingParams& params = *cfg.damping;
+
+  const auto res = core::run_experiment(cfg);
+  ASSERT_FALSE(res.hit_horizon);
+  ASSERT_GT(res.faults_injected, 0u);
+
+  // Penalties never exceed the ceiling, anywhere.
+  EXPECT_LE(res.max_penalty, params.ceiling() + 1e-6);
+  for (const auto& pe : res.penalty_events) {
+    ASSERT_LE(pe.value, params.ceiling() + 1e-6);
+  }
+
+  // Group penalty/suppress/reuse events per RIB-IN entry (node, peer).
+  using Key = std::pair<net::NodeId, net::NodeId>;
+  std::map<Key, std::vector<std::pair<double, double>>> charges;  // (t, value)
+  for (const auto& pe : res.penalty_events) {
+    charges[{pe.node, pe.peer}].emplace_back(pe.t_s, pe.value);
+  }
+  std::map<Key, std::vector<double>> suppress_ts, reuse_ts;
+  for (const auto& e : res.suppressions) {
+    suppress_ts[{e.node, e.peer}].push_back(e.t_s);
+  }
+  for (const auto& e : res.reuses) reuse_ts[{e.node, e.peer}].push_back(e.t_s);
+
+  // Minimum legal hold: decay time from the cut-off down to the reuse
+  // threshold (further charges while suppressed only push reuse later).
+  const double min_hold_s =
+      std::log(params.cutoff / params.reuse) / params.lambda();
+
+  for (const auto& [key, sups] : suppress_ts) {
+    // No suppression without a cut-off crossing: the charge applied at the
+    // suppression instant must have reached the cut-off.
+    const auto& ch = charges[key];
+    for (const double t : sups) {
+      double at_suppress = -1.0;
+      for (const auto& [tc, value] : ch) {
+        if (tc <= t + 1e-9) at_suppress = value;
+      }
+      ASSERT_GE(at_suppress, params.cutoff - 1e-6)
+          << "entry " << key.first << "<-" << key.second
+          << " suppressed below cut-off at t=" << t;
+    }
+    // No reuse before the penalty can have decayed to the reuse threshold,
+    // and (restart-free) every suppression is eventually reused.
+    const auto& reuses = reuse_ts[key];
+    ASSERT_EQ(reuses.size(), sups.size())
+        << "entry " << key.first << "<-" << key.second;
+    for (std::size_t i = 0; i < sups.size(); ++i) {
+      ASSERT_GE(reuses[i] - sups[i], min_hold_s - 1e-3)
+          << "entry " << key.first << "<-" << key.second << " reused early";
+      if (i + 1 < sups.size()) {
+        ASSERT_GE(sups[i + 1], reuses[i])  // suppress/reuse strictly alternate
+            << "entry " << key.first << "<-" << key.second;
+      }
+    }
+  }
+  EXPECT_EQ(res.suppress_events, res.noisy_reuses + res.silent_reuses);
+
+  // Phase classification legality: the decomposition brackets the run with
+  // charging/converged and stays contiguous. (A storm lull can classify as a
+  // suppression phase even with no suppressed entries — the four-state model
+  // only observes quiet periods — so phase kinds are not checked against
+  // suppress_events here.)
+  ASSERT_FALSE(res.phases.empty());
+  EXPECT_EQ(res.phases.front().kind, stats::PhaseKind::kCharging);
+  EXPECT_EQ(res.phases.back().kind, stats::PhaseKind::kConverged);
+  for (std::size_t i = 0; i + 1 < res.phases.size(); ++i) {
+    EXPECT_LE(res.phases[i].t0_s, res.phases[i].t1_s);
+    EXPECT_NEAR(res.phases[i].t1_s, res.phases[i + 1].t0_s, 1e-6);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, StormPhaseLegality,
+                         ::testing::Values(11u, 12u, 13u, 14u, 15u, 16u));
+
+}  // namespace
+}  // namespace rfdnet

@@ -1,0 +1,105 @@
+// Property tests for PenaltyState under random charge/decay schedules:
+//  - the decayed value never exceeds the configured ceiling, at charge time
+//    or at any later observation instant;
+//  - the remaining reuse delay is monotone non-increasing in elapsed decay
+//    time (waiting can only bring the reuse threshold closer);
+//  - time_to_reach is consistent with at(): advancing by the returned delay
+//    lands at or below the target.
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "rfd/params.hpp"
+#include "rfd/penalty.hpp"
+#include "sim/random.hpp"
+#include "sim/time.hpp"
+
+namespace rfdnet::rfd {
+namespace {
+
+using sim::Duration;
+using sim::SimTime;
+
+class PenaltyScheduleProperty : public ::testing::TestWithParam<std::uint64_t> {
+};
+
+TEST_P(PenaltyScheduleProperty, NeverExceedsCeilingAndReuseIsMonotone) {
+  sim::Rng rng(GetParam());
+  // Alternate between Cisco and Juniper parameters plus a randomized set, so
+  // the ceiling actually varies across seeds.
+  DampingParams params =
+      (GetParam() % 2 == 0) ? DampingParams::cisco() : DampingParams::juniper();
+  if (GetParam() % 3 == 0) {
+    params.half_life_s = rng.uniform(60.0, 3600.0);
+    params.max_suppress_s = rng.uniform(params.half_life_s, 4 * 3600.0);
+  }
+  params.validate();
+  const double lambda = params.lambda();
+  const double ceiling = params.ceiling();
+
+  PenaltyState state;
+  SimTime now;
+  for (int step = 0; step < 400; ++step) {
+    // Random schedule: mostly charges, occasionally long decay gaps.
+    now = now + Duration::seconds(rng.uniform(0.0, 120.0));
+    const double increment = rng.uniform(0.0, 1500.0);
+    state.add(increment, now, lambda, ceiling);
+
+    ASSERT_LE(state.raw(), ceiling) << "step " << step;
+    ASSERT_GE(state.raw(), 0.0) << "step " << step;
+
+    // Observed at any later instant the decayed value can only be smaller.
+    double prev_value = state.at(now, lambda);
+    ASSERT_LE(prev_value, ceiling);
+    Duration prev_delay = state.time_to_reach(params.reuse, now, lambda);
+    SimTime prev_at = now;
+    for (int obs = 1; obs <= 4; ++obs) {
+      const SimTime later = now + Duration::seconds(obs * 97.0);
+      const double value = state.at(later, lambda);
+      ASSERT_LE(value, prev_value + 1e-9);
+      const Duration delay = state.time_to_reach(params.reuse, later, lambda);
+      // Monotonicity: elapsed decay time shortens the remaining reuse delay.
+      ASSERT_LE(delay, prev_delay);
+      if (delay > Duration::micros(0)) {
+        // Still above the target: the absolute crossing instant is fixed, so
+        // elapsed + remaining must agree with the earlier estimate (within
+        // microsecond rounding).
+        ASSERT_NEAR(static_cast<double>((later + delay).as_micros()),
+                    static_cast<double>((prev_at + prev_delay).as_micros()),
+                    2.0);
+      } else {
+        // At or below the target already; delay clamps to zero.
+        ASSERT_LE(value, params.reuse * (1.0 + 1e-9));
+      }
+      prev_value = value;
+      prev_delay = delay;
+      prev_at = later;
+    }
+
+    // Consistency: advancing by exactly the returned delay reaches target.
+    const Duration d = state.time_to_reach(params.reuse, now, lambda);
+    ASSERT_LE(state.at(now + d, lambda), params.reuse * (1.0 + 1e-9));
+  }
+}
+
+TEST_P(PenaltyScheduleProperty, ResetForgetsEverything) {
+  sim::Rng rng(GetParam());
+  const DampingParams params = DampingParams::cisco();
+  PenaltyState state;
+  SimTime now;
+  for (int step = 0; step < 50; ++step) {
+    now = now + Duration::seconds(rng.uniform(0.0, 60.0));
+    state.add(rng.uniform(0.0, 2000.0), now, params.lambda(), params.ceiling());
+  }
+  state.reset();
+  EXPECT_TRUE(state.is_zero());
+  EXPECT_EQ(state.time_to_reach(params.reuse, now, params.lambda()),
+            Duration::micros(0));
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, PenaltyScheduleProperty,
+                         ::testing::Values(1u, 2u, 3u, 4u, 5u, 6u, 7u, 8u));
+
+}  // namespace
+}  // namespace rfdnet::rfd
