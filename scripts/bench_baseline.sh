@@ -1,0 +1,80 @@
+#!/usr/bin/env bash
+# Performance baseline snapshot: runs the engine microbenchmarks plus one
+# full figure benchmark (fig07, single-flap secondary charging) and writes a
+# merged JSON artifact:
+#
+#   {
+#     "date": "YYYY-MM-DD",
+#     "micro_engine": { "<benchmark>": {"real_time_ns": ..., ...}, ... },
+#     "fig07": { "wall_s": ..., "profile": { "<kind>": {counts...}, ... } }
+#   }
+#
+# The micro_engine numbers are wall-clock and vary with the machine; the
+# fig07 profile counts are byte-deterministic (they are a pure function of
+# the event sequence), so a count change in a diff of two baselines means
+# the workload itself changed, not the hardware.
+#
+# Usage: scripts/bench_baseline.sh [OUT.json]
+#   default OUT: BENCH_<today>.json in the repo root. Compare against the
+#   committed baseline with scripts/check.sh --bench.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+OUT="${1:-BENCH_$(date +%F).json}"
+
+# Reuse the existing build tree's generator (check.sh configures Ninja on a
+# fresh tree; a Makefiles tree works just as well here).
+cmake -B build >/dev/null
+cmake --build build --target micro_engine fig07_secondary_charging >/dev/null
+
+TMP="$(mktemp -d)"
+trap 'rm -rf "$TMP"' EXIT
+
+echo "running micro_engine..." >&2
+./build/bench/micro_engine --benchmark_format=json \
+  >"$TMP/micro.json" 2>/dev/null
+
+echo "running fig07_secondary_charging (profiled)..." >&2
+FIG07_START=$(date +%s.%N)
+./build/bench/fig07_secondary_charging --profile "$TMP/fig07_profile.json" \
+  >/dev/null
+FIG07_END=$(date +%s.%N)
+
+python3 - "$TMP/micro.json" "$TMP/fig07_profile.json" "$OUT" \
+  "$(date +%F)" "$FIG07_START" "$FIG07_END" <<'PY'
+import json
+import sys
+
+micro_path, profile_path, out_path, date, t0, t1 = sys.argv[1:7]
+
+with open(micro_path) as f:
+    micro = json.load(f)
+with open(profile_path) as f:
+    profile = json.load(f)
+
+bench = {}
+for b in micro.get("benchmarks", []):
+    if b.get("run_type") != "iteration":
+        continue
+    bench[b["name"]] = {
+        "real_time": b["real_time"],
+        "cpu_time": b["cpu_time"],
+        "time_unit": b.get("time_unit", "ns"),
+        "iterations": b["iterations"],
+        "items_per_second": b.get("items_per_second"),
+    }
+
+out = {
+    "date": date,
+    "micro_engine": bench,
+    "fig07": {
+        "wall_s": round(float(t1) - float(t0), 3),
+        "profile": profile,
+    },
+}
+with open(out_path, "w") as f:
+    json.dump(out, f, indent=2, sort_keys=True)
+    f.write("\n")
+PY
+
+echo "wrote $OUT" >&2

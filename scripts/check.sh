@@ -7,11 +7,62 @@
 # `fast`; see tests/CMakeLists.txt) — the sub-second edit loop. The full
 # pass also runs the `slow` (experiment/integration) and `property`
 # (randomized oracle) tiers plus both sanitizer legs.
+#
+# `check.sh --bench` runs the perf-baseline tier instead: it takes a fresh
+# snapshot with scripts/bench_baseline.sh and fails if any micro_engine
+# benchmark regressed more than 20% against the newest committed
+# BENCH_*.json (wall-clock jitter on shared machines sits well under that).
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
 FAST=0
+BENCH=0
 if [[ "${1:-}" == "--fast" ]]; then FAST=1; fi
+if [[ "${1:-}" == "--bench" ]]; then BENCH=1; fi
+
+if [[ "$BENCH" == 1 ]]; then
+  BASELINE=$(ls -1 BENCH_*.json 2>/dev/null | sort | tail -1 || true)
+  if [[ -z "$BASELINE" ]]; then
+    echo "check.sh --bench: no committed BENCH_*.json baseline found" >&2
+    exit 1
+  fi
+  CURRENT=$(mktemp /tmp/bench_current.XXXXXX.json)
+  trap 'rm -f "$CURRENT"' EXIT
+  scripts/bench_baseline.sh "$CURRENT"
+  python3 - "$BASELINE" "$CURRENT" <<'PY'
+import json
+import sys
+
+baseline_path, current_path = sys.argv[1:3]
+with open(baseline_path) as f:
+    base = json.load(f)
+with open(current_path) as f:
+    cur = json.load(f)
+
+LIMIT = 1.20  # fail above +20% real time
+failed = []
+for name, b in sorted(base.get("micro_engine", {}).items()):
+    c = cur.get("micro_engine", {}).get(name)
+    if c is None:
+        failed.append(f"{name}: missing from current run")
+        continue
+    ratio = c["real_time"] / b["real_time"]
+    unit = b.get("time_unit", "ns")
+    marker = "FAIL" if ratio > LIMIT else "ok"
+    print(f"  {marker:4} {name}: {ratio:.2f}x baseline "
+          f"({c['real_time']:.0f} vs {b['real_time']:.0f} {unit})")
+    if ratio > LIMIT:
+        failed.append(f"{name}: {ratio:.2f}x baseline")
+
+if failed:
+    print(f"bench tier FAILED vs {baseline_path}:", file=sys.stderr)
+    for f_ in failed:
+        print(f"  {f_}", file=sys.stderr)
+    sys.exit(1)
+print(f"bench tier passed vs {baseline_path}")
+PY
+  exit 0
+fi
 
 cmake -B build -G Ninja
 cmake --build build

@@ -5,6 +5,7 @@
 
 #include "bgp/prefix.hpp"
 #include "bgp/route.hpp"
+#include "obs/span.hpp"
 #include "rcn/root_cause.hpp"
 
 namespace rfdnet::bgp {
@@ -40,6 +41,11 @@ struct UpdateMessage {
   /// sender's previous announcement on this session (routers always attach
   /// it; only selective damping consults it).
   std::optional<RelPref> rel_pref;
+  /// Causal provenance (all-zero when tracing is off or the update is not
+  /// derived from a traced root cause). Stamped by the sender's `bgp.send`
+  /// span; the receiver closes it at delivery and parents its own activity
+  /// on it. Not a BGP attribute — pure observability freight.
+  obs::SpanContext span;
 
   static UpdateMessage announce(Prefix p, Route r,
                                 std::optional<rcn::RootCause> rc = {}) {

@@ -33,6 +33,7 @@ void BgpNetwork::transmit(net::NodeId from, net::NodeId to,
   if (state_it != link_state_.end() && !state_it->second.up) {
     ++dropped_;
     if (observer_) observer_->on_drop(from, to, msg, engine_.now());
+    if (spans_) spans_->close(msg.span, engine_.now().as_seconds());
     return;
   }
 
@@ -42,6 +43,7 @@ void BgpNetwork::transmit(net::NodeId from, net::NodeId to,
     if (p.drop) {
       ++dropped_;
       if (observer_) observer_->on_drop(from, to, msg, engine_.now());
+      if (spans_) spans_->close(msg.span, engine_.now().as_seconds());
       return;
     }
     extra = p.extra_delay_s;
@@ -61,18 +63,22 @@ void BgpNetwork::transmit(net::NodeId from, net::NodeId to,
   // Copy the message into the event: the sender's buffer may be reused. A
   // message from an earlier session incarnation is lost if the link flapped
   // while it was in flight.
-  engine_.schedule_at(when, [this, from, to, msg, epoch] {
-    const auto it = link_state_.find(undirected_key(from, to));
-    const bool alive =
-        it == link_state_.end() || (it->second.up && it->second.epoch == epoch);
-    if (!alive) {
-      ++dropped_;
-      if (observer_) observer_->on_drop(from, to, msg, engine_.now());
-      return;
-    }
-    ++delivered_;
-    routers_[to]->deliver(from, msg);
-  });
+  engine_.schedule_at(
+      when,
+      [this, from, to, msg, epoch] {
+        const auto it = link_state_.find(undirected_key(from, to));
+        const bool alive = it == link_state_.end() ||
+                           (it->second.up && it->second.epoch == epoch);
+        if (!alive) {
+          ++dropped_;
+          if (observer_) observer_->on_drop(from, to, msg, engine_.now());
+          if (spans_) spans_->close(msg.span, engine_.now().as_seconds());
+          return;
+        }
+        ++delivered_;
+        routers_[to]->deliver(from, msg);
+      },
+      sim::EventKind::kDelivery);
 }
 
 void BgpNetwork::set_link(net::NodeId u, net::NodeId v, bool up) {

@@ -62,6 +62,14 @@ class BgpNetwork {
   /// Not consulted for messages already in flight.
   void set_perturbation(PerturbFn fn) { perturb_ = std::move(fn); }
 
+  /// Attaches (or detaches) the causal span tracer: the network closes the
+  /// wire span of every update it drops, and every router gets the tracer
+  /// for its own span emission. Not owned.
+  void set_span_tracer(obs::SpanTracer* t) {
+    spans_ = t;
+    for (auto& r : routers_) r->set_span_tracer(t);
+  }
+
   /// True when every router's Loc-RIB holds a route for `p`.
   bool all_reachable(Prefix p) const;
   /// True when no router has a route for `p`.
@@ -79,6 +87,7 @@ class BgpNetwork {
   sim::Rng& rng_;
   const TimingConfig& cfg_;
   Observer* observer_ = nullptr;
+  obs::SpanTracer* spans_ = nullptr;
   std::vector<std::unique_ptr<BgpRouter>> routers_;
   // BGP sessions run over TCP: deliveries on a directed link must be FIFO.
   // Tracks the earliest time the next message on each link may arrive.

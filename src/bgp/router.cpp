@@ -85,6 +85,11 @@ void BgpRouter::deliver(net::NodeId from, const UpdateMessage& msg) {
   if (slot < 0) throw std::logic_error("BgpRouter: update from non-peer");
   if (observer_) observer_->on_deliver(from, id_, msg, engine_.now());
 
+  // Close the update's wire span at the delivery instant, then process under
+  // it as the active context so derived spans parent on this hop.
+  if (spans_) spans_->close(msg.span, engine_.now().as_seconds());
+  const obs::ActiveSpan span_guard(spans_, msg.span);
+
   // Import processing: AS-path loop detection turns the announcement into an
   // implicit withdrawal; surviving announcements get this router's import
   // preference.
@@ -252,6 +257,12 @@ void BgpRouter::clear_pending(OutEntry& oe) {
     engine_.cancel(oe.mrai_event);
     oe.mrai_event = sim::kInvalidEvent;
   }
+  if (spans_ && oe.mrai_span.valid()) {
+    // The deferral ended without a send (converged back / session churn).
+    spans_->close(oe.mrai_span, engine_.now().as_seconds());
+  }
+  oe.mrai_span = obs::SpanContext{};
+  oe.pending_parent = obs::SpanContext{};
   if (oe.has_pending) {
     oe.has_pending = false;
     oe.pending.reset();
@@ -283,6 +294,9 @@ void BgpRouter::enqueue(int slot, Prefix p, std::optional<Route> desired,
   }
   oe.pending = std::move(desired);
   oe.pending_rc = rc;
+  // The latest cause wins: a pending update overwritten by a newer decision
+  // is attributed to the newer decision's span.
+  if (spans_) oe.pending_parent = spans_->active();
   try_flush(slot, p);
 }
 
@@ -298,10 +312,18 @@ void BgpRouter::try_flush(int slot, Prefix p) {
   if (rate_limited && now < oe.mrai_ready) {
     if (oe.mrai_event == sim::kInvalidEvent) {
       if (metrics_) metrics_->mrai_deferrals->inc();
-      oe.mrai_event = engine_.schedule_at(oe.mrai_ready, [this, slot, p] {
-        out_entry(slot, p).mrai_event = sim::kInvalidEvent;
-        try_flush(slot, p);
-      });
+      if (spans_ && !oe.mrai_span.valid()) {
+        oe.mrai_span =
+            spans_->child(oe.pending_parent, "bgp.mrai_defer",
+                          now.as_seconds(), id_, peers_[slot].id, p);
+      }
+      oe.mrai_event = engine_.schedule_at(
+          oe.mrai_ready,
+          [this, slot, p] {
+            out_entry(slot, p).mrai_event = sim::kInvalidEvent;
+            try_flush(slot, p);
+          },
+          sim::EventKind::kMraiFlush);
     }
     return;
   }
@@ -328,6 +350,21 @@ void BgpRouter::try_flush(int slot, Prefix p) {
     } else {
       msg.rel_pref = RelPref::kEqual;
     }
+  }
+  if (spans_) {
+    if (oe.mrai_span.valid()) {
+      // The deferral interval ends where the send begins.
+      spans_->close(oe.mrai_span, now.as_seconds());
+    }
+    // The wire span: parent is the deferral when one happened, else the
+    // causing update directly. Closed by the receiver at delivery (or by the
+    // network on drop; the end-of-run sweep catches the rest).
+    const obs::SpanContext parent =
+        oe.mrai_span.valid() ? oe.mrai_span : oe.pending_parent;
+    msg.span = spans_->child(parent, "bgp.send", now.as_seconds(), id_,
+                             peers_[slot].id, p);
+    oe.mrai_span = obs::SpanContext{};
+    oe.pending_parent = obs::SpanContext{};
   }
   oe.last_sent = std::move(oe.pending);
   oe.pending.reset();

@@ -14,6 +14,7 @@
 #include "bgp/prefix.hpp"
 #include "net/types.hpp"
 #include "obs/metrics.hpp"
+#include "obs/span.hpp"
 #include "obs/trace.hpp"
 #include "rcn/root_cause.hpp"
 #include "sim/engine.hpp"
@@ -105,6 +106,12 @@ class BgpRouter {
   void set_metrics(obs::RouterMetrics* m) { metrics_ = m; }
   void set_trace(obs::TraceSink* t) { trace_ = t; }
 
+  /// Attaches (or detaches, with nullptr) the causal span tracer shared by
+  /// the whole simulation. While attached, delivered updates close their
+  /// wire span, processing runs under it as the active context, and every
+  /// emitted update / MRAI deferral mints a child span. Not owned.
+  void set_span_tracer(obs::SpanTracer* t) { spans_ = t; }
+
   /// Audit: pending-depth bookkeeping matches the RIB-OUT flags, and every
   /// scheduled MRAI wakeup has something to flush and a live engine event.
   /// Throws `obs::InvariantViolation` on breakage; always runs.
@@ -131,6 +138,11 @@ class BgpRouter {
     bool has_pending = false;
     sim::SimTime mrai_ready;         ///< earliest next rate-limited send
     sim::EventId mrai_event = sim::kInvalidEvent;
+    /// Span that caused the pending update (active context at enqueue time);
+    /// the eventual send (or deferral) parents on it.
+    obs::SpanContext pending_parent;
+    /// Open `bgp.mrai_defer` span while an MRAI wakeup is scheduled.
+    obs::SpanContext mrai_span;
   };
 
   RibInEntry& rib_in(int slot, Prefix p);
@@ -167,6 +179,7 @@ class BgpRouter {
   DampingHook* damper_ = nullptr;
   obs::RouterMetrics* metrics_ = nullptr;
   obs::TraceSink* trace_ = nullptr;
+  obs::SpanTracer* spans_ = nullptr;
 
   std::unordered_set<Prefix> originated_;
   /// Per-slot session state; all sessions start established.

@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <atomic>
 #include <cstdlib>
+#include <fstream>
 #include <iostream>
 #include <mutex>
 #include <stdexcept>
@@ -81,10 +82,16 @@ namespace {
 /// The process-global obs state behind `ObsScope` / `obs_runtime`.
 struct ObsState {
   std::atomic<bool> metrics{false};
+  std::atomic<bool> profile{false};
   std::atomic<std::uint64_t> trace_seq{0};
   std::atomic<std::uint64_t> runs{0};
-  std::mutex mu;                     // guards trace_base + per_run
+  std::mutex mu;  // guards trace_base, trace_format, profile_path, per_run
   std::optional<std::string> trace_base;
+  obs::TraceFormat trace_format = obs::TraceFormat::kJsonl;
+  std::optional<std::string> profile_path;
+  /// Merged engine profile. Folded eagerly: all fields are integer sums, so
+  /// the total is independent of worker completion order.
+  sim::EngineProfile profile_total;
   /// One registry per accumulated run, in completion order. Kept separate
   /// (instead of folding eagerly) so the merged view can be built in a
   /// deterministic order: float sums are not associative, and parallel
@@ -116,20 +123,89 @@ obs::Registry merged_locked(ObsState& s) {
   return total;
 }
 
+/// Extracts the value of `--name V` / `--name=V` at position `i` (advancing
+/// `i` past a separate value). Returns nullopt when `args[i]` is not this
+/// flag; an empty optional-of-empty-string is never produced — a missing
+/// value yields `missing = true`.
+std::optional<std::string> flag_value(const std::vector<std::string>& args,
+                                      std::size_t& i, const std::string& name,
+                                      bool& missing) {
+  const std::string& arg = args[i];
+  if (arg == "--" + name) {
+    if (i + 1 >= args.size()) {
+      missing = true;
+      return std::nullopt;
+    }
+    return args[++i];
+  }
+  const std::string prefix = "--" + name + "=";
+  if (arg.rfind(prefix, 0) == 0) return arg.substr(prefix.size());
+  return std::nullopt;
+}
+
 }  // namespace
 
+std::optional<std::string> validate_obs_args(
+    const std::vector<std::string>& args) {
+  bool have_trace = false;
+  bool have_format = false;
+  for (std::size_t i = 0; i < args.size(); ++i) {
+    bool missing = false;
+    if (auto v = flag_value(args, i, "trace", missing)) {
+      have_trace = true;
+      continue;
+    }
+    if (missing) return "missing value for --trace (expected a path or '-')";
+    if (auto v = flag_value(args, i, "trace-format", missing)) {
+      have_format = true;
+      if (!obs::parse_trace_format(*v)) {
+        return "invalid --trace-format '" + *v +
+               "' (expected 'jsonl' or 'chrome')";
+      }
+      continue;
+    }
+    if (missing) {
+      return "missing value for --trace-format (expected 'jsonl' or 'chrome')";
+    }
+    if (auto v = flag_value(args, i, "profile", missing)) continue;
+    if (missing) return "missing value for --profile (expected a path or '-')";
+  }
+  if (have_format && !have_trace) {
+    return "--trace-format requires --trace (nothing would be written)";
+  }
+  return std::nullopt;
+}
+
+std::optional<std::string> validate_obs_args(int argc,
+                                             const char* const* argv) {
+  std::vector<std::string> args;
+  args.reserve(static_cast<std::size_t>(argc > 0 ? argc - 1 : 0));
+  for (int i = 1; i < argc; ++i) args.emplace_back(argv[i]);
+  return validate_obs_args(args);
+}
+
 ObsScope::ObsScope(int argc, const char* const* argv) {
+  if (const auto err = validate_obs_args(argc, argv)) {
+    std::cerr << "error: " << *err << '\n';
+    std::exit(2);
+  }
   ObsState& s = obs_state();
-  for (int i = 1; i < argc; ++i) {
-    const std::string arg = argv[i];
-    if (arg == "--metrics") {
+  std::vector<std::string> args;
+  for (int i = 1; i < argc; ++i) args.emplace_back(argv[i]);
+  for (std::size_t i = 0; i < args.size(); ++i) {
+    bool missing = false;
+    if (args[i] == "--metrics") {
       s.metrics.store(true, std::memory_order_relaxed);
-    } else if (arg == "--trace" && i + 1 < argc) {
+    } else if (auto v = flag_value(args, i, "trace", missing)) {
       const std::lock_guard<std::mutex> lock(s.mu);
-      s.trace_base = argv[++i];
-    } else if (arg.rfind("--trace=", 0) == 0) {
+      s.trace_base = *v;
+    } else if (auto f = flag_value(args, i, "trace-format", missing)) {
       const std::lock_guard<std::mutex> lock(s.mu);
-      s.trace_base = arg.substr(8);
+      s.trace_format = *obs::parse_trace_format(*f);  // validated above
+    } else if (auto p = flag_value(args, i, "profile", missing)) {
+      const std::lock_guard<std::mutex> lock(s.mu);
+      s.profile_path = *p;
+      s.profile.store(true, std::memory_order_relaxed);
     }
   }
 }
@@ -142,9 +218,31 @@ ObsScope::~ObsScope() {
               << s.runs.load(std::memory_order_relaxed) << " runs)\n";
     merged_locked(s).write_summary(std::cout);
   }
+  if (s.profile.load(std::memory_order_relaxed)) {
+    const std::lock_guard<std::mutex> lock(s.mu);
+    // Counts only (no wall time): the artifact is a pure function of the
+    // event sequence, so repeated runs write byte-identical files.
+    if (s.profile_path && *s.profile_path != "-") {
+      std::ofstream out(*s.profile_path);
+      if (out) {
+        s.profile_total.write_json(out);
+        out << '\n';
+      } else {
+        std::cerr << "error: cannot write --profile file " << *s.profile_path
+                  << '\n';
+      }
+    } else {
+      s.profile_total.write_json(std::cout);
+      std::cout << '\n';
+    }
+  }
   s.metrics.store(false, std::memory_order_relaxed);
+  s.profile.store(false, std::memory_order_relaxed);
   const std::lock_guard<std::mutex> lock(s.mu);
   s.trace_base.reset();
+  s.trace_format = obs::TraceFormat::kJsonl;
+  s.profile_path.reset();
+  s.profile_total = sim::EngineProfile{};
   s.per_run.clear();
   s.trace_seq.store(0, std::memory_order_relaxed);
   s.runs.store(0, std::memory_order_relaxed);
@@ -157,6 +255,21 @@ bool ObsScope::metrics_enabled() const {
 std::optional<std::string> ObsScope::trace_base() const {
   const std::lock_guard<std::mutex> lock(obs_state().mu);
   return obs_state().trace_base;
+}
+
+obs::TraceFormat ObsScope::trace_format() const {
+  const std::lock_guard<std::mutex> lock(obs_state().mu);
+  return obs_state().trace_format;
+}
+
+std::optional<std::string> ObsScope::profile_path() const {
+  const std::lock_guard<std::mutex> lock(obs_state().mu);
+  return obs_state().profile_path;
+}
+
+sim::EngineProfile ObsScope::profile_snapshot() const {
+  const std::lock_guard<std::mutex> lock(obs_state().mu);
+  return obs_state().profile_total;
 }
 
 obs::Registry ObsScope::snapshot() const {
@@ -173,14 +286,26 @@ bool metrics_enabled() {
 std::optional<std::string> next_trace_path() {
   ObsState& s = obs_state();
   std::optional<std::string> base;
+  obs::TraceFormat format = obs::TraceFormat::kJsonl;
   {
     const std::lock_guard<std::mutex> lock(s.mu);
     base = s.trace_base;
+    format = s.trace_format;
   }
   if (!base) return std::nullopt;
   if (*base == "-") return base;  // stream every run to stdout
   const std::uint64_t n = s.trace_seq.fetch_add(1, std::memory_order_relaxed);
-  return *base + ".r" + std::to_string(n) + ".jsonl";
+  const char* ext = format == obs::TraceFormat::kChrome ? ".json" : ".jsonl";
+  return *base + ".r" + std::to_string(n) + ext;
+}
+
+obs::TraceFormat trace_format() {
+  const std::lock_guard<std::mutex> lock(obs_state().mu);
+  return obs_state().trace_format;
+}
+
+bool profile_enabled() {
+  return obs_state().profile.load(std::memory_order_relaxed);
 }
 
 void accumulate(const obs::Registry& r) {
@@ -188,6 +313,12 @@ void accumulate(const obs::Registry& r) {
   s.runs.fetch_add(1, std::memory_order_relaxed);
   const std::lock_guard<std::mutex> lock(s.mu);
   s.per_run.push_back(r);
+}
+
+void accumulate_profile(const sim::EngineProfile& p) {
+  ObsState& s = obs_state();
+  const std::lock_guard<std::mutex> lock(s.mu);
+  s.profile_total.merge(p);
 }
 
 }  // namespace obs_runtime

@@ -8,6 +8,8 @@
 #include <vector>
 
 #include "obs/metrics.hpp"
+#include "obs/trace.hpp"
+#include "sim/profile.hpp"
 
 namespace rfdnet::core {
 
@@ -43,16 +45,33 @@ class ArgParser {
   std::string error_;
 };
 
+/// Validates the observability flags in argv without consuming them:
+/// `--trace PATH`, `--trace-format jsonl|chrome` and `--profile PATH` must
+/// each carry a value, the format must parse, and `--trace-format` without
+/// `--trace` is rejected (it would silently do nothing). Returns the error
+/// message, or nullopt when the combination is valid. `ObsScope` calls this
+/// up front so a bad flag fails fast instead of after a long run.
+std::optional<std::string> validate_obs_args(
+    const std::vector<std::string>& args);
+std::optional<std::string> validate_obs_args(int argc,
+                                             const char* const* argv);
+
 /// Process-wide observability switches for the bench/tool binaries.
 ///
-/// Construct one at the top of `main`; it scans argv for `--metrics` and
-/// `--trace PATH` (or `--trace=PATH`), leaving unrelated flags untouched —
-/// the same contract as `ParallelRunner::configure_from_args`. While the
-/// scope is alive, every `run_experiment` in the process collects obs
-/// metrics into a shared accumulator (merge is commutative, so the totals do
-/// not depend on worker completion order) and, with `--trace`, writes one
-/// JSONL file per run ("<PATH>.r<N>.jsonl"; PATH "-" streams to stdout).
-/// On destruction the merged metrics block is printed to stdout.
+/// Construct one at the top of `main`; it scans argv for `--metrics`,
+/// `--trace PATH`, `--trace-format jsonl|chrome` and `--profile PATH` (all
+/// valued flags also accept `--flag=value`), leaving unrelated flags
+/// untouched — the same contract as `ParallelRunner::configure_from_args`.
+/// While the scope is alive, every `run_experiment` in the process collects
+/// obs metrics into a shared accumulator (merge is commutative, so the
+/// totals do not depend on worker completion order) and, with `--trace`,
+/// writes one trace file per run ("<PATH>.r<N>.jsonl", or ".r<N>.json" in
+/// chrome format; PATH "-" streams to stdout). `--profile` accumulates the
+/// per-event-kind engine dispatch profile of every run and writes the merged
+/// counts as one JSON object to PATH ("-" = stdout) when the scope closes —
+/// counts only, so the artifact is byte-deterministic. On destruction the
+/// merged metrics block is printed to stdout. Invalid flag combinations
+/// (see `validate_obs_args`) print an error to stderr and exit(2).
 ///
 /// Sweeps and tests that need *deterministic* per-trial artifacts set
 /// `ExperimentConfig::collect_metrics` / `trace_path` explicitly instead;
@@ -68,8 +87,14 @@ class ObsScope {
   bool metrics_enabled() const;
   /// Base path given to `--trace`, if any.
   std::optional<std::string> trace_base() const;
+  /// Format selected with `--trace-format` (default jsonl).
+  obs::TraceFormat trace_format() const;
+  /// Path given to `--profile`, if any.
+  std::optional<std::string> profile_path() const;
   /// Merged metrics accumulated so far.
   obs::Registry snapshot() const;
+  /// Merged engine profile accumulated so far.
+  sim::EngineProfile profile_snapshot() const;
 };
 
 /// Hooks `run_experiment` uses to honor a live `ObsScope`. All thread-safe.
@@ -78,8 +103,15 @@ namespace obs_runtime {
 bool metrics_enabled();
 /// Next run-numbered trace path, or nullopt when `--trace` is off.
 std::optional<std::string> next_trace_path();
+/// Trace format selected by a live scope (jsonl when none is).
+obs::TraceFormat trace_format();
+/// Whether a live scope turned on `--profile`.
+bool profile_enabled();
 /// Folds one run's metrics into the process accumulator.
 void accumulate(const obs::Registry& r);
+/// Folds one run's engine profile into the process accumulator (integer
+/// addition — commutative, so worker completion order cannot matter).
+void accumulate_profile(const sim::EngineProfile& p);
 }  // namespace obs_runtime
 
 }  // namespace rfdnet::core

@@ -6,11 +6,16 @@
 
 #include <iostream>
 
+#include <fstream>
+
 #include "bgp/network.hpp"
 #include "bgp/policy.hpp"
 #include "core/cli.hpp"
 #include "fault/injector.hpp"
+#include "obs/chrome_trace.hpp"
 #include "obs/invariant.hpp"
+#include "obs/phase_timeline.hpp"
+#include "obs/span.hpp"
 #include "obs/trace.hpp"
 #include "rcn/root_cause.hpp"
 #include "rfd/damping.hpp"
@@ -133,17 +138,38 @@ ExperimentResult run_experiment(const ExperimentConfig& cfg) {
   const bool collect_metrics = cfg.collect_metrics || global_metrics;
   const std::optional<std::string> trace_path =
       cfg.trace_path ? cfg.trace_path : obs_runtime::next_trace_path();
+  const obs::TraceFormat trace_format =
+      cfg.trace_path ? cfg.trace_format : obs_runtime::trace_format();
   if (collect_metrics) {
     engine_metrics = obs::EngineMetrics::bind(registry);
     router_metrics = obs::RouterMetrics::bind(registry);
     damping_metrics = obs::DampingMetrics::bind(registry);
     engine.set_metrics(&engine_metrics);
   }
-  if (trace_path) {
+  // A chrome-format trace is written whole at the end of the run (it is one
+  // JSON object, not an event log), so no JSONL sink is attached for it.
+  if (trace_path && trace_format == obs::TraceFormat::kJsonl) {
     trace = (*trace_path == "-") ? std::make_unique<obs::TraceSink>(std::cout)
                                  : std::make_unique<obs::TraceSink>(*trace_path);
     engine.set_trace(trace.get());
   }
+
+  // Causal tracing: one span tracer + phase-timeline recorder per run,
+  // shared by every layer, whenever any trace artifact (or the in-memory
+  // span collection) was requested.
+  const bool tracing = trace_path.has_value() || cfg.collect_spans;
+  std::unique_ptr<obs::SpanTracer> spans;
+  std::unique_ptr<obs::PhaseTimeline> timeline;
+  if (tracing) {
+    spans = std::make_unique<obs::SpanTracer>();
+    timeline = std::make_unique<obs::PhaseTimeline>();
+  }
+
+  // Engine dispatch profile: counts per event kind (plus handler wall time,
+  // which never reaches a deterministic artifact).
+  sim::EngineProfile profile;
+  const bool profiling = cfg.profile || obs_runtime::profile_enabled();
+  if (profiling) engine.set_profile(&profile);
 
   // Probe: a router `probe_distance` hops from the origin (Fig. 7 uses 7),
   // capped at the graph's reach; deterministic pick (smallest id).
@@ -165,6 +191,7 @@ ExperimentResult run_experiment(const ExperimentConfig& cfg) {
   recorder.record_update_log(cfg.record_update_log);
 
   bgp::BgpNetwork network(graph, cfg.timing, *policy, engine, rng, &recorder);
+  if (spans) network.set_span_tracer(spans.get());
   for (net::NodeId u = 0; u < graph.node_count(); ++u) {
     if (collect_metrics) network.router(u).set_metrics(&router_metrics);
     if (trace) network.router(u).set_trace(trace.get());
@@ -193,6 +220,8 @@ ExperimentResult run_experiment(const ExperimentConfig& cfg) {
       if (cfg.selective) mod->enable_selective();
       if (collect_metrics) mod->set_metrics(&damping_metrics);
       if (trace) mod->set_trace(trace.get());
+      if (spans) mod->set_span_tracer(spans.get());
+      if (timeline) mod->set_phase_timeline(timeline.get());
       r.set_damping(mod.get());
       dampers.push_back(std::move(mod));
     }
@@ -216,6 +245,7 @@ ExperimentResult run_experiment(const ExperimentConfig& cfg) {
   // leave penalties behind.
   for (auto& d : dampers) d->reset();
   recorder.reset();
+  if (timeline) timeline->reset();
 
   // --- Flap workload (Fig. 1): n pulses of withdraw + re-announce. ---
   const sim::SimTime t0 = engine.now();
@@ -242,6 +272,7 @@ ExperimentResult run_experiment(const ExperimentConfig& cfg) {
       injector->set_metrics(&fault_metrics);
     }
     if (trace) injector->set_trace(trace.get());
+    if (spans) injector->set_span_tracer(spans.get());
     injector->arm(fault_schedule, t0);
     res.fault_stop_s = fault_schedule.stop_time_s();
   }
@@ -271,27 +302,67 @@ ExperimentResult run_experiment(const ExperimentConfig& cfg) {
     }
     res.flap_schedule.emplace_back(event_t, k % 2 == 0);
   }
+  // Each scheduled flap instant is a causal root: the withdrawal or
+  // announcement it injects (and everything derived from it, hop by hop)
+  // lives in the trace this root mints.
+  obs::SpanTracer* const sp = spans.get();
   for (const auto& [when_s, is_withdrawal] : res.flap_schedule) {
     const sim::SimTime when = t0 + sim::Duration::seconds(when_s);
     if (cfg.flap_mode == ExperimentConfig::FlapMode::kOriginUpdates) {
       if (is_withdrawal) {
-        engine.schedule_at(when, [&origin_router, &rc_source] {
-          origin_router.withdraw_origin(kPrefix, rc_source.next(false));
-        });
+        engine.schedule_at(
+            when,
+            [&origin_router, &rc_source, &engine, sp, origin, isp] {
+              obs::SpanContext root;
+              if (sp) {
+                root = sp->root("flap.withdraw", engine.now().as_seconds(),
+                                origin, isp, kPrefix);
+              }
+              const obs::ActiveSpan guard(sp, root);
+              origin_router.withdraw_origin(kPrefix, rc_source.next(false));
+            },
+            sim::EventKind::kFlap);
       } else {
-        engine.schedule_at(when, [&origin_router, &rc_source] {
-          origin_router.originate(kPrefix, rc_source.next(true));
-        });
+        engine.schedule_at(
+            when,
+            [&origin_router, &rc_source, &engine, sp, origin, isp] {
+              obs::SpanContext root;
+              if (sp) {
+                root = sp->root("flap.announce", engine.now().as_seconds(),
+                                origin, isp, kPrefix);
+              }
+              const obs::ActiveSpan guard(sp, root);
+              origin_router.originate(kPrefix, rc_source.next(true));
+            },
+            sim::EventKind::kFlap);
       }
     } else {
       if (is_withdrawal) {
-        engine.schedule_at(when, [&network, flap_u, flap_v] {
-          network.set_link(flap_u, flap_v, false);
-        });
+        engine.schedule_at(
+            when,
+            [&network, &engine, sp, flap_u, flap_v] {
+              obs::SpanContext root;
+              if (sp) {
+                root = sp->root("flap.link-down", engine.now().as_seconds(),
+                                flap_u, flap_v, kPrefix);
+              }
+              const obs::ActiveSpan guard(sp, root);
+              network.set_link(flap_u, flap_v, false);
+            },
+            sim::EventKind::kFlap);
       } else {
-        engine.schedule_at(when, [&network, flap_u, flap_v] {
-          network.set_link(flap_u, flap_v, true);
-        });
+        engine.schedule_at(
+            when,
+            [&network, &engine, sp, flap_u, flap_v] {
+              obs::SpanContext root;
+              if (sp) {
+                root = sp->root("flap.link-up", engine.now().as_seconds(),
+                                flap_u, flap_v, kPrefix);
+              }
+              const obs::ActiveSpan guard(sp, root);
+              network.set_link(flap_u, flap_v, true);
+            },
+            sim::EventKind::kFlap);
       }
     }
   }
@@ -311,10 +382,6 @@ ExperimentResult run_experiment(const ExperimentConfig& cfg) {
     for (const auto& d : dampers) d->check_invariants();
     if (injector) injector->check_invariants();
   }
-  if (global_metrics) obs_runtime::accumulate(registry);
-  if (cfg.collect_metrics) res.metrics = std::move(registry);
-  if (trace) trace->flush();
-
   // --- Collect, re-basing every time on t0. ---
   res.message_count = recorder.delivered_count();
   res.dropped_count = recorder.dropped_count();
@@ -407,6 +474,81 @@ ExperimentResult run_experiment(const ExperimentConfig& cfg) {
     pin.reuse_fires.emplace_back(std::max(0.0, e.t_s - base_s), e.noisy);
   }
   res.phases = stats::classify_phases(pin);
+
+  // --- Causal spans and phase timelines (re-based like everything else). ---
+  if (spans) {
+    // Sweep suppressions that never reused and updates still in flight at
+    // the horizon; then re-base onto the first flap.
+    spans->close_open(engine.now().as_seconds());
+    res.spans.reserve(spans->size());
+    for (obs::SpanRecord r : spans->records()) {
+      r.t0_s = std::max(0.0, r.t0_s - base_s);
+      r.t1_s = std::max(r.t0_s, r.t1_s - base_s);
+      res.spans.push_back(r);
+    }
+  }
+  if (timeline) {
+    // Close every entry's timeline at the network-level converged instant,
+    // so the per-entry view and the global phase classifier agree on when
+    // the run ended.
+    const double end_s =
+        base_s +
+        (res.phases.empty() ? res.last_activity_s : res.phases.back().t0_s);
+    res.phase_timeline = timeline->finalize(end_s);
+    for (obs::PhaseInterval& iv : res.phase_timeline) {
+      iv.t0_s = std::max(0.0, iv.t0_s - base_s);
+      iv.t1_s = std::max(iv.t0_s, iv.t1_s - base_s);
+    }
+    // Aggregate phase occupancy: how long entries spend charging /
+    // suppressed / releasing across the run.
+    if (collect_metrics && !res.phase_timeline.empty()) {
+      obs::PhaseMetrics pm = obs::PhaseMetrics::bind(registry);
+      for (const obs::PhaseInterval& iv : res.phase_timeline) {
+        pm.intervals->inc();
+        switch (iv.phase) {
+          case obs::EntryPhase::kCharging:
+            pm.charging->observe(iv.duration());
+            break;
+          case obs::EntryPhase::kSuppression:
+            pm.suppression->observe(iv.duration());
+            break;
+          case obs::EntryPhase::kReleasing:
+            pm.releasing->observe(iv.duration());
+            break;
+          case obs::EntryPhase::kConverged:
+            break;
+        }
+      }
+    }
+  }
+  if (profiling) res.profile = profile;
+
+  // --- Emit the artifacts. ---
+  if (global_metrics) obs_runtime::accumulate(registry);
+  if (obs_runtime::profile_enabled()) obs_runtime::accumulate_profile(profile);
+  if (cfg.collect_metrics) res.metrics = std::move(registry);
+  if (trace) {
+    // JSONL: append the causal tree and the phase intervals to the event
+    // log, already re-based so they line up with the figures.
+    for (const obs::SpanRecord& r : res.spans) {
+      trace->span(r.trace_id, r.span_id, r.parent_span_id, r.kind, r.t0_s,
+                  r.t1_s, r.node, r.peer, r.prefix);
+    }
+    for (const obs::PhaseInterval& iv : res.phase_timeline) {
+      trace->phase(iv.node, iv.peer, iv.prefix, to_string(iv.phase).c_str(),
+                   iv.t0_s, iv.t1_s);
+    }
+    trace->flush();
+  } else if (trace_path && trace_format == obs::TraceFormat::kChrome) {
+    // Chrome format is one JSON document, written whole once the run is
+    // complete.
+    if (*trace_path == "-") {
+      obs::write_chrome_trace(std::cout, res.spans, res.phase_timeline);
+    } else {
+      std::ofstream out(*trace_path);
+      if (out) obs::write_chrome_trace(out, res.spans, res.phase_timeline);
+    }
+  }
 
   return res;
 }

@@ -10,8 +10,12 @@
 #include "net/graph.hpp"
 #include "net/topology.hpp"
 #include "obs/metrics.hpp"
+#include "obs/phase_timeline.hpp"
+#include "obs/span.hpp"
+#include "obs/trace.hpp"
 #include "rcn/root_cause.hpp"
 #include "rfd/params.hpp"
+#include "sim/profile.hpp"
 #include "sim/random.hpp"
 #include "stats/phase.hpp"
 #include "stats/time_series.hpp"
@@ -130,9 +134,20 @@ struct ExperimentConfig {
   /// Collect obs metrics (engine, BGP, damping) into
   /// `ExperimentResult::metrics`; off by default (zero hot-path cost).
   bool collect_metrics = false;
-  /// Write a JSONL trace (see `obs::TraceSink` for the schema) to this
-  /// path; sweeps derive per-trial names from it (".p<pulses>.s<seed>").
+  /// Write a trace to this path (format per `trace_format`); sweeps derive
+  /// per-trial names from it (".p<pulses>.s<seed>").
   std::optional<std::string> trace_path;
+  /// On-disk format for `trace_path`: the JSONL event log (default) or a
+  /// Chrome trace-event / Perfetto JSON of the causal spans and
+  /// damping-phase timelines.
+  obs::TraceFormat trace_format = obs::TraceFormat::kJsonl;
+  /// Collect causal spans and phase timelines into the result even without
+  /// a trace file (tests, programmatic consumers). Tracing is also enabled
+  /// implicitly whenever `trace_path` is set.
+  bool collect_spans = false;
+  /// Collect the per-event-kind engine dispatch profile into
+  /// `ExperimentResult::profile`; off by default (zero hot-path cost).
+  bool profile = false;
 };
 
 /// Everything the figures/tables consume, with all times re-based so that
@@ -220,6 +235,16 @@ struct ExperimentResult {
   /// Obs metrics for the whole run (warm-up included); empty unless
   /// `ExperimentConfig::collect_metrics` was set.
   obs::Registry metrics;
+
+  /// Causal spans of the measured phase (re-based, closed), in span-id
+  /// order; empty unless tracing was on (`collect_spans` or `trace_path`).
+  std::vector<obs::SpanRecord> spans;
+  /// Per-(node, peer, prefix) damping-phase timelines (re-based, tiling
+  /// [0, converged]); empty unless tracing was on.
+  std::vector<obs::PhaseInterval> phase_timeline;
+  /// Engine dispatch profile for the whole run (warm-up included); all-zero
+  /// unless `ExperimentConfig::profile` was set.
+  sim::EngineProfile profile;
 };
 
 /// Builds the network, warms it up, applies the flap workload and collects

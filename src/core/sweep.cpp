@@ -20,7 +20,8 @@ T median(std::vector<T> v) {
 /// canonical order; a configured trace path gets a per-trial suffix so
 /// concurrent trials never share a file.
 SweepPoint run_trial(const ExperimentConfig& base, std::uint64_t seed,
-                     int pulses, obs::Registry* metrics_out = nullptr) {
+                     int pulses, obs::Registry* metrics_out = nullptr,
+                     sim::EngineProfile* profile_out = nullptr) {
   ExperimentConfig cfg = base;
   cfg.seed = seed;
   cfg.pulses = pulses;
@@ -30,6 +31,7 @@ SweepPoint run_trial(const ExperimentConfig& base, std::uint64_t seed,
   }
   ExperimentResult res = run_experiment(cfg);
   if (metrics_out) *metrics_out = std::move(res.metrics);
+  if (profile_out) *profile_out = res.profile;
 
   SweepPoint pt;
   pt.pulses = pulses;
@@ -54,14 +56,17 @@ SweepResult run_pulse_sweep(const ExperimentConfig& base, int max_pulses,
   SweepResult out;
   out.points.resize(static_cast<std::size_t>(std::max(0, max_pulses)));
   std::vector<obs::Registry> trial_metrics(out.points.size());
+  std::vector<sim::EngineProfile> trial_profiles(out.points.size());
   ParallelRunner& pool = runner ? *runner : ParallelRunner::shared();
   pool.for_each(out.points.size(), [&](std::size_t i) {
     out.points[i] = run_trial(base, base.seed, static_cast<int>(i) + 1,
-                              base.collect_metrics ? &trial_metrics[i] : nullptr);
+                              base.collect_metrics ? &trial_metrics[i] : nullptr,
+                              base.profile ? &trial_profiles[i] : nullptr);
   });
   // Canonical merge order (ascending pulse count): identical result for any
   // worker schedule.
   for (const auto& m : trial_metrics) out.metrics.merge(m);
+  for (const auto& p : trial_profiles) out.profile.merge(p);
   return out;
 }
 
@@ -77,6 +82,7 @@ SweepResult run_pulse_sweep_median(const ExperimentConfig& base,
   std::vector<SweepResult> runs(n_seeds);
   for (auto& run : runs) run.points.resize(n_pulses);
   std::vector<obs::Registry> trial_metrics(n_seeds * n_pulses);
+  std::vector<sim::EngineProfile> trial_profiles(n_seeds * n_pulses);
   ParallelRunner& pool = runner ? *runner : ParallelRunner::shared();
   pool.for_each(n_seeds * n_pulses, [&](std::size_t t) {
     const std::size_t s = t / n_pulses;
@@ -84,7 +90,8 @@ SweepResult run_pulse_sweep_median(const ExperimentConfig& base,
     runs[s].points[i] = run_trial(
         base, base.seed + static_cast<std::uint64_t>(s),
         static_cast<int>(i) + 1,
-        base.collect_metrics ? &trial_metrics[t] : nullptr);
+        base.collect_metrics ? &trial_metrics[t] : nullptr,
+        base.profile ? &trial_profiles[t] : nullptr);
   });
 
   SweepResult out;
@@ -92,6 +99,7 @@ SweepResult run_pulse_sweep_median(const ExperimentConfig& base,
   for (std::size_t i = 0; i < n_pulses; ++i) {
     for (std::size_t s = 0; s < n_seeds; ++s) {
       out.metrics.merge(trial_metrics[s * n_pulses + i]);
+      out.profile.merge(trial_profiles[s * n_pulses + i]);
     }
   }
   for (int n = 1; n <= max_pulses; ++n) {
@@ -133,6 +141,7 @@ FaultSweepResult run_fault_storm_sweep(const ExperimentConfig& base,
   struct Trial {
     ExperimentResult res;
     obs::Registry metrics;
+    sim::EngineProfile profile;
   };
   std::vector<Trial> trials(n_rates * n_seeds);
   ParallelRunner& pool = runner ? *runner : ParallelRunner::shared();
@@ -150,11 +159,15 @@ FaultSweepResult run_fault_storm_sweep(const ExperimentConfig& base,
     if (base.collect_metrics) {
       trials[t].metrics = std::move(trials[t].res.metrics);
     }
+    if (base.profile) trials[t].profile = trials[t].res.profile;
   });
 
   FaultSweepResult out;
   // Canonical (rate, seed) merge order regardless of completion order.
-  for (const auto& t : trials) out.metrics.merge(t.metrics);
+  for (const auto& t : trials) {
+    out.metrics.merge(t.metrics);
+    out.profile.merge(t.profile);
+  }
   for (std::size_t i = 0; i < n_rates; ++i) {
     std::vector<double> conv, share;
     std::vector<std::uint64_t> msgs, faults, dropped;

@@ -25,6 +25,9 @@ struct SweepResult {
   /// order regardless of worker completion order; empty unless the base
   /// config set `collect_metrics`.
   obs::Registry metrics;
+  /// Sum of the per-trial engine dispatch profiles (integer counts —
+  /// commutative merge); all-zero unless the base config set `profile`.
+  sim::EngineProfile profile;
 };
 
 /// Runs `base` for pulses = 1..max_pulses (same seed/topology per point) and
@@ -66,6 +69,9 @@ struct FaultSweepResult {
   std::vector<FaultSweepPoint> points;
   /// Union of per-trial metrics, merged in canonical (rate, seed) order.
   obs::Registry metrics;
+  /// Sum of per-trial engine dispatch profiles; all-zero unless the base
+  /// config set `profile`.
+  sim::EngineProfile profile;
 };
 
 /// Runs `base` (which must carry a storm-based `faults` plan) at each fault

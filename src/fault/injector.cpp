@@ -7,6 +7,30 @@
 
 namespace rfdnet::fault {
 
+namespace {
+
+/// Span-kind literal per fault kind (span records keep the pointer, so it
+/// must be a string literal, not `to_string(...).c_str()`).
+const char* span_kind(FaultKind k) {
+  switch (k) {
+    case FaultKind::kLinkDown:
+      return "fault.link-down";
+    case FaultKind::kLinkUp:
+      return "fault.link-up";
+    case FaultKind::kLinkFlap:
+      return "fault.link-flap";
+    case FaultKind::kSessionReset:
+      return "fault.session-reset";
+    case FaultKind::kRouterRestart:
+      return "fault.restart";
+    case FaultKind::kPerturb:
+      return "fault.perturb";
+  }
+  return "fault";
+}
+
+}  // namespace
+
 FaultInjector::FaultInjector(bgp::BgpNetwork& network, sim::Engine& engine,
                              sim::Rng rng)
     : network_(network), engine_(engine), rng_(rng) {}
@@ -71,7 +95,8 @@ void FaultInjector::arm(const FaultSchedule& sched, sim::SimTime origin) {
 }
 
 void FaultInjector::schedule(sim::SimTime when, std::function<void()> fn) {
-  pending_.push_back(engine_.schedule_at(when, std::move(fn)));
+  pending_.push_back(
+      engine_.schedule_at(when, std::move(fn), sim::EventKind::kFault));
 }
 
 void FaultInjector::trace_inject(const char* kind, net::NodeId u, net::NodeId v) {
@@ -83,6 +108,14 @@ void FaultInjector::apply(const FaultEvent& ev) {
   if (metrics_ && metrics_->injected) metrics_->injected->inc();
   trace_inject(to_string(ev.kind).c_str(), ev.u,
                ev.kind == FaultKind::kRouterRestart ? ev.u : ev.v);
+  // Every applied fault is a causal root: the session churn it triggers
+  // below runs under it, so derived updates parent on this span.
+  obs::SpanContext root;
+  if (spans_) {
+    root = spans_->root(span_kind(ev.kind), engine_.now().as_seconds(), ev.u,
+                        ev.kind == FaultKind::kRouterRestart ? ev.u : ev.v, 0);
+  }
+  const obs::ActiveSpan span_guard(spans_, root);
   switch (ev.kind) {
     case FaultKind::kLinkDown:
       hold_link(ev.u, ev.v);
@@ -95,8 +128,15 @@ void FaultInjector::apply(const FaultEvent& ev) {
       hold_link(ev.u, ev.v);
       const net::NodeId u = ev.u, v = ev.v;
       schedule(engine_.now() + sim::Duration::seconds(ev.duration_s),
-               [this, u, v] {
+               [this, u, v, root] {
                  trace_inject("link-up", u, v);
+                 obs::SpanContext rel;
+                 if (spans_) {
+                   rel = spans_->child_instant(root, "fault.release",
+                                               engine_.now().as_seconds(), u,
+                                               v, 0);
+                 }
+                 const obs::ActiveSpan guard(spans_, rel);
                  release_link(u, v);
                });
       break;
@@ -113,8 +153,15 @@ void FaultInjector::apply(const FaultEvent& ev) {
       if (bgp::DampingHook* d = network_.router(u).damping()) d->reset();
       if (metrics_ && metrics_->restarts) metrics_->restarts->inc();
       schedule(engine_.now() + sim::Duration::seconds(ev.duration_s),
-               [this, u] {
+               [this, u, root] {
                  trace_inject("restart-up", u, u);
+                 obs::SpanContext rel;
+                 if (spans_) {
+                   rel = spans_->child_instant(root, "fault.release",
+                                               engine_.now().as_seconds(), u,
+                                               u, 0);
+                 }
+                 const obs::ActiveSpan guard(spans_, rel);
                  for (const auto& e : network_.graph().neighbors(u)) {
                    release_link(u, e.neighbor);
                  }

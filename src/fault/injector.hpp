@@ -7,6 +7,7 @@
 #include "bgp/network.hpp"
 #include "fault/schedule.hpp"
 #include "obs/metrics.hpp"
+#include "obs/span.hpp"
 #include "obs/trace.hpp"
 #include "sim/engine.hpp"
 #include "sim/random.hpp"
@@ -66,6 +67,11 @@ class FaultInjector {
   void set_metrics(obs::FaultMetrics* m);
   void set_trace(obs::TraceSink* t) { trace_ = t; }
 
+  /// Attaches (or detaches) the causal span tracer: every applied fault
+  /// mints a root span, and the updates the fault triggers (session churn,
+  /// re-advertisements) parent on it. Not owned.
+  void set_span_tracer(obs::SpanTracer* t) { spans_ = t; }
+
   /// Audit: every hold count is positive, the held-links gauge matches, and
   /// any outstanding hold or open perturbation window has a live release
   /// event still pending (nothing the injector took down can be stranded
@@ -98,6 +104,7 @@ class FaultInjector {
   sim::Rng rng_;
   obs::FaultMetrics* metrics_ = nullptr;
   obs::TraceSink* trace_ = nullptr;
+  obs::SpanTracer* spans_ = nullptr;
 
   bool armed_ = false;
   std::vector<sim::EventId> pending_;              ///< all scheduled fault events

@@ -1,0 +1,94 @@
+#include "obs/chrome_trace.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+#include <map>
+#include <ostream>
+#include <set>
+#include <utility>
+
+namespace rfdnet::obs {
+
+namespace {
+
+long long micros(double t_s) {
+  return static_cast<long long>(std::llround(t_s * 1e6));
+}
+
+void emit(std::ostream& os, bool& first, const char* buf) {
+  if (!first) os << ",\n";
+  first = false;
+  os << buf;
+}
+
+}  // namespace
+
+void write_chrome_trace(std::ostream& os, const std::vector<SpanRecord>& spans,
+                        const std::vector<PhaseInterval>& phases) {
+  // Track assignment: tid 0 = causal spans; phase timelines get one tid per
+  // distinct (peer, prefix) pair of the node, in sorted order.
+  std::set<std::uint32_t> pids;
+  std::map<std::pair<std::uint32_t, std::uint32_t>, int> track_of;  // per run
+  std::set<std::pair<std::uint32_t, std::uint32_t>> tracks;         // sorted
+  for (const SpanRecord& s : spans) pids.insert(s.node);
+  for (const PhaseInterval& p : phases) {
+    pids.insert(p.node);
+    tracks.insert({p.peer, p.prefix});
+  }
+  int next_track = 1;
+  for (const auto& t : tracks) track_of[t] = next_track++;
+
+  os << "{\"displayTimeUnit\":\"ms\",\"traceEvents\":[\n";
+  bool first = true;
+  char buf[320];
+
+  for (const std::uint32_t pid : pids) {
+    std::snprintf(buf, sizeof(buf),
+                  "{\"ph\":\"M\",\"pid\":%u,\"tid\":0,\"name\":"
+                  "\"process_name\",\"args\":{\"name\":\"router %u\"}}",
+                  pid, pid);
+    emit(os, first, buf);
+    std::snprintf(buf, sizeof(buf),
+                  "{\"ph\":\"M\",\"pid\":%u,\"tid\":0,\"name\":"
+                  "\"thread_name\",\"args\":{\"name\":\"causal spans\"}}",
+                  pid);
+    emit(os, first, buf);
+    for (const auto& [track, tid] : track_of) {
+      std::snprintf(buf, sizeof(buf),
+                    "{\"ph\":\"M\",\"pid\":%u,\"tid\":%d,\"name\":"
+                    "\"thread_name\",\"args\":{\"name\":"
+                    "\"phase peer %u prefix %u\"}}",
+                    pid, tid, track.first, track.second);
+      emit(os, first, buf);
+    }
+  }
+
+  for (const SpanRecord& s : spans) {
+    const long long t0 = micros(s.t0_s);
+    const long long dur = s.open() ? 0 : micros(s.t1_s) - t0;
+    std::snprintf(buf, sizeof(buf),
+                  "{\"ph\":\"X\",\"pid\":%u,\"tid\":0,\"ts\":%lld,"
+                  "\"dur\":%lld,\"name\":\"%s\",\"args\":{\"trace\":%u,"
+                  "\"span\":%u,\"parent\":%u,\"peer\":%u,\"prefix\":%u}}",
+                  s.node, t0, dur, s.kind, s.trace_id, s.span_id,
+                  s.parent_span_id, s.peer, s.prefix);
+    emit(os, first, buf);
+  }
+
+  for (const PhaseInterval& p : phases) {
+    const long long t0 = micros(p.t0_s);
+    const long long dur = micros(p.t1_s) - t0;
+    std::snprintf(buf, sizeof(buf),
+                  "{\"ph\":\"X\",\"pid\":%u,\"tid\":%d,\"ts\":%lld,"
+                  "\"dur\":%lld,\"name\":\"%s\",\"args\":{\"peer\":%u,"
+                  "\"prefix\":%u}}",
+                  p.node, track_of.at({p.peer, p.prefix}), t0, dur,
+                  to_string(p.phase).c_str(), p.peer, p.prefix);
+    emit(os, first, buf);
+  }
+
+  os << "\n]}\n";
+}
+
+}  // namespace rfdnet::obs

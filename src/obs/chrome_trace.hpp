@@ -1,0 +1,29 @@
+#pragma once
+
+#include <iosfwd>
+#include <vector>
+
+#include "obs/phase_timeline.hpp"
+#include "obs/span.hpp"
+
+namespace rfdnet::obs {
+
+/// Writes one run's causal spans and damping-phase timelines as a Chrome
+/// trace-event JSON object (`{"traceEvents":[...]}`), loadable as-is in
+/// Perfetto (ui.perfetto.dev) or chrome://tracing.
+///
+/// Layout: one "process" per router (pid = node id). Track 0 of each router
+/// holds its causal spans (sends, MRAI deferrals, suppressions, reuses, and
+/// the root flap/fault instants), one further track per (peer, prefix) pair
+/// holds that entry's phase timeline. Span events carry
+/// `args: {trace, span, parent}`, so the causal tree is reconstructible
+/// from the exported file alone.
+///
+/// All timestamps are integer microseconds derived from the simulator's
+/// integer clock and every collection is emitted in sorted order, so equal
+/// inputs produce byte-identical files. Open spans must be closed
+/// (`SpanTracer::close_open`) before exporting.
+void write_chrome_trace(std::ostream& os, const std::vector<SpanRecord>& spans,
+                        const std::vector<PhaseInterval>& phases);
+
+}  // namespace rfdnet::obs

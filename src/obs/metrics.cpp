@@ -1,6 +1,7 @@
 #include "obs/metrics.hpp"
 
 #include <algorithm>
+#include <cmath>
 #include <cstdio>
 #include <ostream>
 #include <sstream>
@@ -37,10 +38,31 @@ Histogram::Histogram(std::vector<double> upper_bounds)
 }
 
 void Histogram::observe(double x) {
+  if (std::isnan(x)) return;
   const auto it = std::lower_bound(bounds_.begin(), bounds_.end(), x);
   ++buckets_[static_cast<std::size_t>(it - bounds_.begin())];
   ++count_;
   sum_ += x;
+}
+
+double Histogram::quantile(double q) const {
+  if (count_ == 0) return std::nan("");
+  q = std::clamp(q, 0.0, 1.0);
+  const double rank = q * static_cast<double>(count_);
+  double cum = 0.0;
+  for (std::size_t i = 0; i < buckets_.size(); ++i) {
+    const double prev = cum;
+    cum += static_cast<double>(buckets_[i]);
+    if (cum < rank || buckets_[i] == 0) continue;
+    // Overflow bucket has no upper edge; clamp the estimate to the last
+    // bound (the histogram cannot say more).
+    if (i >= bounds_.size()) return bounds_.empty() ? 0.0 : bounds_.back();
+    const double lo = i == 0 ? 0.0 : bounds_[i - 1];
+    const double hi = bounds_[i];
+    const double frac = (rank - prev) / static_cast<double>(buckets_[i]);
+    return lo + (hi - lo) * frac;
+  }
+  return bounds_.empty() ? 0.0 : bounds_.back();
 }
 
 std::vector<double> Histogram::default_bounds() {
@@ -148,7 +170,14 @@ void Registry::write_summary(std::ostream& os, const std::string& indent) const 
   }
   for (const auto& [name, h] : histograms_) {
     os << indent << name << " = count " << h.count_ << ", sum "
-       << fmt_double(h.sum_) << '\n';
+       << fmt_double(h.sum_);
+    if (h.count_ > 0) {
+      char buf[96];
+      std::snprintf(buf, sizeof(buf), ", p50 ~%.3g, p90 ~%.3g, p99 ~%.3g",
+                    h.quantile(0.50), h.quantile(0.90), h.quantile(0.99));
+      os << buf;
+    }
+    os << '\n';
   }
 }
 
@@ -179,6 +208,17 @@ DampingMetrics DampingMetrics::bind(Registry& r) {
   m.reuses = &r.counter("rfd.reuses");
   m.reschedules = &r.counter("rfd.reschedules");
   m.penalty = &r.histogram("rfd.penalty");
+  return m;
+}
+
+PhaseMetrics PhaseMetrics::bind(Registry& r) {
+  // Duration buckets in seconds: sub-minute through the ~1h suppression tail.
+  const std::vector<double> secs = {1.0, 10.0, 60.0, 300.0, 900.0, 3600.0};
+  PhaseMetrics m;
+  m.charging = &r.histogram("phase.charging", secs);
+  m.suppression = &r.histogram("phase.suppression", secs);
+  m.releasing = &r.histogram("phase.releasing", secs);
+  m.intervals = &r.counter("phase.intervals");
   return m;
 }
 

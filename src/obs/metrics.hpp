@@ -47,7 +47,15 @@ class Histogram {
   Histogram() : Histogram(default_bounds()) {}
   explicit Histogram(std::vector<double> upper_bounds);
 
+  /// NaN observations are dropped — a NaN would poison `sum()` and fall into
+  /// the overflow bucket (every comparison with a bound is false), silently
+  /// skewing the tail estimate.
   void observe(double x);
+
+  /// Estimated q-quantile (q in [0, 1]) by linear interpolation within the
+  /// bucket holding the target rank; the first bucket interpolates from 0 and
+  /// the overflow bucket clamps to the last bound. NaN when empty.
+  double quantile(double q) const;
 
   std::uint64_t count() const { return count_; }
   double sum() const { return sum_; }
@@ -137,6 +145,18 @@ struct DampingMetrics {
   Histogram* penalty = nullptr;     ///< post-charge penalty values
 
   static DampingMetrics bind(Registry& r);
+};
+
+/// Typed wiring bundle for the damping-phase timeline recorder (one per
+/// run): per-phase occupancy histograms (interval durations in seconds)
+/// plus the interval count, filled from the finalized timeline.
+struct PhaseMetrics {
+  Histogram* charging = nullptr;     ///< charging interval durations (s)
+  Histogram* suppression = nullptr;  ///< suppression interval durations (s)
+  Histogram* releasing = nullptr;    ///< releasing interval durations (s)
+  Counter* intervals = nullptr;      ///< total timeline intervals recorded
+
+  static PhaseMetrics bind(Registry& r);
 };
 
 /// Typed wiring bundle for `fault::FaultInjector` (one per run).

@@ -1,0 +1,72 @@
+#include "obs/phase_timeline.hpp"
+
+#include <algorithm>
+
+namespace rfdnet::obs {
+
+std::string to_string(EntryPhase p) {
+  switch (p) {
+    case EntryPhase::kConverged:
+      return "converged";
+    case EntryPhase::kCharging:
+      return "charging";
+    case EntryPhase::kSuppression:
+      return "suppression";
+    case EntryPhase::kReleasing:
+      return "releasing";
+  }
+  return "?";
+}
+
+void PhaseTimeline::transition(double t_s, std::uint32_t node,
+                               std::uint32_t peer, std::uint32_t prefix,
+                               EntryPhase to, bool force) {
+  std::vector<Transition>& ts = transitions_[Key{node, peer, prefix}];
+  const EntryPhase current = ts.empty() ? EntryPhase::kConverged : ts.back().to;
+  if (current == to) return;
+  // A charge does not end suppression: secondary charging while suppressed
+  // only pushes the reuse timer out (the paper's timer interaction).
+  if (!force && current == EntryPhase::kSuppression) return;
+  ts.push_back(Transition{t_s, to});
+}
+
+void PhaseTimeline::on_charge(double t_s, std::uint32_t node,
+                              std::uint32_t peer, std::uint32_t prefix) {
+  transition(t_s, node, peer, prefix, EntryPhase::kCharging, /*force=*/false);
+}
+
+void PhaseTimeline::on_suppress(double t_s, std::uint32_t node,
+                                std::uint32_t peer, std::uint32_t prefix) {
+  transition(t_s, node, peer, prefix, EntryPhase::kSuppression, /*force=*/true);
+}
+
+void PhaseTimeline::on_reuse(double t_s, std::uint32_t node,
+                             std::uint32_t peer, std::uint32_t prefix) {
+  transition(t_s, node, peer, prefix, EntryPhase::kReleasing, /*force=*/true);
+}
+
+std::vector<PhaseInterval> PhaseTimeline::finalize(double end_s) const {
+  std::vector<PhaseInterval> out;
+  for (const auto& [key, ts] : transitions_) {
+    const auto [node, peer, prefix] = key;
+    double t = 0.0;
+    EntryPhase phase = EntryPhase::kConverged;
+    const double end = std::max(end_s, ts.empty() ? 0.0 : ts.back().t_s);
+    for (const Transition& tr : ts) {
+      if (tr.t_s > t || phase != EntryPhase::kConverged) {
+        out.push_back(PhaseInterval{node, peer, prefix, phase, t,
+                                    std::max(t, tr.t_s)});
+      }
+      t = std::max(t, tr.t_s);
+      phase = tr.to;
+    }
+    out.push_back(PhaseInterval{node, peer, prefix, phase, t, end});
+    if (phase != EntryPhase::kConverged) {
+      out.push_back(
+          PhaseInterval{node, peer, prefix, EntryPhase::kConverged, end, end});
+    }
+  }
+  return out;
+}
+
+}  // namespace rfdnet::obs

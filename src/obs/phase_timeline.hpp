@@ -1,0 +1,83 @@
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <tuple>
+#include <vector>
+
+namespace rfdnet::obs {
+
+/// Per-entry damping phase, the RIB-IN-entry-local analogue of the paper's
+/// network-wide states (§4.1): an entry is *charging* while its penalty is
+/// being built up, *suppressed* between the cut-off crossing and the reuse
+/// firing, *releasing* from the reuse until the network goes quiet, and
+/// *converged* otherwise.
+enum class EntryPhase : std::uint8_t {
+  kConverged,
+  kCharging,
+  kSuppression,
+  kReleasing,
+};
+
+std::string to_string(EntryPhase p);
+
+/// One tile of a per-(node, peer, prefix) phase timeline. Intervals for an
+/// entry are contiguous — each starts where the previous one ended — so a
+/// timeline tiles [0, end] exactly; the final converged interval is
+/// zero-length at the end, matching the `stats::Phase` convention.
+struct PhaseInterval {
+  std::uint32_t node = 0;
+  std::uint32_t peer = 0;
+  std::uint32_t prefix = 0;
+  EntryPhase phase = EntryPhase::kConverged;
+  double t0_s = 0.0;
+  double t1_s = 0.0;
+  double duration() const { return t1_s - t0_s; }
+};
+
+/// Records per-(node, peer, prefix) damping-phase timelines from the event
+/// stream of the damping modules (charge / suppress / reuse), one recorder
+/// per run shared by every module.
+///
+/// The per-entry state machine: a charge moves a quiet entry (converged or
+/// releasing) into charging — but leaves a suppressed entry suppressed,
+/// which is exactly secondary charging pushing the reuse timer out; the
+/// cut-off crossing moves it into suppression; the reuse firing into
+/// releasing. `finalize(end_s)` closes the last interval of every entry at
+/// `end_s` — callers pass the network-level converged instant from
+/// `stats::classify_phases`, which is how the per-entry view and the
+/// paper's global classifier stay consistent.
+class PhaseTimeline {
+ public:
+  void on_charge(double t_s, std::uint32_t node, std::uint32_t peer,
+                 std::uint32_t prefix);
+  void on_suppress(double t_s, std::uint32_t node, std::uint32_t peer,
+                   std::uint32_t prefix);
+  void on_reuse(double t_s, std::uint32_t node, std::uint32_t peer,
+                std::uint32_t prefix);
+
+  /// Builds the interval set: every entry's transitions, closed at `end_s`
+  /// (clamped so intervals never invert), followed by the zero-length final
+  /// converged interval. Sorted by (node, peer, prefix, t0) — entries
+  /// iterate from a `std::map`, so the output is deterministic.
+  std::vector<PhaseInterval> finalize(double end_s) const;
+
+  /// Drops all recorded state (e.g. after warm-up).
+  void reset() { transitions_.clear(); }
+
+  bool empty() const { return transitions_.empty(); }
+
+ private:
+  using Key = std::tuple<std::uint32_t, std::uint32_t, std::uint32_t>;
+  struct Transition {
+    double t_s;
+    EntryPhase to;
+  };
+  void transition(double t_s, std::uint32_t node, std::uint32_t peer,
+                  std::uint32_t prefix, EntryPhase to, bool force);
+
+  std::map<Key, std::vector<Transition>> transitions_;
+};
+
+}  // namespace rfdnet::obs

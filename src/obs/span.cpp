@@ -1,0 +1,61 @@
+#include "obs/span.hpp"
+
+namespace rfdnet::obs {
+
+SpanContext SpanTracer::root(const char* kind, double t_s, std::uint32_t node,
+                             std::uint32_t peer, std::uint32_t prefix) {
+  SpanRecord r;
+  r.trace_id = ++next_trace_;
+  r.span_id = static_cast<std::uint32_t>(records_.size()) + 1;
+  r.parent_span_id = 0;
+  r.kind = kind;
+  r.t0_s = t_s;
+  r.t1_s = t_s;
+  r.node = node;
+  r.peer = peer;
+  r.prefix = prefix;
+  records_.push_back(r);
+  return SpanContext{r.trace_id, r.span_id, 0};
+}
+
+SpanContext SpanTracer::child(const SpanContext& parent, const char* kind,
+                              double t_s, std::uint32_t node,
+                              std::uint32_t peer, std::uint32_t prefix) {
+  if (!parent.valid()) return SpanContext{};
+  SpanRecord r;
+  r.trace_id = parent.trace_id;
+  r.span_id = static_cast<std::uint32_t>(records_.size()) + 1;
+  r.parent_span_id = parent.span_id;
+  r.kind = kind;
+  r.t0_s = t_s;
+  r.t1_s = -1.0;  // open
+  r.node = node;
+  r.peer = peer;
+  r.prefix = prefix;
+  records_.push_back(r);
+  return SpanContext{r.trace_id, r.span_id, r.parent_span_id};
+}
+
+SpanContext SpanTracer::child_instant(const SpanContext& parent,
+                                      const char* kind, double t_s,
+                                      std::uint32_t node, std::uint32_t peer,
+                                      std::uint32_t prefix) {
+  const SpanContext sc = child(parent, kind, t_s, node, peer, prefix);
+  if (sc.valid()) records_[sc.span_id - 1].t1_s = t_s;
+  return sc;
+}
+
+void SpanTracer::close(const SpanContext& sc, double t1_s) {
+  if (!sc.valid() || sc.span_id > records_.size()) return;
+  SpanRecord& r = records_[sc.span_id - 1];
+  if (!r.open()) return;
+  r.t1_s = t1_s < r.t0_s ? r.t0_s : t1_s;
+}
+
+void SpanTracer::close_open(double t1_s) {
+  for (SpanRecord& r : records_) {
+    if (r.open()) r.t1_s = t1_s < r.t0_s ? r.t0_s : t1_s;
+  }
+}
+
+}  // namespace rfdnet::obs

@@ -1,0 +1,116 @@
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+namespace rfdnet::obs {
+
+/// Causal identity carried by an in-flight BGP update (and stored by
+/// stateful machinery like suppression entries). `trace_id` names the causal
+/// tree — one per root cause (origin flap, fault injection) — and
+/// `span_id`/`parent_span_id` locate this hop in it. A default-constructed
+/// context (all zeros) means "untraced"; plain scalars so the struct can ride
+/// on `bgp::UpdateMessage` without pulling anything above the obs layer in.
+struct SpanContext {
+  std::uint32_t trace_id = 0;
+  std::uint32_t span_id = 0;         ///< 0 = no span
+  std::uint32_t parent_span_id = 0;  ///< 0 = root of its trace
+
+  bool valid() const { return span_id != 0; }
+
+  friend bool operator==(const SpanContext&, const SpanContext&) = default;
+};
+
+/// One node of a causal tree. Interval spans (suppression, MRAI deferral,
+/// an update's time on the wire) are opened with `t1_s < 0` and closed
+/// later; instant spans (a flap, a reuse firing) carry `t1_s == t0_s`.
+struct SpanRecord {
+  std::uint32_t trace_id = 0;
+  std::uint32_t span_id = 0;
+  std::uint32_t parent_span_id = 0;
+  const char* kind = "";  ///< string literal ("flap.withdraw", "rfd.suppress", ...)
+  double t0_s = 0.0;
+  double t1_s = -1.0;  ///< < 0 while the span is still open
+  std::uint32_t node = 0;
+  std::uint32_t peer = 0;
+  std::uint32_t prefix = 0;
+
+  bool open() const { return t1_s < t0_s; }
+};
+
+/// Mints span ids and records the causal tree of one simulation run.
+///
+/// Ids are sequential (span n is `records()[n-1]`), so a single-threaded run
+/// — every run is; parallelism lives across trials — produces the same ids
+/// for the same event sequence, and every artifact derived from the records
+/// is byte-deterministic.
+///
+/// The *active-context stack* carries causality through callbacks that have
+/// no message to ride on: a router pushes the delivered update's span while
+/// processing it, a damping module pushes the reuse span while re-running
+/// the decision process, and anything that emits in between parents its
+/// spans on `active()`. `child()` with an invalid parent records nothing and
+/// returns an invalid context, so untraced activity (e.g. warm-up
+/// convergence) stays span-free for free.
+class SpanTracer {
+ public:
+  /// Mints a new trace with an instant root span (t1 = t0).
+  SpanContext root(const char* kind, double t_s, std::uint32_t node,
+                   std::uint32_t peer, std::uint32_t prefix);
+
+  /// Opens an interval span under `parent` (same trace). Invalid parent:
+  /// no-op returning an invalid context.
+  SpanContext child(const SpanContext& parent, const char* kind, double t_s,
+                    std::uint32_t node, std::uint32_t peer,
+                    std::uint32_t prefix);
+
+  /// Records an instant child span (already closed, t1 = t0).
+  SpanContext child_instant(const SpanContext& parent, const char* kind,
+                            double t_s, std::uint32_t node, std::uint32_t peer,
+                            std::uint32_t prefix);
+
+  /// Closes an open interval span. Invalid/foreign contexts and
+  /// already-closed spans are ignored.
+  void close(const SpanContext& sc, double t1_s);
+
+  /// Closes every span still open (end-of-run sweep: suppressions that never
+  /// reused, updates dropped without a drop notification).
+  void close_open(double t1_s);
+
+  void push_active(const SpanContext& sc) { active_.push_back(sc); }
+  void pop_active() { active_.pop_back(); }
+  /// Innermost active context, or an invalid context when none is.
+  SpanContext active() const {
+    return active_.empty() ? SpanContext{} : active_.back();
+  }
+
+  /// All spans in id order (span n at index n - 1).
+  const std::vector<SpanRecord>& records() const { return records_; }
+  std::size_t size() const { return records_.size(); }
+  bool empty() const { return records_.empty(); }
+
+ private:
+  std::vector<SpanRecord> records_;
+  std::vector<SpanContext> active_;
+  std::uint32_t next_trace_ = 0;
+};
+
+/// RAII active-context guard: pushes `sc` on construction when it is valid
+/// (and a tracer is attached), pops on destruction.
+class ActiveSpan {
+ public:
+  ActiveSpan(SpanTracer* tracer, const SpanContext& sc)
+      : tracer_(sc.valid() ? tracer : nullptr) {
+    if (tracer_) tracer_->push_active(sc);
+  }
+  ~ActiveSpan() {
+    if (tracer_) tracer_->pop_active();
+  }
+  ActiveSpan(const ActiveSpan&) = delete;
+  ActiveSpan& operator=(const ActiveSpan&) = delete;
+
+ private:
+  SpanTracer* tracer_;
+};
+
+}  // namespace rfdnet::obs

@@ -6,6 +6,22 @@
 
 namespace rfdnet::obs {
 
+std::optional<TraceFormat> parse_trace_format(std::string_view s) {
+  if (s == "jsonl") return TraceFormat::kJsonl;
+  if (s == "chrome") return TraceFormat::kChrome;
+  return std::nullopt;
+}
+
+std::string to_string(TraceFormat f) {
+  switch (f) {
+    case TraceFormat::kJsonl:
+      return "jsonl";
+    case TraceFormat::kChrome:
+      return "chrome";
+  }
+  return "?";
+}
+
 TraceSink::TraceSink(std::ostream& os) : os_(&os) {}
 
 TraceSink::TraceSink(const std::string& path) : owned_(path), os_(&owned_) {
@@ -74,6 +90,31 @@ void TraceSink::fault_perturb(double t_s, std::uint32_t from, std::uint32_t to,
                 "{\"type\":\"fault.perturb\",\"t\":%.6f,\"from\":%u,"
                 "\"to\":%u,\"effect\":\"%s\",\"extra\":%.6f}",
                 t_s, from, to, dropped ? "drop" : "delay", extra_delay_s);
+  line(buf);
+}
+
+void TraceSink::span(std::uint32_t trace_id, std::uint32_t span_id,
+                     std::uint32_t parent_span_id, const char* kind,
+                     double t0_s, double t1_s, std::uint32_t node,
+                     std::uint32_t peer, std::uint32_t prefix) {
+  char buf[256];
+  std::snprintf(buf, sizeof(buf),
+                "{\"type\":\"span\",\"trace\":%u,\"span\":%u,\"parent\":%u,"
+                "\"kind\":\"%s\",\"t0\":%.6f,\"t1\":%.6f,\"node\":%u,"
+                "\"peer\":%u,\"prefix\":%u}",
+                trace_id, span_id, parent_span_id, kind, t0_s, t1_s, node,
+                peer, prefix);
+  line(buf);
+}
+
+void TraceSink::phase(std::uint32_t node, std::uint32_t peer,
+                      std::uint32_t prefix, const char* phase_name,
+                      double t0_s, double t1_s) {
+  char buf[192];
+  std::snprintf(buf, sizeof(buf),
+                "{\"type\":\"phase\",\"node\":%u,\"peer\":%u,\"prefix\":%u,"
+                "\"phase\":\"%s\",\"t0\":%.6f,\"t1\":%.6f}",
+                node, peer, prefix, phase_name, t0_s, t1_s);
   line(buf);
 }
 

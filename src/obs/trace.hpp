@@ -3,9 +3,22 @@
 #include <cstdint>
 #include <fstream>
 #include <iosfwd>
+#include <optional>
 #include <string>
+#include <string_view>
 
 namespace rfdnet::obs {
+
+/// On-disk format of a `--trace` artifact: the JSONL event log below, or a
+/// Chrome trace-event / Perfetto JSON (see `obs/chrome_trace.hpp`).
+enum class TraceFormat : std::uint8_t {
+  kJsonl,
+  kChrome,
+};
+
+/// "jsonl" / "chrome" -> format; anything else -> nullopt.
+std::optional<TraceFormat> parse_trace_format(std::string_view s);
+std::string to_string(TraceFormat f);
 
 /// Structured JSONL trace sink: one typed record per line, append-only.
 ///
@@ -22,6 +35,9 @@ namespace rfdnet::obs {
 ///   {"type":"rfd.reuse","t":..,"node":N,"peer":N,"prefix":N,"noisy":B}
 ///   {"type":"fault.inject","t":..,"kind":S,"u":N,"v":N}   (v = u for node faults)
 ///   {"type":"fault.perturb","t":..,"from":N,"to":N,"effect":"drop"|"delay","extra":X}
+///   {"type":"span","trace":N,"span":N,"parent":N,"kind":S,"t0":..,"t1":..,
+///    "node":N,"peer":N,"prefix":N}                (appended at end of run)
+///   {"type":"phase","node":N,"peer":N,"prefix":N,"phase":S,"t0":..,"t1":..}
 ///
 /// Formatting is fixed ("%.6f" for times, "%.3f" for penalties), so two runs
 /// producing the same events produce byte-identical trace files — the
@@ -51,6 +67,15 @@ class TraceSink {
                     std::uint32_t v);
   void fault_perturb(double t_s, std::uint32_t from, std::uint32_t to,
                      bool dropped, double extra_delay_s);
+  /// One causal-span record (see `obs/span.hpp`); emitted in span-id order
+  /// at the end of the run so in-flight spans have final end times.
+  void span(std::uint32_t trace_id, std::uint32_t span_id,
+            std::uint32_t parent_span_id, const char* kind, double t0_s,
+            double t1_s, std::uint32_t node, std::uint32_t peer,
+            std::uint32_t prefix);
+  /// One damping-phase interval (see `obs/phase_timeline.hpp`).
+  void phase(std::uint32_t node, std::uint32_t peer, std::uint32_t prefix,
+             const char* phase_name, double t0_s, double t1_s);
 
   /// Number of records emitted so far.
   std::uint64_t records() const { return records_; }

@@ -181,6 +181,12 @@ void DampingModule::on_update(int slot, const bgp::UpdateMessage& msg,
   if (observer_) {
     observer_->on_penalty(self_, peer_ids_.at(slot), msg.prefix, value, now);
   }
+  if (timeline_) {
+    // The recorder's own state machine keeps a suppressed entry suppressed
+    // (secondary charging), so every applied charge is reported.
+    timeline_->on_charge(now.as_seconds(), self_, peer_ids_.at(slot),
+                         msg.prefix);
+  }
 
   if (!e->suppressed && value > params_.cutoff) {
     e->suppressed = true;
@@ -189,6 +195,17 @@ void DampingModule::on_update(int slot, const bgp::UpdateMessage& msg,
     if (trace_) {
       trace_->rfd_suppress(now.as_seconds(), self_, peer_ids_.at(slot),
                            msg.prefix, value);
+    }
+    if (spans_) {
+      // Child of the update that crossed the cut-off (the active context
+      // while the router processes a delivered update).
+      e->supp_span =
+          spans_->child(spans_->active(), "rfd.suppress", now.as_seconds(),
+                        self_, peer_ids_.at(slot), msg.prefix);
+    }
+    if (timeline_) {
+      timeline_->on_suppress(now.as_seconds(), self_, peer_ids_.at(slot),
+                             msg.prefix);
     }
     if (observer_) {
       observer_->on_suppress(self_, peer_ids_.at(slot), msg.prefix, value, now);
@@ -220,8 +237,9 @@ void DampingModule::schedule_reuse(Entry& e, int slot, bgp::Prefix p) {
     if (metrics_) metrics_->reschedules->inc();
   }
   e.reuse_at = when;
-  e.reuse_event =
-      engine_.schedule_at(when, [this, slot, p] { fire_reuse(slot, p); });
+  e.reuse_event = engine_.schedule_at(
+      when, [this, slot, p] { fire_reuse(slot, p); },
+      sim::EventKind::kReuseTimer);
 }
 
 void DampingModule::fire_reuse(int slot, bgp::Prefix p) {
@@ -234,6 +252,21 @@ void DampingModule::fire_reuse(int slot, bgp::Prefix p) {
   if (!e.suppressed) return;
   e.suppressed = false;
   --suppressed_count_;
+  obs::SpanContext reuse_sc;
+  if (spans_) {
+    const double t = engine_.now().as_seconds();
+    spans_->close(e.supp_span, t);
+    reuse_sc = spans_->child_instant(e.supp_span, "rfd.reuse", t, self_,
+                                     peer_ids_.at(slot), p);
+    e.supp_span = obs::SpanContext{};
+  }
+  if (timeline_) {
+    timeline_->on_reuse(engine_.now().as_seconds(), self_, peer_ids_.at(slot),
+                        p);
+  }
+  // Run the re-advertisement under the reuse span: the updates it triggers
+  // (the paper's "route reuse announcements") parent on it.
+  const obs::ActiveSpan span_guard(spans_, reuse_sc);
   const bool noisy = reuse_fn_(slot, p);
   if (metrics_) metrics_->reuses->inc();
   if (trace_) {
@@ -254,6 +287,9 @@ void DampingModule::reset() {
   for (auto& [p, entries] : entries_) {
     for (auto& e : entries) {
       if (e.reuse_event != sim::kInvalidEvent) engine_.cancel(e.reuse_event);
+      if (spans_ && e.supp_span.valid()) {
+        spans_->close(e.supp_span, engine_.now().as_seconds());
+      }
     }
   }
   entries_.clear();

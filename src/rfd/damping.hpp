@@ -8,6 +8,8 @@
 #include "bgp/damping_hook.hpp"
 #include "bgp/observer.hpp"
 #include "obs/metrics.hpp"
+#include "obs/phase_timeline.hpp"
+#include "obs/span.hpp"
 #include "obs/trace.hpp"
 #include "rcn/history.hpp"
 #include "rfd/params.hpp"
@@ -102,6 +104,16 @@ class DampingModule final : public bgp::DampingHook {
   void set_metrics(obs::DampingMetrics* m) { metrics_ = m; }
   void set_trace(obs::TraceSink* t) { trace_ = t; }
 
+  /// Attaches (or detaches) the causal span tracer: each suppression opens
+  /// an `rfd.suppress` interval span (child of the update that crossed the
+  /// cut-off) that the reuse firing closes, and reuse-triggered re-runs of
+  /// the decision process execute under an `rfd.reuse` span. Not owned.
+  void set_span_tracer(obs::SpanTracer* t) { spans_ = t; }
+
+  /// Attaches (or detaches) the shared phase-timeline recorder fed from this
+  /// module's charge / suppress / reuse events. Not owned.
+  void set_phase_timeline(obs::PhaseTimeline* t) { timeline_ = t; }
+
   /// Audit: every penalty lies in [0, ceiling], every suppressed entry has a
   /// live reuse event scheduled at its recorded reuse time, and the
   /// suppressed count matches the entry flags. Throws
@@ -120,6 +132,8 @@ class DampingModule final : public bgp::DampingHook {
     bool ever_announced = false;
     sim::EventId reuse_event = sim::kInvalidEvent;
     sim::SimTime reuse_at;
+    /// Open `rfd.suppress` span while the entry is suppressed.
+    obs::SpanContext supp_span;
   };
 
   Entry& entry(int slot, bgp::Prefix p);
@@ -139,6 +153,8 @@ class DampingModule final : public bgp::DampingHook {
   bgp::Observer* observer_;
   obs::DampingMetrics* metrics_ = nullptr;
   obs::TraceSink* trace_ = nullptr;
+  obs::SpanTracer* spans_ = nullptr;
+  obs::PhaseTimeline* timeline_ = nullptr;
 
   bool rcn_enabled_ = false;
   bool selective_enabled_ = false;

@@ -1,6 +1,7 @@
 #include "sim/engine.hpp"
 
 #include <algorithm>
+#include <chrono>
 #include <stdexcept>
 #include <utility>
 
@@ -58,7 +59,8 @@ void Engine::release_slot(std::uint32_t index) {
   free_slots_.push_back(index);
 }
 
-EventId Engine::schedule_at(SimTime t, std::function<void()> fn) {
+EventId Engine::schedule_at(SimTime t, std::function<void()> fn,
+                            EventKind kind) {
   if (t < now_) throw std::logic_error("Engine: scheduling into the past");
   if (!fn) throw std::logic_error("Engine: empty event handler");
   std::uint32_t index;
@@ -72,10 +74,14 @@ EventId Engine::schedule_at(SimTime t, std::function<void()> fn) {
   Slot& s = slots_[index];
   s.fn = std::move(fn);
   s.live = true;
+  s.kind = kind;
   const EventId id = make_id(s.gen, index);
   heap_.push_back(Entry{t, next_seq_++, id});
   std::push_heap(heap_.begin(), heap_.end(), Later{});
   ++live_;
+  if (profile_) [[unlikely]] {
+    ++profile_->row(kind).scheduled;
+  }
   if (metrics_) [[unlikely]] {
     metrics_->scheduled->inc();
     metrics_->heap->set(static_cast<std::int64_t>(heap_.size()));
@@ -84,14 +90,18 @@ EventId Engine::schedule_at(SimTime t, std::function<void()> fn) {
   return id;
 }
 
-EventId Engine::schedule_after(Duration d, std::function<void()> fn) {
+EventId Engine::schedule_after(Duration d, std::function<void()> fn,
+                               EventKind kind) {
   if (d.is_negative()) throw std::logic_error("Engine: negative delay");
-  return schedule_at(now_ + d, std::move(fn));
+  return schedule_at(now_ + d, std::move(fn), kind);
 }
 
 bool Engine::cancel(EventId id) {
   const Slot* s = live_slot(id);
   if (s == nullptr) return false;
+  if (profile_) [[unlikely]] {
+    ++profile_->row(s->kind).cancelled;
+  }
   release_slot(static_cast<std::uint32_t>((id & 0xffffffffULL) - 1));
   --live_;
   maybe_compact();
@@ -128,6 +138,7 @@ bool Engine::step() {
     // Move the handler out and free the slot before running it: the handler
     // may schedule or cancel other events or even re-enter the engine.
     std::function<void()> fn = std::move(s->fn);
+    const EventKind kind = s->kind;
     release_slot(static_cast<std::uint32_t>((top.id & 0xffffffffULL) - 1));
     --live_;
     now_ = top.time;
@@ -138,6 +149,17 @@ bool Engine::step() {
     }
     if (trace_) [[unlikely]] {
       trace_->engine_step(now_.as_seconds(), executed_, live_, heap_.size());
+    }
+    if (profile_) [[unlikely]] {
+      EngineProfile::Row& row = profile_->row(kind);
+      ++row.fired;
+      const auto t0 = std::chrono::steady_clock::now();
+      fn();
+      row.wall_ns += static_cast<std::uint64_t>(
+          std::chrono::duration_cast<std::chrono::nanoseconds>(
+              std::chrono::steady_clock::now() - t0)
+              .count());
+      return true;
     }
     fn();
     return true;

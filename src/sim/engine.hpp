@@ -6,6 +6,7 @@
 
 #include "obs/metrics.hpp"
 #include "obs/trace.hpp"
+#include "sim/profile.hpp"
 #include "sim/time.hpp"
 
 namespace rfdnet::sim {
@@ -38,10 +39,13 @@ class Engine {
 
   /// Schedules `fn` to run at absolute time `t`. Scheduling in the past
   /// (before `now()`) is a programming error and throws `std::logic_error`.
-  EventId schedule_at(SimTime t, std::function<void()> fn);
+  /// `kind` tags the event for the profiler; untagged events are `kGeneric`.
+  EventId schedule_at(SimTime t, std::function<void()> fn,
+                      EventKind kind = EventKind::kGeneric);
 
   /// Schedules `fn` to run `d` after `now()`. Negative delays throw.
-  EventId schedule_after(Duration d, std::function<void()> fn);
+  EventId schedule_after(Duration d, std::function<void()> fn,
+                         EventKind kind = EventKind::kGeneric);
 
   /// Cancels a pending event. Returns false if the event already ran, was
   /// already cancelled, or never existed.
@@ -73,6 +77,11 @@ class Engine {
   void set_metrics(obs::EngineMetrics* m) { metrics_ = m; }
   void set_trace(obs::TraceSink* t) { trace_ = t; }
 
+  /// Attaches (or detaches) a dispatch profile. While attached, every
+  /// schedule / fire / cancel is counted per `EventKind` and fired handlers
+  /// are wall-timed; detached, the hot path costs one branch.
+  void set_profile(EngineProfile* p) { profile_ = p; }
+
   /// Audit: slot bookkeeping matches `pending()` and the heap obeys the
   /// compaction bound. Throws `obs::InvariantViolation` on any breakage.
   /// Always runs (not gated on `obs::invariants_enabled()`).
@@ -96,6 +105,7 @@ class Engine {
     std::function<void()> fn;
     std::uint32_t gen = 1;
     bool live = false;
+    EventKind kind = EventKind::kGeneric;
   };
 
   static constexpr EventId make_id(std::uint32_t gen, std::uint32_t index) {
@@ -113,6 +123,7 @@ class Engine {
   SimTime now_;
   obs::EngineMetrics* metrics_ = nullptr;
   obs::TraceSink* trace_ = nullptr;
+  EngineProfile* profile_ = nullptr;
   std::uint64_t next_seq_ = 0;
   std::size_t live_ = 0;
   std::uint64_t executed_ = 0;

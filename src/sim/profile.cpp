@@ -1,0 +1,70 @@
+#include "sim/profile.hpp"
+
+#include <ostream>
+#include <sstream>
+
+namespace rfdnet::sim {
+
+const char* to_string(EventKind k) {
+  switch (k) {
+    case EventKind::kGeneric:
+      return "generic";
+    case EventKind::kDelivery:
+      return "delivery";
+    case EventKind::kMraiFlush:
+      return "mrai_flush";
+    case EventKind::kReuseTimer:
+      return "reuse_timer";
+    case EventKind::kFlap:
+      return "flap";
+    case EventKind::kFault:
+      return "fault";
+    case EventKind::kCount:
+      break;
+  }
+  return "?";
+}
+
+std::uint64_t EngineProfile::total_fired() const {
+  std::uint64_t n = 0;
+  for (const Row& r : rows) n += r.fired;
+  return n;
+}
+
+bool EngineProfile::empty() const {
+  for (const Row& r : rows) {
+    if (r.scheduled != 0 || r.fired != 0 || r.cancelled != 0) return false;
+  }
+  return true;
+}
+
+void EngineProfile::merge(const EngineProfile& other) {
+  for (std::size_t i = 0; i < rows.size(); ++i) {
+    rows[i].scheduled += other.rows[i].scheduled;
+    rows[i].fired += other.rows[i].fired;
+    rows[i].cancelled += other.rows[i].cancelled;
+    rows[i].wall_ns += other.rows[i].wall_ns;
+  }
+}
+
+void EngineProfile::write_json(std::ostream& os, bool include_wall) const {
+  os << '{';
+  for (std::size_t i = 0; i < rows.size(); ++i) {
+    if (i > 0) os << ',';
+    const Row& r = rows[i];
+    os << '"' << to_string(static_cast<EventKind>(i)) << "\":{\"scheduled\":"
+       << r.scheduled << ",\"fired\":" << r.fired
+       << ",\"cancelled\":" << r.cancelled;
+    if (include_wall) os << ",\"wall_ns\":" << r.wall_ns;
+    os << '}';
+  }
+  os << '}';
+}
+
+std::string EngineProfile::json(bool include_wall) const {
+  std::ostringstream os;
+  write_json(os, include_wall);
+  return os.str();
+}
+
+}  // namespace rfdnet::sim

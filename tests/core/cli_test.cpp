@@ -86,5 +86,56 @@ TEST(ArgParser, DuplicateRegistrationThrows) {
   EXPECT_THROW(ArgParser({"x"}, {"x"}), std::invalid_argument);
 }
 
+TEST(ValidateObsArgs, AcceptsValidCombinations) {
+  EXPECT_FALSE(validate_obs_args({}));
+  EXPECT_FALSE(validate_obs_args({"--metrics"}));
+  EXPECT_FALSE(validate_obs_args({"--trace", "out"}));
+  EXPECT_FALSE(validate_obs_args({"--trace=out"}));
+  EXPECT_FALSE(validate_obs_args({"--trace", "-"}));
+  EXPECT_FALSE(validate_obs_args({"--trace", "out", "--trace-format", "jsonl"}));
+  EXPECT_FALSE(validate_obs_args({"--trace", "out", "--trace-format=chrome"}));
+  EXPECT_FALSE(validate_obs_args({"--profile", "bench.json"}));
+  EXPECT_FALSE(validate_obs_args({"--profile=-"}));
+  // Order must not matter.
+  EXPECT_FALSE(validate_obs_args({"--trace-format", "chrome", "--trace", "t"}));
+  // Unrelated flags pass through untouched.
+  EXPECT_FALSE(validate_obs_args({"--pulses", "4", "--trace", "out"}));
+}
+
+TEST(ValidateObsArgs, RejectsMissingValues) {
+  const auto trace_err = validate_obs_args({"--trace"});
+  ASSERT_TRUE(trace_err);
+  EXPECT_NE(trace_err->find("--trace"), std::string::npos) << *trace_err;
+
+  const auto fmt_err = validate_obs_args({"--trace", "out", "--trace-format"});
+  ASSERT_TRUE(fmt_err);
+  EXPECT_NE(fmt_err->find("--trace-format"), std::string::npos) << *fmt_err;
+
+  const auto prof_err = validate_obs_args({"--profile"});
+  ASSERT_TRUE(prof_err);
+  EXPECT_NE(prof_err->find("--profile"), std::string::npos) << *prof_err;
+}
+
+TEST(ValidateObsArgs, RejectsUnknownFormat) {
+  const auto err =
+      validate_obs_args({"--trace", "out", "--trace-format", "xml"});
+  ASSERT_TRUE(err);
+  EXPECT_NE(err->find("xml"), std::string::npos) << *err;
+  EXPECT_NE(err->find("jsonl"), std::string::npos) << *err;  // names the fix
+}
+
+TEST(ValidateObsArgs, RejectsFormatWithoutTrace) {
+  const auto err = validate_obs_args({"--trace-format", "chrome"});
+  ASSERT_TRUE(err);
+  EXPECT_NE(err->find("--trace"), std::string::npos) << *err;
+}
+
+TEST(ValidateObsArgs, ArgcArgvFormSkipsProgramName) {
+  const char* good[] = {"prog", "--trace", "out"};
+  EXPECT_FALSE(validate_obs_args(3, good));
+  const char* bad[] = {"prog", "--trace-format", "chrome"};
+  EXPECT_TRUE(validate_obs_args(3, bad));
+}
+
 }  // namespace
 }  // namespace rfdnet::core

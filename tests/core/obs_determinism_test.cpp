@@ -103,6 +103,70 @@ TEST(ObsDeterminism, PoolMatchesSerialOnMedianSweep) {
   }
 }
 
+TEST(ObsDeterminism, SpanAndPhaseRecordsAppearInJsonlTraces) {
+  const std::string base = ::testing::TempDir() + "obs_span_jsonl";
+  ParallelRunner serial(1);
+  ExperimentConfig cfg = obs_config(base);
+  run_pulse_sweep(cfg, 3, &serial);
+  const std::string t = slurp(trial_trace(base, 3, 7));
+  // The causal tree and the phase timelines ride in the same event log.
+  EXPECT_NE(t.find("\"type\":\"span\""), std::string::npos);
+  EXPECT_NE(t.find("\"kind\":\"flap.withdraw\""), std::string::npos);
+  EXPECT_NE(t.find("\"kind\":\"rfd.suppress\""), std::string::npos);
+  EXPECT_NE(t.find("\"type\":\"phase\""), std::string::npos);
+  EXPECT_NE(t.find("\"phase\":\"suppression\""), std::string::npos);
+}
+
+TEST(ObsDeterminism, PoolMatchesSerialOnChromeTraces) {
+  const std::string base_s = ::testing::TempDir() + "obs_chrome_serial";
+  const std::string base_p = ::testing::TempDir() + "obs_chrome_pool";
+  ParallelRunner serial(1);
+  ParallelRunner pool(4);
+  ExperimentConfig cfg_s = obs_config(base_s);
+  ExperimentConfig cfg_p = obs_config(base_p);
+  cfg_s.trace_format = obs::TraceFormat::kChrome;
+  cfg_p.trace_format = obs::TraceFormat::kChrome;
+  run_pulse_sweep(cfg_s, 3, &serial);
+  run_pulse_sweep(cfg_p, 3, &pool);
+  for (int p = 1; p <= 3; ++p) {
+    const std::string ta = slurp(trial_trace(base_s, p, 7));
+    const std::string tb = slurp(trial_trace(base_p, p, 7));
+    EXPECT_FALSE(ta.empty());
+    EXPECT_EQ(ta, tb) << "chrome trace mismatch at pulses=" << p;
+    EXPECT_EQ(ta.rfind("{\"displayTimeUnit\"", 0), 0u);
+  }
+}
+
+TEST(ObsDeterminism, PoolMatchesSerialOnProfileCounts) {
+  ParallelRunner serial(1);
+  ParallelRunner pool(4);
+  ExperimentConfig cfg;
+  cfg.topology.width = 5;
+  cfg.topology.height = 5;
+  cfg.seed = 7;
+  cfg.profile = true;
+  const SweepResult a = run_pulse_sweep_median(cfg, 2, 2, &serial);
+  const SweepResult b = run_pulse_sweep_median(cfg, 2, 2, &pool);
+  EXPECT_FALSE(a.profile.empty());
+  EXPECT_GT(a.profile.row(sim::EventKind::kDelivery).fired, 0u);
+  EXPECT_GT(a.profile.row(sim::EventKind::kFlap).fired, 0u);
+  // The deterministic artifact (counts, no wall time) is byte-identical.
+  EXPECT_EQ(a.profile.json(), b.profile.json());
+  // Wall time is the one field allowed to differ; it never reaches the
+  // artifact but must have been measured.
+  EXPECT_GT(a.profile.row(sim::EventKind::kDelivery).wall_ns, 0u);
+}
+
+TEST(ObsDeterminism, ProfileOffLeavesProfileEmpty) {
+  ParallelRunner serial(1);
+  ExperimentConfig cfg;
+  cfg.topology.width = 5;
+  cfg.topology.height = 5;
+  cfg.seed = 7;
+  const SweepResult r = run_pulse_sweep(cfg, 1, &serial);
+  EXPECT_TRUE(r.profile.empty());
+}
+
 TEST(ObsDeterminism, MetricsOffLeavesRegistryEmpty) {
   ParallelRunner serial(1);
   ExperimentConfig cfg;

@@ -1,0 +1,183 @@
+// Causal-tree integration tests: run a real experiment with span collection
+// on and check the provenance chain end to end — every span parents into its
+// own trace, every suppression is reachable from exactly one root cause, and
+// the phase timelines tile the measured window.
+
+#include <gtest/gtest.h>
+
+#include <cstring>
+#include <map>
+#include <set>
+#include <string>
+#include <tuple>
+#include <vector>
+
+#include "core/experiment.hpp"
+#include "fault/schedule.hpp"
+
+namespace rfdnet::core {
+namespace {
+
+ExperimentConfig traced_mesh(int pulses) {
+  ExperimentConfig cfg;
+  cfg.topology.kind = TopologySpec::Kind::kMeshTorus;
+  cfg.topology.width = 5;
+  cfg.topology.height = 5;
+  cfg.pulses = pulses;
+  cfg.seed = 1;
+  cfg.collect_spans = true;
+  return cfg;
+}
+
+/// Walks parent pointers to the root of `span`'s trace. Spans are stored in
+/// id order, so span n lives at spans[n - 1].
+const obs::SpanRecord& root_of(const std::vector<obs::SpanRecord>& spans,
+                               const obs::SpanRecord& span) {
+  const obs::SpanRecord* cur = &span;
+  int hops = 0;
+  while (cur->parent_span_id != 0) {
+    EXPECT_LT(++hops, 1 << 20) << "parent cycle";
+    cur = &spans[cur->parent_span_id - 1];
+  }
+  return *cur;
+}
+
+TEST(SpanTrace, EverySpanBelongsToAConsistentTree) {
+  const ExperimentResult res = run_experiment(traced_mesh(4));
+  ASSERT_FALSE(res.spans.empty());
+  for (std::size_t i = 0; i < res.spans.size(); ++i) {
+    const obs::SpanRecord& s = res.spans[i];
+    EXPECT_EQ(s.span_id, static_cast<std::uint32_t>(i) + 1);  // id order
+    EXPECT_FALSE(s.open()) << "span " << s.span_id << " never closed";
+    EXPECT_GE(s.t0_s, 0.0);  // re-based onto the first flap
+    if (s.parent_span_id != 0) {
+      ASSERT_LE(s.parent_span_id, res.spans.size());
+      const obs::SpanRecord& p = res.spans[s.parent_span_id - 1];
+      EXPECT_EQ(p.trace_id, s.trace_id) << "child crossed traces";
+      EXPECT_LT(p.span_id, s.span_id) << "parent minted after child";
+    } else {
+      // Roots are flap or fault injections, nothing else.
+      EXPECT_TRUE(std::strncmp(s.kind, "flap.", 5) == 0 ||
+                  std::strncmp(s.kind, "fault.", 6) == 0)
+          << s.kind;
+    }
+  }
+}
+
+TEST(SpanTrace, EverySuppressionReachesExactlyOneRootFlap) {
+  const ExperimentResult res = run_experiment(traced_mesh(4));
+  ASSERT_GT(res.suppress_events, 0u);
+  std::size_t suppress_spans = 0;
+  for (const obs::SpanRecord& s : res.spans) {
+    if (std::strcmp(s.kind, "rfd.suppress") != 0) continue;
+    ++suppress_spans;
+    const obs::SpanRecord& root = root_of(res.spans, s);
+    EXPECT_EQ(std::strncmp(root.kind, "flap.", 5), 0)
+        << "suppression rooted in " << root.kind;
+    EXPECT_LE(root.t0_s, s.t0_s);  // cause precedes effect
+  }
+  // Every recorded suppression event has its span (1:1 after warm-up reset).
+  EXPECT_EQ(suppress_spans, res.suppress_events);
+  // Roots: one per scheduled flap instant (withdrawals + announcements).
+  std::set<std::uint32_t> root_traces;
+  std::size_t roots = 0;
+  for (const obs::SpanRecord& s : res.spans) {
+    if (s.parent_span_id == 0) {
+      ++roots;
+      EXPECT_TRUE(root_traces.insert(s.trace_id).second)
+          << "two roots in one trace";
+    }
+  }
+  EXPECT_EQ(roots, res.flap_schedule.size());
+}
+
+TEST(SpanTrace, SecondaryChargingTracesBackToALaterFlap) {
+  // The paper's central mechanism in provenance form: with 4 pulses the
+  // network keeps charging entries after the first withdrawal, and reuse /
+  // send activity long after the last flap still roots in *some* flap.
+  const ExperimentResult res = run_experiment(traced_mesh(4));
+  const double last_flap = res.flap_schedule.back().first;
+  bool saw_late_descendant = false;
+  for (const obs::SpanRecord& s : res.spans) {
+    if (s.t0_s <= last_flap || s.parent_span_id == 0) continue;
+    saw_late_descendant = true;
+    root_of(res.spans, s);  // must terminate at a valid root
+  }
+  EXPECT_TRUE(saw_late_descendant)
+      << "damping should stretch activity past the last flap";
+}
+
+TEST(SpanTrace, FaultRootsAppearForFaultWorkloads) {
+  ExperimentConfig cfg = traced_mesh(0);
+  fault::FaultPlan plan;
+  plan.script = "@1 link-flap 1-2 for 5";
+  cfg.faults = plan;
+  const ExperimentResult res = run_experiment(cfg);
+  bool saw_fault_root = false, saw_release = false;
+  for (const obs::SpanRecord& s : res.spans) {
+    if (std::strcmp(s.kind, "fault.link-flap") == 0 && s.parent_span_id == 0) {
+      saw_fault_root = true;
+    }
+    if (std::strcmp(s.kind, "fault.release") == 0) {
+      saw_release = true;
+      EXPECT_EQ(std::strcmp(root_of(res.spans, s).kind, "fault.link-flap"), 0);
+    }
+  }
+  EXPECT_TRUE(saw_fault_root);
+  EXPECT_TRUE(saw_release);
+}
+
+TEST(SpanTrace, PhaseTimelinesTileTheMeasuredWindow) {
+  const ExperimentResult res = run_experiment(traced_mesh(4));
+  ASSERT_FALSE(res.phase_timeline.empty());
+  using Key = std::tuple<std::uint32_t, std::uint32_t, std::uint32_t>;
+  std::map<Key, std::vector<const obs::PhaseInterval*>> by_entry;
+  for (const obs::PhaseInterval& iv : res.phase_timeline) {
+    EXPECT_LE(iv.t0_s, iv.t1_s);
+    EXPECT_GE(iv.t0_s, 0.0);
+    by_entry[Key{iv.node, iv.peer, iv.prefix}].push_back(&iv);
+  }
+  bool saw_suppression = false;
+  for (const auto& [key, ivs] : by_entry) {
+    // Contiguous per entry: each interval starts where the last one ended,
+    // and the sequence ends with the zero-length converged tail.
+    for (std::size_t i = 1; i < ivs.size(); ++i) {
+      EXPECT_DOUBLE_EQ(ivs[i]->t0_s, ivs[i - 1]->t1_s);
+    }
+    EXPECT_EQ(ivs.back()->phase, obs::EntryPhase::kConverged);
+    for (const obs::PhaseInterval* iv : ivs) {
+      saw_suppression |= iv->phase == obs::EntryPhase::kSuppression;
+    }
+  }
+  EXPECT_TRUE(saw_suppression);
+}
+
+TEST(SpanTrace, TracingOffLeavesResultEmpty) {
+  ExperimentConfig cfg = traced_mesh(2);
+  cfg.collect_spans = false;
+  const ExperimentResult res = run_experiment(cfg);
+  EXPECT_TRUE(res.spans.empty());
+  EXPECT_TRUE(res.phase_timeline.empty());
+}
+
+TEST(SpanTrace, CollectionIsDeterministic) {
+  const ExperimentResult a = run_experiment(traced_mesh(3));
+  const ExperimentResult b = run_experiment(traced_mesh(3));
+  ASSERT_EQ(a.spans.size(), b.spans.size());
+  for (std::size_t i = 0; i < a.spans.size(); ++i) {
+    EXPECT_EQ(a.spans[i].trace_id, b.spans[i].trace_id);
+    EXPECT_EQ(a.spans[i].parent_span_id, b.spans[i].parent_span_id);
+    EXPECT_STREQ(a.spans[i].kind, b.spans[i].kind);
+    EXPECT_DOUBLE_EQ(a.spans[i].t0_s, b.spans[i].t0_s);
+    EXPECT_DOUBLE_EQ(a.spans[i].t1_s, b.spans[i].t1_s);
+  }
+  ASSERT_EQ(a.phase_timeline.size(), b.phase_timeline.size());
+  for (std::size_t i = 0; i < a.phase_timeline.size(); ++i) {
+    EXPECT_EQ(a.phase_timeline[i].phase, b.phase_timeline[i].phase);
+    EXPECT_DOUBLE_EQ(a.phase_timeline[i].t0_s, b.phase_timeline[i].t0_s);
+    EXPECT_DOUBLE_EQ(a.phase_timeline[i].t1_s, b.phase_timeline[i].t1_s);
+  }
+}
+
+}  // namespace
+}  // namespace rfdnet::core

@@ -1,0 +1,83 @@
+#include "obs/chrome_trace.hpp"
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+#include <string>
+#include <vector>
+
+namespace rfdnet::obs {
+namespace {
+
+std::vector<SpanRecord> sample_spans() {
+  SpanRecord root;
+  root.trace_id = 1;
+  root.span_id = 1;
+  root.kind = "flap.withdraw";
+  root.t0_s = 0.0;
+  root.t1_s = 0.0;
+  root.node = 9;
+  root.peer = 5;
+  SpanRecord send;
+  send.trace_id = 1;
+  send.span_id = 2;
+  send.parent_span_id = 1;
+  send.kind = "bgp.send";
+  send.t0_s = 0.0;
+  send.t1_s = 0.0125;
+  send.node = 9;
+  send.peer = 5;
+  return {root, send};
+}
+
+std::vector<PhaseInterval> sample_phases() {
+  return {PhaseInterval{5, 9, 0, EntryPhase::kCharging, 0.0, 25.0},
+          PhaseInterval{5, 9, 0, EntryPhase::kSuppression, 25.0, 85.0}};
+}
+
+TEST(ChromeTrace, EmitsWellFormedDocumentWithAllEvents) {
+  std::ostringstream os;
+  write_chrome_trace(os, sample_spans(), sample_phases());
+  const std::string s = os.str();
+  // One JSON object with a traceEvents array.
+  EXPECT_EQ(s.rfind("{\"displayTimeUnit\":\"ms\",\"traceEvents\":[", 0), 0u)
+      << s;
+  EXPECT_NE(s.find("]}"), std::string::npos);
+  // Span events carry the causal identity in args.
+  EXPECT_NE(s.find("\"name\":\"flap.withdraw\""), std::string::npos) << s;
+  EXPECT_NE(s.find("\"name\":\"bgp.send\""), std::string::npos) << s;
+  EXPECT_NE(s.find("\"trace\":1,\"span\":2,\"parent\":1"), std::string::npos)
+      << s;
+  // Phase intervals land on their own named track.
+  EXPECT_NE(s.find("\"name\":\"suppression\""), std::string::npos) << s;
+  EXPECT_NE(s.find("phase peer 9 prefix 0"), std::string::npos) << s;
+  // Timestamps are integer microseconds: 12.5 ms on the wire -> dur 12500.
+  EXPECT_NE(s.find("\"dur\":12500"), std::string::npos) << s;
+  // Both routers appear as processes.
+  EXPECT_NE(s.find("\"name\":\"router 9\""), std::string::npos) << s;
+  EXPECT_NE(s.find("\"name\":\"router 5\""), std::string::npos) << s;
+  // Balanced braces — cheap well-formedness check without a JSON parser.
+  long depth = 0;
+  for (const char c : s) {
+    if (c == '{') ++depth;
+    if (c == '}') --depth;
+    ASSERT_GE(depth, 0);
+  }
+  EXPECT_EQ(depth, 0);
+}
+
+TEST(ChromeTrace, ByteDeterministicForEqualInputs) {
+  std::ostringstream a, b;
+  write_chrome_trace(a, sample_spans(), sample_phases());
+  write_chrome_trace(b, sample_spans(), sample_phases());
+  EXPECT_EQ(a.str(), b.str());
+}
+
+TEST(ChromeTrace, EmptyInputsStillYieldValidDocument) {
+  std::ostringstream os;
+  write_chrome_trace(os, {}, {});
+  EXPECT_EQ(os.str(), "{\"displayTimeUnit\":\"ms\",\"traceEvents\":[\n\n]}\n");
+}
+
+}  // namespace
+}  // namespace rfdnet::obs

@@ -2,6 +2,8 @@
 
 #include <gtest/gtest.h>
 
+#include <cmath>
+#include <limits>
 #include <sstream>
 #include <stdexcept>
 
@@ -40,6 +42,72 @@ TEST(Histogram, BucketsByInclusiveUpperBound) {
   EXPECT_EQ(h.buckets()[2], 1u);
   EXPECT_EQ(h.count(), 4u);
   EXPECT_DOUBLE_EQ(h.sum(), 10.0 + 10.5 + 100.0 + 1e6);
+}
+
+TEST(Histogram, NanObservationsAreDropped) {
+  Histogram h({10.0, 100.0});
+  h.observe(std::numeric_limits<double>::quiet_NaN());
+  EXPECT_EQ(h.count(), 0u);
+  EXPECT_DOUBLE_EQ(h.sum(), 0.0);
+  for (const std::uint64_t b : h.buckets()) EXPECT_EQ(b, 0u);
+  // Real observations still land after a NaN, and the sum stays finite.
+  h.observe(5.0);
+  h.observe(std::numeric_limits<double>::quiet_NaN());
+  h.observe(50.0);
+  EXPECT_EQ(h.count(), 2u);
+  EXPECT_DOUBLE_EQ(h.sum(), 55.0);
+  EXPECT_EQ(h.buckets()[0], 1u);
+  EXPECT_EQ(h.buckets()[1], 1u);
+}
+
+TEST(Histogram, QuantileInterpolatesWithinBuckets) {
+  Histogram h({10.0, 20.0});
+  // 10 observations uniform in the first bucket.
+  for (int i = 0; i < 10; ++i) h.observe(5.0);
+  // First bucket interpolates from 0: the median rank sits mid-bucket.
+  EXPECT_NEAR(h.quantile(0.5), 5.0, 1.0);
+  EXPECT_GE(h.quantile(0.0), 0.0);
+  EXPECT_LE(h.quantile(1.0), 10.0);
+}
+
+TEST(Histogram, QuantileSpansBucketsMonotonically) {
+  Histogram h({10.0, 20.0, 40.0});
+  for (int i = 0; i < 50; ++i) h.observe(5.0);
+  for (int i = 0; i < 40; ++i) h.observe(15.0);
+  for (int i = 0; i < 10; ++i) h.observe(30.0);
+  const double p50 = h.quantile(0.5);
+  const double p90 = h.quantile(0.9);
+  const double p99 = h.quantile(0.99);
+  EXPECT_LE(p50, 10.0);     // median inside the first bucket
+  EXPECT_GT(p90, 10.0);     // p90 in the second
+  EXPECT_LE(p90, 20.0);
+  EXPECT_GT(p99, 20.0);     // p99 in the third
+  EXPECT_LE(p99, 40.0);
+  EXPECT_LE(p50, p90);
+  EXPECT_LE(p90, p99);
+}
+
+TEST(Histogram, QuantileOverflowClampsToLastBound) {
+  Histogram h({10.0});
+  h.observe(1e9);  // overflow bucket has no upper edge
+  EXPECT_DOUBLE_EQ(h.quantile(0.99), 10.0);
+}
+
+TEST(Histogram, QuantileOfEmptyIsNan) {
+  Histogram h;
+  EXPECT_TRUE(std::isnan(h.quantile(0.5)));
+}
+
+TEST(Registry, SummaryIncludesQuantileEstimates) {
+  Registry r;
+  Histogram& h = r.histogram("lat", {10.0, 100.0});
+  for (int i = 0; i < 100; ++i) h.observe(5.0);
+  std::ostringstream os;
+  r.write_summary(os);
+  const std::string s = os.str();
+  EXPECT_NE(s.find("p50 ~"), std::string::npos) << s;
+  EXPECT_NE(s.find("p90 ~"), std::string::npos) << s;
+  EXPECT_NE(s.find("p99 ~"), std::string::npos) << s;
 }
 
 TEST(Registry, GetOrCreateReturnsStableReferences) {
@@ -137,6 +205,20 @@ TEST(TypedBundles, BindRegistersCanonicalNames) {
   EXPECT_NE(j.find("\"bgp.sends\":1"), std::string::npos) << j;
   EXPECT_NE(j.find("\"rfd.charges\":1"), std::string::npos) << j;
   EXPECT_NE(j.find("rfd.penalty"), std::string::npos) << j;
+}
+
+TEST(TypedBundles, PhaseMetricsBindAndObserve) {
+  Registry r;
+  const PhaseMetrics pm = PhaseMetrics::bind(r);
+  pm.charging->observe(12.0);
+  pm.suppression->observe(120.0);
+  pm.releasing->observe(30.0);
+  pm.intervals->inc(3);
+  const std::string j = r.json();
+  EXPECT_NE(j.find("phase.charging"), std::string::npos) << j;
+  EXPECT_NE(j.find("phase.suppression"), std::string::npos) << j;
+  EXPECT_NE(j.find("phase.releasing"), std::string::npos) << j;
+  EXPECT_NE(j.find("\"phase.intervals\":3"), std::string::npos) << j;
 }
 
 }  // namespace

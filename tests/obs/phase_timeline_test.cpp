@@ -1,0 +1,120 @@
+#include "obs/phase_timeline.hpp"
+
+#include <gtest/gtest.h>
+
+namespace rfdnet::obs {
+namespace {
+
+TEST(PhaseTimeline, EmptyRecorderFinalizesToNothing) {
+  PhaseTimeline tl;
+  EXPECT_TRUE(tl.empty());
+  EXPECT_TRUE(tl.finalize(100.0).empty());
+}
+
+TEST(PhaseTimeline, ChargeSupressReuseProducesTilingIntervals) {
+  PhaseTimeline tl;
+  tl.on_charge(10.0, 1, 2, 0);
+  tl.on_suppress(25.0, 1, 2, 0);
+  tl.on_reuse(85.0, 1, 2, 0);
+  const auto iv = tl.finalize(100.0);
+  // converged [0,10) charging [10,25) suppression [25,85) releasing [85,100)
+  // + the zero-length final converged tile.
+  ASSERT_EQ(iv.size(), 5u);
+  EXPECT_EQ(iv[0].phase, EntryPhase::kConverged);
+  EXPECT_DOUBLE_EQ(iv[0].t0_s, 0.0);
+  EXPECT_DOUBLE_EQ(iv[0].t1_s, 10.0);
+  EXPECT_EQ(iv[1].phase, EntryPhase::kCharging);
+  EXPECT_DOUBLE_EQ(iv[1].t1_s, 25.0);
+  EXPECT_EQ(iv[2].phase, EntryPhase::kSuppression);
+  EXPECT_DOUBLE_EQ(iv[2].t1_s, 85.0);
+  EXPECT_EQ(iv[3].phase, EntryPhase::kReleasing);
+  EXPECT_DOUBLE_EQ(iv[3].t1_s, 100.0);
+  EXPECT_EQ(iv[4].phase, EntryPhase::kConverged);
+  EXPECT_DOUBLE_EQ(iv[4].t0_s, 100.0);
+  EXPECT_DOUBLE_EQ(iv[4].duration(), 0.0);
+  // Contiguity: each interval starts where the previous ended.
+  for (std::size_t i = 1; i < iv.size(); ++i) {
+    EXPECT_DOUBLE_EQ(iv[i].t0_s, iv[i - 1].t1_s);
+  }
+}
+
+TEST(PhaseTimeline, SecondaryChargingDoesNotLeaveSuppression) {
+  PhaseTimeline tl;
+  tl.on_charge(0.0, 1, 2, 0);
+  tl.on_suppress(5.0, 1, 2, 0);
+  // The paper's timer interaction: charges while suppressed extend the
+  // suppression (penalty up, reuse timer out) — they must NOT flip the
+  // entry back to charging.
+  tl.on_charge(20.0, 1, 2, 0);
+  tl.on_charge(40.0, 1, 2, 0);
+  tl.on_reuse(90.0, 1, 2, 0);
+  const auto iv = tl.finalize(95.0);
+  ASSERT_EQ(iv.size(), 4u);
+  EXPECT_EQ(iv[0].phase, EntryPhase::kCharging);
+  EXPECT_EQ(iv[1].phase, EntryPhase::kSuppression);
+  EXPECT_DOUBLE_EQ(iv[1].t0_s, 5.0);
+  EXPECT_DOUBLE_EQ(iv[1].t1_s, 90.0);  // one unbroken suppression interval
+  EXPECT_EQ(iv[2].phase, EntryPhase::kReleasing);
+}
+
+TEST(PhaseTimeline, ChargeAfterReuseStartsNewCycle) {
+  PhaseTimeline tl;
+  tl.on_charge(0.0, 1, 2, 0);
+  tl.on_suppress(5.0, 1, 2, 0);
+  tl.on_reuse(50.0, 1, 2, 0);
+  tl.on_charge(60.0, 1, 2, 0);  // releasing -> charging again
+  const auto iv = tl.finalize(70.0);
+  ASSERT_EQ(iv.size(), 5u);
+  EXPECT_EQ(iv[2].phase, EntryPhase::kReleasing);
+  EXPECT_DOUBLE_EQ(iv[2].t1_s, 60.0);
+  EXPECT_EQ(iv[3].phase, EntryPhase::kCharging);
+  EXPECT_DOUBLE_EQ(iv[3].t1_s, 70.0);
+  EXPECT_EQ(iv[4].phase, EntryPhase::kConverged);
+}
+
+TEST(PhaseTimeline, EntriesAreIndependentAndSorted) {
+  PhaseTimeline tl;
+  tl.on_charge(3.0, 2, 9, 0);  // higher node id first in time
+  tl.on_charge(1.0, 1, 4, 0);
+  tl.on_suppress(2.0, 1, 4, 0);
+  const auto iv = tl.finalize(10.0);
+  // Sorted by (node, peer, prefix, t0): node 1's intervals come first.
+  ASSERT_GE(iv.size(), 2u);
+  EXPECT_EQ(iv.front().node, 1u);
+  EXPECT_EQ(iv.back().node, 2u);
+  for (std::size_t i = 1; i < iv.size(); ++i) {
+    const auto a = std::make_tuple(iv[i - 1].node, iv[i - 1].peer,
+                                   iv[i - 1].prefix, iv[i - 1].t0_s);
+    const auto b =
+        std::make_tuple(iv[i].node, iv[i].peer, iv[i].prefix, iv[i].t0_s);
+    EXPECT_LE(a, b);
+  }
+}
+
+TEST(PhaseTimeline, FinalizeClampsEndBeforeLastTransition) {
+  PhaseTimeline tl;
+  tl.on_charge(10.0, 1, 2, 0);
+  tl.on_suppress(50.0, 1, 2, 0);
+  const auto iv = tl.finalize(30.0);  // end before the suppression instant
+  for (const PhaseInterval& p : iv) {
+    EXPECT_LE(p.t0_s, p.t1_s) << "inverted interval";
+  }
+}
+
+TEST(PhaseTimeline, ResetDropsAllState) {
+  PhaseTimeline tl;
+  tl.on_charge(1.0, 1, 2, 0);
+  tl.reset();
+  EXPECT_TRUE(tl.empty());
+  EXPECT_TRUE(tl.finalize(10.0).empty());
+}
+
+TEST(PhaseTimeline, PhaseNamesRoundTrip) {
+  EXPECT_EQ(to_string(EntryPhase::kConverged), "converged");
+  EXPECT_EQ(to_string(EntryPhase::kCharging), "charging");
+  EXPECT_EQ(to_string(EntryPhase::kSuppression), "suppression");
+  EXPECT_EQ(to_string(EntryPhase::kReleasing), "releasing");
+}
+
+}  // namespace
+}  // namespace rfdnet::obs

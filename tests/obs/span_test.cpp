@@ -1,0 +1,155 @@
+#include "obs/span.hpp"
+
+#include <gtest/gtest.h>
+
+namespace rfdnet::obs {
+namespace {
+
+TEST(SpanContext, DefaultIsInvalid) {
+  SpanContext sc;
+  EXPECT_FALSE(sc.valid());
+  EXPECT_EQ(sc.trace_id, 0u);
+  EXPECT_EQ(sc.parent_span_id, 0u);
+}
+
+TEST(SpanTracer, RootMintsFreshTraceWithInstantSpan) {
+  SpanTracer t;
+  const SpanContext a = t.root("flap.withdraw", 1.0, 3, 4, 0);
+  const SpanContext b = t.root("flap.announce", 2.0, 3, 4, 0);
+  ASSERT_TRUE(a.valid());
+  ASSERT_TRUE(b.valid());
+  EXPECT_NE(a.trace_id, b.trace_id);
+  EXPECT_EQ(a.parent_span_id, 0u);
+  ASSERT_EQ(t.size(), 2u);
+  const SpanRecord& ra = t.records()[0];
+  EXPECT_STREQ(ra.kind, "flap.withdraw");
+  EXPECT_DOUBLE_EQ(ra.t0_s, 1.0);
+  EXPECT_DOUBLE_EQ(ra.t1_s, 1.0);  // instant span is already closed
+  EXPECT_FALSE(ra.open());
+  EXPECT_EQ(ra.node, 3u);
+  EXPECT_EQ(ra.peer, 4u);
+}
+
+TEST(SpanTracer, IdsAreSequentialAndIndexable) {
+  SpanTracer t;
+  const SpanContext root = t.root("r", 0.0, 0, 0, 0);
+  const SpanContext c1 = t.child(root, "c1", 1.0, 1, 2, 0);
+  const SpanContext c2 = t.child(c1, "c2", 2.0, 2, 3, 0);
+  EXPECT_EQ(root.span_id, 1u);
+  EXPECT_EQ(c1.span_id, 2u);
+  EXPECT_EQ(c2.span_id, 3u);
+  // Span n lives at records()[n - 1].
+  EXPECT_EQ(t.records()[c2.span_id - 1].parent_span_id, c1.span_id);
+  EXPECT_EQ(c2.trace_id, root.trace_id);
+}
+
+TEST(SpanTracer, ChildOfInvalidParentIsNoOp) {
+  SpanTracer t;
+  const SpanContext c = t.child(SpanContext{}, "c", 1.0, 0, 0, 0);
+  EXPECT_FALSE(c.valid());
+  EXPECT_TRUE(t.empty());
+  const SpanContext i = t.child_instant(SpanContext{}, "i", 1.0, 0, 0, 0);
+  EXPECT_FALSE(i.valid());
+  EXPECT_TRUE(t.empty());
+}
+
+TEST(SpanTracer, ChildOpensIntervalUntilClosed) {
+  SpanTracer t;
+  const SpanContext root = t.root("r", 0.0, 0, 0, 0);
+  const SpanContext c = t.child(root, "bgp.send", 1.0, 0, 1, 0);
+  EXPECT_TRUE(t.records()[c.span_id - 1].open());
+  t.close(c, 3.5);
+  const SpanRecord& r = t.records()[c.span_id - 1];
+  EXPECT_FALSE(r.open());
+  EXPECT_DOUBLE_EQ(r.t1_s, 3.5);
+  // A second close is ignored.
+  t.close(c, 9.0);
+  EXPECT_DOUBLE_EQ(t.records()[c.span_id - 1].t1_s, 3.5);
+}
+
+TEST(SpanTracer, CloseClampsToStart) {
+  SpanTracer t;
+  const SpanContext root = t.root("r", 0.0, 0, 0, 0);
+  const SpanContext c = t.child(root, "c", 2.0, 0, 0, 0);
+  t.close(c, 1.0);  // earlier than t0: clamp, never invert
+  EXPECT_DOUBLE_EQ(t.records()[c.span_id - 1].t1_s, 2.0);
+}
+
+TEST(SpanTracer, CloseIgnoresInvalidAndForeignContexts) {
+  SpanTracer t;
+  t.close(SpanContext{}, 1.0);  // no-op
+  SpanContext bogus;
+  bogus.trace_id = 1;
+  bogus.span_id = 42;  // never minted
+  t.close(bogus, 1.0);
+  EXPECT_TRUE(t.empty());
+}
+
+TEST(SpanTracer, CloseOpenSweepsEveryOpenSpan) {
+  SpanTracer t;
+  const SpanContext root = t.root("r", 0.0, 0, 0, 0);
+  const SpanContext a = t.child(root, "a", 1.0, 0, 0, 0);
+  const SpanContext b = t.child(root, "b", 2.0, 0, 0, 0);
+  t.close(a, 4.0);
+  t.close_open(10.0);
+  EXPECT_DOUBLE_EQ(t.records()[a.span_id - 1].t1_s, 4.0);  // untouched
+  EXPECT_DOUBLE_EQ(t.records()[b.span_id - 1].t1_s, 10.0);
+  for (const SpanRecord& r : t.records()) EXPECT_FALSE(r.open());
+}
+
+TEST(SpanTracer, ActiveContextStackNestsAndGuards) {
+  SpanTracer t;
+  EXPECT_FALSE(t.active().valid());
+  const SpanContext root = t.root("r", 0.0, 0, 0, 0);
+  {
+    const ActiveSpan outer(&t, root);
+    EXPECT_EQ(t.active(), root);
+    const SpanContext c = t.child(t.active(), "c", 1.0, 0, 0, 0);
+    {
+      const ActiveSpan inner(&t, c);
+      EXPECT_EQ(t.active(), c);
+    }
+    EXPECT_EQ(t.active(), root);
+  }
+  EXPECT_FALSE(t.active().valid());
+}
+
+TEST(SpanTracer, ActiveSpanGuardIgnoresInvalidContexts) {
+  SpanTracer t;
+  {
+    const ActiveSpan guard(&t, SpanContext{});  // must not push
+    EXPECT_FALSE(t.active().valid());
+  }
+  {
+    const ActiveSpan guard(nullptr, SpanContext{});  // tracer-less is fine
+  }
+}
+
+TEST(SpanTracer, SameEventSequenceYieldsIdenticalRecords) {
+  auto run = [] {
+    SpanTracer t;
+    const SpanContext root = t.root("flap.withdraw", 0.0, 9, 5, 0);
+    const SpanContext send = t.child(root, "bgp.send", 0.0, 9, 5, 0);
+    t.close(send, 0.01);
+    const SpanContext sup = t.child(send, "rfd.suppress", 0.01, 5, 9, 0);
+    t.close_open(60.0);
+    (void)sup;
+    return t;
+  };
+  const SpanTracer a = run();
+  const SpanTracer b = run();
+  ASSERT_EQ(a.size(), b.size());
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    const SpanRecord& ra = a.records()[i];
+    const SpanRecord& rb = b.records()[i];
+    EXPECT_EQ(ra.trace_id, rb.trace_id);
+    EXPECT_EQ(ra.span_id, rb.span_id);
+    EXPECT_EQ(ra.parent_span_id, rb.parent_span_id);
+    EXPECT_STREQ(ra.kind, rb.kind);
+    EXPECT_DOUBLE_EQ(ra.t0_s, rb.t0_s);
+    EXPECT_DOUBLE_EQ(ra.t1_s, rb.t1_s);
+  }
+}
+
+}  // namespace
+}  // namespace rfdnet::obs

@@ -1,0 +1,107 @@
+#include "sim/profile.hpp"
+
+#include <gtest/gtest.h>
+
+#include <string>
+
+#include "sim/engine.hpp"
+
+namespace rfdnet::sim {
+namespace {
+
+TEST(EngineProfile, StartsEmptyAndMergesElementWise) {
+  EngineProfile a, b;
+  EXPECT_TRUE(a.empty());
+  EXPECT_EQ(a.total_fired(), 0u);
+  a.row(EventKind::kDelivery).scheduled = 3;
+  a.row(EventKind::kDelivery).fired = 2;
+  b.row(EventKind::kDelivery).fired = 5;
+  b.row(EventKind::kFlap).cancelled = 1;
+  a.merge(b);
+  EXPECT_EQ(a.row(EventKind::kDelivery).scheduled, 3u);
+  EXPECT_EQ(a.row(EventKind::kDelivery).fired, 7u);
+  EXPECT_EQ(a.row(EventKind::kFlap).cancelled, 1u);
+  EXPECT_EQ(a.total_fired(), 7u);
+  EXPECT_FALSE(a.empty());
+}
+
+TEST(EngineProfile, JsonKeyedByKindInEnumOrderWithoutWall) {
+  EngineProfile p;
+  p.row(EventKind::kReuseTimer).scheduled = 4;
+  p.row(EventKind::kReuseTimer).fired = 3;
+  p.row(EventKind::kReuseTimer).cancelled = 1;
+  p.row(EventKind::kReuseTimer).wall_ns = 123456;  // must not leak
+  const std::string j = p.json();
+  EXPECT_NE(
+      j.find("\"reuse_timer\":{\"scheduled\":4,\"fired\":3,\"cancelled\":1}"),
+      std::string::npos)
+      << j;
+  EXPECT_EQ(j.find("wall_ns"), std::string::npos) << j;
+  // Enum order: generic first, fault last.
+  EXPECT_LT(j.find("\"generic\""), j.find("\"delivery\""));
+  EXPECT_LT(j.find("\"delivery\""), j.find("\"fault\""));
+  // Opt-in wall time for human-facing summaries.
+  EXPECT_NE(p.json(/*include_wall=*/true).find("\"wall_ns\":123456"),
+            std::string::npos);
+}
+
+TEST(EngineProfile, EngineCountsPerKind) {
+  Engine engine;
+  EngineProfile profile;
+  engine.set_profile(&profile);
+
+  int fired = 0;
+  engine.schedule_at(SimTime::from_seconds(1.0), [&] { ++fired; },
+                     EventKind::kDelivery);
+  engine.schedule_at(SimTime::from_seconds(2.0), [&] { ++fired; },
+                     EventKind::kDelivery);
+  engine.schedule_at(SimTime::from_seconds(3.0), [&] { ++fired; },
+                     EventKind::kReuseTimer);
+  const EventId doomed = engine.schedule_at(SimTime::from_seconds(4.0),
+                                            [&] { ++fired; }, EventKind::kFlap);
+  engine.schedule_at(SimTime::from_seconds(5.0), [&] { ++fired; });  // generic
+  engine.cancel(doomed);
+  engine.run(SimTime::from_seconds(10.0));
+
+  EXPECT_EQ(fired, 4);
+  EXPECT_EQ(profile.row(EventKind::kDelivery).scheduled, 2u);
+  EXPECT_EQ(profile.row(EventKind::kDelivery).fired, 2u);
+  EXPECT_EQ(profile.row(EventKind::kDelivery).cancelled, 0u);
+  EXPECT_EQ(profile.row(EventKind::kReuseTimer).fired, 1u);
+  EXPECT_EQ(profile.row(EventKind::kFlap).scheduled, 1u);
+  EXPECT_EQ(profile.row(EventKind::kFlap).cancelled, 1u);
+  EXPECT_EQ(profile.row(EventKind::kFlap).fired, 0u);
+  EXPECT_EQ(profile.row(EventKind::kGeneric).fired, 1u);
+  EXPECT_EQ(profile.total_fired(), 4u);
+  // Handlers ran, so wall time accumulated for the fired kinds — but the
+  // deterministic artifact is unaffected (checked in JsonKeyedByKind...).
+  EXPECT_EQ(profile.row(EventKind::kFlap).wall_ns, 0u);
+}
+
+TEST(EngineProfile, DetachedEngineLeavesProfileUntouched) {
+  Engine engine;
+  int fired = 0;
+  engine.schedule_at(SimTime::from_seconds(1.0), [&] { ++fired; },
+                     EventKind::kDelivery);
+  engine.run(SimTime::from_seconds(2.0));
+  EXPECT_EQ(fired, 1);  // no profile attached: dispatch works, nothing counted
+}
+
+TEST(EngineProfile, CountsAreDeterministicAcrossRuns) {
+  auto run = [] {
+    Engine engine;
+    EngineProfile profile;
+    engine.set_profile(&profile);
+    for (int i = 0; i < 50; ++i) {
+      engine.schedule_at(SimTime::from_seconds(i), [] {},
+                         i % 2 == 0 ? EventKind::kDelivery
+                                    : EventKind::kMraiFlush);
+    }
+    engine.run(SimTime::from_seconds(100.0));
+    return profile.json();
+  };
+  EXPECT_EQ(run(), run());
+}
+
+}  // namespace
+}  // namespace rfdnet::sim
