@@ -1,0 +1,86 @@
+// Microbenchmarks (google-benchmark) for the BGP propagation hot path: the
+// fan-out of updates through RIB-IN / decision process / per-peer export that
+// every figure of the paper is made of. Two workloads bracket the paper's
+// scaling range: the §5.1 100-node mesh (path-exploration storms, O(E·L)
+// updates per flap) and the §7 208-node Internet-derived graph under the
+// no-valley policy. Each iteration runs warm-up convergence plus a full
+// withdraw/re-announce flap cycle; items/s is delivered updates per second.
+//
+// Wired into scripts/bench_baseline.sh ("micro_propagation" section of
+// BENCH_<date>.json) and gated by scripts/check.sh --bench alongside
+// micro_engine.
+
+#include <benchmark/benchmark.h>
+
+#include <cstdint>
+
+#include "bgp/config.hpp"
+#include "bgp/network.hpp"
+#include "bgp/policy.hpp"
+#include "net/graph.hpp"
+#include "net/topology.hpp"
+#include "sim/engine.hpp"
+#include "sim/random.hpp"
+#include "sim/time.hpp"
+
+namespace {
+
+using namespace rfdnet;
+
+// One warm-up convergence plus `pulses` withdraw/re-announce cycles, each
+// run to quiescence — the paper's flap workload stripped of damping and
+// instrumentation so the measurement is the propagation machinery itself.
+std::uint64_t flap_cycles(const net::Graph& g, const bgp::Policy& policy,
+                          int pulses) {
+  bgp::TimingConfig cfg;
+  sim::Engine engine;
+  sim::Rng rng(1);
+  bgp::BgpNetwork network(g, cfg, policy, engine, rng);
+  network.router(0).originate(0);
+  engine.run();
+  for (int k = 0; k < pulses; ++k) {
+    network.router(0).withdraw_origin(0);
+    engine.run();
+    network.router(0).originate(0);
+    engine.run();
+  }
+  return network.delivered_count();
+}
+
+void BM_PropagationMesh100(benchmark::State& state) {
+  // The paper's 100-node mesh (10x10 torus); router 0 plays the origin.
+  static const net::Graph& g = *new net::Graph(net::make_mesh_torus(10, 10));
+  const bgp::ShortestPathPolicy policy;
+  const int pulses = static_cast<int>(state.range(0));
+  std::uint64_t delivered = 0;
+  for (auto _ : state) {
+    delivered = flap_cycles(g, policy, pulses);
+    benchmark::DoNotOptimize(delivered);
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(delivered));
+  state.counters["delivered"] = static_cast<double>(delivered);
+}
+BENCHMARK(BM_PropagationMesh100)->Arg(2)->Unit(benchmark::kMillisecond);
+
+void BM_PropagationInternet208(benchmark::State& state) {
+  // The §7 scaling frontier: 208-node Internet-derived graph, no-valley
+  // policy (customer/peer/provider export rules exercise the policy path).
+  static const net::Graph& g = *new net::Graph([] {
+    sim::Rng topo_rng(7);
+    return net::make_internet_like(208, topo_rng);
+  }());
+  const bgp::NoValleyPolicy policy;
+  const int pulses = static_cast<int>(state.range(0));
+  std::uint64_t delivered = 0;
+  for (auto _ : state) {
+    delivered = flap_cycles(g, policy, pulses);
+    benchmark::DoNotOptimize(delivered);
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(delivered));
+  state.counters["delivered"] = static_cast<double>(delivered);
+}
+BENCHMARK(BM_PropagationInternet208)->Arg(2)->Unit(benchmark::kMillisecond);
+
+}  // namespace

@@ -6,6 +6,7 @@
 #   {
 #     "date": "YYYY-MM-DD",
 #     "micro_engine": { "<benchmark>": {"real_time_ns": ..., ...}, ... },
+#     "micro_propagation": { "<benchmark>": {"real_time_ns": ..., ...}, ... },
 #     "fig07": { "wall_s": ..., "profile": { "<kind>": {counts...}, ... } }
 #   }
 #
@@ -25,7 +26,8 @@ OUT="${1:-BENCH_$(date +%F).json}"
 # Reuse the existing build tree's generator (check.sh configures Ninja on a
 # fresh tree; a Makefiles tree works just as well here).
 cmake -B build >/dev/null
-cmake --build build --target micro_engine fig07_secondary_charging >/dev/null
+cmake --build build --target micro_engine micro_propagation \
+  fig07_secondary_charging >/dev/null
 
 TMP="$(mktemp -d)"
 trap 'rm -rf "$TMP"' EXIT
@@ -34,39 +36,50 @@ echo "running micro_engine..." >&2
 ./build/bench/micro_engine --benchmark_format=json \
   >"$TMP/micro.json" 2>/dev/null
 
+echo "running micro_propagation..." >&2
+./build/bench/micro_propagation --benchmark_format=json \
+  >"$TMP/micro_prop.json" 2>/dev/null
+
 echo "running fig07_secondary_charging (profiled)..." >&2
 FIG07_START=$(date +%s.%N)
 ./build/bench/fig07_secondary_charging --profile "$TMP/fig07_profile.json" \
   >/dev/null
 FIG07_END=$(date +%s.%N)
 
-python3 - "$TMP/micro.json" "$TMP/fig07_profile.json" "$OUT" \
-  "$(date +%F)" "$FIG07_START" "$FIG07_END" <<'PY'
+python3 - "$TMP/micro.json" "$TMP/micro_prop.json" "$TMP/fig07_profile.json" \
+  "$OUT" "$(date +%F)" "$FIG07_START" "$FIG07_END" <<'PY'
 import json
 import sys
 
-micro_path, profile_path, out_path, date, t0, t1 = sys.argv[1:7]
+micro_path, prop_path, profile_path, out_path, date, t0, t1 = sys.argv[1:8]
 
 with open(micro_path) as f:
     micro = json.load(f)
+with open(prop_path) as f:
+    prop = json.load(f)
 with open(profile_path) as f:
     profile = json.load(f)
 
-bench = {}
-for b in micro.get("benchmarks", []):
-    if b.get("run_type") != "iteration":
-        continue
-    bench[b["name"]] = {
-        "real_time": b["real_time"],
-        "cpu_time": b["cpu_time"],
-        "time_unit": b.get("time_unit", "ns"),
-        "iterations": b["iterations"],
-        "items_per_second": b.get("items_per_second"),
-    }
+
+def flatten(report):
+    bench = {}
+    for b in report.get("benchmarks", []):
+        if b.get("run_type") != "iteration":
+            continue
+        bench[b["name"]] = {
+            "real_time": b["real_time"],
+            "cpu_time": b["cpu_time"],
+            "time_unit": b.get("time_unit", "ns"),
+            "iterations": b["iterations"],
+            "items_per_second": b.get("items_per_second"),
+        }
+    return bench
+
 
 out = {
     "date": date,
-    "micro_engine": bench,
+    "micro_engine": flatten(micro),
+    "micro_propagation": flatten(prop),
     "fig07": {
         "wall_s": round(float(t1) - float(t0), 3),
         "profile": profile,

@@ -9,9 +9,10 @@
 # (randomized oracle) tiers plus both sanitizer legs.
 #
 # `check.sh --bench` runs the perf-baseline tier instead: it takes a fresh
-# snapshot with scripts/bench_baseline.sh and fails if any micro_engine
-# benchmark regressed more than 20% against the newest committed
-# BENCH_*.json (wall-clock jitter on shared machines sits well under that).
+# snapshot with scripts/bench_baseline.sh and fails if any micro_engine or
+# micro_propagation benchmark regressed more than 20% against the newest
+# committed BENCH_*.json (wall-clock jitter on shared machines sits well
+# under that).
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
@@ -41,18 +42,19 @@ with open(current_path) as f:
 
 LIMIT = 1.20  # fail above +20% real time
 failed = []
-for name, b in sorted(base.get("micro_engine", {}).items()):
-    c = cur.get("micro_engine", {}).get(name)
-    if c is None:
-        failed.append(f"{name}: missing from current run")
-        continue
-    ratio = c["real_time"] / b["real_time"]
-    unit = b.get("time_unit", "ns")
-    marker = "FAIL" if ratio > LIMIT else "ok"
-    print(f"  {marker:4} {name}: {ratio:.2f}x baseline "
-          f"({c['real_time']:.0f} vs {b['real_time']:.0f} {unit})")
-    if ratio > LIMIT:
-        failed.append(f"{name}: {ratio:.2f}x baseline")
+for section in ("micro_engine", "micro_propagation"):
+    for name, b in sorted(base.get(section, {}).items()):
+        c = cur.get(section, {}).get(name)
+        if c is None:
+            failed.append(f"{section}/{name}: missing from current run")
+            continue
+        ratio = c["real_time"] / b["real_time"]
+        unit = b.get("time_unit", "ns")
+        marker = "FAIL" if ratio > LIMIT else "ok"
+        print(f"  {marker:4} {section}/{name}: {ratio:.2f}x baseline "
+              f"({c['real_time']:.0f} vs {b['real_time']:.0f} {unit})")
+        if ratio > LIMIT:
+            failed.append(f"{section}/{name}: {ratio:.2f}x baseline")
 
 if failed:
     print(f"bench tier FAILED vs {baseline_path}:", file=sys.stderr)

@@ -4,23 +4,17 @@
 
 namespace rfdnet::bgp {
 
-AsPath AsPath::prepended(net::NodeId as) const {
-  std::vector<net::NodeId> hops;
-  hops.reserve(hops_.size() + 1);
-  hops.push_back(as);
-  hops.insert(hops.end(), hops_.begin(), hops_.end());
-  return AsPath(std::move(hops));
-}
-
-bool AsPath::contains(net::NodeId as) const {
-  return std::find(hops_.begin(), hops_.end(), as) != hops_.end();
+bool AsPath::contains_scan(net::NodeId as) const {
+  const std::vector<net::NodeId>& h = *node_->hops;
+  return std::find(h.begin(), h.end(), as) != h.end();
 }
 
 std::string AsPath::to_string() const {
+  const std::vector<net::NodeId>& h = *node_->hops;
   std::string s = "[";
-  for (std::size_t i = 0; i < hops_.size(); ++i) {
+  for (std::size_t i = 0; i < h.size(); ++i) {
     if (i) s += ' ';
-    s += std::to_string(hops_[i]);
+    s += std::to_string(h[i]);
   }
   s += ']';
   return s;

@@ -4,39 +4,74 @@
 #include <string>
 #include <vector>
 
+#include "bgp/path_table.hpp"
 #include "net/types.hpp"
 
 namespace rfdnet::bgp {
+
+/// Handle to an interned path node; never dangles (see `PathTable`).
+using AsPathRef = const PathTable::Node*;
 
 /// BGP AS_PATH: the sequence of ASes an announcement has traversed.
 /// `front()` is the most recent sender (the neighbor the route was learned
 /// from after prepending); `back()` is the origin AS. Used for loop
 /// detection and as the length tie-breaker in route selection.
+///
+/// An `AsPath` is a flyweight: one pointer into the thread's `PathTable`,
+/// where every distinct hop sequence lives exactly once. Copying a path —
+/// per-peer export fan-out, RIB bookkeeping, messages in flight — copies the
+/// handle, not the hops; equality between same-thread paths is a pointer
+/// compare; loop detection consults the node's precomputed bloom bits before
+/// falling back to a scan.
 class AsPath {
  public:
-  AsPath() = default;
+  AsPath() : node_(PathTable::local().empty_path()) {}
 
   /// Path containing only the origin AS.
-  static AsPath origin(net::NodeId as) { return AsPath({as}); }
+  static AsPath origin(net::NodeId as) {
+    return AsPath(PathTable::local().origin(as));
+  }
 
   /// This path with `as` prepended (as done when a route is announced to an
-  /// external peer).
-  AsPath prepended(net::NodeId as) const;
+  /// external peer). Interned: repeated prepends of the same AS onto the
+  /// same tail return the identical node (memo hit, no allocation).
+  AsPath prepended(net::NodeId as) const {
+    return AsPath(PathTable::local().prepend(node_, as));
+  }
 
-  bool contains(net::NodeId as) const;
-  std::size_t length() const { return hops_.size(); }
-  bool empty() const { return hops_.empty(); }
-  net::NodeId front() const { return hops_.front(); }
-  net::NodeId origin_as() const { return hops_.back(); }
-  const std::vector<net::NodeId>& hops() const { return hops_; }
+  /// Loop detection: bloom reject first (a clear bit proves absence), plain
+  /// scan only when the bloom bits collide.
+  bool contains(net::NodeId as) const {
+    if (!(node_->bloom & PathTable::bloom_bit(as))) return false;
+    return contains_scan(as);
+  }
+  /// Reference linear scan (property tests check it agrees with `contains`).
+  bool contains_scan(net::NodeId as) const;
 
-  friend bool operator==(const AsPath&, const AsPath&) = default;
+  std::size_t length() const { return node_->hops->size(); }
+  bool empty() const { return node_->hops->empty(); }
+  net::NodeId front() const { return node_->hops->front(); }
+  net::NodeId origin_as() const { return node_->hops->back(); }
+  const std::vector<net::NodeId>& hops() const { return *node_->hops; }
+
+  /// The interned node (tests: sharing/identity assertions).
+  AsPathRef ref() const { return node_; }
+  /// Intern id within the owning table (deterministic per event sequence).
+  std::uint32_t intern_id() const { return node_->id; }
+
+  /// Same-table handles compare by identity (hash-consing makes that exact);
+  /// paths interned by different threads fall back to comparing hops.
+  friend bool operator==(const AsPath& a, const AsPath& b) {
+    if (a.node_ == b.node_) return true;
+    if (a.node_->owner == b.node_->owner) return false;
+    return *a.node_->hops == *b.node_->hops;
+  }
 
   std::string to_string() const;
 
  private:
-  explicit AsPath(std::vector<net::NodeId> hops) : hops_(std::move(hops)) {}
-  std::vector<net::NodeId> hops_;
+  explicit AsPath(AsPathRef node) : node_(node) {}
+  AsPathRef node_;  ///< never null: the empty path is interned too
 };
 
 }  // namespace rfdnet::bgp

@@ -1,5 +1,7 @@
 #include "bgp/message.hpp"
 
+#include <algorithm>
+
 namespace rfdnet::bgp {
 
 std::string to_string(UpdateKind k) {
@@ -23,6 +25,32 @@ std::string UpdateMessage::to_string() const {
   if (route) s += " " + route->to_string();
   if (rc) s += " rc=" + rc->to_string();
   return s;
+}
+
+std::uint32_t UpdateMessagePool::acquire() {
+  ++stats_.acquired;
+  ++stats_.outstanding;
+  stats_.high_water = std::max(stats_.high_water, stats_.outstanding);
+  if (!free_.empty()) {
+    ++stats_.reused;
+    const std::uint32_t idx = free_.back();
+    free_.pop_back();
+    return idx;
+  }
+  slots_.emplace_back();
+  return static_cast<std::uint32_t>(slots_.size() - 1);
+}
+
+void UpdateMessagePool::release(std::uint32_t idx) {
+  Slot& s = slots_[idx];
+  // Scrub before recycling: stale span / rc / rel_pref fields must not leak
+  // into the next message parked here.
+  s.msg = UpdateMessage{};
+  s.from = net::kInvalidNode;
+  s.to = net::kInvalidNode;
+  s.epoch = 0;
+  free_.push_back(idx);
+  --stats_.outstanding;
 }
 
 }  // namespace rfdnet::bgp

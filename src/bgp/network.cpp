@@ -23,14 +23,24 @@ BgpNetwork::BgpNetwork(const net::Graph& graph, const TimingConfig& cfg,
         },
         observer));
   }
+  // Pre-build the per-directed-link wire records. LinkState entries are
+  // created up front so the Wire pointers stay valid for the network's
+  // lifetime (node-based map: addresses are stable).
+  for (net::NodeId u = 0; u < graph.node_count(); ++u) {
+    for (const auto& e : graph.neighbors(u)) {
+      LinkState& state = link_state_[undirected_key(u, e.neighbor)];
+      const std::uint64_t key =
+          (static_cast<std::uint64_t>(u) << 32) | e.neighbor;
+      wires_.emplace(key, Wire{e.delay_s, &state, sim::SimTime::zero()});
+    }
+  }
 }
 
 void BgpNetwork::transmit(net::NodeId from, net::NodeId to,
                           const UpdateMessage& msg) {
-  const auto state_it = link_state_.find(undirected_key(from, to));
-  const std::uint64_t epoch =
-      state_it == link_state_.end() ? 0 : state_it->second.epoch;
-  if (state_it != link_state_.end() && !state_it->second.up) {
+  Wire& wire =
+      wires_.find((static_cast<std::uint64_t>(from) << 32) | to)->second;
+  if (!wire.state->up) {
     ++dropped_;
     if (observer_) observer_->on_drop(from, to, msg, engine_.now());
     if (spans_) spans_->close(msg.span, engine_.now().as_seconds());
@@ -49,36 +59,48 @@ void BgpNetwork::transmit(net::NodeId from, net::NodeId to,
     extra = p.extra_delay_s;
   }
 
-  const double link_delay = graph_.endpoint(from, to).delay_s;
   const double proc = rng_.uniform(cfg_.proc_delay_min_s, cfg_.proc_delay_max_s);
   sim::SimTime when =
-      engine_.now() + sim::Duration::seconds(link_delay + proc + extra);
-  // BGP runs over TCP: a later update must never overtake an earlier one on
-  // the same session, or a reordered withdrawal would leave a permanently
-  // stale route behind.
-  const std::uint64_t key = (static_cast<std::uint64_t>(from) << 32) | to;
-  sim::SimTime& clear = link_clear_[key];
-  if (when < clear) when = clear;
-  clear = when + sim::Duration::micros(1);
-  // Copy the message into the event: the sender's buffer may be reused. A
-  // message from an earlier session incarnation is lost if the link flapped
-  // while it was in flight.
-  engine_.schedule_at(
-      when,
-      [this, from, to, msg, epoch] {
-        const auto it = link_state_.find(undirected_key(from, to));
-        const bool alive = it == link_state_.end() ||
-                           (it->second.up && it->second.epoch == epoch);
-        if (!alive) {
-          ++dropped_;
-          if (observer_) observer_->on_drop(from, to, msg, engine_.now());
-          if (spans_) spans_->close(msg.span, engine_.now().as_seconds());
-          return;
-        }
-        ++delivered_;
-        routers_[to]->deliver(from, msg);
-      },
-      sim::EventKind::kDelivery);
+      engine_.now() + sim::Duration::seconds(wire.delay_s + proc + extra);
+  // Enforce the FIFO clamp (see `Wire::clear`): a reordered withdrawal would
+  // leave a permanently stale route behind.
+  if (when < wire.clear) when = wire.clear;
+  wire.clear = when + sim::Duration::micros(1);
+  // Park the message in a pooled slot: the sender's buffer may be reused,
+  // and the delivery closure then carries only the slot index — small enough
+  // to sit in std::function's inline buffer, so scheduling a send allocates
+  // nothing. A message from an earlier session incarnation is lost if the
+  // link flapped while it was in flight (epoch check at delivery).
+  const std::uint32_t slot = pool_.acquire();
+  UpdateMessagePool::Slot& parked = pool_.at(slot);
+  parked.msg = msg;
+  parked.from = from;
+  parked.to = to;
+  parked.epoch = wire.state->epoch;
+  engine_.schedule_at(when, [this, slot] { deliver_pooled(slot); },
+                      sim::EventKind::kDelivery);
+}
+
+void BgpNetwork::deliver_pooled(std::uint32_t slot) {
+  // Deque-backed slots have stable addresses, so this reference survives the
+  // re-entrant transmits (and pool acquires) the delivery triggers.
+  const UpdateMessagePool::Slot& parked = pool_.at(slot);
+  const LinkState& state =
+      *wires_
+           .find((static_cast<std::uint64_t>(parked.from) << 32) | parked.to)
+           ->second.state;
+  if (!state.up || state.epoch != parked.epoch) {
+    ++dropped_;
+    if (observer_) {
+      observer_->on_drop(parked.from, parked.to, parked.msg, engine_.now());
+    }
+    if (spans_) spans_->close(parked.msg.span, engine_.now().as_seconds());
+    pool_.release(slot);
+    return;
+  }
+  ++delivered_;
+  routers_[parked.to]->deliver(parked.from, parked.msg);
+  pool_.release(slot);
 }
 
 void BgpNetwork::set_link(net::NodeId u, net::NodeId v, bool up) {

@@ -75,8 +75,15 @@ class BgpNetwork {
   /// True when no router has a route for `p`.
   bool none_reachable(Prefix p) const;
 
+  /// In-flight message pool (tests / alloc profiling).
+  const UpdateMessagePool& message_pool() const { return pool_; }
+
  private:
   void transmit(net::NodeId from, net::NodeId to, const UpdateMessage& msg);
+  /// Delivery-time half of `transmit`: checks the link is still the same
+  /// incarnation, hands the pooled message to the receiver, recycles the
+  /// slot.
+  void deliver_pooled(std::uint32_t slot);
   static std::uint64_t undirected_key(net::NodeId u, net::NodeId v) {
     if (u > v) std::swap(u, v);
     return (static_cast<std::uint64_t>(u) << 32) | v;
@@ -89,18 +96,28 @@ class BgpNetwork {
   Observer* observer_ = nullptr;
   obs::SpanTracer* spans_ = nullptr;
   std::vector<std::unique_ptr<BgpRouter>> routers_;
-  // BGP sessions run over TCP: deliveries on a directed link must be FIFO.
-  // Tracks the earliest time the next message on each link may arrive.
-  std::unordered_map<std::uint64_t, sim::SimTime> link_clear_;
   // Link failure state, keyed by the normalized (undirected) link key:
   // epoch counts up/down transitions so in-flight messages from an earlier
-  // session incarnation are discarded on delivery.
+  // session incarnation are discarded on delivery. Fully populated at
+  // construction so `Wire` records can hold stable pointers into it.
   struct LinkState {
     bool up = true;
     std::uint64_t epoch = 0;
   };
   std::unordered_map<std::uint64_t, LinkState> link_state_;
+  // Hot-path record per *directed* link, built once at construction: the
+  // propagation delay (avoids the O(degree) adjacency scan per message),
+  // the shared failure state of the undirected link, and the FIFO clamp —
+  // BGP runs over TCP, so a later update must never overtake an earlier one
+  // on the same session. One hash lookup per transmit covers all three.
+  struct Wire {
+    double delay_s = 0.0;
+    LinkState* state = nullptr;
+    sim::SimTime clear;  ///< earliest arrival for the next message
+  };
+  std::unordered_map<std::uint64_t, Wire> wires_;
   std::unordered_map<std::uint64_t, rcn::RootCauseSource> rc_sources_;
+  UpdateMessagePool pool_;
   PerturbFn perturb_;
   std::uint64_t delivered_ = 0;
   std::uint64_t dropped_ = 0;

@@ -1,0 +1,89 @@
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <unordered_map>
+#include <vector>
+
+#include "net/types.hpp"
+
+namespace rfdnet::bgp {
+
+/// Hash-consed AS-path storage (the flyweight trick SSFNet-scale BGP
+/// simulators use to reach thousand-node topologies): every distinct hop
+/// sequence is stored exactly once, and `AsPath` handles point at the shared
+/// node. Equality between paths from the same table is a pointer compare;
+/// length and the loop-detection bloom filter are precomputed per node.
+///
+/// Ownership rules (see DESIGN.md §4):
+///  * One table per thread (`PathTable::local()`). A simulation runs wholly
+///    on one thread — parallelism lives *across* trials — so the hot path
+///    never takes a lock.
+///  * The table is append-only for the lifetime of its thread. Nodes are
+///    never freed or moved (the map is node-based), so an `AsPathRef` can
+///    never dangle, no matter how many engines, networks or experiment runs
+///    come and go on the thread. Hash-consing keeps growth bounded by the
+///    number of *distinct* paths ever seen, which repeated trials share.
+class PathTable {
+ public:
+  /// One interned path. `hops` points at the intern key inside the table
+  /// (stable for the table's lifetime); `bloom` is the OR of one hash-picked
+  /// bit per hop, so a clear bit proves an AS is absent without scanning.
+  struct Node {
+    const std::vector<net::NodeId>* hops = nullptr;
+    std::uint64_t bloom = 0;
+    std::uint32_t id = 0;  ///< sequential per table, in intern order
+    const PathTable* owner = nullptr;
+    /// Prepend memo: head AS -> interned one-hop-longer path. Makes the
+    /// per-decision export prepend O(1) after the first fan-out.
+    mutable std::unordered_map<net::NodeId, const Node*> prepends;
+  };
+
+  /// Allocation/intern counters (fed into `sim::EngineProfile` by the
+  /// experiment driver; also the basis of the export-hoist regression test).
+  /// `intern_requests` counts every intern/origin/prepend call and is a pure
+  /// function of the event sequence; `node_builds` (hash-cons misses) and
+  /// `prepend_hits` additionally depend on how warm the table already is.
+  struct Stats {
+    std::uint64_t intern_requests = 0;
+    std::uint64_t node_builds = 0;
+    std::uint64_t prepend_hits = 0;
+    std::uint64_t unique_paths = 0;  ///< live nodes, the empty path included
+  };
+
+  PathTable();
+  PathTable(const PathTable&) = delete;
+  PathTable& operator=(const PathTable&) = delete;
+
+  /// The table every `AsPath` on this thread interns into.
+  static PathTable& local();
+
+  /// Bloom bit for one AS id (one of 64, hash-picked).
+  static std::uint64_t bloom_bit(net::NodeId as);
+
+  const Node* empty_path() const { return empty_; }
+  /// Interns `hops`, returning the unique node for that sequence.
+  const Node* intern(std::vector<net::NodeId> hops);
+  /// Interns the single-hop path [as] (memoized: origins are re-made on
+  /// every decision-process run).
+  const Node* origin(net::NodeId as);
+  /// Interns [as] + tail. Memoized on `tail` when it lives in this table.
+  const Node* prepend(const Node* tail, net::NodeId as);
+
+  Stats stats() const;
+
+ private:
+  struct VecHash {
+    std::size_t operator()(const std::vector<net::NodeId>& v) const;
+  };
+
+  // Node-based map: element (and key) addresses survive rehashing, which is
+  // what lets Node::hops alias its own key and handles stay valid forever.
+  std::unordered_map<std::vector<net::NodeId>, Node, VecHash> nodes_;
+  std::unordered_map<net::NodeId, const Node*> origins_;
+  const Node* empty_ = nullptr;
+  std::uint32_t next_id_ = 0;
+  mutable Stats stats_;
+};
+
+}  // namespace rfdnet::bgp

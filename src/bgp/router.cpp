@@ -214,10 +214,24 @@ bool BgpRouter::process(Prefix p, const std::optional<rcn::RootCause>& rc) {
   }
   if (!changed && !origin_changed) return false;
 
-  // Phase 3: recompute the desired RIB-OUT state for every peer; the
-  // enqueue/flush machinery suppresses no-ops and applies MRAI pacing.
+  // Phase 3: recompute the desired RIB-OUT state for every peer. The
+  // advertised route is the same for the whole fan-out, so the prepend is
+  // hoisted out of the peer loop — each peer then only runs the cheap
+  // per-peer filters against the shared interned path. The enqueue/flush
+  // machinery suppresses no-ops and applies MRAI pacing.
+  auto& out_vec = out_[p];
+  if (out_vec.empty()) out_vec.resize(peers_.size());
+  const std::optional<Route> exported =
+      loc.best ? std::optional<Route>(export_route(loc)) : std::nullopt;
   for (int s = 0; s < static_cast<int>(peers_.size()); ++s) {
-    enqueue(s, p, desired_for(s, p), rc);
+    if (!session_open_[s]) {
+      // See `enqueue`: a closed session only gets its pending state dropped.
+      clear_pending(out_vec[s]);
+      continue;
+    }
+    enqueue_entry(out_vec[s], s, p,
+                  exported ? filter_export(s, loc, *exported) : std::nullopt,
+                  rc);
   }
   return changed;
 }
@@ -226,20 +240,30 @@ std::optional<Route> BgpRouter::desired_for(int slot, Prefix p) const {
   const auto it = loc_rib_.find(p);
   if (it == loc_rib_.end() || !it->second.best) return std::nullopt;
   const LocRibEntry& loc = it->second;
-  if (!cfg_.advertise_to_sender && slot == loc.from_slot) return std::nullopt;
-  const std::optional<net::Relationship> from_rel =
-      (loc.from_slot >= 0) ? std::optional(peers_[loc.from_slot].rel)
-                           : std::nullopt;
-  if (!policy_.can_export(from_rel, peers_[slot].rel)) return std::nullopt;
+  return filter_export(slot, loc, export_route(loc));
+}
+
+Route BgpRouter::export_route(const LocRibEntry& loc) const {
   // Learned routes get this AS prepended; a self-originated path already
   // starts (and ends) with it.
   AsPath exported = (loc.from_slot == kSelfSlot)
                         ? loc.best->path
                         : loc.best->path.prepended(id_);
-  if (cfg_.sender_side_loop_check && exported.contains(peers_[slot].id)) {
+  return Route{std::move(exported), kWirePref};
+}
+
+std::optional<Route> BgpRouter::filter_export(int slot, const LocRibEntry& loc,
+                                              const Route& exported) const {
+  if (!cfg_.advertise_to_sender && slot == loc.from_slot) return std::nullopt;
+  const std::optional<net::Relationship> from_rel =
+      (loc.from_slot >= 0) ? std::optional(peers_[loc.from_slot].rel)
+                           : std::nullopt;
+  if (!policy_.can_export(from_rel, peers_[slot].rel)) return std::nullopt;
+  if (cfg_.sender_side_loop_check &&
+      exported.path.contains(peers_[slot].id)) {
     return std::nullopt;  // the peer would deny it anyway
   }
-  return Route{std::move(exported), kWirePref};
+  return exported;  // the copy shares the interned path
 }
 
 void BgpRouter::note_pending(int delta, sim::SimTime t) {
@@ -282,7 +306,12 @@ void BgpRouter::enqueue(int slot, Prefix p, std::optional<Route> desired,
     if (OutEntry* oe = find_out(slot, p)) clear_pending(*oe);
     return;
   }
-  OutEntry& oe = out_entry(slot, p);
+  enqueue_entry(out_entry(slot, p), slot, p, std::move(desired), rc);
+}
+
+void BgpRouter::enqueue_entry(OutEntry& oe, int slot, Prefix p,
+                              std::optional<Route> desired,
+                              const std::optional<rcn::RootCause>& rc) {
   if (desired == oe.last_sent) {
     // Converged back to what the peer already has: drop any pending update.
     clear_pending(oe);
@@ -297,11 +326,14 @@ void BgpRouter::enqueue(int slot, Prefix p, std::optional<Route> desired,
   // The latest cause wins: a pending update overwritten by a newer decision
   // is attributed to the newer decision's span.
   if (spans_) oe.pending_parent = spans_->active();
-  try_flush(slot, p);
+  try_flush_entry(oe, slot, p);
 }
 
 void BgpRouter::try_flush(int slot, Prefix p) {
-  OutEntry& oe = out_entry(slot, p);
+  try_flush_entry(out_entry(slot, p), slot, p);
+}
+
+void BgpRouter::try_flush_entry(OutEntry& oe, int slot, Prefix p) {
   if (!oe.has_pending) return;
   RFDNET_INVARIANT(session_open_.at(slot),
                    "router: pending update held for a closed session");

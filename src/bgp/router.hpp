@@ -153,6 +153,14 @@ class BgpRouter {
   /// What peer `slot` should currently be hearing from us for `p` (export
   /// policy, sender-side filtering), or nullopt for "withdrawn/nothing".
   std::optional<Route> desired_for(int slot, Prefix p) const;
+  /// The route this router advertises for `loc.best` — the prepend happens
+  /// here, exactly once per decision; the per-peer fan-out shares the
+  /// resulting interned path. `loc.best` must be set.
+  Route export_route(const LocRibEntry& loc) const;
+  /// Per-peer export filters applied to the shared `exported` route:
+  /// advertise-to-sender rule, policy `can_export`, sender-side loop check.
+  std::optional<Route> filter_export(int slot, const LocRibEntry& loc,
+                                     const Route& exported) const;
 
   /// Recomputes the best route for `p`, updates Loc-RIB, and enqueues the
   /// resulting updates toward every peer. `trigger_rc` is copied into those
@@ -161,7 +169,14 @@ class BgpRouter {
 
   void enqueue(int slot, Prefix p, std::optional<Route> desired,
                const std::optional<rcn::RootCause>& rc);
+  /// `enqueue` with the RIB-OUT entry already in hand — the decision-process
+  /// fan-out resolves `out_[p]` once and feeds every peer's entry through
+  /// here instead of re-hashing per peer.
+  void enqueue_entry(OutEntry& oe, int slot, Prefix p,
+                     std::optional<Route> desired,
+                     const std::optional<rcn::RootCause>& rc);
   void try_flush(int slot, Prefix p);
+  void try_flush_entry(OutEntry& oe, int slot, Prefix p);
   void clear_pending(OutEntry& oe);
   /// Single bookkeeping point for pending-depth changes: keeps the local
   /// counter, the metrics gauge and the observer in lockstep.

@@ -9,6 +9,7 @@
 #include <fstream>
 
 #include "bgp/network.hpp"
+#include "bgp/path_table.hpp"
 #include "bgp/policy.hpp"
 #include "core/cli.hpp"
 #include "fault/injector.hpp"
@@ -190,6 +191,9 @@ ExperimentResult run_experiment(const ExperimentConfig& cfg) {
   recorder.record_all_penalties(cfg.record_all_penalties);
   recorder.record_update_log(cfg.record_update_log);
 
+  // Interning stats are per-thread and cumulative; delta against this
+  // snapshot at the end isolates what *this* run requested.
+  const bgp::PathTable::Stats intern_before = bgp::PathTable::local().stats();
   bgp::BgpNetwork network(graph, cfg.timing, *policy, engine, rng, &recorder);
   if (spans) network.set_span_tracer(spans.get());
   for (net::NodeId u = 0; u < graph.node_count(); ++u) {
@@ -521,7 +525,19 @@ ExperimentResult run_experiment(const ExperimentConfig& cfg) {
       }
     }
   }
-  if (profiling) res.profile = profile;
+  if (profiling) {
+    const bgp::PathTable::Stats intern_now = bgp::PathTable::local().stats();
+    const bgp::UpdateMessagePool::Stats& pool = network.message_pool().stats();
+    profile.alloc.intern_requests =
+        intern_now.intern_requests - intern_before.intern_requests;
+    profile.alloc.node_builds = intern_now.node_builds - intern_before.node_builds;
+    profile.alloc.prepend_hits =
+        intern_now.prepend_hits - intern_before.prepend_hits;
+    profile.alloc.pool_acquired = pool.acquired;
+    profile.alloc.pool_reused = pool.reused;
+    profile.alloc.pool_high_water = pool.high_water;
+    res.profile = profile;
+  }
 
   // --- Emit the artifacts. ---
   if (global_metrics) obs_runtime::accumulate(registry);

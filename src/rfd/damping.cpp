@@ -167,7 +167,7 @@ void DampingModule::on_update(int slot, const bgp::UpdateMessage& msg,
   // RFC 2439 memory limit: an unsuppressed penalty that has decayed below
   // half the reuse threshold is no longer tracked.
   if (!e->suppressed && e->penalty.at(now, lambda) < params_.reuse / 2.0) {
-    e->penalty.reset();
+    prune_decayed(*e);
   }
 
   e->penalty.add(inc, now, lambda, params_.ceiling());
@@ -215,6 +215,26 @@ void DampingModule::on_update(int slot, const bgp::UpdateMessage& msg,
     // The penalty grew, so the reuse crossing moved out: reschedule.
     schedule_reuse(*e, slot, msg.prefix);
   }
+}
+
+void DampingModule::prune_decayed(Entry& e) {
+  // The memory limit forgets the whole damping episode, not just the decayed
+  // penalty value: a reuse wakeup left scheduled would fire into the *next*
+  // suppression episode, and a stale `reuse_at` would let `reuse_time()`
+  // report a reuse instant for state that no longer exists. `ever_announced`
+  // deliberately survives — the limit forgets penalty history, not whether
+  // the prefix was ever reachable; dropping it would reclassify the next
+  // announcement as initial and change what gets charged.
+  if (e.reuse_event != sim::kInvalidEvent) {
+    engine_.cancel(e.reuse_event);
+    e.reuse_event = sim::kInvalidEvent;
+  }
+  if (spans_ && e.supp_span.valid()) {
+    spans_->close(e.supp_span, engine_.now().as_seconds());
+  }
+  e.supp_span = obs::SpanContext{};
+  e.reuse_at = sim::SimTime::zero();
+  e.penalty.reset();
 }
 
 void DampingModule::schedule_reuse(Entry& e, int slot, bgp::Prefix p) {
@@ -325,6 +345,12 @@ void DampingModule::check_invariants() const {
                           "rfd: suppressed entry without a reuse timer");
         obs::check_always(engine_.is_pending(e.reuse_event),
                           "rfd: suppressed entry's reuse timer is stale");
+      } else {
+        // Converse: only a suppressed entry may hold a live reuse wakeup.
+        // A pruned (or reused) entry with a timer still scheduled would fire
+        // into a later suppression episode.
+        obs::check_always(e.reuse_event == sim::kInvalidEvent,
+                          "rfd: unsuppressed entry holds a live reuse timer");
       }
     }
   }

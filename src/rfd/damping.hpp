@@ -142,6 +142,11 @@ class DampingModule final : public bgp::DampingHook {
   UpdateClass classify(bool ever_announced, const bgp::UpdateMessage& msg,
                        const std::optional<bgp::Route>& prev) const;
   double increment_for(UpdateClass c) const;
+  /// RFC 2439 memory-limit prune: forgets the decayed penalty *and* the
+  /// episode's timer freight (pending reuse wakeup, `reuse_at`, open
+  /// suppression span). `ever_announced` survives on purpose — see the
+  /// definition.
+  void prune_decayed(Entry& e);
   void schedule_reuse(Entry& e, int slot, bgp::Prefix p);
   void fire_reuse(int slot, bgp::Prefix p);
 

@@ -1,5 +1,6 @@
 #include "sim/profile.hpp"
 
+#include <algorithm>
 #include <ostream>
 #include <sstream>
 
@@ -45,9 +46,18 @@ void EngineProfile::merge(const EngineProfile& other) {
     rows[i].cancelled += other.rows[i].cancelled;
     rows[i].wall_ns += other.rows[i].wall_ns;
   }
+  alloc.intern_requests += other.alloc.intern_requests;
+  alloc.node_builds += other.alloc.node_builds;
+  alloc.prepend_hits += other.alloc.prepend_hits;
+  alloc.pool_acquired += other.alloc.pool_acquired;
+  alloc.pool_reused += other.alloc.pool_reused;
+  // High water is a peak, not a flow: concurrent trials don't share a pool,
+  // so the merged peak is the worst single trial.
+  alloc.pool_high_water =
+      std::max(alloc.pool_high_water, other.alloc.pool_high_water);
 }
 
-void EngineProfile::write_json(std::ostream& os, bool include_wall) const {
+void EngineProfile::write_json(std::ostream& os, bool include_volatile) const {
   os << '{';
   for (std::size_t i = 0; i < rows.size(); ++i) {
     if (i > 0) os << ',';
@@ -55,15 +65,23 @@ void EngineProfile::write_json(std::ostream& os, bool include_wall) const {
     os << '"' << to_string(static_cast<EventKind>(i)) << "\":{\"scheduled\":"
        << r.scheduled << ",\"fired\":" << r.fired
        << ",\"cancelled\":" << r.cancelled;
-    if (include_wall) os << ",\"wall_ns\":" << r.wall_ns;
+    if (include_volatile) os << ",\"wall_ns\":" << r.wall_ns;
     os << '}';
+  }
+  if (include_volatile) {
+    os << ",\"alloc\":{\"intern_requests\":" << alloc.intern_requests
+       << ",\"node_builds\":" << alloc.node_builds
+       << ",\"prepend_hits\":" << alloc.prepend_hits
+       << ",\"pool_acquired\":" << alloc.pool_acquired
+       << ",\"pool_reused\":" << alloc.pool_reused
+       << ",\"pool_high_water\":" << alloc.pool_high_water << '}';
   }
   os << '}';
 }
 
-std::string EngineProfile::json(bool include_wall) const {
+std::string EngineProfile::json(bool include_volatile) const {
   std::ostringstream os;
-  write_json(os, include_wall);
+  write_json(os, include_volatile);
   return os.str();
 }
 

@@ -40,7 +40,25 @@ struct EngineProfile {
     std::uint64_t wall_ns = 0;  ///< total handler wall time (fired events)
   };
 
+  /// Allocation-avoidance counters of the BGP propagation hot path: AS-path
+  /// interning (`bgp::PathTable`) and in-flight message recycling
+  /// (`bgp::UpdateMessagePool`). `intern_requests` and the pool totals are
+  /// pure functions of the event sequence; `node_builds` / `prepend_hits`
+  /// depend on how warm the thread-local path table already is, which
+  /// differs between serial and `--jobs` runs of the same sweep. The whole
+  /// block is therefore excluded from `write_json` by default, like wall
+  /// time, so the `--profile` artifact stays byte-identical.
+  struct Alloc {
+    std::uint64_t intern_requests = 0;  ///< AsPath intern/prepend requests
+    std::uint64_t node_builds = 0;      ///< requests that built a new node
+    std::uint64_t prepend_hits = 0;     ///< requests served by the memo
+    std::uint64_t pool_acquired = 0;    ///< message-pool acquires
+    std::uint64_t pool_reused = 0;      ///< acquires served by the freelist
+    std::uint64_t pool_high_water = 0;  ///< max in-flight slots (merge: max)
+  };
+
   std::array<Row, static_cast<std::size_t>(EventKind::kCount)> rows;
+  Alloc alloc;
 
   Row& row(EventKind k) { return rows[static_cast<std::size_t>(k)]; }
   const Row& row(EventKind k) const {
@@ -55,10 +73,11 @@ struct EngineProfile {
 
   /// Single JSON object keyed by kind name, kinds in enum order:
   /// {"generic":{"scheduled":N,"fired":N,"cancelled":N},...}. With
-  /// `include_wall`, each row gains "wall_ns" — off by default because wall
-  /// time is the one non-deterministic field.
-  void write_json(std::ostream& os, bool include_wall = false) const;
-  std::string json(bool include_wall = false) const;
+  /// `include_volatile`, each row gains "wall_ns" and a trailing "alloc"
+  /// object carries the interning/pool counters — off by default because
+  /// wall time and table-warmth counters are the non-deterministic fields.
+  void write_json(std::ostream& os, bool include_volatile = false) const;
+  std::string json(bool include_volatile = false) const;
 };
 
 }  // namespace rfdnet::sim

@@ -1,0 +1,56 @@
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <vector>
+
+#include "bgp/as_path.hpp"
+#include "bgp/path_table.hpp"
+#include "sim/random.hpp"
+
+namespace rfdnet::bgp {
+namespace {
+
+/// Property: `AsPath::contains` (bloom reject + scan fallback) agrees with a
+/// plain linear scan for every (path, probe) pair. The bloom filter is only
+/// allowed to prove *absence*; any bit collision must fall through to the
+/// scan, never flip an answer. 10k random trials over a small AS universe so
+/// both present and absent probes (and colliding bloom bits) are common.
+TEST(AsPathBloomProperty, ContainsAgreesWithPlainScan) {
+  sim::Rng rng(20260806);
+  constexpr int kTrials = 10000;
+  constexpr net::NodeId kUniverse = 300;  // small: forces bit collisions
+
+  for (int trial = 0; trial < kTrials; ++trial) {
+    const std::size_t len = rng.uniform_index(12);  // 0..11 hops
+    std::vector<net::NodeId> hops;
+    hops.reserve(len);
+    for (std::size_t i = 0; i < len; ++i) {
+      hops.push_back(static_cast<net::NodeId>(rng.uniform_index(kUniverse)));
+    }
+
+    // Build the path through the public prepend API (back to front), so the
+    // test also exercises the exact nodes the router hot path creates.
+    AsPath path;
+    for (auto it = hops.rbegin(); it != hops.rend(); ++it) {
+      path = path.prepended(*it);
+    }
+    ASSERT_EQ(path.hops(), hops);
+
+    const net::NodeId probe =
+        static_cast<net::NodeId>(rng.uniform_index(kUniverse));
+    const bool expect =
+        std::find(hops.begin(), hops.end(), probe) != hops.end();
+    EXPECT_EQ(path.contains(probe), expect)
+        << "trial " << trial << " probe " << probe << " path "
+        << path.to_string();
+    EXPECT_EQ(path.contains_scan(probe), expect);
+
+    // Every hop must be found — the bloom bits may never reject a member.
+    for (const net::NodeId as : hops) {
+      ASSERT_TRUE(path.contains(as)) << "false negative for " << as;
+    }
+  }
+}
+
+}  // namespace
+}  // namespace rfdnet::bgp

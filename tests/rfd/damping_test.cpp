@@ -380,6 +380,57 @@ TEST_F(DampingModuleTest, NoOpWithdrawalDoesNotAllocate) {
   EXPECT_NEAR(module_->penalty(0, kP), 1000.0, 1.0);
 }
 
+TEST_F(DampingModuleTest, MemoryLimitPruneForgetsTimerFreight) {
+  // Regression for the memory-limit prune: it used to reset only the penalty
+  // value, leaving the previous suppression episode's reuse timestamp (and,
+  // had one survived, its wakeup) on the entry. The prune must scrub the
+  // whole episode so a pruned entry can never report a stale reuse time or
+  // fire a stale wakeup into the next episode.
+  make();  // Cisco: cutoff 2000, reuse 750, half-life 900 s
+
+  // Flap into suppression: three withdrawals at ~2 s spacing cross 2000.
+  announce(route(1), 0.0);
+  withdraw(1.0);
+  announce(route(1), 2.0);
+  withdraw(3.0);
+  announce(route(1), 4.0);
+  withdraw(5.0);  // penalty ~2995 > cutoff
+  ASSERT_TRUE(module_->suppressed(0, kP));
+  ASSERT_TRUE(module_->reuse_time(0, kP).has_value());
+
+  // Let the reuse timer fire (~t=1802 s) and decay below reuse/2 = 375.
+  at(3000.0);
+  ASSERT_EQ(reuse_calls_.size(), 1u);
+  ASSERT_FALSE(module_->suppressed(0, kP));
+  ASSERT_LT(module_->penalty(0, kP), 375.0);
+
+  // The next charged update triggers the prune: history is forgotten, the
+  // charge starts from zero, and no reuse state survives from episode one.
+  announce(route(1), 3000.0);  // re-announcement: free under Cisco
+  withdraw(3001.0);
+  EXPECT_NEAR(module_->penalty(0, kP), 1000.0, 1.0);
+  EXPECT_FALSE(module_->suppressed(0, kP));
+  EXPECT_FALSE(module_->reuse_time(0, kP).has_value());
+  EXPECT_NO_THROW(module_->check_invariants());
+
+  // Re-suppress: the new episode must schedule its own reuse crossing, not
+  // echo the stale one (~t=1802) from before the prune.
+  announce(route(1), 3002.0);
+  withdraw(3003.0);
+  announce(route(1), 3004.0);
+  withdraw(3005.0);
+  ASSERT_TRUE(module_->suppressed(0, kP));
+  const auto reuse_at = module_->reuse_time(0, kP);
+  ASSERT_TRUE(reuse_at.has_value());
+  EXPECT_GT(*reuse_at, SimTime::from_seconds(4000.0));
+
+  // Exactly one further reuse fires — a stale wakeup would add a second.
+  at(6000.0);
+  EXPECT_EQ(reuse_calls_.size(), 2u);
+  EXPECT_FALSE(module_->suppressed(0, kP));
+  EXPECT_NO_THROW(module_->check_invariants());
+}
+
 TEST(UpdateClassNames, ToString) {
   EXPECT_EQ(to_string(UpdateClass::kInitial), "initial");
   EXPECT_EQ(to_string(UpdateClass::kWithdrawal), "withdrawal");
