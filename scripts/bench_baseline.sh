@@ -7,13 +7,15 @@
 #     "date": "YYYY-MM-DD",
 #     "micro_engine": { "<benchmark>": {"real_time_ns": ..., ...}, ... },
 #     "micro_propagation": { "<benchmark>": {"real_time_ns": ..., ...}, ... },
-#     "fig07": { "wall_s": ..., "profile": { "<kind>": {counts...}, ... } }
+#     "fig07": { "wall_s": ..., "profile": { "<kind>": {counts...}, ... } },
+#     "ext_full_table": { "wall_s": ..., "scorecard": {...} }
 #   }
 #
 # The micro_engine numbers are wall-clock and vary with the machine; the
-# fig07 profile counts are byte-deterministic (they are a pure function of
-# the event sequence), so a count change in a diff of two baselines means
-# the workload itself changed, not the hardware.
+# fig07 profile counts and the ext_full_table scorecard are byte-
+# deterministic (pure functions of the event sequence / seed), so a change
+# in a diff of two baselines means the workload itself changed, not the
+# hardware.
 #
 # Usage: scripts/bench_baseline.sh [OUT.json]
 #   default OUT: BENCH_<today>.json in the repo root. Compare against the
@@ -27,7 +29,7 @@ OUT="${1:-BENCH_$(date +%F).json}"
 # fresh tree; a Makefiles tree works just as well here).
 cmake -B build >/dev/null
 cmake --build build --target micro_engine micro_propagation \
-  fig07_secondary_charging >/dev/null
+  fig07_secondary_charging ext_full_table >/dev/null
 
 TMP="$(mktemp -d)"
 trap 'rm -rf "$TMP"' EXIT
@@ -46,12 +48,20 @@ FIG07_START=$(date +%s.%N)
   >/dev/null
 FIG07_END=$(date +%s.%N)
 
+echo "running ext_full_table (hash+radix cross-check)..." >&2
+FT_START=$(date +%s.%N)
+./build/bench/ext_full_table --prefixes 20000 --events 20000 \
+  --json "$TMP/full_table_scorecard.json" >/dev/null
+FT_END=$(date +%s.%N)
+
 python3 - "$TMP/micro.json" "$TMP/micro_prop.json" "$TMP/fig07_profile.json" \
-  "$OUT" "$(date +%F)" "$FIG07_START" "$FIG07_END" <<'PY'
+  "$OUT" "$(date +%F)" "$FIG07_START" "$FIG07_END" \
+  "$TMP/full_table_scorecard.json" "$FT_START" "$FT_END" <<'PY'
 import json
 import sys
 
 micro_path, prop_path, profile_path, out_path, date, t0, t1 = sys.argv[1:8]
+ft_path, ft0, ft1 = sys.argv[8:11]
 
 with open(micro_path) as f:
     micro = json.load(f)
@@ -59,6 +69,8 @@ with open(prop_path) as f:
     prop = json.load(f)
 with open(profile_path) as f:
     profile = json.load(f)
+with open(ft_path) as f:
+    ft_scorecard = json.load(f)
 
 
 def flatten(report):
@@ -83,6 +95,12 @@ out = {
     "fig07": {
         "wall_s": round(float(t1) - float(t0), 3),
         "profile": profile,
+    },
+    "ext_full_table": {
+        # Wall time covers the hash + radix + null runs plus the scorecard
+        # cross-check; the scorecard itself is the deterministic artifact.
+        "wall_s": round(float(ft1) - float(ft0), 3),
+        "scorecard": ft_scorecard,
     },
 }
 with open(out_path, "w") as f:

@@ -12,7 +12,10 @@
 # snapshot with scripts/bench_baseline.sh and fails if any micro_engine or
 # micro_propagation benchmark regressed more than 20% against the newest
 # committed BENCH_*.json (wall-clock jitter on shared machines sits well
-# under that).
+# under that), if the full-table workload's wall time regressed past the
+# same limit, or if its byte-deterministic scorecard changed (a scorecard
+# diff means the simulated workload itself changed — commit a fresh
+# baseline alongside the change that moved it).
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
@@ -55,6 +58,22 @@ for section in ("micro_engine", "micro_propagation"):
               f"({c['real_time']:.0f} vs {b['real_time']:.0f} {unit})")
         if ratio > LIMIT:
             failed.append(f"{section}/{name}: {ratio:.2f}x baseline")
+
+base_ft = base.get("ext_full_table")
+cur_ft = cur.get("ext_full_table")
+if base_ft and cur_ft:
+    ratio = cur_ft["wall_s"] / base_ft["wall_s"] if base_ft["wall_s"] else 1.0
+    marker = "FAIL" if ratio > LIMIT else "ok"
+    print(f"  {marker:4} ext_full_table/wall: {ratio:.2f}x baseline "
+          f"({cur_ft['wall_s']:.2f} vs {base_ft['wall_s']:.2f} s)")
+    if ratio > LIMIT:
+        failed.append(f"ext_full_table/wall: {ratio:.2f}x baseline")
+    if base_ft["scorecard"] != cur_ft["scorecard"]:
+        print("  FAIL ext_full_table/scorecard: differs from baseline")
+        failed.append("ext_full_table/scorecard: deterministic artifact "
+                      "changed — workload moved, refresh the baseline")
+    else:
+        print("  ok   ext_full_table/scorecard: byte-identical to baseline")
 
 if failed:
     print(f"bench tier FAILED vs {baseline_path}:", file=sys.stderr)

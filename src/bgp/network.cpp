@@ -6,7 +6,8 @@ namespace rfdnet::bgp {
 
 BgpNetwork::BgpNetwork(const net::Graph& graph, const TimingConfig& cfg,
                        const Policy& policy, sim::Engine& engine,
-                       sim::Rng& rng, Observer* observer)
+                       sim::Rng& rng, Observer* observer,
+                       RibBackendKind rib_backend)
     : graph_(graph), engine_(engine), rng_(rng), cfg_(cfg), observer_(observer) {
   cfg.validate();
   routers_.reserve(graph.node_count());
@@ -21,7 +22,7 @@ BgpNetwork::BgpNetwork(const net::Graph& graph, const TimingConfig& cfg,
         [this](net::NodeId from, net::NodeId to, const UpdateMessage& msg) {
           transmit(from, to, msg);
         },
-        observer));
+        observer, rib_backend));
   }
   // Pre-build the per-directed-link wire records. LinkState entries are
   // created up front so the Wire pointers stay valid for the network's

@@ -15,12 +15,20 @@ namespace {
 /// are emitted with this fixed placeholder to keep duplicate detection
 /// meaningful.
 constexpr int kWirePref = 100;
+
+/// Min-heap comparator for the deferred-reclaim parking lot.
+struct ReclaimLater {
+  bool operator()(const std::pair<sim::SimTime, Prefix>& a,
+                  const std::pair<sim::SimTime, Prefix>& b) const {
+    return b.first < a.first;
+  }
+};
 }  // namespace
 
 BgpRouter::BgpRouter(net::NodeId id, std::vector<PeerInfo> peers,
                      const TimingConfig& cfg, const Policy& policy,
                      sim::Engine& engine, sim::Rng& rng, SendFn send,
-                     Observer* observer)
+                     Observer* observer, RibBackendKind rib_backend)
     : id_(id),
       peers_(std::move(peers)),
       cfg_(cfg),
@@ -29,7 +37,10 @@ BgpRouter::BgpRouter(net::NodeId id, std::vector<PeerInfo> peers,
       rng_(rng),
       send_(std::move(send)),
       observer_(observer),
-      session_open_(peers_.size(), true) {
+      session_open_(peers_.size(), true),
+      rib_in_(rib_backend),
+      loc_rib_(rib_backend),
+      out_(rib_backend) {
   if (!send_) throw std::invalid_argument("BgpRouter: empty send function");
   for (int s = 0; s < static_cast<int>(peers_.size()); ++s) {
     if (peers_[s].id == id_) {
@@ -47,40 +58,43 @@ int BgpRouter::peer_slot(net::NodeId neighbor) const {
 }
 
 BgpRouter::RibInEntry& BgpRouter::rib_in(int slot, Prefix p) {
-  auto& v = rib_in_[p];
+  auto& v = rib_in_.find_or_create(p);
   if (v.empty()) v.resize(peers_.size());
   return v.at(slot);
 }
 
 const BgpRouter::RibInEntry* BgpRouter::find_rib_in(int slot, Prefix p) const {
-  const auto it = rib_in_.find(p);
-  if (it == rib_in_.end() || it->second.empty()) return nullptr;
-  return &it->second.at(slot);
+  const auto* v = rib_in_.find(p);
+  if (v == nullptr || v->empty()) return nullptr;
+  return &v->at(slot);
 }
 
 BgpRouter::OutEntry& BgpRouter::out_entry(int slot, Prefix p) {
-  auto& v = out_[p];
+  auto& v = out_.find_or_create(p);
   if (v.empty()) v.resize(peers_.size());
   return v.at(slot);
 }
 
 BgpRouter::OutEntry* BgpRouter::find_out(int slot, Prefix p) {
-  const auto it = out_.find(p);
-  if (it == out_.end() || it->second.empty()) return nullptr;
-  return &it->second.at(slot);
+  auto* v = out_.find(p);
+  if (v == nullptr || v->empty()) return nullptr;
+  return &v->at(slot);
 }
 
 void BgpRouter::originate(Prefix p, std::optional<rcn::RootCause> rc) {
+  sweep_reclaim();
   originated_.insert(p);
   process(p, rc);
 }
 
 void BgpRouter::withdraw_origin(Prefix p, std::optional<rcn::RootCause> rc) {
+  sweep_reclaim();
   originated_.erase(p);
   process(p, rc);
 }
 
 void BgpRouter::deliver(net::NodeId from, const UpdateMessage& msg) {
+  sweep_reclaim();
   const int slot = peer_slot(from);
   if (slot < 0) throw std::logic_error("BgpRouter: update from non-peer");
   if (observer_) observer_->on_deliver(from, id_, msg, engine_.now());
@@ -117,35 +131,38 @@ void BgpRouter::session_down(int slot, std::optional<rcn::RootCause> rc) {
   if (slot < 0 || slot >= static_cast<int>(peers_.size())) {
     throw std::invalid_argument("BgpRouter: bad peer slot");
   }
+  sweep_reclaim();
   // Close the session first: the decision-process runs triggered below must
   // not advance RIB-OUT state toward the dead peer (see `session_open`).
   session_open_.at(slot) = false;
   // All routes learned on the session become unfeasible. Damping sees them
   // as withdrawals (RFC 2439 keeps damping state across session resets).
+  // Ordered iteration: the damping charges (and the observer/trace records
+  // they emit) happen here, so the visit order must not depend on the
+  // storage backend.
   std::vector<Prefix> affected;
-  for (auto& [p, entries] : rib_in_) {
-    if (entries.empty()) continue;
+  rib_in_.for_each_ordered([&](Prefix p, std::vector<RibInEntry>& entries) {
+    if (entries.empty()) return;
     RibInEntry& e = entries.at(slot);
-    if (!e.route) continue;
+    if (!e.route) return;
     const UpdateMessage implicit = UpdateMessage::withdraw(p, rc);
     if (damper_) damper_->on_update(slot, implicit, e.route, false);
     e.route.reset();
     e.rc = rc;
     affected.push_back(p);
-  }
-  std::sort(affected.begin(), affected.end());
+  });
 
   // The peer has lost everything we ever advertised: reset RIB-OUT state
   // and any pending/rate-limit machinery for the session. `clear_pending`
   // cancels the MRAI wakeup too — resetting `mrai_ready` while the event
   // stays scheduled would leave a stale flush surviving the session churn.
-  for (auto& [p, entries] : out_) {
-    if (entries.empty()) continue;
+  out_.for_each_ordered([&](Prefix, std::vector<OutEntry>& entries) {
+    if (entries.empty()) return;
     OutEntry& oe = entries.at(slot);
     clear_pending(oe);
     oe.last_sent.reset();
     oe.mrai_ready = sim::SimTime::zero();
-  }
+  });
 
   for (const Prefix p : affected) process(p, rc);
 }
@@ -154,12 +171,13 @@ void BgpRouter::session_up(int slot, std::optional<rcn::RootCause> rc) {
   if (slot < 0 || slot >= static_cast<int>(peers_.size())) {
     throw std::invalid_argument("BgpRouter: bad peer slot");
   }
+  sweep_reclaim();
   session_open_.at(slot) = true;
   // Session (re-)establishment: advertise the current best routes afresh.
   std::vector<Prefix> prefixes;
-  for (const auto& [p, loc] : loc_rib_) {
+  loc_rib_.for_each([&](Prefix p, const LocRibEntry& loc) {
     if (loc.best) prefixes.push_back(p);
-  }
+  });
   std::sort(prefixes.begin(), prefixes.end());
   for (const Prefix p : prefixes) {
     enqueue(slot, p, desired_for(slot, p), rc);
@@ -167,6 +185,7 @@ void BgpRouter::session_up(int slot, std::optional<rcn::RootCause> rc) {
 }
 
 bool BgpRouter::on_reuse(int slot, Prefix p) {
+  sweep_reclaim();
   // The reused entry's stored RC rides on whatever updates the reuse
   // triggers (§6.2: reuse announcements carry an already-seen root cause).
   const RibInEntry* entry = find_rib_in(slot, p);
@@ -187,10 +206,9 @@ bool BgpRouter::process(Prefix p, const std::optional<rcn::RootCause>& rc) {
     best_slot = kSelfSlot;
     have = true;
   }
-  if (const auto it = rib_in_.find(p);
-      it != rib_in_.end() && !it->second.empty()) {
+  if (const auto* in = rib_in_.find(p); in != nullptr && !in->empty()) {
     for (int s = 0; s < static_cast<int>(peers_.size()); ++s) {
-      const RibInEntry& e = it->second[s];
+      const RibInEntry& e = (*in)[s];
       if (!e.route) continue;
       if (damper_ && damper_->suppressed(s, p)) continue;
       const Candidate c{&*e.route, peers_[s].id, false};
@@ -202,7 +220,7 @@ bool BgpRouter::process(Prefix p, const std::optional<rcn::RootCause>& rc) {
     }
   }
 
-  LocRibEntry& loc = loc_rib_[p];
+  LocRibEntry& loc = loc_rib_.find_or_create(p);
   const std::optional<Route> new_best =
       have ? std::optional<Route>(*best.route) : std::nullopt;
   const bool changed = (new_best != loc.best);
@@ -212,14 +230,20 @@ bool BgpRouter::process(Prefix p, const std::optional<rcn::RootCause>& rc) {
   if (changed && observer_) {
     observer_->on_best_change(id_, p, loc.best, engine_.now());
   }
-  if (!changed && !origin_changed) return false;
+  if (!changed && !origin_changed) {
+    // Even a no-op decision can be the last event for a prefix (a duplicate
+    // withdrawal allocated an empty RIB-IN row above); reclaim before
+    // returning so dead prefixes never accrete.
+    maybe_reclaim(p);
+    return false;
+  }
 
   // Phase 3: recompute the desired RIB-OUT state for every peer. The
   // advertised route is the same for the whole fan-out, so the prepend is
   // hoisted out of the peer loop — each peer then only runs the cheap
   // per-peer filters against the shared interned path. The enqueue/flush
   // machinery suppresses no-ops and applies MRAI pacing.
-  auto& out_vec = out_[p];
+  auto& out_vec = out_.find_or_create(p);
   if (out_vec.empty()) out_vec.resize(peers_.size());
   const std::optional<Route> exported =
       loc.best ? std::optional<Route>(export_route(loc)) : std::nullopt;
@@ -233,14 +257,70 @@ bool BgpRouter::process(Prefix p, const std::optional<rcn::RootCause>& rc) {
                   exported ? filter_export(s, loc, *exported) : std::nullopt,
                   rc);
   }
+  // A withdrawal fan-out that flushed everywhere may have left the prefix
+  // fully inert; `loc`/`out_vec` are dead after this call.
+  maybe_reclaim(p);
   return changed;
 }
 
+void BgpRouter::maybe_reclaim(Prefix p) {
+  if (originated_.contains(p)) return;
+  if (const LocRibEntry* loc = loc_rib_.find(p); loc != nullptr && loc->best) {
+    return;
+  }
+  if (const auto* in = rib_in_.find(p)) {
+    for (const RibInEntry& e : *in) {
+      if (e.route) return;
+    }
+  }
+  sim::SimTime pacing_horizon = sim::SimTime::zero();
+  if (const auto* out = out_.find(p)) {
+    for (const OutEntry& oe : *out) {
+      if (oe.last_sent || oe.has_pending ||
+          oe.mrai_event != sim::kInvalidEvent) {
+        return;
+      }
+      if (pacing_horizon < oe.mrai_ready) pacing_horizon = oe.mrai_ready;
+    }
+  }
+  const sim::SimTime now = engine_.now();
+  if (now < pacing_horizon) {
+    // Everything about the prefix is inert except the MRAI rate limit, which
+    // a re-announcement inside the window must still honor. Park the prefix
+    // and let `sweep_reclaim` re-check it past the horizon; the guard set
+    // keeps one parking slot per prefix no matter how often the decision
+    // process runs meanwhile.
+    if (reclaim_parked_.insert(p).second) {
+      reclaim_queue_.emplace_back(pacing_horizon, p);
+      std::push_heap(reclaim_queue_.begin(), reclaim_queue_.end(),
+                     ReclaimLater{});
+    }
+    return;
+  }
+  rib_in_.erase(p);
+  loc_rib_.erase(p);
+  out_.erase(p);
+}
+
+void BgpRouter::sweep_reclaim() {
+  const sim::SimTime now = engine_.now();
+  while (!reclaim_queue_.empty() && !(now < reclaim_queue_.front().first)) {
+    const Prefix p = reclaim_queue_.front().second;
+    std::pop_heap(reclaim_queue_.begin(), reclaim_queue_.end(),
+                  ReclaimLater{});
+    reclaim_queue_.pop_back();
+    reclaim_parked_.erase(p);
+    // Re-evaluates from scratch: the prefix may have come alive again since
+    // parking (then this is a no-op) or picked up a later horizon (then it
+    // re-parks itself).
+    maybe_reclaim(p);
+  }
+}
+
 std::optional<Route> BgpRouter::desired_for(int slot, Prefix p) const {
-  const auto it = loc_rib_.find(p);
-  if (it == loc_rib_.end() || !it->second.best) return std::nullopt;
-  const LocRibEntry& loc = it->second;
-  return filter_export(slot, loc, export_route(loc));
+  const LocRibEntry* loc = loc_rib_.find(p);
+  if (loc == nullptr || !loc->best) return std::nullopt;
+  return filter_export(slot, *loc, export_route(*loc));
 }
 
 Route BgpRouter::export_route(const LocRibEntry& loc) const {
@@ -354,6 +434,9 @@ void BgpRouter::try_flush_entry(OutEntry& oe, int slot, Prefix p) {
           [this, slot, p] {
             out_entry(slot, p).mrai_event = sim::kInvalidEvent;
             try_flush(slot, p);
+            // A deferred withdrawal that just flushed may have been the
+            // prefix's last live state.
+            maybe_reclaim(p);
           },
           sim::EventKind::kMraiFlush);
     }
@@ -426,7 +509,7 @@ void BgpRouter::try_flush_entry(OutEntry& oe, int slot, Prefix p) {
 
 void BgpRouter::check_invariants() const {
   int held = 0;
-  for (const auto& [p, entries] : out_) {
+  out_.for_each([&](Prefix, const std::vector<OutEntry>& entries) {
     for (std::size_t s = 0; s < entries.size(); ++s) {
       const OutEntry& oe = entries[s];
       held += oe.has_pending ? 1 : 0;
@@ -443,19 +526,19 @@ void BgpRouter::check_invariants() const {
                           "router: MRAI wakeup id is stale");
       }
     }
-  }
+  });
   obs::check_always(held == pending_depth_,
                     "router: pending depth out of sync with RIB-OUT");
 }
 
 std::optional<Route> BgpRouter::best(Prefix p) const {
-  const auto it = loc_rib_.find(p);
-  return it == loc_rib_.end() ? std::nullopt : it->second.best;
+  const LocRibEntry* loc = loc_rib_.find(p);
+  return loc == nullptr ? std::nullopt : loc->best;
 }
 
 int BgpRouter::best_slot(Prefix p) const {
-  const auto it = loc_rib_.find(p);
-  return it == loc_rib_.end() ? kNoneSlot : it->second.from_slot;
+  const LocRibEntry* loc = loc_rib_.find(p);
+  return loc == nullptr ? kNoneSlot : loc->from_slot;
 }
 
 std::optional<Route> BgpRouter::rib_in_route(int slot, Prefix p) const {

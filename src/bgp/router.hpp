@@ -12,6 +12,7 @@
 #include "bgp/observer.hpp"
 #include "bgp/policy.hpp"
 #include "bgp/prefix.hpp"
+#include "bgp/rib_backend.hpp"
 #include "net/types.hpp"
 #include "obs/metrics.hpp"
 #include "obs/span.hpp"
@@ -42,7 +43,8 @@ class BgpRouter {
 
   BgpRouter(net::NodeId id, std::vector<PeerInfo> peers,
             const TimingConfig& cfg, const Policy& policy, sim::Engine& engine,
-            sim::Rng& rng, SendFn send, Observer* observer = nullptr);
+            sim::Rng& rng, SendFn send, Observer* observer = nullptr,
+            RibBackendKind rib_backend = RibBackendKind::kHashMap);
 
   net::NodeId id() const { return id_; }
   int peer_count() const { return static_cast<int>(peers_.size()); }
@@ -99,6 +101,30 @@ class BgpRouter {
 
   /// Updates currently held back (pending RIB-OUT entries).
   int pending_depth() const { return pending_depth_; }
+
+  /// Storage backend the per-prefix tables run on.
+  RibBackendKind rib_backend() const { return rib_in_.kind(); }
+
+  /// Resident per-prefix rows in each table. A prefix that has been fully
+  /// withdrawn everywhere is reclaimed (see `maybe_reclaim`), so at
+  /// quiescence these track the set of reachable prefixes, not the set of
+  /// prefixes ever heard — the difference is the full-table leak this
+  /// bounds. Always zero on the null backend.
+  struct RibResidency {
+    std::size_t rib_in = 0;
+    std::size_t loc_rib = 0;
+    std::size_t out = 0;
+    std::size_t total() const { return rib_in + loc_rib + out; }
+  };
+  RibResidency residency() const {
+    return RibResidency{rib_in_.size(), loc_rib_.size(), out_.size()};
+  }
+  /// Drains every deferred-reclaim candidate whose MRAI pacing horizon has
+  /// passed (see `maybe_reclaim`). Runs automatically on every external poke
+  /// (deliver, session churn, reuse, origination); drivers call it before
+  /// reading `residency` so rows parked after the network's last activity
+  /// don't linger in the report. O(1) when nothing is parked.
+  void sweep_reclaim();
 
   /// Attaches (or detaches, with nullptr) a metrics bundle / trace sink.
   /// Typically one bundle is shared by every router of a network, so the
@@ -178,6 +204,16 @@ class BgpRouter {
   void try_flush(int slot, Prefix p);
   void try_flush_entry(OutEntry& oe, int slot, Prefix p);
   void clear_pending(OutEntry& oe);
+  /// Reclaims the per-prefix rows of `p` once everything about it is inert:
+  /// not originated, no RIB-IN route on any slot, no Loc-RIB best, and every
+  /// RIB-OUT entry idle (nothing sent-and-standing, nothing pending, no MRAI
+  /// wakeup). A row whose only live state is a future `mrai_ready` is not
+  /// erased — that would forget the rate limit — but is parked on
+  /// `reclaim_queue_` and re-checked by `sweep_reclaim` once the pacing
+  /// horizon has passed. No engine event is scheduled: reclamation is pure
+  /// bookkeeping and must not perturb `Engine::pending()` or run-to-empty
+  /// clock behavior.
+  void maybe_reclaim(Prefix p);
   /// Single bookkeeping point for pending-depth changes: keeps the local
   /// counter, the metrics gauge and the observer in lockstep.
   void note_pending(int delta, sim::SimTime t);
@@ -199,11 +235,16 @@ class BgpRouter {
   std::unordered_set<Prefix> originated_;
   /// Per-slot session state; all sessions start established.
   std::vector<bool> session_open_;
-  // rib_in_[p] is indexed by peer slot.
-  std::unordered_map<Prefix, std::vector<RibInEntry>> rib_in_;
-  std::unordered_map<Prefix, LocRibEntry> loc_rib_;
-  // out_[p] is indexed by peer slot.
-  std::unordered_map<Prefix, std::vector<OutEntry>> out_;
+  // Per-prefix tables behind the pluggable storage backend. The rib_in_ and
+  // out_ rows are indexed by peer slot.
+  RibTable<std::vector<RibInEntry>> rib_in_;
+  RibTable<LocRibEntry> loc_rib_;
+  RibTable<std::vector<OutEntry>> out_;
+  /// Deferred-reclaim parking lot: min-heap of (pacing horizon, prefix)
+  /// drained by `sweep_reclaim`, with a guard set so each prefix is parked
+  /// at most once (a stale horizon just re-evaluates and re-parks).
+  std::vector<std::pair<sim::SimTime, Prefix>> reclaim_queue_;
+  std::unordered_set<Prefix> reclaim_parked_;
   std::uint64_t sent_ = 0;
   int pending_depth_ = 0;
 };

@@ -194,7 +194,8 @@ ExperimentResult run_experiment(const ExperimentConfig& cfg) {
   // Interning stats are per-thread and cumulative; delta against this
   // snapshot at the end isolates what *this* run requested.
   const bgp::PathTable::Stats intern_before = bgp::PathTable::local().stats();
-  bgp::BgpNetwork network(graph, cfg.timing, *policy, engine, rng, &recorder);
+  bgp::BgpNetwork network(graph, cfg.timing, *policy, engine, rng, &recorder,
+                          cfg.rib_backend);
   if (spans) network.set_span_tracer(spans.get());
   for (net::NodeId u = 0; u < graph.node_count(); ++u) {
     if (collect_metrics) network.router(u).set_metrics(&router_metrics);
@@ -219,7 +220,7 @@ ExperimentResult run_experiment(const ExperimentConfig& cfg) {
       auto mod = std::make_unique<rfd::DampingModule>(
           u, std::move(peer_ids), params, engine,
           [&r](int slot, bgp::Prefix p) { return r.on_reuse(slot, p); },
-          &recorder);
+          &recorder, cfg.rib_backend);
       if (cfg.rcn) mod->enable_rcn();
       if (cfg.selective) mod->enable_selective();
       if (collect_metrics) mod->set_metrics(&damping_metrics);
@@ -540,6 +541,25 @@ ExperimentResult run_experiment(const ExperimentConfig& cfg) {
   }
 
   // --- Emit the artifacts. ---
+  if (collect_metrics) {
+    // End-of-run residency snapshot: resident per-prefix RIB rows across
+    // all routers (post-reclamation) and damping entry counts. Gauges, so
+    // the metrics JSON reports the final state, not an accumulation.
+    std::size_t rib_rows = 0;
+    for (net::NodeId u = 0; u < graph.node_count(); ++u) {
+      network.router(u).sweep_reclaim();
+      rib_rows += network.router(u).residency().total();
+    }
+    std::size_t tracked = 0;
+    std::size_t active = 0;
+    for (const auto& d : dampers) {
+      tracked += d->tracked_entries();
+      active += d->active_entries();
+    }
+    router_metrics.rib_resident->set(static_cast<std::int64_t>(rib_rows));
+    damping_metrics.tracked->set(static_cast<std::int64_t>(tracked));
+    damping_metrics.active->set(static_cast<std::int64_t>(active));
+  }
   if (global_metrics) obs_runtime::accumulate(registry);
   if (obs_runtime::profile_enabled()) obs_runtime::accumulate_profile(profile);
   if (cfg.collect_metrics) res.metrics = std::move(registry);

@@ -1,0 +1,197 @@
+#include "core/full_table.hpp"
+
+#include <chrono>
+#include <cmath>
+#include <functional>
+#include <memory>
+#include <sstream>
+#include <stdexcept>
+#include <vector>
+
+#include "bgp/network.hpp"
+#include "bgp/policy.hpp"
+#include "net/topology.hpp"
+#include "rfd/damping.hpp"
+#include "sim/engine.hpp"
+#include "stats/zipf.hpp"
+
+namespace rfdnet::core {
+
+void FullTableConfig::validate() const {
+  if (prefixes < 1) {
+    throw std::invalid_argument("full-table: prefixes must be >= 1");
+  }
+  if (routers < 2) {
+    throw std::invalid_argument("full-table: need at least 2 routers");
+  }
+  if (events > 0 && event_interval_s <= 0) {
+    throw std::invalid_argument("full-table: event interval must be > 0");
+  }
+  if (!std::isfinite(alpha) || alpha < 0.0) {
+    throw std::invalid_argument("full-table: alpha must be finite and >= 0");
+  }
+  if (samples < 1) throw std::invalid_argument("full-table: samples >= 1");
+  if (cooldown_s < 0) throw std::invalid_argument("full-table: cooldown < 0");
+  timing.validate();
+  if (damping) damping->validate();
+}
+
+FullTableResult run_full_table(const FullTableConfig& cfg) {
+  cfg.validate();
+
+  sim::Rng rng(cfg.seed);
+  // The toggle stream draws from its own split so its randomness is
+  // independent of how many processing-delay variates the network consumes —
+  // and so n = 1 (which draws nothing) stays byte-identical trivially.
+  sim::Rng churn_rng = rng.split();
+
+  const net::Graph graph = net::make_line(cfg.routers, cfg.link_delay_s);
+  bgp::ShortestPathPolicy policy;
+  sim::Engine engine;
+  bgp::BgpNetwork network(graph, cfg.timing, policy, engine, rng, nullptr,
+                          cfg.rib_backend);
+
+  FullTableResult res;
+  obs::RouterMetrics router_metrics = obs::RouterMetrics::bind(res.metrics);
+  obs::DampingMetrics damping_metrics = obs::DampingMetrics::bind(res.metrics);
+  for (net::NodeId u = 0; u < graph.node_count(); ++u) {
+    network.router(u).set_metrics(&router_metrics);
+  }
+
+  std::vector<std::unique_ptr<rfd::DampingModule>> dampers;
+  if (cfg.damping) {
+    for (net::NodeId u = 0; u < graph.node_count(); ++u) {
+      bgp::BgpRouter& r = network.router(u);
+      std::vector<net::NodeId> peer_ids;
+      peer_ids.reserve(static_cast<std::size_t>(r.peer_count()));
+      for (int s = 0; s < r.peer_count(); ++s) peer_ids.push_back(r.peer(s).id);
+      auto mod = std::make_unique<rfd::DampingModule>(
+          u, std::move(peer_ids), *cfg.damping, engine,
+          [&r](int slot, bgp::Prefix p) { return r.on_reuse(slot, p); },
+          nullptr, cfg.rib_backend);
+      mod->set_metrics(&damping_metrics);
+      r.set_damping(mod.get());
+      dampers.push_back(std::move(mod));
+    }
+  }
+
+  // --- Warm-up: the origin announces the full table and the line converges.
+  bgp::BgpRouter& origin = network.router(0);
+  for (std::size_t p = 0; p < cfg.prefixes; ++p) {
+    origin.originate(static_cast<bgp::Prefix>(p));
+  }
+  engine.run();
+  if (network.router(0).rib_backend() != bgp::RibBackendKind::kNull) {
+    for (std::size_t p = 0; p < cfg.prefixes; ++p) {
+      if (!network.all_reachable(static_cast<bgp::Prefix>(p))) {
+        throw std::runtime_error("full-table: warm-up did not converge");
+      }
+    }
+  }
+  for (auto& d : dampers) d->reset();
+
+  // --- Churn: a self-rescheduling toggle chain (one live engine event at a
+  // time, however long the stream). Targets are pre-drawn so the stream is a
+  // pure function of the seed.
+  stats::ZipfSampler zipf(cfg.prefixes, cfg.alpha);
+  std::vector<bgp::Prefix> targets(cfg.events);
+  for (auto& t : targets) t = static_cast<bgp::Prefix>(zipf.sample(churn_rng));
+  std::vector<bool> up(cfg.prefixes, true);
+
+  const auto sample_residency = [&] {
+    std::size_t rib = 0;
+    for (net::NodeId u = 0; u < graph.node_count(); ++u) {
+      network.router(u).sweep_reclaim();
+      rib += network.router(u).residency().total();
+    }
+    std::size_t tracked = 0;
+    std::size_t active = 0;
+    for (const auto& d : dampers) {
+      tracked += d->tracked_entries();
+      active += d->active_entries();
+    }
+    router_metrics.rib_resident->set(static_cast<std::int64_t>(rib));
+    damping_metrics.tracked->set(static_cast<std::int64_t>(tracked));
+    damping_metrics.active->set(static_cast<std::int64_t>(active));
+    if (rib > res.peak_rib_resident) res.peak_rib_resident = rib;
+    if (tracked > res.peak_damping_tracked) res.peak_damping_tracked = tracked;
+    if (active > res.peak_damping_active) res.peak_damping_active = active;
+    res.final_rib_resident = rib;
+    res.final_damping_tracked = tracked;
+    res.final_damping_active = active;
+  };
+
+  const std::uint64_t sample_every =
+      cfg.events == 0
+          ? 1
+          : std::max<std::uint64_t>(1, cfg.events / cfg.samples);
+  std::function<void()> toggle_step = [&] {
+    const bgp::Prefix p = targets[res.toggles_applied];
+    if (up[p]) {
+      origin.withdraw_origin(p);
+    } else {
+      origin.originate(p);
+    }
+    up[p] = !up[p];
+    ++res.toggles_applied;
+    if (res.toggles_applied % sample_every == 0) sample_residency();
+    if (res.toggles_applied < cfg.events) {
+      engine.schedule_after(sim::Duration::seconds(cfg.event_interval_s),
+                            toggle_step, sim::EventKind::kFlap);
+    }
+  };
+
+  const sim::SimTime t0 = engine.now();
+  const std::uint64_t delivered_before = network.delivered_count();
+  std::uint64_t sent_before = 0;
+  for (net::NodeId u = 0; u < graph.node_count(); ++u) {
+    sent_before += network.router(u).sent_count();
+  }
+
+  const double churn_span_s =
+      static_cast<double>(cfg.events) * cfg.event_interval_s;
+  if (cfg.events > 0) {
+    engine.schedule_after(sim::Duration::seconds(cfg.event_interval_s),
+                          toggle_step, sim::EventKind::kFlap);
+  }
+  const auto wall_start = std::chrono::steady_clock::now();
+  engine.run(t0 + sim::Duration::seconds(churn_span_s));
+  const auto wall_end = std::chrono::steady_clock::now();
+
+  // Cooldown: let MRAI flushes, reuse timers and parked reclaims drain.
+  engine.run(t0 + sim::Duration::seconds(churn_span_s + cfg.cooldown_s));
+  sample_residency();
+
+  res.updates_delivered = network.delivered_count() - delivered_before;
+  std::uint64_t sent_after = 0;
+  for (net::NodeId u = 0; u < graph.node_count(); ++u) {
+    sent_after += network.router(u).sent_count();
+  }
+  res.updates_sent = sent_after - sent_before;
+  res.sim_duration_s = churn_span_s + cfg.cooldown_s;
+  res.hit_horizon = engine.pending() > 0;
+  res.wall_s = std::chrono::duration<double>(wall_end - wall_start).count();
+  res.updates_per_core_sec =
+      res.wall_s > 0.0
+          ? static_cast<double>(res.updates_delivered) / res.wall_s
+          : 0.0;
+  return res;
+}
+
+std::string FullTableResult::scorecard() const {
+  std::ostringstream os;
+  os << "{\"toggles\":" << toggles_applied
+     << ",\"delivered\":" << updates_delivered << ",\"sent\":" << updates_sent
+     << ",\"hit_horizon\":" << (hit_horizon ? "true" : "false")
+     << ",\"residency\":{\"peak\":" << peak_rib_resident
+     << ",\"final\":" << final_rib_resident
+     << "},\"damping\":{\"peak_tracked\":" << peak_damping_tracked
+     << ",\"final_tracked\":" << final_damping_tracked
+     << ",\"peak_active\":" << peak_damping_active
+     << ",\"final_active\":" << final_damping_active << "},\"metrics\":";
+  metrics.write_json(os);
+  os << '}';
+  return os.str();
+}
+
+}  // namespace rfdnet::core

@@ -198,6 +198,7 @@ RouterMetrics RouterMetrics::bind(Registry& r) {
   m.withdrawals = &r.counter("bgp.withdrawals");
   m.mrai_deferrals = &r.counter("bgp.mrai_deferrals");
   m.pending = &r.gauge("bgp.pending");
+  m.rib_resident = &r.gauge("bgp.rib_resident");
   return m;
 }
 
@@ -208,6 +209,8 @@ DampingMetrics DampingMetrics::bind(Registry& r) {
   m.reuses = &r.counter("rfd.reuses");
   m.reschedules = &r.counter("rfd.reschedules");
   m.penalty = &r.histogram("rfd.penalty");
+  m.tracked = &r.gauge("rfd.tracked_entries");
+  m.active = &r.gauge("rfd.active_entries");
   return m;
 }
 

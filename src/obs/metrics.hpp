@@ -132,6 +132,10 @@ struct RouterMetrics {
   Counter* withdrawals = nullptr;     ///< subset of sends that withdraw
   Counter* mrai_deferrals = nullptr;  ///< flush attempts blocked by MRAI
   Gauge* pending = nullptr;           ///< updates held back (pending depth)
+  /// Resident per-prefix RIB rows (RIB-IN + Loc-RIB + RIB-OUT) summed over
+  /// all routers sharing the bundle. Sampled by the driver at reporting
+  /// cadence, not maintained on the hot path.
+  Gauge* rib_resident = nullptr;
 
   static RouterMetrics bind(Registry& r);
 };
@@ -143,6 +147,11 @@ struct DampingMetrics {
   Counter* reuses = nullptr;        ///< reuse timers fired on suppressed entries
   Counter* reschedules = nullptr;   ///< reuse timers cancelled + moved out
   Histogram* penalty = nullptr;     ///< post-charge penalty values
+  /// Entry-store rows / live-penalty entries summed over all modules sharing
+  /// the bundle (the latter is what the RFC 2439 memory limit bounds).
+  /// Sampled by the driver at reporting cadence.
+  Gauge* tracked = nullptr;
+  Gauge* active = nullptr;
 
   static DampingMetrics bind(Registry& r);
 };

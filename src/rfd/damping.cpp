@@ -27,24 +27,27 @@ std::string to_string(UpdateClass c) {
 
 DampingModule::DampingModule(net::NodeId self, std::vector<net::NodeId> peer_ids,
                              const DampingParams& params, sim::Engine& engine,
-                             ReuseFn on_reuse, bgp::Observer* observer)
+                             ReuseFn on_reuse, bgp::Observer* observer,
+                             bgp::RibBackendKind backend)
     : self_(self),
       peer_ids_(std::move(peer_ids)),
       params_(params),
       engine_(engine),
       reuse_fn_(std::move(on_reuse)),
-      observer_(observer) {
+      observer_(observer),
+      entries_(backend) {
   params_.validate();
   if (!reuse_fn_) throw std::invalid_argument("DampingModule: empty reuse fn");
 }
 
 DampingModule::~DampingModule() {
   // Cancel outstanding reuse events: their callbacks capture `this`.
-  for (auto& [p, entries] : entries_) {
+  // Ordered so the engine sees the same cancel sequence on every backend.
+  entries_.for_each_ordered([&](bgp::Prefix, std::vector<Entry>& entries) {
     for (auto& e : entries) {
       if (e.reuse_event != sim::kInvalidEvent) engine_.cancel(e.reuse_event);
     }
-  }
+  });
 }
 
 void DampingModule::enable_selective() {
@@ -67,22 +70,22 @@ void DampingModule::enable_rcn(std::size_t history_capacity) {
 }
 
 DampingModule::Entry& DampingModule::entry(int slot, bgp::Prefix p) {
-  auto& v = entries_[p];
+  auto& v = entries_.find_or_create(p);
   if (v.empty()) v.resize(peer_ids_.size());
   return v.at(slot);
 }
 
 DampingModule::Entry* DampingModule::find_entry(int slot, bgp::Prefix p) {
-  const auto it = entries_.find(p);
-  if (it == entries_.end() || it->second.empty()) return nullptr;
-  return &it->second.at(slot);
+  auto* v = entries_.find(p);
+  if (v == nullptr || v->empty()) return nullptr;
+  return &v->at(slot);
 }
 
 const DampingModule::Entry* DampingModule::find_entry(int slot,
                                                       bgp::Prefix p) const {
-  const auto it = entries_.find(p);
-  if (it == entries_.end() || it->second.empty()) return nullptr;
-  return &it->second.at(slot);
+  const auto* v = entries_.find(p);
+  if (v == nullptr || v->empty()) return nullptr;
+  return &v->at(slot);
 }
 
 UpdateClass DampingModule::classify(
@@ -117,6 +120,10 @@ double DampingModule::increment_for(UpdateClass c) const {
 void DampingModule::on_update(int slot, const bgp::UpdateMessage& msg,
                               const std::optional<bgp::Route>& prev,
                               bool loop_denied) {
+  // The null backend retains nothing: charging a scratch entry would strand
+  // the suppressed count and the reuse timer it implies, so the module is a
+  // pass-through (every query below reads "no state").
+  if (!entries_.retains()) return;
   const sim::SimTime now = engine_.now();
   const double lambda = params_.lambda();
   Entry* e = find_entry(slot, msg.prefix);
@@ -304,14 +311,16 @@ bool DampingModule::suppressed(int slot, bgp::Prefix p) const {
 }
 
 void DampingModule::reset() {
-  for (auto& [p, entries] : entries_) {
+  // Ordered: span closes emit trace records, whose order must not depend on
+  // the storage backend.
+  entries_.for_each_ordered([&](bgp::Prefix, std::vector<Entry>& entries) {
     for (auto& e : entries) {
       if (e.reuse_event != sim::kInvalidEvent) engine_.cancel(e.reuse_event);
       if (spans_ && e.supp_span.valid()) {
         spans_->close(e.supp_span, engine_.now().as_seconds());
       }
     }
-  }
+  });
   entries_.clear();
   suppressed_count_ = 0;
   for (auto& h : rcn_history_) h.clear();
@@ -329,11 +338,23 @@ std::optional<sim::SimTime> DampingModule::reuse_time(int slot,
   return e->reuse_at;
 }
 
+std::size_t DampingModule::active_entries() const {
+  const sim::SimTime now = engine_.now();
+  const double lambda = params_.lambda();
+  std::size_t live = 0;
+  entries_.for_each([&](bgp::Prefix, const std::vector<Entry>& entries) {
+    for (const Entry& e : entries) {
+      if (e.suppressed || e.penalty.at(now, lambda) > 0.0) ++live;
+    }
+  });
+  return live;
+}
+
 void DampingModule::check_invariants() const {
   const sim::SimTime now = engine_.now();
   const double lambda = params_.lambda();
   int suppressed = 0;
-  for (const auto& [p, entries] : entries_) {
+  entries_.for_each([&](bgp::Prefix, const std::vector<Entry>& entries) {
     for (const Entry& e : entries) {
       const double value = e.penalty.at(now, lambda);
       obs::check_always(value >= 0.0, "rfd: negative penalty");
@@ -353,7 +374,7 @@ void DampingModule::check_invariants() const {
                           "rfd: unsuppressed entry holds a live reuse timer");
       }
     }
-  }
+  });
   obs::check_always(suppressed == suppressed_count_,
                     "rfd: suppressed count out of sync with entries");
 }

@@ -2,11 +2,11 @@
 
 #include <functional>
 #include <optional>
-#include <unordered_map>
 #include <vector>
 
 #include "bgp/damping_hook.hpp"
 #include "bgp/observer.hpp"
+#include "bgp/rib_backend.hpp"
 #include "obs/metrics.hpp"
 #include "obs/phase_timeline.hpp"
 #include "obs/span.hpp"
@@ -52,9 +52,13 @@ class DampingModule final : public bgp::DampingHook {
   using ReuseFn = std::function<bool(int slot, bgp::Prefix)>;
 
   /// `peer_ids[slot]` maps slots to neighbor ids (observer reporting only).
+  /// `backend` selects the per-prefix entry store; the null backend retains
+  /// no state, so the module classifies updates but never charges or
+  /// suppresses (pure hook overhead — benchmarking only).
   DampingModule(net::NodeId self, std::vector<net::NodeId> peer_ids,
                 const DampingParams& params, sim::Engine& engine,
-                ReuseFn on_reuse, bgp::Observer* observer = nullptr);
+                ReuseFn on_reuse, bgp::Observer* observer = nullptr,
+                bgp::RibBackendKind backend = bgp::RibBackendKind::kHashMap);
   ~DampingModule() override;
 
   DampingModule(const DampingModule&) = delete;
@@ -96,6 +100,13 @@ class DampingModule final : public bgp::DampingHook {
   /// Number of prefixes with allocated damping state. Read-only queries
   /// (`penalty`, `suppressed`, `reuse_time`) never grow this (tests).
   std::size_t tracked_entries() const { return entries_.size(); }
+  /// Number of (slot, prefix) entries whose penalty state is live right now
+  /// (non-zero penalty or suppressed) — what the RFC 2439 memory limit
+  /// bounds. `tracked_entries` additionally counts rows kept only for their
+  /// `ever_announced` flag. O(tracked) walk; reporting cadence only.
+  std::size_t active_entries() const;
+  /// Entry store backend this module runs on.
+  bgp::RibBackendKind rib_backend() const { return entries_.kind(); }
 
   const DampingParams& params() const { return params_; }
 
@@ -166,8 +177,8 @@ class DampingModule final : public bgp::DampingHook {
   std::optional<sim::SimTime> charge_deadline_;
   std::vector<rcn::RootCauseHistory> rcn_history_;  // per slot
 
-  // entries_[p] is indexed by peer slot.
-  std::unordered_map<bgp::Prefix, std::vector<Entry>> entries_;
+  // entries_[p] is indexed by peer slot; storage backend per `rib_backend()`.
+  bgp::RibTable<std::vector<Entry>> entries_;
   int suppressed_count_ = 0;
 };
 

@@ -1,0 +1,42 @@
+#include "stats/zipf.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+namespace rfdnet::stats {
+
+ZipfSampler::ZipfSampler(std::size_t n, double alpha) : n_(n), alpha_(alpha) {
+  if (n == 0) throw std::invalid_argument("ZipfSampler: n must be >= 1");
+  if (!std::isfinite(alpha) || alpha < 0.0) {
+    throw std::invalid_argument("ZipfSampler: alpha must be finite and >= 0");
+  }
+  if (n == 1) return;  // deterministic; no table, no RNG draws
+  cdf_.resize(n);
+  double total = 0.0;
+  for (std::size_t k = 0; k < n; ++k) {
+    // alpha = 0 gives mass 1 everywhere — the uniform distribution.
+    total += std::pow(static_cast<double>(k + 1), -alpha);
+    cdf_[k] = total;
+  }
+  for (double& c : cdf_) c /= total;
+  cdf_.back() = 1.0;  // guard against accumulated rounding
+}
+
+std::size_t ZipfSampler::sample(sim::Rng& rng) const {
+  if (n_ == 1) return 0;
+  const double u = rng.uniform01();
+  const auto it = std::lower_bound(cdf_.begin(), cdf_.end(), u);
+  // u < 1 and cdf_.back() == 1, so `it` is always in range; upper-clamp
+  // anyway for the u == 1 - ulp vs rounding interplay.
+  const auto idx = static_cast<std::size_t>(it - cdf_.begin());
+  return idx < n_ ? idx : n_ - 1;
+}
+
+double ZipfSampler::probability(std::size_t k) const {
+  if (k >= n_) throw std::out_of_range("ZipfSampler: index out of range");
+  if (n_ == 1) return 1.0;
+  return k == 0 ? cdf_[0] : cdf_[k] - cdf_[k - 1];
+}
+
+}  // namespace rfdnet::stats

@@ -1,0 +1,45 @@
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+#include "sim/random.hpp"
+
+namespace rfdnet::stats {
+
+/// Zipf-distributed index sampler over {0, ..., n-1}: P(k) ∝ 1 / (k+1)^alpha.
+///
+/// Measurement studies of BGP instability consistently find heavy-tailed
+/// per-prefix update rates — a small set of prefixes contributes most of the
+/// churn while the tail flaps rarely. The full-table workload uses this to
+/// pick which prefix flaps next, so damping state concentrates on the hot
+/// head exactly as it does on a production RIB.
+///
+/// Sampling inverts the precomputed CDF by binary search (O(log n) per draw,
+/// O(n) setup). Edge parameters degenerate cleanly:
+///  - alpha = 0 is the uniform distribution;
+///  - n = 1 always returns 0 and consumes *no* randomness, so a single-prefix
+///    run replays byte-identically against code that never sampled at all.
+class ZipfSampler {
+ public:
+  /// `n` must be >= 1; `alpha` must be finite and >= 0.
+  ZipfSampler(std::size_t n, double alpha);
+
+  /// Next index in [0, n). Draws one uniform variate from `rng` — except for
+  /// n = 1, which is deterministic and leaves the stream untouched.
+  std::size_t sample(sim::Rng& rng) const;
+
+  std::size_t size() const { return n_; }
+  double alpha() const { return alpha_; }
+
+  /// P(k), from the normalized mass table (tests / reporting).
+  double probability(std::size_t k) const;
+
+ private:
+  std::size_t n_;
+  double alpha_;
+  std::vector<double> cdf_;  ///< cdf_[k] = P(X <= k); empty when n = 1
+};
+
+}  // namespace rfdnet::stats

@@ -18,13 +18,15 @@ Route route(net::NodeId origin) { return Route{bgp::AsPath::origin(origin), 100}
 
 class DampingModuleTest : public ::testing::Test {
  protected:
-  void make(DampingParams params = DampingParams::cisco()) {
+  void make(DampingParams params = DampingParams::cisco(),
+            bgp::RibBackendKind backend = bgp::RibBackendKind::kHashMap) {
     module_ = std::make_unique<DampingModule>(
         /*self=*/0, std::vector<net::NodeId>{10, 11}, params, engine_,
         [this](int slot, bgp::Prefix p) {
           reuse_calls_.emplace_back(slot, p);
           return reuse_noisy_;
-        });
+        },
+        nullptr, backend);
   }
 
   /// Delivers an announcement to slot 0, tracking previous-route state.
@@ -357,27 +359,53 @@ TEST_F(DampingModuleTest, RejectsBadConstruction) {
 TEST_F(DampingModuleTest, QueriesDoNotAllocateEntries) {
   // Regression: read paths used to route through the mutating entry()
   // accessor, so probing a never-charged (slot, prefix) allocated a full
-  // per-peer entry vector.
-  make();
-  EXPECT_EQ(module_->tracked_entries(), 0u);
-  EXPECT_FALSE(module_->suppressed(0, 7));
-  EXPECT_DOUBLE_EQ(module_->penalty(1, 9), 0.0);
-  EXPECT_FALSE(module_->reuse_time(0, 7).has_value());
-  EXPECT_EQ(module_->tracked_entries(), 0u);
+  // per-peer entry vector. The guarantee must hold on every storage backend.
+  for (const bgp::RibBackendKind backend : bgp::kAllRibBackends) {
+    make(DampingParams::cisco(), backend);
+    ASSERT_EQ(module_->rib_backend(), backend);
+    EXPECT_EQ(module_->tracked_entries(), 0u);
+    EXPECT_FALSE(module_->suppressed(0, 7));
+    EXPECT_DOUBLE_EQ(module_->penalty(1, 9), 0.0);
+    EXPECT_FALSE(module_->reuse_time(0, 7).has_value());
+    EXPECT_EQ(module_->tracked_entries(), 0u)
+        << "reads grew the " << to_string(backend) << " entry store";
+  }
 }
 
 TEST_F(DampingModuleTest, NoOpWithdrawalDoesNotAllocate) {
   // A withdrawal with no previous route for an untracked prefix changes no
-  // damping state; it must not grow entries_ either.
+  // damping state; it must not grow entries_ either — on any backend.
+  for (const bgp::RibBackendKind backend : bgp::kAllRibBackends) {
+    make(DampingParams::cisco(), backend);
+    module_->on_update(0, UpdateMessage::withdraw(kP), std::nullopt, false);
+    EXPECT_EQ(module_->tracked_entries(), 0u)
+        << "no-op withdrawal grew the " << to_string(backend) << " store";
+  }
+  // But a real announcement still creates trackable state (retaining
+  // backends only; the null store never retains by design).
   make();
-  module_->on_update(0, UpdateMessage::withdraw(kP), std::nullopt, false);
-  EXPECT_EQ(module_->tracked_entries(), 0u);
-  // But a real announcement still creates trackable state.
   announce(route(1), 0.0);
   EXPECT_EQ(module_->tracked_entries(), 1u);
   withdraw(1.0);
   announce(route(1), 2.0);  // re-announcement must still be charged
   EXPECT_NEAR(module_->penalty(0, kP), 1000.0, 1.0);
+}
+
+TEST_F(DampingModuleTest, NullBackendClassifiesButNeverCharges) {
+  make(DampingParams::cisco(), bgp::RibBackendKind::kNull);
+  EXPECT_FALSE(module_->rib_backend() == bgp::RibBackendKind::kHashMap);
+  // A flap pattern that suppresses on retaining backends is a no-op here:
+  // no entries, no penalty, no suppression, no reuse timers to leak.
+  for (int i = 0; i < 4; ++i) {
+    announce(route(1), 2.0 * i);
+    withdraw(2.0 * i + 1.0);
+  }
+  EXPECT_EQ(module_->tracked_entries(), 0u);
+  EXPECT_EQ(module_->suppressed_count(), 0);
+  EXPECT_FALSE(module_->suppressed(0, kP));
+  EXPECT_DOUBLE_EQ(module_->penalty(0, kP), 0.0);
+  EXPECT_EQ(engine_.pending(), 0u);
+  module_->check_invariants();
 }
 
 TEST_F(DampingModuleTest, MemoryLimitPruneForgetsTimerFreight) {
