@@ -53,7 +53,7 @@ int main(int argc, char** argv) {
   core::ArgParser args({"metrics"},
                        {"prefixes", "alpha", "events", "interval", "routers",
                         "seed", "samples", "cooldown", "rib-backend", "json",
-                        "trace", "trace-format", "profile"});
+                        "shards", "trace", "trace-format", "profile"});
   if (!args.parse(argc, argv)) {
     std::cerr << args.error() << "\n";
     return 1;
@@ -68,6 +68,10 @@ int main(int argc, char** argv) {
   cfg.seed = args.get_u64("seed", 1);
   cfg.samples = static_cast<std::size_t>(args.get_u64("samples", 64));
   cfg.cooldown_s = args.get_double("cooldown", 120.0);
+  // 0 = classic serial driver; >= 1 runs the sharded driver (byte-identical
+  // scorecards for every shard count, but a different sampling scheme than
+  // serial — don't mix serial and sharded scorecards).
+  cfg.shards = args.get_int("shards", 0);
 
   std::vector<bgp::RibBackendKind> backends;
   if (args.has("rib-backend")) {
@@ -85,8 +89,9 @@ int main(int argc, char** argv) {
 
   std::cout << "Extension: full-table Zipf churn (" << cfg.prefixes
             << " prefixes, alpha " << cfg.alpha << ", " << cfg.events
-            << " toggles, " << cfg.routers << "-router line, seed " << cfg.seed
-            << ")\n\n";
+            << " toggles, " << cfg.routers << "-router line, seed " << cfg.seed;
+  if (cfg.shards >= 1) std::cout << ", " << cfg.shards << " shard(s)";
+  std::cout << ")\n\n";
 
   std::vector<Row> rows;
   for (const auto backend : backends) {

@@ -18,6 +18,8 @@
 #include "core/export.hpp"
 #include "core/intended.hpp"
 #include "core/report.hpp"
+#include "core/sharded.hpp"
+#include "obs/metrics.hpp"
 #include "net/topology_io.hpp"
 #include "stats/phase.hpp"
 
@@ -51,6 +53,10 @@ protocol:
 
 misc:
   --seed N            RNG seed (default 1)
+  --shards N          shard the run across N cores under conservative
+                      lookahead barriers (default 0 = classic serial path;
+                      1 = sharded code on one core). Results are
+                      byte-identical for every N >= 1.
   --isp N             attach the flapping origin to node N (default random)
   --csv               one CSV line instead of the report
   --json              full result as JSON instead of the report
@@ -66,7 +72,7 @@ int main(int argc, char** argv) {
       {"rcn", "csv", "json", "series", "help"},
       {"topology", "width", "height", "nodes", "topology-file", "pulses",
        "interval", "params", "deployment", "granularity", "policy", "mrai",
-       "seed", "isp"});
+       "seed", "shards", "isp"});
   if (!flags.parse(argc, argv)) {
     std::cerr << flags.error() << "\n";
     return 2;
@@ -150,9 +156,23 @@ int main(int argc, char** argv) {
     }
   }
 
+  const int shards = flags.get_int("shards", 0);
   core::ExperimentResult res;
+  obs::Registry shard_registry;
   try {
-    res = core::run_experiment(cfg);
+    if (shards >= 1) {
+      core::ShardedExperimentResult sr = core::run_sharded_experiment(cfg, shards);
+      // Parallel-run diagnostics (partition- and host-dependent, so they
+      // stay out of the CSV/JSON artifacts).
+      const obs::ShardMetrics sm = obs::ShardMetrics::bind(shard_registry);
+      sm.record(sr.engine_stats.rounds, sr.engine_stats.cross_posted,
+                sr.engine_stats.cross_admitted, sr.partition.shards,
+                sr.partition.cut_links, sr.lookahead_s,
+                sr.engine_stats.barrier_wait_ns);
+      res = std::move(sr.base);
+    } else {
+      res = core::run_experiment(cfg);
+    }
   } catch (const std::exception& e) {
     std::cerr << "error: " << e.what() << "\n";
     return 1;
@@ -200,6 +220,12 @@ int main(int argc, char** argv) {
   t.add_row({"max penalty", core::TextTable::num(res.max_penalty, 0)});
   t.add_row({"t_up (warm-up)", core::TextTable::num(res.warmup_tup_s, 1)});
   t.print(std::cout);
+
+  if (shards >= 1) {
+    std::cout << "\nshard diagnostics: ";
+    shard_registry.write_json(std::cout);
+    std::cout << "\n";
+  }
 
   std::cout << "\nphases:\n";
   for (const auto& ph : res.phases) {

@@ -7,8 +7,10 @@
 #     "date": "YYYY-MM-DD",
 #     "micro_engine": { "<benchmark>": {"real_time_ns": ..., ...}, ... },
 #     "micro_propagation": { "<benchmark>": {"real_time_ns": ..., ...}, ... },
+#     "micro_shard": { "<benchmark>": {"real_time_ns": ..., ...}, ... },
 #     "fig07": { "wall_s": ..., "profile": { "<kind>": {counts...}, ... } },
-#     "ext_full_table": { "wall_s": ..., "scorecard": {...} }
+#     "ext_full_table": { "wall_s": ..., "scorecard": {...} },
+#     "micro_shard_scorecard": { "wall_s": ..., "scorecard": {...} }
 #   }
 #
 # The micro_engine numbers are wall-clock and vary with the machine; the
@@ -28,7 +30,7 @@ OUT="${1:-BENCH_$(date +%F).json}"
 # Reuse the existing build tree's generator (check.sh configures Ninja on a
 # fresh tree; a Makefiles tree works just as well here).
 cmake -B build >/dev/null
-cmake --build build --target micro_engine micro_propagation \
+cmake --build build --target micro_engine micro_propagation micro_shard \
   fig07_secondary_charging ext_full_table >/dev/null
 
 TMP="$(mktemp -d)"
@@ -41,6 +43,15 @@ echo "running micro_engine..." >&2
 echo "running micro_propagation..." >&2
 ./build/bench/micro_propagation --benchmark_format=json \
   >"$TMP/micro_prop.json" 2>/dev/null
+
+echo "running micro_shard (1/2/4/8 shards)..." >&2
+./build/bench/micro_shard --benchmark_format=json \
+  >"$TMP/micro_shard.json" 2>/dev/null
+
+echo "running micro_shard --scorecard (serial-vs-sharded identity)..." >&2
+SHARD_START=$(date +%s.%N)
+./build/bench/micro_shard --scorecard >"$TMP/shard_scorecard.json"
+SHARD_END=$(date +%s.%N)
 
 echo "running fig07_secondary_charging (profiled)..." >&2
 FIG07_START=$(date +%s.%N)
@@ -56,12 +67,15 @@ FT_END=$(date +%s.%N)
 
 python3 - "$TMP/micro.json" "$TMP/micro_prop.json" "$TMP/fig07_profile.json" \
   "$OUT" "$(date +%F)" "$FIG07_START" "$FIG07_END" \
-  "$TMP/full_table_scorecard.json" "$FT_START" "$FT_END" <<'PY'
+  "$TMP/full_table_scorecard.json" "$FT_START" "$FT_END" \
+  "$TMP/micro_shard.json" "$TMP/shard_scorecard.json" \
+  "$SHARD_START" "$SHARD_END" <<'PY'
 import json
 import sys
 
 micro_path, prop_path, profile_path, out_path, date, t0, t1 = sys.argv[1:8]
 ft_path, ft0, ft1 = sys.argv[8:11]
+shard_path, shard_card_path, st0, st1 = sys.argv[11:15]
 
 with open(micro_path) as f:
     micro = json.load(f)
@@ -71,6 +85,10 @@ with open(profile_path) as f:
     profile = json.load(f)
 with open(ft_path) as f:
     ft_scorecard = json.load(f)
+with open(shard_path) as f:
+    shard = json.load(f)
+with open(shard_card_path) as f:
+    shard_scorecard = json.load(f)
 
 
 def flatten(report):
@@ -92,6 +110,7 @@ out = {
     "date": date,
     "micro_engine": flatten(micro),
     "micro_propagation": flatten(prop),
+    "micro_shard": flatten(shard),
     "fig07": {
         "wall_s": round(float(t1) - float(t0), 3),
         "profile": profile,
@@ -101,6 +120,12 @@ out = {
         # cross-check; the scorecard itself is the deterministic artifact.
         "wall_s": round(float(ft1) - float(ft0), 3),
         "scorecard": ft_scorecard,
+    },
+    "micro_shard_scorecard": {
+        # Serial-vs-sharded byte-identity on the 208-node experiment at
+        # shards 1/2/4 — deterministic like the full-table scorecard.
+        "wall_s": round(float(st1) - float(st0), 3),
+        "scorecard": shard_scorecard,
     },
 }
 with open(out_path, "w") as f:

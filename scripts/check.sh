@@ -9,13 +9,14 @@
 # (randomized oracle) tiers plus both sanitizer legs.
 #
 # `check.sh --bench` runs the perf-baseline tier instead: it takes a fresh
-# snapshot with scripts/bench_baseline.sh and fails if any micro_engine or
-# micro_propagation benchmark regressed more than 20% against the newest
-# committed BENCH_*.json (wall-clock jitter on shared machines sits well
-# under that), if the full-table workload's wall time regressed past the
-# same limit, or if its byte-deterministic scorecard changed (a scorecard
-# diff means the simulated workload itself changed — commit a fresh
-# baseline alongside the change that moved it).
+# snapshot with scripts/bench_baseline.sh and fails if any micro_engine,
+# micro_propagation or micro_shard benchmark regressed more than 20%
+# against the newest committed BENCH_*.json (wall-clock jitter on shared
+# machines sits well under that), if the full-table workload's wall time
+# regressed past the same limit, or if a byte-deterministic scorecard
+# (ext_full_table, or micro_shard's serial-vs-sharded identity card)
+# changed (a scorecard diff means the simulated workload itself changed —
+# commit a fresh baseline alongside the change that moved it).
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
@@ -45,7 +46,7 @@ with open(current_path) as f:
 
 LIMIT = 1.20  # fail above +20% real time
 failed = []
-for section in ("micro_engine", "micro_propagation"):
+for section in ("micro_engine", "micro_propagation", "micro_shard"):
     for name, b in sorted(base.get(section, {}).items()):
         c = cur.get(section, {}).get(name)
         if c is None:
@@ -74,6 +75,18 @@ if base_ft and cur_ft:
                       "changed — workload moved, refresh the baseline")
     else:
         print("  ok   ext_full_table/scorecard: byte-identical to baseline")
+
+base_sh = base.get("micro_shard_scorecard")
+cur_sh = cur.get("micro_shard_scorecard")
+if base_sh and cur_sh:
+    # The binary itself already exited non-zero if shards 1/2/4 diverged
+    # within this run; here we compare the fingerprint across baselines.
+    if base_sh["scorecard"] != cur_sh["scorecard"]:
+        print("  FAIL micro_shard/scorecard: differs from baseline")
+        failed.append("micro_shard/scorecard: deterministic artifact "
+                      "changed — workload moved, refresh the baseline")
+    else:
+        print("  ok   micro_shard/scorecard: identical to baseline")
 
 if failed:
     print(f"bench tier FAILED vs {baseline_path}:", file=sys.stderr)
@@ -106,14 +119,16 @@ ctest --test-dir build-asan --output-on-failure
 
 # TSan leg: the thread pool plus the obs metrics path (per-trial registries
 # written by workers, merged canonically afterwards) must be race-free; the
-# fault-storm sweep adds per-trial injectors and trace files to that path.
+# fault-storm sweep adds per-trial injectors and trace files to that path,
+# and the sharded-engine determinism suite exercises the barrier/inbox
+# synchronization under the real BGP workload.
 # ASan and TSan cannot share a build, hence the third tree; scope it to the
 # threaded suites to keep the pass quick.
 cmake -B build-tsan -G Ninja -DCMAKE_BUILD_TYPE=Debug \
   -DCMAKE_CXX_FLAGS="-fsanitize=thread -fno-sanitize-recover=all"
 cmake --build build-tsan --target core_tests property_tests
 ctest --test-dir build-tsan --output-on-failure \
-  -R 'ParallelRunner|SweepDeterminism|ObsDeterminism|FaultSweepOracle'
+  -R 'ParallelRunner|SweepDeterminism|ObsDeterminism|FaultSweepOracle|ShardedDeterminism'
 
 for b in build/bench/*; do
   echo "===== $(basename "$b") ====="

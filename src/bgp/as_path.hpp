@@ -32,6 +32,13 @@ class AsPath {
     return AsPath(PathTable::local().origin(as));
   }
 
+  /// Interns an explicit hop sequence into this thread's table. Used when a
+  /// path crosses a table boundary (e.g. a cross-shard update materializes
+  /// its hops and re-interns them at the destination shard).
+  static AsPath from_hops(std::vector<net::NodeId> hops) {
+    return AsPath(PathTable::local().intern(std::move(hops)));
+  }
+
   /// This path with `as` prepended (as done when a route is announced to an
   /// external peer). Interned: repeated prepends of the same AS onto the
   /// same tail return the identical node (memo hit, no allocation).

@@ -27,12 +27,23 @@ std::uint64_t PathTable::bloom_bit(net::NodeId as) {
   return 1ULL << (mix64(as) & 63u);
 }
 
+namespace {
+
+// Per-thread redirection target for PathTable::local() (sharded runs bind
+// their per-shard tables here; see PathTable::bind_local).
+thread_local PathTable* t_bound_table = nullptr;
+
+}  // namespace
+
 PathTable::PathTable() { empty_ = intern({}); }
 
 PathTable& PathTable::local() {
+  if (t_bound_table != nullptr) return *t_bound_table;
   thread_local PathTable table;
   return table;
 }
+
+void PathTable::bind_local(PathTable* table) { t_bound_table = table; }
 
 const PathTable::Node* PathTable::intern(std::vector<net::NodeId> hops) {
   ++stats_.intern_requests;

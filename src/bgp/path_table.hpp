@@ -55,8 +55,20 @@ class PathTable {
   PathTable(const PathTable&) = delete;
   PathTable& operator=(const PathTable&) = delete;
 
-  /// The table every `AsPath` on this thread interns into.
+  /// The table every `AsPath` on this thread interns into: the bound table
+  /// (see `bind_local`) when one is installed, else the thread's own
+  /// thread-local table.
   static PathTable& local();
+
+  /// Redirects this *thread's* `local()` to `table` (nullptr restores the
+  /// default thread-local table). Sharded runs own one table per shard and
+  /// bind it from whichever worker thread executes the shard each round, so
+  /// interned handles survive the worker threads that created them (the
+  /// tables outlive the run; thread-local tables would die with their
+  /// threads). The caller is responsible for the usual append-only
+  /// lifetime rules and for exclusive use: a bound table must only ever be
+  /// used by one thread at a time.
+  static void bind_local(PathTable* table);
 
   /// Bloom bit for one AS id (one of 64, hash-picked).
   static std::uint64_t bloom_bit(net::NodeId as);

@@ -10,6 +10,7 @@
 
 #include "bgp/network.hpp"
 #include "bgp/policy.hpp"
+#include "core/sharded.hpp"
 #include "net/topology.hpp"
 #include "rfd/damping.hpp"
 #include "sim/engine.hpp"
@@ -32,12 +33,14 @@ void FullTableConfig::validate() const {
   }
   if (samples < 1) throw std::invalid_argument("full-table: samples >= 1");
   if (cooldown_s < 0) throw std::invalid_argument("full-table: cooldown < 0");
+  if (shards < 0) throw std::invalid_argument("full-table: shards < 0");
   timing.validate();
   if (damping) damping->validate();
 }
 
 FullTableResult run_full_table(const FullTableConfig& cfg) {
   cfg.validate();
+  if (cfg.shards >= 1) return run_full_table_sharded(cfg);
 
   sim::Rng rng(cfg.seed);
   // The toggle stream draws from its own split so its randomness is

@@ -47,6 +47,14 @@ struct FullTableConfig {
   /// Extra simulated time after the last toggle for the network to drain.
   double cooldown_s = 120.0;
 
+  /// 0 = the classic serial driver. >= 1 dispatches to
+  /// `run_full_table_sharded`: the line is partitioned into that many shards
+  /// (clamped to the router count) under conservative-lookahead barriers.
+  /// Sharded scorecards are byte-identical across shard counts but use a
+  /// different residency-sampling scheme than the serial driver, so serial
+  /// (0) and sharded (>= 1) scorecards are not comparable to each other.
+  int shards = 0;
+
   void validate() const;
 };
 

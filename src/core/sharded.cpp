@@ -1,0 +1,701 @@
+#include "core/sharded.hpp"
+
+#include <algorithm>
+#include <chrono>
+#include <functional>
+#include <iomanip>
+#include <memory>
+#include <sstream>
+#include <stdexcept>
+#include <tuple>
+#include <utility>
+#include <vector>
+
+#include "bgp/policy.hpp"
+#include "bgp/sharded_network.hpp"
+#include "net/topology.hpp"
+#include "obs/invariant.hpp"
+#include "rfd/damping.hpp"
+#include "stats/recorder.hpp"
+#include "stats/zipf.hpp"
+
+namespace rfdnet::core {
+
+namespace {
+
+constexpr bgp::Prefix kPrefix = 0;
+
+std::unique_ptr<bgp::Policy> make_policy(PolicyKind kind) {
+  if (kind == PolicyKind::kNoValley) {
+    return std::make_unique<bgp::NoValleyPolicy>();
+  }
+  return std::make_unique<bgp::ShortestPathPolicy>();
+}
+
+/// Driver events (flaps, warm-up origination, toggles, residency samples)
+/// carry bit-62 keys: at one instant per shard they run after every router
+/// timer (small auto-key prefixes) and before every delivery (bit 63) — the
+/// same slotting for every shard count.
+class DriverKeys {
+ public:
+  std::uint64_t next() { return (1ULL << 62) | seq_++; }
+
+ private:
+  std::uint64_t seq_ = 0;
+};
+
+}  // namespace
+
+ShardedRunner::ShardedRunner(ExperimentConfig cfg, int shards)
+    : cfg_(std::move(cfg)), shards_(shards) {}
+
+ShardedExperimentResult ShardedRunner::run() {
+  const ExperimentConfig& cfg = cfg_;
+  if (shards_ < 1) {
+    throw std::invalid_argument("sharded experiment: shards must be >= 1");
+  }
+  // Same validation surface as run_experiment...
+  if (cfg.pulses < 0) throw std::invalid_argument("experiment: pulses < 0");
+  if (cfg.flap_interval_s <= 0) {
+    throw std::invalid_argument("experiment: flap interval <= 0");
+  }
+  if (cfg.deployment < 0 || cfg.deployment > 1) {
+    throw std::invalid_argument("experiment: deployment out of [0,1]");
+  }
+  if (cfg.rcn && cfg.selective) {
+    throw std::invalid_argument("experiment: rcn and selective are exclusive");
+  }
+  if (cfg.alt_fraction < 0 || cfg.alt_fraction > 1) {
+    throw std::invalid_argument("experiment: alt_fraction out of [0,1]");
+  }
+  if (cfg.alt_fraction > 0 && !cfg.damping_alt) {
+    throw std::invalid_argument("experiment: alt_fraction needs damping_alt");
+  }
+  if (cfg.damping) cfg.damping->validate();
+  if (cfg.damping_alt) cfg.damping_alt->validate();
+  cfg.timing.validate();
+  if (cfg.flap_jitter < 0 || cfg.flap_jitter >= 1) {
+    throw std::invalid_argument("experiment: flap_jitter out of [0, 1)");
+  }
+  // ...minus the features that are inherently serial: faults and link
+  // flapping act on links that may straddle shards mid-window, span freight
+  // does not survive the cross-shard envelope, and obs gauges record
+  // partition-dependent high-water marks.
+  if (cfg.faults) {
+    throw std::invalid_argument(
+        "sharded experiment: fault injection is serial-only");
+  }
+  if (cfg.flap_mode == ExperimentConfig::FlapMode::kLinkSession) {
+    throw std::invalid_argument(
+        "sharded experiment: link-session flapping is serial-only");
+  }
+  if (cfg.trace_path || cfg.collect_spans) {
+    throw std::invalid_argument(
+        "sharded experiment: tracing/spans are serial-only");
+  }
+  if (cfg.collect_metrics || cfg.profile) {
+    throw std::invalid_argument(
+        "sharded experiment: metrics/profile collection is serial-only");
+  }
+
+  // PRNG layout identical to run_experiment, so the generated topology, isp
+  // pick, deployment pattern and flap jitter match the serial driver.
+  sim::Rng rng(cfg.seed);
+  sim::Rng topo_rng = rng.split();
+  sim::Rng deploy_rng = rng.split();
+
+  net::Graph graph =
+      cfg.topology_graph ? *cfg.topology_graph : cfg.topology.build(topo_rng);
+  if (graph.node_count() < 2 || !graph.connected()) {
+    throw std::invalid_argument("experiment: topology must be connected");
+  }
+  const auto base_nodes = static_cast<net::NodeId>(graph.node_count());
+  const net::NodeId isp =
+      cfg.isp ? *cfg.isp
+              : static_cast<net::NodeId>(rng.uniform_index(base_nodes));
+  if (isp >= base_nodes) throw std::invalid_argument("experiment: bad isp id");
+  const net::NodeId origin = graph.add_node();
+  graph.add_link(origin, isp, cfg.topology.link_delay_s,
+                 net::Relationship::kProvider);
+
+  const auto policy = make_policy(cfg.policy);
+
+  ShardedExperimentResult out;
+  out.partition = net::partition_graph(graph, shards_);
+  const net::Partition& part = out.partition;
+  const auto k = static_cast<std::size_t>(part.shards);
+  sim::ShardedEngine engine(part.shards);
+
+  // Probe selection, exactly as in the serial driver.
+  const auto dist = net::bfs_distances(graph, origin);
+  std::size_t max_d = 0;
+  for (net::NodeId u = 0; u < graph.node_count(); ++u) {
+    if (dist[u] != SIZE_MAX) max_d = std::max(max_d, dist[u]);
+  }
+  const std::size_t want_d = std::min(cfg.probe_distance, max_d);
+  net::NodeId probe = isp;
+  for (net::NodeId u = 0; u < graph.node_count(); ++u) {
+    if (dist[u] == want_d) {
+      probe = u;
+      break;
+    }
+  }
+
+  // One recorder per shard: every observer callback fires on the thread of
+  // the shard that executes it, and lands on that shard's recorder. The
+  // streams are merged canonically after the run.
+  std::vector<std::unique_ptr<stats::Recorder>> recorders;
+  std::vector<bgp::Observer*> observers;
+  recorders.reserve(k);
+  for (std::size_t s = 0; s < k; ++s) {
+    recorders.push_back(std::make_unique<stats::Recorder>(cfg.bin_width_s));
+    recorders.back()->record_all_penalties(cfg.record_all_penalties);
+    recorders.back()->record_update_log(cfg.record_update_log);
+    observers.push_back(recorders.back().get());
+  }
+  recorders[static_cast<std::size_t>(part.shard_of[probe])]->probe_penalty(
+      probe);
+
+  bgp::ShardedBgpNetwork network(graph, part, cfg.timing, *policy, engine,
+                                 cfg.seed, observers, cfg.rib_backend);
+  const sim::Duration lookahead = network.conservative_lookahead();
+  if (part.has_cut() && lookahead <= sim::Duration::zero()) {
+    throw std::invalid_argument(
+        "sharded experiment: cross-shard link latency rounds to zero "
+        "microseconds; no safe conservative lookahead exists");
+  }
+  engine.set_lookahead(lookahead);
+  out.lookahead_s = lookahead.as_seconds();
+
+  // Damping deployment: same deploy_rng draw order as run_experiment.
+  std::vector<std::unique_ptr<rfd::DampingModule>> dampers;
+  if (cfg.damping) {
+    for (net::NodeId u = 0; u < graph.node_count(); ++u) {
+      if (cfg.deployment < 1.0 && !deploy_rng.bernoulli(cfg.deployment)) {
+        continue;
+      }
+      bgp::BgpRouter& r = network.router(u);
+      std::vector<net::NodeId> peer_ids;
+      peer_ids.reserve(static_cast<std::size_t>(r.peer_count()));
+      for (int s = 0; s < r.peer_count(); ++s) peer_ids.push_back(r.peer(s).id);
+      const rfd::DampingParams& params =
+          (cfg.damping_alt && deploy_rng.bernoulli(cfg.alt_fraction))
+              ? *cfg.damping_alt
+              : *cfg.damping;
+      const int shard = network.shard_of(u);
+      auto mod = std::make_unique<rfd::DampingModule>(
+          u, std::move(peer_ids), params, engine.shard(shard),
+          [&r](int slot, bgp::Prefix p) { return r.on_reuse(slot, p); },
+          recorders[static_cast<std::size_t>(shard)].get(), cfg.rib_backend);
+      if (cfg.rcn) mod->enable_rcn();
+      if (cfg.selective) mod->enable_selective();
+      r.set_damping(mod.get());
+      dampers.push_back(std::move(mod));
+    }
+  }
+
+  ExperimentResult& res = out.base;
+  res.origin = origin;
+  res.isp = isp;
+  res.probe = probe;
+  res.probe_hops = want_d;
+
+  DriverKeys keys;
+  bgp::BgpRouter& origin_router = network.router(origin);
+  const int origin_shard = network.shard_of(origin);
+  sim::Engine& origin_engine = engine.shard(origin_shard);
+
+  // --- Warm-up. Origination runs as a scheduled event so it executes on
+  // the owning shard's thread, with that shard's path table bound.
+  origin_engine.schedule_keyed(
+      sim::SimTime::zero(), keys.next(),
+      [&origin_router] { origin_router.originate(kPrefix); },
+      sim::EventKind::kFlap, origin);
+  engine.run(sim::SimTime::from_seconds(cfg.max_sim_s));
+  if (!network.all_reachable(kPrefix)) {
+    throw std::runtime_error("experiment: warm-up did not converge");
+  }
+  for (const auto& r : recorders) {
+    if (const auto t = r->last_delivery_s()) {
+      res.warmup_tup_s = std::max(res.warmup_tup_s, *t);
+    }
+  }
+
+  for (auto& d : dampers) d->reset();
+  for (auto& r : recorders) r->reset();
+
+  // --- Flap workload. t0 is the latest shard clock — the global time of
+  // the last warm-up event, identical for every shard count.
+  const sim::SimTime t0 = engine.now();
+  if (cfg.freeze_penalties_after_s) {
+    const sim::SimTime deadline =
+        t0 + sim::Duration::seconds(*cfg.freeze_penalties_after_s);
+    for (auto& d : dampers) d->set_charge_deadline(deadline);
+  }
+  const double base_s = t0.as_seconds();
+
+  rcn::RootCauseSource rc_source(origin, isp);
+  double event_t = 0.0;
+  for (int j = 0; j < 2 * cfg.pulses; ++j) {
+    if (j > 0) {
+      double gap = cfg.flap_interval_s;
+      if (cfg.flap_jitter > 0) {
+        gap *= deploy_rng.uniform(1.0 - cfg.flap_jitter, 1.0 + cfg.flap_jitter);
+      }
+      event_t += gap;
+    }
+    res.flap_schedule.emplace_back(event_t, j % 2 == 0);
+  }
+  for (const auto& [when_s, is_withdrawal] : res.flap_schedule) {
+    const sim::SimTime when = t0 + sim::Duration::seconds(when_s);
+    if (is_withdrawal) {
+      origin_engine.schedule_keyed(
+          when, keys.next(),
+          [&origin_router, &rc_source] {
+            origin_router.withdraw_origin(kPrefix, rc_source.next(false));
+          },
+          sim::EventKind::kFlap, origin);
+    } else {
+      origin_engine.schedule_keyed(
+          when, keys.next(),
+          [&origin_router, &rc_source] {
+            origin_router.originate(kPrefix, rc_source.next(true));
+          },
+          sim::EventKind::kFlap, origin);
+    }
+  }
+  res.stop_time_s =
+      res.flap_schedule.empty() ? 0.0 : res.flap_schedule.back().first;
+
+  engine.run(t0 + sim::Duration::seconds(cfg.max_sim_s));
+  res.hit_horizon = engine.pending() > 0;
+
+  if (obs::invariants_enabled()) {
+    for (int s = 0; s < part.shards; ++s) engine.shard(s).check_invariants();
+    for (net::NodeId u = 0; u < graph.node_count(); ++u) {
+      network.router(u).check_invariants();
+    }
+    for (const auto& d : dampers) d->check_invariants();
+  }
+
+  // --- Canonical merge. Per-shard streams are each internally time-ordered;
+  // a stable sort on (t, node, peer) interleaves them deterministically
+  // (node -> shard is fixed, so same-key runs stay in stream order).
+  std::uint64_t delivered = 0;
+  std::optional<double> last_delivery;
+  std::vector<double> delivery_times;
+  std::vector<stats::Recorder::SuppressEvent> sup;
+  std::vector<stats::Recorder::ReuseEvent> reu;
+  std::vector<stats::Recorder::PenaltyEvent> pen;
+  std::vector<stats::Recorder::PenaltySample> probe_trace;
+  std::vector<stats::Recorder::UpdateRecord> ulog;
+  std::vector<std::pair<double, int>> busy;
+  for (const auto& r : recorders) {
+    delivered += r->delivered_count();
+    if (const auto t = r->last_delivery_s()) {
+      last_delivery = std::max(last_delivery.value_or(*t), *t);
+    }
+    delivery_times.insert(delivery_times.end(), r->delivery_times().begin(),
+                          r->delivery_times().end());
+    sup.insert(sup.end(), r->suppress_events().begin(),
+               r->suppress_events().end());
+    reu.insert(reu.end(), r->reuse_events().begin(), r->reuse_events().end());
+    pen.insert(pen.end(), r->penalty_events().begin(),
+               r->penalty_events().end());
+    probe_trace.insert(probe_trace.end(), r->penalty_trace().begin(),
+                       r->penalty_trace().end());
+    ulog.insert(ulog.end(), r->update_log().begin(), r->update_log().end());
+    busy.insert(busy.end(), r->busy_deltas().begin(), r->busy_deltas().end());
+    res.max_penalty = std::max(res.max_penalty, r->max_penalty_seen());
+    res.noisy_reuses += r->noisy_reuse_count();
+    res.silent_reuses += r->silent_reuse_count();
+  }
+  std::sort(delivery_times.begin(), delivery_times.end());
+  std::stable_sort(sup.begin(), sup.end(), [](const auto& a, const auto& b) {
+    return std::tie(a.t_s, a.node, a.peer) < std::tie(b.t_s, b.node, b.peer);
+  });
+  std::stable_sort(reu.begin(), reu.end(), [](const auto& a, const auto& b) {
+    return std::tie(a.t_s, a.node, a.peer) < std::tie(b.t_s, b.node, b.peer);
+  });
+  std::stable_sort(pen.begin(), pen.end(), [](const auto& a, const auto& b) {
+    return std::tie(a.t_s, a.node, a.peer) < std::tie(b.t_s, b.node, b.peer);
+  });
+  std::stable_sort(probe_trace.begin(), probe_trace.end(),
+                   [](const auto& a, const auto& b) { return a.t_s < b.t_s; });
+  std::stable_sort(ulog.begin(), ulog.end(), [](const auto& a, const auto& b) {
+    return std::tie(a.t_s, a.to, a.from) < std::tie(b.t_s, b.to, b.from);
+  });
+  // Busy deltas: +1 before -1 at equal instants, so the merged busy count
+  // never dips below its serial trajectory on ties.
+  std::stable_sort(busy.begin(), busy.end(),
+                   [](const auto& a, const auto& b) {
+                     return a.first < b.first ||
+                            (a.first == b.first && a.second > b.second);
+                   });
+
+  res.message_count = delivered;
+  res.dropped_count = 0;
+  res.link_count = graph.link_count();
+  res.last_activity_s =
+      std::max(0.0, last_delivery.value_or(base_s) - base_s);
+  const double workload_stop = res.stop_time_s;
+  res.convergence_time_s =
+      cfg.pulses > 0 ? std::max(0.0, res.last_activity_s - workload_stop)
+                     : 0.0;
+
+  res.update_series = stats::TimeSeries(cfg.bin_width_s);
+  out.delivery_times.reserve(delivery_times.size());
+  for (const double t : delivery_times) {
+    const double rebased = std::max(0.0, t - base_s);
+    res.update_series.add(rebased);
+    out.delivery_times.push_back(rebased);
+  }
+  for (const auto& s : sup) {
+    if (s.node == isp && s.peer == origin) res.isp_suppressed = true;
+  }
+  {
+    stats::StepSeries merged;
+    std::size_t i = 0, j = 0;
+    while (i < sup.size() || j < reu.size()) {
+      const bool take_sup =
+          j >= reu.size() || (i < sup.size() && sup[i].t_s <= reu[j].t_s);
+      if (take_sup) {
+        merged.add(std::max(0.0, sup[i].t_s - base_s), +1);
+        ++i;
+      } else {
+        merged.add(std::max(0.0, reu[j].t_s - base_s), -1);
+        ++j;
+      }
+    }
+    res.damped_links = std::move(merged);
+  }
+  for (const auto& e : reu) {
+    const double t = e.t_s - base_s;
+    if (e.node == isp && e.peer == origin) {
+      res.isp_reuse_s = t;
+    } else if (e.noisy) {
+      res.net_last_noisy_reuse_s =
+          std::max(res.net_last_noisy_reuse_s.value_or(0.0), t);
+    }
+  }
+  res.suppress_events = sup.size();
+  for (const auto& s : probe_trace) {
+    res.penalty_trace.emplace_back(std::max(0.0, s.t_s - base_s), s.value);
+  }
+  for (const auto& e : pen) {
+    res.penalty_events.push_back(ExperimentResult::PenaltyEvent{
+        std::max(0.0, e.t_s - base_s), e.node, e.peer, e.value});
+  }
+  for (const auto& e : sup) {
+    res.suppressions.push_back(ExperimentResult::EntryEvent{
+        std::max(0.0, e.t_s - base_s), e.node, e.peer, false});
+  }
+  for (const auto& e : reu) {
+    res.reuses.push_back(ExperimentResult::EntryEvent{
+        std::max(0.0, e.t_s - base_s), e.node, e.peer, e.noisy});
+  }
+  for (const auto& u : ulog) {
+    res.update_log.push_back(ExperimentResult::UpdateRecord{
+        std::max(0.0, u.t_s - base_s), u.from, u.to,
+        u.kind == bgp::UpdateKind::kWithdrawal, u.rc});
+  }
+
+  stats::PhaseInput pin;
+  pin.first_flap_s = 0.0;
+  pin.busy_deltas.reserve(busy.size());
+  for (const auto& [t, d] : busy) {
+    pin.busy_deltas.emplace_back(std::max(0.0, t - base_s), d);
+  }
+  for (const auto& e : reu) {
+    pin.reuse_fires.emplace_back(std::max(0.0, e.t_s - base_s), e.noisy);
+  }
+  res.phases = stats::classify_phases(pin);
+
+  out.engine_stats = engine.stats();
+  return out;
+}
+
+std::string ShardedExperimentResult::scorecard() const {
+  std::ostringstream os;
+  os << std::setprecision(17);
+  os << "{\"origin\":" << base.origin << ",\"isp\":" << base.isp
+     << ",\"probe\":" << base.probe << ",\"probe_hops\":" << base.probe_hops
+     << ",\"link_count\":" << base.link_count
+     << ",\"message_count\":" << base.message_count
+     << ",\"hit_horizon\":" << (base.hit_horizon ? "true" : "false")
+     << ",\"warmup_tup_s\":" << base.warmup_tup_s
+     << ",\"stop_time_s\":" << base.stop_time_s
+     << ",\"last_activity_s\":" << base.last_activity_s
+     << ",\"convergence_time_s\":" << base.convergence_time_s
+     << ",\"suppress_events\":" << base.suppress_events
+     << ",\"noisy_reuses\":" << base.noisy_reuses
+     << ",\"silent_reuses\":" << base.silent_reuses
+     << ",\"max_penalty\":" << base.max_penalty
+     << ",\"isp_suppressed\":" << (base.isp_suppressed ? "true" : "false");
+  os << ",\"isp_reuse_s\":";
+  if (base.isp_reuse_s) {
+    os << *base.isp_reuse_s;
+  } else {
+    os << "null";
+  }
+  os << ",\"net_last_noisy_reuse_s\":";
+  if (base.net_last_noisy_reuse_s) {
+    os << *base.net_last_noisy_reuse_s;
+  } else {
+    os << "null";
+  }
+  os << ",\"flap_schedule\":[";
+  for (std::size_t i = 0; i < base.flap_schedule.size(); ++i) {
+    if (i) os << ',';
+    os << '[' << base.flap_schedule[i].first << ','
+       << (base.flap_schedule[i].second ? 1 : 0) << ']';
+  }
+  os << "],\"penalty_trace\":[";
+  for (std::size_t i = 0; i < base.penalty_trace.size(); ++i) {
+    if (i) os << ',';
+    os << '[' << base.penalty_trace[i].first << ','
+       << base.penalty_trace[i].second << ']';
+  }
+  os << "],\"penalty_events\":[";
+  for (std::size_t i = 0; i < base.penalty_events.size(); ++i) {
+    const auto& e = base.penalty_events[i];
+    if (i) os << ',';
+    os << '[' << e.t_s << ',' << e.node << ',' << e.peer << ',' << e.value
+       << ']';
+  }
+  os << "],\"suppressions\":[";
+  for (std::size_t i = 0; i < base.suppressions.size(); ++i) {
+    const auto& e = base.suppressions[i];
+    if (i) os << ',';
+    os << '[' << e.t_s << ',' << e.node << ',' << e.peer << ']';
+  }
+  os << "],\"reuses\":[";
+  for (std::size_t i = 0; i < base.reuses.size(); ++i) {
+    const auto& e = base.reuses[i];
+    if (i) os << ',';
+    os << '[' << e.t_s << ',' << e.node << ',' << e.peer << ','
+       << (e.noisy ? 1 : 0) << ']';
+  }
+  os << "],\"update_log\":[";
+  for (std::size_t i = 0; i < base.update_log.size(); ++i) {
+    const auto& u = base.update_log[i];
+    if (i) os << ',';
+    os << '[' << u.t_s << ',' << u.from << ',' << u.to << ','
+       << (u.withdrawal ? 1 : 0) << ']';
+  }
+  os << "],\"delivery_times\":[";
+  for (std::size_t i = 0; i < delivery_times.size(); ++i) {
+    if (i) os << ',';
+    os << delivery_times[i];
+  }
+  os << "]}";
+  return os.str();
+}
+
+FullTableResult run_full_table_sharded(const FullTableConfig& cfg) {
+  cfg.validate();
+  if (cfg.shards < 1) {
+    throw std::logic_error("run_full_table_sharded: shards must be >= 1");
+  }
+
+  // Same PRNG layout as the serial driver: the toggle stream splits off the
+  // root seed before anything else draws.
+  sim::Rng rng(cfg.seed);
+  sim::Rng churn_rng = rng.split();
+
+  const net::Graph graph = net::make_line(cfg.routers, cfg.link_delay_s);
+  bgp::ShortestPathPolicy policy;
+
+  FullTableResult res;
+  const net::Partition part = net::partition_graph(graph, cfg.shards);
+  const auto k = static_cast<std::size_t>(part.shards);
+  sim::ShardedEngine engine(part.shards);
+  bgp::ShardedBgpNetwork network(graph, part, cfg.timing, policy, engine,
+                                 cfg.seed, {}, cfg.rib_backend);
+  const sim::Duration lookahead = network.conservative_lookahead();
+  if (part.has_cut() && lookahead <= sim::Duration::zero()) {
+    throw std::invalid_argument(
+        "full-table: link delay rounds to zero microseconds; cannot shard");
+  }
+  engine.set_lookahead(lookahead);
+
+  // No metrics bundles in sharded mode: gauges record partition-dependent
+  // high-water marks and would break scorecard byte-identity across shard
+  // counts. `res.metrics` stays empty.
+  std::vector<std::vector<net::NodeId>> nodes_of(k);
+  for (net::NodeId u = 0; u < graph.node_count(); ++u) {
+    nodes_of[static_cast<std::size_t>(part.shard_of[u])].push_back(u);
+  }
+  std::vector<std::unique_ptr<rfd::DampingModule>> dampers;
+  std::vector<std::vector<rfd::DampingModule*>> dampers_of(k);
+  if (cfg.damping) {
+    for (net::NodeId u = 0; u < graph.node_count(); ++u) {
+      bgp::BgpRouter& r = network.router(u);
+      std::vector<net::NodeId> peer_ids;
+      peer_ids.reserve(static_cast<std::size_t>(r.peer_count()));
+      for (int s = 0; s < r.peer_count(); ++s) peer_ids.push_back(r.peer(s).id);
+      const int shard = part.shard_of[u];
+      auto mod = std::make_unique<rfd::DampingModule>(
+          u, std::move(peer_ids), *cfg.damping, engine.shard(shard),
+          [&r](int slot, bgp::Prefix p) { return r.on_reuse(slot, p); },
+          nullptr, cfg.rib_backend);
+      r.set_damping(mod.get());
+      dampers_of[static_cast<std::size_t>(shard)].push_back(mod.get());
+      dampers.push_back(std::move(mod));
+    }
+  }
+
+  DriverKeys keys;
+  bgp::BgpRouter& origin = network.router(0);
+  const int origin_shard = part.shard_of[0];
+  sim::Engine& origin_engine = engine.shard(origin_shard);
+
+  // --- Warm-up: full-table origination as an event on the origin's shard.
+  origin_engine.schedule_keyed(
+      sim::SimTime::zero(), keys.next(),
+      [&origin, &cfg] {
+        for (std::size_t p = 0; p < cfg.prefixes; ++p) {
+          origin.originate(static_cast<bgp::Prefix>(p));
+        }
+      },
+      sim::EventKind::kFlap, 0);
+  engine.run();
+  if (network.router(0).rib_backend() != bgp::RibBackendKind::kNull) {
+    for (std::size_t p = 0; p < cfg.prefixes; ++p) {
+      if (!network.all_reachable(static_cast<bgp::Prefix>(p))) {
+        throw std::runtime_error("full-table: warm-up did not converge");
+      }
+    }
+  }
+  for (auto& d : dampers) d->reset();
+
+  // --- Churn. Targets are pre-drawn; the toggle chain self-reschedules on
+  // the origin's shard exactly like the serial driver.
+  stats::ZipfSampler zipf(cfg.prefixes, cfg.alpha);
+  std::vector<bgp::Prefix> targets(cfg.events);
+  for (auto& t : targets) t = static_cast<bgp::Prefix>(zipf.sample(churn_rng));
+  std::vector<bool> up(cfg.prefixes, true);
+
+  const sim::SimTime t0 = engine.now();
+  const std::uint64_t delivered_before = network.delivered_count();
+  std::uint64_t sent_before = 0;
+  for (net::NodeId u = 0; u < graph.node_count(); ++u) {
+    sent_before += network.router(u).sent_count();
+  }
+
+  const double churn_span_s =
+      static_cast<double>(cfg.events) * cfg.event_interval_s;
+  const sim::Duration step = sim::Duration::seconds(cfg.event_interval_s);
+
+  // Residency sampling: per-shard events at fixed simulated instants. A
+  // sample reads only its own shard's routers/dampers; the per-instant
+  // sub-totals are summed after the run, so peak/final figures are a pure
+  // function of (workload, sample instants) — not of the partition. The
+  // serial driver samples at toggle counts instead; the two scorecards are
+  // not comparable, but sharded scorecards are identical across shard
+  // counts, which is the contract under test.
+  const std::uint64_t sample_every =
+      cfg.events == 0 ? 1
+                      : std::max<std::uint64_t>(1, cfg.events / cfg.samples);
+  const std::size_t n_samples =
+      cfg.events == 0 ? 0
+                      : static_cast<std::size_t>(cfg.events / sample_every);
+  struct Sample {
+    std::size_t rib = 0;
+    std::size_t tracked = 0;
+    std::size_t active = 0;
+  };
+  std::vector<std::vector<Sample>> samples_of(
+      k, std::vector<Sample>(n_samples));
+  for (std::size_t s = 0; s < k; ++s) {
+    for (std::size_t m = 0; m < n_samples; ++m) {
+      const sim::SimTime when =
+          t0 + step * static_cast<std::int64_t>((m + 1) * sample_every);
+      engine.shard(static_cast<int>(s)).schedule_keyed(
+          when, keys.next(),
+          [&network, &nodes_of, &dampers_of, &samples_of, s, m] {
+            Sample& slot = samples_of[s][m];
+            for (const net::NodeId u : nodes_of[s]) {
+              network.router(u).sweep_reclaim();
+              slot.rib += network.router(u).residency().total();
+            }
+            for (rfd::DampingModule* d : dampers_of[s]) {
+              slot.tracked += d->tracked_entries();
+              slot.active += d->active_entries();
+            }
+          },
+          sim::EventKind::kGeneric);
+    }
+  }
+
+  std::function<void()> toggle_step = [&] {
+    const bgp::Prefix p = targets[res.toggles_applied];
+    if (up[p]) {
+      origin.withdraw_origin(p);
+    } else {
+      origin.originate(p);
+    }
+    up[p] = !up[p];
+    ++res.toggles_applied;
+    if (res.toggles_applied < cfg.events) {
+      origin_engine.schedule_keyed(origin_engine.now() + step, keys.next(),
+                                   toggle_step, sim::EventKind::kFlap, 0);
+    }
+  };
+  if (cfg.events > 0) {
+    origin_engine.schedule_keyed(t0 + step, keys.next(), toggle_step,
+                                 sim::EventKind::kFlap, 0);
+  }
+
+  const auto wall_start = std::chrono::steady_clock::now();
+  engine.run(t0 + sim::Duration::seconds(churn_span_s));
+  const auto wall_end = std::chrono::steady_clock::now();
+
+  engine.run(t0 + sim::Duration::seconds(churn_span_s + cfg.cooldown_s));
+
+  // Final residency (post-run, single-threaded, all shards).
+  Sample final_sample;
+  for (net::NodeId u = 0; u < graph.node_count(); ++u) {
+    network.router(u).sweep_reclaim();
+    final_sample.rib += network.router(u).residency().total();
+  }
+  for (const auto& d : dampers) {
+    final_sample.tracked += d->tracked_entries();
+    final_sample.active += d->active_entries();
+  }
+  res.final_rib_resident = final_sample.rib;
+  res.final_damping_tracked = final_sample.tracked;
+  res.final_damping_active = final_sample.active;
+  res.peak_rib_resident = final_sample.rib;
+  res.peak_damping_tracked = final_sample.tracked;
+  res.peak_damping_active = final_sample.active;
+  for (std::size_t m = 0; m < n_samples; ++m) {
+    Sample sum;
+    for (std::size_t s = 0; s < k; ++s) {
+      sum.rib += samples_of[s][m].rib;
+      sum.tracked += samples_of[s][m].tracked;
+      sum.active += samples_of[s][m].active;
+    }
+    res.peak_rib_resident = std::max(res.peak_rib_resident, sum.rib);
+    res.peak_damping_tracked =
+        std::max(res.peak_damping_tracked, sum.tracked);
+    res.peak_damping_active = std::max(res.peak_damping_active, sum.active);
+  }
+
+  res.updates_delivered = network.delivered_count() - delivered_before;
+  std::uint64_t sent_after = 0;
+  for (net::NodeId u = 0; u < graph.node_count(); ++u) {
+    sent_after += network.router(u).sent_count();
+  }
+  res.updates_sent = sent_after - sent_before;
+  res.sim_duration_s = churn_span_s + cfg.cooldown_s;
+  res.hit_horizon = engine.pending() > 0;
+  res.wall_s = std::chrono::duration<double>(wall_end - wall_start).count();
+  res.updates_per_core_sec =
+      res.wall_s > 0.0
+          ? static_cast<double>(res.updates_delivered) / res.wall_s
+          : 0.0;
+  return res;
+}
+
+}  // namespace rfdnet::core

@@ -1,0 +1,69 @@
+#pragma once
+
+#include <string>
+
+#include "core/experiment.hpp"
+#include "core/full_table.hpp"
+#include "net/partition.hpp"
+#include "sim/sharded_engine.hpp"
+
+namespace rfdnet::core {
+
+/// Result of a sharded experiment run: the canonical merged result (all
+/// per-shard recorder streams merged into one deterministic artifact) plus
+/// the parallel-run diagnostics. `base` is byte-for-byte identical across
+/// shard counts for the same config; everything outside `base` (partition
+/// shape, rounds, barrier wall time) legitimately depends on the shard
+/// count and stays out of the scorecard.
+struct ShardedExperimentResult {
+  ExperimentResult base;
+  net::Partition partition;
+  sim::ShardedEngine::Stats engine_stats;
+  double lookahead_s = 0.0;
+  /// Every update-delivery instant (re-based, sorted): the finest-grained
+  /// shard-count-invariant artifact, serialized into the scorecard so a
+  /// single reordered delivery anywhere breaks byte-identity.
+  std::vector<double> delivery_times;
+
+  /// Deterministic serialization of `base`'s shard-count-invariant fields
+  /// (doubles at max_digits10): two runs of the same config at different
+  /// shard counts must produce byte-identical scorecards — the determinism
+  /// contract the test suite enforces. Wall-clock, partition and round
+  /// figures are excluded by design.
+  std::string scorecard() const;
+};
+
+/// Runs one experiment sharded across `shards` cores (clamped to the node
+/// count; 1 = serial fallback on the calling thread). The graph, workload
+/// and PRNG sub-seeding are identical for every shard count.
+///
+/// Narrower than `run_experiment`: configs asking for link-session flaps,
+/// fault injection, tracing/spans, metrics collection or profiling are
+/// rejected with `std::invalid_argument` — those features are inherently
+/// cross-shard (or record partition-dependent gauges) and stay serial-only.
+class ShardedRunner {
+ public:
+  ShardedRunner(ExperimentConfig cfg, int shards);
+
+  /// Validates, builds, warms up, flaps, merges. Callable once per runner.
+  ShardedExperimentResult run();
+
+ private:
+  ExperimentConfig cfg_;
+  int shards_;
+};
+
+inline ShardedExperimentResult run_sharded_experiment(
+    const ExperimentConfig& cfg, int shards) {
+  return ShardedRunner(cfg, shards).run();
+}
+
+/// Sharded twin of `run_full_table` (invoked by it when
+/// `FullTableConfig::shards >= 1`): the line topology is partitioned into
+/// contiguous blocks, residency is sampled by per-shard events at fixed
+/// simulated instants (summed per sample point, so the peak/final figures
+/// are shard-count-invariant), and the scorecard carries no metrics
+/// registry (gauge high-water marks are partition-dependent).
+FullTableResult run_full_table_sharded(const FullTableConfig& cfg);
+
+}  // namespace rfdnet::core

@@ -1,0 +1,132 @@
+#include "net/partition.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace rfdnet::net {
+
+Partition partition_graph(const Graph& g, int shards) {
+  if (shards < 1) {
+    throw std::invalid_argument("partition_graph: shards must be >= 1");
+  }
+  const std::size_t n = g.node_count();
+  if (n == 0) {
+    throw std::invalid_argument("partition_graph: empty graph");
+  }
+  const int k = std::min<int>(shards, static_cast<int>(n));
+
+  Partition part;
+  part.shards = k;
+  part.shard_of.assign(n, -1);
+  part.shard_sizes.assign(static_cast<std::size_t>(k), 0);
+  part.shard_degrees.assign(static_cast<std::size_t>(k), 0);
+
+  // Balance by degree sum (event load is proportional to incident links):
+  // each shard stops growing at ceil(2m / k) link endpoints. On hub-heavy
+  // graphs a node-count cap would hand the hub's shard most of the traffic.
+  std::vector<std::size_t> deg(n, 0);
+  std::size_t total_deg = 0;
+  for (NodeId u = 0; u < n; ++u) {
+    deg[u] = g.neighbors(u).size();
+    total_deg += deg[u];
+  }
+  const std::size_t cap_deg = (total_deg + static_cast<std::size_t>(k) - 1) /
+                              static_cast<std::size_t>(k);  // ceil(2m / k)
+
+  // gain[u]: number of u's neighbors already inside the growing shard.
+  // Rebuilt lazily per shard (reset to 0 when a new shard starts growing).
+  std::vector<std::size_t> gain(n, 0);
+  std::vector<NodeId> frontier;  // unassigned nodes adjacent to the shard
+  NodeId seed_scan = 0;          // smallest possibly-unassigned id
+  std::size_t assigned = 0;
+
+  for (int s = 0; s < k; ++s) {
+    // Seed: smallest unassigned id.
+    while (seed_scan < n && part.shard_of[seed_scan] != -1) ++seed_scan;
+    if (seed_scan >= n) break;  // everything assigned (k > remaining nodes)
+
+    frontier.clear();
+    NodeId current = seed_scan;
+    while (true) {
+      part.shard_of[current] = s;
+      ++part.shard_sizes[static_cast<std::size_t>(s)];
+      part.shard_degrees[static_cast<std::size_t>(s)] += deg[current];
+      ++assigned;
+      // Stop growing at the degree cap — except the last shard, which
+      // absorbs the remainder — and always leave at least one seed node for
+      // every shard still to come.
+      if (s < k - 1 &&
+          part.shard_degrees[static_cast<std::size_t>(s)] >= cap_deg) {
+        break;
+      }
+      if (n - assigned <= static_cast<std::size_t>(k - 1 - s)) break;
+
+      // Absorbing `current` raises the gain of its unassigned neighbors.
+      for (const LinkEndpoint& e : g.neighbors(current)) {
+        if (part.shard_of[e.neighbor] != -1) continue;
+        if (gain[e.neighbor] == 0) frontier.push_back(e.neighbor);
+        ++gain[e.neighbor];
+      }
+      // Pick the frontier node with the most links into the shard (ties:
+      // smallest id), dropping entries assigned meanwhile.
+      NodeId best = kInvalidNode;
+      std::size_t best_gain = 0;
+      std::size_t kept = 0;
+      for (const NodeId u : frontier) {
+        if (part.shard_of[u] != -1) continue;  // claimed by an earlier pick
+        frontier[kept++] = u;
+        if (gain[u] > best_gain || (gain[u] == best_gain && u < best)) {
+          best = u;
+          best_gain = gain[u];
+        }
+      }
+      frontier.resize(kept);
+      if (best == kInvalidNode) {
+        // Shard region exhausted (component boundary): restart growth from
+        // the smallest unassigned id, staying in the same shard until full.
+        while (seed_scan < n && part.shard_of[seed_scan] != -1) ++seed_scan;
+        if (seed_scan >= n) break;
+        current = seed_scan;
+        continue;
+      }
+      current = best;
+    }
+    // Reset gains touched by this shard so the next shard starts clean.
+    for (const NodeId u : frontier) gain[u] = 0;
+  }
+  // Leftovers (only when the degree caps filled every shard before covering
+  // n, which the last-shard and seed-reservation rules prevent — but stay
+  // safe): lightest shard by degree sum wins.
+  for (NodeId u = 0; u < n; ++u) {
+    if (part.shard_of[u] != -1) continue;
+    const auto lightest = static_cast<int>(
+        std::min_element(part.shard_degrees.begin(),
+                         part.shard_degrees.end()) -
+        part.shard_degrees.begin());
+    part.shard_of[u] = lightest;
+    ++part.shard_sizes[static_cast<std::size_t>(lightest)];
+    part.shard_degrees[static_cast<std::size_t>(lightest)] += deg[u];
+  }
+
+  // Cut metrics: every undirected link whose endpoints land apart.
+  for (NodeId u = 0; u < n; ++u) {
+    for (const LinkEndpoint& e : g.neighbors(u)) {
+      if (e.neighbor < u) continue;  // visit each undirected link once
+      const int a = part.shard_of[u];
+      const int b = part.shard_of[e.neighbor];
+      if (a == b) continue;
+      ++part.cut_links;
+      part.min_cut_delay_s = std::min(part.min_cut_delay_s, e.delay_s);
+      const auto key = std::make_pair(std::min(a, b), std::max(a, b));
+      const auto it = part.pair_min_delay_s.find(key);
+      if (it == part.pair_min_delay_s.end()) {
+        part.pair_min_delay_s.emplace(key, e.delay_s);
+      } else if (e.delay_s < it->second) {
+        it->second = e.delay_s;
+      }
+    }
+  }
+  return part;
+}
+
+}  // namespace rfdnet::net

@@ -1,6 +1,7 @@
 #include "net/topology.hpp"
 
 #include <algorithm>
+#include <cmath>
 #include <cstddef>
 #include <limits>
 #include <numeric>
@@ -94,6 +95,12 @@ Graph make_random(int n, double p, sim::Rng& rng, double delay_s) {
 Graph make_internet_like(int n, sim::Rng& rng, const InternetOptions& opt) {
   require(n >= 3, "make_internet_like: need n >= 3");
   require(opt.attach_links >= 1, "make_internet_like: attach_links >= 1");
+  require(opt.stub_fraction >= 0.0 && opt.stub_fraction <= 1.0,
+          "make_internet_like: stub_fraction out of [0,1]");
+  require(std::isfinite(opt.extra_peer_frac) && opt.extra_peer_frac >= 0.0,
+          "make_internet_like: extra_peer_frac must be finite and >= 0");
+  require(std::isfinite(opt.delay_s) && opt.delay_s > 0.0,
+          "make_internet_like: delay_s must be finite and > 0");
   Graph g(static_cast<std::size_t>(n));
 
   // Preferential attachment via the repeated-endpoint trick: every endpoint
@@ -121,10 +128,18 @@ Graph make_internet_like(int n, sim::Rng& rng, const InternetOptions& opt) {
       ++added;
     }
     if (added == 0) {
-      // Degenerate fallback (cannot normally happen): attach to node 0.
-      g.add_link(u, 0, opt.delay_s, Relationship::kProvider);
-      endpoints.push_back(u);
-      endpoints.push_back(0);
+      // Degenerate fallback (the sampler kept hitting u or nodes u already
+      // links to): attach deterministically to the smallest earlier node not
+      // yet linked. One always exists — u attached fewer than i links, so
+      // some v < u is free — and Graph::add_link rejects self loops and
+      // duplicates, so blindly attaching to node 0 would throw here.
+      for (NodeId v = 0; v < u; ++v) {
+        if (g.has_link(u, v)) continue;
+        g.add_link(u, v, opt.delay_s, Relationship::kProvider);
+        endpoints.push_back(u);
+        endpoints.push_back(v);
+        break;
+      }
     }
   }
 

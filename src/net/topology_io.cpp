@@ -1,6 +1,7 @@
 #include "net/topology_io.hpp"
 
 #include <algorithm>
+#include <limits>
 #include <istream>
 #include <ostream>
 #include <sstream>
@@ -20,6 +21,11 @@ Relationship parse_rel(const std::string& s) {
 }  // namespace
 
 void write_topology(std::ostream& os, const Graph& g) {
+  // max_digits10 on the delay column makes the round trip exact:
+  // parse_topology(serialize_topology(g)) reproduces every double bit for
+  // bit. The stream's precision is restored before returning.
+  const std::streamsize saved = os.precision();
+  os.precision(std::numeric_limits<double>::max_digits10);
   os << "# rfdnet topology: nodes=" << g.node_count()
      << " links=" << g.link_count() << "\n";
   os << "nodes " << g.node_count() << "\n";
@@ -30,6 +36,7 @@ void write_topology(std::ostream& os, const Graph& g) {
          << to_string(e.rel) << "\n";
     }
   }
+  os.precision(saved);
 }
 
 std::string serialize_topology(const Graph& g) {

@@ -237,4 +237,29 @@ FaultMetrics FaultMetrics::bind(Registry& r) {
   return m;
 }
 
+ShardMetrics ShardMetrics::bind(Registry& r) {
+  ShardMetrics m;
+  m.rounds = &r.counter("shard.rounds");
+  m.cross_posted = &r.counter("shard.cross_posted");
+  m.cross_admitted = &r.counter("shard.cross_admitted");
+  m.shards = &r.gauge("shard.shards");
+  m.cut_links = &r.gauge("shard.cut_links");
+  m.lookahead_us = &r.gauge("shard.lookahead_us");
+  m.barrier_wait_us = &r.gauge("shard.barrier_wait_us");
+  return m;
+}
+
+void ShardMetrics::record(std::uint64_t rounds_n, std::uint64_t posted,
+                          std::uint64_t admitted, int shard_count,
+                          std::size_t cuts, double lookahead_s,
+                          std::uint64_t wait_ns) const {
+  rounds->inc(rounds_n);
+  cross_posted->inc(posted);
+  cross_admitted->inc(admitted);
+  shards->set(shard_count);
+  cut_links->set(static_cast<std::int64_t>(cuts));
+  lookahead_us->set(static_cast<std::int64_t>(lookahead_s * 1e6));
+  barrier_wait_us->set(static_cast<std::int64_t>(wait_ns / 1000));
+}
+
 }  // namespace rfdnet::obs

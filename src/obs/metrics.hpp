@@ -181,4 +181,25 @@ struct FaultMetrics {
   static FaultMetrics bind(Registry& r);
 };
 
+/// Typed wiring bundle for `sim::ShardedEngine` runs (one per run).
+/// Diagnostics only: every figure here depends on the partition and the
+/// host's thread timing, so these gauges must never feed a deterministic
+/// artifact (the sharded drivers keep them out of scorecards by design).
+struct ShardMetrics {
+  Counter* rounds = nullptr;          ///< barrier-synchronized rounds executed
+  Counter* cross_posted = nullptr;    ///< messages posted to foreign inboxes
+  Counter* cross_admitted = nullptr;  ///< inbox messages admitted into shards
+  Gauge* shards = nullptr;            ///< shard count of the run
+  Gauge* cut_links = nullptr;         ///< undirected links crossing shards
+  Gauge* lookahead_us = nullptr;      ///< conservative window (microseconds)
+  Gauge* barrier_wait_us = nullptr;   ///< summed barrier wait (microseconds)
+
+  static ShardMetrics bind(Registry& r);
+
+  /// Copies one run's figures out of the engine stats / partition.
+  void record(std::uint64_t rounds_n, std::uint64_t posted,
+              std::uint64_t admitted, int shard_count, std::size_t cuts,
+              double lookahead_s, std::uint64_t wait_ns) const;
+};
+
 }  // namespace rfdnet::obs

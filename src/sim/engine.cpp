@@ -59,8 +59,21 @@ void Engine::release_slot(std::uint32_t index) {
   free_slots_.push_back(index);
 }
 
-EventId Engine::schedule_at(SimTime t, std::function<void()> fn,
-                            EventKind kind) {
+std::uint64_t Engine::next_auto_key(std::uint32_t ctx) {
+  // Bucket 0 holds the no-context stream; context c maps to bucket c + 1 so
+  // its keys get the prefix (c + 1) << 32 — never 0, the unkeyed key.
+  const std::size_t bucket =
+      ctx == kNoContext ? 0 : static_cast<std::size_t>(ctx) + 1;
+  if (bucket >= ctx_counters_.size()) ctx_counters_.resize(bucket + 1, 0);
+  const std::uint64_t counter = ctx_counters_[bucket]++;
+  const std::uint64_t prefix =
+      ctx == kNoContext ? 0xffffffffULL
+                        : static_cast<std::uint64_t>(ctx) + 1;
+  return (prefix << 32) | (counter & 0xffffffffULL);
+}
+
+EventId Engine::schedule_impl(SimTime t, std::uint64_t key, std::uint32_t ctx,
+                              std::function<void()> fn, EventKind kind) {
   if (t < now_) throw std::logic_error("Engine: scheduling into the past");
   if (!fn) throw std::logic_error("Engine: empty event handler");
   std::uint32_t index;
@@ -75,8 +88,9 @@ EventId Engine::schedule_at(SimTime t, std::function<void()> fn,
   s.fn = std::move(fn);
   s.live = true;
   s.kind = kind;
+  s.ctx = ctx;
   const EventId id = make_id(s.gen, index);
-  heap_.push_back(Entry{t, next_seq_++, id});
+  heap_.push_back(Entry{t, key, next_seq_++, id});
   std::push_heap(heap_.begin(), heap_.end(), Later{});
   ++live_;
   if (profile_) [[unlikely]] {
@@ -90,10 +104,22 @@ EventId Engine::schedule_at(SimTime t, std::function<void()> fn,
   return id;
 }
 
+EventId Engine::schedule_at(SimTime t, std::function<void()> fn,
+                            EventKind kind) {
+  const std::uint64_t key = auto_keys_ ? next_auto_key(cur_ctx_) : 0;
+  return schedule_impl(t, key, cur_ctx_, std::move(fn), kind);
+}
+
 EventId Engine::schedule_after(Duration d, std::function<void()> fn,
                                EventKind kind) {
   if (d.is_negative()) throw std::logic_error("Engine: negative delay");
   return schedule_at(now_ + d, std::move(fn), kind);
+}
+
+EventId Engine::schedule_keyed(SimTime t, std::uint64_t key,
+                               std::function<void()> fn, EventKind kind,
+                               std::uint32_t ctx) {
+  return schedule_impl(t, key, ctx, std::move(fn), kind);
 }
 
 bool Engine::cancel(EventId id) {
@@ -139,6 +165,11 @@ bool Engine::step() {
     // may schedule or cancel other events or even re-enter the engine.
     std::function<void()> fn = std::move(s->fn);
     const EventKind kind = s->kind;
+    // The handler runs under its event's context: anything it schedules via
+    // plain schedule_at/after inherits the context (and, in auto-key mode,
+    // draws its key from that context's stream).
+    const std::uint32_t prev_ctx = cur_ctx_;
+    cur_ctx_ = s->ctx;
     release_slot(static_cast<std::uint32_t>((top.id & 0xffffffffULL) - 1));
     --live_;
     now_ = top.time;
@@ -159,9 +190,11 @@ bool Engine::step() {
           std::chrono::duration_cast<std::chrono::nanoseconds>(
               std::chrono::steady_clock::now() - t0)
               .count());
+      cur_ctx_ = prev_ctx;
       return true;
     }
     fn();
+    cur_ctx_ = prev_ctx;
     return true;
   }
   return false;
@@ -182,6 +215,32 @@ std::uint64_t Engine::run(SimTime horizon) {
     ++n;
   }
   return n;
+}
+
+std::uint64_t Engine::run_before(SimTime end) {
+  std::uint64_t n = 0;
+  while (!heap_.empty()) {
+    const Entry top = heap_.front();
+    if (!live_slot(top.id)) {
+      std::pop_heap(heap_.begin(), heap_.end(), Later{});
+      heap_.pop_back();
+      continue;
+    }
+    if (top.time >= end) break;
+    step();
+    ++n;
+  }
+  return n;
+}
+
+std::optional<SimTime> Engine::next_time() {
+  while (!heap_.empty()) {
+    const Entry& top = heap_.front();
+    if (live_slot(top.id)) return top.time;
+    std::pop_heap(heap_.begin(), heap_.end(), Later{});
+    heap_.pop_back();
+  }
+  return std::nullopt;
 }
 
 }  // namespace rfdnet::sim

@@ -2,6 +2,7 @@
 
 #include <cstdint>
 #include <functional>
+#include <optional>
 #include <vector>
 
 #include "obs/metrics.hpp"
@@ -15,10 +16,19 @@ namespace rfdnet::sim {
 using EventId = std::uint64_t;
 inline constexpr EventId kInvalidEvent = 0;
 
+/// "No context" marker for keyed scheduling (see `Engine::set_auto_keys`).
+inline constexpr std::uint32_t kNoContext = 0xffffffffu;
+
 /// Discrete-event simulation engine: a simulated clock plus an event queue.
 ///
 /// Events scheduled for the same instant run in scheduling order (FIFO), so a
 /// simulation driven purely by one `Engine` and one `Rng` is deterministic.
+/// For sharded runs, events may instead carry an explicit *logical key*
+/// (`schedule_keyed` / `set_auto_keys`): equal-time events then run in key
+/// order, which is a property of the simulated system rather than of
+/// scheduling-call order — the tie-break that makes a partitioned run
+/// independent of how the work is split across shards. Unkeyed events have
+/// key 0, so purely serial simulations keep their historical FIFO order.
 /// Cancellation is lazy: cancelled events stay in the heap and are discarded
 /// when popped — but when stale entries come to dominate the heap (a
 /// cancel/reschedule-heavy workload like `DampingModule::schedule_reuse`),
@@ -47,6 +57,27 @@ class Engine {
   EventId schedule_after(Duration d, std::function<void()> fn,
                          EventKind kind = EventKind::kGeneric);
 
+  /// Schedules `fn` at `t` with an explicit logical key: equal-time events
+  /// run in ascending key order regardless of the order they were scheduled
+  /// in. `ctx` names the logical owner (e.g. a router id) that becomes the
+  /// current auto-key context while the handler runs (see `set_auto_keys`);
+  /// pass `kNoContext` for ownerless events. Scheduling in the past throws
+  /// `std::logic_error`, exactly like `schedule_at`.
+  EventId schedule_keyed(SimTime t, std::uint64_t key, std::function<void()> fn,
+                         EventKind kind = EventKind::kGeneric,
+                         std::uint32_t ctx = kNoContext);
+
+  /// Deterministic-key mode for sharded runs. While enabled, every plain
+  /// `schedule_at`/`schedule_after` call is assigned a key derived from the
+  /// *current context* — the `ctx` of the event whose handler is running —
+  /// plus a per-context counter: `((ctx + 1) << 32) | counter`. Handlers
+  /// belonging to one context always run on one shard, so the sequence of
+  /// keys each context draws is a function of that context's event history
+  /// alone, not of how contexts are packed into shards. Off by default
+  /// (keys stay 0; historical FIFO order is untouched).
+  void set_auto_keys(bool on) { auto_keys_ = on; }
+  bool auto_keys() const { return auto_keys_; }
+
   /// Cancels a pending event. Returns false if the event already ran, was
   /// already cancelled, or never existed.
   bool cancel(EventId id);
@@ -64,6 +95,14 @@ class Engine {
   /// Runs events until the queue is empty or the next event would be after
   /// `horizon`. Returns the number of events executed.
   std::uint64_t run(SimTime horizon = SimTime::max());
+
+  /// Runs events strictly before `end` (a conservative-window sweep: events
+  /// at `end` or later stay queued). Returns the number executed.
+  std::uint64_t run_before(SimTime end);
+
+  /// Time of the earliest live event, or nullopt when none are pending.
+  /// Pops stale (cancelled) heap tops as a side effect.
+  std::optional<SimTime> next_time();
 
   /// Total number of events executed so far.
   std::uint64_t executed() const { return executed_; }
@@ -90,12 +129,14 @@ class Engine {
  private:
   struct Entry {
     SimTime time;
-    std::uint64_t seq;  // tie-break: FIFO for equal times
+    std::uint64_t key;  // tie-break 1: logical key (0 for unkeyed events)
+    std::uint64_t seq;  // tie-break 2: FIFO for equal (time, key)
     EventId id;
   };
   struct Later {
     bool operator()(const Entry& a, const Entry& b) const {
       if (a.time != b.time) return a.time > b.time;
+      if (a.key != b.key) return a.key > b.key;
       return a.seq > b.seq;
     }
   };
@@ -106,6 +147,7 @@ class Engine {
     std::uint32_t gen = 1;
     bool live = false;
     EventKind kind = EventKind::kGeneric;
+    std::uint32_t ctx = kNoContext;  ///< auto-key context for the handler
   };
 
   static constexpr EventId make_id(std::uint32_t gen, std::uint32_t index) {
@@ -119,6 +161,12 @@ class Engine {
   /// Drops all stale entries from the heap and re-heapifies.
   void compact();
   void maybe_compact();
+  /// Shared body of schedule_at / schedule_keyed.
+  EventId schedule_impl(SimTime t, std::uint64_t key, std::uint32_t ctx,
+                        std::function<void()> fn, EventKind kind);
+  /// Next auto key for `ctx`: `((ctx + 1) << 32) | counter` (the kNoContext
+  /// bucket maps to the topmost 32-bit prefix).
+  std::uint64_t next_auto_key(std::uint32_t ctx);
 
   SimTime now_;
   obs::EngineMetrics* metrics_ = nullptr;
@@ -127,6 +175,9 @@ class Engine {
   std::uint64_t next_seq_ = 0;
   std::size_t live_ = 0;
   std::uint64_t executed_ = 0;
+  bool auto_keys_ = false;
+  std::uint32_t cur_ctx_ = kNoContext;
+  std::vector<std::uint64_t> ctx_counters_;  // index 0 = kNoContext bucket
   std::vector<Entry> heap_;  // binary heap ordered by Later
   std::vector<Slot> slots_;
   std::vector<std::uint32_t> free_slots_;

@@ -1,0 +1,146 @@
+// Serial-vs-sharded determinism suite: the scorecard of a sharded run must
+// be byte-identical for every shard count — same seed, same topology, same
+// RIB backend, shards 1/2/4. Runs under the plain, ASan and TSan legs of
+// scripts/check.sh (the TSan leg selects tests matching "ShardedDeterminism",
+// which also makes the barrier/inbox synchronization race-checked under the
+// real workload).
+
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+#include "core/experiment.hpp"
+#include "core/full_table.hpp"
+#include "core/sharded.hpp"
+
+namespace rfdnet::core {
+namespace {
+
+/// Runs `cfg` at shards 1, 2, 4 and expects one scorecard.
+void expect_invariant_scorecards(const ExperimentConfig& cfg) {
+  std::string first;
+  for (const int shards : {1, 2, 4}) {
+    const ShardedExperimentResult r = run_sharded_experiment(cfg, shards);
+    const std::string card = r.scorecard();
+    ASSERT_FALSE(card.empty());
+    if (first.empty()) {
+      first = card;
+    } else {
+      ASSERT_EQ(card, first) << "scorecard diverged at shards=" << shards
+                             << " seed=" << cfg.seed;
+    }
+  }
+}
+
+TEST(ShardedDeterminism, MeshScorecardsAreShardCountInvariant) {
+  for (const std::uint64_t seed : {1u, 2u}) {
+    ExperimentConfig cfg;
+    cfg.topology.kind = TopologySpec::Kind::kMeshTorus;
+    cfg.topology.width = 6;
+    cfg.topology.height = 6;
+    cfg.pulses = 2;
+    cfg.seed = seed;
+    cfg.record_all_penalties = true;
+    cfg.record_update_log = true;
+    expect_invariant_scorecards(cfg);
+  }
+}
+
+TEST(ShardedDeterminism, InternetScorecardsAreShardCountInvariant) {
+  ExperimentConfig cfg;
+  cfg.topology.kind = TopologySpec::Kind::kInternetLike;
+  cfg.topology.nodes = 208;
+  cfg.pulses = 2;
+  cfg.seed = 7;
+  cfg.record_all_penalties = true;
+  cfg.record_update_log = true;
+  expect_invariant_scorecards(cfg);
+}
+
+TEST(ShardedDeterminism, RadixBackendIsAlsoInvariant) {
+  ExperimentConfig cfg;
+  cfg.topology.kind = TopologySpec::Kind::kMeshTorus;
+  cfg.topology.width = 6;
+  cfg.topology.height = 6;
+  cfg.pulses = 2;
+  cfg.seed = 1;
+  cfg.rib_backend = bgp::RibBackendKind::kRadix;
+  cfg.record_all_penalties = true;
+  cfg.record_update_log = true;
+  expect_invariant_scorecards(cfg);
+}
+
+TEST(ShardedDeterminism, FullTableScorecardsAreShardCountInvariant) {
+  // Both retaining backends, shards 1/2/4: all six scorecards must be one
+  // byte string (the hash==radix agreement is the pre-existing serial
+  // contract; sharding must not break it at any k).
+  std::string first;
+  for (const auto backend :
+       {bgp::RibBackendKind::kHashMap, bgp::RibBackendKind::kRadix}) {
+    for (const int shards : {1, 2, 4}) {
+      FullTableConfig cfg;
+      cfg.prefixes = 300;
+      cfg.events = 600;
+      cfg.routers = 6;
+      cfg.seed = 3;
+      cfg.samples = 16;
+      cfg.cooldown_s = 60.0;
+      cfg.rib_backend = backend;
+      cfg.shards = shards;
+      const FullTableResult res = run_full_table(cfg);
+      const std::string card = res.scorecard();
+      ASSERT_FALSE(card.empty());
+      if (first.empty()) {
+        first = card;
+      } else {
+        ASSERT_EQ(card, first)
+            << "diverged at backend=" << static_cast<int>(backend)
+            << " shards=" << shards;
+      }
+    }
+  }
+}
+
+TEST(ShardedDeterminism, SerialOnlyFeaturesAreRejected) {
+  ExperimentConfig base;
+  base.topology.kind = TopologySpec::Kind::kMeshTorus;
+  base.topology.width = 4;
+  base.topology.height = 4;
+
+  EXPECT_THROW(run_sharded_experiment(base, 0), std::invalid_argument);
+
+  {
+    ExperimentConfig cfg = base;
+    cfg.faults.emplace();
+    EXPECT_THROW(run_sharded_experiment(cfg, 2), std::invalid_argument);
+  }
+  {
+    ExperimentConfig cfg = base;
+    cfg.flap_mode = ExperimentConfig::FlapMode::kLinkSession;
+    EXPECT_THROW(run_sharded_experiment(cfg, 2), std::invalid_argument);
+  }
+  {
+    ExperimentConfig cfg = base;
+    cfg.collect_spans = true;
+    EXPECT_THROW(run_sharded_experiment(cfg, 2), std::invalid_argument);
+  }
+  {
+    ExperimentConfig cfg = base;
+    cfg.collect_metrics = true;
+    EXPECT_THROW(run_sharded_experiment(cfg, 2), std::invalid_argument);
+  }
+  {
+    ExperimentConfig cfg = base;
+    cfg.profile = true;
+    EXPECT_THROW(run_sharded_experiment(cfg, 2), std::invalid_argument);
+  }
+  {
+    FullTableConfig cfg;
+    cfg.shards = -1;
+    EXPECT_THROW(run_full_table(cfg), std::invalid_argument);
+  }
+}
+
+}  // namespace
+}  // namespace rfdnet::core

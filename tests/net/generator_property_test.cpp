@@ -3,6 +3,8 @@
 
 #include <gtest/gtest.h>
 
+#include <limits>
+#include <stdexcept>
 #include <utility>
 #include <vector>
 
@@ -143,6 +145,83 @@ TEST_P(RandomProperty, ConnectedAtEveryDensity) {
 
 INSTANTIATE_TEST_SUITE_P(Seeds, RandomProperty,
                          ::testing::Values(1u, 5u, 9u));
+
+TEST(InternetGeneratorEdge, RejectsBadOptions) {
+  sim::Rng rng(1);
+  EXPECT_THROW(make_internet_like(2, rng), std::invalid_argument);
+  InternetOptions opt;
+  opt.attach_links = 0;
+  EXPECT_THROW(make_internet_like(10, rng, opt), std::invalid_argument);
+  opt = {};
+  opt.stub_fraction = -0.1;
+  EXPECT_THROW(make_internet_like(10, rng, opt), std::invalid_argument);
+  opt.stub_fraction = 1.5;
+  EXPECT_THROW(make_internet_like(10, rng, opt), std::invalid_argument);
+  opt = {};
+  opt.extra_peer_frac = std::numeric_limits<double>::quiet_NaN();
+  EXPECT_THROW(make_internet_like(10, rng, opt), std::invalid_argument);
+  opt.extra_peer_frac = -1.0;
+  EXPECT_THROW(make_internet_like(10, rng, opt), std::invalid_argument);
+  opt = {};
+  opt.delay_s = 0.0;
+  EXPECT_THROW(make_internet_like(10, rng, opt), std::invalid_argument);
+  opt.delay_s = std::numeric_limits<double>::infinity();
+  EXPECT_THROW(make_internet_like(10, rng, opt), std::invalid_argument);
+}
+
+/// Degenerate corners of the generator: tiny n, all-stub / no-stub mixes,
+/// attach degrees larger than the node count. None may throw (the fallback
+/// attachment must dedupe deterministically, never retry into a duplicate
+/// link) and every output must stay simple and connected.
+TEST(InternetGeneratorEdge, ExtremeOptionsStaySimpleAndConnected) {
+  for (const std::uint64_t seed : {1u, 2u, 3u, 4u, 5u}) {
+    for (const int n : {3, 4, 5, 8}) {
+      for (const double stub : {0.0, 0.5, 1.0}) {
+        for (const int attach : {1, 2, n, 3 * n}) {
+          sim::Rng rng(seed);
+          InternetOptions opt;
+          opt.stub_fraction = stub;
+          opt.attach_links = attach;
+          const Graph g = make_internet_like(n, rng, opt);
+          ASSERT_EQ(g.node_count(), static_cast<std::size_t>(n));
+          ASSERT_TRUE(g.connected())
+              << "n=" << n << " stub=" << stub << " attach=" << attach
+              << " seed=" << seed;
+          // Simple graph: no self loops, no duplicate links, and the two
+          // endpoint records of every link mirror each other.
+          for (NodeId u = 0; u < g.node_count(); ++u) {
+            std::vector<bool> seen(g.node_count(), false);
+            for (const auto& e : g.neighbors(u)) {
+              ASSERT_NE(e.neighbor, u);
+              ASSERT_FALSE(seen[e.neighbor]) << "duplicate " << u << "-"
+                                             << e.neighbor;
+              seen[e.neighbor] = true;
+              ASSERT_EQ(g.endpoint(e.neighbor, u).rel, reverse(e.rel));
+            }
+          }
+        }
+      }
+    }
+  }
+}
+
+TEST(InternetGeneratorEdge, SameSeedSameGraph) {
+  for (const int n : {3, 40, 150}) {
+    sim::Rng a(77), b(77);
+    const Graph ga = make_internet_like(n, a);
+    const Graph gb = make_internet_like(n, b);
+    ASSERT_EQ(ga.link_count(), gb.link_count());
+    for (NodeId u = 0; u < ga.node_count(); ++u) {
+      const auto& na = ga.neighbors(u);
+      const auto& nb = gb.neighbors(u);
+      ASSERT_EQ(na.size(), nb.size());
+      for (std::size_t i = 0; i < na.size(); ++i) {
+        ASSERT_EQ(na[i].neighbor, nb[i].neighbor);
+        ASSERT_EQ(na[i].rel, nb[i].rel);
+      }
+    }
+  }
+}
 
 }  // namespace
 }  // namespace rfdnet::net

@@ -1,0 +1,136 @@
+// Unit tests for the greedy edge-cut partitioner: coverage, determinism,
+// degree balance (the event-load proxy), and cut/lookahead metrics.
+
+#include "net/partition.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cstdint>
+#include <limits>
+#include <stdexcept>
+#include <vector>
+
+#include "net/topology.hpp"
+#include "sim/random.hpp"
+
+namespace rfdnet::net {
+namespace {
+
+TEST(Partition, RejectsBadArguments) {
+  const Graph g = make_line(4);
+  EXPECT_THROW(partition_graph(g, 0), std::invalid_argument);
+  EXPECT_THROW(partition_graph(g, -1), std::invalid_argument);
+  EXPECT_THROW(partition_graph(Graph(0), 1), std::invalid_argument);
+}
+
+TEST(Partition, SingleShardHasNoCut) {
+  const Graph g = make_mesh_torus(4, 4);
+  const Partition p = partition_graph(g, 1);
+  EXPECT_EQ(p.shards, 1);
+  for (const int s : p.shard_of) EXPECT_EQ(s, 0);
+  EXPECT_EQ(p.shard_sizes[0], g.node_count());
+  EXPECT_EQ(p.cut_links, 0u);
+  EXPECT_FALSE(p.has_cut());
+  EXPECT_EQ(p.min_cut_delay_s, std::numeric_limits<double>::infinity());
+  EXPECT_TRUE(p.pair_min_delay_s.empty());
+}
+
+TEST(Partition, ShardCountClampsToNodeCount) {
+  const Graph g = make_line(3);
+  const Partition p = partition_graph(g, 10);
+  EXPECT_EQ(p.shards, 3);
+  for (const auto sz : p.shard_sizes) EXPECT_EQ(sz, 1u);
+}
+
+TEST(Partition, EveryNodeAssignedAndSizesAdd) {
+  sim::Rng rng(5);
+  const Graph g = make_internet_like(300, rng);
+  for (const int k : {2, 3, 4, 7}) {
+    const Partition p = partition_graph(g, k);
+    ASSERT_EQ(p.shard_of.size(), g.node_count());
+    std::size_t total = 0;
+    std::vector<std::size_t> sizes(static_cast<std::size_t>(k), 0);
+    for (const int s : p.shard_of) {
+      ASSERT_GE(s, 0);
+      ASSERT_LT(s, k);
+      ++sizes[static_cast<std::size_t>(s)];
+      ++total;
+    }
+    EXPECT_EQ(total, g.node_count());
+    EXPECT_EQ(sizes, p.shard_sizes);
+    // No shard may be empty: each needs a seed node to host work.
+    for (const auto sz : p.shard_sizes) EXPECT_GE(sz, 1u);
+  }
+}
+
+TEST(Partition, IsDeterministic) {
+  sim::Rng rng(9);
+  const Graph g = make_internet_like(200, rng);
+  const Partition a = partition_graph(g, 4);
+  const Partition b = partition_graph(g, 4);
+  EXPECT_EQ(a.shard_of, b.shard_of);
+  EXPECT_EQ(a.cut_links, b.cut_links);
+  EXPECT_EQ(a.shard_degrees, b.shard_degrees);
+}
+
+/// The balance criterion: shards hold near-equal *degree sums*, because
+/// simulation load scales with incident links. On a hub-heavy graph a
+/// node-count balance would concentrate most of the traffic in one shard.
+TEST(Partition, BalancesDegreeNotNodeCount) {
+  sim::Rng rng(42);
+  const Graph g = make_internet_like(1000, rng);
+  std::size_t total_deg = 0;
+  std::size_t max_deg = 0;
+  for (NodeId u = 0; u < g.node_count(); ++u) {
+    total_deg += g.neighbors(u).size();
+    max_deg = std::max(max_deg, g.neighbors(u).size());
+  }
+  for (const int k : {2, 4, 8}) {
+    const Partition p = partition_graph(g, k);
+    const std::size_t cap =
+        (total_deg + static_cast<std::size_t>(k) - 1) /
+        static_cast<std::size_t>(k);
+    std::vector<std::size_t> deg(static_cast<std::size_t>(k), 0);
+    for (NodeId u = 0; u < g.node_count(); ++u) {
+      deg[static_cast<std::size_t>(p.shard_of[u])] += g.neighbors(u).size();
+    }
+    EXPECT_EQ(deg, p.shard_degrees);
+    // A shard may overshoot the cap by at most the last node it absorbed.
+    for (const auto d : deg) EXPECT_LE(d, cap + max_deg) << "k=" << k;
+  }
+}
+
+TEST(Partition, CutMetricsMatchTheAssignment) {
+  const Graph g = make_mesh_torus(4, 4);  // uniform 10 ms links
+  const Partition p = partition_graph(g, 2);
+  ASSERT_TRUE(p.has_cut());
+  // Recount the cut by hand.
+  std::size_t cut = 0;
+  double min_delay = std::numeric_limits<double>::infinity();
+  for (NodeId u = 0; u < g.node_count(); ++u) {
+    for (const auto& e : g.neighbors(u)) {
+      if (e.neighbor < u) continue;
+      if (p.shard_of[u] == p.shard_of[e.neighbor]) continue;
+      ++cut;
+      min_delay = std::min(min_delay, e.delay_s);
+    }
+  }
+  EXPECT_EQ(p.cut_links, cut);
+  EXPECT_DOUBLE_EQ(p.min_cut_delay_s, min_delay);
+  // The (0,1) pair is the only pair, and its min equals the global min.
+  ASSERT_EQ(p.pair_min_delay_s.size(), 1u);
+  EXPECT_DOUBLE_EQ(p.pair_min_delay_s.at({0, 1}), min_delay);
+}
+
+TEST(Partition, EdgeCutBeatsRoundRobinOnAMesh) {
+  // Sanity that the greedy growth produces *contiguous* regions: a 8x8
+  // torus split in two must cut far fewer than the 128 links a round-robin
+  // (u % 2) assignment would cut.
+  const Graph g = make_mesh_torus(8, 8);
+  const Partition p = partition_graph(g, 2);
+  EXPECT_LT(p.cut_links, 48u);  // round-robin cuts 128 of 128
+}
+
+}  // namespace
+}  // namespace rfdnet::net

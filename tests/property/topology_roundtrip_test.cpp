@@ -1,0 +1,95 @@
+// Round-trip property for the topology file format: for any graph,
+// parse_topology(serialize_topology(g)) must reproduce g exactly — same
+// nodes, same links, same relationships, and byte-exact delays (the writer
+// prints doubles at max_digits10 precisely so this holds).
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cstdint>
+#include <string>
+#include <tuple>
+#include <vector>
+
+#include "net/graph.hpp"
+#include "net/topology.hpp"
+#include "net/topology_io.hpp"
+#include "sim/random.hpp"
+
+namespace rfdnet::net {
+namespace {
+
+/// Same link *set* — the parser rebuilds adjacency lists in canonical file
+/// order, so per-node neighbor order is compared sorted. Delays must match
+/// byte-exactly, not approximately: they feed SimTime arithmetic and the
+/// conservative lookahead bound, where an ulp of drift changes event
+/// timestamps.
+void expect_graphs_equal(const Graph& a, const Graph& b) {
+  ASSERT_EQ(a.node_count(), b.node_count());
+  ASSERT_EQ(a.link_count(), b.link_count());
+  using Row = std::tuple<NodeId, double, Relationship>;
+  const auto sorted_neighbors = [](const Graph& g, NodeId u) {
+    std::vector<Row> rows;
+    for (const auto& e : g.neighbors(u)) {
+      rows.emplace_back(e.neighbor, e.delay_s, e.rel);
+    }
+    std::sort(rows.begin(), rows.end());
+    return rows;
+  };
+  for (NodeId u = 0; u < a.node_count(); ++u) {
+    EXPECT_EQ(sorted_neighbors(a, u), sorted_neighbors(b, u)) << "node " << u;
+  }
+}
+
+void expect_round_trip(const Graph& g) {
+  const std::string text = serialize_topology(g);
+  const Graph back = parse_topology(text);
+  expect_graphs_equal(g, back);
+  // Serialization is canonical: a second trip produces the same bytes.
+  EXPECT_EQ(serialize_topology(back), text);
+}
+
+class RoundTrip
+    : public ::testing::TestWithParam<std::tuple<int, std::uint64_t>> {};
+
+TEST_P(RoundTrip, InternetLikeSurvivesExactly) {
+  const auto [n, seed] = GetParam();
+  sim::Rng rng(seed);
+  // Delays that don't terminate in binary (0.1, 1/3-scale values) are the
+  // interesting case: a writer printing 6 significant digits loses them.
+  InternetOptions opt;
+  opt.delay_s = 0.1 / 3.0;
+  expect_round_trip(make_internet_like(n, rng, opt));
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Grid, RoundTrip,
+    ::testing::Combine(::testing::Values(10, 60, 208),
+                       ::testing::Values(1u, 2u, 3u, 4u)));
+
+TEST(RoundTripEdge, AwkwardDelaysSurviveExactly) {
+  Graph g(5);
+  g.add_link(0, 1, 0.1, Relationship::kPeer);
+  g.add_link(1, 2, 1.0 / 3.0, Relationship::kProvider);
+  g.add_link(2, 3, 1e-9, Relationship::kCustomer);
+  g.add_link(3, 4, 123.45678901234567, Relationship::kPeer);
+  g.add_link(4, 0, 0x1.fffffffffffffp-1, Relationship::kPeer);  // 1 - ulp
+  expect_round_trip(g);
+}
+
+TEST(RoundTripEdge, IsolatedNodesSurviveViaHeader) {
+  Graph g(4);
+  g.add_link(1, 2, 0.25, Relationship::kPeer);  // nodes 0 and 3 isolated
+  expect_round_trip(g);
+}
+
+TEST(RoundTripEdge, MixedGeneratorsSurvive) {
+  sim::Rng rng(11);
+  expect_round_trip(make_mesh_torus(5, 4));
+  expect_round_trip(make_line(7, 0.05));
+  expect_round_trip(make_clique(6));
+  expect_round_trip(make_random(20, 0.3, rng));
+}
+
+}  // namespace
+}  // namespace rfdnet::net

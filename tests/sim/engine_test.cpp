@@ -217,5 +217,61 @@ TEST(Engine, PendingTracksCancellations) {
   EXPECT_EQ(e.pending(), 1u);
 }
 
+TEST(Engine, KeyedSchedulingInThePastThrows) {
+  // Same hard error as schedule_at: a past timestamp is a lookahead or
+  // bookkeeping bug, never something to silently clamp.
+  Engine e;
+  e.schedule_keyed(SimTime::from_seconds(5.0), 1, [] {});
+  e.run();
+  EXPECT_THROW(e.schedule_keyed(SimTime::from_seconds(1.0), 2, [] {}),
+               std::logic_error);
+  EXPECT_THROW(
+      e.schedule_keyed(SimTime::from_seconds(1.0), 2, [] {},
+                       EventKind::kDelivery, 3),
+      std::logic_error);
+}
+
+TEST(Engine, EqualTimeEventsRunInKeyOrderNotScheduleOrder) {
+  Engine e;
+  std::vector<int> order;
+  const SimTime t = SimTime::from_seconds(1.0);
+  e.schedule_keyed(t, 30, [&] { order.push_back(30); });
+  e.schedule_keyed(t, 10, [&] { order.push_back(10); });
+  e.schedule_keyed(t, 20, [&] { order.push_back(20); });
+  e.run();
+  EXPECT_EQ(order, (std::vector<int>{10, 20, 30}));
+}
+
+TEST(Engine, UnkeyedEventsKeepFifoOrder) {
+  Engine e;
+  std::vector<int> order;
+  const SimTime t = SimTime::from_seconds(1.0);
+  e.schedule_at(t, [&] { order.push_back(1); });
+  e.schedule_at(t, [&] { order.push_back(2); });
+  e.schedule_at(t, [&] { order.push_back(3); });
+  e.run();
+  EXPECT_EQ(order, (std::vector<int>{1, 2, 3}));
+}
+
+TEST(Engine, AutoKeysDeriveFromTheRunningContext) {
+  // With auto keys on, plain schedule_at calls made inside a keyed handler
+  // inherit that handler's context: their keys are ((ctx + 1) << 32) | n,
+  // so two contexts' follow-up events at one instant order by context id —
+  // independent of which handler scheduled first.
+  Engine e;
+  e.set_auto_keys(true);
+  std::vector<int> order;
+  const SimTime t1 = SimTime::from_seconds(1.0);
+  const SimTime t2 = SimTime::from_seconds(2.0);
+  // Context 9 schedules its follow-up before context 4 does; key order must
+  // still run context 4's first.
+  e.schedule_keyed(t1, 2, [&] { e.schedule_at(t2, [&] { order.push_back(9); }); },
+                   EventKind::kGeneric, 9);
+  e.schedule_keyed(t1, 5, [&] { e.schedule_at(t2, [&] { order.push_back(4); }); },
+                   EventKind::kGeneric, 4);
+  e.run();
+  EXPECT_EQ(order, (std::vector<int>{4, 9}));
+}
+
 }  // namespace
 }  // namespace rfdnet::sim
