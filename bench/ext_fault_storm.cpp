@@ -18,6 +18,7 @@
 //                   [--fault-mean-down S] [--fault-drop P] [--fault-delay S]
 //                   [--fault-horizon S] [--fault-schedule "SCRIPT"]
 //                   [--jobs N] [--metrics] [--trace PATH]
+//                   [--stability] [--stability-gap S]
 //
 // With --fault-schedule the given scripted schedule (see
 // fault::FaultSchedule::parse for the grammar) runs once instead of the
@@ -51,10 +52,11 @@ int main(int argc, char** argv) {
   const rfdnet::core::ObsScope obs(argc, argv);
   using namespace rfdnet;
 
-  core::ArgParser args({"metrics"},
+  core::ArgParser args({"metrics", "stability"},
                        {"rates", "seeds", "seed", "fault-mean-down",
                         "fault-drop", "fault-delay", "fault-horizon",
-                        "fault-schedule", "jobs", "j", "trace"});
+                        "fault-schedule", "jobs", "j", "trace",
+                        "stability-gap"});
   if (!args.parse(argc, argv)) {
     std::cerr << args.error() << "\n";
     return 1;
@@ -75,6 +77,10 @@ int main(int argc, char** argv) {
   // Faults are the only instability source: no origin flap pulses, so the
   // sweep isolates the storm's own convergence/suppression response.
   base.pulses = 0;
+  base.collect_stability = args.has("stability");
+  if (args.has("stability-gap")) {
+    base.stability_gap_s = args.get_double("stability-gap", 30.0);
+  }
 
   if (args.has("fault-schedule")) {
     std::cout << "Extension: scripted fault schedule (100-node mesh)\n\n";
@@ -91,6 +97,9 @@ int main(int argc, char** argv) {
                core::TextTable::num(r.suppress_events),
                core::TextTable::num(r.noisy_reuses)});
     t.print(std::cout);
+    if (r.stability) {
+      std::cout << "\nstability: " << r.stability->summary_line() << "\n";
+    }
     return 0;
   }
 
@@ -124,6 +133,13 @@ int main(int argc, char** argv) {
                pt.hit_horizon ? "HIT" : "ok"});
   }
   t.print(std::cout);
+
+  if (base.collect_stability) {
+    // Per-trial stability bundles, merged in the sweep's canonical (rate,
+    // seed) order — byte-identical for any --jobs value.
+    std::cout << "\nstability metrics (merged over all trials)\n";
+    sweep.metrics.write_summary(std::cout);
+  }
 
   std::cout
       << "\nobservations: higher fault rates charge more entries past the "

@@ -21,6 +21,7 @@
 //   ext_full_table [--prefixes N] [--alpha A] [--events N] [--interval S]
 //                  [--routers N] [--seed S] [--samples N] [--cooldown S]
 //                  [--rib-backend hash|radix|null] [--json PATH]
+//                  [--stability] [--stability-gap S]
 //
 // Defaults are sized so the no-argument run (check.sh runs every bench
 // binary bare) finishes in seconds; the perf-tier ctest invocation passes
@@ -50,10 +51,11 @@ int main(int argc, char** argv) {
   using namespace rfdnet;
   const core::ObsScope obs(argc, argv);
 
-  core::ArgParser args({"metrics"},
+  core::ArgParser args({"metrics", "stability"},
                        {"prefixes", "alpha", "events", "interval", "routers",
                         "seed", "samples", "cooldown", "rib-backend", "json",
-                        "shards", "trace", "trace-format", "profile"});
+                        "shards", "trace", "trace-format", "profile",
+                        "stability-gap"});
   if (!args.parse(argc, argv)) {
     std::cerr << args.error() << "\n";
     return 1;
@@ -72,6 +74,12 @@ int main(int argc, char** argv) {
   // scorecards for every shard count, but a different sampling scheme than
   // serial — don't mix serial and sharded scorecards).
   cfg.shards = args.get_int("shards", 0);
+  // Streaming train analytics shard cleanly, so --stability composes with
+  // --shards (unlike --trace / --profile).
+  cfg.collect_stability = args.has("stability");
+  if (args.has("stability-gap")) {
+    cfg.stability_gap_s = args.get_double("stability-gap", 30.0);
+  }
 
   std::vector<bgp::RibBackendKind> backends;
   if (args.has("rib-backend")) {
@@ -116,6 +124,15 @@ int main(int argc, char** argv) {
   }
   t.print(std::cout);
   std::cout << "\n";
+
+  if (cfg.collect_stability) {
+    for (const Row& r : rows) {
+      if (!r.res.stability) continue;
+      std::cout << "stability[" << to_string(r.backend)
+                << "]: " << r.res.stability->summary_line() << "\n";
+    }
+    std::cout << "\n";
+  }
 
   // Cross-backend scorecard check: hash vs radix must agree byte-for-byte.
   const Row* hash = nullptr;

@@ -26,13 +26,15 @@ namespace {
 
 using namespace rfdnet;
 
-void run_case(int pulses) {
+void run_case(int pulses, bool stability, double stability_gap_s) {
   core::ExperimentConfig cfg;
   cfg.topology.kind = core::TopologySpec::Kind::kMeshTorus;
   cfg.topology.width = 10;
   cfg.topology.height = 10;
   cfg.pulses = pulses;
   cfg.seed = 1;
+  cfg.collect_stability = stability;
+  cfg.stability_gap_s = stability_gap_s;
 
   const core::ExperimentResult res = core::run_experiment(cfg);
 
@@ -52,6 +54,11 @@ void run_case(int pulses) {
   for (const auto& ph : stats::coalesce_phases(res.phases)) {
     std::cout << stats::to_string(ph.kind) << "[" << core::TextTable::num(ph.t0_s, 0)
               << "," << core::TextTable::num(ph.t1_s, 0) << ") ";
+  }
+  if (res.stability) {
+    // Train statistics for the same run the update series comes from: each
+    // pulse train shows up as one (or a few) update trains per session.
+    std::cout << "\nstability: " << res.stability->summary_line();
   }
   std::cout << "\nphases (fine): ";
   int shown = 0;
@@ -122,10 +129,21 @@ void run_case(int pulses) {
 int main(int argc, char** argv) {
   rfdnet::core::ParallelRunner::configure_from_args(argc, argv);
   const rfdnet::core::ObsScope obs(argc, argv);
+  core::ArgParser args({"metrics", "stability"},
+                       {"jobs", "j", "trace", "trace-format", "profile",
+                        "stability-gap"});
+  if (!args.parse(argc, argv)) {
+    std::cerr << args.error() << "\n";
+    return 1;
+  }
+  const bool stability = args.has("stability");
+  const double gap = args.has("stability-gap")
+                         ? args.get_double("stability-gap", 30.0)
+                         : obs::StabilityTracker::kDefaultGapS;
   std::cout << "Figure 10: update series and damped link count, 100-node "
                "mesh, n = 1, 3, 5\n\n";
-  run_case(1);
-  run_case(3);
-  run_case(5);
+  run_case(1, stability, gap);
+  run_case(3, stability, gap);
+  run_case(5, stability, gap);
   return 0;
 }

@@ -19,9 +19,11 @@
 #include "bgp/policy.hpp"
 #include "net/graph.hpp"
 #include "net/topology.hpp"
+#include "obs/stability.hpp"
 #include "sim/engine.hpp"
 #include "sim/random.hpp"
 #include "sim/time.hpp"
+#include "stats/stability_probe.hpp"
 
 namespace {
 
@@ -30,12 +32,14 @@ using namespace rfdnet;
 // One warm-up convergence plus `pulses` withdraw/re-announce cycles, each
 // run to quiescence — the paper's flap workload stripped of damping and
 // instrumentation so the measurement is the propagation machinery itself.
+// `observer` (optional) rides on the send path, as the --stability probe
+// does in the experiment drivers.
 std::uint64_t flap_cycles(const net::Graph& g, const bgp::Policy& policy,
-                          int pulses) {
+                          int pulses, bgp::Observer* observer = nullptr) {
   bgp::TimingConfig cfg;
   sim::Engine engine;
   sim::Rng rng(1);
-  bgp::BgpNetwork network(g, cfg, policy, engine, rng);
+  bgp::BgpNetwork network(g, cfg, policy, engine, rng, observer);
   network.router(0).originate(0);
   engine.run();
   for (int k = 0; k < pulses; ++k) {
@@ -63,6 +67,41 @@ void BM_PropagationMesh100(benchmark::State& state) {
 }
 BENCHMARK(BM_PropagationMesh100)->Arg(2)->Unit(benchmark::kMillisecond);
 
+void BM_PropagationMesh100Stability(benchmark::State& state) {
+  // Same workload with the --stability train detectors on the send path:
+  // the delta against BM_PropagationMesh100 is the analytics' hot-path
+  // cost, gated at < 5% wall overhead by scripts/check.sh --bench.
+  static const net::Graph& g = *new net::Graph(net::make_mesh_torus(10, 10));
+  const bgp::ShortestPathPolicy policy;
+  const int pulses = static_cast<int>(state.range(0));
+  std::uint64_t delivered = 0;
+  std::uint64_t trains = 0;
+  for (auto _ : state) {
+    // Tracker setup and the end-of-run finalize/report are one-off costs
+    // paid once per experiment, not per update — keep them out of the
+    // timed region so the delta against the plain twin is purely the
+    // per-update record path.
+    state.PauseTiming();
+    obs::StabilityTracker tracker;
+    stats::StabilityProbe probe(&tracker);
+    state.ResumeTiming();
+    delivered = flap_cycles(g, policy, pulses, &probe);
+    state.PauseTiming();
+    tracker.finalize();
+    trains = tracker.report().trains;
+    state.ResumeTiming();
+    benchmark::DoNotOptimize(delivered);
+    benchmark::DoNotOptimize(trains);
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(delivered));
+  state.counters["delivered"] = static_cast<double>(delivered);
+  state.counters["trains"] = static_cast<double>(trains);
+}
+BENCHMARK(BM_PropagationMesh100Stability)
+    ->Arg(2)
+    ->Unit(benchmark::kMillisecond);
+
 void BM_PropagationInternet208(benchmark::State& state) {
   // The §7 scaling frontier: 208-node Internet-derived graph, no-valley
   // policy (customer/peer/provider export rules exercise the policy path).
@@ -82,5 +121,39 @@ void BM_PropagationInternet208(benchmark::State& state) {
   state.counters["delivered"] = static_cast<double>(delivered);
 }
 BENCHMARK(BM_PropagationInternet208)->Arg(2)->Unit(benchmark::kMillisecond);
+
+void BM_PropagationInternet208Stability(benchmark::State& state) {
+  // Stability-probe variant of the Internet-graph workload (see the mesh
+  // twin above for what the delta measures).
+  static const net::Graph& g = *new net::Graph([] {
+    sim::Rng topo_rng(7);
+    return net::make_internet_like(208, topo_rng);
+  }());
+  const bgp::NoValleyPolicy policy;
+  const int pulses = static_cast<int>(state.range(0));
+  std::uint64_t delivered = 0;
+  std::uint64_t trains = 0;
+  for (auto _ : state) {
+    // As in the mesh twin: time only the per-update record path.
+    state.PauseTiming();
+    obs::StabilityTracker tracker;
+    stats::StabilityProbe probe(&tracker);
+    state.ResumeTiming();
+    delivered = flap_cycles(g, policy, pulses, &probe);
+    state.PauseTiming();
+    tracker.finalize();
+    trains = tracker.report().trains;
+    state.ResumeTiming();
+    benchmark::DoNotOptimize(delivered);
+    benchmark::DoNotOptimize(trains);
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(delivered));
+  state.counters["delivered"] = static_cast<double>(delivered);
+  state.counters["trains"] = static_cast<double>(trains);
+}
+BENCHMARK(BM_PropagationInternet208Stability)
+    ->Arg(2)
+    ->Unit(benchmark::kMillisecond);
 
 }  // namespace

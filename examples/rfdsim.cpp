@@ -51,6 +51,15 @@ protocol:
   --policy P          shortest-path | no-valley (default shortest-path)
   --mrai S            MRAI in seconds (default 30)
 
+observability:
+  --stability         streaming update-train analytics (per-(peer,prefix)
+                      gap-threshold train detectors); prints the run-level
+                      summary and fills the stability.* metric bundle.
+                      Works with --shards: per-shard detectors merge exactly.
+  --stability-gap S   quiet-gap threshold in seconds (default 30): an update
+                      at most S after its predecessor extends the train, a
+                      strictly longer gap starts a new one.
+
 misc:
   --seed N            RNG seed (default 1)
   --shards N          shard the run across N cores under conservative
@@ -69,10 +78,10 @@ misc:
 
 int main(int argc, char** argv) {
   core::ArgParser flags(
-      {"rcn", "csv", "json", "series", "help"},
+      {"rcn", "csv", "json", "series", "stability", "help"},
       {"topology", "width", "height", "nodes", "topology-file", "pulses",
        "interval", "params", "deployment", "granularity", "policy", "mrai",
-       "seed", "shards", "isp"});
+       "seed", "shards", "isp", "stability-gap"});
   if (!flags.parse(argc, argv)) {
     std::cerr << flags.error() << "\n";
     return 2;
@@ -138,6 +147,10 @@ int main(int argc, char** argv) {
   }
   cfg.timing.mrai_s = std::atof(get("mrai", "30").c_str());
   cfg.seed = std::strtoull(get("seed", "1").c_str(), nullptr, 10);
+  cfg.collect_stability = flags.has("stability");
+  if (flags.has("stability-gap")) {
+    cfg.stability_gap_s = flags.get_double("stability-gap", 30.0);
+  }
   if (flags.has("isp")) {
     cfg.isp = static_cast<net::NodeId>(flags.get_int("isp", 0));
   }
@@ -220,6 +233,10 @@ int main(int argc, char** argv) {
   t.add_row({"max penalty", core::TextTable::num(res.max_penalty, 0)});
   t.add_row({"t_up (warm-up)", core::TextTable::num(res.warmup_tup_s, 1)});
   t.print(std::cout);
+
+  if (res.stability) {
+    std::cout << "\nstability: " << res.stability->summary_line() << "\n";
+  }
 
   if (shards >= 1) {
     std::cout << "\nshard diagnostics: ";

@@ -13,6 +13,11 @@
 #     "micro_shard_scorecard": { "wall_s": ..., "scorecard": {...} }
 #   }
 #
+# The micro_propagation section includes the BM_Propagation*Stability twins
+# (same workloads with the --stability train detectors attached); check.sh
+# --bench additionally gates each twin's overhead against its plain variant
+# within the current run.
+#
 # The micro_engine numbers are wall-clock and vary with the machine; the
 # fig07 profile counts and the ext_full_table scorecard are byte-
 # deterministic (pure functions of the event sequence / seed), so a change

@@ -76,6 +76,27 @@ if base_ft and cur_ft:
     else:
         print("  ok   ext_full_table/scorecard: byte-identical to baseline")
 
+# Stability-analytics overhead gate: the --stability probe variants of the
+# propagation microbenchmarks must stay cheap relative to their plain twins
+# *within the current run* (target < 5% wall overhead; gated at the same
+# jitter-tolerant LIMIT as the baseline comparisons so a noisy shared
+# machine doesn't flake the pass).
+for plain, probed in (
+    ("BM_PropagationMesh100/2", "BM_PropagationMesh100Stability/2"),
+    ("BM_PropagationInternet208/2", "BM_PropagationInternet208Stability/2"),
+):
+    p = cur.get("micro_propagation", {}).get(plain)
+    s = cur.get("micro_propagation", {}).get(probed)
+    if p is None or s is None:
+        failed.append(f"micro_propagation overhead pair missing: "
+                      f"{plain} vs {probed}")
+        continue
+    ratio = s["real_time"] / p["real_time"]
+    marker = "FAIL" if ratio > LIMIT else "ok"
+    print(f"  {marker:4} stability overhead {probed}: {ratio:.2f}x plain")
+    if ratio > LIMIT:
+        failed.append(f"stability overhead {probed}: {ratio:.2f}x plain")
+
 base_sh = base.get("micro_shard_scorecard")
 cur_sh = cur.get("micro_shard_scorecard")
 if base_sh and cur_sh:
@@ -120,15 +141,16 @@ ctest --test-dir build-asan --output-on-failure
 # TSan leg: the thread pool plus the obs metrics path (per-trial registries
 # written by workers, merged canonically afterwards) must be race-free; the
 # fault-storm sweep adds per-trial injectors and trace files to that path,
-# and the sharded-engine determinism suite exercises the barrier/inbox
-# synchronization under the real BGP workload.
+# the sharded-engine determinism suite exercises the barrier/inbox
+# synchronization under the real BGP workload, and the stability property
+# suite pins the per-shard tracker merge contract.
 # ASan and TSan cannot share a build, hence the third tree; scope it to the
 # threaded suites to keep the pass quick.
 cmake -B build-tsan -G Ninja -DCMAKE_BUILD_TYPE=Debug \
   -DCMAKE_CXX_FLAGS="-fsanitize=thread -fno-sanitize-recover=all"
-cmake --build build-tsan --target core_tests property_tests
+cmake --build build-tsan --target core_tests property_tests stability_tests
 ctest --test-dir build-tsan --output-on-failure \
-  -R 'ParallelRunner|SweepDeterminism|ObsDeterminism|FaultSweepOracle|ShardedDeterminism'
+  -R 'ParallelRunner|SweepDeterminism|ObsDeterminism|FaultSweepOracle|ShardedDeterminism|StabilityProperty'
 
 for b in build/bench/*; do
   echo "===== $(basename "$b") ====="

@@ -102,6 +102,9 @@ ExperimentResult run_experiment(const ExperimentConfig& cfg) {
   if (cfg.damping) cfg.damping->validate();
   if (cfg.damping_alt) cfg.damping_alt->validate();
   cfg.timing.validate();
+  if (cfg.collect_stability && !(cfg.stability_gap_s > 0)) {
+    throw std::invalid_argument("experiment: stability gap must be > 0");
+  }
 
   sim::Rng rng(cfg.seed);
   sim::Rng topo_rng = rng.split();
@@ -190,6 +193,17 @@ ExperimentResult run_experiment(const ExperimentConfig& cfg) {
   recorder.probe_penalty(probe);
   recorder.record_all_penalties(cfg.record_all_penalties);
   recorder.record_update_log(cfg.record_update_log);
+
+  // Streaming stability analytics: one tracker for the whole run, fed
+  // through the recorder's send/suppress/reuse hooks. It observes exactly
+  // the event stream the JSONL trace records (warm-up included; the two
+  // emission sites are adjacent in the router/damping code), which is what
+  // the differential oracle test leans on.
+  std::unique_ptr<obs::StabilityTracker> stability;
+  if (cfg.collect_stability) {
+    stability = std::make_unique<obs::StabilityTracker>(cfg.stability_gap_s);
+    recorder.set_stability(stability.get());
+  }
 
   // Interning stats are per-thread and cumulative; delta against this
   // snapshot at the end isolates what *this* run requested.
@@ -560,9 +574,17 @@ ExperimentResult run_experiment(const ExperimentConfig& cfg) {
     damping_metrics.tracked->set(static_cast<std::int64_t>(tracked));
     damping_metrics.active->set(static_cast<std::int64_t>(active));
   }
+  if (stability) {
+    stability->finalize();
+    res.stability = stability->report();
+    const obs::StabilityMetrics sm = obs::StabilityMetrics::bind(registry);
+    sm.record(*res.stability);
+  }
   if (global_metrics) obs_runtime::accumulate(registry);
   if (obs_runtime::profile_enabled()) obs_runtime::accumulate_profile(profile);
-  if (cfg.collect_metrics) res.metrics = std::move(registry);
+  if (cfg.collect_metrics || cfg.collect_stability) {
+    res.metrics = std::move(registry);
+  }
   if (trace) {
     // JSONL: append the causal tree and the phase intervals to the event
     // log, already re-based so they line up with the figures.

@@ -13,6 +13,7 @@
 #include "obs/metrics.hpp"
 #include "obs/phase_timeline.hpp"
 #include "obs/span.hpp"
+#include "obs/stability.hpp"
 #include "obs/trace.hpp"
 #include "rcn/root_cause.hpp"
 #include "rfd/params.hpp"
@@ -140,6 +141,17 @@ struct ExperimentConfig {
   /// Collect obs metrics (engine, BGP, damping) into
   /// `ExperimentResult::metrics`; off by default (zero hot-path cost).
   bool collect_metrics = false;
+  /// Streaming update-train analytics (`obs::StabilityTracker`): per-(peer,
+  /// prefix) gap-threshold train detectors fed from the send/suppress/reuse
+  /// instrumentation, whole run (warm-up included, like the JSONL trace).
+  /// Fills `ExperimentResult::stability` plus the `stability.*` metric
+  /// bundle in `ExperimentResult::metrics`. Unlike the other obs features
+  /// this one is legal under `--shards` (per-shard trackers merge exactly).
+  bool collect_stability = false;
+  /// Quiet-gap threshold of the train detectors: an update at most this long
+  /// after its predecessor (per directed (from, to, prefix) stream) extends
+  /// the current train; a strictly longer gap starts a new one.
+  double stability_gap_s = obs::StabilityTracker::kDefaultGapS;
   /// Write a trace to this path (format per `trace_format`); sweeps derive
   /// per-trial names from it (".p<pulses>.s<seed>").
   std::optional<std::string> trace_path;
@@ -239,8 +251,14 @@ struct ExperimentResult {
   bool hit_horizon = false;
 
   /// Obs metrics for the whole run (warm-up included); empty unless
-  /// `ExperimentConfig::collect_metrics` was set.
+  /// `ExperimentConfig::collect_metrics` (or `collect_stability`, which
+  /// contributes only the `stability.*` bundle) was set.
   obs::Registry metrics;
+
+  /// Streaming update-train report for the whole run (times in the raw
+  /// engine clock, not re-based — it matches the trace byte-for-byte);
+  /// nullopt unless `ExperimentConfig::collect_stability` was set.
+  std::optional<obs::StabilityReport> stability;
 
   /// Causal spans of the measured phase (re-based, closed), in span-id
   /// order; empty unless tracing was on (`collect_spans` or `trace_path`).

@@ -117,8 +117,12 @@ void write_result_json(std::ostream& os, const ExperimentResult& res) {
     os << (first ? "" : ", ") << "[" << fmt(t) << ", " << fmt(v) << "]";
     first = false;
   }
-  os << "]\n";
-  os << "}\n";
+  os << "]";
+
+  if (res.stability) {
+    os << ",\n  \"stability\": " << res.stability->summary_json();
+  }
+  os << "\n}\n";
 }
 
 std::string result_json(const ExperimentResult& res) {

@@ -14,6 +14,7 @@
 #include "net/topology.hpp"
 #include "rfd/damping.hpp"
 #include "sim/engine.hpp"
+#include "stats/stability_probe.hpp"
 #include "stats/zipf.hpp"
 
 namespace rfdnet::core {
@@ -32,6 +33,9 @@ void FullTableConfig::validate() const {
     throw std::invalid_argument("full-table: alpha must be finite and >= 0");
   }
   if (samples < 1) throw std::invalid_argument("full-table: samples >= 1");
+  if (collect_stability && !(stability_gap_s > 0)) {
+    throw std::invalid_argument("full-table: stability gap must be > 0");
+  }
   if (cooldown_s < 0) throw std::invalid_argument("full-table: cooldown < 0");
   if (shards < 0) throw std::invalid_argument("full-table: shards < 0");
   timing.validate();
@@ -51,7 +55,13 @@ FullTableResult run_full_table(const FullTableConfig& cfg) {
   const net::Graph graph = net::make_line(cfg.routers, cfg.link_delay_s);
   bgp::ShortestPathPolicy policy;
   sim::Engine engine;
-  bgp::BgpNetwork network(graph, cfg.timing, policy, engine, rng, nullptr,
+  std::unique_ptr<obs::StabilityTracker> stability;
+  std::unique_ptr<stats::StabilityProbe> probe;
+  if (cfg.collect_stability) {
+    stability = std::make_unique<obs::StabilityTracker>(cfg.stability_gap_s);
+    probe = std::make_unique<stats::StabilityProbe>(stability.get());
+  }
+  bgp::BgpNetwork network(graph, cfg.timing, policy, engine, rng, probe.get(),
                           cfg.rib_backend);
 
   FullTableResult res;
@@ -71,7 +81,7 @@ FullTableResult run_full_table(const FullTableConfig& cfg) {
       auto mod = std::make_unique<rfd::DampingModule>(
           u, std::move(peer_ids), *cfg.damping, engine,
           [&r](int slot, bgp::Prefix p) { return r.on_reuse(slot, p); },
-          nullptr, cfg.rib_backend);
+          probe.get(), cfg.rib_backend);
       mod->set_metrics(&damping_metrics);
       r.set_damping(mod.get());
       dampers.push_back(std::move(mod));
@@ -178,6 +188,12 @@ FullTableResult run_full_table(const FullTableConfig& cfg) {
       res.wall_s > 0.0
           ? static_cast<double>(res.updates_delivered) / res.wall_s
           : 0.0;
+  if (stability) {
+    stability->finalize();
+    res.stability = stability->report();
+    const obs::StabilityMetrics sm = obs::StabilityMetrics::bind(res.metrics);
+    sm.record(*res.stability);
+  }
   return res;
 }
 
@@ -193,6 +209,14 @@ std::string FullTableResult::scorecard() const {
      << ",\"peak_active\":" << peak_damping_active
      << ",\"final_active\":" << final_damping_active << "},\"metrics\":";
   metrics.write_json(os);
+  // Aggregate train summary only: the per-key space is O(prefixes * links)
+  // on this workload, far too large to embed.
+  os << ",\"stability\":";
+  if (stability) {
+    os << stability->summary_json();
+  } else {
+    os << "null";
+  }
   os << '}';
   return os.str();
 }

@@ -7,6 +7,7 @@
 #include "bgp/config.hpp"
 #include "bgp/rib_backend.hpp"
 #include "obs/metrics.hpp"
+#include "obs/stability.hpp"
 #include "rfd/params.hpp"
 
 namespace rfdnet::core {
@@ -44,6 +45,14 @@ struct FullTableConfig {
   std::uint64_t seed = 1;
   /// Residency sampling points spread across the toggle stream (>= 1).
   std::size_t samples = 64;
+
+  /// Streaming update-train analytics over every directed (from, to, prefix)
+  /// stream (`obs::StabilityTracker`). Legal in both the serial and the
+  /// sharded driver — per-shard trackers merge exactly — and fills
+  /// `FullTableResult::stability` plus the `stability.*` metric bundle.
+  bool collect_stability = false;
+  /// Quiet-gap threshold of the train detectors (seconds, > 0).
+  double stability_gap_s = obs::StabilityTracker::kDefaultGapS;
   /// Extra simulated time after the last toggle for the network to drain.
   double cooldown_s = 120.0;
 
@@ -78,7 +87,14 @@ struct FullTableResult {
   std::size_t final_damping_active = 0;
 
   /// Router + damping bundles plus the residency gauges, for the whole run.
+  /// Sharded runs carry only the `stability.*` bundle (when requested) —
+  /// the other bundles' gauges are partition-dependent.
   obs::Registry metrics;
+
+  /// Streaming update-train report for the whole run; nullopt unless
+  /// `FullTableConfig::collect_stability` was set. The scorecard embeds only
+  /// its aggregate summary — the per-key space is O(prefixes * links).
+  std::optional<obs::StabilityReport> stability;
 
   /// Wall-clock seconds of the churn phase and the derived throughput
   /// (delivered updates per second per core; single-threaded driver).

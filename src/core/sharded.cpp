@@ -17,6 +17,7 @@
 #include "obs/invariant.hpp"
 #include "rfd/damping.hpp"
 #include "stats/recorder.hpp"
+#include "stats/stability_probe.hpp"
 #include "stats/zipf.hpp"
 
 namespace rfdnet::core {
@@ -77,10 +78,16 @@ ShardedExperimentResult ShardedRunner::run() {
   if (cfg.flap_jitter < 0 || cfg.flap_jitter >= 1) {
     throw std::invalid_argument("experiment: flap_jitter out of [0, 1)");
   }
-  // ...minus the features that are inherently serial: faults and link
-  // flapping act on links that may straddle shards mid-window, span freight
-  // does not survive the cross-shard envelope, and obs gauges record
-  // partition-dependent high-water marks.
+  if (cfg.collect_stability && !(cfg.stability_gap_s > 0)) {
+    throw std::invalid_argument("experiment: stability gap must be > 0");
+  }
+  // ...minus the features that are inherently serial, each rejected with its
+  // own message: faults and link flapping act on links that may straddle
+  // shards mid-window, span/trace freight does not survive the cross-shard
+  // envelope, and the engine/router/damping metric gauges plus the dispatch
+  // profile record partition-dependent figures. The stability bundle
+  // (`collect_stability`) is the exception: its per-shard accumulators are
+  // pure integers keyed by the logical event keys and merge exactly.
   if (cfg.faults) {
     throw std::invalid_argument(
         "sharded experiment: fault injection is serial-only");
@@ -89,13 +96,22 @@ ShardedExperimentResult ShardedRunner::run() {
     throw std::invalid_argument(
         "sharded experiment: link-session flapping is serial-only");
   }
-  if (cfg.trace_path || cfg.collect_spans) {
-    throw std::invalid_argument(
-        "sharded experiment: tracing/spans are serial-only");
+  if (cfg.trace_path) {
+    throw std::invalid_argument("sharded experiment: tracing is serial-only");
   }
-  if (cfg.collect_metrics || cfg.profile) {
+  if (cfg.collect_spans) {
     throw std::invalid_argument(
-        "sharded experiment: metrics/profile collection is serial-only");
+        "sharded experiment: span collection is serial-only");
+  }
+  if (cfg.collect_metrics) {
+    throw std::invalid_argument(
+        "sharded experiment: engine/router/damping metrics collection is "
+        "serial-only (stability analytics shard cleanly: use "
+        "collect_stability / --stability)");
+  }
+  if (cfg.profile) {
+    throw std::invalid_argument(
+        "sharded experiment: engine profiling is serial-only");
   }
 
   // PRNG layout identical to run_experiment, so the generated topology, isp
@@ -155,6 +171,22 @@ ShardedExperimentResult ShardedRunner::run() {
   }
   recorders[static_cast<std::size_t>(part.shard_of[probe])]->probe_penalty(
       probe);
+
+  // Stability trackers shard with the recorders: a directed (from, to,
+  // prefix) key's sends all fire on the sending router's shard and its
+  // suppress/reuse events on the owning router's shard, so the per-key
+  // accumulators across trackers hold disjoint field groups and the
+  // end-of-run merge is exact integer addition — byte-identical at any
+  // shard count.
+  std::vector<std::unique_ptr<obs::StabilityTracker>> trackers;
+  if (cfg.collect_stability) {
+    trackers.reserve(k);
+    for (std::size_t s = 0; s < k; ++s) {
+      trackers.push_back(
+          std::make_unique<obs::StabilityTracker>(cfg.stability_gap_s));
+      recorders[s]->set_stability(trackers[s].get());
+    }
+  }
 
   bgp::ShardedBgpNetwork network(graph, part, cfg.timing, *policy, engine,
                                  cfg.seed, observers, cfg.rib_backend);
@@ -411,6 +443,20 @@ ShardedExperimentResult ShardedRunner::run() {
   }
   res.phases = stats::classify_phases(pin);
 
+  if (cfg.collect_stability) {
+    obs::StabilityTracker merged(cfg.stability_gap_s);
+    merged.finalize();
+    for (auto& t : trackers) {
+      t->finalize();
+      merged.merge(*t);
+    }
+    res.stability = merged.report();
+    obs::Registry registry;
+    const obs::StabilityMetrics sm = obs::StabilityMetrics::bind(registry);
+    sm.record(*res.stability);
+    res.metrics = std::move(registry);
+  }
+
   out.engine_stats = engine.stats();
   return out;
 }
@@ -488,7 +534,17 @@ std::string ShardedExperimentResult::scorecard() const {
     if (i) os << ',';
     os << delivery_times[i];
   }
-  os << "]}";
+  // Full per-key stability detail plus the stability.* metric bundle: the
+  // first obs artifacts allowed into the sharded scorecard, because every
+  // stored figure is an exact merge of per-shard integer accumulators.
+  os << "],\"stability\":";
+  if (base.stability) {
+    os << base.stability->to_json();
+  } else {
+    os << "null";
+  }
+  os << ",\"metrics\":" << base.metrics.json();
+  os << '}';
   return os.str();
 }
 
@@ -510,8 +566,27 @@ FullTableResult run_full_table_sharded(const FullTableConfig& cfg) {
   const net::Partition part = net::partition_graph(graph, cfg.shards);
   const auto k = static_cast<std::size_t>(part.shards);
   sim::ShardedEngine engine(part.shards);
+
+  // No router/damping metric bundles in sharded mode: gauges record
+  // partition-dependent high-water marks and would break scorecard
+  // byte-identity across shard counts. The stability bundle is exempt —
+  // per-shard trackers fed by lightweight probes merge exactly — so with
+  // `collect_stability` on, `res.metrics` carries `stability.*` and nothing
+  // else.
+  std::vector<std::unique_ptr<obs::StabilityTracker>> trackers;
+  std::vector<std::unique_ptr<stats::StabilityProbe>> probes;
+  std::vector<bgp::Observer*> observers;
+  if (cfg.collect_stability) {
+    for (std::size_t s = 0; s < k; ++s) {
+      trackers.push_back(
+          std::make_unique<obs::StabilityTracker>(cfg.stability_gap_s));
+      probes.push_back(
+          std::make_unique<stats::StabilityProbe>(trackers[s].get()));
+      observers.push_back(probes[s].get());
+    }
+  }
   bgp::ShardedBgpNetwork network(graph, part, cfg.timing, policy, engine,
-                                 cfg.seed, {}, cfg.rib_backend);
+                                 cfg.seed, observers, cfg.rib_backend);
   const sim::Duration lookahead = network.conservative_lookahead();
   if (part.has_cut() && lookahead <= sim::Duration::zero()) {
     throw std::invalid_argument(
@@ -519,9 +594,6 @@ FullTableResult run_full_table_sharded(const FullTableConfig& cfg) {
   }
   engine.set_lookahead(lookahead);
 
-  // No metrics bundles in sharded mode: gauges record partition-dependent
-  // high-water marks and would break scorecard byte-identity across shard
-  // counts. `res.metrics` stays empty.
   std::vector<std::vector<net::NodeId>> nodes_of(k);
   for (net::NodeId u = 0; u < graph.node_count(); ++u) {
     nodes_of[static_cast<std::size_t>(part.shard_of[u])].push_back(u);
@@ -535,10 +607,15 @@ FullTableResult run_full_table_sharded(const FullTableConfig& cfg) {
       peer_ids.reserve(static_cast<std::size_t>(r.peer_count()));
       for (int s = 0; s < r.peer_count(); ++s) peer_ids.push_back(r.peer(s).id);
       const int shard = part.shard_of[u];
+      bgp::Observer* shard_observer =
+          cfg.collect_stability
+              ? static_cast<bgp::Observer*>(
+                    probes[static_cast<std::size_t>(shard)].get())
+              : nullptr;
       auto mod = std::make_unique<rfd::DampingModule>(
           u, std::move(peer_ids), *cfg.damping, engine.shard(shard),
           [&r](int slot, bgp::Prefix p) { return r.on_reuse(slot, p); },
-          nullptr, cfg.rib_backend);
+          shard_observer, cfg.rib_backend);
       r.set_damping(mod.get());
       dampers_of[static_cast<std::size_t>(shard)].push_back(mod.get());
       dampers.push_back(std::move(mod));
@@ -695,6 +772,18 @@ FullTableResult run_full_table_sharded(const FullTableConfig& cfg) {
       res.wall_s > 0.0
           ? static_cast<double>(res.updates_delivered) / res.wall_s
           : 0.0;
+
+  if (cfg.collect_stability) {
+    obs::StabilityTracker merged(cfg.stability_gap_s);
+    merged.finalize();
+    for (auto& t : trackers) {
+      t->finalize();
+      merged.merge(*t);
+    }
+    res.stability = merged.report();
+    const obs::StabilityMetrics sm = obs::StabilityMetrics::bind(res.metrics);
+    sm.record(*res.stability);
+  }
   return res;
 }
 

@@ -38,9 +38,12 @@ struct ShardedExperimentResult {
 /// and PRNG sub-seeding are identical for every shard count.
 ///
 /// Narrower than `run_experiment`: configs asking for link-session flaps,
-/// fault injection, tracing/spans, metrics collection or profiling are
-/// rejected with `std::invalid_argument` — those features are inherently
-/// cross-shard (or record partition-dependent gauges) and stay serial-only.
+/// fault injection, tracing/spans, engine/router/damping metrics collection
+/// or profiling are rejected with `std::invalid_argument` — those features
+/// are inherently cross-shard (or record partition-dependent gauges) and
+/// stay serial-only. The streaming stability bundle (`collect_stability`)
+/// is the exception: per-shard trackers merge exactly, so it is legal here
+/// and its report/metrics are byte-identical across shard counts.
 class ShardedRunner {
  public:
   ShardedRunner(ExperimentConfig cfg, int shards);
@@ -62,8 +65,9 @@ inline ShardedExperimentResult run_sharded_experiment(
 /// `FullTableConfig::shards >= 1`): the line topology is partitioned into
 /// contiguous blocks, residency is sampled by per-shard events at fixed
 /// simulated instants (summed per sample point, so the peak/final figures
-/// are shard-count-invariant), and the scorecard carries no metrics
-/// registry (gauge high-water marks are partition-dependent).
+/// are shard-count-invariant), and the metrics registry carries only the
+/// `stability.*` bundle when `collect_stability` is set (router/damping
+/// gauge high-water marks are partition-dependent and stay serial-only).
 FullTableResult run_full_table_sharded(const FullTableConfig& cfg);
 
 }  // namespace rfdnet::core

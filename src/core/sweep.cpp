@@ -59,9 +59,11 @@ SweepResult run_pulse_sweep(const ExperimentConfig& base, int max_pulses,
   std::vector<sim::EngineProfile> trial_profiles(out.points.size());
   ParallelRunner& pool = runner ? *runner : ParallelRunner::shared();
   pool.for_each(out.points.size(), [&](std::size_t i) {
-    out.points[i] = run_trial(base, base.seed, static_cast<int>(i) + 1,
-                              base.collect_metrics ? &trial_metrics[i] : nullptr,
-                              base.profile ? &trial_profiles[i] : nullptr);
+    out.points[i] = run_trial(
+        base, base.seed, static_cast<int>(i) + 1,
+        base.collect_metrics || base.collect_stability ? &trial_metrics[i]
+                                                       : nullptr,
+        base.profile ? &trial_profiles[i] : nullptr);
   });
   // Canonical merge order (ascending pulse count): identical result for any
   // worker schedule.
@@ -90,7 +92,8 @@ SweepResult run_pulse_sweep_median(const ExperimentConfig& base,
     runs[s].points[i] = run_trial(
         base, base.seed + static_cast<std::uint64_t>(s),
         static_cast<int>(i) + 1,
-        base.collect_metrics ? &trial_metrics[t] : nullptr,
+        base.collect_metrics || base.collect_stability ? &trial_metrics[t]
+                                                       : nullptr,
         base.profile ? &trial_profiles[t] : nullptr);
   });
 
@@ -156,7 +159,7 @@ FaultSweepResult run_fault_storm_sweep(const ExperimentConfig& base,
                        std::to_string(cfg.seed);
     }
     trials[t].res = run_experiment(cfg);
-    if (base.collect_metrics) {
+    if (base.collect_metrics || base.collect_stability) {
       trials[t].metrics = std::move(trials[t].res.metrics);
     }
     if (base.profile) trials[t].profile = trials[t].res.profile;

@@ -1,5 +1,7 @@
 #include "obs/metrics.hpp"
 
+#include "obs/stability.hpp"
+
 #include <algorithm>
 #include <cmath>
 #include <cstdio>
@@ -63,6 +65,18 @@ double Histogram::quantile(double q) const {
     return lo + (hi - lo) * frac;
   }
   return bounds_.empty() ? 0.0 : bounds_.back();
+}
+
+void Histogram::inject(const std::vector<std::uint64_t>& bucket_counts,
+                       double sum) {
+  if (bucket_counts.size() != buckets_.size()) {
+    throw std::logic_error("Histogram::inject: bucket count mismatch");
+  }
+  for (std::size_t i = 0; i < buckets_.size(); ++i) {
+    buckets_[i] += bucket_counts[i];
+    count_ += bucket_counts[i];
+  }
+  sum_ += sum;
 }
 
 std::vector<double> Histogram::default_bounds() {
@@ -235,6 +249,69 @@ FaultMetrics FaultMetrics::bind(Registry& r) {
   m.perturb_delays = &r.counter("fault.perturb_delays");
   m.held_links = &r.gauge("fault.held_links");
   return m;
+}
+
+namespace {
+
+/// Registry-side bucket edges mirroring a FixedHist's integer bounds, scaled
+/// by `unit` (1e6 for microsecond histograms reported in seconds).
+std::vector<double> scaled_bounds(const std::vector<std::int64_t>& bounds,
+                                  double unit) {
+  std::vector<double> out;
+  out.reserve(bounds.size());
+  for (const std::int64_t b : bounds) {
+    out.push_back(static_cast<double>(b) / unit);
+  }
+  return out;
+}
+
+}  // namespace
+
+StabilityMetrics StabilityMetrics::bind(Registry& r) {
+  StabilityMetrics m;
+  m.updates = &r.counter("stability.updates");
+  m.withdrawals = &r.counter("stability.withdrawals");
+  m.trains = &r.counter("stability.trains");
+  m.singletons = &r.counter("stability.singleton_trains");
+  m.suppressions = &r.counter("stability.suppressions");
+  m.reuses = &r.counter("stability.reuses");
+  m.keys = &r.gauge("stability.keys");
+  m.max_train_len = &r.gauge("stability.max_train_len");
+  m.score_ppm = &r.gauge("stability.score_ppm");
+  m.train_len = &r.histogram(
+      "stability.train_len",
+      scaled_bounds(StabilityReport::train_len_bounds(), 1.0));
+  m.train_duration = &r.histogram(
+      "stability.train_duration_s",
+      scaled_bounds(StabilityReport::duration_bounds_us(), 1e6));
+  m.intra_arrival = &r.histogram(
+      "stability.intra_arrival_s",
+      scaled_bounds(StabilityReport::intra_bounds_us(), 1e6));
+  return m;
+}
+
+void StabilityMetrics::record(const StabilityReport& report) const {
+  updates->inc(report.updates);
+  withdrawals->inc(report.withdrawals);
+  trains->inc(report.trains);
+  singletons->inc(report.singletons);
+  suppressions->inc(report.suppresses);
+  reuses->inc(report.reuses);
+  keys->set(static_cast<std::int64_t>(report.keys.size()));
+  max_train_len->set(static_cast<std::int64_t>(report.max_len));
+  // Integer parts-per-million: the gauge stays shard-count-invariant (the
+  // score is a ratio of merged integer totals).
+  score_ppm->set(static_cast<std::int64_t>(report.score() * 1e6 + 0.5));
+  // Histograms land pre-bucketed: the tracker accumulates integer
+  // microsecond sums, so the double `sum` here is a single conversion, not
+  // an order-dependent accumulation.
+  train_len->inject(report.train_len_hist.buckets(),
+                    static_cast<double>(report.train_len_hist.sum()));
+  train_duration->inject(
+      report.train_dur_hist.buckets(),
+      static_cast<double>(report.train_dur_hist.sum()) / 1e6);
+  intra_arrival->inject(report.intra_hist.buckets(),
+                        static_cast<double>(report.intra_hist.sum()) / 1e6);
 }
 
 ShardMetrics ShardMetrics::bind(Registry& r) {

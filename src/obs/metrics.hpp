@@ -63,6 +63,12 @@ class Histogram {
   /// Size `bounds().size() + 1`; the last entry is the overflow bucket.
   const std::vector<std::uint64_t>& buckets() const { return buckets_; }
 
+  /// Adds pre-bucketed observations: bucket-wise counts (must match this
+  /// histogram's bucket count, bounds + overflow) plus their summed value.
+  /// Lets integer accumulators (the stability trains) land in the registry
+  /// without replaying individual observations.
+  void inject(const std::vector<std::uint64_t>& bucket_counts, double sum);
+
   /// Decades from 1 to 10^4 — spans the damping penalty range (paper
   /// increments are 500..1000, ceiling ~12000).
   static std::vector<double> default_bounds();
@@ -179,6 +185,32 @@ struct FaultMetrics {
   Gauge* held_links = nullptr;       ///< links currently held down by faults
 
   static FaultMetrics bind(Registry& r);
+};
+
+/// Typed wiring bundle for the streaming stability analytics
+/// (`obs::StabilityTracker`): update-train counts, scores and shape
+/// histograms, filled once at end of run from the finalized (and, under
+/// sharding, merged) `StabilityReport`. Every figure is a pure integer
+/// accumulation or a ratio of integers, so — unlike the other bundles —
+/// this one is legal in sharded runs and byte-identical at any shard count.
+struct StabilityMetrics {
+  Counter* updates = nullptr;      ///< updates observed at send instants
+  Counter* withdrawals = nullptr;  ///< subset that withdraw
+  Counter* trains = nullptr;       ///< update trains closed
+  Counter* singletons = nullptr;   ///< trains of exactly one update
+  Counter* suppressions = nullptr; ///< damping suppressions folded per key
+  Counter* reuses = nullptr;       ///< reuse fires folded per key
+  Gauge* keys = nullptr;           ///< distinct (from,to,prefix) detectors
+  Gauge* max_train_len = nullptr;  ///< longest train seen (updates)
+  Gauge* score_ppm = nullptr;      ///< stability score, parts-per-million
+  Histogram* train_len = nullptr;       ///< train lengths (updates)
+  Histogram* train_duration = nullptr;  ///< train durations (s)
+  Histogram* intra_arrival = nullptr;   ///< within-train inter-arrivals (s)
+
+  static StabilityMetrics bind(Registry& r);
+
+  /// Fills the bundle from a finalized report (canonical fold order).
+  void record(const struct StabilityReport& report) const;
 };
 
 /// Typed wiring bundle for `sim::ShardedEngine` runs (one per run).

@@ -1,0 +1,397 @@
+#include "obs/stability.hpp"
+
+#include <algorithm>
+#include <cstdio>
+#include <sstream>
+#include <stdexcept>
+
+namespace rfdnet::obs {
+
+namespace {
+
+std::string fmt_double(double v) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.17g", v);
+  return buf;
+}
+
+std::uint64_t splitmix64(std::uint64_t x) {
+  x += 0x9e3779b97f4a7c15ULL;
+  x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  x = (x ^ (x >> 27)) * 0x94d049bb133111ebULL;
+  return x ^ (x >> 31);
+}
+
+void write_hist(std::ostringstream& os, const char* name, const FixedHist& h,
+                double unit) {
+  os << '"' << name << "\":{\"count\":" << h.count() << ",\"sum\":"
+     << fmt_double(static_cast<double>(h.sum()) / unit) << ",\"bounds\":[";
+  for (std::size_t i = 0; i < h.bounds().size(); ++i) {
+    if (i) os << ',';
+    os << fmt_double(static_cast<double>(h.bounds()[i]) / unit);
+  }
+  os << "],\"buckets\":[";
+  for (std::size_t i = 0; i < h.buckets().size(); ++i) {
+    if (i) os << ',';
+    os << h.buckets()[i];
+  }
+  os << "]}";
+}
+
+/// Population mean/variance from integer count + integer sum (microseconds)
+/// + double sum of squares (us^2), reported in seconds. The inputs are
+/// shard-count-invariant, so so are these.
+void write_moments_s(std::ostringstream& os, const char* name,
+                     std::uint64_t n, std::int64_t sum_us, double sq_us2) {
+  os << '"' << name << "\":{\"count\":" << n;
+  if (n > 0) {
+    const double mean_us = static_cast<double>(sum_us) / static_cast<double>(n);
+    const double var_us2 = sq_us2 / static_cast<double>(n) - mean_us * mean_us;
+    os << ",\"mean_s\":" << fmt_double(mean_us / 1e6)
+       << ",\"var_s2\":" << fmt_double(var_us2 / 1e12);
+  } else {
+    os << ",\"mean_s\":null,\"var_s2\":null";
+  }
+  os << '}';
+}
+
+double entry_score(std::uint64_t updates, std::uint64_t singletons) {
+  if (updates == 0) return 1.0;
+  return static_cast<double>(singletons) / static_cast<double>(updates);
+}
+
+void write_common(std::ostringstream& os, const StabilityReport& r) {
+  os << "\"gap_threshold_s\":"
+     << fmt_double(static_cast<double>(r.gap_threshold_us) / 1e6)
+     << ",\"updates\":" << r.updates << ",\"withdrawals\":" << r.withdrawals
+     << ",\"trains\":" << r.trains << ",\"singleton_trains\":" << r.singletons
+     << ",\"max_train_len\":" << r.max_len << ",\"key_count\":"
+     << r.keys.size() << ",\"suppressions\":" << r.suppresses
+     << ",\"reuses\":" << r.reuses << ",\"score\":" << fmt_double(r.score())
+     << ",\"mean_train_len\":" << fmt_double(r.mean_train_len()) << ',';
+  write_moments_s(os, "train_duration", r.trains, r.dur_sum_us, r.dur_sq_us2);
+  os << ',';
+  write_moments_s(os, "intra_arrival", r.intra_count, r.intra_sum_us,
+                  r.intra_sq_us2);
+  os << ",\"train_gap\":{\"count\":" << r.gap_count << ",\"sum_s\":"
+     << fmt_double(static_cast<double>(r.gap_sum_us) / 1e6) << ",\"max_s\":"
+     << fmt_double(static_cast<double>(r.max_gap_us) / 1e6) << "},\"hist\":{";
+  write_hist(os, "train_len", r.train_len_hist, 1.0);
+  os << ',';
+  write_hist(os, "train_duration_s", r.train_dur_hist, 1e6);
+  os << ',';
+  write_hist(os, "intra_arrival_s", r.intra_hist, 1e6);
+  os << "},\"routers\":[";
+  for (std::size_t i = 0; i < r.routers.size(); ++i) {
+    const StabilityReport::RouterEntry& e = r.routers[i];
+    if (i) os << ',';
+    os << "{\"router\":" << e.router << ",\"updates\":" << e.updates
+       << ",\"withdrawals\":" << e.withdrawals << ",\"trains\":" << e.trains
+       << ",\"singleton_trains\":" << e.singletons << ",\"max_train_len\":"
+       << e.max_len << ",\"suppressions\":" << e.suppresses << ",\"reuses\":"
+       << e.reuses << ",\"score\":"
+       << fmt_double(entry_score(e.updates, e.singletons)) << '}';
+  }
+  os << ']';
+}
+
+}  // namespace
+
+FixedHist::FixedHist(std::vector<std::int64_t> upper_bounds)
+    : bounds_(std::move(upper_bounds)), buckets_(bounds_.size() + 1, 0) {
+  for (std::size_t i = 1; i < bounds_.size(); ++i) {
+    if (bounds_[i] <= bounds_[i - 1]) {
+      throw std::logic_error("FixedHist: bounds must be strictly increasing");
+    }
+  }
+}
+
+void FixedHist::add(std::int64_t v) {
+  std::size_t i = 0;
+  while (i < bounds_.size() && v > bounds_[i]) ++i;
+  ++buckets_[i];
+  ++count_;
+  sum_ += v;
+}
+
+void FixedHist::merge(const FixedHist& other) {
+  if (bounds_ != other.bounds_) {
+    throw std::logic_error("FixedHist: merging histograms with unequal bounds");
+  }
+  for (std::size_t i = 0; i < buckets_.size(); ++i) {
+    buckets_[i] += other.buckets_[i];
+  }
+  count_ += other.count_;
+  sum_ += other.sum_;
+}
+
+double StabilityReport::score() const { return entry_score(updates, singletons); }
+
+double StabilityReport::mean_train_len() const {
+  if (trains == 0) return 0.0;
+  return static_cast<double>(updates) / static_cast<double>(trains);
+}
+
+std::string StabilityReport::to_json() const {
+  std::ostringstream os;
+  os << '{';
+  write_common(os, *this);
+  os << ",\"keys\":[";
+  for (std::size_t i = 0; i < keys.size(); ++i) {
+    const KeyEntry& k = keys[i];
+    if (i) os << ',';
+    os << "{\"from\":" << k.from << ",\"to\":" << k.to << ",\"prefix\":"
+       << k.prefix << ",\"updates\":" << k.updates << ",\"withdrawals\":"
+       << k.withdrawals << ",\"trains\":" << k.trains << ",\"singleton_trains\":"
+       << k.singletons << ",\"max_train_len\":" << k.max_len
+       << ",\"dur_sum_us\":" << k.dur_sum_us << ",\"dur_sq_us2\":"
+       << fmt_double(k.dur_sq_us2) << ",\"intra_count\":" << k.intra_count
+       << ",\"intra_sum_us\":" << k.intra_sum_us << ",\"intra_sq_us2\":"
+       << fmt_double(k.intra_sq_us2) << ",\"gap_count\":" << k.gap_count
+       << ",\"gap_sum_us\":" << k.gap_sum_us << ",\"max_gap_us\":"
+       << k.max_gap_us << ",\"suppressions\":" << k.suppresses
+       << ",\"reuses\":" << k.reuses << '}';
+  }
+  os << "]}";
+  return os.str();
+}
+
+std::string StabilityReport::summary_json() const {
+  std::ostringstream os;
+  os << '{';
+  write_common(os, *this);
+  os << '}';
+  return os.str();
+}
+
+std::string StabilityReport::summary_line() const {
+  std::ostringstream os;
+  char buf[64];
+  os << updates << " updates in " << trains << " trains over " << keys.size()
+     << " keys";
+  std::snprintf(buf, sizeof(buf), "; mean len %.2f", mean_train_len());
+  os << buf;
+  if (max_len > 0) os << ", max " << max_len;
+  std::snprintf(buf, sizeof(buf), "; stability score %.4f", score());
+  os << buf;
+  return os.str();
+}
+
+std::vector<std::int64_t> StabilityReport::train_len_bounds() {
+  return {1, 2, 3, 5, 10, 20, 50, 100};
+}
+
+std::vector<std::int64_t> StabilityReport::duration_bounds_us() {
+  // 100 ms .. 1000 s: spans one-hop convergence bursts through multi-pulse
+  // trains that straddle several flap intervals.
+  return {100000,    500000,    1000000,   5000000,  10000000,
+          30000000,  60000000,  300000000, 1000000000};
+}
+
+std::vector<std::int64_t> StabilityReport::intra_bounds_us() {
+  // 1 ms .. 60 s: processing-delay spacing up to a full MRAI round.
+  return {1000,    10000,   100000,   500000,   1000000,
+          5000000, 10000000, 30000000, 60000000};
+}
+
+std::size_t StabilityTracker::KeyHash::operator()(const Key& k) const {
+  const std::uint64_t wire =
+      (static_cast<std::uint64_t>(k.from) << 32) | k.to;
+  return static_cast<std::size_t>(
+      splitmix64(wire ^ splitmix64(k.prefix)));
+}
+
+StabilityTracker::StabilityTracker(double gap_threshold_s)
+    : gap_us_(static_cast<std::int64_t>(gap_threshold_s * 1e6)) {
+  if (!(gap_threshold_s > 0)) {
+    throw std::invalid_argument("stability: gap threshold must be > 0");
+  }
+}
+
+double StabilityTracker::gap_threshold_s() const {
+  return static_cast<double>(gap_us_) / 1e6;
+}
+
+StabilityTracker::KeyState& StabilityTracker::slot(std::uint32_t from,
+                                                   std::uint32_t to,
+                                                   std::uint32_t prefix) {
+  if (finalized_) {
+    throw std::logic_error("stability: record after finalize");
+  }
+  const auto [it, inserted] = keys_.try_emplace(Key{from, to, prefix});
+  if (inserted) {
+    ++key_allocs_;
+    it->second.stats.from = from;
+    it->second.stats.to = to;
+    it->second.stats.prefix = prefix;
+  }
+  return it->second;
+}
+
+void StabilityTracker::close_train(KeyState& k) {
+  const std::int64_t dur = k.last_us - k.first_us;
+  StabilityReport::KeyEntry& s = k.stats;
+  ++s.trains;
+  if (k.len == 1) ++s.singletons;
+  if (k.len > s.max_len) s.max_len = k.len;
+  s.dur_sum_us += dur;
+  s.dur_sq_us2 += static_cast<double>(dur) * static_cast<double>(dur);
+  train_len_hist_.add(static_cast<std::int64_t>(k.len));
+  train_dur_hist_.add(dur);
+  k.open = false;
+  k.len = 0;
+}
+
+void StabilityTracker::record_update(std::uint32_t from, std::uint32_t to,
+                                     std::uint32_t prefix, bool withdrawal,
+                                     std::int64_t t_us) {
+  KeyState& k = slot(from, to, prefix);
+  StabilityReport::KeyEntry& s = k.stats;
+  ++updates_;
+  ++s.updates;
+  if (withdrawal) ++s.withdrawals;
+  if (!k.open) {
+    k.open = true;
+    k.first_us = t_us;
+    k.last_us = t_us;
+    k.len = 1;
+    return;
+  }
+  if (t_us < k.last_us) {
+    throw std::logic_error("stability: updates out of order for one key");
+  }
+  const std::int64_t gap = t_us - k.last_us;
+  if (gap <= gap_us_) {
+    // Same train: a quiet spell of exactly the threshold still extends it.
+    ++s.intra_count;
+    s.intra_sum_us += gap;
+    s.intra_sq_us2 += static_cast<double>(gap) * static_cast<double>(gap);
+    intra_hist_.add(gap);
+    k.last_us = t_us;
+    ++k.len;
+    return;
+  }
+  close_train(k);
+  ++s.gap_count;
+  s.gap_sum_us += gap;
+  if (gap > s.max_gap_us) s.max_gap_us = gap;
+  k.open = true;
+  k.first_us = t_us;
+  k.last_us = t_us;
+  k.len = 1;
+}
+
+void StabilityTracker::record_suppress(std::uint32_t node, std::uint32_t peer,
+                                       std::uint32_t prefix) {
+  ++slot(peer, node, prefix).stats.suppresses;
+}
+
+void StabilityTracker::record_reuse(std::uint32_t node, std::uint32_t peer,
+                                    std::uint32_t prefix) {
+  ++slot(peer, node, prefix).stats.reuses;
+}
+
+void StabilityTracker::finalize() {
+  if (finalized_) return;
+  for (auto& [key, k] : keys_) {
+    if (k.open) close_train(k);
+  }
+  finalized_ = true;
+}
+
+void StabilityTracker::merge(const StabilityTracker& other) {
+  if (!finalized_ || !other.finalized_) {
+    throw std::logic_error("stability: merge requires finalized trackers");
+  }
+  if (gap_us_ != other.gap_us_) {
+    throw std::logic_error("stability: merging trackers with unequal gaps");
+  }
+  for (const auto& [key, ok] : other.keys_) {
+    const auto [it, inserted] = keys_.try_emplace(key);
+    if (inserted) ++key_allocs_;
+    StabilityReport::KeyEntry& s = it->second.stats;
+    const StabilityReport::KeyEntry& o = ok.stats;
+    s.from = o.from;
+    s.to = o.to;
+    s.prefix = o.prefix;
+    s.updates += o.updates;
+    s.withdrawals += o.withdrawals;
+    s.trains += o.trains;
+    s.singletons += o.singletons;
+    s.max_len = std::max(s.max_len, o.max_len);
+    s.dur_sum_us += o.dur_sum_us;
+    s.dur_sq_us2 += o.dur_sq_us2;
+    s.intra_count += o.intra_count;
+    s.intra_sum_us += o.intra_sum_us;
+    s.intra_sq_us2 += o.intra_sq_us2;
+    s.gap_count += o.gap_count;
+    s.gap_sum_us += o.gap_sum_us;
+    s.max_gap_us = std::max(s.max_gap_us, o.max_gap_us);
+    s.suppresses += o.suppresses;
+    s.reuses += o.reuses;
+  }
+  updates_ += other.updates_;
+  train_len_hist_.merge(other.train_len_hist_);
+  train_dur_hist_.merge(other.train_dur_hist_);
+  intra_hist_.merge(other.intra_hist_);
+}
+
+StabilityReport StabilityTracker::report() const {
+  if (!finalized_) {
+    throw std::logic_error("stability: report requires finalize");
+  }
+  StabilityReport r;
+  r.gap_threshold_us = gap_us_;
+  r.keys.reserve(keys_.size());
+  for (const auto& [key, k] : keys_) r.keys.push_back(k.stats);
+  std::sort(r.keys.begin(), r.keys.end(),
+            [](const StabilityReport::KeyEntry& a,
+               const StabilityReport::KeyEntry& b) {
+              if (a.from != b.from) return a.from < b.from;
+              if (a.to != b.to) return a.to < b.to;
+              return a.prefix < b.prefix;
+            });
+  // Run-level totals and per-router rollups fold the *merged* per-key stats
+  // in canonical key order — never shard-local partial sums — so the derived
+  // doubles are identical for every shard count.
+  std::unordered_map<std::uint32_t, StabilityReport::RouterEntry> by_router;
+  for (const StabilityReport::KeyEntry& k : r.keys) {
+    r.updates += k.updates;
+    r.withdrawals += k.withdrawals;
+    r.trains += k.trains;
+    r.singletons += k.singletons;
+    r.max_len = std::max(r.max_len, k.max_len);
+    r.dur_sum_us += k.dur_sum_us;
+    r.dur_sq_us2 += k.dur_sq_us2;
+    r.intra_count += k.intra_count;
+    r.intra_sum_us += k.intra_sum_us;
+    r.intra_sq_us2 += k.intra_sq_us2;
+    r.gap_count += k.gap_count;
+    r.gap_sum_us += k.gap_sum_us;
+    r.max_gap_us = std::max(r.max_gap_us, k.max_gap_us);
+    r.suppresses += k.suppresses;
+    r.reuses += k.reuses;
+    StabilityReport::RouterEntry& e = by_router[k.to];
+    e.router = k.to;
+    e.updates += k.updates;
+    e.withdrawals += k.withdrawals;
+    e.trains += k.trains;
+    e.singletons += k.singletons;
+    e.max_len = std::max(e.max_len, k.max_len);
+    e.suppresses += k.suppresses;
+    e.reuses += k.reuses;
+  }
+  r.routers.reserve(by_router.size());
+  for (const auto& [id, e] : by_router) r.routers.push_back(e);
+  std::sort(r.routers.begin(), r.routers.end(),
+            [](const StabilityReport::RouterEntry& a,
+               const StabilityReport::RouterEntry& b) {
+              return a.router < b.router;
+            });
+  r.train_len_hist = train_len_hist_;
+  r.train_dur_hist = train_dur_hist_;
+  r.intra_hist = intra_hist_;
+  return r;
+}
+
+}  // namespace rfdnet::obs

@@ -1,0 +1,215 @@
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+namespace rfdnet::obs {
+
+/// Fixed-bound integer histogram: `bounds[i]` is the inclusive upper edge of
+/// bucket i, plus one implicit overflow bucket. Counts and the running sum
+/// are integers, so merging two histograms (bucket-wise addition) is exact —
+/// the property that lets per-shard stability accumulators combine into a
+/// byte-identical artifact at any shard count. Values are microseconds for
+/// duration histograms and plain counts for the train-length histogram.
+class FixedHist {
+ public:
+  FixedHist() = default;
+  explicit FixedHist(std::vector<std::int64_t> upper_bounds);
+
+  void add(std::int64_t v);
+  /// Bucket-wise addition; bounds must match (`std::logic_error` otherwise).
+  void merge(const FixedHist& other);
+
+  const std::vector<std::int64_t>& bounds() const { return bounds_; }
+  /// Size `bounds().size() + 1`; the last entry is the overflow bucket.
+  const std::vector<std::uint64_t>& buckets() const { return buckets_; }
+  std::uint64_t count() const { return count_; }
+  std::int64_t sum() const { return sum_; }
+
+ private:
+  std::vector<std::int64_t> bounds_;
+  std::vector<std::uint64_t> buckets_;
+  std::uint64_t count_ = 0;
+  std::int64_t sum_ = 0;
+};
+
+/// Finalized output of a `StabilityTracker`: raw per-key accumulators plus
+/// run-level totals and histograms. Every stored field is either an integer
+/// (microseconds / counts) or a sum of squares accumulated in fixed per-key
+/// event order, so two reports over the same event streams are bit-equal
+/// regardless of shard count; display values (means, variances, scores) are
+/// derived only at serialization time.
+struct StabilityReport {
+  /// One detector's closed accumulators for a directed (from, to, prefix)
+  /// update stream. `from -> to` is the directed-wire component of the
+  /// sharded engine's logical delivery keys, so a key's send stream is
+  /// observed wholly on the sending router's shard.
+  struct KeyEntry {
+    std::uint32_t from = 0;
+    std::uint32_t to = 0;
+    std::uint32_t prefix = 0;
+    std::uint64_t updates = 0;
+    std::uint64_t withdrawals = 0;
+    std::uint64_t trains = 0;
+    std::uint64_t singletons = 0;  ///< trains of exactly one update
+    std::uint64_t max_len = 0;     ///< longest train (updates)
+    std::int64_t dur_sum_us = 0;   ///< summed train durations
+    double dur_sq_us2 = 0.0;       ///< summed squared train durations (us^2)
+    std::uint64_t intra_count = 0; ///< within-train inter-arrivals
+    std::int64_t intra_sum_us = 0;
+    double intra_sq_us2 = 0.0;
+    std::uint64_t gap_count = 0;   ///< between-train quiet gaps
+    std::int64_t gap_sum_us = 0;
+    std::int64_t max_gap_us = 0;
+    std::uint64_t suppresses = 0;  ///< damping suppressions of this entry
+    std::uint64_t reuses = 0;      ///< reuse-timer fires for this entry
+  };
+
+  /// Per-receiving-router rollup (keys grouped by `to`).
+  struct RouterEntry {
+    std::uint32_t router = 0;
+    std::uint64_t updates = 0;
+    std::uint64_t withdrawals = 0;
+    std::uint64_t trains = 0;
+    std::uint64_t singletons = 0;
+    std::uint64_t max_len = 0;
+    std::uint64_t suppresses = 0;
+    std::uint64_t reuses = 0;
+  };
+
+  std::int64_t gap_threshold_us = 0;
+
+  /// Sorted by (from, to, prefix) — canonical order for serialization and
+  /// for folding run-level aggregates.
+  std::vector<KeyEntry> keys;
+  std::vector<RouterEntry> routers;  ///< sorted by router id
+
+  // Run-level totals (exact integer folds over `keys`).
+  std::uint64_t updates = 0;
+  std::uint64_t withdrawals = 0;
+  std::uint64_t trains = 0;
+  std::uint64_t singletons = 0;
+  std::uint64_t max_len = 0;
+  std::int64_t dur_sum_us = 0;
+  double dur_sq_us2 = 0.0;
+  std::uint64_t intra_count = 0;
+  std::int64_t intra_sum_us = 0;
+  double intra_sq_us2 = 0.0;
+  std::uint64_t gap_count = 0;
+  std::int64_t gap_sum_us = 0;
+  std::int64_t max_gap_us = 0;
+  std::uint64_t suppresses = 0;
+  std::uint64_t reuses = 0;
+
+  FixedHist train_len_hist;   ///< train lengths (updates)
+  FixedHist train_dur_hist;   ///< train durations (us)
+  FixedHist intra_hist;       ///< within-train inter-arrivals (us)
+
+  /// Fraction of updates that arrive as isolated single-update trains
+  /// (1.0 = every update isolated, or no updates at all; towards 0.0 =
+  /// bursty). A pure ratio of two integers, so deterministic everywhere.
+  double score() const;
+  /// Mean updates per train (0 when no trains closed).
+  double mean_train_len() const;
+
+  /// Full JSON (aggregates + per-router rollup + per-key detail), doubles at
+  /// %.17g. Byte-deterministic for equal contents.
+  std::string to_json() const;
+  /// Aggregates + per-router rollup only — for scorecards of workloads whose
+  /// key space is too large to serialize (full-table runs).
+  std::string summary_json() const;
+  /// One human-readable line for driver reports.
+  std::string summary_line() const;
+
+  /// Default bucket edges (shared with the reference oracle in tests).
+  static std::vector<std::int64_t> train_len_bounds();
+  static std::vector<std::int64_t> duration_bounds_us();
+  static std::vector<std::int64_t> intra_bounds_us();
+};
+
+/// Constant-memory online update-train detector bank (Papadimitriou &
+/// Cabellos' update-train taxonomy, PAPERS.md): one detector per directed
+/// (from, to, prefix) stream, segmenting the stream into trains at quiet
+/// gaps strictly longer than the threshold (a gap exactly at the threshold
+/// extends the current train) and keeping only streaming moments — counts,
+/// integer sums of durations/inter-arrivals, sums of squares and fixed
+/// histograms. State per key is O(1) and the hot path allocates only when a
+/// key is first seen (warm-up); steady-state updates are a hash lookup plus
+/// integer arithmetic.
+///
+/// Sharded runs keep one tracker per shard: a key's sends all land on the
+/// sending router's shard and its damping events on the owning router's
+/// shard, so `merge` only ever adds disjoint field groups for the same key —
+/// integer/0.0 additions that are exact at any shard count.
+class StabilityTracker {
+ public:
+  explicit StabilityTracker(double gap_threshold_s = kDefaultGapS);
+
+  /// An update was put on the wire `from -> to` at integer-microsecond
+  /// instant `t_us`. Instants per key must be non-decreasing.
+  void record_update(std::uint32_t from, std::uint32_t to,
+                     std::uint32_t prefix, bool withdrawal, std::int64_t t_us);
+  /// Damping at `node` suppressed / reused the RIB-IN entry (peer, prefix):
+  /// folded into the same directed key (peer -> node, prefix) the entry's
+  /// update stream uses.
+  void record_suppress(std::uint32_t node, std::uint32_t peer,
+                       std::uint32_t prefix);
+  void record_reuse(std::uint32_t node, std::uint32_t peer,
+                    std::uint32_t prefix);
+
+  /// Closes every open train. Idempotent; recording afterwards throws.
+  void finalize();
+  /// Folds a finalized tracker into this finalized tracker (exact when the
+  /// per-key send streams are disjoint — the sharded contract).
+  void merge(const StabilityTracker& other);
+  /// Builds the canonical report (keys sorted, aggregates folded in key
+  /// order). Requires `finalize()`.
+  StabilityReport report() const;
+
+  double gap_threshold_s() const;
+  std::int64_t gap_threshold_us() const { return gap_us_; }
+  std::uint64_t key_count() const { return keys_.size(); }
+  /// Keys inserted so far — the only allocating operation; flat after
+  /// warm-up (the constant-memory bound the property tests pin down).
+  std::uint64_t key_allocations() const { return key_allocs_; }
+  std::uint64_t update_count() const { return updates_; }
+  bool finalized() const { return finalized_; }
+
+  static constexpr double kDefaultGapS = 30.0;
+
+ private:
+  struct KeyState {
+    StabilityReport::KeyEntry stats;
+    bool open = false;
+    std::int64_t first_us = 0;
+    std::int64_t last_us = 0;
+    std::uint64_t len = 0;
+  };
+  struct Key {
+    std::uint32_t from;
+    std::uint32_t to;
+    std::uint32_t prefix;
+    bool operator==(const Key& o) const {
+      return from == o.from && to == o.to && prefix == o.prefix;
+    }
+  };
+  struct KeyHash {
+    std::size_t operator()(const Key& k) const;
+  };
+
+  KeyState& slot(std::uint32_t from, std::uint32_t to, std::uint32_t prefix);
+  void close_train(KeyState& k);
+
+  std::int64_t gap_us_;
+  std::unordered_map<Key, KeyState, KeyHash> keys_;
+  std::uint64_t key_allocs_ = 0;
+  std::uint64_t updates_ = 0;
+  FixedHist train_len_hist_{StabilityReport::train_len_bounds()};
+  FixedHist train_dur_hist_{StabilityReport::duration_bounds_us()};
+  FixedHist intra_hist_{StabilityReport::intra_bounds_us()};
+  bool finalized_ = false;
+};
+
+}  // namespace rfdnet::obs

@@ -30,11 +30,15 @@ void Recorder::reset() {
   max_penalty_ = 0.0;
 }
 
-void Recorder::on_send(net::NodeId, net::NodeId, const bgp::UpdateMessage&,
-                       sim::SimTime t) {
+void Recorder::on_send(net::NodeId from, net::NodeId to,
+                       const bgp::UpdateMessage& m, sim::SimTime t) {
   ++sent_;
   if (!first_send_s_) first_send_s_ = t.as_seconds();
   busy_.emplace_back(t.as_seconds(), +1);
+  if (stability_) {
+    stability_->record_update(from, to, m.prefix, m.is_withdrawal(),
+                              t.as_micros());
+  }
 }
 
 void Recorder::on_deliver(net::NodeId from, net::NodeId to,
@@ -72,16 +76,18 @@ void Recorder::on_penalty(net::NodeId node, net::NodeId peer, bgp::Prefix,
   }
 }
 
-void Recorder::on_suppress(net::NodeId node, net::NodeId peer, bgp::Prefix,
+void Recorder::on_suppress(net::NodeId node, net::NodeId peer, bgp::Prefix p,
                            double penalty, sim::SimTime t) {
   suppressions_.push_back(SuppressEvent{t.as_seconds(), node, peer, penalty});
   damped_.add(t.as_seconds(), +1);
+  if (stability_) stability_->record_suppress(node, peer, p);
 }
 
-void Recorder::on_reuse(net::NodeId node, net::NodeId peer, bgp::Prefix,
+void Recorder::on_reuse(net::NodeId node, net::NodeId peer, bgp::Prefix p,
                         bool noisy, sim::SimTime t) {
   reuses_.push_back(ReuseEvent{t.as_seconds(), node, peer, noisy});
   damped_.add(t.as_seconds(), -1);
+  if (stability_) stability_->record_reuse(node, peer, p);
 }
 
 std::optional<double> Recorder::last_delivery_s() const {

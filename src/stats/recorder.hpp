@@ -7,6 +7,7 @@
 #include <vector>
 
 #include "bgp/observer.hpp"
+#include "obs/stability.hpp"
 #include "stats/time_series.hpp"
 
 namespace rfdnet::stats {
@@ -61,6 +62,14 @@ class Recorder final : public bgp::Observer {
   /// Additionally keep every delivered update (full wire audit).
   void record_update_log(bool on) { record_updates_ = on; }
   const std::vector<UpdateRecord>& update_log() const { return update_log_; }
+
+  /// Forward send/suppress/reuse events into a streaming stability tracker
+  /// alongside normal recording (the experiment drivers install one per
+  /// run — or one per shard — when `collect_stability` is on). Unlike the
+  /// recorder's own state the tracker spans the whole run, warm-up
+  /// included, exactly like the JSONL trace it is oracle-checked against:
+  /// `reset()` does not touch it.
+  void set_stability(obs::StabilityTracker* tracker) { stability_ = tracker; }
 
   /// Clears all recorded data (damping/suppression deltas restart at the
   /// *current* suppressed count, which the caller should have reset too).
@@ -139,6 +148,7 @@ class Recorder final : public bgp::Observer {
   bool record_updates_ = false;
   std::vector<UpdateRecord> update_log_;
   double max_penalty_ = 0.0;
+  obs::StabilityTracker* stability_ = nullptr;
 };
 
 }  // namespace rfdnet::stats

@@ -1,0 +1,37 @@
+#pragma once
+
+#include "bgp/observer.hpp"
+#include "obs/stability.hpp"
+
+namespace rfdnet::stats {
+
+/// Minimal observer that feeds a `StabilityTracker` from the router/damping
+/// instrumentation points and records nothing else — the adapter the
+/// full-table drivers attach (one per shard in sharded runs), where a full
+/// `Recorder` would retain per-delivery vectors the 120k-prefix workloads
+/// cannot afford. Times are forwarded as the engine's exact integer
+/// microseconds, which is what makes the trace-replay oracle byte-exact.
+class StabilityProbe final : public bgp::Observer {
+ public:
+  explicit StabilityProbe(obs::StabilityTracker* tracker)
+      : tracker_(tracker) {}
+
+  void on_send(net::NodeId from, net::NodeId to, const bgp::UpdateMessage& m,
+               sim::SimTime t) override {
+    tracker_->record_update(from, to, m.prefix, m.is_withdrawal(),
+                            t.as_micros());
+  }
+  void on_suppress(net::NodeId node, net::NodeId peer, bgp::Prefix p, double,
+                   sim::SimTime) override {
+    tracker_->record_suppress(node, peer, p);
+  }
+  void on_reuse(net::NodeId node, net::NodeId peer, bgp::Prefix p, bool,
+                sim::SimTime) override {
+    tracker_->record_reuse(node, peer, p);
+  }
+
+ private:
+  obs::StabilityTracker* tracker_;
+};
+
+}  // namespace rfdnet::stats

@@ -102,7 +102,21 @@ TEST(ShardedDeterminism, FullTableScorecardsAreShardCountInvariant) {
   }
 }
 
-TEST(ShardedDeterminism, SerialOnlyFeaturesAreRejected) {
+/// Expects `run_sharded_experiment(cfg, 2)` to throw `invalid_argument`
+/// whose message contains `needle` — each serial-only feature must name
+/// itself rather than hide behind a blanket rejection.
+void expect_rejected_with(const ExperimentConfig& cfg,
+                          const std::string& needle) {
+  try {
+    run_sharded_experiment(cfg, 2);
+    FAIL() << "expected rejection mentioning: " << needle;
+  } catch (const std::invalid_argument& e) {
+    EXPECT_NE(std::string(e.what()).find(needle), std::string::npos)
+        << "actual message: " << e.what();
+  }
+}
+
+TEST(ShardedDeterminism, SerialOnlyFeaturesAreRejectedPerFeature) {
   ExperimentConfig base;
   base.topology.kind = TopologySpec::Kind::kMeshTorus;
   base.topology.width = 4;
@@ -113,32 +127,144 @@ TEST(ShardedDeterminism, SerialOnlyFeaturesAreRejected) {
   {
     ExperimentConfig cfg = base;
     cfg.faults.emplace();
-    EXPECT_THROW(run_sharded_experiment(cfg, 2), std::invalid_argument);
+    expect_rejected_with(cfg, "fault injection");
   }
   {
     ExperimentConfig cfg = base;
     cfg.flap_mode = ExperimentConfig::FlapMode::kLinkSession;
-    EXPECT_THROW(run_sharded_experiment(cfg, 2), std::invalid_argument);
+    expect_rejected_with(cfg, "link-session");
+  }
+  {
+    ExperimentConfig cfg = base;
+    cfg.trace_path = "/tmp/unused-trace-path";
+    expect_rejected_with(cfg, "tracing");
   }
   {
     ExperimentConfig cfg = base;
     cfg.collect_spans = true;
-    EXPECT_THROW(run_sharded_experiment(cfg, 2), std::invalid_argument);
+    expect_rejected_with(cfg, "span collection");
   }
   {
+    // The metrics rejection must point at the sharding-legal alternative.
     ExperimentConfig cfg = base;
     cfg.collect_metrics = true;
-    EXPECT_THROW(run_sharded_experiment(cfg, 2), std::invalid_argument);
+    expect_rejected_with(cfg, "metrics collection");
+    expect_rejected_with(cfg, "collect_stability");
   }
   {
     ExperimentConfig cfg = base;
     cfg.profile = true;
-    EXPECT_THROW(run_sharded_experiment(cfg, 2), std::invalid_argument);
+    expect_rejected_with(cfg, "profiling");
   }
   {
     FullTableConfig cfg;
     cfg.shards = -1;
     EXPECT_THROW(run_full_table(cfg), std::invalid_argument);
+  }
+}
+
+TEST(ShardedDeterminism, StabilityIsAcceptedUnderShardsWhileTraceIsNot) {
+  // The regression this pins: relaxing the blanket "metrics rejected in
+  // sharded mode" guard for the stability bundle must not also let the
+  // genuinely serial-only features through.
+  ExperimentConfig cfg;
+  cfg.topology.kind = TopologySpec::Kind::kMeshTorus;
+  cfg.topology.width = 4;
+  cfg.topology.height = 4;
+  cfg.collect_stability = true;
+
+  const ShardedExperimentResult r = run_sharded_experiment(cfg, 4);
+  ASSERT_TRUE(r.base.stability.has_value());
+  EXPECT_GT(r.base.stability->updates, 0u);
+  EXPECT_NE(r.base.metrics.json().find("stability.updates"),
+            std::string::npos);
+
+  ExperimentConfig with_trace = cfg;
+  with_trace.trace_path = "/tmp/unused-trace-path";
+  EXPECT_THROW(run_sharded_experiment(with_trace, 4), std::invalid_argument);
+
+  ExperimentConfig bad_gap = cfg;
+  bad_gap.stability_gap_s = 0.0;
+  EXPECT_THROW(run_sharded_experiment(bad_gap, 4), std::invalid_argument);
+}
+
+TEST(ShardedDeterminism, StabilityMeshScorecardsAreShardCountInvariant) {
+  for (const std::uint64_t seed : {1u, 2u}) {
+    ExperimentConfig cfg;
+    cfg.topology.kind = TopologySpec::Kind::kMeshTorus;
+    cfg.topology.width = 6;
+    cfg.topology.height = 6;
+    cfg.pulses = 2;
+    cfg.seed = seed;
+    cfg.collect_stability = true;
+    expect_invariant_scorecards(cfg);
+  }
+}
+
+TEST(ShardedDeterminism, StabilityInternetScorecardsAreShardCountInvariant) {
+  ExperimentConfig cfg;
+  cfg.topology.kind = TopologySpec::Kind::kInternetLike;
+  cfg.topology.nodes = 208;
+  cfg.pulses = 2;
+  cfg.seed = 7;
+  cfg.collect_stability = true;
+  expect_invariant_scorecards(cfg);
+}
+
+TEST(ShardedDeterminism, StabilityReportAndMetricsAreShardCountInvariant) {
+  // Tighter than the scorecard: the full per-key JSON and the rendered
+  // stability.* metric bundle must be byte-identical across shard counts.
+  ExperimentConfig cfg;
+  cfg.topology.kind = TopologySpec::Kind::kMeshTorus;
+  cfg.topology.width = 6;
+  cfg.topology.height = 6;
+  cfg.pulses = 3;
+  cfg.seed = 5;
+  cfg.collect_stability = true;
+  cfg.stability_gap_s = 10.0;
+
+  std::string report_json;
+  std::string metrics_json;
+  for (const int shards : {1, 2, 4}) {
+    const ShardedExperimentResult r = run_sharded_experiment(cfg, shards);
+    ASSERT_TRUE(r.base.stability.has_value());
+    if (report_json.empty()) {
+      report_json = r.base.stability->to_json();
+      metrics_json = r.base.metrics.json();
+      EXPECT_GT(r.base.stability->trains, 0u);
+    } else {
+      EXPECT_EQ(r.base.stability->to_json(), report_json)
+          << "report diverged at shards=" << shards;
+      EXPECT_EQ(r.base.metrics.json(), metrics_json)
+          << "metrics diverged at shards=" << shards;
+    }
+  }
+}
+
+TEST(ShardedDeterminism, StabilityFullTableScorecardsAreShardCountInvariant) {
+  std::string first;
+  for (const int shards : {1, 2, 4}) {
+    FullTableConfig cfg;
+    cfg.prefixes = 300;
+    cfg.events = 600;
+    cfg.routers = 6;
+    cfg.seed = 3;
+    cfg.samples = 16;
+    cfg.cooldown_s = 60.0;
+    cfg.collect_stability = true;
+    cfg.shards = shards;
+    const FullTableResult res = run_full_table(cfg);
+    ASSERT_TRUE(res.stability.has_value());
+    EXPECT_GT(res.stability->updates, 0u);
+    // Scorecard embeds the aggregate summary; compare the per-key report
+    // too, which the scorecard intentionally omits on this workload.
+    const std::string card =
+        res.scorecard() + "\n" + res.stability->to_json();
+    if (first.empty()) {
+      first = card;
+    } else {
+      ASSERT_EQ(card, first) << "diverged at shards=" << shards;
+    }
   }
 }
 

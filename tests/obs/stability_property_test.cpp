@@ -1,0 +1,257 @@
+// Property tests for the streaming stability tracker (obs/stability):
+//
+//  - constant memory: after every key has been seen once (warm-up), the hot
+//    path performs no allocation at all — pinned by a test-global operator
+//    new counter, not just the tracker's own key_allocations() figure;
+//  - gap-threshold edge cases: back-to-back updates at one instant, a quiet
+//    spell of exactly the threshold (extends the train), threshold plus one
+//    microsecond (splits), and isolated single-update trains;
+//  - determinism and merge: the same stream replayed gives byte-identical
+//    JSON, and per-key-disjoint split streams merged across trackers equal
+//    the single-tracker result byte for byte — the sharding contract.
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cstdint>
+#include <cstdlib>
+#include <new>
+#include <string>
+#include <vector>
+
+#include "obs/stability.hpp"
+#include "sim/random.hpp"
+
+// Test-binary-global allocation counter. The default operator new[] funnels
+// through operator new, so counting here covers the container machinery the
+// tracker uses (unordered_map nodes, bucket arrays, histogram vectors).
+namespace {
+std::atomic<std::uint64_t> g_allocations{0};
+}  // namespace
+
+void* operator new(std::size_t size) {
+  g_allocations.fetch_add(1, std::memory_order_relaxed);
+  if (void* p = std::malloc(size ? size : 1)) return p;
+  throw std::bad_alloc();
+}
+
+void operator delete(void* p) noexcept { std::free(p); }
+void operator delete(void* p, std::size_t) noexcept { std::free(p); }
+
+namespace rfdnet::obs {
+namespace {
+
+constexpr std::int64_t kGapUs = 30'000'000;  // default 30 s threshold
+
+// ---------------------------------------------------------------------------
+// Constant-memory bound.
+
+TEST(StabilityProperty, HotPathAllocationFreeAfterWarmUp) {
+  StabilityTracker tracker;
+  constexpr std::uint32_t kKeys = 128;
+  const auto from_of = [](std::uint32_t k) { return k % 8; };
+  const auto to_of = [](std::uint32_t k) { return (k / 8) % 8; };
+  const auto prefix_of = [](std::uint32_t k) { return k / 64; };
+  // Warm-up: touch every (from, to, prefix) key once.
+  for (std::uint32_t k = 0; k < kKeys; ++k) {
+    tracker.record_update(from_of(k), to_of(k), prefix_of(k), false,
+                          static_cast<std::int64_t>(k));
+  }
+  ASSERT_EQ(tracker.key_count(), kKeys);
+  const std::uint64_t key_allocs = tracker.key_allocations();
+
+  const std::uint64_t heap_before =
+      g_allocations.load(std::memory_order_relaxed);
+  std::int64_t t = 1'000'000;
+  for (int round = 0; round < 500; ++round) {
+    for (std::uint32_t k = 0; k < kKeys; ++k) {
+      // Mix intra-train spacing with train-splitting gaps.
+      t += (round % 7 == 0) ? kGapUs + 1 : 1000;
+      tracker.record_update(from_of(k), to_of(k), prefix_of(k),
+                            (round % 3) == 0, t);
+    }
+    // Damping events key as (peer -> node): this hits warm-up key 7.
+    tracker.record_suppress(to_of(7), from_of(7), prefix_of(7));
+    tracker.record_reuse(to_of(7), from_of(7), prefix_of(7));
+  }
+  const std::uint64_t heap_after =
+      g_allocations.load(std::memory_order_relaxed);
+
+  EXPECT_EQ(heap_after, heap_before)
+      << "steady-state record path allocated";
+  EXPECT_EQ(tracker.key_allocations(), key_allocs);
+  EXPECT_EQ(tracker.update_count(), std::uint64_t{kKeys} + 500u * kKeys);
+}
+
+// ---------------------------------------------------------------------------
+// Gap-threshold segmentation edge cases.
+
+TEST(StabilityProperty, BackToBackUpdatesAtOneInstantShareATrain) {
+  StabilityTracker tracker;
+  tracker.record_update(0, 1, 0, false, 5'000'000);
+  tracker.record_update(0, 1, 0, true, 5'000'000);
+  tracker.record_update(0, 1, 0, false, 5'000'000);
+  tracker.finalize();
+  const StabilityReport r = tracker.report();
+  EXPECT_EQ(r.trains, 1u);
+  EXPECT_EQ(r.singletons, 0u);
+  EXPECT_EQ(r.max_len, 3u);
+  EXPECT_EQ(r.intra_count, 2u);
+  EXPECT_EQ(r.intra_sum_us, 0);
+  EXPECT_EQ(r.dur_sum_us, 0);
+  EXPECT_EQ(r.withdrawals, 1u);
+}
+
+TEST(StabilityProperty, GapOfExactlyTheThresholdExtendsTheTrain) {
+  StabilityTracker tracker;  // default 30 s
+  tracker.record_update(0, 1, 0, false, 0);
+  tracker.record_update(0, 1, 0, false, kGapUs);
+  tracker.finalize();
+  const StabilityReport r = tracker.report();
+  EXPECT_EQ(r.trains, 1u);
+  EXPECT_EQ(r.max_len, 2u);
+  EXPECT_EQ(r.intra_count, 1u);
+  EXPECT_EQ(r.intra_sum_us, kGapUs);
+  EXPECT_EQ(r.gap_count, 0u);
+  EXPECT_EQ(r.dur_sum_us, kGapUs);
+}
+
+TEST(StabilityProperty, GapOneMicrosecondOverTheThresholdSplits) {
+  StabilityTracker tracker;
+  tracker.record_update(0, 1, 0, false, 0);
+  tracker.record_update(0, 1, 0, false, kGapUs + 1);
+  tracker.finalize();
+  const StabilityReport r = tracker.report();
+  EXPECT_EQ(r.trains, 2u);
+  EXPECT_EQ(r.singletons, 2u);
+  EXPECT_EQ(r.max_len, 1u);
+  EXPECT_EQ(r.intra_count, 0u);
+  EXPECT_EQ(r.gap_count, 1u);
+  EXPECT_EQ(r.gap_sum_us, kGapUs + 1);
+  EXPECT_EQ(r.max_gap_us, kGapUs + 1);
+  EXPECT_DOUBLE_EQ(r.score(), 1.0);
+}
+
+TEST(StabilityProperty, IsolatedUpdatesAreSingletonTrains) {
+  StabilityTracker tracker;
+  for (int i = 0; i < 5; ++i) {
+    tracker.record_update(2, 3, 7, false,
+                          static_cast<std::int64_t>(i) * (kGapUs + 1000));
+  }
+  tracker.finalize();
+  const StabilityReport r = tracker.report();
+  EXPECT_EQ(r.updates, 5u);
+  EXPECT_EQ(r.trains, 5u);
+  EXPECT_EQ(r.singletons, 5u);
+  EXPECT_DOUBLE_EQ(r.score(), 1.0);
+  EXPECT_DOUBLE_EQ(r.mean_train_len(), 1.0);
+}
+
+TEST(StabilityProperty, EmptyTrackerScoresAsStable) {
+  StabilityTracker tracker;
+  tracker.finalize();
+  const StabilityReport r = tracker.report();
+  EXPECT_EQ(r.updates, 0u);
+  EXPECT_EQ(r.trains, 0u);
+  EXPECT_DOUBLE_EQ(r.score(), 1.0);
+  EXPECT_DOUBLE_EQ(r.mean_train_len(), 0.0);
+}
+
+TEST(StabilityProperty, ContractViolationsThrow) {
+  StabilityTracker tracker;
+  tracker.record_update(0, 1, 0, false, 1000);
+  EXPECT_THROW(tracker.record_update(0, 1, 0, false, 999), std::logic_error);
+  tracker.finalize();
+  EXPECT_THROW(tracker.record_update(0, 1, 0, false, 2000), std::logic_error);
+  tracker.finalize();  // idempotent
+
+  StabilityTracker other(5.0);
+  other.finalize();
+  EXPECT_THROW(tracker.merge(other), std::logic_error);  // unequal gap
+
+  StabilityTracker open_tracker;
+  EXPECT_THROW(open_tracker.report(), std::logic_error);
+  StabilityTracker target;
+  target.finalize();
+  EXPECT_THROW(target.merge(open_tracker), std::logic_error);
+
+  EXPECT_THROW(StabilityTracker(0.0), std::invalid_argument);
+  EXPECT_THROW(StabilityTracker(-1.0), std::invalid_argument);
+}
+
+// ---------------------------------------------------------------------------
+// Determinism and the sharded merge contract.
+
+struct Event {
+  std::uint32_t from, to, prefix;
+  bool withdrawal;
+  std::int64_t t_us;
+};
+
+/// Random per-key non-decreasing streams interleaved into one global
+/// time-ordered sequence, plus suppress/reuse sprinkles.
+std::vector<Event> random_stream(std::uint64_t seed, int n) {
+  sim::Rng rng(seed);
+  std::vector<Event> events;
+  events.reserve(static_cast<std::size_t>(n));
+  std::int64_t t = 0;
+  for (int i = 0; i < n; ++i) {
+    t += static_cast<std::int64_t>(rng.uniform(0.0, 2.0) * 40'000'000.0);
+    const auto from = static_cast<std::uint32_t>(rng.uniform_int(0, 5));
+    const auto to = static_cast<std::uint32_t>(rng.uniform_int(0, 5));
+    const auto prefix = static_cast<std::uint32_t>(rng.uniform_int(0, 2));
+    events.push_back(Event{from, to, prefix, rng.uniform(0.0, 1.0) < 0.4, t});
+  }
+  return events;
+}
+
+void feed(StabilityTracker& tracker, const std::vector<Event>& events,
+          bool even_keys, bool odd_keys) {
+  for (const Event& e : events) {
+    const bool even = ((e.from ^ e.to ^ e.prefix) & 1u) == 0;
+    if ((even && !even_keys) || (!even && !odd_keys)) continue;
+    tracker.record_update(e.from, e.to, e.prefix, e.withdrawal, e.t_us);
+    if (e.withdrawal) tracker.record_suppress(e.to, e.from, e.prefix);
+  }
+}
+
+TEST(StabilityProperty, ReplayedStreamIsByteIdentical) {
+  for (const std::uint64_t seed : {1ull, 7ull, 42ull}) {
+    const std::vector<Event> events = random_stream(seed, 4000);
+    StabilityTracker a, b;
+    feed(a, events, true, true);
+    feed(b, events, true, true);
+    a.finalize();
+    b.finalize();
+    EXPECT_EQ(a.report().to_json(), b.report().to_json()) << "seed " << seed;
+  }
+}
+
+TEST(StabilityProperty, PerKeySplitStreamsMergeToTheSingleTrackerResult) {
+  for (const std::uint64_t seed : {3ull, 9ull, 21ull}) {
+    const std::vector<Event> events = random_stream(seed, 4000);
+
+    StabilityTracker whole;
+    feed(whole, events, true, true);
+    whole.finalize();
+
+    // The sharded shape: each key's stream lands wholly on one shard.
+    StabilityTracker even, odd;
+    feed(even, events, true, false);
+    feed(odd, events, false, true);
+    even.finalize();
+    odd.finalize();
+
+    StabilityTracker merged;
+    merged.finalize();
+    merged.merge(even);
+    merged.merge(odd);
+
+    EXPECT_EQ(merged.report().to_json(), whole.report().to_json())
+        << "seed " << seed;
+    EXPECT_EQ(merged.update_count(), whole.update_count());
+  }
+}
+
+}  // namespace
+}  // namespace rfdnet::obs
