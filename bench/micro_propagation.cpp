@@ -19,7 +19,9 @@
 #include "bgp/policy.hpp"
 #include "net/graph.hpp"
 #include "net/topology.hpp"
+#include "obs/metrics.hpp"
 #include "obs/stability.hpp"
+#include "obs/telemetry.hpp"
 #include "sim/engine.hpp"
 #include "sim/random.hpp"
 #include "sim/time.hpp"
@@ -102,6 +104,82 @@ BENCHMARK(BM_PropagationMesh100Stability)
     ->Arg(2)
     ->Unit(benchmark::kMillisecond);
 
+// Same flap workload with the --telemetry record path on: a logical
+// RouterMetrics bundle shared by every router (counter increments on the
+// send path) and a TelemetrySampler advanced on a 1 s sim-time grid via
+// `run_sampled`. The caller owns the sampler so its construction and
+// finalize stay out of the timed region; the delta against the plain twin
+// is counter bumps plus grid sampling, gated at < 5% wall overhead by
+// scripts/check.sh --bench.
+std::uint64_t flap_cycles_telemetry(const net::Graph& g,
+                                    const bgp::Policy& policy, int pulses,
+                                    obs::RouterMetrics* rm,
+                                    obs::TelemetrySampler* sampler) {
+  bgp::TimingConfig cfg;
+  sim::Engine engine;
+  sim::Rng rng(1);
+  bgp::BgpNetwork network(g, cfg, policy, engine, rng, nullptr);
+  for (net::NodeId u = 0; u < g.node_count(); ++u) {
+    network.router(u).set_metrics(rm);
+  }
+  const sim::Duration period = sim::Duration::seconds(1.0);
+  sim::SimTime cursor = engine.now() + period;
+  const auto on_sample = [&](sim::SimTime t) {
+    sampler->sample(t.as_micros());
+    cursor = t + period;
+  };
+  // Each phase still runs to quiescence: `run_sampled` drains the heap and
+  // stops at the last event, so the far horizon is never reached and no
+  // trailing idle grid is walked.
+  const sim::SimTime far = engine.now() + sim::Duration::seconds(1e9);
+  network.router(0).originate(0);
+  engine.run_sampled(far, cursor, period, on_sample);
+  for (int k = 0; k < pulses; ++k) {
+    network.router(0).withdraw_origin(0);
+    engine.run_sampled(far, cursor, period, on_sample);
+    network.router(0).originate(0);
+    engine.run_sampled(far, cursor, period, on_sample);
+  }
+  return network.delivered_count();
+}
+
+void BM_PropagationMesh100Telemetry(benchmark::State& state) {
+  static const net::Graph& g = *new net::Graph(net::make_mesh_torus(10, 10));
+  const bgp::ShortestPathPolicy policy;
+  const int pulses = static_cast<int>(state.range(0));
+  std::uint64_t delivered = 0;
+  std::size_t samples = 0;
+  for (auto _ : state) {
+    // Registry/sampler wiring and finalize are one-off per-experiment costs;
+    // keep them out of the timed region so the delta against the plain twin
+    // is purely the record path (as in the stability twins above).
+    state.PauseTiming();
+    obs::Registry registry;
+    obs::RouterMetrics rm = obs::RouterMetrics::bind_logical(registry);
+    obs::TelemetrySampler sampler(sim::Duration::seconds(1.0).as_micros(),
+                                  sim::Duration::seconds(1.0).as_micros());
+    sampler.add_counter("bgp.sends", rm.sends);
+    sampler.add_counter("bgp.withdrawals", rm.withdrawals);
+    sampler.add_counter("bgp.mrai_deferrals", rm.mrai_deferrals);
+    sampler.reserve(4096);
+    state.ResumeTiming();
+    delivered = flap_cycles_telemetry(g, policy, pulses, &rm, &sampler);
+    state.PauseTiming();
+    sampler.finalize();
+    samples = sampler.sample_count();
+    state.ResumeTiming();
+    benchmark::DoNotOptimize(delivered);
+    benchmark::DoNotOptimize(samples);
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(delivered));
+  state.counters["delivered"] = static_cast<double>(delivered);
+  state.counters["samples"] = static_cast<double>(samples);
+}
+BENCHMARK(BM_PropagationMesh100Telemetry)
+    ->Arg(2)
+    ->Unit(benchmark::kMillisecond);
+
 void BM_PropagationInternet208(benchmark::State& state) {
   // The §7 scaling frontier: 208-node Internet-derived graph, no-valley
   // policy (customer/peer/provider export rules exercise the policy path).
@@ -153,6 +231,45 @@ void BM_PropagationInternet208Stability(benchmark::State& state) {
   state.counters["trains"] = static_cast<double>(trains);
 }
 BENCHMARK(BM_PropagationInternet208Stability)
+    ->Arg(2)
+    ->Unit(benchmark::kMillisecond);
+
+void BM_PropagationInternet208Telemetry(benchmark::State& state) {
+  // Telemetry-record-path variant of the Internet-graph workload (see the
+  // mesh telemetry twin above for what the delta measures).
+  static const net::Graph& g = *new net::Graph([] {
+    sim::Rng topo_rng(7);
+    return net::make_internet_like(208, topo_rng);
+  }());
+  const bgp::NoValleyPolicy policy;
+  const int pulses = static_cast<int>(state.range(0));
+  std::uint64_t delivered = 0;
+  std::size_t samples = 0;
+  for (auto _ : state) {
+    state.PauseTiming();
+    obs::Registry registry;
+    obs::RouterMetrics rm = obs::RouterMetrics::bind_logical(registry);
+    obs::TelemetrySampler sampler(sim::Duration::seconds(1.0).as_micros(),
+                                  sim::Duration::seconds(1.0).as_micros());
+    sampler.add_counter("bgp.sends", rm.sends);
+    sampler.add_counter("bgp.withdrawals", rm.withdrawals);
+    sampler.add_counter("bgp.mrai_deferrals", rm.mrai_deferrals);
+    sampler.reserve(4096);
+    state.ResumeTiming();
+    delivered = flap_cycles_telemetry(g, policy, pulses, &rm, &sampler);
+    state.PauseTiming();
+    sampler.finalize();
+    samples = sampler.sample_count();
+    state.ResumeTiming();
+    benchmark::DoNotOptimize(delivered);
+    benchmark::DoNotOptimize(samples);
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(delivered));
+  state.counters["delivered"] = static_cast<double>(delivered);
+  state.counters["samples"] = static_cast<double>(samples);
+}
+BENCHMARK(BM_PropagationInternet208Telemetry)
     ->Arg(2)
     ->Unit(benchmark::kMillisecond);
 

@@ -59,6 +59,19 @@ observability:
   --stability-gap S   quiet-gap threshold in seconds (default 30): an update
                       at most S after its predecessor extends the train, a
                       strictly longer gap starts a new one.
+  --metrics           engine/router/damping metric bundles; prints the
+                      registry JSON. Works with --shards: the logical
+                      counters merge exactly (partition-dependent gauges
+                      stay serial-only and are omitted from sharded runs).
+  --telemetry S       sample metric counters and residency probes every S
+                      simulated seconds (deterministic series; --shards
+                      produces byte-identical output for every shard count).
+                      The end-of-run summary is folded into --json output.
+  --telemetry-out F   write the telemetry series as JSONL to F ('-' =
+                      stdout); requires --telemetry.
+  --heartbeat S       wall-clock progress line to stderr every ~S real
+                      seconds (sim-time watermark, events/s, barrier stats);
+                      volatile, never part of any artifact.
 
 misc:
   --seed N            RNG seed (default 1)
@@ -78,10 +91,11 @@ misc:
 
 int main(int argc, char** argv) {
   core::ArgParser flags(
-      {"rcn", "csv", "json", "series", "stability", "help"},
+      {"rcn", "csv", "json", "series", "stability", "metrics", "help"},
       {"topology", "width", "height", "nodes", "topology-file", "pulses",
        "interval", "params", "deployment", "granularity", "policy", "mrai",
-       "seed", "shards", "isp", "stability-gap"});
+       "seed", "shards", "isp", "stability-gap", "telemetry", "telemetry-out",
+       "heartbeat"});
   if (!flags.parse(argc, argv)) {
     std::cerr << flags.error() << "\n";
     return 2;
@@ -89,6 +103,12 @@ int main(int argc, char** argv) {
   if (flags.has("help")) {
     usage();
     return 0;
+  }
+  // Fail fast on malformed obs flags (bad periods, --telemetry-out without
+  // --telemetry), before building anything.
+  if (const auto err = core::validate_obs_args(argc, argv)) {
+    std::cerr << "error: " << *err << "\n";
+    return 2;
   }
   const auto get = [&flags](const std::string& key, const std::string& dflt) {
     return flags.get(key, dflt);
@@ -151,6 +171,9 @@ int main(int argc, char** argv) {
   if (flags.has("stability-gap")) {
     cfg.stability_gap_s = flags.get_double("stability-gap", 30.0);
   }
+  cfg.collect_metrics = flags.has("metrics");
+  cfg.telemetry_period_s = flags.get_double("telemetry", 0.0);
+  cfg.heartbeat_s = flags.get_double("heartbeat", 0.0);
   if (flags.has("isp")) {
     cfg.isp = static_cast<net::NodeId>(flags.get_int("isp", 0));
   }
@@ -198,6 +221,23 @@ int main(int argc, char** argv) {
         core::FlapPattern{cfg.pulses, cfg.flap_interval_s}, res.warmup_tup_s);
   }
 
+  // Telemetry series: written wherever --telemetry-out points, in every
+  // output mode ('-' = stdout). Without --telemetry-out only the summary is
+  // reported (folded into --json / the report footer).
+  if (cfg.telemetry_period_s > 0 && flags.has("telemetry-out")) {
+    const std::string out_path = flags.get("telemetry-out");
+    if (out_path == "-") {
+      std::cout << res.telemetry_jsonl;
+    } else {
+      std::ofstream out(out_path);
+      if (!out) {
+        std::cerr << "cannot write " << out_path << "\n";
+        return 1;
+      }
+      out << res.telemetry_jsonl;
+    }
+  }
+
   if (flags.has("json")) {
     core::write_result_json(std::cout, res);
     return 0;
@@ -236,6 +276,16 @@ int main(int argc, char** argv) {
 
   if (res.stability) {
     std::cout << "\nstability: " << res.stability->summary_line() << "\n";
+  }
+
+  if (flags.has("metrics")) {
+    std::cout << "\nmetrics: ";
+    res.metrics.write_json(std::cout);
+    std::cout << "\n";
+  }
+
+  if (!res.telemetry_summary.empty()) {
+    std::cout << "\ntelemetry: " << res.telemetry_summary << "\n";
   }
 
   if (shards >= 1) {

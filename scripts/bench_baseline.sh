@@ -14,9 +14,11 @@
 #   }
 #
 # The micro_propagation section includes the BM_Propagation*Stability twins
-# (same workloads with the --stability train detectors attached); check.sh
-# --bench additionally gates each twin's overhead against its plain variant
-# within the current run.
+# (same workloads with the --stability train detectors attached) and the
+# BM_Propagation*Telemetry twins (logical counter bundles plus the
+# TelemetrySampler advanced on a 1 s sim-time grid); check.sh --bench
+# additionally gates each twin's overhead against its plain variant within
+# the current run.
 #
 # The micro_engine numbers are wall-clock and vary with the machine; the
 # fig07 profile counts and the ext_full_table scorecard are byte-

@@ -76,14 +76,18 @@ if base_ft and cur_ft:
     else:
         print("  ok   ext_full_table/scorecard: byte-identical to baseline")
 
-# Stability-analytics overhead gate: the --stability probe variants of the
-# propagation microbenchmarks must stay cheap relative to their plain twins
-# *within the current run* (target < 5% wall overhead; gated at the same
-# jitter-tolerant LIMIT as the baseline comparisons so a noisy shared
-# machine doesn't flake the pass).
-for plain, probed in (
-    ("BM_PropagationMesh100/2", "BM_PropagationMesh100Stability/2"),
-    ("BM_PropagationInternet208/2", "BM_PropagationInternet208Stability/2"),
+# Observability overhead gates: the --stability probe and --telemetry
+# record-path variants of the propagation microbenchmarks must stay cheap
+# relative to their plain twins *within the current run* (target < 5% wall
+# overhead; gated at the same jitter-tolerant LIMIT as the baseline
+# comparisons so a noisy shared machine doesn't flake the pass).
+for kind, plain, probed in (
+    ("stability", "BM_PropagationMesh100/2", "BM_PropagationMesh100Stability/2"),
+    ("stability", "BM_PropagationInternet208/2",
+     "BM_PropagationInternet208Stability/2"),
+    ("telemetry", "BM_PropagationMesh100/2", "BM_PropagationMesh100Telemetry/2"),
+    ("telemetry", "BM_PropagationInternet208/2",
+     "BM_PropagationInternet208Telemetry/2"),
 ):
     p = cur.get("micro_propagation", {}).get(plain)
     s = cur.get("micro_propagation", {}).get(probed)
@@ -93,9 +97,9 @@ for plain, probed in (
         continue
     ratio = s["real_time"] / p["real_time"]
     marker = "FAIL" if ratio > LIMIT else "ok"
-    print(f"  {marker:4} stability overhead {probed}: {ratio:.2f}x plain")
+    print(f"  {marker:4} {kind} overhead {probed}: {ratio:.2f}x plain")
     if ratio > LIMIT:
-        failed.append(f"stability overhead {probed}: {ratio:.2f}x plain")
+        failed.append(f"{kind} overhead {probed}: {ratio:.2f}x plain")
 
 base_sh = base.get("micro_shard_scorecard")
 cur_sh = cur.get("micro_shard_scorecard")
@@ -142,15 +146,16 @@ ctest --test-dir build-asan --output-on-failure
 # written by workers, merged canonically afterwards) must be race-free; the
 # fault-storm sweep adds per-trial injectors and trace files to that path,
 # the sharded-engine determinism suite exercises the barrier/inbox
-# synchronization under the real BGP workload, and the stability property
-# suite pins the per-shard tracker merge contract.
+# synchronization under the real BGP workload, and the stability/telemetry
+# property suites pin the per-shard tracker and sampler merge contracts.
 # ASan and TSan cannot share a build, hence the third tree; scope it to the
 # threaded suites to keep the pass quick.
 cmake -B build-tsan -G Ninja -DCMAKE_BUILD_TYPE=Debug \
   -DCMAKE_CXX_FLAGS="-fsanitize=thread -fno-sanitize-recover=all"
-cmake --build build-tsan --target core_tests property_tests stability_tests
+cmake --build build-tsan --target core_tests property_tests stability_tests \
+  telemetry_tests
 ctest --test-dir build-tsan --output-on-failure \
-  -R 'ParallelRunner|SweepDeterminism|ObsDeterminism|FaultSweepOracle|ShardedDeterminism|StabilityProperty'
+  -R 'ParallelRunner|SweepDeterminism|ObsDeterminism|FaultSweepOracle|ShardedDeterminism|StabilityProperty|TelemetryProperty|TelemetryOracle'
 
 for b in build/bench/*; do
   echo "===== $(basename "$b") ====="

@@ -263,7 +263,9 @@ bool BgpRouter::process(Prefix p, const std::optional<rcn::RootCause>& rc) {
   return changed;
 }
 
-void BgpRouter::maybe_reclaim(Prefix p) {
+void BgpRouter::maybe_reclaim(Prefix p) { maybe_reclaim(p, engine_.now()); }
+
+void BgpRouter::maybe_reclaim(Prefix p, sim::SimTime now) {
   if (originated_.contains(p)) return;
   if (const LocRibEntry* loc = loc_rib_.find(p); loc != nullptr && loc->best) {
     return;
@@ -283,7 +285,6 @@ void BgpRouter::maybe_reclaim(Prefix p) {
       if (pacing_horizon < oe.mrai_ready) pacing_horizon = oe.mrai_ready;
     }
   }
-  const sim::SimTime now = engine_.now();
   if (now < pacing_horizon) {
     // Everything about the prefix is inert except the MRAI rate limit, which
     // a re-announcement inside the window must still honor. Park the prefix
@@ -302,8 +303,9 @@ void BgpRouter::maybe_reclaim(Prefix p) {
   out_.erase(p);
 }
 
-void BgpRouter::sweep_reclaim() {
-  const sim::SimTime now = engine_.now();
+void BgpRouter::sweep_reclaim() { sweep_reclaim(engine_.now()); }
+
+void BgpRouter::sweep_reclaim(sim::SimTime now) {
   while (!reclaim_queue_.empty() && !(now < reclaim_queue_.front().first)) {
     const Prefix p = reclaim_queue_.front().second;
     std::pop_heap(reclaim_queue_.begin(), reclaim_queue_.end(),
@@ -312,8 +314,8 @@ void BgpRouter::sweep_reclaim() {
     reclaim_parked_.erase(p);
     // Re-evaluates from scratch: the prefix may have come alive again since
     // parking (then this is a no-op) or picked up a later horizon (then it
-    // re-parks itself).
-    maybe_reclaim(p);
+    // re-parks itself, judged at `now`).
+    maybe_reclaim(p, now);
   }
 }
 
@@ -349,7 +351,9 @@ std::optional<Route> BgpRouter::filter_export(int slot, const LocRibEntry& loc,
 void BgpRouter::note_pending(int delta, sim::SimTime t) {
   pending_depth_ += delta;
   RFDNET_INVARIANT(pending_depth_ >= 0, "router: pending depth negative");
-  if (metrics_) metrics_->pending->add(delta);
+  // Logical bundles (bind_logical) leave the partition-dependent pending
+  // gauge null.
+  if (metrics_ && metrics_->pending) metrics_->pending->add(delta);
   if (observer_) observer_->on_pending_change(id_, delta, t);
 }
 

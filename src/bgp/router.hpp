@@ -125,6 +125,12 @@ class BgpRouter {
   /// reading `residency` so rows parked after the network's last activity
   /// don't linger in the report. O(1) when nothing is parked.
   void sweep_reclaim();
+  /// Same sweep judged at an explicit instant instead of the engine clock.
+  /// The telemetry probes use this: at a barrier-aligned sample instant a
+  /// shard's own clock sits at its last executed event — a partition-
+  /// dependent value — while the grid instant is workload-pure. Safe for any
+  /// `now` at or after the last executed event on this router's engine.
+  void sweep_reclaim(sim::SimTime now);
 
   /// Attaches (or detaches, with nullptr) a metrics bundle / trace sink.
   /// Typically one bundle is shared by every router of a network, so the
@@ -214,6 +220,9 @@ class BgpRouter {
   /// bookkeeping and must not perturb `Engine::pending()` or run-to-empty
   /// clock behavior.
   void maybe_reclaim(Prefix p);
+  /// The same check with the park/erase decision judged at an explicit
+  /// instant (see the public `sweep_reclaim(SimTime)` overload).
+  void maybe_reclaim(Prefix p, sim::SimTime now);
   /// Single bookkeeping point for pending-depth changes: keeps the local
   /// counter, the metrics gauge and the observer in lockstep.
   void note_pending(int delta, sim::SimTime t);

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <atomic>
+#include <cmath>
 #include <cstdlib>
 #include <fstream>
 #include <iostream>
@@ -143,12 +144,25 @@ std::optional<std::string> flag_value(const std::vector<std::string>& args,
   return std::nullopt;
 }
 
+/// Parses a strictly positive, finite double consuming the whole token.
+bool parse_positive(const std::string& v, double* out) {
+  if (v.empty()) return false;
+  char* end = nullptr;
+  const double d = std::strtod(v.c_str(), &end);
+  if (end != v.c_str() + v.size()) return false;
+  if (!std::isfinite(d) || d <= 0) return false;
+  *out = d;
+  return true;
+}
+
 }  // namespace
 
 std::optional<std::string> validate_obs_args(
     const std::vector<std::string>& args) {
   bool have_trace = false;
   bool have_format = false;
+  bool have_telemetry = false;
+  bool have_telemetry_out = false;
   for (std::size_t i = 0; i < args.size(); ++i) {
     bool missing = false;
     if (auto v = flag_value(args, i, "trace", missing)) {
@@ -169,9 +183,45 @@ std::optional<std::string> validate_obs_args(
     }
     if (auto v = flag_value(args, i, "profile", missing)) continue;
     if (missing) return "missing value for --profile (expected a path or '-')";
+    if (auto v = flag_value(args, i, "telemetry", missing)) {
+      have_telemetry = true;
+      double period = 0;
+      if (!parse_positive(*v, &period)) {
+        return "invalid --telemetry '" + *v +
+               "' (expected a positive period in seconds)";
+      }
+      // The sim-time grid lives on integer microseconds; a finer period
+      // would round to a zero step.
+      if (period < 1e-6) return "--telemetry period must be >= 1 microsecond";
+      continue;
+    }
+    if (missing) {
+      return "missing value for --telemetry (expected a period in seconds)";
+    }
+    if (auto v = flag_value(args, i, "telemetry-out", missing)) {
+      have_telemetry_out = true;
+      continue;
+    }
+    if (missing) {
+      return "missing value for --telemetry-out (expected a path or '-')";
+    }
+    if (auto v = flag_value(args, i, "heartbeat", missing)) {
+      double period = 0;
+      if (!parse_positive(*v, &period)) {
+        return "invalid --heartbeat '" + *v +
+               "' (expected a positive period in seconds)";
+      }
+      continue;
+    }
+    if (missing) {
+      return "missing value for --heartbeat (expected a period in seconds)";
+    }
   }
   if (have_format && !have_trace) {
     return "--trace-format requires --trace (nothing would be written)";
+  }
+  if (have_telemetry_out && !have_telemetry) {
+    return "--telemetry-out requires --telemetry (nothing would be written)";
   }
   return std::nullopt;
 }

@@ -46,11 +46,15 @@ class ArgParser {
 };
 
 /// Validates the observability flags in argv without consuming them:
-/// `--trace PATH`, `--trace-format jsonl|chrome` and `--profile PATH` must
-/// each carry a value, the format must parse, and `--trace-format` without
-/// `--trace` is rejected (it would silently do nothing). Returns the error
-/// message, or nullopt when the combination is valid. `ObsScope` calls this
-/// up front so a bad flag fails fast instead of after a long run.
+/// `--trace PATH`, `--trace-format jsonl|chrome`, `--profile PATH`,
+/// `--telemetry SECS`, `--telemetry-out PATH` and `--heartbeat SECS` must
+/// each carry a value, formats and periods must parse (periods strictly
+/// positive; the telemetry period at least one microsecond — the sim-time
+/// grid), and `--trace-format` without `--trace` or `--telemetry-out`
+/// without `--telemetry` is rejected (it would silently do nothing).
+/// Returns the error message, or nullopt when the combination is valid.
+/// `ObsScope` calls this up front so a bad flag fails fast instead of after
+/// a long run.
 std::optional<std::string> validate_obs_args(
     const std::vector<std::string>& args);
 std::optional<std::string> validate_obs_args(int argc,

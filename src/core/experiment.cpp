@@ -8,16 +8,21 @@
 
 #include <fstream>
 
+#include <chrono>
+#include <cstdio>
+
 #include "bgp/network.hpp"
 #include "bgp/path_table.hpp"
 #include "bgp/policy.hpp"
 #include "core/cli.hpp"
+#include "core/config_validate.hpp"
 #include "fault/injector.hpp"
 #include "obs/chrome_trace.hpp"
 #include "obs/invariant.hpp"
 #include "obs/phase_timeline.hpp"
 #include "obs/span.hpp"
 #include "obs/trace.hpp"
+#include "obs/telemetry.hpp"
 #include "rcn/root_cause.hpp"
 #include "rfd/damping.hpp"
 #include "sim/engine.hpp"
@@ -102,9 +107,9 @@ ExperimentResult run_experiment(const ExperimentConfig& cfg) {
   if (cfg.damping) cfg.damping->validate();
   if (cfg.damping_alt) cfg.damping_alt->validate();
   cfg.timing.validate();
-  if (cfg.collect_stability && !(cfg.stability_gap_s > 0)) {
-    throw std::invalid_argument("experiment: stability gap must be > 0");
-  }
+  validate_stability_gap(cfg.collect_stability, cfg.stability_gap_s,
+                         "experiment");
+  validate_telemetry(cfg.telemetry_period_s, cfg.heartbeat_s, "experiment");
 
   sim::Rng rng(cfg.seed);
   sim::Rng topo_rng = rng.split();
@@ -140,6 +145,7 @@ ExperimentResult run_experiment(const ExperimentConfig& cfg) {
   std::unique_ptr<obs::TraceSink> trace;
   const bool global_metrics = obs_runtime::metrics_enabled();
   const bool collect_metrics = cfg.collect_metrics || global_metrics;
+  const bool telemetry_on = cfg.telemetry_period_s > 0;
   const std::optional<std::string> trace_path =
       cfg.trace_path ? cfg.trace_path : obs_runtime::next_trace_path();
   const obs::TraceFormat trace_format =
@@ -148,6 +154,16 @@ ExperimentResult run_experiment(const ExperimentConfig& cfg) {
     engine_metrics = obs::EngineMetrics::bind(registry);
     router_metrics = obs::RouterMetrics::bind(registry);
     damping_metrics = obs::DampingMetrics::bind(registry);
+    engine.set_metrics(&engine_metrics);
+  } else if (telemetry_on) {
+    // Telemetry alone only needs the logical (shard-mergeable) counters;
+    // the partition-dependent gauges/histograms stay null and every
+    // instrumented hot path null-checks them. The registry get-or-creates
+    // by name, so turning `collect_metrics` on later in a sweep upgrades
+    // these same counters in place.
+    engine_metrics = obs::EngineMetrics::bind_logical(registry);
+    router_metrics = obs::RouterMetrics::bind_logical(registry);
+    damping_metrics = obs::DampingMetrics::bind_logical(registry);
     engine.set_metrics(&engine_metrics);
   }
   // A chrome-format trace is written whole at the end of the run (it is one
@@ -174,6 +190,29 @@ ExperimentResult run_experiment(const ExperimentConfig& cfg) {
   sim::EngineProfile profile;
   const bool profiling = cfg.profile || obs_runtime::profile_enabled();
   if (profiling) engine.set_profile(&profile);
+
+  // Wall-clock heartbeat: a rate-limited progress line to stderr, polled by
+  // the engine every 1024 executed events. Volatile by construction (wall
+  // rates), so it never reaches a deterministic artifact.
+  if (cfg.heartbeat_s > 0) {
+    engine.set_heartbeat(
+        [&engine, hb = obs::Heartbeat(cfg.heartbeat_s),
+         prev_wall = std::chrono::steady_clock::now(),
+         prev_events = std::uint64_t{0}]() mutable {
+          if (!hb.due()) return;
+          const auto wall = std::chrono::steady_clock::now();
+          const std::uint64_t events = engine.executed();
+          const double dt =
+              std::chrono::duration<double>(wall - prev_wall).count();
+          const double rate =
+              dt > 0 ? static_cast<double>(events - prev_events) / dt : 0.0;
+          std::fprintf(stderr, "heartbeat: sim=%.3fs events=%llu (%.0f/s)\n",
+                       engine.now().as_seconds(),
+                       static_cast<unsigned long long>(events), rate);
+          prev_wall = wall;
+          prev_events = events;
+        });
+  }
 
   // Probe: a router `probe_distance` hops from the origin (Fig. 7 uses 7),
   // capped at the graph's reach; deterministic pick (smallest id).
@@ -212,7 +251,9 @@ ExperimentResult run_experiment(const ExperimentConfig& cfg) {
                           cfg.rib_backend);
   if (spans) network.set_span_tracer(spans.get());
   for (net::NodeId u = 0; u < graph.node_count(); ++u) {
-    if (collect_metrics) network.router(u).set_metrics(&router_metrics);
+    if (collect_metrics || telemetry_on) {
+      network.router(u).set_metrics(&router_metrics);
+    }
     if (trace) network.router(u).set_trace(trace.get());
   }
 
@@ -237,7 +278,7 @@ ExperimentResult run_experiment(const ExperimentConfig& cfg) {
           &recorder, cfg.rib_backend);
       if (cfg.rcn) mod->enable_rcn();
       if (cfg.selective) mod->enable_selective();
-      if (collect_metrics) mod->set_metrics(&damping_metrics);
+      if (collect_metrics || telemetry_on) mod->set_metrics(&damping_metrics);
       if (trace) mod->set_trace(trace.get());
       if (spans) mod->set_span_tracer(spans.get());
       if (timeline) mod->set_phase_timeline(timeline.get());
@@ -274,6 +315,76 @@ ExperimentResult run_experiment(const ExperimentConfig& cfg) {
     for (auto& d : dampers) d->set_charge_deadline(deadline);
   }
   const double base_s = t0.as_seconds();
+
+  // --- Telemetry sampler over the measured phase (grid t0 + k*period).
+  // With explicit telemetry the sampler carries the logical counter bundles
+  // plus level probes and is exported as JSONL; with `collect_metrics` alone
+  // it runs as an internal peak recorder (residency/occupancy probes only,
+  // at the reporting bin width) so the `*_peak` gauges can hold true in-run
+  // peaks instead of the end-of-run snapshot.
+  std::unique_ptr<obs::TelemetrySampler> telemetry;
+  const sim::Duration telemetry_period = sim::Duration::seconds(
+      telemetry_on ? cfg.telemetry_period_s : cfg.bin_width_s);
+  // Grid instant of the sample being taken; the time-evaluating probes read
+  // this instead of the engine clock, which sits at the last executed event
+  // (strictly before the grid instant when the instant falls in an idle gap).
+  sim::SimTime sample_now = t0;
+  if (telemetry_on || collect_metrics) {
+    telemetry = std::make_unique<obs::TelemetrySampler>(
+        (t0 + telemetry_period).as_micros(), telemetry_period.as_micros());
+    if (telemetry_on) {
+      telemetry->add_counter("engine.fired", engine_metrics.fired);
+      // Serial-only series: the live event count is partition-dependent
+      // mid-run, so the sharded driver omits it (and the trace oracle cannot
+      // reconstruct it — trace rows record the pre-handler count).
+      telemetry->add_probe("engine.pending", [&engine] {
+        return static_cast<std::int64_t>(engine.pending());
+      });
+      telemetry->add_counter("bgp.sends", router_metrics.sends);
+      telemetry->add_counter("bgp.withdrawals", router_metrics.withdrawals);
+      telemetry->add_counter("bgp.mrai_deferrals",
+                             router_metrics.mrai_deferrals);
+      telemetry->add_counter("rfd.charges", damping_metrics.charges);
+      telemetry->add_counter("rfd.suppressions", damping_metrics.suppressions);
+      telemetry->add_counter("rfd.reuses", damping_metrics.reuses);
+      telemetry->add_counter("rfd.reschedules", damping_metrics.reschedules);
+      telemetry->add_probe("rfd.damped_links",
+                           [&recorder] { return recorder.damped_level(); });
+      if (stability) {
+        obs::StabilityTracker* const st = stability.get();
+        telemetry->add_probe("stability.updates", [st] {
+          return static_cast<std::int64_t>(st->update_count());
+        });
+        telemetry->add_probe("stability.trains", [st] {
+          return static_cast<std::int64_t>(st->train_count());
+        });
+      }
+    }
+    telemetry->add_probe("bgp.rib_resident", [&network, &graph, &sample_now] {
+      std::size_t rows = 0;
+      for (net::NodeId u = 0; u < graph.node_count(); ++u) {
+        network.router(u).sweep_reclaim(sample_now);
+        rows += network.router(u).residency().total();
+      }
+      return static_cast<std::int64_t>(rows);
+    });
+    telemetry->add_probe("rfd.tracked_entries", [&dampers] {
+      std::size_t n = 0;
+      for (const auto& d : dampers) n += d->tracked_entries();
+      return static_cast<std::int64_t>(n);
+    });
+    telemetry->add_probe("rfd.active_entries", [&dampers, &sample_now] {
+      std::size_t n = 0;
+      for (const auto& d : dampers) n += d->active_entries(sample_now);
+      return static_cast<std::int64_t>(n);
+    });
+    // Runs usually drain long before the safety horizon; cap the up-front
+    // reservation and let the vector grow in the (rare) long tail.
+    const double horizon_samples =
+        cfg.max_sim_s / telemetry_period.as_seconds();
+    telemetry->reserve(
+        static_cast<std::size_t>(std::min(horizon_samples, 65536.0)) + 1);
+  }
 
   // Fault workload: materialized and armed only when configured, and fed
   // from PRNG streams split off here so fault-free runs keep the exact draw
@@ -388,7 +499,16 @@ ExperimentResult run_experiment(const ExperimentConfig& cfg) {
   res.stop_time_s =
       res.flap_schedule.empty() ? 0.0 : res.flap_schedule.back().first;
 
-  engine.run(t0 + sim::Duration::seconds(cfg.max_sim_s));
+  const sim::SimTime horizon = t0 + sim::Duration::seconds(cfg.max_sim_s);
+  if (telemetry) {
+    engine.run_sampled(horizon, t0 + telemetry_period, telemetry_period,
+                       [&telemetry, &sample_now](sim::SimTime t) {
+                         sample_now = t;
+                         telemetry->sample(t.as_micros());
+                       });
+  } else {
+    engine.run(horizon);
+  }
   res.hit_horizon = engine.pending() > 0;
 
   // End-of-run audit (debug builds / tests): the run must leave every layer
@@ -555,6 +675,17 @@ ExperimentResult run_experiment(const ExperimentConfig& cfg) {
   }
 
   // --- Emit the artifacts. ---
+  if (telemetry) {
+    telemetry->finalize();
+    // Serial `run_sampled` never samples past the last executed event, so
+    // this truncation is a no-op here — it mirrors the sharded driver, which
+    // can sample trailing grid instants inside its final window.
+    telemetry->truncate_after(engine.now().as_micros());
+    if (telemetry_on) {
+      res.telemetry_jsonl = telemetry->jsonl();
+      res.telemetry_summary = telemetry->summary_json();
+    }
+  }
   if (collect_metrics) {
     // End-of-run residency snapshot: resident per-prefix RIB rows across
     // all routers (post-reclamation) and damping entry counts. Gauges, so
@@ -573,6 +704,18 @@ ExperimentResult run_experiment(const ExperimentConfig& cfg) {
     router_metrics.rib_resident->set(static_cast<std::int64_t>(rib_rows));
     damping_metrics.tracked->set(static_cast<std::int64_t>(tracked));
     damping_metrics.active->set(static_cast<std::int64_t>(active));
+    // True in-run peaks from the sampler grid, folded with the final
+    // snapshot in case the run peaked after the last grid instant — the
+    // end-of-run-only residency fix.
+    router_metrics.rib_resident_peak->set(
+        std::max(telemetry->peak("bgp.rib_resident"),
+                 static_cast<std::int64_t>(rib_rows)));
+    damping_metrics.tracked_peak->set(
+        std::max(telemetry->peak("rfd.tracked_entries"),
+                 static_cast<std::int64_t>(tracked)));
+    damping_metrics.active_peak->set(
+        std::max(telemetry->peak("rfd.active_entries"),
+                 static_cast<std::int64_t>(active)));
   }
   if (stability) {
     stability->finalize();

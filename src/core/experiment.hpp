@@ -166,6 +166,20 @@ struct ExperimentConfig {
   /// Collect the per-event-kind engine dispatch profile into
   /// `ExperimentResult::profile`; off by default (zero hot-path cost).
   bool profile = false;
+  /// Live telemetry: snapshot the logical metric counters (engine fires,
+  /// update/withdrawal counts, damping charges/suppressions/reuses) plus
+  /// residency and damping-occupancy probes every this many simulated
+  /// seconds, from the first flap on, into
+  /// `ExperimentResult::telemetry_jsonl` (0 = off). Registers the logical
+  /// (shard-mergeable) counter bundles even without `collect_metrics`, and —
+  /// like `collect_stability` — is legal under `--shards`: per-shard
+  /// samplers over the same grid merge exactly, so the series is
+  /// byte-identical at any shard count.
+  double telemetry_period_s = 0.0;
+  /// Wall-clock heartbeat period in seconds (0 = off): progress lines (sim
+  /// time watermark, events/s, per-shard barrier stats) to stderr. Volatile
+  /// by construction — never part of a deterministic artifact.
+  double heartbeat_s = 0.0;
 };
 
 /// Everything the figures/tables consume, with all times re-based so that
@@ -269,6 +283,14 @@ struct ExperimentResult {
   /// Engine dispatch profile for the whole run (warm-up included); all-zero
   /// unless `ExperimentConfig::profile` was set.
   sim::EngineProfile profile;
+
+  /// Telemetry series of the measured phase as JSONL rows
+  /// (`{"t":..,"name":..,"value":..}`, raw engine-clock seconds) and its
+  /// compact summary object; empty unless
+  /// `ExperimentConfig::telemetry_period_s > 0`. Byte-identical across shard
+  /// counts for the shard-legal series set.
+  std::string telemetry_jsonl;
+  std::string telemetry_summary;
 };
 
 /// Builds the network, warms it up, applies the flap workload and collects

@@ -122,6 +122,9 @@ void write_result_json(std::ostream& os, const ExperimentResult& res) {
   if (res.stability) {
     os << ",\n  \"stability\": " << res.stability->summary_json();
   }
+  if (!res.telemetry_summary.empty()) {
+    os << ",\n  \"telemetry\": " << res.telemetry_summary;
+  }
   os << "\n}\n";
 }
 

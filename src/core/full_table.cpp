@@ -1,7 +1,10 @@
 #include "core/full_table.hpp"
 
+#include <algorithm>
 #include <chrono>
 #include <cmath>
+#include <cstdint>
+#include <cstdio>
 #include <functional>
 #include <memory>
 #include <sstream>
@@ -10,8 +13,10 @@
 
 #include "bgp/network.hpp"
 #include "bgp/policy.hpp"
+#include "core/config_validate.hpp"
 #include "core/sharded.hpp"
 #include "net/topology.hpp"
+#include "obs/telemetry.hpp"
 #include "rfd/damping.hpp"
 #include "sim/engine.hpp"
 #include "stats/stability_probe.hpp"
@@ -33,9 +38,8 @@ void FullTableConfig::validate() const {
     throw std::invalid_argument("full-table: alpha must be finite and >= 0");
   }
   if (samples < 1) throw std::invalid_argument("full-table: samples >= 1");
-  if (collect_stability && !(stability_gap_s > 0)) {
-    throw std::invalid_argument("full-table: stability gap must be > 0");
-  }
+  validate_stability_gap(collect_stability, stability_gap_s, "full-table");
+  validate_telemetry(telemetry_period_s, heartbeat_s, "full-table");
   if (cooldown_s < 0) throw std::invalid_argument("full-table: cooldown < 0");
   if (shards < 0) throw std::invalid_argument("full-table: shards < 0");
   timing.validate();
@@ -86,6 +90,27 @@ FullTableResult run_full_table(const FullTableConfig& cfg) {
       r.set_damping(mod.get());
       dampers.push_back(std::move(mod));
     }
+  }
+
+  // Wall-clock heartbeat: a rate-limited progress line to stderr, polled by
+  // the engine every 1024 executed events. Volatile; never an artifact.
+  if (cfg.heartbeat_s > 0) {
+    engine.set_heartbeat([&engine, hb = obs::Heartbeat(cfg.heartbeat_s),
+                          prev_wall = std::chrono::steady_clock::now(),
+                          prev_events = std::uint64_t{0}]() mutable {
+      if (!hb.due()) return;
+      const auto wall = std::chrono::steady_clock::now();
+      const std::uint64_t events = engine.executed();
+      const double dt =
+          std::chrono::duration<double>(wall - prev_wall).count();
+      const double rate =
+          dt > 0 ? static_cast<double>(events - prev_events) / dt : 0.0;
+      std::fprintf(stderr, "heartbeat: sim=%.3fs events=%llu (%.0f/s)\n",
+                   engine.now().as_seconds(),
+                   static_cast<unsigned long long>(events), rate);
+      prev_wall = wall;
+      prev_events = events;
+    });
   }
 
   // --- Warm-up: the origin announces the full table and the line converges.
@@ -167,12 +192,91 @@ FullTableResult run_full_table(const FullTableConfig& cfg) {
     engine.schedule_after(sim::Duration::seconds(cfg.event_interval_s),
                           toggle_step, sim::EventKind::kFlap);
   }
+
+  // Telemetry: fixed sim-time sampling on top of the toggle-count residency
+  // samples above. Counters come from the bundles already attached to the
+  // routers/dampers; probes read the same residency figures the scorecard
+  // peaks use. The cursor persists across the churn and cooldown runs so the
+  // grid stays unbroken at the phase boundary.
+  std::unique_ptr<obs::TelemetrySampler> telemetry;
+  const sim::Duration telemetry_period =
+      sim::Duration::seconds(cfg.telemetry_period_s > 0 ? cfg.telemetry_period_s
+                                                        : 1.0);
+  sim::SimTime telemetry_cursor = t0 + telemetry_period;
+  // Grid instant of the sample being taken; the time-evaluating probes read
+  // this instead of the engine clock, which sits at the last executed event
+  // (strictly before the grid instant when the instant falls in an idle gap).
+  sim::SimTime sample_now = t0;
+  if (cfg.telemetry_period_s > 0) {
+    telemetry = std::make_unique<obs::TelemetrySampler>(
+        telemetry_cursor.as_micros(), telemetry_period.as_micros());
+    telemetry->add_counter("bgp.sends", router_metrics.sends);
+    telemetry->add_counter("bgp.withdrawals", router_metrics.withdrawals);
+    telemetry->add_counter("bgp.mrai_deferrals", router_metrics.mrai_deferrals);
+    telemetry->add_counter("rfd.charges", damping_metrics.charges);
+    telemetry->add_counter("rfd.suppressions", damping_metrics.suppressions);
+    telemetry->add_counter("rfd.reuses", damping_metrics.reuses);
+    telemetry->add_counter("rfd.reschedules", damping_metrics.reschedules);
+    telemetry->add_probe("bgp.rib_resident", [&network, &graph, &sample_now] {
+      std::int64_t total = 0;
+      for (net::NodeId u = 0; u < graph.node_count(); ++u) {
+        network.router(u).sweep_reclaim(sample_now);
+        total += static_cast<std::int64_t>(network.router(u).residency().total());
+      }
+      return total;
+    });
+    telemetry->add_probe("rfd.tracked_entries", [&dampers] {
+      std::int64_t total = 0;
+      for (const auto& d : dampers) {
+        total += static_cast<std::int64_t>(d->tracked_entries());
+      }
+      return total;
+    });
+    telemetry->add_probe("rfd.active_entries", [&dampers, &sample_now] {
+      std::int64_t total = 0;
+      for (const auto& d : dampers) {
+        total += static_cast<std::int64_t>(d->active_entries(sample_now));
+      }
+      return total;
+    });
+    if (stability) {
+      telemetry->add_probe("stability.updates", [t = stability.get()] {
+        return static_cast<std::int64_t>(t->update_count());
+      });
+      telemetry->add_probe("stability.trains", [t = stability.get()] {
+        return static_cast<std::int64_t>(t->train_count());
+      });
+    }
+    telemetry->reserve(
+        std::min<std::size_t>(
+            static_cast<std::size_t>((churn_span_s + cfg.cooldown_s) /
+                                     cfg.telemetry_period_s),
+            65536) +
+        1);
+  }
+  const auto on_sample = [&telemetry, &telemetry_cursor, &sample_now,
+                          telemetry_period](sim::SimTime t) {
+    sample_now = t;
+    telemetry->sample(t.as_micros());
+    telemetry_cursor = t + telemetry_period;
+  };
+
   const auto wall_start = std::chrono::steady_clock::now();
-  engine.run(t0 + sim::Duration::seconds(churn_span_s));
+  if (telemetry) {
+    engine.run_sampled(t0 + sim::Duration::seconds(churn_span_s),
+                       telemetry_cursor, telemetry_period, on_sample);
+  } else {
+    engine.run(t0 + sim::Duration::seconds(churn_span_s));
+  }
   const auto wall_end = std::chrono::steady_clock::now();
 
   // Cooldown: let MRAI flushes, reuse timers and parked reclaims drain.
-  engine.run(t0 + sim::Duration::seconds(churn_span_s + cfg.cooldown_s));
+  if (telemetry) {
+    engine.run_sampled(t0 + sim::Duration::seconds(churn_span_s + cfg.cooldown_s),
+                       telemetry_cursor, telemetry_period, on_sample);
+  } else {
+    engine.run(t0 + sim::Duration::seconds(churn_span_s + cfg.cooldown_s));
+  }
   sample_residency();
 
   res.updates_delivered = network.delivered_count() - delivered_before;
@@ -188,6 +292,23 @@ FullTableResult run_full_table(const FullTableConfig& cfg) {
       res.wall_s > 0.0
           ? static_cast<double>(res.updates_delivered) / res.wall_s
           : 0.0;
+  if (telemetry) {
+    telemetry->finalize();
+    telemetry->truncate_after(engine.now().as_micros());
+    res.telemetry_jsonl = telemetry->jsonl();
+    res.telemetry_summary = telemetry->summary_json();
+  }
+  // True high-water marks: the toggle-grid peaks, raised by any higher value
+  // the sim-time telemetry grid observed between toggle samples.
+  router_metrics.rib_resident_peak->set(std::max(
+      static_cast<std::int64_t>(res.peak_rib_resident),
+      telemetry ? telemetry->peak("bgp.rib_resident") : 0));
+  damping_metrics.tracked_peak->set(std::max(
+      static_cast<std::int64_t>(res.peak_damping_tracked),
+      telemetry ? telemetry->peak("rfd.tracked_entries") : 0));
+  damping_metrics.active_peak->set(std::max(
+      static_cast<std::int64_t>(res.peak_damping_active),
+      telemetry ? telemetry->peak("rfd.active_entries") : 0));
   if (stability) {
     stability->finalize();
     res.stability = stability->report();

@@ -56,6 +56,15 @@ struct FullTableConfig {
   /// Extra simulated time after the last toggle for the network to drain.
   double cooldown_s = 120.0;
 
+  /// > 0 samples counters and residency probes every `telemetry_period_s`
+  /// simulated seconds into `FullTableResult::telemetry_jsonl`. Legal in
+  /// both the serial and the sharded driver: the sampled series hold only
+  /// logical figures, so they are byte-identical across shard counts.
+  double telemetry_period_s = 0.0;
+  /// > 0 prints a wall-clock progress heartbeat to stderr roughly every
+  /// `heartbeat_s` real seconds. Volatile; never part of any artifact.
+  double heartbeat_s = 0.0;
+
   /// 0 = the classic serial driver. >= 1 dispatches to
   /// `run_full_table_sharded`: the line is partitioned into that many shards
   /// (clamped to the router count) under conservative-lookahead barriers.
@@ -87,14 +96,23 @@ struct FullTableResult {
   std::size_t final_damping_active = 0;
 
   /// Router + damping bundles plus the residency gauges, for the whole run.
-  /// Sharded runs carry only the `stability.*` bundle (when requested) —
-  /// the other bundles' gauges are partition-dependent.
+  /// Sharded runs carry the logical-counter subset of those bundles
+  /// (`bind_logical`, exact per-shard sums) plus `stability.*` when
+  /// requested — the remaining gauges are partition-dependent and stay
+  /// serial-only.
   obs::Registry metrics;
 
   /// Streaming update-train report for the whole run; nullopt unless
   /// `FullTableConfig::collect_stability` was set. The scorecard embeds only
   /// its aggregate summary — the per-key space is O(prefixes * links).
   std::optional<obs::StabilityReport> stability;
+
+  /// Deterministic telemetry series (JSONL) and its compact summary; empty
+  /// unless `FullTableConfig::telemetry_period_s` > 0. Not embedded in the
+  /// scorecard — exported separately — but byte-identical across shard
+  /// counts, which `ShardedDeterminism` asserts.
+  std::string telemetry_jsonl;
+  std::string telemetry_summary;
 
   /// Wall-clock seconds of the churn phase and the derived throughput
   /// (delivered updates per second per core; single-threaded driver).

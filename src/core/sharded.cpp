@@ -2,6 +2,8 @@
 
 #include <algorithm>
 #include <chrono>
+#include <cstdint>
+#include <cstdio>
 #include <functional>
 #include <iomanip>
 #include <memory>
@@ -13,8 +15,10 @@
 
 #include "bgp/policy.hpp"
 #include "bgp/sharded_network.hpp"
+#include "core/config_validate.hpp"
 #include "net/topology.hpp"
 #include "obs/invariant.hpp"
+#include "obs/telemetry.hpp"
 #include "rfd/damping.hpp"
 #include "stats/recorder.hpp"
 #include "stats/stability_probe.hpp"
@@ -78,16 +82,21 @@ ShardedExperimentResult ShardedRunner::run() {
   if (cfg.flap_jitter < 0 || cfg.flap_jitter >= 1) {
     throw std::invalid_argument("experiment: flap_jitter out of [0, 1)");
   }
-  if (cfg.collect_stability && !(cfg.stability_gap_s > 0)) {
-    throw std::invalid_argument("experiment: stability gap must be > 0");
-  }
+  validate_stability_gap(cfg.collect_stability, cfg.stability_gap_s,
+                         "experiment");
+  validate_telemetry(cfg.telemetry_period_s, cfg.heartbeat_s,
+                     "sharded experiment");
   // ...minus the features that are inherently serial, each rejected with its
   // own message: faults and link flapping act on links that may straddle
   // shards mid-window, span/trace freight does not survive the cross-shard
-  // envelope, and the engine/router/damping metric gauges plus the dispatch
-  // profile record partition-dependent figures. The stability bundle
-  // (`collect_stability`) is the exception: its per-shard accumulators are
-  // pure integers keyed by the logical event keys and merge exactly.
+  // envelope, and the dispatch profile records partition-dependent figures.
+  // Two obs features are shard-legal: the stability bundle
+  // (`collect_stability`) and the logical-counter subset of the metric
+  // bundles plus sim-time telemetry (`collect_metrics` /
+  // `telemetry_period_s`) — per-shard integer accumulators over logical
+  // event keys that merge exactly. The partition-dependent remainder of the
+  // metric bundles (heap/live/pending gauges, the penalty histogram, gauge
+  // high-water marks) is simply never bound here (`bind_logical`).
   if (cfg.faults) {
     throw std::invalid_argument(
         "sharded experiment: fault injection is serial-only");
@@ -102,12 +111,6 @@ ShardedExperimentResult ShardedRunner::run() {
   if (cfg.collect_spans) {
     throw std::invalid_argument(
         "sharded experiment: span collection is serial-only");
-  }
-  if (cfg.collect_metrics) {
-    throw std::invalid_argument(
-        "sharded experiment: engine/router/damping metrics collection is "
-        "serial-only (stability analytics shard cleanly: use "
-        "collect_stability / --stability)");
   }
   if (cfg.profile) {
     throw std::invalid_argument(
@@ -141,6 +144,25 @@ ShardedExperimentResult ShardedRunner::run() {
   const net::Partition& part = out.partition;
   const auto k = static_cast<std::size_t>(part.shards);
   sim::ShardedEngine engine(part.shards);
+
+  // Shard-legal metric bundles: one registry per shard, holding only the
+  // logical counters (`bind_logical`). Each counter accumulates events that
+  // execute on its own shard's thread; the end-of-run merge is exact integer
+  // addition, so the merged registry is byte-identical at any shard count.
+  const bool telemetry_on = cfg.telemetry_period_s > 0;
+  const bool metrics_on = cfg.collect_metrics || telemetry_on;
+  std::vector<obs::Registry> shard_registries(k);
+  std::vector<obs::EngineMetrics> engine_ms(k);
+  std::vector<obs::RouterMetrics> router_ms(k);
+  std::vector<obs::DampingMetrics> damping_ms(k);
+  if (metrics_on) {
+    for (std::size_t s = 0; s < k; ++s) {
+      engine_ms[s] = obs::EngineMetrics::bind_logical(shard_registries[s]);
+      router_ms[s] = obs::RouterMetrics::bind_logical(shard_registries[s]);
+      damping_ms[s] = obs::DampingMetrics::bind_logical(shard_registries[s]);
+      engine.shard(static_cast<int>(s)).set_metrics(&engine_ms[s]);
+    }
+  }
 
   // Probe selection, exactly as in the serial driver.
   const auto dist = net::bfs_distances(graph, origin);
@@ -199,8 +221,16 @@ ShardedExperimentResult ShardedRunner::run() {
   engine.set_lookahead(lookahead);
   out.lookahead_s = lookahead.as_seconds();
 
+  std::vector<std::vector<net::NodeId>> nodes_of(k);
+  for (net::NodeId u = 0; u < graph.node_count(); ++u) {
+    const auto s = static_cast<std::size_t>(part.shard_of[u]);
+    nodes_of[s].push_back(u);
+    if (metrics_on) network.router(u).set_metrics(&router_ms[s]);
+  }
+
   // Damping deployment: same deploy_rng draw order as run_experiment.
   std::vector<std::unique_ptr<rfd::DampingModule>> dampers;
+  std::vector<std::vector<rfd::DampingModule*>> dampers_of(k);
   if (cfg.damping) {
     for (net::NodeId u = 0; u < graph.node_count(); ++u) {
       if (cfg.deployment < 1.0 && !deploy_rng.bernoulli(cfg.deployment)) {
@@ -221,7 +251,11 @@ ShardedExperimentResult ShardedRunner::run() {
           recorders[static_cast<std::size_t>(shard)].get(), cfg.rib_backend);
       if (cfg.rcn) mod->enable_rcn();
       if (cfg.selective) mod->enable_selective();
+      if (metrics_on) {
+        mod->set_metrics(&damping_ms[static_cast<std::size_t>(shard)]);
+      }
       r.set_damping(mod.get());
+      dampers_of[static_cast<std::size_t>(shard)].push_back(mod.get());
       dampers.push_back(std::move(mod));
     }
   }
@@ -236,6 +270,32 @@ ShardedExperimentResult ShardedRunner::run() {
   bgp::BgpRouter& origin_router = network.router(origin);
   const int origin_shard = network.shard_of(origin);
   sim::Engine& origin_engine = engine.shard(origin_shard);
+
+  // Wall-clock heartbeat: fires on the coordinator after each barrier round
+  // (or inline when k == 1). Volatile by design — stderr only, never part of
+  // any deterministic artifact.
+  if (cfg.heartbeat_s > 0) {
+    engine.set_heartbeat([&engine, hb = obs::Heartbeat(cfg.heartbeat_s),
+                          prev_wall = std::chrono::steady_clock::now(),
+                          prev_events = std::uint64_t{0}]() mutable {
+      if (!hb.due()) return;
+      const auto wall = std::chrono::steady_clock::now();
+      const std::uint64_t events = engine.executed_so_far();
+      const double dt =
+          std::chrono::duration<double>(wall - prev_wall).count();
+      const double rate =
+          dt > 0 ? static_cast<double>(events - prev_events) / dt : 0.0;
+      std::fprintf(stderr,
+                   "heartbeat: sim=%.3fs events=%llu (%.0f/s) rounds=%llu "
+                   "barrier_wait=%.3fs\n",
+                   engine.now().as_seconds(),
+                   static_cast<unsigned long long>(events), rate,
+                   static_cast<unsigned long long>(engine.rounds_so_far()),
+                   static_cast<double>(engine.barrier_wait_ns_so_far()) / 1e9);
+      prev_wall = wall;
+      prev_events = events;
+    });
+  }
 
   // --- Warm-up. Origination runs as a scheduled event so it executes on
   // the owning shard's thread, with that shard's path table bound.
@@ -265,6 +325,86 @@ ShardedExperimentResult ShardedRunner::run() {
     for (auto& d : dampers) d->set_charge_deadline(deadline);
   }
   const double base_s = t0.as_seconds();
+
+  // Telemetry: one sampler per shard, advanced at barrier-aligned grid
+  // instants by the engine (samples never interleave with event execution
+  // inside a window). Per-shard series hold this shard's share of each
+  // logical figure; the end-of-run merge is per-cell integer addition.
+  // `engine.pending` is deliberately absent — the heap population at a grid
+  // instant depends on the partition, not just the workload.
+  //
+  // Probes that evaluate time (reclaim horizons, penalty decay) take the
+  // grid instant explicitly: a shard's own clock sits at its last executed
+  // event during a sample, which is partition-dependent. Each shard's slot
+  // is written by its own worker thread just before its sampler runs.
+  std::vector<sim::SimTime> sample_now(k, t0);
+  std::vector<std::unique_ptr<obs::TelemetrySampler>> samplers;
+  if (telemetry_on) {
+    const sim::Duration period = sim::Duration::seconds(cfg.telemetry_period_s);
+    const std::size_t expect =
+        std::min<std::size_t>(
+            static_cast<std::size_t>(cfg.max_sim_s / cfg.telemetry_period_s),
+            65536) +
+        1;
+    samplers.reserve(k);
+    for (std::size_t s = 0; s < k; ++s) {
+      auto sampler = std::make_unique<obs::TelemetrySampler>(
+          (t0 + period).as_micros(), period.as_micros());
+      sampler->add_counter("engine.fired", engine_ms[s].fired);
+      sampler->add_counter("bgp.sends", router_ms[s].sends);
+      sampler->add_counter("bgp.withdrawals", router_ms[s].withdrawals);
+      sampler->add_counter("bgp.mrai_deferrals", router_ms[s].mrai_deferrals);
+      sampler->add_counter("rfd.charges", damping_ms[s].charges);
+      sampler->add_counter("rfd.suppressions", damping_ms[s].suppressions);
+      sampler->add_counter("rfd.reuses", damping_ms[s].reuses);
+      sampler->add_counter("rfd.reschedules", damping_ms[s].reschedules);
+      sampler->add_probe("bgp.rib_resident",
+                         [&network, ns = &nodes_of[s], now = &sample_now[s]] {
+                           std::int64_t total = 0;
+                           for (const net::NodeId u : *ns) {
+                             network.router(u).sweep_reclaim(*now);
+                             total += static_cast<std::int64_t>(
+                                 network.router(u).residency().total());
+                           }
+                           return total;
+                         });
+      sampler->add_probe("rfd.tracked_entries", [ds = &dampers_of[s]] {
+        std::int64_t total = 0;
+        for (const rfd::DampingModule* d : *ds) {
+          total += static_cast<std::int64_t>(d->tracked_entries());
+        }
+        return total;
+      });
+      sampler->add_probe("rfd.active_entries",
+                         [ds = &dampers_of[s], now = &sample_now[s]] {
+                           std::int64_t total = 0;
+                           for (const rfd::DampingModule* d : *ds) {
+                             total += static_cast<std::int64_t>(
+                                 d->active_entries(*now));
+                           }
+                           return total;
+                         });
+      sampler->add_probe("rfd.damped_links", [r = recorders[s].get()] {
+        return r->damped_level();
+      });
+      if (cfg.collect_stability) {
+        sampler->add_probe("stability.updates", [t = trackers[s].get()] {
+          return static_cast<std::int64_t>(t->update_count());
+        });
+        sampler->add_probe("stability.trains", [t = trackers[s].get()] {
+          return static_cast<std::int64_t>(t->train_count());
+        });
+      }
+      sampler->reserve(expect);
+      samplers.push_back(std::move(sampler));
+    }
+    engine.set_sampling(t0 + period, period,
+                        [&samplers, &sample_now](int s, sim::SimTime when) {
+                          sample_now[static_cast<std::size_t>(s)] = when;
+                          samplers[static_cast<std::size_t>(s)]->sample(
+                              when.as_micros());
+                        });
+  }
 
   rcn::RootCauseSource rc_source(origin, isp);
   double event_t = 0.0;
@@ -301,6 +441,21 @@ ShardedExperimentResult ShardedRunner::run() {
 
   engine.run(t0 + sim::Duration::seconds(cfg.max_sim_s));
   res.hit_horizon = engine.pending() > 0;
+
+  if (telemetry_on) {
+    engine.clear_sampling();
+    // Shards stop sampling at their own final window edge; truncating every
+    // series at the global last-event instant makes the emitted grid a pure
+    // function of the workload, not of the partition's window layout.
+    const std::int64_t last_us = engine.now().as_micros();
+    for (auto& sampler : samplers) {
+      sampler->finalize();
+      sampler->truncate_after(last_us);
+    }
+    for (std::size_t s = 1; s < k; ++s) samplers[0]->merge(*samplers[s]);
+    res.telemetry_jsonl = samplers[0]->jsonl();
+    res.telemetry_summary = samplers[0]->summary_json();
+  }
 
   if (obs::invariants_enabled()) {
     for (int s = 0; s < part.shards; ++s) engine.shard(s).check_invariants();
@@ -443,6 +598,16 @@ ShardedExperimentResult ShardedRunner::run() {
   }
   res.phases = stats::classify_phases(pin);
 
+  // Merge the per-shard registries in shard order (integer sums are
+  // order-independent; the fixed order keeps the walk canonical anyway),
+  // then fold the stability bundle into the same registry as the serial
+  // driver does.
+  obs::Registry merged_registry;
+  if (metrics_on) {
+    for (std::size_t s = 0; s < k; ++s) {
+      merged_registry.merge(shard_registries[s]);
+    }
+  }
   if (cfg.collect_stability) {
     obs::StabilityTracker merged(cfg.stability_gap_s);
     merged.finalize();
@@ -451,10 +616,11 @@ ShardedExperimentResult ShardedRunner::run() {
       merged.merge(*t);
     }
     res.stability = merged.report();
-    obs::Registry registry;
-    const obs::StabilityMetrics sm = obs::StabilityMetrics::bind(registry);
+    const obs::StabilityMetrics sm = obs::StabilityMetrics::bind(merged_registry);
     sm.record(*res.stability);
-    res.metrics = std::move(registry);
+  }
+  if (cfg.collect_metrics || cfg.collect_stability) {
+    res.metrics = std::move(merged_registry);
   }
 
   out.engine_stats = engine.stats();
@@ -567,12 +733,19 @@ FullTableResult run_full_table_sharded(const FullTableConfig& cfg) {
   const auto k = static_cast<std::size_t>(part.shards);
   sim::ShardedEngine engine(part.shards);
 
-  // No router/damping metric bundles in sharded mode: gauges record
-  // partition-dependent high-water marks and would break scorecard
-  // byte-identity across shard counts. The stability bundle is exempt —
-  // per-shard trackers fed by lightweight probes merge exactly — so with
-  // `collect_stability` on, `res.metrics` carries `stability.*` and nothing
-  // else.
+  // Router/damping bundles in sharded mode carry only the logical counters
+  // (`bind_logical`): per-shard event counts merge by exact integer addition,
+  // so the merged registry is byte-identical across shard counts. The
+  // partition-dependent gauges (residency/occupancy high-water marks) stay
+  // serial-only and are simply never bound here. The stability bundle rides
+  // along as before when `collect_stability` is on.
+  std::vector<obs::Registry> shard_registries(k);
+  std::vector<obs::RouterMetrics> router_ms(k);
+  std::vector<obs::DampingMetrics> damping_ms(k);
+  for (std::size_t s = 0; s < k; ++s) {
+    router_ms[s] = obs::RouterMetrics::bind_logical(shard_registries[s]);
+    damping_ms[s] = obs::DampingMetrics::bind_logical(shard_registries[s]);
+  }
   std::vector<std::unique_ptr<obs::StabilityTracker>> trackers;
   std::vector<std::unique_ptr<stats::StabilityProbe>> probes;
   std::vector<bgp::Observer*> observers;
@@ -596,7 +769,9 @@ FullTableResult run_full_table_sharded(const FullTableConfig& cfg) {
 
   std::vector<std::vector<net::NodeId>> nodes_of(k);
   for (net::NodeId u = 0; u < graph.node_count(); ++u) {
-    nodes_of[static_cast<std::size_t>(part.shard_of[u])].push_back(u);
+    const auto s = static_cast<std::size_t>(part.shard_of[u]);
+    nodes_of[s].push_back(u);
+    network.router(u).set_metrics(&router_ms[s]);
   }
   std::vector<std::unique_ptr<rfd::DampingModule>> dampers;
   std::vector<std::vector<rfd::DampingModule*>> dampers_of(k);
@@ -616,10 +791,36 @@ FullTableResult run_full_table_sharded(const FullTableConfig& cfg) {
           u, std::move(peer_ids), *cfg.damping, engine.shard(shard),
           [&r](int slot, bgp::Prefix p) { return r.on_reuse(slot, p); },
           shard_observer, cfg.rib_backend);
+      mod->set_metrics(&damping_ms[static_cast<std::size_t>(shard)]);
       r.set_damping(mod.get());
       dampers_of[static_cast<std::size_t>(shard)].push_back(mod.get());
       dampers.push_back(std::move(mod));
     }
+  }
+
+  // Wall-clock heartbeat, fired from the coordinator after each barrier
+  // round (inline when k == 1). Volatile; stderr only.
+  if (cfg.heartbeat_s > 0) {
+    engine.set_heartbeat([&engine, hb = obs::Heartbeat(cfg.heartbeat_s),
+                          prev_wall = std::chrono::steady_clock::now(),
+                          prev_events = std::uint64_t{0}]() mutable {
+      if (!hb.due()) return;
+      const auto wall = std::chrono::steady_clock::now();
+      const std::uint64_t events = engine.executed_so_far();
+      const double dt =
+          std::chrono::duration<double>(wall - prev_wall).count();
+      const double rate =
+          dt > 0 ? static_cast<double>(events - prev_events) / dt : 0.0;
+      std::fprintf(stderr,
+                   "heartbeat: sim=%.3fs events=%llu (%.0f/s) rounds=%llu "
+                   "barrier_wait=%.3fs\n",
+                   engine.now().as_seconds(),
+                   static_cast<unsigned long long>(events), rate,
+                   static_cast<unsigned long long>(engine.rounds_so_far()),
+                   static_cast<double>(engine.barrier_wait_ns_so_far()) / 1e9);
+      prev_wall = wall;
+      prev_events = events;
+    });
   }
 
   DriverKeys keys;
@@ -663,6 +864,79 @@ FullTableResult run_full_table_sharded(const FullTableConfig& cfg) {
   const double churn_span_s =
       static_cast<double>(cfg.events) * cfg.event_interval_s;
   const sim::Duration step = sim::Duration::seconds(cfg.event_interval_s);
+
+  // Telemetry: per-shard samplers advanced at barrier-aligned grid instants.
+  // No engine.* series here — the warm-up pre-schedules per-shard residency
+  // events, so even the fired count depends on the partition. The cursor
+  // state lives in the engine and persists across the churn and cooldown
+  // runs, keeping the grid unbroken at the phase boundary. Time-evaluating
+  // probes read the grid instant from `sample_now`, not the (partition-
+  // dependent) shard clock.
+  std::vector<sim::SimTime> sample_now(k, t0);
+  std::vector<std::unique_ptr<obs::TelemetrySampler>> samplers;
+  if (cfg.telemetry_period_s > 0) {
+    const sim::Duration period = sim::Duration::seconds(cfg.telemetry_period_s);
+    const std::size_t expect =
+        std::min<std::size_t>(
+            static_cast<std::size_t>((churn_span_s + cfg.cooldown_s) /
+                                     cfg.telemetry_period_s),
+            65536) +
+        1;
+    samplers.reserve(k);
+    for (std::size_t s = 0; s < k; ++s) {
+      auto sampler = std::make_unique<obs::TelemetrySampler>(
+          (t0 + period).as_micros(), period.as_micros());
+      sampler->add_counter("bgp.sends", router_ms[s].sends);
+      sampler->add_counter("bgp.withdrawals", router_ms[s].withdrawals);
+      sampler->add_counter("bgp.mrai_deferrals", router_ms[s].mrai_deferrals);
+      sampler->add_counter("rfd.charges", damping_ms[s].charges);
+      sampler->add_counter("rfd.suppressions", damping_ms[s].suppressions);
+      sampler->add_counter("rfd.reuses", damping_ms[s].reuses);
+      sampler->add_counter("rfd.reschedules", damping_ms[s].reschedules);
+      sampler->add_probe("bgp.rib_resident",
+                         [&network, ns = &nodes_of[s], now = &sample_now[s]] {
+                           std::int64_t total = 0;
+                           for (const net::NodeId u : *ns) {
+                             network.router(u).sweep_reclaim(*now);
+                             total += static_cast<std::int64_t>(
+                                 network.router(u).residency().total());
+                           }
+                           return total;
+                         });
+      sampler->add_probe("rfd.tracked_entries", [ds = &dampers_of[s]] {
+        std::int64_t total = 0;
+        for (const rfd::DampingModule* d : *ds) {
+          total += static_cast<std::int64_t>(d->tracked_entries());
+        }
+        return total;
+      });
+      sampler->add_probe("rfd.active_entries",
+                         [ds = &dampers_of[s], now = &sample_now[s]] {
+                           std::int64_t total = 0;
+                           for (const rfd::DampingModule* d : *ds) {
+                             total += static_cast<std::int64_t>(
+                                 d->active_entries(*now));
+                           }
+                           return total;
+                         });
+      if (cfg.collect_stability) {
+        sampler->add_probe("stability.updates", [t = trackers[s].get()] {
+          return static_cast<std::int64_t>(t->update_count());
+        });
+        sampler->add_probe("stability.trains", [t = trackers[s].get()] {
+          return static_cast<std::int64_t>(t->train_count());
+        });
+      }
+      sampler->reserve(expect);
+      samplers.push_back(std::move(sampler));
+    }
+    engine.set_sampling(t0 + period, period,
+                        [&samplers, &sample_now](int s, sim::SimTime when) {
+                          sample_now[static_cast<std::size_t>(s)] = when;
+                          samplers[static_cast<std::size_t>(s)]->sample(
+                              when.as_micros());
+                        });
+  }
 
   // Residency sampling: per-shard events at fixed simulated instants. A
   // sample reads only its own shard's routers/dampers; the per-instant
@@ -730,6 +1004,18 @@ FullTableResult run_full_table_sharded(const FullTableConfig& cfg) {
 
   engine.run(t0 + sim::Duration::seconds(churn_span_s + cfg.cooldown_s));
 
+  if (!samplers.empty()) {
+    engine.clear_sampling();
+    const std::int64_t last_us = engine.now().as_micros();
+    for (auto& sampler : samplers) {
+      sampler->finalize();
+      sampler->truncate_after(last_us);
+    }
+    for (std::size_t s = 1; s < k; ++s) samplers[0]->merge(*samplers[s]);
+    res.telemetry_jsonl = samplers[0]->jsonl();
+    res.telemetry_summary = samplers[0]->summary_json();
+  }
+
   // Final residency (post-run, single-threaded, all shards).
   Sample final_sample;
   for (net::NodeId u = 0; u < graph.node_count(); ++u) {
@@ -773,6 +1059,10 @@ FullTableResult run_full_table_sharded(const FullTableConfig& cfg) {
           ? static_cast<double>(res.updates_delivered) / res.wall_s
           : 0.0;
 
+  // Logical counters merge by exact integer addition, shard order fixed for
+  // a canonical walk; the serial driver's partition-dependent gauges are
+  // never bound here, so the merged registry is shard-count-invariant.
+  for (std::size_t s = 0; s < k; ++s) res.metrics.merge(shard_registries[s]);
   if (cfg.collect_stability) {
     obs::StabilityTracker merged(cfg.stability_gap_s);
     merged.finalize();

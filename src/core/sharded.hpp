@@ -38,12 +38,17 @@ struct ShardedExperimentResult {
 /// and PRNG sub-seeding are identical for every shard count.
 ///
 /// Narrower than `run_experiment`: configs asking for link-session flaps,
-/// fault injection, tracing/spans, engine/router/damping metrics collection
-/// or profiling are rejected with `std::invalid_argument` — those features
-/// are inherently cross-shard (or record partition-dependent gauges) and
-/// stay serial-only. The streaming stability bundle (`collect_stability`)
-/// is the exception: per-shard trackers merge exactly, so it is legal here
-/// and its report/metrics are byte-identical across shard counts.
+/// fault injection, tracing/spans or profiling are rejected with
+/// `std::invalid_argument` — those features are inherently cross-shard and
+/// stay serial-only. Two obs features are shard-legal and byte-identical
+/// across shard counts: the streaming stability bundle
+/// (`collect_stability`) and the logical-counter subset of the metric
+/// bundles plus sim-time telemetry (`collect_metrics` /
+/// `telemetry_period_s`) — per-shard integer accumulators that merge
+/// exactly. The partition-dependent remainder of the metric bundles
+/// (heap/live/pending gauges, the penalty histogram, gauge high-water
+/// marks) is never bound here, so a sharded `--metrics` registry holds
+/// strictly fewer figures than a serial one.
 class ShardedRunner {
  public:
   ShardedRunner(ExperimentConfig cfg, int shards);
@@ -65,9 +70,14 @@ inline ShardedExperimentResult run_sharded_experiment(
 /// `FullTableConfig::shards >= 1`): the line topology is partitioned into
 /// contiguous blocks, residency is sampled by per-shard events at fixed
 /// simulated instants (summed per sample point, so the peak/final figures
-/// are shard-count-invariant), and the metrics registry carries only the
-/// `stability.*` bundle when `collect_stability` is set (router/damping
-/// gauge high-water marks are partition-dependent and stay serial-only).
+/// are shard-count-invariant), and the metrics registry carries the
+/// logical-counter subset of the router/damping bundles plus the
+/// `stability.*` bundle when `collect_stability` is set (gauge high-water
+/// marks are partition-dependent and stay serial-only). Telemetry
+/// (`telemetry_period_s`) samples per-shard at barrier-aligned grid
+/// instants and merges exactly, minus the `engine.*` series — the
+/// pre-scheduled residency events make even fired-event counts
+/// partition-dependent on this workload.
 FullTableResult run_full_table_sharded(const FullTableConfig& cfg);
 
 }  // namespace rfdnet::core

@@ -195,36 +195,54 @@ void Registry::write_summary(std::ostream& os, const std::string& indent) const 
   }
 }
 
-EngineMetrics EngineMetrics::bind(Registry& r) {
+EngineMetrics EngineMetrics::bind_logical(Registry& r) {
   EngineMetrics m;
   m.scheduled = &r.counter("engine.scheduled");
   m.cancelled = &r.counter("engine.cancelled");
   m.fired = &r.counter("engine.fired");
+  return m;
+}
+
+EngineMetrics EngineMetrics::bind(Registry& r) {
+  EngineMetrics m = bind_logical(r);
   m.compactions = &r.counter("engine.compactions");
   m.heap = &r.gauge("engine.heap");
   m.live = &r.gauge("engine.live");
   return m;
 }
 
-RouterMetrics RouterMetrics::bind(Registry& r) {
+RouterMetrics RouterMetrics::bind_logical(Registry& r) {
   RouterMetrics m;
   m.sends = &r.counter("bgp.sends");
   m.withdrawals = &r.counter("bgp.withdrawals");
   m.mrai_deferrals = &r.counter("bgp.mrai_deferrals");
-  m.pending = &r.gauge("bgp.pending");
-  m.rib_resident = &r.gauge("bgp.rib_resident");
   return m;
 }
 
-DampingMetrics DampingMetrics::bind(Registry& r) {
+RouterMetrics RouterMetrics::bind(Registry& r) {
+  RouterMetrics m = bind_logical(r);
+  m.pending = &r.gauge("bgp.pending");
+  m.rib_resident = &r.gauge("bgp.rib_resident");
+  m.rib_resident_peak = &r.gauge("bgp.rib_resident_peak");
+  return m;
+}
+
+DampingMetrics DampingMetrics::bind_logical(Registry& r) {
   DampingMetrics m;
   m.charges = &r.counter("rfd.charges");
   m.suppressions = &r.counter("rfd.suppressions");
   m.reuses = &r.counter("rfd.reuses");
   m.reschedules = &r.counter("rfd.reschedules");
+  return m;
+}
+
+DampingMetrics DampingMetrics::bind(Registry& r) {
+  DampingMetrics m = bind_logical(r);
   m.penalty = &r.histogram("rfd.penalty");
   m.tracked = &r.gauge("rfd.tracked_entries");
+  m.tracked_peak = &r.gauge("rfd.tracked_entries_peak");
   m.active = &r.gauge("rfd.active_entries");
+  m.active_peak = &r.gauge("rfd.active_entries_peak");
   return m;
 }
 

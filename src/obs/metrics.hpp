@@ -120,46 +120,86 @@ class Registry {
 
 /// Typed wiring bundle for `sim::Engine`. `bind` registers the metrics under
 /// canonical names; the engine then increments through the pointers.
+///
+/// The fields split into *logical* counters (one increment per logical
+/// simulation event — handler-driven schedules, cancels, fires — so
+/// per-shard values add to the serial value exactly) and
+/// *partition-dependent* figures (compaction count, heap/live occupancy:
+/// artifacts of how the event set is laid out across engines).
+/// `bind_logical` registers only the former and leaves the rest null — the
+/// shape the sharded drivers use; the engine null-checks the
+/// partition-dependent pointers on the hot path.
 struct EngineMetrics {
+  // Logical, shard-mergeable.
   Counter* scheduled = nullptr;    ///< events accepted by schedule_at/after
   Counter* cancelled = nullptr;    ///< successful cancels
   Counter* fired = nullptr;        ///< events executed
+  // Partition-dependent (serial-only).
   Counter* compactions = nullptr;  ///< heap rebuilds dropping stale entries
   Gauge* heap = nullptr;           ///< heap entries held (incl. stale)
   Gauge* live = nullptr;           ///< live (pending) events
 
   static EngineMetrics bind(Registry& r);
+  /// Logical counters only; partition-dependent members stay null.
+  static EngineMetrics bind_logical(Registry& r);
 };
 
 /// Typed wiring bundle for `bgp::BgpRouter` (shared by all routers of a
 /// network — the counts aggregate).
+///
+/// `sends`/`withdrawals`/`mrai_deferrals` are logical counters (each wire
+/// event counted on exactly one router, hence one shard) and merge exactly
+/// across shard counts; the gauges record instantaneous levels whose
+/// high-water marks depend on the partition, so `bind_logical` leaves them
+/// null and the router null-checks `pending` on the hot path.
 struct RouterMetrics {
+  // Logical, shard-mergeable.
   Counter* sends = nullptr;           ///< updates put on the wire
   Counter* withdrawals = nullptr;     ///< subset of sends that withdraw
   Counter* mrai_deferrals = nullptr;  ///< flush attempts blocked by MRAI
+  // Partition-dependent (serial-only).
   Gauge* pending = nullptr;           ///< updates held back (pending depth)
   /// Resident per-prefix RIB rows (RIB-IN + Loc-RIB + RIB-OUT) summed over
   /// all routers sharing the bundle. Sampled by the driver at reporting
-  /// cadence, not maintained on the hot path.
+  /// cadence, not maintained on the hot path; `rib_resident_peak` holds the
+  /// true in-run peak recovered from the telemetry sampler grid (the plain
+  /// gauge's own max only sees the instants the driver happened to set it).
   Gauge* rib_resident = nullptr;
+  Gauge* rib_resident_peak = nullptr;
 
   static RouterMetrics bind(Registry& r);
+  /// Logical counters only; the gauges stay null.
+  static RouterMetrics bind_logical(Registry& r);
 };
 
 /// Typed wiring bundle for `rfd::DampingModule` (shared by all modules).
+///
+/// The counters are logical (each damping event happens on exactly one
+/// module, hence one shard) and merge exactly; the penalty histogram sums
+/// doubles in observation order (order-dependent across partitions) and the
+/// occupancy gauges' high-water marks depend on the partition, so
+/// `bind_logical` leaves both null and the module null-checks `penalty` on
+/// the hot path.
 struct DampingMetrics {
+  // Logical, shard-mergeable.
   Counter* charges = nullptr;       ///< penalty increments actually applied
   Counter* suppressions = nullptr;  ///< entries crossing the cut-off
   Counter* reuses = nullptr;        ///< reuse timers fired on suppressed entries
   Counter* reschedules = nullptr;   ///< reuse timers cancelled + moved out
+  // Partition-dependent (serial-only).
   Histogram* penalty = nullptr;     ///< post-charge penalty values
   /// Entry-store rows / live-penalty entries summed over all modules sharing
   /// the bundle (the latter is what the RFC 2439 memory limit bounds).
-  /// Sampled by the driver at reporting cadence.
+  /// Sampled by the driver at reporting cadence; the `*_peak` twins hold
+  /// true in-run peaks recovered from the telemetry sampler grid.
   Gauge* tracked = nullptr;
+  Gauge* tracked_peak = nullptr;
   Gauge* active = nullptr;
+  Gauge* active_peak = nullptr;
 
   static DampingMetrics bind(Registry& r);
+  /// Logical counters only; histogram and gauges stay null.
+  static DampingMetrics bind_logical(Registry& r);
 };
 
 /// Typed wiring bundle for the damping-phase timeline recorder (one per

@@ -175,6 +175,11 @@ class StabilityTracker {
   /// warm-up (the constant-memory bound the property tests pin down).
   std::uint64_t key_allocations() const { return key_allocs_; }
   std::uint64_t update_count() const { return updates_; }
+  /// Trains closed so far (open trains are not counted until a quiet gap or
+  /// `finalize` closes them) — the online figure the telemetry sampler
+  /// snapshots; exact under sharding because each key closes its trains on
+  /// one shard.
+  std::uint64_t train_count() const { return train_len_hist_.count(); }
   bool finalized() const { return finalized_; }
 
   static constexpr double kDefaultGapS = 30.0;

@@ -1,0 +1,219 @@
+#include "obs/telemetry.hpp"
+
+#include <algorithm>
+#include <cstdio>
+#include <ostream>
+#include <sstream>
+#include <stdexcept>
+#include <utility>
+
+#include "obs/metrics.hpp"
+
+namespace rfdnet::obs {
+
+namespace {
+
+/// Shortest round-trip-exact decimal (max_digits10) — same formatting the
+/// metric registry uses, so telemetry rows and `--metrics` exports agree.
+std::string fmt_double(double v) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.17g", v);
+  return buf;
+}
+
+}  // namespace
+
+TelemetrySampler::TelemetrySampler(std::int64_t first_us,
+                                   std::int64_t period_us)
+    : first_us_(first_us), period_us_(period_us) {
+  if (period_us_ <= 0) {
+    throw std::invalid_argument("TelemetrySampler: period must be positive");
+  }
+}
+
+void TelemetrySampler::check_open(const char* what) const {
+  if (finalized_) {
+    throw std::logic_error(std::string("TelemetrySampler: ") + what +
+                           " after finalize");
+  }
+}
+
+void TelemetrySampler::add_counter(std::string name, const Counter* c) {
+  check_open("add_counter");
+  if (sealed_) {
+    throw std::logic_error("TelemetrySampler: registration after sampling");
+  }
+  Series s;
+  s.name = std::move(name);
+  s.counter = c;
+  series_.push_back(std::move(s));
+}
+
+void TelemetrySampler::add_gauge(std::string name, const Gauge* g) {
+  check_open("add_gauge");
+  if (sealed_) {
+    throw std::logic_error("TelemetrySampler: registration after sampling");
+  }
+  Series s;
+  s.name = std::move(name);
+  s.gauge = g;
+  series_.push_back(std::move(s));
+}
+
+void TelemetrySampler::add_probe(std::string name,
+                                 std::function<std::int64_t()> probe) {
+  check_open("add_probe");
+  if (sealed_) {
+    throw std::logic_error("TelemetrySampler: registration after sampling");
+  }
+  Series s;
+  s.name = std::move(name);
+  s.probe = std::move(probe);
+  series_.push_back(std::move(s));
+}
+
+void TelemetrySampler::reserve(std::size_t n_samples) {
+  times_us_.reserve(n_samples);
+  values_.reserve(n_samples * series_.size());
+}
+
+void TelemetrySampler::seal() {
+  std::sort(series_.begin(), series_.end(),
+            [](const Series& a, const Series& b) { return a.name < b.name; });
+  for (std::size_t i = 1; i < series_.size(); ++i) {
+    if (series_[i - 1].name == series_[i].name) {
+      throw std::logic_error("TelemetrySampler: duplicate series name: " +
+                             series_[i].name);
+    }
+  }
+  sealed_ = true;
+}
+
+std::int64_t TelemetrySampler::read(const Series& s) const {
+  if (s.counter != nullptr) {
+    return static_cast<std::int64_t>(s.counter->value());
+  }
+  if (s.gauge != nullptr) return s.gauge->value();
+  return s.probe();
+}
+
+void TelemetrySampler::sample(std::int64_t t_us) {
+  check_open("sample");
+  if (!sealed_) seal();
+  if (!times_us_.empty() && t_us <= times_us_.back()) {
+    throw std::logic_error(
+        "TelemetrySampler: sample instants must be strictly increasing");
+  }
+  times_us_.push_back(t_us);
+  for (const Series& s : series_) values_.push_back(read(s));
+}
+
+void TelemetrySampler::finalize() {
+  if (!sealed_) seal();  // no-sample runs still get canonical series order
+  finalized_ = true;
+}
+
+void TelemetrySampler::truncate_after(std::int64_t last_event_us) {
+  if (!finalized_) {
+    throw std::logic_error("TelemetrySampler: truncate_after before finalize");
+  }
+  while (!times_us_.empty() && times_us_.back() > last_event_us) {
+    times_us_.pop_back();
+    values_.resize(values_.size() - series_.size());
+  }
+}
+
+void TelemetrySampler::merge(const TelemetrySampler& other) {
+  if (!finalized_ || !other.finalized_) {
+    throw std::logic_error("TelemetrySampler: merge requires both finalized");
+  }
+  if (first_us_ != other.first_us_ || period_us_ != other.period_us_) {
+    throw std::logic_error("TelemetrySampler: merge grid mismatch");
+  }
+  if (series_.size() != other.series_.size() ||
+      times_us_ != other.times_us_) {
+    throw std::logic_error("TelemetrySampler: merge shape mismatch");
+  }
+  for (std::size_t i = 0; i < series_.size(); ++i) {
+    if (series_[i].name != other.series_[i].name) {
+      throw std::logic_error("TelemetrySampler: merge series name mismatch");
+    }
+  }
+  for (std::size_t i = 0; i < values_.size(); ++i) {
+    values_[i] += other.values_[i];
+  }
+}
+
+std::size_t TelemetrySampler::series_index(const std::string& name) const {
+  for (std::size_t i = 0; i < series_.size(); ++i) {
+    if (series_[i].name == name) return i;
+  }
+  return series_.size();
+}
+
+std::int64_t TelemetrySampler::last(const std::string& name) const {
+  const std::size_t j = series_index(name);
+  if (j == series_.size() || times_us_.empty()) return 0;
+  return values_[(times_us_.size() - 1) * series_.size() + j];
+}
+
+std::int64_t TelemetrySampler::peak(const std::string& name) const {
+  const std::size_t j = series_index(name);
+  if (j == series_.size()) return 0;
+  std::int64_t best = 0;
+  for (std::size_t i = 0; i < times_us_.size(); ++i) {
+    best = std::max(best, values_[i * series_.size() + j]);
+  }
+  return best;
+}
+
+void TelemetrySampler::write_jsonl(std::ostream& os) const {
+  for (std::size_t i = 0; i < times_us_.size(); ++i) {
+    const std::string t =
+        fmt_double(static_cast<double>(times_us_[i]) / 1e6);
+    for (std::size_t j = 0; j < series_.size(); ++j) {
+      os << "{\"t\":" << t << ",\"name\":\"" << series_[j].name
+         << "\",\"value\":"
+         << fmt_double(
+                static_cast<double>(values_[i * series_.size() + j]))
+         << "}\n";
+    }
+  }
+}
+
+std::string TelemetrySampler::jsonl() const {
+  std::ostringstream os;
+  write_jsonl(os);
+  return os.str();
+}
+
+std::string TelemetrySampler::summary_json() const {
+  std::ostringstream os;
+  os << "{\"period_s\":"
+     << fmt_double(static_cast<double>(period_us_) / 1e6) << ",\"first_s\":"
+     << fmt_double(static_cast<double>(first_us_) / 1e6)
+     << ",\"samples\":" << times_us_.size() << ",\"series\":{";
+  for (std::size_t j = 0; j < series_.size(); ++j) {
+    os << (j ? "," : "") << '"' << series_[j].name << "\":{\"last\":"
+       << last(series_[j].name) << ",\"peak\":" << peak(series_[j].name)
+       << '}';
+  }
+  os << "}}";
+  return os.str();
+}
+
+Heartbeat::Heartbeat(double period_s)
+    : period_s_(period_s),
+      next_(std::chrono::steady_clock::now() +
+            std::chrono::duration_cast<std::chrono::steady_clock::duration>(
+                std::chrono::duration<double>(period_s))) {}
+
+bool Heartbeat::due() {
+  const auto now = std::chrono::steady_clock::now();
+  if (now < next_) return false;
+  next_ = now + std::chrono::duration_cast<std::chrono::steady_clock::duration>(
+                    std::chrono::duration<double>(period_s_));
+  return true;
+}
+
+}  // namespace rfdnet::obs

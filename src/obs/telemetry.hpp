@@ -1,0 +1,139 @@
+#pragma once
+
+#include <chrono>
+#include <cstdint>
+#include <functional>
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+namespace rfdnet::obs {
+
+class Counter;
+class Gauge;
+
+/// Deterministic sim-time metric sampler: snapshots a registered set of
+/// counters, gauges and probe callbacks at fixed simulated-time instants
+/// (t0 + period, t0 + 2*period, ...) and renders the series as JSONL rows
+/// `{"t":..,"name":..,"value":..}` in canonical name order at %.17g.
+///
+/// Every stored cell is an integer (counter values, gauge levels, probe
+/// results), so the artifact is a pure function of the event sequence: two
+/// runs sampling the same logical state at the same instants produce
+/// byte-identical JSONL. Sharded runs keep one sampler per shard over the
+/// same grid and `merge` them — per-cell integer addition — which is exact
+/// for logical counters (each event counted on exactly one shard) and for
+/// instantaneous level probes (per-shard sums add to the global level).
+/// Partition-dependent figures (heap occupancy, gauge high-water marks,
+/// float histograms) must not be registered in sharded runs; the drivers
+/// enforce that split via the `bind_logical` metric bundles.
+///
+/// Allocation discipline: `reserve` preallocates the row storage, series
+/// registration happens at wiring time, and the series order is sealed
+/// (sorted once, in place) on the first `sample` — steady-state sampling is
+/// allocation-free, the property the telemetry property suite pins down.
+class TelemetrySampler {
+ public:
+  /// Grid `first_us + k * period_us` for k = 0, 1, ... (integer
+  /// microseconds; `period_us` must be > 0).
+  TelemetrySampler(std::int64_t first_us, std::int64_t period_us);
+
+  /// Registers one series. Legal only before the first `sample`
+  /// (`std::logic_error` afterwards); duplicate names throw.
+  void add_counter(std::string name, const Counter* c);
+  void add_gauge(std::string name, const Gauge* g);
+  /// Probe callbacks cover figures no component maintains continuously
+  /// (RIB residency, damping entry-store occupancy): invoked at each sample
+  /// instant, they must return the instantaneous level as an integer.
+  void add_probe(std::string name, std::function<std::int64_t()> probe);
+
+  /// Preallocates storage for `n_samples` rows (steady-state sampling then
+  /// allocates nothing until the reservation is exhausted).
+  void reserve(std::size_t n_samples);
+
+  /// Records one row at simulated instant `t_us`: reads every series in
+  /// canonical name order. Instants must be strictly increasing; sampling
+  /// after `finalize` throws `std::logic_error`.
+  void sample(std::int64_t t_us);
+
+  /// Seals the sampler. Idempotent; `sample` afterwards throws.
+  void finalize();
+  bool finalized() const { return finalized_; }
+
+  /// Drops rows strictly after `last_event_us` (requires `finalize`).
+  /// Sharded runs can sample trailing grid instants inside the final
+  /// conservative window that the serial run never reaches; truncating both
+  /// at the globally-last executed event makes the emission set
+  /// partition-independent.
+  void truncate_after(std::int64_t last_event_us);
+
+  /// Per-cell integer addition of another sampler's rows into this one.
+  /// Both must be finalized with identical grids, sample times and series
+  /// names (`std::logic_error` otherwise — merging an unfinalized sampler
+  /// is a misuse the property suite pins).
+  void merge(const TelemetrySampler& other);
+
+  std::int64_t first_us() const { return first_us_; }
+  std::int64_t period_us() const { return period_us_; }
+  std::size_t series_count() const { return series_.size(); }
+  std::size_t sample_count() const { return times_us_.size(); }
+
+  /// Last recorded value / maximum over all rows of series `name`
+  /// (0 when the series is unknown or no rows were recorded). `peak` is how
+  /// the drivers recover true in-run damping/residency peaks that the
+  /// end-of-run gauge snapshot cannot see.
+  std::int64_t last(const std::string& name) const;
+  std::int64_t peak(const std::string& name) const;
+
+  /// One `{"t":..,"name":..,"value":..}` object per line, rows in time
+  /// order, series in name order within a row, numbers at %.17g.
+  void write_jsonl(std::ostream& os) const;
+  std::string jsonl() const;
+
+  /// Compact end-of-run summary for `--json` exports and scorecard-adjacent
+  /// reports: `{"period_s":..,"first_s":..,"samples":N,
+  /// "series":{name:{"last":..,"peak":..},..}}`.
+  std::string summary_json() const;
+
+ private:
+  struct Series {
+    std::string name;
+    const Counter* counter = nullptr;
+    const Gauge* gauge = nullptr;
+    std::function<std::int64_t()> probe;
+  };
+
+  void check_open(const char* what) const;
+  void seal();
+  std::int64_t read(const Series& s) const;
+  std::size_t series_index(const std::string& name) const;
+
+  std::int64_t first_us_;
+  std::int64_t period_us_;
+  std::vector<Series> series_;
+  bool sealed_ = false;
+  bool finalized_ = false;
+  std::vector<std::int64_t> times_us_;
+  /// Row-major `sample_count() x series_count()` cell matrix.
+  std::vector<std::int64_t> values_;
+};
+
+/// Wall-clock rate limiter behind `--heartbeat`: `due()` returns true at
+/// most once per period. Heartbeat output is volatile by construction
+/// (wall-clock rates, barrier waits) and goes to stderr only — never into a
+/// deterministic artifact.
+class Heartbeat {
+ public:
+  explicit Heartbeat(double period_s);
+
+  /// True when at least one period elapsed since the last true return.
+  bool due();
+
+  double period_s() const { return period_s_; }
+
+ private:
+  double period_s_;
+  std::chrono::steady_clock::time_point next_;
+};
+
+}  // namespace rfdnet::obs

@@ -183,7 +183,9 @@ void DampingModule::on_update(int slot, const bgp::UpdateMessage& msg,
                    "rfd: charged penalty outside [0, ceiling]");
   if (metrics_) {
     metrics_->charges->inc();
-    metrics_->penalty->observe(value);
+    // Logical bundles (bind_logical) leave the penalty histogram null — it
+    // sums doubles in observation order, which is partition-dependent.
+    if (metrics_->penalty) metrics_->penalty->observe(value);
   }
   if (observer_) {
     observer_->on_penalty(self_, peer_ids_.at(slot), msg.prefix, value, now);
@@ -339,7 +341,10 @@ std::optional<sim::SimTime> DampingModule::reuse_time(int slot,
 }
 
 std::size_t DampingModule::active_entries() const {
-  const sim::SimTime now = engine_.now();
+  return active_entries(engine_.now());
+}
+
+std::size_t DampingModule::active_entries(sim::SimTime now) const {
   const double lambda = params_.lambda();
   std::size_t live = 0;
   entries_.for_each([&](bgp::Prefix, const std::vector<Entry>& entries) {

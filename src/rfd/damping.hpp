@@ -105,6 +105,11 @@ class DampingModule final : public bgp::DampingHook {
   /// bounds. `tracked_entries` additionally counts rows kept only for their
   /// `ever_announced` flag. O(tracked) walk; reporting cadence only.
   std::size_t active_entries() const;
+  /// Same count with penalty decay evaluated at an explicit instant instead
+  /// of the engine clock. The telemetry probes use this: at a barrier-
+  /// aligned sample instant a shard's own clock sits at its last executed
+  /// event, which depends on the partition — the grid instant does not.
+  std::size_t active_entries(sim::SimTime now) const;
   /// Entry store backend this module runs on.
   bgp::RibBackendKind rib_backend() const { return entries_.kind(); }
 

@@ -98,8 +98,12 @@ EventId Engine::schedule_impl(SimTime t, std::uint64_t key, std::uint32_t ctx,
   }
   if (metrics_) [[unlikely]] {
     metrics_->scheduled->inc();
-    metrics_->heap->set(static_cast<std::int64_t>(heap_.size()));
-    metrics_->live->set(static_cast<std::int64_t>(live_));
+    // Heap/live occupancy is partition-dependent; a logical bundle
+    // (EngineMetrics::bind_logical) leaves those gauges null.
+    if (metrics_->heap) {
+      metrics_->heap->set(static_cast<std::int64_t>(heap_.size()));
+      metrics_->live->set(static_cast<std::int64_t>(live_));
+    }
   }
   return id;
 }
@@ -133,8 +137,10 @@ bool Engine::cancel(EventId id) {
   maybe_compact();
   if (metrics_) [[unlikely]] {
     metrics_->cancelled->inc();
-    metrics_->heap->set(static_cast<std::int64_t>(heap_.size()));
-    metrics_->live->set(static_cast<std::int64_t>(live_));
+    if (metrics_->heap) {
+      metrics_->heap->set(static_cast<std::int64_t>(heap_.size()));
+      metrics_->live->set(static_cast<std::int64_t>(live_));
+    }
   }
   RFDNET_INVARIANT(heap_.size() < kCompactMinHeap ||
                        heap_.size() - live_ <= live_,
@@ -151,7 +157,7 @@ void Engine::maybe_compact() {
 void Engine::compact() {
   std::erase_if(heap_, [this](const Entry& e) { return !live_slot(e.id); });
   std::make_heap(heap_.begin(), heap_.end(), Later{});
-  if (metrics_) metrics_->compactions->inc();
+  if (metrics_ && metrics_->compactions) metrics_->compactions->inc();
 }
 
 bool Engine::step() {
@@ -176,7 +182,12 @@ bool Engine::step() {
     ++executed_;
     if (metrics_) [[unlikely]] {
       metrics_->fired->inc();
-      metrics_->live->set(static_cast<std::int64_t>(live_));
+      if (metrics_->live) {
+        metrics_->live->set(static_cast<std::int64_t>(live_));
+      }
+    }
+    if (heartbeat_ && (executed_ & 1023u) == 0) [[unlikely]] {
+      heartbeat_();
     }
     if (trace_) [[unlikely]] {
       trace_->engine_step(now_.as_seconds(), executed_, live_, heap_.size());
@@ -229,6 +240,37 @@ std::uint64_t Engine::run_before(SimTime end) {
     if (top.time >= end) break;
     step();
     ++n;
+  }
+  return n;
+}
+
+std::uint64_t Engine::run_sampled(
+    SimTime horizon, SimTime first, Duration period,
+    const std::function<void(SimTime)>& on_sample) {
+  if (period <= Duration::zero()) {
+    throw std::logic_error("Engine: run_sampled period must be positive");
+  }
+  std::uint64_t n = 0;
+  SimTime next = first;
+  for (;;) {
+    const std::optional<SimTime> nt = next_time();
+    if (!nt || *nt > horizon) break;
+    // Grid instants strictly before the next event: nothing can change the
+    // sampled state, so emit idle samples without running anything.
+    while (next <= horizon && next < *nt) {
+      on_sample(next);
+      next = next + period;
+    }
+    if (next <= horizon) {
+      // `run` is inclusive: every event at or before the sample instant —
+      // including same-instant events its handlers schedule — executes
+      // before the snapshot.
+      n += run(next);
+      on_sample(next);
+      next = next + period;
+    } else {
+      n += run(horizon);
+    }
   }
   return n;
 }

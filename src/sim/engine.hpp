@@ -100,6 +100,17 @@ class Engine {
   /// at `end` or later stay queued). Returns the number executed.
   std::uint64_t run_before(SimTime end);
 
+  /// Like `run(horizon)`, but invokes `on_sample(t)` at every grid instant
+  /// `first + k * period` (k = 0, 1, ...) up to `horizon`, after every event
+  /// at or before `t` has executed and before any later event runs — the
+  /// exact post-state the sharded engine's barrier-aligned sampling hook
+  /// observes, so serial and sharded telemetry series agree byte-for-byte.
+  /// Grid instants after the last executed event are not sampled (the run
+  /// ends with the queue drained, matching the sharded drivers' truncation
+  /// at the globally-last event). `period` must be positive.
+  std::uint64_t run_sampled(SimTime horizon, SimTime first, Duration period,
+                            const std::function<void(SimTime)>& on_sample);
+
   /// Time of the earliest live event, or nullopt when none are pending.
   /// Pops stale (cancelled) heap tops as a side effect.
   std::optional<SimTime> next_time();
@@ -120,6 +131,12 @@ class Engine {
   /// schedule / fire / cancel is counted per `EventKind` and fired handlers
   /// are wall-timed; detached, the hot path costs one branch.
   void set_profile(EngineProfile* p) { profile_ = p; }
+
+  /// Attaches (or clears, with an empty function) a wall-clock heartbeat
+  /// hook, polled once every 1024 executed events. The hook typically rate-
+  /// limits itself (`obs::Heartbeat`) and reports progress to stderr —
+  /// volatile output only, never part of a deterministic artifact.
+  void set_heartbeat(std::function<void()> h) { heartbeat_ = std::move(h); }
 
   /// Audit: slot bookkeeping matches `pending()` and the heap obeys the
   /// compaction bound. Throws `obs::InvariantViolation` on any breakage.
@@ -172,6 +189,7 @@ class Engine {
   obs::EngineMetrics* metrics_ = nullptr;
   obs::TraceSink* trace_ = nullptr;
   EngineProfile* profile_ = nullptr;
+  std::function<void()> heartbeat_;
   std::uint64_t next_seq_ = 0;
   std::size_t live_ = 0;
   std::uint64_t executed_ = 0;

@@ -77,6 +77,28 @@ void ShardedEngine::admit(int s, SimTime end) {
   cross_admitted_.fetch_add(ready.size(), std::memory_order_relaxed);
 }
 
+void ShardedEngine::set_sampling(SimTime first, Duration period,
+                                 std::function<void(int, SimTime)> fn) {
+  if (period <= Duration::zero()) {
+    throw std::logic_error("ShardedEngine: sampling period must be positive");
+  }
+  sample_fn_ = std::move(fn);
+  sample_period_ = period;
+  sample_cursor_.assign(engines_.size(), first);
+}
+
+void ShardedEngine::clear_sampling() {
+  sample_fn_ = nullptr;
+  sample_period_ = Duration::zero();
+  sample_cursor_.clear();
+}
+
+std::uint64_t ShardedEngine::executed_so_far() const {
+  std::uint64_t n = 0;
+  for (const auto& e : engines_) n += e->executed();
+  return n;
+}
+
 SimTime ShardedEngine::now() const {
   SimTime t = SimTime::zero();
   for (const auto& e : engines_) t = std::max(t, e->now());
@@ -103,6 +125,7 @@ std::uint64_t ShardedEngine::run(SimTime horizon) {
     // admit loop in case anything was posted to the lone shard.
     if (init_) init_(0);
     Engine& e = *engines_[0];
+    if (heartbeat_) e.set_heartbeat(heartbeat_);
     const SimTime end = horizon == SimTime::max()
                             ? SimTime::max()
                             : horizon + Duration::micros(1);
@@ -112,10 +135,21 @@ std::uint64_t ShardedEngine::run(SimTime horizon) {
       admit(0, end);
       const bool admitted_any =
           cross_admitted_.load(std::memory_order_relaxed) != admitted_before;
-      const std::uint64_t ran = e.run(horizon);
+      // With sampling on, the engine emits at the persistent cursor's grid
+      // instants — the cursor survives the admit loop's iterations so each
+      // instant is sampled exactly once.
+      const std::uint64_t ran =
+          sample_fn_ ? e.run_sampled(horizon, sample_cursor_[0],
+                                     sample_period_,
+                                     [this](SimTime t) {
+                                       sample_fn_(0, t);
+                                       sample_cursor_[0] = t + sample_period_;
+                                     })
+                     : e.run(horizon);
       executed_.fetch_add(ran, std::memory_order_relaxed);
       if (!admitted_any && ran == 0) break;
     }
+    if (heartbeat_) e.set_heartbeat(nullptr);
     if (fini_) fini_(0);
     stats_.cross_posted = cross_posted_.load(std::memory_order_relaxed);
     stats_.cross_admitted = cross_admitted_.load(std::memory_order_relaxed);
@@ -173,12 +207,16 @@ std::uint64_t ShardedEngine::run(SimTime horizon) {
                                                  : t + lookahead;
     round.window_end = std::min(end, cap);
     ++stats_.rounds;
+    // Heartbeat from the exclusive completion step: the barrier gives this
+    // thread a happens-before edge over every shard's round work, so the
+    // hook may read engine clocks and counters without extra locking. The
+    // hook rate-limits itself and must not throw (this lambda is noexcept).
+    if (heartbeat_) heartbeat_();
   };
   std::barrier bar(k, completion);
 
   auto body = [&](int s) {
     std::uint64_t ran_total = 0;
-    std::uint64_t wait_ns = 0;
     std::uint64_t close_ns = 0;
     std::uint64_t busy_ns = 0;
     const auto elapsed = [](std::chrono::steady_clock::time_point t0) {
@@ -194,10 +232,27 @@ std::uint64_t ShardedEngine::run(SimTime horizon) {
         round.local_next[static_cast<std::size_t>(s)] = local_next(s);
         const auto w0 = std::chrono::steady_clock::now();
         bar.arrive_and_wait();  // completion computes window_end / done
-        wait_ns += elapsed(w0);
+        {
+          // Folded per round (not at thread exit) so the heartbeat hook can
+          // report live barrier waits; one relaxed add per round is noise
+          // next to the barrier itself.
+          barrier_wait_ns_.fetch_add(elapsed(w0), std::memory_order_relaxed);
+        }
         if (round.done) break;
         const auto b0 = std::chrono::steady_clock::now();
         admit(s, round.window_end);
+        if (sample_fn_) {
+          // Every inbox message below window_end is admitted and nothing
+          // later can arrive inside the window, so running to the grid
+          // instant (inclusive: run_before(t + 1us)) yields the exact
+          // post-state at t for this shard.
+          SimTime& cursor = sample_cursor_[static_cast<std::size_t>(s)];
+          while (cursor < round.window_end) {
+            ran_total += e.run_before(cursor + Duration::micros(1));
+            sample_fn_(s, cursor);
+            cursor = cursor + sample_period_;
+          }
+        }
         ran_total += e.run_before(round.window_end);
         busy_ns += elapsed(b0);
         const auto c0 = std::chrono::steady_clock::now();
@@ -215,7 +270,7 @@ std::uint64_t ShardedEngine::run(SimTime horizon) {
       bar.arrive_and_drop();
     }
     executed_.fetch_add(ran_total, std::memory_order_relaxed);
-    barrier_wait_ns_.fetch_add(wait_ns, std::memory_order_relaxed);
+    // wait_ns already reached barrier_wait_ns_ round by round (see above).
     close_wait_ns_.fetch_add(close_ns, std::memory_order_relaxed);
     busy_ns_.fetch_add(busy_ns, std::memory_order_relaxed);
     if (fini_) fini_(s);

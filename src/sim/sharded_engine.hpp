@@ -78,6 +78,40 @@ class ShardedEngine {
   void set_thread_init(std::function<void(int)> fn) { init_ = std::move(fn); }
   void set_thread_fini(std::function<void(int)> fn) { fini_ = std::move(fn); }
 
+  /// Barrier-aligned sim-time sampling: during `run`, each shard invokes
+  /// `fn(s, t)` at every grid instant `t = first + k * period` it reaches,
+  /// after every event of shard `s` at or before `t` has executed and
+  /// before any later event of the shard runs. The conservative window
+  /// guarantees the shard cannot hear anything stamped inside the window it
+  /// is executing, so the per-shard snapshot at `t` is exact; per-shard
+  /// series over the same grid merge by addition into the global series
+  /// (`obs::TelemetrySampler::merge`). Windows advance monotonically and
+  /// identically for every shard count, so the emitted grid — after
+  /// truncation at the globally-last event — is shard-count-invariant.
+  /// `fn` runs on the shard's thread; distinct shards must write to
+  /// distinct samplers. Cursors persist across `run` calls; `period` must
+  /// be positive.
+  void set_sampling(SimTime first, Duration period,
+                    std::function<void(int, SimTime)> fn);
+  void clear_sampling();
+
+  /// Wall-clock heartbeat hook, invoked from the (exclusive) barrier
+  /// completion step once per round while a multi-shard `run` is in flight,
+  /// and polled by the lone engine in the serial fallback. The hook may
+  /// read `now()`, `executed_so_far()`, `rounds_so_far()` and
+  /// `barrier_wait_ns_so_far()`; it must not throw (the completion step is
+  /// noexcept). Volatile output only — never part of a deterministic
+  /// artifact.
+  void set_heartbeat(std::function<void()> h) { heartbeat_ = std::move(h); }
+
+  /// Live progress figures for the heartbeat hook (safe only from the hook
+  /// itself or while no `run` is in flight).
+  std::uint64_t rounds_so_far() const { return stats_.rounds; }
+  std::uint64_t executed_so_far() const;
+  std::uint64_t barrier_wait_ns_so_far() const {
+    return barrier_wait_ns_.load(std::memory_order_relaxed);
+  }
+
   /// Thread-safe: enqueues `fn` for shard `dest` at absolute time `t` with
   /// logical key `key` and auto-key context `ctx`. The message is admitted
   /// into the shard's engine at the next round boundary whose window covers
@@ -126,6 +160,10 @@ class ShardedEngine {
   Duration lookahead_ = Duration::zero();
   std::function<void(int)> init_;
   std::function<void(int)> fini_;
+  std::function<void(int, SimTime)> sample_fn_;
+  Duration sample_period_ = Duration::zero();
+  std::vector<SimTime> sample_cursor_;  ///< next unsampled grid instant
+  std::function<void()> heartbeat_;
   Stats stats_;
   std::atomic<std::uint64_t> cross_posted_{0};
   std::atomic<std::uint64_t> cross_admitted_{0};

@@ -121,6 +121,16 @@ class Recorder final : public bgp::Observer {
   std::uint64_t silent_reuse_count() const;
   std::uint64_t suppress_count() const { return suppressions_.size(); }
 
+  /// Entries currently suppressed: suppress events minus reuse fires since
+  /// the last `reset()` — the live level behind `damped_links()`, exposed as
+  /// an integer so the telemetry sampler can probe it. Shard-legal: every
+  /// suppress/reuse lands on the owning router's shard, so per-shard levels
+  /// sum to the global level.
+  std::int64_t damped_level() const {
+    return static_cast<std::int64_t>(suppressions_.size()) -
+           static_cast<std::int64_t>(reuses_.size());
+  }
+
   /// Highest penalty value ever recorded anywhere in the network (used to
   /// check the paper's §5.2 claim that path exploration alone cannot come
   /// near the 12000 ceiling).

@@ -130,6 +130,50 @@ TEST(ValidateObsArgs, RejectsFormatWithoutTrace) {
   EXPECT_NE(err->find("--trace"), std::string::npos) << *err;
 }
 
+TEST(ValidateObsArgs, TelemetryAndHeartbeatFlags) {
+  EXPECT_FALSE(validate_obs_args({"--telemetry", "1"}));
+  EXPECT_FALSE(validate_obs_args({"--telemetry=0.5"}));
+  EXPECT_FALSE(validate_obs_args({"--telemetry", "2", "--telemetry-out", "-"}));
+  EXPECT_FALSE(
+      validate_obs_args({"--telemetry", "2", "--telemetry-out", "t.jsonl"}));
+  EXPECT_FALSE(validate_obs_args({"--heartbeat", "5"}));
+
+  // Non-numeric / non-positive / sub-microsecond periods are named errors.
+  const auto junk = validate_obs_args({"--telemetry", "fast"});
+  ASSERT_TRUE(junk);
+  EXPECT_NE(junk->find("--telemetry"), std::string::npos) << *junk;
+  EXPECT_NE(junk->find("fast"), std::string::npos) << *junk;
+
+  const auto neg = validate_obs_args({"--telemetry", "-3"});
+  ASSERT_TRUE(neg);
+  EXPECT_NE(neg->find("--telemetry"), std::string::npos) << *neg;
+
+  const auto tiny = validate_obs_args({"--telemetry", "1e-9"});
+  ASSERT_TRUE(tiny);
+  EXPECT_NE(tiny->find("microsecond"), std::string::npos) << *tiny;
+
+  const auto hb = validate_obs_args({"--heartbeat", "0"});
+  ASSERT_TRUE(hb);
+  EXPECT_NE(hb->find("--heartbeat"), std::string::npos) << *hb;
+
+  // --telemetry-out without --telemetry would silently write nothing.
+  const auto orphan = validate_obs_args({"--telemetry-out", "t.jsonl"});
+  ASSERT_TRUE(orphan);
+  EXPECT_NE(orphan->find("--telemetry-out"), std::string::npos) << *orphan;
+  EXPECT_NE(orphan->find("--telemetry"), std::string::npos) << *orphan;
+
+  // Missing values are caught, not parsed as the next flag.
+  const auto miss = validate_obs_args({"--telemetry"});
+  ASSERT_TRUE(miss);
+  EXPECT_NE(miss->find("--telemetry"), std::string::npos) << *miss;
+  const auto miss_out = validate_obs_args({"--telemetry", "1", "--telemetry-out"});
+  ASSERT_TRUE(miss_out);
+  EXPECT_NE(miss_out->find("--telemetry-out"), std::string::npos) << *miss_out;
+  const auto miss_hb = validate_obs_args({"--heartbeat"});
+  ASSERT_TRUE(miss_hb);
+  EXPECT_NE(miss_hb->find("--heartbeat"), std::string::npos) << *miss_hb;
+}
+
 TEST(ValidateObsArgs, ArgcArgvFormSkipsProgramName) {
   const char* good[] = {"prog", "--trace", "out"};
   EXPECT_FALSE(validate_obs_args(3, good));

@@ -145,16 +145,28 @@ TEST(ShardedDeterminism, SerialOnlyFeaturesAreRejectedPerFeature) {
     expect_rejected_with(cfg, "span collection");
   }
   {
-    // The metrics rejection must point at the sharding-legal alternative.
-    ExperimentConfig cfg = base;
-    cfg.collect_metrics = true;
-    expect_rejected_with(cfg, "metrics collection");
-    expect_rejected_with(cfg, "collect_stability");
-  }
-  {
     ExperimentConfig cfg = base;
     cfg.profile = true;
     expect_rejected_with(cfg, "profiling");
+  }
+  {
+    // Metrics collection is sharding-legal now (logical counter bundles
+    // merge exactly); only the invalid telemetry knobs are rejected, and
+    // each rejection names its flag.
+    ExperimentConfig cfg = base;
+    cfg.collect_metrics = true;
+    cfg.telemetry_period_s = -1.0;
+    expect_rejected_with(cfg, "telemetry period must be > 0");
+  }
+  {
+    ExperimentConfig cfg = base;
+    cfg.telemetry_period_s = 1e-9;  // rounds to a zero-length grid step
+    expect_rejected_with(cfg, ">= 1 microsecond");
+  }
+  {
+    ExperimentConfig cfg = base;
+    cfg.heartbeat_s = -0.5;
+    expect_rejected_with(cfg, "heartbeat period must be > 0");
   }
   {
     FullTableConfig cfg;
@@ -236,6 +248,87 @@ TEST(ShardedDeterminism, StabilityReportAndMetricsAreShardCountInvariant) {
       EXPECT_EQ(r.base.stability->to_json(), report_json)
           << "report diverged at shards=" << shards;
       EXPECT_EQ(r.base.metrics.json(), metrics_json)
+          << "metrics diverged at shards=" << shards;
+    }
+  }
+}
+
+TEST(ShardedDeterminism, TelemetryAndMetricsAreShardCountInvariant) {
+  // The PR 9 contract: the telemetry JSONL series, its summary, and the
+  // logical-counter metrics registry must be byte-identical at shards
+  // 1/2/4 — including the time-evaluating residency/occupancy probes,
+  // which must judge reclaim eligibility and penalty decay at the grid
+  // instant rather than the (partition-dependent) shard clock.
+  for (const auto kind : {TopologySpec::Kind::kMeshTorus,
+                          TopologySpec::Kind::kInternetLike}) {
+    ExperimentConfig cfg;
+    cfg.topology.kind = kind;
+    cfg.topology.width = 6;
+    cfg.topology.height = 6;
+    cfg.topology.nodes = 208;
+    cfg.pulses = 2;
+    cfg.seed = 7;
+    cfg.collect_metrics = true;
+    cfg.telemetry_period_s = 5.0;
+
+    std::string jsonl;
+    std::string summary;
+    std::string metrics_json;
+    for (const int shards : {1, 2, 4}) {
+      const ShardedExperimentResult r = run_sharded_experiment(cfg, shards);
+      ASSERT_FALSE(r.base.telemetry_jsonl.empty());
+      ASSERT_FALSE(r.base.telemetry_summary.empty());
+      if (jsonl.empty()) {
+        jsonl = r.base.telemetry_jsonl;
+        summary = r.base.telemetry_summary;
+        metrics_json = r.base.metrics.json();
+        // The series carries the shard-legal bundle, not the serial-only
+        // engine.pending probe.
+        EXPECT_NE(jsonl.find("\"bgp.rib_resident\""), std::string::npos);
+        EXPECT_NE(jsonl.find("\"rfd.active_entries\""), std::string::npos);
+        EXPECT_EQ(jsonl.find("engine.pending"), std::string::npos);
+      } else {
+        EXPECT_EQ(r.base.telemetry_jsonl, jsonl)
+            << "telemetry diverged at shards=" << shards;
+        EXPECT_EQ(r.base.telemetry_summary, summary)
+            << "summary diverged at shards=" << shards;
+        EXPECT_EQ(r.base.metrics.json(), metrics_json)
+            << "metrics diverged at shards=" << shards;
+      }
+    }
+  }
+}
+
+TEST(ShardedDeterminism, TelemetryFullTableIsShardCountInvariant) {
+  std::string jsonl;
+  std::string summary;
+  std::string metrics_json;
+  for (const int shards : {1, 2, 4}) {
+    FullTableConfig cfg;
+    cfg.prefixes = 300;
+    cfg.events = 600;
+    cfg.routers = 6;
+    cfg.seed = 3;
+    cfg.samples = 16;
+    cfg.cooldown_s = 60.0;
+    cfg.telemetry_period_s = 20.0;
+    cfg.shards = shards;
+    const FullTableResult res = run_full_table(cfg);
+    ASSERT_FALSE(res.telemetry_jsonl.empty());
+    if (jsonl.empty()) {
+      jsonl = res.telemetry_jsonl;
+      summary = res.telemetry_summary;
+      metrics_json = res.metrics.json();
+      // Full-table sharding pre-schedules per-shard residency events, so no
+      // engine.* series is shard-legal here.
+      EXPECT_EQ(jsonl.find("engine."), std::string::npos);
+      EXPECT_NE(jsonl.find("\"bgp.rib_resident\""), std::string::npos);
+    } else {
+      EXPECT_EQ(res.telemetry_jsonl, jsonl)
+          << "telemetry diverged at shards=" << shards;
+      EXPECT_EQ(res.telemetry_summary, summary)
+          << "summary diverged at shards=" << shards;
+      EXPECT_EQ(res.metrics.json(), metrics_json)
           << "metrics diverged at shards=" << shards;
     }
   }

@@ -1,0 +1,231 @@
+// Property tests for the deterministic telemetry sampler (obs/telemetry):
+//
+//  - zero steady-state allocation: after `reserve` and the sealing first
+//    sample, the record path performs no allocation at all — pinned by a
+//    test-global operator new counter, the same harness the stability
+//    property suite uses;
+//  - misuse is loud: registration after sealing, duplicate series names,
+//    non-increasing sample instants, sampling after finalize, truncation
+//    before finalize, and merging unfinalized / grid-mismatched samplers
+//    all throw instead of corrupting the artifact;
+//  - determinism and merge: replaying the same state gives byte-identical
+//    JSONL, and two samplers holding disjoint halves of the counters merge
+//    into the single-sampler result cell for cell — the sharding contract.
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cstdint>
+#include <cstdlib>
+#include <new>
+#include <stdexcept>
+#include <string>
+
+#include "obs/metrics.hpp"
+#include "obs/telemetry.hpp"
+
+// Test-binary-global allocation counter. The default operator new[] funnels
+// through operator new, so counting here covers the row storage and any
+// container machinery the sampler touches while recording.
+namespace {
+std::atomic<std::uint64_t> g_allocations{0};
+}  // namespace
+
+void* operator new(std::size_t size) {
+  g_allocations.fetch_add(1, std::memory_order_relaxed);
+  if (void* p = std::malloc(size ? size : 1)) return p;
+  throw std::bad_alloc();
+}
+
+void operator delete(void* p) noexcept { std::free(p); }
+void operator delete(void* p, std::size_t) noexcept { std::free(p); }
+
+namespace rfdnet::obs {
+namespace {
+
+constexpr std::int64_t kPeriodUs = 1'000'000;
+
+// ---------------------------------------------------------------------------
+// Zero steady-state allocation.
+
+TEST(TelemetryProperty, RecordPathAllocationFreeAfterReserve) {
+  Counter sends;
+  Counter charges;
+  Gauge depth;
+  std::int64_t level = 0;
+  TelemetrySampler sampler(kPeriodUs, kPeriodUs);
+  sampler.add_counter("bgp.sends", &sends);
+  sampler.add_counter("rfd.charges", &charges);
+  sampler.add_gauge("engine.depth", &depth);
+  sampler.add_probe("bgp.rib_resident", [&level] { return level; });
+
+  constexpr int kRounds = 2000;
+  sampler.reserve(kRounds + 1);
+  // First sample seals the series order; sealing sorts in place and is the
+  // last pre-steady-state step.
+  sampler.sample(kPeriodUs);
+
+  const std::uint64_t heap_before =
+      g_allocations.load(std::memory_order_relaxed);
+  for (int i = 1; i <= kRounds; ++i) {
+    sends.inc(3);
+    charges.inc();
+    depth.set(i % 17);
+    level = i % 5;
+    sampler.sample(kPeriodUs + static_cast<std::int64_t>(i) * kPeriodUs);
+  }
+  const std::uint64_t heap_after =
+      g_allocations.load(std::memory_order_relaxed);
+
+  EXPECT_EQ(heap_after, heap_before)
+      << "record path allocated " << (heap_after - heap_before)
+      << " times over " << kRounds << " reserved samples";
+  EXPECT_EQ(sampler.sample_count(), static_cast<std::size_t>(kRounds + 1));
+  EXPECT_EQ(sampler.last("bgp.sends"),
+            static_cast<std::int64_t>(sends.value()));
+  EXPECT_EQ(sampler.peak("engine.depth"), 16);
+}
+
+// ---------------------------------------------------------------------------
+// Misuse throws.
+
+TEST(TelemetryProperty, MisuseThrows) {
+  EXPECT_THROW(TelemetrySampler(0, 0), std::invalid_argument);
+  EXPECT_THROW(TelemetrySampler(0, -5), std::invalid_argument);
+
+  Counter c;
+  {
+    // Registration after the sealing first sample.
+    TelemetrySampler s(kPeriodUs, kPeriodUs);
+    s.add_counter("a", &c);
+    s.sample(kPeriodUs);
+    EXPECT_THROW(s.add_counter("b", &c), std::logic_error);
+    EXPECT_THROW(s.add_gauge("g", nullptr), std::logic_error);
+    EXPECT_THROW(s.add_probe("p", [] { return std::int64_t{0}; }),
+                 std::logic_error);
+  }
+  {
+    // Duplicate series names are caught at sealing.
+    TelemetrySampler s(kPeriodUs, kPeriodUs);
+    s.add_counter("dup", &c);
+    s.add_counter("dup", &c);
+    EXPECT_THROW(s.sample(kPeriodUs), std::logic_error);
+  }
+  {
+    // Sample instants must be strictly increasing.
+    TelemetrySampler s(kPeriodUs, kPeriodUs);
+    s.add_counter("a", &c);
+    s.sample(kPeriodUs);
+    EXPECT_THROW(s.sample(kPeriodUs), std::logic_error);
+    EXPECT_THROW(s.sample(kPeriodUs - 1), std::logic_error);
+  }
+  {
+    // No sampling or registration after finalize; no truncation before it.
+    TelemetrySampler s(kPeriodUs, kPeriodUs);
+    s.add_counter("a", &c);
+    EXPECT_THROW(s.truncate_after(kPeriodUs), std::logic_error);
+    s.sample(kPeriodUs);
+    s.finalize();
+    s.finalize();  // idempotent
+    EXPECT_THROW(s.sample(2 * kPeriodUs), std::logic_error);
+    EXPECT_THROW(s.add_counter("b", &c), std::logic_error);
+  }
+  {
+    // Merge requires both finalized, one grid, one shape.
+    TelemetrySampler a(kPeriodUs, kPeriodUs);
+    TelemetrySampler b(kPeriodUs, kPeriodUs);
+    a.add_counter("x", &c);
+    b.add_counter("x", &c);
+    a.sample(kPeriodUs);
+    b.sample(kPeriodUs);
+    a.finalize();
+    EXPECT_THROW(a.merge(b), std::logic_error);  // b not finalized
+    b.finalize();
+    a.merge(b);  // now legal
+
+    TelemetrySampler off_grid(2 * kPeriodUs, kPeriodUs);
+    off_grid.add_counter("x", &c);
+    off_grid.sample(2 * kPeriodUs);
+    off_grid.finalize();
+    EXPECT_THROW(a.merge(off_grid), std::logic_error);
+
+    TelemetrySampler other_name(kPeriodUs, kPeriodUs);
+    other_name.add_counter("y", &c);
+    other_name.sample(kPeriodUs);
+    other_name.finalize();
+    EXPECT_THROW(a.merge(other_name), std::logic_error);
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Determinism and exact merge.
+
+TEST(TelemetryProperty, ReplayIsByteIdenticalAndMergeIsExact) {
+  // One "global" counter pair against two "shard" pairs holding disjoint
+  // slices of the same event stream, all sampled on one grid.
+  Counter total_sends, total_charges;
+  Counter shard_sends[2], shard_charges[2];
+  std::int64_t total_level = 0;
+  std::int64_t shard_level[2] = {0, 0};
+
+  TelemetrySampler global(kPeriodUs, kPeriodUs);
+  global.add_counter("bgp.sends", &total_sends);
+  global.add_counter("rfd.charges", &total_charges);
+  global.add_probe("bgp.rib_resident", [&total_level] { return total_level; });
+
+  TelemetrySampler shard0(kPeriodUs, kPeriodUs);
+  shard0.add_counter("bgp.sends", &shard_sends[0]);
+  shard0.add_counter("rfd.charges", &shard_charges[0]);
+  shard0.add_probe("bgp.rib_resident",
+                   [&shard_level] { return shard_level[0]; });
+  TelemetrySampler shard1(kPeriodUs, kPeriodUs);
+  shard1.add_counter("bgp.sends", &shard_sends[1]);
+  shard1.add_counter("rfd.charges", &shard_charges[1]);
+  shard1.add_probe("bgp.rib_resident",
+                   [&shard_level] { return shard_level[1]; });
+
+  std::uint64_t state = 42;
+  const auto next = [&state] {  // xorshift: deterministic event stream
+    state ^= state << 13;
+    state ^= state >> 7;
+    state ^= state << 17;
+    return state;
+  };
+  for (int i = 1; i <= 64; ++i) {
+    for (int e = 0; e < 10; ++e) {
+      const int shard = static_cast<int>(next() % 2);
+      shard_sends[shard].inc();
+      total_sends.inc();
+      if (next() % 3 == 0) {
+        shard_charges[shard].inc();
+        total_charges.inc();
+      }
+      const std::int64_t delta = static_cast<std::int64_t>(next() % 5) - 2;
+      shard_level[shard] += delta;
+      total_level += delta;
+    }
+    const std::int64_t t = static_cast<std::int64_t>(i) * kPeriodUs;
+    global.sample(t);
+    shard0.sample(t);
+    shard1.sample(t);
+  }
+
+  global.finalize();
+  shard0.finalize();
+  shard1.finalize();
+  shard0.merge(shard1);
+  EXPECT_EQ(shard0.jsonl(), global.jsonl());
+  EXPECT_EQ(shard0.summary_json(), global.summary_json());
+
+  // Rendering is a pure function of the recorded cells.
+  EXPECT_EQ(global.jsonl(), global.jsonl());
+  EXPECT_NE(global.jsonl().find("\"t\":1,"), std::string::npos);
+
+  // Truncation drops trailing rows only.
+  const std::size_t before = global.sample_count();
+  global.truncate_after(32 * kPeriodUs);
+  EXPECT_EQ(global.sample_count(), before - 32);
+}
+
+}  // namespace
+}  // namespace rfdnet::obs
