@@ -58,7 +58,7 @@ int main(int argc, char** argv) {
                         "stability-gap"});
   if (!args.parse(argc, argv)) {
     std::cerr << args.error() << "\n";
-    return 1;
+    return 2;
   }
 
   core::FullTableConfig cfg;

@@ -134,7 +134,7 @@ int main(int argc, char** argv) {
                         "stability-gap"});
   if (!args.parse(argc, argv)) {
     std::cerr << args.error() << "\n";
-    return 1;
+    return 2;
   }
   const bool stability = args.has("stability");
   const double gap = args.has("stability-gap")

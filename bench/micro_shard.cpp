@@ -37,6 +37,7 @@
 #include "bgp/config.hpp"
 #include "bgp/policy.hpp"
 #include "bgp/sharded_network.hpp"
+#include "core/fnv1a.hpp"
 #include "core/sharded.hpp"
 #include "net/graph.hpp"
 #include "net/partition.hpp"
@@ -158,18 +159,6 @@ BENCHMARK(BM_ShardFlood)
     ->Iterations(1)
     ->Unit(benchmark::kMillisecond);
 
-/// FNV-1a 64-bit over the scorecard bytes: a stable fingerprint for the
-/// baseline JSON, so `check.sh --bench` can spot workload drift without
-/// embedding the full multi-kilobyte card.
-std::uint64_t fnv1a(const std::string& s) {
-  std::uint64_t h = 1469598103934665603ULL;
-  for (const unsigned char c : s) {
-    h ^= c;
-    h *= 1099511628211ULL;
-  }
-  return h;
-}
-
 /// `--scorecard`: serial-vs-sharded byte-identity on the 208-node Internet
 /// experiment. Exits 0 and prints a one-line JSON on success.
 int scorecard_mode() {
@@ -198,7 +187,7 @@ int scorecard_mode() {
   std::printf(
       "{\"scorecard_identical\":true,\"bytes\":%zu,\"fnv1a\":\"%016llx\"}\n",
       first.size(),
-      static_cast<unsigned long long>(fnv1a(first)));
+      static_cast<unsigned long long>(core::fnv1a(first)));
   return 0;
 }
 

@@ -5,9 +5,9 @@
 //
 //   $ ./policy_study [nodes] [seed]
 
-#include <cstdlib>
 #include <iostream>
 
+#include "core/cli.hpp"
 #include "core/experiment.hpp"
 #include "core/intended.hpp"
 #include "core/report.hpp"
@@ -16,8 +16,26 @@
 int main(int argc, char** argv) {
   using namespace rfdnet;
 
-  const int nodes = argc > 1 ? std::atoi(argv[1]) : 208;
-  const std::uint64_t seed = argc > 2 ? std::strtoull(argv[2], nullptr, 10) : 1;
+  int nodes = 208;
+  std::uint64_t seed = 1;
+  if (argc > 1) {
+    const auto n = core::parse_int_token(argv[1]);
+    if (!n || *n <= 0) {
+      std::cerr << "error: invalid value '" << argv[1]
+                << "' for nodes (expected a positive integer)\n";
+      return 2;
+    }
+    nodes = static_cast<int>(*n);
+  }
+  if (argc > 2) {
+    const auto s = core::parse_u64_token(argv[2]);
+    if (!s) {
+      std::cerr << "error: invalid value '" << argv[2]
+                << "' for seed (expected a non-negative integer)\n";
+      return 2;
+    }
+    seed = *s;
+  }
 
   std::cout << "rfdnet policy study: " << nodes
             << "-node Internet-derived topology, seed " << seed << "\n\n";

@@ -6,9 +6,9 @@
 // Uses the public `core` API: configure an experiment, run it, inspect the
 // result and compare with the §3 analytic model.
 
-#include <cstdlib>
 #include <iostream>
 
+#include "core/cli.hpp"
 #include "core/experiment.hpp"
 #include "core/intended.hpp"
 #include "stats/phase.hpp"
@@ -21,7 +21,16 @@ int main(int argc, char** argv) {
   cfg.topology.width = 10;
   cfg.topology.height = 10;
   cfg.damping = rfd::DampingParams::cisco();
-  cfg.pulses = argc > 1 ? std::atoi(argv[1]) : 1;
+  cfg.pulses = 1;
+  if (argc > 1) {
+    const auto pulses = core::parse_int_token(argv[1]);
+    if (!pulses || *pulses <= 0) {
+      std::cerr << "error: invalid value '" << argv[1]
+                << "' for pulses (expected a positive integer)\n";
+      return 2;
+    }
+    cfg.pulses = static_cast<int>(*pulses);
+  }
   cfg.seed = 1;
 
   std::cout << "rfdnet quickstart: " << cfg.pulses << " pulse(s) on a "

@@ -5,9 +5,9 @@
 //
 //   $ ./rcn_comparison [width height]
 
-#include <cstdlib>
 #include <iostream>
 
+#include "core/cli.hpp"
 #include "core/experiment.hpp"
 #include "core/intended.hpp"
 #include "core/report.hpp"
@@ -15,8 +15,19 @@
 int main(int argc, char** argv) {
   using namespace rfdnet;
 
-  const int width = argc > 2 ? std::atoi(argv[1]) : 10;
-  const int height = argc > 2 ? std::atoi(argv[2]) : 10;
+  int width = 10;
+  int height = 10;
+  if (argc > 2) {
+    const auto w = core::parse_int_token(argv[1]);
+    const auto h = core::parse_int_token(argv[2]);
+    if (!w || *w <= 0 || !h || *h <= 0) {
+      std::cerr << "error: invalid value '" << (!w || *w <= 0 ? argv[1] : argv[2])
+                << "' for width/height (expected positive integers)\n";
+      return 2;
+    }
+    width = static_cast<int>(*w);
+    height = static_cast<int>(*h);
+  }
 
   std::cout << "rfdnet RCN comparison on a " << width << "x" << height
             << " mesh (Cisco defaults, 60 s flap interval)\n\n";

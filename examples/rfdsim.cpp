@@ -133,12 +133,12 @@ int main(int argc, char** argv) {
     std::cerr << "unknown topology kind: " << topo << "\n";
     return 2;
   }
-  cfg.topology.width = std::atoi(get("width", "10").c_str());
-  cfg.topology.height = std::atoi(get("height", "10").c_str());
-  cfg.topology.nodes = std::atoi(get("nodes", "100").c_str());
+  cfg.topology.width = flags.get_int("width", 10);
+  cfg.topology.height = flags.get_int("height", 10);
+  cfg.topology.nodes = flags.get_int("nodes", 100);
 
-  cfg.pulses = std::atoi(get("pulses", "1").c_str());
-  cfg.flap_interval_s = std::atof(get("interval", "60").c_str());
+  cfg.pulses = flags.get_int("pulses", 1);
+  cfg.flap_interval_s = flags.get_double("interval", 60.0);
 
   const std::string params = get("params", "cisco");
   if (params == "cisco") {
@@ -152,11 +152,10 @@ int main(int argc, char** argv) {
     return 2;
   }
   if (cfg.damping) {
-    cfg.damping->reuse_granularity_s =
-        std::atof(get("granularity", "0").c_str());
+    cfg.damping->reuse_granularity_s = flags.get_double("granularity", 0.0);
   }
   cfg.rcn = flags.has("rcn");
-  cfg.deployment = std::atof(get("deployment", "1.0").c_str());
+  cfg.deployment = flags.get_double("deployment", 1.0);
 
   const std::string policy = get("policy", "shortest-path");
   if (policy == "no-valley") {
@@ -165,8 +164,8 @@ int main(int argc, char** argv) {
     std::cerr << "unknown policy: " << policy << "\n";
     return 2;
   }
-  cfg.timing.mrai_s = std::atof(get("mrai", "30").c_str());
-  cfg.seed = std::strtoull(get("seed", "1").c_str(), nullptr, 10);
+  cfg.timing.mrai_s = flags.get_double("mrai", 30.0);
+  cfg.seed = flags.get_u64("seed", 1);
   cfg.collect_stability = flags.has("stability");
   if (flags.has("stability-gap")) {
     cfg.stability_gap_s = flags.get_double("stability-gap", 30.0);

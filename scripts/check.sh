@@ -134,6 +134,38 @@ fi
 
 ctest --test-dir build --output-on-failure
 
+# Daemon smoke leg: start rfdnetd on a tmpdir-scoped socket, submit the same
+# job twice (the second must be a byte-identical cache hit), then SIGTERM it
+# and require a clean drain (exit 0, socket unlinked). This exercises the
+# real signal path, which the in-process SvcDaemon suite cannot.
+SMOKE_DIR=$(mktemp -d /tmp/rfdnetd-smoke.XXXXXX)
+SOCK="$SMOKE_DIR/rfdnetd.sock"
+REQ='{"op":"run","job":{"topology":{"kind":"mesh","width":3,"height":3},"pulses":1,"seed":42,"outputs":["scorecard"]}}'
+build/examples/rfdnetd --socket "$SOCK" --queue 8 --cache 32 &
+DAEMON_PID=$!
+for _ in $(seq 1 100); do
+  [[ -S "$SOCK" ]] && break
+  sleep 0.05
+done
+[[ -S "$SOCK" ]] || { echo "rfdnetd smoke: socket never appeared" >&2; exit 1; }
+R1=$(build/examples/rfdnetd --ctl --socket "$SOCK" --request "$REQ")
+R2=$(build/examples/rfdnetd --ctl --socket "$SOCK" --request "$REQ")
+if [[ "$R1" != "$R2" ]]; then
+  echo "rfdnetd smoke: cached resubmission was not byte-identical" >&2
+  exit 1
+fi
+build/examples/rfdnetd --ctl --socket "$SOCK" --status \
+  | grep -q '"cache_hits":1' \
+  || { echo "rfdnetd smoke: expected exactly one cache hit" >&2; exit 1; }
+kill -TERM "$DAEMON_PID"
+if ! wait "$DAEMON_PID"; then
+  echo "rfdnetd smoke: daemon exited non-zero on SIGTERM" >&2
+  exit 1
+fi
+[[ -S "$SOCK" ]] && { echo "rfdnetd smoke: socket not unlinked" >&2; exit 1; }
+rm -rf "$SMOKE_DIR"
+echo "rfdnetd smoke leg passed"
+
 # Sanitizer pass: the ParallelRunner thread pool, the event engine's slot
 # recycling and the fault-injection property suites must come up clean under
 # ASan + UBSan.
@@ -146,16 +178,18 @@ ctest --test-dir build-asan --output-on-failure
 # written by workers, merged canonically afterwards) must be race-free; the
 # fault-storm sweep adds per-trial injectors and trace files to that path,
 # the sharded-engine determinism suite exercises the barrier/inbox
-# synchronization under the real BGP workload, and the stability/telemetry
-# property suites pin the per-shard tracker and sampler merge contracts.
+# synchronization under the real BGP workload, the stability/telemetry
+# property suites pin the per-shard tracker and sampler merge contracts, and
+# the svc suites hammer the daemon's single-flight dispatcher and drain path
+# from concurrent client threads.
 # ASan and TSan cannot share a build, hence the third tree; scope it to the
 # threaded suites to keep the pass quick.
 cmake -B build-tsan -G Ninja -DCMAKE_BUILD_TYPE=Debug \
   -DCMAKE_CXX_FLAGS="-fsanitize=thread -fno-sanitize-recover=all"
 cmake --build build-tsan --target core_tests property_tests stability_tests \
-  telemetry_tests
+  telemetry_tests svc_tests
 ctest --test-dir build-tsan --output-on-failure \
-  -R 'ParallelRunner|SweepDeterminism|ObsDeterminism|FaultSweepOracle|ShardedDeterminism|StabilityProperty|TelemetryProperty|TelemetryOracle'
+  -R 'ParallelRunner|SweepDeterminism|ObsDeterminism|FaultSweepOracle|ShardedDeterminism|StabilityProperty|TelemetryProperty|TelemetryOracle|SvcService|SvcDaemon'
 
 for b in build/bench/*; do
   echo "===== $(basename "$b") ====="

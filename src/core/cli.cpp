@@ -2,6 +2,9 @@
 
 #include <algorithm>
 #include <atomic>
+#include <cctype>
+#include <cerrno>
+#include <climits>
 #include <cmath>
 #include <cstdlib>
 #include <fstream>
@@ -11,6 +14,53 @@
 #include <vector>
 
 namespace rfdnet::core {
+
+namespace {
+
+/// strtol-family parsers skip leading whitespace; the strict token grammar
+/// does not.
+bool leading_space(const std::string& v) {
+  return !v.empty() && std::isspace(static_cast<unsigned char>(v[0])) != 0;
+}
+
+[[noreturn]] void invalid_flag_value(const std::string& flag,
+                                     const std::string& value,
+                                     const char* expected) {
+  std::cerr << "error: invalid value '" << value << "' for --" << flag
+            << " (expected " << expected << ")\n";
+  std::exit(2);
+}
+
+}  // namespace
+
+std::optional<long long> parse_int_token(const std::string& v) {
+  if (v.empty() || leading_space(v)) return std::nullopt;
+  errno = 0;
+  char* end = nullptr;
+  const long long n = std::strtoll(v.c_str(), &end, 10);
+  if (end != v.c_str() + v.size() || errno == ERANGE) return std::nullopt;
+  return n;
+}
+
+std::optional<std::uint64_t> parse_u64_token(const std::string& v) {
+  // strtoull accepts "-1" and wraps it to 2^64-1; reject the sign up front.
+  if (v.empty() || leading_space(v) || v[0] == '-') return std::nullopt;
+  errno = 0;
+  char* end = nullptr;
+  const unsigned long long n = std::strtoull(v.c_str(), &end, 10);
+  if (end != v.c_str() + v.size() || errno == ERANGE) return std::nullopt;
+  return static_cast<std::uint64_t>(n);
+}
+
+std::optional<double> parse_double_token(const std::string& v) {
+  if (v.empty() || leading_space(v)) return std::nullopt;
+  errno = 0;
+  char* end = nullptr;
+  const double d = std::strtod(v.c_str(), &end);
+  if (end != v.c_str() + v.size()) return std::nullopt;
+  if (!std::isfinite(d)) return std::nullopt;  // rejects "nan", "inf", 1e999
+  return d;
+}
 
 ArgParser::ArgParser(std::set<std::string> boolean_flags,
                      std::set<std::string> value_flags)
@@ -25,21 +75,43 @@ ArgParser::ArgParser(std::set<std::string> boolean_flags,
 bool ArgParser::parse(const std::vector<std::string>& args) {
   values_.clear();
   error_.clear();
+  std::set<std::string> seen_valued;
   for (std::size_t i = 0; i < args.size(); ++i) {
     const std::string& arg = args[i];
     if (arg.rfind("--", 0) != 0 || arg.size() <= 2) {
       error_ = "unexpected argument: " + arg;
       return false;
     }
-    const std::string name = arg.substr(2);
+    const std::size_t eq = arg.find('=');
+    const std::string name =
+        arg.substr(2, eq == std::string::npos ? std::string::npos : eq - 2);
     if (boolean_.contains(name)) {
-      values_[name] = "1";
-    } else if (valued_.contains(name)) {
-      if (i + 1 >= args.size()) {
-        error_ = "missing value for --" + name;
+      if (eq != std::string::npos) {
+        error_ = "flag --" + name + " takes no value";
         return false;
       }
-      values_[name] = args[++i];
+      values_[name] = "1";
+    } else if (valued_.contains(name)) {
+      if (!seen_valued.insert(name).second) {
+        error_ = "duplicate flag --" + name +
+                 " (a valued flag may appear only once)";
+        return false;
+      }
+      if (eq != std::string::npos) {
+        values_[name] = arg.substr(eq + 1);
+      } else {
+        if (i + 1 >= args.size()) {
+          error_ = "missing value for --" + name;
+          return false;
+        }
+        if (args[i + 1].rfind("--", 0) == 0) {
+          error_ = "missing value for --" + name + " ('" + args[i + 1] +
+                   "' looks like a flag; use --" + name +
+                   "=VALUE if it really is the value)";
+          return false;
+        }
+        values_[name] = args[++i];
+      }
     } else {
       error_ = "unknown flag: --" + name;
       return false;
@@ -63,19 +135,29 @@ std::string ArgParser::get(const std::string& flag,
 
 double ArgParser::get_double(const std::string& flag, double dflt) const {
   const auto it = values_.find(flag);
-  return it == values_.end() ? dflt : std::atof(it->second.c_str());
+  if (it == values_.end()) return dflt;
+  const auto v = parse_double_token(it->second);
+  if (!v) invalid_flag_value(flag, it->second, "a finite number");
+  return *v;
 }
 
 int ArgParser::get_int(const std::string& flag, int dflt) const {
   const auto it = values_.find(flag);
-  return it == values_.end() ? dflt : std::atoi(it->second.c_str());
+  if (it == values_.end()) return dflt;
+  const auto v = parse_int_token(it->second);
+  if (!v || *v < INT_MIN || *v > INT_MAX) {
+    invalid_flag_value(flag, it->second, "an integer");
+  }
+  return static_cast<int>(*v);
 }
 
 std::uint64_t ArgParser::get_u64(const std::string& flag,
                                  std::uint64_t dflt) const {
   const auto it = values_.find(flag);
-  return it == values_.end() ? dflt
-                             : std::strtoull(it->second.c_str(), nullptr, 10);
+  if (it == values_.end()) return dflt;
+  const auto v = parse_u64_token(it->second);
+  if (!v) invalid_flag_value(flag, it->second, "a non-negative integer");
+  return *v;
 }
 
 namespace {
@@ -127,13 +209,15 @@ obs::Registry merged_locked(ObsState& s) {
 /// Extracts the value of `--name V` / `--name=V` at position `i` (advancing
 /// `i` past a separate value). Returns nullopt when `args[i]` is not this
 /// flag; an empty optional-of-empty-string is never produced — a missing
-/// value yields `missing = true`.
+/// value yields `missing = true`. A separate-token value that itself looks
+/// like a flag counts as missing (`--telemetry-out --metrics` must not
+/// swallow `--metrics` as the output path; `--name=--v` stays available).
 std::optional<std::string> flag_value(const std::vector<std::string>& args,
                                       std::size_t& i, const std::string& name,
                                       bool& missing) {
   const std::string& arg = args[i];
   if (arg == "--" + name) {
-    if (i + 1 >= args.size()) {
+    if (i + 1 >= args.size() || args[i + 1].rfind("--", 0) == 0) {
       missing = true;
       return std::nullopt;
     }

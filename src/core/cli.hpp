@@ -13,10 +13,25 @@
 
 namespace rfdnet::core {
 
+/// Strict whole-token numeric parsing shared by the `ArgParser` getters,
+/// `ParallelRunner::configure_from_args` and the svc request decoder. The
+/// entire token must be consumed ("12k" is not 12), leading whitespace and
+/// range overflow are rejected, the unsigned form rejects a leading '-'
+/// (strtoull would silently wrap), and the double form requires a finite
+/// value. Returns nullopt on any violation.
+std::optional<long long> parse_int_token(const std::string& v);
+std::optional<std::uint64_t> parse_u64_token(const std::string& v);
+std::optional<double> parse_double_token(const std::string& v);
+
 /// Minimal `--flag [value]` command-line parser used by the example tools.
 /// Flags registered as boolean take no value; everything else consumes the
-/// next argument. Unknown flags are errors — a typo should not silently run
-/// a 208-node simulation with defaults.
+/// next argument or an inline `--flag=value`. Unknown flags are errors — a
+/// typo should not silently run a 208-node simulation with defaults — and
+/// so are duplicate valued flags (silent last-wins hid lost intent) and
+/// separate-token values that themselves look like flags:
+/// `--telemetry-out --metrics` used to swallow `--metrics` as the output
+/// path; now it is an error naming both tokens (`--flag=--weird` remains
+/// available when a value really starts with dashes).
 class ArgParser {
  public:
   /// `boolean_flags` and `value_flags` enumerate what is accepted (without
@@ -34,6 +49,10 @@ class ArgParser {
   bool has(const std::string& flag) const { return values_.contains(flag); }
   /// Value of a flag, or `dflt` when absent.
   std::string get(const std::string& flag, const std::string& dflt = "") const;
+  /// Typed getters parse strictly (whole token, in range, finite). A value
+  /// that does not parse prints `error: invalid value '<v>' for --<flag>`
+  /// to stderr and exits 2 — a CLI binary must never run on a corrupted
+  /// config (`--seed abc` used to run seed 0; `--prefixes 12k` ran 12).
   double get_double(const std::string& flag, double dflt) const;
   int get_int(const std::string& flag, int dflt) const;
   std::uint64_t get_u64(const std::string& flag, std::uint64_t dflt) const;

@@ -1,0 +1,23 @@
+#pragma once
+
+#include <cstdint>
+#include <string_view>
+
+namespace rfdnet::core {
+
+/// 64-bit FNV-1a over raw bytes. Used wherever a cheap, stable,
+/// platform-independent fingerprint of a canonical byte string is needed —
+/// the bench baseline fingerprints and the svc result-cache keys. Not a
+/// cryptographic hash; collisions are tolerable because the cache stores
+/// and compares the full canonical request string, the hash is only the
+/// display/index form.
+constexpr std::uint64_t fnv1a(std::string_view bytes) {
+  std::uint64_t h = 1469598103934665603ULL;
+  for (const char c : bytes) {
+    h ^= static_cast<unsigned char>(c);
+    h *= 1099511628211ULL;
+  }
+  return h;
+}
+
+}  // namespace rfdnet::core

@@ -1,8 +1,12 @@
 #include "core/parallel.hpp"
 
 #include <atomic>
+#include <climits>
+#include <cstdio>
 #include <cstdlib>
 #include <string>
+
+#include "core/cli.hpp"
 
 namespace rfdnet::core {
 
@@ -15,14 +19,33 @@ thread_local const ParallelRunner* g_current_pool = nullptr;
 
 std::atomic<int> g_default_jobs{0};
 
+[[noreturn]] void invalid_jobs_value(const std::string& value) {
+  std::fprintf(stderr,
+               "error: invalid value '%s' for --jobs "
+               "(expected a positive integer)\n",
+               value.c_str());
+  std::exit(2);
+}
+
 }  // namespace
 
 int ParallelRunner::default_jobs() {
   const int configured = g_default_jobs.load(std::memory_order_relaxed);
   if (configured > 0) return configured;
   if (const char* env = std::getenv("RFDNET_JOBS")) {
-    const int n = std::atoi(env);
-    if (n > 0) return n;
+    const auto n = parse_int_token(env);
+    if (n && *n > 0 && *n <= INT_MAX) return static_cast<int>(*n);
+    // An explicit --jobs garbage value is fatal (see configure_from_args);
+    // a garbage environment variable may come from an unrelated shell
+    // profile, so warn once and fall back instead of refusing to run.
+    static std::atomic<bool> warned{false};
+    if (!warned.exchange(true, std::memory_order_relaxed)) {
+      std::fprintf(stderr,
+                   "warning: ignoring invalid RFDNET_JOBS='%s' "
+                   "(expected a positive integer); "
+                   "using hardware concurrency\n",
+                   env);
+    }
   }
   const unsigned hw = std::thread::hardware_concurrency();
   return hw > 0 ? static_cast<int>(hw) : 1;
@@ -40,14 +63,25 @@ ParallelRunner& ParallelRunner::shared() {
 void ParallelRunner::configure_from_args(int argc, const char* const* argv) {
   for (int i = 1; i < argc; ++i) {
     const std::string arg = argv[i];
-    if ((arg == "--jobs" || arg == "-j") && i + 1 < argc) {
-      set_default_jobs(std::atoi(argv[i + 1]));
-      return;
+    std::string value;
+    if (arg == "--jobs" || arg == "-j") {
+      if (i + 1 >= argc || std::string(argv[i + 1]).rfind("--", 0) == 0) {
+        std::fprintf(stderr,
+                     "error: missing value for %s "
+                     "(expected a positive integer)\n",
+                     arg.c_str());
+        std::exit(2);
+      }
+      value = argv[++i];
+    } else if (arg.rfind("--jobs=", 0) == 0) {
+      value = arg.substr(7);
+    } else {
+      continue;
     }
-    if (arg.rfind("--jobs=", 0) == 0) {
-      set_default_jobs(std::atoi(arg.c_str() + 7));
-      return;
-    }
+    const auto n = parse_int_token(value);
+    if (!n || *n <= 0 || *n > INT_MAX) invalid_jobs_value(value);
+    set_default_jobs(static_cast<int>(*n));
+    return;
   }
 }
 

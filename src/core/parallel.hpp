@@ -44,6 +44,9 @@ class ParallelRunner {
 
   /// Thread count used when no explicit count is given, resolved in order:
   /// `set_default_jobs()` > `RFDNET_JOBS` env var > hardware concurrency.
+  /// An `RFDNET_JOBS` value that is not a positive integer is ignored with
+  /// a once-per-process stderr warning (an explicit `--jobs` garbage value,
+  /// by contrast, is fatal — see `configure_from_args`).
   static int default_jobs();
   /// Overrides `default_jobs()`. Call before the first `shared()` use —
   /// the shared runner's pool size is fixed at creation.
@@ -56,7 +59,10 @@ class ParallelRunner {
 
   /// Scans argv for `--jobs N` / `--jobs=N` / `-j N` and applies it via
   /// `set_default_jobs`. Unrelated flags are left untouched, so bench
-  /// binaries can call this first thing in `main`.
+  /// binaries can call this first thing in `main`. An explicit value that
+  /// is not a strictly positive integer (`--jobs abc`, `--jobs 0`, a
+  /// missing or flag-like value) prints a per-flag error to stderr and
+  /// exits 2 — it used to be silently replaced by hardware concurrency.
   static void configure_from_args(int argc, const char* const* argv);
 
  private:

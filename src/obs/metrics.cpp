@@ -332,6 +332,20 @@ void StabilityMetrics::record(const StabilityReport& report) const {
                         static_cast<double>(report.intra_hist.sum()) / 1e6);
 }
 
+SvcMetrics SvcMetrics::bind(Registry& r) {
+  SvcMetrics m;
+  m.accepted = &r.counter("svc.jobs_accepted");
+  m.completed = &r.counter("svc.jobs_completed");
+  m.failed = &r.counter("svc.jobs_failed");
+  m.cache_hits = &r.counter("svc.cache_hits");
+  m.coalesced = &r.counter("svc.singleflight_joins");
+  m.rejected_full = &r.counter("svc.rejected_queue_full");
+  m.rejected_draining = &r.counter("svc.rejected_draining");
+  m.queue_depth = &r.gauge("svc.queue_depth");
+  m.running = &r.gauge("svc.running");
+  return m;
+}
+
 ShardMetrics ShardMetrics::bind(Registry& r) {
   ShardMetrics m;
   m.rounds = &r.counter("shard.rounds");

@@ -253,6 +253,26 @@ struct StabilityMetrics {
   void record(const struct StabilityReport& report) const;
 };
 
+/// Typed wiring bundle for the what-if daemon (`svc::Service`): job-flow
+/// counters plus instantaneous queue/execution gauges. Counters and gauges
+/// are not thread-safe on their own; the service mutates the whole bundle
+/// under its state mutex. Volatile by nature (arrival order, cache state),
+/// so these figures feed the status line and `status` responses, never a
+/// deterministic artifact.
+struct SvcMetrics {
+  Counter* accepted = nullptr;      ///< jobs admitted to the queue
+  Counter* completed = nullptr;     ///< jobs finished successfully
+  Counter* failed = nullptr;        ///< jobs that threw in the driver
+  Counter* cache_hits = nullptr;    ///< responses served from the LRU cache
+  Counter* coalesced = nullptr;     ///< submissions joined onto an in-flight twin
+  Counter* rejected_full = nullptr;      ///< 429s: bounded queue at capacity
+  Counter* rejected_draining = nullptr;  ///< 503s: submitted during drain
+  Gauge* queue_depth = nullptr;     ///< jobs queued, not yet dispatched
+  Gauge* running = nullptr;         ///< jobs currently executing
+
+  static SvcMetrics bind(Registry& r);
+};
+
 /// Typed wiring bundle for `sim::ShardedEngine` runs (one per run).
 /// Diagnostics only: every figure here depends on the partition and the
 /// host's thread timing, so these gauges must never feed a deterministic

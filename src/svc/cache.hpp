@@ -1,0 +1,62 @@
+#pragma once
+
+#include <cstddef>
+#include <list>
+#include <memory>
+#include <string>
+#include <unordered_map>
+
+namespace rfdnet::svc {
+
+/// Bounded LRU map from canonical request bytes to the finished response
+/// bytes. Values are `shared_ptr<const string>` so an entry can be handed
+/// to a client and evicted concurrently without copying or dangling. Keyed
+/// by the full canonical string, not its hash — the fnv1a fingerprint is
+/// only the display/index form, so a hash collision can never serve the
+/// wrong job's result. Not thread-safe; the service guards it with its own
+/// mutex (every touch is O(1) pointer surgery, nothing worth a finer lock).
+class LruCache {
+ public:
+  explicit LruCache(std::size_t capacity) : capacity_(capacity) {}
+
+  /// Fetches and marks most-recently-used; nullptr on miss.
+  std::shared_ptr<const std::string> get(const std::string& key) {
+    const auto it = index_.find(key);
+    if (it == index_.end()) return nullptr;
+    order_.splice(order_.begin(), order_, it->second);
+    return it->second->value;
+  }
+
+  /// Inserts or refreshes; evicts the least-recently-used entry past
+  /// capacity. A capacity of zero disables caching entirely.
+  void put(const std::string& key, std::shared_ptr<const std::string> value) {
+    if (capacity_ == 0) return;
+    const auto it = index_.find(key);
+    if (it != index_.end()) {
+      it->second->value = std::move(value);
+      order_.splice(order_.begin(), order_, it->second);
+      return;
+    }
+    order_.push_front(Entry{key, std::move(value)});
+    index_.emplace(key, order_.begin());
+    if (order_.size() > capacity_) {
+      index_.erase(order_.back().key);
+      order_.pop_back();
+    }
+  }
+
+  std::size_t size() const { return order_.size(); }
+  std::size_t capacity() const { return capacity_; }
+
+ private:
+  struct Entry {
+    std::string key;
+    std::shared_ptr<const std::string> value;
+  };
+
+  std::size_t capacity_;
+  std::list<Entry> order_;  // front = most recent
+  std::unordered_map<std::string, std::list<Entry>::iterator> index_;
+};
+
+}  // namespace rfdnet::svc

@@ -1,0 +1,101 @@
+#include "svc/client.hpp"
+
+#include <sys/socket.h>
+#include <sys/un.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+#include <utility>
+
+namespace rfdnet::svc {
+
+Client::~Client() { close(); }
+
+Client::Client(Client&& other) noexcept
+    : fd_(std::exchange(other.fd_, -1)), buffer_(std::move(other.buffer_)) {}
+
+Client& Client::operator=(Client&& other) noexcept {
+  if (this != &other) {
+    close();
+    fd_ = std::exchange(other.fd_, -1);
+    buffer_ = std::move(other.buffer_);
+  }
+  return *this;
+}
+
+void Client::close() {
+  if (fd_ >= 0) {
+    ::close(fd_);
+    fd_ = -1;
+  }
+  buffer_.clear();
+}
+
+bool Client::connect(const std::string& socket_path, std::string* error) {
+  close();
+  sockaddr_un addr{};
+  addr.sun_family = AF_UNIX;
+  if (socket_path.empty() || socket_path.size() >= sizeof addr.sun_path) {
+    if (error) *error = "socket path too long: '" + socket_path + "'";
+    return false;
+  }
+  std::memcpy(addr.sun_path, socket_path.c_str(), socket_path.size() + 1);
+  fd_ = ::socket(AF_UNIX, SOCK_STREAM | SOCK_CLOEXEC, 0);
+  if (fd_ < 0) {
+    if (error) *error = std::string("socket: ") + std::strerror(errno);
+    return false;
+  }
+  if (::connect(fd_, reinterpret_cast<sockaddr*>(&addr), sizeof addr) != 0) {
+    if (error) {
+      *error = "connect(" + socket_path + "): " + std::strerror(errno);
+    }
+    close();
+    return false;
+  }
+  return true;
+}
+
+bool Client::request(const std::string& line, std::string* response,
+                     std::string* error) {
+  if (fd_ < 0) {
+    if (error) *error = "not connected";
+    return false;
+  }
+  std::string out = line;
+  out += '\n';
+  std::size_t off = 0;
+  while (off < out.size()) {
+    const ssize_t n =
+        ::send(fd_, out.data() + off, out.size() - off, MSG_NOSIGNAL);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      if (error) *error = std::string("send: ") + std::strerror(errno);
+      return false;
+    }
+    off += static_cast<std::size_t>(n);
+  }
+
+  char chunk[4096];
+  for (;;) {
+    const std::size_t newline = buffer_.find('\n');
+    if (newline != std::string::npos) {
+      *response = buffer_.substr(0, newline);
+      buffer_.erase(0, newline + 1);
+      return true;
+    }
+    const ssize_t n = ::recv(fd_, chunk, sizeof chunk, 0);
+    if (n < 0 && errno == EINTR) continue;
+    if (n < 0) {
+      if (error) *error = std::string("recv: ") + std::strerror(errno);
+      return false;
+    }
+    if (n == 0) {
+      if (error) *error = "connection closed before a response arrived";
+      return false;
+    }
+    buffer_.append(chunk, static_cast<std::size_t>(n));
+  }
+}
+
+}  // namespace rfdnet::svc

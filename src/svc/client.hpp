@@ -1,0 +1,38 @@
+#pragma once
+
+#include <string>
+
+namespace rfdnet::svc {
+
+/// Small blocking client for the rfdnetd protocol: connect to the AF_UNIX
+/// socket, send one newline-terminated request per `request()` call, read
+/// the one response line. Used by the `rfdnetctl` CLI mode, the end-to-end
+/// tests and the check.sh smoke leg. Not thread-safe; one per thread.
+class Client {
+ public:
+  Client() = default;
+  ~Client();
+
+  Client(Client&& other) noexcept;
+  Client& operator=(Client&& other) noexcept;
+  Client(const Client&) = delete;
+  Client& operator=(const Client&) = delete;
+
+  /// Connects to the daemon. False (with `error` filled) on failure.
+  bool connect(const std::string& socket_path, std::string* error);
+
+  bool connected() const { return fd_ >= 0; }
+
+  /// Sends `line` (newline appended) and blocks for the response line
+  /// (newline stripped). False with `error` filled on transport failure.
+  bool request(const std::string& line, std::string* response,
+               std::string* error);
+
+  void close();
+
+ private:
+  int fd_ = -1;
+  std::string buffer_;  // bytes past the last response line
+};
+
+}  // namespace rfdnet::svc

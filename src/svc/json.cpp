@@ -1,0 +1,420 @@
+#include "svc/json.hpp"
+
+#include <cmath>
+#include <cstdio>
+#include <cstdlib>
+#include <utility>
+
+namespace rfdnet::svc {
+
+namespace {
+
+constexpr int kMaxDepth = 64;
+
+/// Largest integer a double represents exactly; integers beyond it would
+/// canonicalize unstably, so they render in scientific notation instead.
+constexpr double kMaxExactInt = 9007199254740992.0;  // 2^53
+
+struct Parser {
+  const std::string& text;
+  std::size_t pos = 0;
+  std::string error;
+
+  bool fail(const std::string& msg) {
+    if (error.empty()) {
+      error = msg + " at byte " + std::to_string(pos);
+    }
+    return false;
+  }
+
+  void skip_ws() {
+    while (pos < text.size()) {
+      const char c = text[pos];
+      if (c != ' ' && c != '\t' && c != '\n' && c != '\r') break;
+      ++pos;
+    }
+  }
+
+  bool consume(char c) {
+    if (pos < text.size() && text[pos] == c) {
+      ++pos;
+      return true;
+    }
+    return false;
+  }
+
+  bool literal(const char* word, std::size_t len) {
+    if (text.compare(pos, len, word) != 0) return fail("invalid literal");
+    pos += len;
+    return true;
+  }
+
+  bool parse_hex4(unsigned* out) {
+    if (pos + 4 > text.size()) return fail("truncated \\u escape");
+    unsigned v = 0;
+    for (int i = 0; i < 4; ++i) {
+      const char c = text[pos + static_cast<std::size_t>(i)];
+      v <<= 4;
+      if (c >= '0' && c <= '9') {
+        v |= static_cast<unsigned>(c - '0');
+      } else if (c >= 'a' && c <= 'f') {
+        v |= static_cast<unsigned>(c - 'a' + 10);
+      } else if (c >= 'A' && c <= 'F') {
+        v |= static_cast<unsigned>(c - 'A' + 10);
+      } else {
+        return fail("bad hex digit in \\u escape");
+      }
+    }
+    pos += 4;
+    *out = v;
+    return true;
+  }
+
+  void append_utf8(std::string& s, unsigned cp) {
+    if (cp < 0x80) {
+      s += static_cast<char>(cp);
+    } else if (cp < 0x800) {
+      s += static_cast<char>(0xC0 | (cp >> 6));
+      s += static_cast<char>(0x80 | (cp & 0x3F));
+    } else if (cp < 0x10000) {
+      s += static_cast<char>(0xE0 | (cp >> 12));
+      s += static_cast<char>(0x80 | ((cp >> 6) & 0x3F));
+      s += static_cast<char>(0x80 | (cp & 0x3F));
+    } else {
+      s += static_cast<char>(0xF0 | (cp >> 18));
+      s += static_cast<char>(0x80 | ((cp >> 12) & 0x3F));
+      s += static_cast<char>(0x80 | ((cp >> 6) & 0x3F));
+      s += static_cast<char>(0x80 | (cp & 0x3F));
+    }
+  }
+
+  bool parse_string(std::string* out) {
+    if (!consume('"')) return fail("expected string");
+    std::string s;
+    for (;;) {
+      if (pos >= text.size()) return fail("unterminated string");
+      const unsigned char c = static_cast<unsigned char>(text[pos]);
+      if (c == '"') {
+        ++pos;
+        *out = std::move(s);
+        return true;
+      }
+      if (c < 0x20) return fail("unescaped control character in string");
+      if (c != '\\') {
+        s += static_cast<char>(c);
+        ++pos;
+        continue;
+      }
+      ++pos;  // backslash
+      if (pos >= text.size()) return fail("truncated escape");
+      const char e = text[pos++];
+      switch (e) {
+        case '"': s += '"'; break;
+        case '\\': s += '\\'; break;
+        case '/': s += '/'; break;
+        case 'b': s += '\b'; break;
+        case 'f': s += '\f'; break;
+        case 'n': s += '\n'; break;
+        case 'r': s += '\r'; break;
+        case 't': s += '\t'; break;
+        case 'u': {
+          unsigned cp = 0;
+          if (!parse_hex4(&cp)) return false;
+          if (cp >= 0xD800 && cp <= 0xDBFF) {
+            // High surrogate: the low half must follow immediately.
+            if (!(consume('\\') && consume('u'))) {
+              return fail("lone high surrogate");
+            }
+            unsigned lo = 0;
+            if (!parse_hex4(&lo)) return false;
+            if (lo < 0xDC00 || lo > 0xDFFF) return fail("bad low surrogate");
+            cp = 0x10000 + ((cp - 0xD800) << 10) + (lo - 0xDC00);
+          } else if (cp >= 0xDC00 && cp <= 0xDFFF) {
+            return fail("lone low surrogate");
+          }
+          append_utf8(s, cp);
+          break;
+        }
+        default:
+          return fail("unknown escape");
+      }
+    }
+  }
+
+  bool parse_number(double* out) {
+    const std::size_t start = pos;
+    if (consume('-')) {
+      // fall through to digits
+    }
+    if (pos >= text.size() || text[pos] < '0' || text[pos] > '9') {
+      return fail("expected digit");
+    }
+    if (text[pos] == '0') {
+      ++pos;  // no leading zeros
+    } else {
+      while (pos < text.size() && text[pos] >= '0' && text[pos] <= '9') ++pos;
+    }
+    if (consume('.')) {
+      if (pos >= text.size() || text[pos] < '0' || text[pos] > '9') {
+        return fail("expected fraction digit");
+      }
+      while (pos < text.size() && text[pos] >= '0' && text[pos] <= '9') ++pos;
+    }
+    if (pos < text.size() && (text[pos] == 'e' || text[pos] == 'E')) {
+      ++pos;
+      if (pos < text.size() && (text[pos] == '+' || text[pos] == '-')) ++pos;
+      if (pos >= text.size() || text[pos] < '0' || text[pos] > '9') {
+        return fail("expected exponent digit");
+      }
+      while (pos < text.size() && text[pos] >= '0' && text[pos] <= '9') ++pos;
+    }
+    const std::string token = text.substr(start, pos - start);
+    const double d = std::strtod(token.c_str(), nullptr);
+    if (!std::isfinite(d)) return fail("number out of range");
+    *out = d;
+    return true;
+  }
+
+  bool parse_value(Json* out, int depth) {
+    if (depth > kMaxDepth) return fail("nesting too deep");
+    skip_ws();
+    if (pos >= text.size()) return fail("unexpected end of input");
+    const char c = text[pos];
+    if (c == 'n') {
+      if (!literal("null", 4)) return false;
+      *out = Json();
+      return true;
+    }
+    if (c == 't') {
+      if (!literal("true", 4)) return false;
+      *out = Json::boolean(true);
+      return true;
+    }
+    if (c == 'f') {
+      if (!literal("false", 5)) return false;
+      *out = Json::boolean(false);
+      return true;
+    }
+    if (c == '"') {
+      std::string s;
+      if (!parse_string(&s)) return false;
+      *out = Json::string(std::move(s));
+      return true;
+    }
+    if (c == '-' || (c >= '0' && c <= '9')) {
+      double d = 0.0;
+      if (!parse_number(&d)) return false;
+      *out = Json::number(d);
+      return true;
+    }
+    if (c == '[') {
+      ++pos;
+      Json::Array items;
+      skip_ws();
+      if (consume(']')) {
+        *out = Json::array(std::move(items));
+        return true;
+      }
+      for (;;) {
+        Json item;
+        if (!parse_value(&item, depth + 1)) return false;
+        items.push_back(std::move(item));
+        skip_ws();
+        if (consume(']')) break;
+        if (!consume(',')) return fail("expected ',' or ']'");
+      }
+      *out = Json::array(std::move(items));
+      return true;
+    }
+    if (c == '{') {
+      ++pos;
+      Json::Object members;
+      skip_ws();
+      if (consume('}')) {
+        *out = Json::object(std::move(members));
+        return true;
+      }
+      for (;;) {
+        skip_ws();
+        std::string key;
+        if (!parse_string(&key)) return false;
+        skip_ws();
+        if (!consume(':')) return fail("expected ':'");
+        Json value;
+        if (!parse_value(&value, depth + 1)) return false;
+        // Duplicate keys would make canonicalization ambiguous (which value
+        // wins?), so they are a protocol error, not a last-wins merge.
+        if (!members.emplace(std::move(key), std::move(value)).second) {
+          return fail("duplicate object key");
+        }
+        skip_ws();
+        if (consume('}')) break;
+        if (!consume(',')) return fail("expected ',' or '}'");
+      }
+      *out = Json::object(std::move(members));
+      return true;
+    }
+    return fail("unexpected character");
+  }
+};
+
+}  // namespace
+
+Json Json::boolean(bool b) {
+  Json j;
+  j.kind_ = Kind::kBool;
+  j.bool_ = b;
+  return j;
+}
+
+Json Json::number(double d) {
+  Json j;
+  j.kind_ = Kind::kNumber;
+  j.number_ = d;
+  return j;
+}
+
+Json Json::number(std::int64_t n) { return number(static_cast<double>(n)); }
+
+Json Json::number(std::uint64_t n) { return number(static_cast<double>(n)); }
+
+Json Json::string(std::string s) {
+  Json j;
+  j.kind_ = Kind::kString;
+  j.string_ = std::move(s);
+  return j;
+}
+
+Json Json::array(Array items) {
+  Json j;
+  j.kind_ = Kind::kArray;
+  j.array_ = std::move(items);
+  return j;
+}
+
+Json Json::object(Object members) {
+  Json j;
+  j.kind_ = Kind::kObject;
+  j.object_ = std::move(members);
+  return j;
+}
+
+Json Json::raw(std::string text) {
+  Json j;
+  j.kind_ = Kind::kString;  // kind is irrelevant; dump_to short-circuits
+  j.string_ = std::move(text);
+  j.raw_ = true;
+  return j;
+}
+
+const Json* Json::find(const std::string& key) const {
+  if (kind_ != Kind::kObject) return nullptr;
+  const auto it = object_.find(key);
+  return it == object_.end() ? nullptr : &it->second;
+}
+
+std::string Json::escape(const std::string& s) {
+  std::string out;
+  out.reserve(s.size());
+  for (const unsigned char c : s) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\b': out += "\\b"; break;
+      case '\f': out += "\\f"; break;
+      case '\n': out += "\\n"; break;
+      case '\r': out += "\\r"; break;
+      case '\t': out += "\\t"; break;
+      default:
+        if (c < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof buf, "\\u%04x", c);
+          out += buf;
+        } else {
+          out += static_cast<char>(c);
+        }
+    }
+  }
+  return out;
+}
+
+void Json::dump_to(std::string& out) const {
+  if (raw_) {
+    out += string_;
+    return;
+  }
+  switch (kind_) {
+    case Kind::kNull:
+      out += "null";
+      break;
+    case Kind::kBool:
+      out += bool_ ? "true" : "false";
+      break;
+    case Kind::kNumber: {
+      double d = number_;
+      if (d == 0.0) d = 0.0;  // normalize -0
+      char buf[32];
+      if (d == std::floor(d) && std::fabs(d) <= kMaxExactInt) {
+        std::snprintf(buf, sizeof buf, "%lld",
+                      static_cast<long long>(d));
+      } else {
+        std::snprintf(buf, sizeof buf, "%.17g", d);
+      }
+      out += buf;
+      break;
+    }
+    case Kind::kString:
+      out += '"';
+      out += escape(string_);
+      out += '"';
+      break;
+    case Kind::kArray: {
+      out += '[';
+      bool first = true;
+      for (const Json& item : array_) {
+        if (!first) out += ',';
+        first = false;
+        item.dump_to(out);
+      }
+      out += ']';
+      break;
+    }
+    case Kind::kObject: {
+      out += '{';
+      bool first = true;
+      for (const auto& [key, value] : object_) {
+        if (!first) out += ',';
+        first = false;
+        out += '"';
+        out += escape(key);
+        out += "\":";
+        value.dump_to(out);
+      }
+      out += '}';
+      break;
+    }
+  }
+}
+
+std::string Json::dump() const {
+  std::string out;
+  dump_to(out);
+  return out;
+}
+
+std::optional<Json> Json::parse(const std::string& text, std::string* error) {
+  Parser p{text, 0, {}};
+  Json value;
+  if (!p.parse_value(&value, 0)) {
+    if (error) *error = p.error;
+    return std::nullopt;
+  }
+  p.skip_ws();
+  if (p.pos != text.size()) {
+    if (error) *error = "trailing garbage at byte " + std::to_string(p.pos);
+    return std::nullopt;
+  }
+  return value;
+}
+
+}  // namespace rfdnet::svc

@@ -1,0 +1,96 @@
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <optional>
+#include <string>
+#include <vector>
+
+namespace rfdnet::svc {
+
+/// Minimal JSON value for the daemon's request protocol, built for
+/// *canonicalization*: objects are `std::map`-backed so `dump()` always
+/// emits keys in sorted order, numbers have one rendering, and the parser
+/// rejects anything that would make two texts of the same value differ
+/// (duplicate keys, trailing garbage). Two requests meaning the same thing
+/// therefore re-serialize to the same bytes — the property the
+/// content-addressed result cache keys on.
+///
+/// Deliberately small: no comments, no NaN/Infinity, nesting capped at 64
+/// levels (a recursive-descent parser on attacker-supplied input needs a
+/// depth bound), documents capped at 4 MiB by the daemon's line reader.
+class Json {
+ public:
+  enum class Kind : std::uint8_t {
+    kNull,
+    kBool,
+    kNumber,
+    kString,
+    kArray,
+    kObject,
+  };
+
+  using Array = std::vector<Json>;
+  using Object = std::map<std::string, Json>;
+
+  Json() = default;  // null
+  static Json boolean(bool b);
+  static Json number(double d);
+  static Json number(std::int64_t n);
+  static Json number(std::uint64_t n);
+  static Json string(std::string s);
+  static Json array(Array items = {});
+  static Json object(Object members = {});
+  /// Wraps pre-serialized JSON text verbatim — the escape hatch that lets
+  /// the service embed the drivers' existing deterministic JSON artifacts
+  /// (scorecards, metric registries) without reparsing them. The caller
+  /// vouches that `text` is valid JSON.
+  static Json raw(std::string text);
+
+  Kind kind() const { return kind_; }
+  bool is_null() const { return kind_ == Kind::kNull; }
+  bool is_bool() const { return kind_ == Kind::kBool; }
+  bool is_number() const { return kind_ == Kind::kNumber; }
+  bool is_string() const { return kind_ == Kind::kString; }
+  bool is_array() const { return kind_ == Kind::kArray; }
+  bool is_object() const { return kind_ == Kind::kObject; }
+
+  bool as_bool() const { return bool_; }
+  double as_number() const { return number_; }
+  const std::string& as_string() const { return string_; }
+  const Array& as_array() const { return array_; }
+  const Object& as_object() const { return object_; }
+  Object& as_object() { return object_; }
+
+  /// Object member lookup; nullptr when absent or not an object.
+  const Json* find(const std::string& key) const;
+
+  /// Canonical serialization: sorted object keys (the map order), no
+  /// whitespace, integers within +/-2^53 printed as integers, other finite
+  /// numbers at max round-trip precision, -0 normalized to 0. Equal values
+  /// always produce equal bytes.
+  std::string dump() const;
+
+  /// Strict parse of exactly one document: trailing non-whitespace,
+  /// duplicate object keys, unescaped control characters, lone surrogates
+  /// and depth > 64 are all errors. Returns nullopt and fills `error`
+  /// (byte offset included) on failure.
+  static std::optional<Json> parse(const std::string& text,
+                                   std::string* error = nullptr);
+
+  /// JSON string-escapes `s` (quotes not included).
+  static std::string escape(const std::string& s);
+
+ private:
+  void dump_to(std::string& out) const;
+
+  Kind kind_ = Kind::kNull;
+  bool bool_ = false;
+  double number_ = 0.0;
+  std::string string_;  // also holds raw text for raw()
+  bool raw_ = false;
+  Array array_;
+  Object object_;
+};
+
+}  // namespace rfdnet::svc

@@ -1,0 +1,57 @@
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+
+#include "core/experiment.hpp"
+#include "core/fnv1a.hpp"
+#include "core/full_table.hpp"
+#include "svc/json.hpp"
+
+namespace rfdnet::svc {
+
+/// One validated what-if job: which driver to run, its full config, and
+/// which payload sections the client asked for. `canonical` holds the
+/// canonical serialization of the job object (sorted keys, one number
+/// rendering) — the content address. Two texts describing the same job
+/// canonicalize to the same bytes; note that explicitly spelling out a
+/// default value *is* a different description and caches separately.
+struct JobSpec {
+  enum class Kind : std::uint8_t { kExperiment, kFullTable };
+
+  Kind kind = Kind::kExperiment;
+  core::ExperimentConfig experiment;
+  core::FullTableConfig full_table;
+  /// Experiment only: >= 1 runs the sharded driver. (The full-table shard
+  /// count lives in `full_table.shards`.)
+  int shards = 0;
+
+  bool want_result = false;     ///< experiment result_json (experiment only)
+  bool want_scorecard = false;  ///< deterministic scorecard
+  bool want_metrics = false;    ///< obs registry JSON
+  bool want_stability = false;  ///< update-train summary
+  bool want_telemetry = false;  ///< telemetry JSONL + summary
+
+  std::string canonical;
+
+  std::uint64_t key() const { return core::fnv1a(canonical); }
+  /// 16-hex-digit form of `key()` — the job id clients see.
+  std::string key_hex() const;
+};
+
+/// Decodes and validates a job object (the `"job"` member of a `run`
+/// request). Strict: unknown members, wrong types, out-of-range sizes and
+/// feature combinations the drivers would reject (faults under sharding,
+/// `"result"` on a full-table job) all fail here, with the message shaped
+/// by the shared `core/config_validate` helpers where one applies. Returns
+/// nullopt and fills `error` on any violation.
+std::optional<JobSpec> parse_job(const Json& job, std::string* error);
+
+/// Runs the job synchronously on the calling thread and returns the payload
+/// object: `{"job":"<hex>","kind":"...","outputs":{...}}` with one member
+/// per requested output, serialized canonically. Deterministic for a given
+/// spec — the caching layer depends on byte-equality of this string.
+std::string run_job(const JobSpec& spec);
+
+}  // namespace rfdnet::svc

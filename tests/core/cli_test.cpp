@@ -76,10 +76,111 @@ TEST(ArgParser, ReparseResetsState) {
   EXPECT_TRUE(p.has("nodes"));
 }
 
-TEST(ArgParser, LastValueWins) {
+TEST(ArgParser, DuplicateValuedFlagRejected) {
+  // Last-wins silently dropped the first value; that hid lost intent
+  // (typically a stale flag left in a wrapper script), so it is an error.
   auto p = make();
-  ASSERT_TRUE(p.parse({"--nodes", "1", "--nodes", "2"}));
-  EXPECT_EQ(p.get_int("nodes", 0), 2);
+  EXPECT_FALSE(p.parse({"--nodes", "1", "--nodes", "2"}));
+  EXPECT_NE(p.error().find("duplicate"), std::string::npos) << p.error();
+  EXPECT_NE(p.error().find("--nodes"), std::string::npos) << p.error();
+  // Repeating a boolean flag stays harmless (idempotent).
+  EXPECT_TRUE(p.parse({"--verbose", "--verbose"}));
+}
+
+TEST(ArgParser, EqualsFormAccepted) {
+  auto p = make();
+  ASSERT_TRUE(p.parse({"--nodes=42", "--name=mesh", "--ratio=0.5"}));
+  EXPECT_EQ(p.get_int("nodes", 0), 42);
+  EXPECT_EQ(p.get("name"), "mesh");
+  EXPECT_DOUBLE_EQ(p.get_double("ratio", 0), 0.5);
+}
+
+TEST(ArgParser, EqualsFormOnBooleanRejected) {
+  auto p = make();
+  EXPECT_FALSE(p.parse({"--verbose=1"}));
+  EXPECT_NE(p.error().find("--verbose"), std::string::npos) << p.error();
+}
+
+TEST(ArgParser, FlagLikeValueRejected) {
+  // `--name --verbose` used to swallow `--verbose` as the value for
+  // `--name`, silently dropping the request it carried.
+  auto p = make();
+  EXPECT_FALSE(p.parse({"--name", "--verbose"}));
+  EXPECT_NE(p.error().find("--name"), std::string::npos) << p.error();
+  EXPECT_NE(p.error().find("--verbose"), std::string::npos) << p.error();
+  // The escape hatch for a value that genuinely starts with dashes.
+  ASSERT_TRUE(p.parse({"--name=--weird"}));
+  EXPECT_EQ(p.get("name"), "--weird");
+}
+
+TEST(ParseTokens, IntStrict) {
+  EXPECT_EQ(parse_int_token("42"), 42);
+  EXPECT_EQ(parse_int_token("-3"), -3);
+  EXPECT_EQ(parse_int_token("+7"), 7);
+  EXPECT_FALSE(parse_int_token(""));
+  EXPECT_FALSE(parse_int_token("abc"));
+  EXPECT_FALSE(parse_int_token("12k"));     // trailing garbage
+  EXPECT_FALSE(parse_int_token("3.5"));     // not an integer
+  EXPECT_FALSE(parse_int_token(" 4"));      // leading whitespace
+  EXPECT_FALSE(parse_int_token("4 "));      // trailing whitespace
+  EXPECT_FALSE(parse_int_token("99999999999999999999"));  // overflow
+}
+
+TEST(ParseTokens, U64Strict) {
+  EXPECT_EQ(parse_u64_token("0"), 0u);
+  EXPECT_EQ(parse_u64_token("18446744073709551615"), ~0ull);
+  EXPECT_FALSE(parse_u64_token("18446744073709551616"));  // overflow
+  EXPECT_FALSE(parse_u64_token("-1"));  // strtoull would wrap to 2^64-1
+  EXPECT_FALSE(parse_u64_token("12k"));
+  EXPECT_FALSE(parse_u64_token(""));
+}
+
+TEST(ParseTokens, DoubleStrict) {
+  EXPECT_EQ(parse_double_token("0.75"), 0.75);
+  EXPECT_EQ(parse_double_token("1e3"), 1000.0);
+  EXPECT_EQ(parse_double_token("-2"), -2.0);
+  EXPECT_FALSE(parse_double_token("fast"));
+  EXPECT_FALSE(parse_double_token("1.5x"));
+  EXPECT_FALSE(parse_double_token("inf"));  // finite values only
+  EXPECT_FALSE(parse_double_token("nan"));
+  EXPECT_FALSE(parse_double_token(""));
+}
+
+// Strict getters exit(2) on garbage; exercised via death tests. Other
+// tests in this binary leave pool threads alive, so use fork+exec style.
+class ArgParserDeathTest : public testing::Test {
+ protected:
+  void SetUp() override {
+    testing::FLAGS_gtest_death_test_style = "threadsafe";
+  }
+};
+
+TEST_F(ArgParserDeathTest, GetIntExitsOnGarbage) {
+  auto p = make();
+  ASSERT_TRUE(p.parse({"--nodes", "12k"}));
+  EXPECT_EXIT(p.get_int("nodes", 0), testing::ExitedWithCode(2),
+              "invalid value '12k' for --nodes");
+}
+
+TEST_F(ArgParserDeathTest, GetIntExitsOnOverflow) {
+  auto p = make();
+  ASSERT_TRUE(p.parse({"--nodes", "99999999999"}));
+  EXPECT_EXIT(p.get_int("nodes", 0), testing::ExitedWithCode(2),
+              "invalid value");
+}
+
+TEST_F(ArgParserDeathTest, GetU64ExitsOnNegative) {
+  auto p = make();
+  ASSERT_TRUE(p.parse({"--seed", "-1"}));
+  EXPECT_EXIT(p.get_u64("seed", 0), testing::ExitedWithCode(2),
+              "invalid value '-1' for --seed");
+}
+
+TEST_F(ArgParserDeathTest, GetDoubleExitsOnGarbage) {
+  auto p = make();
+  ASSERT_TRUE(p.parse({"--ratio", "fast"}));
+  EXPECT_EXIT(p.get_double("ratio", 0), testing::ExitedWithCode(2),
+              "invalid value 'fast' for --ratio");
 }
 
 TEST(ArgParser, DuplicateRegistrationThrows) {

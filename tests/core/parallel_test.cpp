@@ -8,6 +8,7 @@
 #include <gtest/gtest.h>
 
 #include <atomic>
+#include <cstdlib>
 #include <numeric>
 #include <stdexcept>
 #include <vector>
@@ -88,6 +89,44 @@ TEST(ParallelRunner, ConfigureFromArgs) {
   ParallelRunner::configure_from_args(2, argv2);
   EXPECT_EQ(ParallelRunner::default_jobs(), 7);
   ParallelRunner::set_default_jobs(0);
+}
+
+TEST(ParallelRunner, ConfigureFromArgsRejectsInvalid) {
+  // Other tests in this binary leave pool threads alive; fork+exec style
+  // keeps the death-test children clean.
+  testing::FLAGS_gtest_death_test_style = "threadsafe";
+  // An explicit bad value must not silently fall back to hardware
+  // concurrency — the caller asked for something specific and typo'd it.
+  const char* garbage[] = {"bench", "--jobs", "abc"};
+  EXPECT_EXIT(ParallelRunner::configure_from_args(3, garbage),
+              testing::ExitedWithCode(2), "invalid value 'abc' for --jobs");
+  const char* zero[] = {"bench", "--jobs", "0"};
+  EXPECT_EXIT(ParallelRunner::configure_from_args(3, zero),
+              testing::ExitedWithCode(2), "invalid value '0' for --jobs");
+  const char* negative[] = {"bench", "--jobs=-2"};
+  EXPECT_EXIT(ParallelRunner::configure_from_args(2, negative),
+              testing::ExitedWithCode(2), "invalid value '-2' for --jobs");
+  const char* missing[] = {"bench", "--jobs"};
+  EXPECT_EXIT(ParallelRunner::configure_from_args(2, missing),
+              testing::ExitedWithCode(2), "missing value for --jobs");
+  const char* flaglike[] = {"bench", "--jobs", "--metrics"};
+  EXPECT_EXIT(ParallelRunner::configure_from_args(3, flaglike),
+              testing::ExitedWithCode(2), "missing value for --jobs");
+}
+
+TEST(ParallelRunner, GarbageEnvVarWarnsAndFallsBack) {
+  testing::FLAGS_gtest_death_test_style = "threadsafe";
+  // Run in the death-test child so the setenv and the warn-once latch do
+  // not leak into other tests in this process.
+  EXPECT_EXIT(
+      {
+        setenv("RFDNET_JOBS", "lots", 1);
+        ParallelRunner::set_default_jobs(0);
+        const int jobs = ParallelRunner::default_jobs();
+        ParallelRunner::default_jobs();  // second call: no second warning
+        std::exit(jobs >= 1 ? 0 : 1);
+      },
+      testing::ExitedWithCode(0), "ignoring invalid RFDNET_JOBS='lots'");
 }
 
 bool identical(const SweepResult& a, const SweepResult& b) {

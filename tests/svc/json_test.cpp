@@ -1,0 +1,124 @@
+// Canonical-JSON unit tests: the svc protocol's content addressing depends
+// on every equal value serializing to equal bytes, and on the parser
+// rejecting anything that would make that ambiguous (duplicate keys,
+// trailing garbage, lone surrogates).
+
+#include "svc/json.hpp"
+
+#include <gtest/gtest.h>
+
+namespace rfdnet::svc {
+namespace {
+
+std::string canon(const std::string& text) {
+  std::string err;
+  const auto j = Json::parse(text, &err);
+  EXPECT_TRUE(j) << err << " for " << text;
+  return j ? j->dump() : "<parse error: " + err + ">";
+}
+
+TEST(SvcJson, ScalarRoundTrip) {
+  EXPECT_EQ(canon("null"), "null");
+  EXPECT_EQ(canon("true"), "true");
+  EXPECT_EQ(canon("false"), "false");
+  EXPECT_EQ(canon("42"), "42");
+  EXPECT_EQ(canon("-7"), "-7");
+  EXPECT_EQ(canon("\"hi\""), "\"hi\"");
+  EXPECT_EQ(canon("[]"), "[]");
+  EXPECT_EQ(canon("{}"), "{}");
+}
+
+TEST(SvcJson, ObjectKeysSort) {
+  EXPECT_EQ(canon("{\"b\":1,\"a\":2}"), "{\"a\":2,\"b\":1}");
+  EXPECT_EQ(canon("{\"z\":{\"y\":1,\"x\":2},\"a\":[3,2,1]}"),
+            "{\"a\":[3,2,1],\"z\":{\"x\":2,\"y\":1}}");
+}
+
+TEST(SvcJson, WhitespaceIsInsignificant) {
+  EXPECT_EQ(canon(" { \"a\" : [ 1 , 2 ] , \"b\" : true } "),
+            canon("{\"a\":[1,2],\"b\":true}"));
+}
+
+TEST(SvcJson, NumberCanonicalization) {
+  // Integers in the exact range print without exponent or fraction.
+  EXPECT_EQ(canon("1e2"), "100");
+  EXPECT_EQ(canon("2.0"), "2");
+  EXPECT_EQ(canon("-0"), "0");
+  EXPECT_EQ(canon("9007199254740992"), "9007199254740992");  // 2^53
+  // Non-integral values keep round-trip precision.
+  EXPECT_EQ(canon("0.5"), "0.5");
+  EXPECT_EQ(canon(canon("0.1")), canon("0.1"));  // dump is a fixed point
+}
+
+TEST(SvcJson, StringEscapes) {
+  EXPECT_EQ(canon("\"a\\nb\""), "\"a\\nb\"");
+  EXPECT_EQ(canon("\"q\\\"q\""), "\"q\\\"q\"");
+  EXPECT_EQ(canon("\"\\u0041\""), "\"A\"");
+  EXPECT_EQ(canon("\"\\u00e9\""), "\"\xC3\xA9\"");          // é as UTF-8
+  EXPECT_EQ(canon("\"\\ud83d\\ude00\""), "\"\xF0\x9F\x98\x80\"");  // emoji
+  EXPECT_EQ(Json::escape(std::string("a\x01") + "b"), "a\\u0001b");
+}
+
+TEST(SvcJson, RejectsMalformed) {
+  std::string err;
+  EXPECT_FALSE(Json::parse("", &err));
+  EXPECT_FALSE(Json::parse("{", &err));
+  EXPECT_FALSE(Json::parse("[1,]", &err));
+  EXPECT_FALSE(Json::parse("{\"a\":}", &err));
+  EXPECT_FALSE(Json::parse("{\"a\" 1}", &err));
+  EXPECT_FALSE(Json::parse("'single'", &err));
+  EXPECT_FALSE(Json::parse("01", &err));          // leading zero
+  EXPECT_FALSE(Json::parse("1.", &err));          // bare fraction dot
+  EXPECT_FALSE(Json::parse("nul", &err));
+  EXPECT_FALSE(Json::parse("1 2", &err));         // trailing garbage
+  EXPECT_FALSE(Json::parse("{} x", &err));
+  EXPECT_NE(err.find("trailing"), std::string::npos) << err;
+  EXPECT_FALSE(Json::parse("\"\\ud800\"", &err)); // lone high surrogate
+  EXPECT_FALSE(Json::parse("\"\\udc00x\"", &err));  // lone low surrogate
+  EXPECT_FALSE(Json::parse("\"a\nb\"", &err));    // raw control char
+  EXPECT_FALSE(Json::parse("1e999", &err));       // overflows double
+}
+
+TEST(SvcJson, RejectsDuplicateKeys) {
+  std::string err;
+  EXPECT_FALSE(Json::parse("{\"a\":1,\"a\":2}", &err));
+  EXPECT_NE(err.find("duplicate"), std::string::npos) << err;
+}
+
+TEST(SvcJson, RejectsDeepNesting) {
+  std::string deep, close;
+  for (int i = 0; i < 100; ++i) {
+    deep += '[';
+    close += ']';
+  }
+  std::string err;
+  EXPECT_FALSE(Json::parse(deep + "1" + close, &err));
+  EXPECT_NE(err.find("deep"), std::string::npos) << err;
+  // 32 levels is comfortably inside the cap.
+  std::string ok_doc = std::string(32, '[') + "1" + std::string(32, ']');
+  EXPECT_TRUE(Json::parse(ok_doc, &err)) << err;
+}
+
+TEST(SvcJson, FindAndAccessors) {
+  const auto j = Json::parse("{\"a\":1,\"b\":\"s\",\"c\":[true,null]}");
+  ASSERT_TRUE(j);
+  ASSERT_TRUE(j->find("a"));
+  EXPECT_EQ(j->find("a")->as_number(), 1.0);
+  EXPECT_EQ(j->find("b")->as_string(), "s");
+  ASSERT_TRUE(j->find("c")->is_array());
+  EXPECT_EQ(j->find("c")->as_array().size(), 2u);
+  EXPECT_TRUE(j->find("c")->as_array()[0].as_bool());
+  EXPECT_TRUE(j->find("c")->as_array()[1].is_null());
+  EXPECT_EQ(j->find("missing"), nullptr);
+}
+
+TEST(SvcJson, RawEmbedsVerbatim) {
+  Json::Object obj;
+  obj.emplace("card", Json::raw("{\"pre\":\"serialized\"}"));
+  obj.emplace("n", Json::number(static_cast<std::int64_t>(3)));
+  EXPECT_EQ(Json::object(std::move(obj)).dump(),
+            "{\"card\":{\"pre\":\"serialized\"},\"n\":3}");
+}
+
+}  // namespace
+}  // namespace rfdnet::svc
